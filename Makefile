@@ -1,0 +1,35 @@
+# autopn build & reproduction targets.
+
+GO ?= go
+
+.PHONY: all build test race bench repro figures clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode skips the slow live-timing and full-grid tests.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The single acceptance test for the paper's headline claims.
+repro:
+	$(GO) test -run TestReproductionGate -v .
+
+# Regenerate every figure/table of the paper at full repetitions.
+figures:
+	$(GO) run ./cmd/autopn-bench -experiment all -reps 10
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,323 @@
+// Package autopn is an online self-tuner for the parallelism degree of
+// parallel-nesting transactional memory, reproducing "Online Tuning of
+// Parallelism Degree in Parallel Nesting Transactional Memory" (Zeng,
+// Romano, Barreto, Rodrigues, Haridi — IPDPS 2018).
+//
+// A PN-TM application exposes two parallelism knobs: how many top-level
+// transactions run concurrently (t) and how many nested child transactions
+// each transaction tree may run concurrently (c). The tuner searches the
+// constrained space {(t,c) : t*c <= cores} online — no offline training —
+// by combining a biased boundary sampling, Sequential Model-Based
+// Optimization over a bagged ensemble of M5 model trees with an Expected
+// Improvement acquisition function, and a final hill-climbing refinement;
+// throughput feedback comes from an adaptive monitor that ends each
+// measurement window when the throughput estimate's coefficient of
+// variation stabilizes, bounded by an adaptive timeout derived from the
+// sequential configuration's commit rate.
+//
+// Quickstart against the bundled PN-STM (package pnstm):
+//
+//	s := pnstm.New(pnstm.Options{})
+//	tuner := autopn.NewTuner(s, autopn.Options{Cores: runtime.NumCPU()})
+//	go app.Run(s) // application issues transactions on s
+//	result := tuner.Run(ctx)
+//	fmt.Println("tuned to", result.Best)
+//
+// The tuner is transparent to the application: it intercepts transaction
+// admission through the STM's throttle hook and enforces the configuration
+// under test with resizable semaphores, exactly as the paper's actuator
+// does. Applications that want to adapt their own data partitioning can
+// query the currently enforced configuration with Tuner.Current.
+package autopn
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"autopn/internal/core"
+	"autopn/internal/monitor"
+	"autopn/internal/pnpool"
+	"autopn/internal/search"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/stm"
+)
+
+// Config is one point of the tuning space: T concurrent top-level
+// transactions, each allowed C concurrent nested children.
+type Config struct {
+	T int
+	C int
+}
+
+// String renders the configuration as "(t,c)".
+func (c Config) String() string { return fmt.Sprintf("(%d,%d)", c.T, c.C) }
+
+// Strategy selects the optimization algorithm. AutoPN is the paper's
+// contribution; the others are the baselines it compares against and are
+// provided for experimentation.
+type Strategy int
+
+// Available strategies.
+const (
+	StrategyAutoPN Strategy = iota
+	StrategyRandom
+	StrategyGrid
+	StrategyHillClimb
+	StrategyAnnealing
+	StrategyGenetic
+)
+
+// Options configures a Tuner. The zero value is completed with the paper's
+// defaults.
+type Options struct {
+	// Cores is the machine size n bounding the space (t*c <= n).
+	// Required (>= 1).
+	Cores int
+	// Strategy picks the optimizer (default StrategyAutoPN).
+	Strategy Strategy
+	// Seed makes the tuner's stochastic choices reproducible (default 1).
+	Seed uint64
+
+	// EIThreshold is AutoPN's SMBO stopping threshold (default 0.10).
+	EIThreshold float64
+	// InitialSamples is the biased initial sample count, 3-9 (default 9).
+	InitialSamples int
+	// DisableHillClimb skips the final refinement phase.
+	DisableHillClimb bool
+
+	// CVThreshold ends a measurement window once the throughput
+	// estimate's coefficient of variation drops below it (default 0.10).
+	CVThreshold float64
+	// MaxWindow bounds any single measurement window (default 30s).
+	MaxWindow time.Duration
+
+	// ReTune enables the CUSUM change detector: after convergence the
+	// tuner keeps watching throughput and restarts optimization when the
+	// workload shifts (§V "Dynamic workloads" / future work).
+	ReTune bool
+
+	// DryRun makes the tuner measure and model without ever applying a
+	// configuration change (used by the §VII-E overhead experiment).
+	DryRun bool
+
+	// OnMeasurement, if non-nil, is invoked after every measurement window
+	// with the configuration measured and the window's outcome — the
+	// observability hook the CLI uses to print the tuning trajectory.
+	OnMeasurement func(cfg Config, m Measurement)
+}
+
+// Measurement summarizes one monitoring window (see internal/monitor).
+type Measurement struct {
+	// Throughput in committed top-level transactions per second.
+	Throughput float64
+	// Commits observed during the window.
+	Commits int
+	// Elapsed window duration.
+	Elapsed time.Duration
+	// TimedOut reports deadline-triggered completion (starving or
+	// never-stabilizing configuration).
+	TimedOut bool
+}
+
+// Result summarizes a completed tuning run.
+type Result struct {
+	// Best is the configuration the tuner converged to (and applied).
+	Best Config
+	// BestThroughput is the measured throughput of Best (commits/sec).
+	BestThroughput float64
+	// Explorations is the number of distinct configurations measured.
+	Explorations int
+	// Windows is the number of measurement windows used.
+	Windows int
+	// Elapsed is the wall-clock duration of the tuning session.
+	Elapsed time.Duration
+	// Retunes counts CUSUM-triggered re-optimizations (ReTune mode).
+	Retunes int
+}
+
+// Tuner drives the self-tuning process for one STM instance.
+type Tuner struct {
+	opts Options
+	sp   *space.Space
+	pool *pnpool.Pool
+	live *monitor.Live
+	stm  *stm.STM
+}
+
+// NewTuner attaches a tuner to s: it installs the actuator as the STM's
+// throttle and subscribes the KPI monitor to commit events. The
+// application's transactions must start after NewTuner (the throttle and
+// hook must not be swapped while transactions run).
+func NewTuner(s *stm.STM, opts Options) *Tuner {
+	if opts.Cores < 1 {
+		panic("autopn: Options.Cores must be >= 1")
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.EIThreshold <= 0 {
+		opts.EIThreshold = 0.10
+	}
+	if opts.CVThreshold <= 0 {
+		opts.CVThreshold = 0.10
+	}
+	if opts.MaxWindow <= 0 {
+		opts.MaxWindow = 30 * time.Second
+	}
+	t := &Tuner{
+		opts: opts,
+		sp:   space.New(opts.Cores),
+		pool: pnpool.New(space.Config{T: 1, C: 1}),
+		live: monitor.NewLive(monitor.NewWallClock()),
+	}
+	t.stm = s
+	if !opts.DryRun {
+		s.SetThrottle(t.pool)
+	}
+	s.SetCommitHook(t.live.OnCommit)
+	return t
+}
+
+// Current returns the configuration currently enforced by the actuator —
+// the paper's ad-hoc introspection API for applications that adapt their
+// data partitioning to the tuned parallelism degree.
+func (t *Tuner) Current() Config {
+	cur := t.pool.Current()
+	return Config{T: cur.T, C: cur.C}
+}
+
+// SpaceSize returns the number of admissible configurations.
+func (t *Tuner) SpaceSize() int { return t.sp.Size() }
+
+// newOptimizer builds the configured strategy.
+func (t *Tuner) newOptimizer(rng *stats.RNG) search.Optimizer {
+	switch t.opts.Strategy {
+	case StrategyRandom:
+		return search.NewRandom(t.sp, rng, 5, 0.10)
+	case StrategyGrid:
+		return search.NewGrid(t.sp, 5, 0.10)
+	case StrategyHillClimb:
+		return search.NewHillClimb(t.sp, rng)
+	case StrategyAnnealing:
+		return search.NewAnnealing(t.sp, rng)
+	case StrategyGenetic:
+		return search.NewGenetic(t.sp, rng)
+	default:
+		return core.New(t.sp, rng, core.Options{
+			InitialSamples:   t.opts.InitialSamples,
+			Stop:             core.NewEIStop(t.opts.EIThreshold),
+			DisableHillClimb: t.opts.DisableHillClimb,
+		})
+	}
+}
+
+// Run executes the tuning process to convergence, applies the best
+// configuration found, and returns the result. With Options.ReTune it then
+// keeps monitoring for workload changes and re-tunes on detection,
+// returning only when ctx is cancelled. Without ReTune it returns as soon
+// as the optimizer converges (or ctx is cancelled).
+func (t *Tuner) Run(ctx context.Context) Result {
+	start := time.Now()
+	rng := stats.NewRNG(t.opts.Seed)
+	var res Result
+	for {
+		r := t.tuneOnce(ctx, rng)
+		res.Best, res.BestThroughput = r.Best, r.BestThroughput
+		res.Explorations += r.Explorations
+		res.Windows += r.Windows
+		res.Elapsed = time.Since(start)
+		if !t.opts.ReTune || ctx.Err() != nil {
+			return res
+		}
+		if !t.watchForChange(ctx) {
+			res.Elapsed = time.Since(start)
+			return res
+		}
+		res.Retunes++
+	}
+}
+
+// tuneOnce runs one full optimization session.
+func (t *Tuner) tuneOnce(ctx context.Context, rng *stats.RNG) Result {
+	opt := t.newOptimizer(rng.Split())
+	var res Result
+	t11 := 0.0
+	seen := make(map[space.Config]bool)
+	for ctx.Err() == nil {
+		cfg, done := opt.Next()
+		if done {
+			break
+		}
+		if !t.opts.DryRun {
+			t.pool.Apply(cfg)
+			t.settle(ctx, cfg)
+		}
+		m := t.live.Measure(t.windowPolicy(t11))
+		if (cfg == space.Config{T: 1, C: 1}) && t11 == 0 && m.Throughput > 0 {
+			t11 = m.Throughput
+		}
+		if t.opts.OnMeasurement != nil {
+			t.opts.OnMeasurement(Config{T: cfg.T, C: cfg.C}, Measurement{
+				Throughput: m.Throughput,
+				Commits:    m.Commits,
+				Elapsed:    m.Elapsed,
+				TimedOut:   m.TimedOut,
+			})
+		}
+		if !seen[cfg] {
+			seen[cfg] = true
+			res.Explorations++
+		}
+		res.Windows++
+		if ap, ok := opt.(*core.AutoPN); ok {
+			ap.ObserveMeasured(cfg, m.Throughput, m.CV)
+		} else {
+			opt.Observe(cfg, m.Throughput)
+		}
+	}
+	best, kpi := opt.Best()
+	if !t.opts.DryRun {
+		t.pool.Apply(best)
+	}
+	res.Best = Config{T: best.T, C: best.C}
+	res.BestThroughput = kpi
+	return res
+}
+
+// settle waits until a shrinking reconfiguration has drained: transactions
+// admitted under the previous (larger) configuration release their
+// semaphore slots as they finish, and measuring before that would
+// attribute their commits to the new configuration. Growth needs no wait.
+// The wait is bounded by the monitor's MaxWindow so a stalled transaction
+// cannot wedge the tuner.
+func (t *Tuner) settle(ctx context.Context, cfg space.Config) {
+	deadline := time.Now().Add(t.opts.MaxWindow)
+	for t.pool.TopHeld() > cfg.T && ctx.Err() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// windowPolicy builds the adaptive CV policy for one measurement window.
+func (t *Tuner) windowPolicy(t11 float64) monitor.Policy {
+	p := monitor.NewCVPolicy()
+	p.CVThreshold = t.opts.CVThreshold
+	p.MaxWindow = t.opts.MaxWindow
+	p.GapTimeout = monitor.AdaptiveGapFromSequential(t11, 0)
+	return p
+}
+
+// watchForChange monitors throughput under the converged configuration and
+// returns true when the CUSUM detector signals a workload change (false on
+// ctx cancellation).
+func (t *Tuner) watchForChange(ctx context.Context) bool {
+	det := stats.NewCUSUM(5, 1, 20)
+	for ctx.Err() == nil {
+		m := t.live.Measure(t.windowPolicy(0))
+		if det.Observe(m.Throughput) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package autopn_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"autopn"
+	"autopn/internal/workload"
+	"autopn/internal/workload/array"
+	"autopn/pnstm"
+)
+
+// startArray launches a live Array workload on a fresh STM with a tuner
+// attached, returning the tuner, the driver and a stop function.
+func startArray(t *testing.T, opts autopn.Options, writePct float64) (*autopn.Tuner, func()) {
+	t.Helper()
+	s := pnstm.New(pnstm.Options{})
+	tuner := autopn.NewTuner(s, opts)
+	b := array.New(64, writePct)
+	d := &workload.Driver{STM: s, W: b, Threads: opts.Cores}
+	d.Start(123)
+	return tuner, d.Stop
+}
+
+func TestTunerConvergesLive(t *testing.T) {
+	opts := autopn.Options{
+		Cores:       4,
+		Seed:        9,
+		CVThreshold: 0.25,
+		MaxWindow:   80 * time.Millisecond,
+	}
+	tuner, stop := startArray(t, opts, 0.1)
+	defer stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res := tuner.Run(ctx)
+	if ctx.Err() != nil {
+		t.Fatal("tuner did not converge within the deadline")
+	}
+	if res.Best.T < 1 || res.Best.C < 1 || res.Best.T*res.Best.C > opts.Cores {
+		t.Fatalf("invalid best config %v", res.Best)
+	}
+	if res.Explorations < 5 {
+		t.Fatalf("explored only %d configs", res.Explorations)
+	}
+	if got := tuner.Current(); got != res.Best {
+		t.Fatalf("Current() = %v, want applied best %v", got, res.Best)
+	}
+	if res.BestThroughput <= 0 {
+		t.Fatalf("non-positive best throughput %v", res.BestThroughput)
+	}
+	t.Logf("converged to %v (%.0f commits/s) after %d explorations, %d windows in %v",
+		res.Best, res.BestThroughput, res.Explorations, res.Windows, res.Elapsed)
+}
+
+func TestTunerSpaceSize(t *testing.T) {
+	s := pnstm.New(pnstm.Options{})
+	tuner := autopn.NewTuner(s, autopn.Options{Cores: 48})
+	if got := tuner.SpaceSize(); got != 198 {
+		t.Fatalf("SpaceSize for 48 cores = %d, want 198 (the paper's count)", got)
+	}
+}
+
+func TestTunerDryRunNeverReconfigures(t *testing.T) {
+	opts := autopn.Options{
+		Cores:       4,
+		Seed:        5,
+		DryRun:      true,
+		CVThreshold: 0.3,
+		MaxWindow:   50 * time.Millisecond,
+	}
+	tuner, stop := startArray(t, opts, 0)
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	tuner.Run(ctx)
+	// In dry-run mode the actuator stays at its initial configuration.
+	if got := tuner.Current(); got != (autopn.Config{T: 1, C: 1}) {
+		t.Fatalf("dry run applied %v", got)
+	}
+}
+
+func TestTunerBaselineStrategiesRun(t *testing.T) {
+	for _, strat := range []autopn.Strategy{
+		autopn.StrategyRandom, autopn.StrategyHillClimb, autopn.StrategyAnnealing,
+	} {
+		opts := autopn.Options{
+			Cores:       2,
+			Seed:        3,
+			Strategy:    strat,
+			CVThreshold: 0.3,
+			MaxWindow:   40 * time.Millisecond,
+		}
+		tuner, stop := startArray(t, opts, 0.05)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		res := tuner.Run(ctx)
+		cancel()
+		stop()
+		if res.Explorations == 0 {
+			t.Errorf("strategy %v explored nothing", strat)
+		}
+	}
+}

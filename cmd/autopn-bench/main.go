@@ -1,0 +1,154 @@
+// Command autopn-bench regenerates every table and figure of the paper's
+// experimental study (§VII). Each experiment prints a plain-text rendering
+// of the corresponding figure to stdout; EXPERIMENTS.md records a reference
+// run next to the paper's numbers.
+//
+// Usage:
+//
+//	autopn-bench -experiment fig5 [-reps 10] [-seed 1]
+//	autopn-bench -experiment all
+//
+// Experiments: fig1a fig1b static fig5 fig6a fig6b fig7a fig7b fig7c
+// overhead all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"autopn/internal/experiment"
+	"autopn/internal/surface"
+)
+
+func main() {
+	var (
+		exp    = flag.String("experiment", "all", "experiment id (fig1a, fig1b, static, fig5, fig6a, fig6b, fig7a, fig7b, fig7c, speed, hetero, engines, livesweep, overhead, all)")
+		reps   = flag.Int("reps", 10, "repetitions per workload (paper: 10)")
+		seed   = flag.Uint64("seed", 1, "master seed")
+		outDir = flag.String("out", "", "also write each experiment's output to <out>/<id>.txt")
+	)
+	flag.Parse()
+
+	run := func(id string) {
+		var tee *os.File
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "out dir: %v\n", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*outDir, id+".txt"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "out file: %v\n", err)
+				os.Exit(1)
+			}
+			tee = f
+			defer f.Close()
+			old := os.Stdout
+			r, w, _ := os.Pipe()
+			os.Stdout = w
+			done := make(chan struct{})
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					n, err := r.Read(buf)
+					if n > 0 {
+						old.Write(buf[:n])
+						tee.Write(buf[:n])
+					}
+					if err != nil {
+						close(done)
+						return
+					}
+				}
+			}()
+			defer func() {
+				w.Close()
+				<-done
+				os.Stdout = old
+			}()
+		}
+		fmt.Printf("==== %s ====\n", id)
+		start := time.Now()
+		switch id {
+		case "fig1a":
+			experiment.RenderFig1(os.Stdout, experiment.Fig1(surface.TPCC("med")))
+		case "fig1b":
+			experiment.RenderFig1(os.Stdout, experiment.Fig1(surface.Array("90")))
+		case "static":
+			experiment.RenderStatic(os.Stdout, experiment.StaticBaseline(surface.AllWorkloads()))
+		case "fig5":
+			cfg := experiment.DefaultFig5Config()
+			cfg.Reps = *reps
+			cfg.Seed = *seed ^ 0xF165
+			experiment.RenderFig5(os.Stdout, experiment.Fig5(cfg))
+		case "fig6a":
+			cfg := experiment.DefaultFig6Config()
+			cfg.Reps = *reps
+			cfg.Seed = *seed ^ 0xF166
+			experiment.RenderVariants(os.Stdout,
+				"Fig.6 (left) — initial sampling policies (SMBO only, EI<10%)",
+				experiment.Fig6Sampling(cfg))
+		case "fig6b":
+			cfg := experiment.DefaultFig6Config()
+			cfg.Reps = *reps
+			cfg.Seed = *seed ^ 0xF166
+			experiment.RenderVariants(os.Stdout,
+				"Fig.6 (right) — SMBO stop conditions (SMBO only)",
+				experiment.Fig6Stop(cfg))
+		case "fig7a":
+			experiment.RenderFig7a(os.Stdout, experiment.Fig7a(*reps, *seed^0xF17A))
+		case "fig7b":
+			experiment.RenderFig7b(os.Stdout, experiment.Fig7b(30*time.Second, *reps, *seed^0xF17B))
+		case "fig7c":
+			experiment.RenderFig7c(os.Stdout, experiment.Fig7c(*reps, *seed^0xF17C))
+		case "speed":
+			cfg := experiment.DefaultSpeedConfig()
+			cfg.Reps = *reps
+			cfg.Seed = *seed ^ 0x5BEED
+			fmt.Println("# convergence speed — virtual time to stability (live tuning, adaptive monitor)")
+			for _, r := range experiment.Speed(cfg) {
+				fmt.Printf("%-20s\t%v\t%.2f%%\t%.0f%%\n",
+					r.Name, r.MeanTimeToStability.Round(time.Millisecond), r.MeanFinalDFO*100, r.ConvergedFrac*100)
+			}
+		case "livesweep":
+			fmt.Println("# live sweep — real PN-STM on this host (shape depends on host cores)")
+			for _, pt := range experiment.LiveSweep("array", 4, 150*time.Millisecond, *seed) {
+				fmt.Printf("%v\t%.0f commits/s\n", pt.Cfg, pt.Throughput)
+			}
+		case "engines":
+			fmt.Println("# cross-engine robustness — live AutoPN on both simulator engines")
+			fmt.Printf("%-14s\t%s\t%s\t%s\n", "workload", "renewal-DFO", "thread-DFO", "abort-rate")
+			for _, r := range experiment.Engines(*reps, *seed^0xE461) {
+				fmt.Printf("%-14s\t%.2f%%\t%.2f%%\t%.0f%%\n",
+					r.Workload, r.RenewalDFO*100, r.ThreadDFO*100, r.ThreadAborts*100)
+			}
+		case "hetero":
+			res := experiment.Hetero(*reps, *seed^0x4E7E)
+			fmt.Println("# §VIII extension — heterogeneous transaction types (two types, incompatible optima)")
+			fmt.Printf("best shared (t,c), oracle:\t%.1f%% from optimum\n", res.SharedDFO*100)
+			fmt.Printf("per-type MultiTuner:\t%.1f%% from optimum (%.0f measurements)\n",
+				res.PerTypeDFO*100, res.MeanExplorations)
+		case "overhead":
+			const dur = 2 * time.Second
+			experiment.RenderOverhead(os.Stdout, experiment.Overhead(2, dur, *seed), dur)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{
+			"fig1a", "fig1b", "static", "fig5", "fig6a", "fig6b",
+			"fig7a", "fig7b", "fig7c", "speed", "hetero", "engines", "livesweep", "overhead",
+		} {
+			run(id)
+		}
+		return
+	}
+	run(*exp)
+}

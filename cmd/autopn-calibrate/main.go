@@ -1,0 +1,79 @@
+// Command autopn-calibrate closes the loop between the live PN-STM and the
+// simulator: it sweeps a real workload over the full (t, c) space of a
+// small core budget on this host, fits the analytic workload model to the
+// measurements (internal/surface.Fit), and reports the calibrated
+// parameters together with the model's extrapolated optimum at the paper's
+// 48-core scale.
+//
+//	autopn-calibrate -workload array -cores 4 -window 150ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"time"
+
+	"autopn/internal/experiment"
+	"autopn/internal/space"
+	"autopn/internal/surface"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "array", "array | tpcc")
+		cores  = flag.Int("cores", 4, "core budget for the live sweep")
+		window = flag.Duration("window", 150*time.Millisecond, "measurement window per configuration")
+		seed   = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	if host := runtime.NumCPU(); host < *cores {
+		fmt.Printf("warning: sweeping %d logical threads on %d host core(s); "+
+			"the measured surface reflects oversubscription, not parallel speedup, "+
+			"so the calibrated model is only meaningful on hosts with >= %d cores\n",
+			*cores, host, *cores)
+	}
+	fmt.Printf("sweeping live %s over %d configurations on this host...\n",
+		*wl, space.New(*cores).Size())
+	points := experiment.LiveSweep(*wl, *cores, *window, *seed)
+
+	samples := make([]surface.Sample, 0, len(points))
+	for _, p := range points {
+		fmt.Printf("  %v\t%.0f commits/s\n", p.Cfg, p.Throughput)
+		samples = append(samples, surface.Sample{Cfg: p.Cfg, Throughput: p.Throughput})
+	}
+
+	// Template: start from the matching preset, sized to the sweep's core
+	// budget, and let Fit tune the shape parameters. Work volume is
+	// anchored by the sequential sample.
+	var template *surface.Workload
+	if *wl == "tpcc" {
+		template = surface.TPCC("med")
+	} else {
+		template = surface.Array("0.01")
+	}
+	template.Cores = *cores
+	if seq := samples[0].Throughput; seq > 0 {
+		// Scale the per-transaction work so the model's (1,1) matches the
+		// measured sequential throughput before fitting the shape.
+		model := template.Throughput(space.Config{T: 1, C: 1})
+		if model > 0 {
+			template.BaseUnitTime = time.Duration(float64(template.BaseUnitTime) * model / seq)
+		}
+	}
+
+	fitted, rms := surface.Fit(template, samples)
+	fmt.Printf("\ncalibrated model (RMS log error %.3f):\n", rms)
+	fmt.Printf("  SeqFrac   = %.3f\n", fitted.SeqFrac)
+	fmt.Printf("  SpawnCost = %v\n", fitted.SpawnCost)
+	fmt.Printf("  KInter    = %.2f\n", fitted.KInter)
+	fmt.Printf("  KIntra    = %.3f\n", fitted.KIntra)
+
+	big := *fitted
+	big.Cores = surface.DefaultCores
+	sp48 := space.New(big.Cores)
+	opt, tput := big.Optimum(sp48)
+	fmt.Printf("\nextrapolated to %d cores: optimum %v at %.0f commits/s (%.1fx the sequential configuration)\n",
+		big.Cores, opt, tput, tput/big.Throughput(space.Config{T: 1, C: 1}))
+}

@@ -1,0 +1,75 @@
+// Command autopn-explore exhaustively measures a workload model over the
+// full (t, c) configuration space — the paper's §VII-B trace-collection
+// protocol — and either prints the surface or saves the trace as JSON for
+// later replay by the optimizers.
+//
+// Usage:
+//
+//	autopn-explore -workload tpcc-med -runs 10 -out tpcc-med.trace.json
+//	autopn-explore -workload array-90 -print
+//	autopn-explore -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autopn/internal/experiment"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+	"autopn/internal/trace"
+)
+
+func main() {
+	var (
+		name  = flag.String("workload", "tpcc-med", "workload name (see -list)")
+		runs  = flag.Int("runs", 10, "samples per configuration")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		out   = flag.String("out", "", "write the JSON trace to this file")
+		print = flag.Bool("print", false, "print the mean throughput surface")
+		list  = flag.Bool("list", false, "list available workloads")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range surface.AllWorkloads() {
+			sp := space.New(w.Cores)
+			opt, best := w.Optimum(sp)
+			fmt.Printf("%-14s cores=%d optimum=%v (%.1f commits/s)\n", w.Name, w.Cores, opt, best)
+		}
+		return
+	}
+
+	var w *surface.Workload
+	for _, cand := range surface.AllWorkloads() {
+		if cand.Name == *name {
+			w = cand
+			break
+		}
+	}
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *name)
+		os.Exit(2)
+	}
+
+	sp := space.New(w.Cores)
+	if *print {
+		experiment.RenderFig1(os.Stdout, experiment.Fig1(w))
+	}
+	if *out != "" {
+		tr := trace.Collect(w, sp, *runs, stats.NewRNG(*seed))
+		if err := tr.SaveFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "save: %v\n", err)
+			os.Exit(1)
+		}
+		optCfg, optV := tr.Optimum()
+		fmt.Printf("collected %d configs x %d runs for %s -> %s (optimum %v = %.1f)\n",
+			sp.Size(), *runs, w.Name, *out, optCfg, optV)
+	}
+	if !*print && *out == "" {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -print and/or -out")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,55 @@
+package autopn_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"autopn"
+	"autopn/pnstm"
+)
+
+// Attach a tuner to a running transactional application and let it pick
+// the parallelism degree. (The example uses a tiny core budget and loose
+// monitor settings so it completes quickly and deterministically enough
+// for documentation purposes.)
+func ExampleTuner() {
+	s := pnstm.New(pnstm.Options{})
+	counter := pnstm.NewVBox(0)
+
+	tuner := autopn.NewTuner(s, autopn.Options{
+		Cores:       2,
+		CVThreshold: 0.5,
+		MaxWindow:   50 * time.Millisecond,
+	})
+
+	// The application: workers incrementing a counter through the STM.
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = s.Atomic(func(tx *pnstm.Tx) error {
+					counter.Put(tx, counter.Get(tx)+1)
+					return nil
+				})
+			}
+		}()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res := tuner.Run(ctx)
+	close(stop)
+
+	valid := res.Best.T >= 1 && res.Best.C >= 1 && res.Best.T*res.Best.C <= 2
+	fmt.Println("found a valid configuration:", valid)
+	fmt.Println("explored the whole space:", res.Explorations == tuner.SpaceSize())
+	// Output:
+	// found a valid configuration: true
+	// explored the whole space: true
+}

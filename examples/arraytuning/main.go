@@ -1,0 +1,60 @@
+// Arraytuning runs the paper's Array micro-benchmark live on the real
+// PN-STM across its four write-ratio variants (none / 0.01% / 50% / 90%,
+// §VII-A) and tunes each with AutoPN, showing how the chosen (t, c) shifts
+// from top-level parallelism toward intra-transaction parallelism as
+// contention grows.
+//
+//	go run ./examples/arraytuning [-cores 8] [-per 5s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"runtime"
+	"time"
+
+	"autopn"
+	"autopn/internal/stm"
+	"autopn/internal/workload"
+	"autopn/internal/workload/array"
+)
+
+func main() {
+	cores := flag.Int("cores", runtime.NumCPU(), "core budget")
+	per := flag.Duration("per", 5*time.Second, "tuning budget per variant")
+	flag.Parse()
+	if *cores < 2 {
+		*cores = 2
+	}
+
+	for _, writePct := range []float64{0, 0.0001, 0.5, 0.9} {
+		s := stm.New(stm.Options{})
+		b := array.New(512, writePct)
+		tuner := autopn.NewTuner(s, autopn.Options{
+			Cores:     *cores,
+			MaxWindow: 300 * time.Millisecond,
+			Seed:      7,
+		})
+		d := &workload.Driver{
+			STM:        s,
+			W:          b,
+			Threads:    *cores,
+			NestedHint: func() int { return tuner.Current().C },
+		}
+		d.Start(42)
+
+		ctx, cancel := context.WithTimeout(context.Background(), *per)
+		res := tuner.Run(ctx)
+		cancel()
+		d.Stop()
+
+		snap := s.Stats.Snapshot()
+		abortPct := 0.0
+		if snap.TopCommits+snap.TopAborts > 0 {
+			abortPct = 100 * float64(snap.TopAborts) / float64(snap.TopCommits+snap.TopAborts)
+		}
+		fmt.Printf("%-12s -> best %v  (%.0f commits/s, %d explorations, abort rate %.1f%%)\n",
+			b.Name(), res.Best, res.BestThroughput, res.Explorations, abortPct)
+	}
+}

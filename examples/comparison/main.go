@@ -1,0 +1,89 @@
+// Comparison replays one workload's offline trace into AutoPN and all five
+// baseline optimizers (§VII-B protocol) and prints each strategy's
+// trajectory: which configurations it explored and how far from optimum it
+// ended.
+//
+//	go run ./examples/comparison [-workload tpcc-med] [-seed 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autopn/internal/core"
+	"autopn/internal/search"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+	"autopn/internal/trace"
+)
+
+func main() {
+	name := flag.String("workload", "tpcc-med", "workload name")
+	seed := flag.Uint64("seed", 3, "seed")
+	flag.Parse()
+
+	var w *surface.Workload
+	for _, cand := range surface.AllWorkloads() {
+		if cand.Name == *name {
+			w = cand
+		}
+	}
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+
+	sp := space.New(w.Cores)
+	master := stats.NewRNG(*seed)
+	tr := trace.Collect(w, sp, 10, master.Split())
+	optCfg, optV := tr.Optimum()
+	fmt.Printf("workload %s: %d configurations, optimum %v = %.1f commits/s\n\n",
+		w.Name, sp.Size(), optCfg, optV)
+
+	strategies := []struct {
+		name string
+		mk   func(rng *stats.RNG) search.Optimizer
+	}{
+		{"random", func(r *stats.RNG) search.Optimizer { return search.NewRandom(sp, r, 5, 0.10) }},
+		{"grid", func(r *stats.RNG) search.Optimizer { return search.NewGrid(sp, 5, 0.10) }},
+		{"hill-climbing", func(r *stats.RNG) search.Optimizer { return search.NewHillClimb(sp, r) }},
+		{"annealing", func(r *stats.RNG) search.Optimizer { return search.NewAnnealing(sp, r) }},
+		{"genetic", func(r *stats.RNG) search.Optimizer { return search.NewGenetic(sp, r) }},
+		{"autopn", func(r *stats.RNG) search.Optimizer { return core.New(sp, r, core.Options{}) }},
+	}
+
+	for _, s := range strategies {
+		rng := master.Split()
+		opt := s.mk(rng)
+		ev := trace.NewEvaluator(tr, rng.Split())
+		explored := []space.Config{}
+		seen := map[space.Config]float64{}
+		for rounds := 0; rounds < 2000; rounds++ {
+			cfg, done := opt.Next()
+			if done {
+				break
+			}
+			kpi, ok := seen[cfg]
+			if !ok {
+				kpi = ev.Evaluate(cfg)
+				seen[cfg] = kpi
+				explored = append(explored, cfg)
+			}
+			opt.Observe(cfg, kpi)
+		}
+		best, _ := opt.Best()
+		fmt.Printf("%-14s explored %3d configs, settled on %-8v (%.1f%% from optimum)\n",
+			s.name, len(explored), best, tr.DFO(best)*100)
+		fmt.Printf("               path: %v\n", summarize(explored))
+	}
+}
+
+// summarize prints the first and last few explored configurations.
+func summarize(cfgs []space.Config) string {
+	if len(cfgs) <= 10 {
+		return fmt.Sprint(cfgs)
+	}
+	return fmt.Sprintf("%v ... %v", cfgs[:5], cfgs[len(cfgs)-5:])
+}

@@ -1,0 +1,104 @@
+// Quickstart: build a tiny transactional application on the PN-STM, attach
+// the AutoPN tuner, and let it pick the parallelism degree online.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"autopn"
+	"autopn/pnstm"
+)
+
+func main() {
+	// 1. Create an STM and some transactional state: a bank of accounts.
+	s := pnstm.New(pnstm.Options{})
+	accounts := make([]*pnstm.VBox[int], 64)
+	for i := range accounts {
+		accounts[i] = pnstm.NewVBox(100)
+	}
+
+	// 2. Attach the tuner. It gates transaction admission transparently
+	// and will search the (t, c) space while the application runs.
+	cores := runtime.NumCPU()
+	if cores < 2 {
+		cores = 2
+	}
+	tuner := autopn.NewTuner(s, autopn.Options{
+		Cores:     cores,
+		MaxWindow: 500 * time.Millisecond,
+	})
+
+	// 3. Run the application: worker goroutines transferring money, each
+	// transfer auditing its neighborhood with nested parallel scans.
+	stop := make(chan struct{})
+	for w := 0; w < cores; w++ {
+		go func(seed int) {
+			i := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				from, to := i%len(accounts), (i*7+1)%len(accounts)
+				i++
+				if from == to {
+					continue
+				}
+				nested := tuner.Current().C // the paper's introspection API
+				_ = s.Atomic(func(tx *pnstm.Tx) error {
+					// Audit both halves of the bank in parallel children.
+					if nested >= 2 {
+						if err := tx.Parallel(
+							func(c *pnstm.Tx) error { return audit(c, accounts[:32]) },
+							func(c *pnstm.Tx) error { return audit(c, accounts[32:]) },
+						); err != nil {
+							return err
+						}
+					} else if err := audit(tx, accounts); err != nil {
+						return err
+					}
+					accounts[from].Put(tx, accounts[from].Get(tx)-1)
+					accounts[to].Put(tx, accounts[to].Get(tx)+1)
+					return nil
+				})
+			}
+		}(w * 13)
+	}
+
+	// 4. Tune.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res := tuner.Run(ctx)
+	close(stop)
+
+	fmt.Printf("tuned to %v after exploring %d of %d configurations (%v)\n",
+		res.Best, res.Explorations, tuner.SpaceSize(), res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput at best: %.0f commits/s\n", res.BestThroughput)
+
+	// 5. The invariant held throughout: no money created or destroyed.
+	total, _ := pnstm.AtomicResult(s, func(tx *pnstm.Tx) (int, error) {
+		sum := 0
+		for _, a := range accounts {
+			sum += a.Get(tx)
+		}
+		return sum, nil
+	})
+	fmt.Printf("total balance: %d (expected %d)\n", total, len(accounts)*100)
+}
+
+// audit sums a slice of accounts inside a transaction (a read-heavy task
+// worth parallelizing with nested transactions).
+func audit(tx *pnstm.Tx, accounts []*pnstm.VBox[int]) error {
+	sum := 0
+	for _, a := range accounts {
+		sum += a.Get(tx)
+	}
+	_ = sum
+	return nil
+}

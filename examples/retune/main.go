@@ -1,0 +1,62 @@
+// Retune demonstrates the dynamic-workload extension (§V of the paper):
+// AutoPN converges on a read-only Array workload, a CUSUM change detector
+// then watches throughput, the workload shifts to write-heavy mid-run, and
+// the tuner automatically re-optimizes.
+//
+//	go run ./examples/retune [-cores 4] [-shift 6s] [-duration 20s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"runtime"
+	"time"
+
+	"autopn"
+	"autopn/internal/stm"
+	"autopn/internal/workload"
+	"autopn/internal/workload/array"
+)
+
+func main() {
+	cores := flag.Int("cores", runtime.NumCPU(), "core budget")
+	shift := flag.Duration("shift", 6*time.Second, "when to shift the workload")
+	duration := flag.Duration("duration", 20*time.Second, "total run duration")
+	flag.Parse()
+	if *cores < 2 {
+		*cores = 2
+	}
+
+	s := stm.New(stm.Options{})
+	b := array.New(256, 0) // start read-only
+	tuner := autopn.NewTuner(s, autopn.Options{
+		Cores:     *cores,
+		ReTune:    true,
+		MaxWindow: 200 * time.Millisecond,
+	})
+	d := &workload.Driver{
+		STM:        s,
+		W:          b,
+		Threads:    *cores,
+		NestedHint: func() int { return tuner.Current().C },
+	}
+	d.Start(1)
+	defer d.Stop()
+
+	go func() {
+		time.Sleep(*shift)
+		fmt.Printf("[%v] workload shift: write fraction 0%% -> 95%%\n", shift)
+		b.SetWritePct(0.95)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	fmt.Printf("tuning %s on %d cores with change detection...\n", b.Name(), *cores)
+	res := tuner.Run(ctx)
+
+	fmt.Printf("final configuration: %v\n", res.Best)
+	fmt.Printf("re-tunes triggered by the CUSUM detector: %d\n", res.Retunes)
+	fmt.Printf("total: %d measurement windows, %d explorations, %v\n",
+		res.Windows, res.Explorations, res.Elapsed.Round(time.Millisecond))
+}

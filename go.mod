@@ -1,0 +1,3 @@
+module autopn
+
+go 1.24

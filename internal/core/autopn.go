@@ -1,0 +1,294 @@
+// Package core implements AutoPN's optimizer (§V of the paper): an online
+// self-tuner for the parallelism degree (t, c) of a parallel-nesting TM
+// that chains three phases:
+//
+//  1. a biased initial sampling of boundary configurations around the
+//     pivots (1,1), (n,1), (1,n), which probes the workload's sensitivity
+//     to inter- vs intra-transaction parallelism with few measurements;
+//  2. a Sequential Model-Based Optimization (SMBO) loop over a bagged
+//     ensemble of M5 model trees, picking each next configuration by
+//     Expected Improvement until the EI falls below a threshold;
+//  3. a hill-climbing refinement around the model's winner, which corrects
+//     the model's "long-sightedness" (strong at locating the right region,
+//     weak at resolving fine differences within it).
+//
+// The optimizer speaks the ask/tell protocol of package search, so the same
+// implementation is driven by live systems, the discrete-event simulator,
+// and the offline trace replays of the experiment harness.
+package core
+
+import (
+	"autopn/internal/ensemble"
+	"autopn/internal/m5"
+	"autopn/internal/search"
+	"autopn/internal/smbo"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+)
+
+// Acquisition selects how the SMBO phase scores candidate configurations.
+type Acquisition int
+
+const (
+	// AcqEI is Expected Improvement (the paper's choice).
+	AcqEI Acquisition = iota
+	// AcqMean greedily picks the highest predicted mean (ablation).
+	AcqMean
+)
+
+// Options configure an AutoPN optimizer. The zero value is completed by
+// defaults matching the paper.
+type Options struct {
+	// InitialSamples is the number of initial configurations (3, 5, 7 or
+	// 9; default 9, the full boundary set).
+	InitialSamples int
+	// UniformInitial replaces the biased boundary sampling with uniform
+	// random sampling of the same size (the Fig. 6 baseline).
+	UniformInitial bool
+	// EnsembleSize is the number of bagged M5 learners (default 10).
+	EnsembleSize int
+	// Stop is the SMBO stopping criterion (default NewEIStop(0.10)).
+	Stop StopCondition
+	// Acquisition selects the acquisition function (default AcqEI).
+	Acquisition Acquisition
+	// DisableHillClimb skips the final refinement phase (the
+	// "AutoPN-noHC" variant of Fig. 5).
+	DisableHillClimb bool
+	// MaxExplorations caps the total number of distinct measurements
+	// (0 = no cap beyond the size of the space).
+	MaxExplorations int
+	// Trainer overrides the base learner (default: M5 with default
+	// options). Used by the leaf-model ablation.
+	Trainer ensemble.Trainer
+	// NoiseAware enables the paper's §VIII extension: the measurement
+	// noisiness (coefficient of variation, fed via ObserveMeasured) widens
+	// the surrogate's predictive uncertainty, keeping exploration alive
+	// when measurements cannot yet distinguish candidates.
+	NoiseAware bool
+}
+
+type phase int
+
+const (
+	phaseInitial phase = iota
+	phaseSMBO
+	phaseHillClimb
+	phaseDone
+)
+
+// AutoPN is the paper's optimizer. It implements search.Optimizer.
+type AutoPN struct {
+	sp   *space.Space
+	rng  *stats.RNG
+	opts Options
+
+	phase    phase
+	initial  []space.Config
+	initPos  int
+	history  []smbo.Observation
+	explored map[space.Config]bool
+	bestCfg  space.Config
+	bestKPI  float64
+
+	pending    *space.Config // SMBO suggestion awaiting measurement
+	hc         *search.HillClimb
+	smboCount  int // observations consumed by the SMBO phase
+	everNotify bool
+	pendingCV  float64 // measurement CV for the next Observe (NoiseAware)
+}
+
+var _ search.Optimizer = (*AutoPN)(nil)
+
+// New returns an AutoPN optimizer over sp. rng drives every stochastic
+// choice (bootstrap resampling, uniform initial sampling) so runs are
+// reproducible per seed.
+func New(sp *space.Space, rng *stats.RNG, opts Options) *AutoPN {
+	if opts.InitialSamples <= 0 {
+		opts.InitialSamples = 9
+	}
+	if opts.EnsembleSize <= 0 {
+		opts.EnsembleSize = smbo.DefaultEnsembleSize
+	}
+	if opts.Stop == nil {
+		opts.Stop = NewEIStop(0.10)
+	}
+	if opts.Trainer == nil {
+		opts.Trainer = ensemble.M5Trainer(m5.DefaultOptions())
+	}
+	a := &AutoPN{sp: sp, rng: rng, opts: opts, explored: make(map[space.Config]bool)}
+	a.initial = a.chooseInitial()
+	return a
+}
+
+func (a *AutoPN) chooseInitial() []space.Config {
+	if !a.opts.UniformInitial {
+		return a.sp.BiasedSample(a.opts.InitialSamples)
+	}
+	// Uniform random sampling without replacement.
+	k := a.opts.InitialSamples
+	if k > a.sp.Size() {
+		k = a.sp.Size()
+	}
+	perm := a.rng.Perm(a.sp.Size())
+	out := make([]space.Config, k)
+	for i := 0; i < k; i++ {
+		out[i] = a.sp.At(perm[i])
+	}
+	return out
+}
+
+// Name implements search.Optimizer.
+func (a *AutoPN) Name() string {
+	if a.opts.DisableHillClimb {
+		return "autopn-noHC"
+	}
+	return "autopn"
+}
+
+// Best implements search.Optimizer.
+func (a *AutoPN) Best() (space.Config, float64) { return a.bestCfg, a.bestKPI }
+
+// Explored returns the number of distinct configurations measured so far.
+func (a *AutoPN) Explored() int { return len(a.history) }
+
+// Phase returns a human-readable name of the current phase.
+func (a *AutoPN) Phase() string {
+	switch a.phase {
+	case phaseInitial:
+		return "initial-sampling"
+	case phaseSMBO:
+		return "smbo"
+	case phaseHillClimb:
+		return "hill-climbing"
+	default:
+		return "done"
+	}
+}
+
+// Next implements search.Optimizer.
+func (a *AutoPN) Next() (space.Config, bool) {
+	if a.capped() {
+		a.phase = phaseDone
+	}
+	switch a.phase {
+	case phaseInitial:
+		for a.initPos < len(a.initial) {
+			cfg := a.initial[a.initPos]
+			if !a.explored[cfg] {
+				return cfg, false
+			}
+			a.initPos++
+		}
+		// All initial samples observed: enter SMBO (the suggestion is
+		// prepared by Observe; reaching here without one means Observe has
+		// already transitioned us).
+		a.enterSMBO()
+		return a.Next()
+	case phaseSMBO:
+		if a.pending != nil {
+			return *a.pending, false
+		}
+		// No pending suggestion (e.g. space exhausted): refine.
+		a.enterHillClimb()
+		return a.Next()
+	case phaseHillClimb:
+		cfg, done := a.hc.Next()
+		if done {
+			a.phase = phaseDone
+			return space.Config{}, true
+		}
+		return cfg, false
+	default:
+		return space.Config{}, true
+	}
+}
+
+// ObserveMeasured feeds a measurement together with its coefficient of
+// variation; with Options.NoiseAware the CV informs the surrogate's
+// uncertainty. Drivers that have a CV available should prefer this over
+// Observe.
+func (a *AutoPN) ObserveMeasured(cfg space.Config, kpi, measCV float64) {
+	a.pendingCV = measCV
+	a.Observe(cfg, kpi)
+}
+
+// Observe implements search.Optimizer.
+func (a *AutoPN) Observe(cfg space.Config, kpi float64) {
+	if !a.everNotify || kpi > a.bestKPI {
+		a.bestCfg, a.bestKPI = cfg, kpi
+		a.everNotify = true
+	}
+	if !a.explored[cfg] {
+		a.explored[cfg] = true
+		a.history = append(a.history, smbo.Observation{Cfg: cfg, KPI: kpi, MeasCV: a.pendingCV})
+	}
+	a.pendingCV = 0
+
+	switch a.phase {
+	case phaseInitial:
+		a.initPos++
+		if a.initPos >= len(a.initial) {
+			a.enterSMBO()
+		}
+	case phaseSMBO:
+		a.pending = nil
+		a.suggest()
+	case phaseHillClimb:
+		a.hc.Observe(cfg, kpi)
+	}
+}
+
+func (a *AutoPN) capped() bool {
+	return a.opts.MaxExplorations > 0 && len(a.history) >= a.opts.MaxExplorations
+}
+
+// enterSMBO transitions into the model-driven phase and computes the first
+// suggestion.
+func (a *AutoPN) enterSMBO() {
+	a.phase = phaseSMBO
+	a.suggest()
+}
+
+// suggest fits the surrogate on everything observed so far, asks the
+// acquisition function for the next configuration, and applies the
+// stopping criterion. On stop (or exhaustion) it transitions to the
+// hill-climbing phase.
+func (a *AutoPN) suggest() {
+	if a.capped() {
+		a.enterHillClimb()
+		return
+	}
+	fit := smbo.Fit
+	if a.opts.NoiseAware {
+		fit = smbo.FitNoiseAware
+	}
+	sur := fit(a.history, a.opts.EnsembleSize, a.rng, a.opts.Trainer)
+	var sug smbo.Suggestion
+	var ok bool
+	switch a.opts.Acquisition {
+	case AcqMean:
+		sug, ok = smbo.SuggestMean(a.sp, sur, a.explored, a.bestKPI)
+	default:
+		sug, ok = smbo.SuggestEI(a.sp, sur, a.explored, a.bestKPI)
+	}
+	if !ok || a.opts.Stop.ShouldStop(sug.RelEI, a.history, a.bestKPI) {
+		a.enterHillClimb()
+		return
+	}
+	c := sug.Cfg
+	a.pending = &c
+}
+
+// enterHillClimb transitions into the refinement phase (or finishes, when
+// disabled), seeding the climber with every KPI measured so far.
+func (a *AutoPN) enterHillClimb() {
+	if a.opts.DisableHillClimb || a.capped() {
+		a.phase = phaseDone
+		return
+	}
+	a.phase = phaseHillClimb
+	a.hc = search.NewHillClimbFrom(a.sp, a.bestCfg)
+	for _, o := range a.history {
+		a.hc.Seed(o.Cfg, o.KPI)
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"testing"
+
+	"autopn/internal/smbo"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+// driveNoiseless runs an optimizer against the true surface.
+func driveNoiseless(t *testing.T, a *AutoPN, w *surface.Workload, maxRounds int) space.Config {
+	t.Helper()
+	for round := 0; round < maxRounds; round++ {
+		cfg, done := a.Next()
+		if done {
+			best, _ := a.Best()
+			return best
+		}
+		a.Observe(cfg, w.Throughput(cfg))
+	}
+	t.Fatal("AutoPN did not converge")
+	return space.Config{}
+}
+
+func TestPhasesProgressInOrder(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	a := New(sp, stats.NewRNG(1), Options{})
+	seenPhases := []string{a.Phase()}
+	for i := 0; i < 1000; i++ {
+		cfg, done := a.Next()
+		if p := a.Phase(); p != seenPhases[len(seenPhases)-1] {
+			seenPhases = append(seenPhases, p)
+		}
+		if done {
+			break
+		}
+		a.Observe(cfg, w.Throughput(cfg))
+	}
+	want := map[string]int{"initial-sampling": 0, "smbo": 1, "hill-climbing": 2, "done": 3}
+	last := -1
+	for _, p := range seenPhases {
+		idx, ok := want[p]
+		if !ok {
+			t.Fatalf("unknown phase %q", p)
+		}
+		if idx < last {
+			t.Fatalf("phase regression: %v", seenPhases)
+		}
+		last = idx
+	}
+	if last != 3 {
+		t.Fatalf("never reached done: %v", seenPhases)
+	}
+}
+
+func TestInitialSamplesComeFirst(t *testing.T) {
+	w := surface.Vacation("med")
+	sp := space.New(w.Cores)
+	a := New(sp, stats.NewRNG(2), Options{})
+	want := sp.BiasedSample(9)
+	for i, expect := range want {
+		cfg, done := a.Next()
+		if done {
+			t.Fatalf("done during initial sampling at %d", i)
+		}
+		if cfg != expect {
+			t.Fatalf("initial sample %d = %v, want %v", i, cfg, expect)
+		}
+		a.Observe(cfg, w.Throughput(cfg))
+	}
+}
+
+func TestUniformInitialIsRandomButAdmissible(t *testing.T) {
+	sp := space.New(48)
+	a := New(sp, stats.NewRNG(3), Options{UniformInitial: true})
+	seen := map[space.Config]bool{}
+	for i := 0; i < 9; i++ {
+		cfg, done := a.Next()
+		if done {
+			t.Fatal("done during initial sampling")
+		}
+		if !sp.Contains(cfg) || seen[cfg] {
+			t.Fatalf("bad uniform sample %v", cfg)
+		}
+		seen[cfg] = true
+		a.Observe(cfg, 1)
+	}
+}
+
+func TestConvergesNearOptimumNoiseless(t *testing.T) {
+	for _, w := range []*surface.Workload{
+		surface.TPCC("med"), surface.TPCC("low"), surface.Vacation("med"), surface.Array("90"),
+	} {
+		sp := space.New(w.Cores)
+		_, opt := w.Optimum(sp)
+		a := New(sp, stats.NewRNG(4), Options{})
+		best := driveNoiseless(t, a, w, 2000)
+		if got := w.Throughput(best); got < 0.95*opt {
+			t.Errorf("%s: converged to %v at %.1f, below 95%% of optimum %.1f",
+				w.Name, best, got, opt)
+		}
+	}
+}
+
+func TestMaxExplorationsCap(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	a := New(sp, stats.NewRNG(5), Options{MaxExplorations: 10})
+	for i := 0; i < 100; i++ {
+		cfg, done := a.Next()
+		if done {
+			break
+		}
+		a.Observe(cfg, w.Throughput(cfg))
+	}
+	if a.Explored() > 10 {
+		t.Fatalf("explored %d > cap 10", a.Explored())
+	}
+}
+
+func TestDisableHillClimbSkipsRefinement(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	a := New(sp, stats.NewRNG(6), Options{DisableHillClimb: true})
+	for i := 0; i < 1000; i++ {
+		cfg, done := a.Next()
+		if done {
+			break
+		}
+		a.Observe(cfg, w.Throughput(cfg))
+		if a.Phase() == "hill-climbing" {
+			t.Fatal("entered hill-climbing despite DisableHillClimb")
+		}
+	}
+	if a.Name() != "autopn-noHC" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+}
+
+func TestEIStopConsecutive(t *testing.T) {
+	s := &EIStop{Threshold: 0.10, Consecutive: 3}
+	if s.ShouldStop(0.05, nil, 0) || s.ShouldStop(0.05, nil, 0) {
+		t.Fatal("stopped before 3 consecutive")
+	}
+	if !s.ShouldStop(0.05, nil, 0) {
+		t.Fatal("did not stop at 3rd consecutive")
+	}
+	// A high-EI suggestion resets the streak.
+	s2 := &EIStop{Threshold: 0.10, Consecutive: 2}
+	s2.ShouldStop(0.05, nil, 0)
+	s2.ShouldStop(0.50, nil, 0)
+	if s2.ShouldStop(0.05, nil, 0) {
+		t.Fatal("streak not reset by a high-EI suggestion")
+	}
+}
+
+func TestNoImproveStop(t *testing.T) {
+	s := NoImproveStop{K: 3, RelDelta: 0.10}
+	hist := func(kpis ...float64) []smbo.Observation {
+		out := make([]smbo.Observation, len(kpis))
+		for i, k := range kpis {
+			out[i] = smbo.Observation{KPI: k}
+		}
+		return out
+	}
+	if s.ShouldStop(0, hist(10, 11, 12), 12) {
+		t.Fatal("stopped with history shorter than K+1")
+	}
+	if !s.ShouldStop(0, hist(10, 10.5, 10.2, 10.4, 10.1), 10.5) {
+		t.Fatal("did not stop after K flat observations")
+	}
+	if s.ShouldStop(0, hist(10, 10.1, 10.2, 15, 10.1), 15) {
+		t.Fatal("stopped despite a recent >10% improvement")
+	}
+}
+
+func TestHybridStops(t *testing.T) {
+	always := StubbornStop{IsOptimal: func(space.Config, float64) bool { return true }}
+	never := StubbornStop{IsOptimal: func(space.Config, float64) bool { return false }}
+	hist := []smbo.Observation{{KPI: 1}}
+	if !(AndStop{always, always}).ShouldStop(0, hist, 1) {
+		t.Fatal("AND of trues is false")
+	}
+	if (AndStop{always, never}).ShouldStop(0, hist, 1) {
+		t.Fatal("AND with a false is true")
+	}
+	if !(OrStop{never, always}).ShouldStop(0, hist, 1) {
+		t.Fatal("OR with a true is false")
+	}
+	if (OrStop{never, never}).ShouldStop(0, hist, 1) {
+		t.Fatal("OR of falses is true")
+	}
+}
+
+func TestStubbornStopsOnlyAtOptimum(t *testing.T) {
+	opt := space.Config{T: 20, C: 2}
+	s := StubbornStop{IsOptimal: func(c space.Config, _ float64) bool { return c == opt }}
+	hist := []smbo.Observation{{Cfg: space.Config{T: 1, C: 1}}}
+	if s.ShouldStop(0, hist, 0) {
+		t.Fatal("stopped without the optimum in history")
+	}
+	hist = append(hist, smbo.Observation{Cfg: opt})
+	if !s.ShouldStop(0, hist, 0) {
+		t.Fatal("did not stop with optimum in history")
+	}
+}
+
+func TestMultiTunerOptimizesPerType(t *testing.T) {
+	// Two transaction types with different optima; the global KPI is the
+	// sum of each type's surface at its own configuration. Coordinate
+	// descent must bring both types near their optima.
+	wa := surface.TPCC("med")
+	wb := surface.Array("90")
+	n := wa.Cores
+	m := NewMultiTuner(n, 2, stats.NewRNG(7), Options{})
+	kpi := func(vec []space.Config) float64 {
+		return wa.Throughput(vec[0])/10 + wb.Throughput(vec[1])
+	}
+	for i := 0; i < 5000; i++ {
+		vec, done := m.Next()
+		if done {
+			break
+		}
+		m.Observe(vec, kpi(vec))
+	}
+	best, _ := m.Best()
+	if len(best) != 2 {
+		t.Fatalf("vector length %d", len(best))
+	}
+	spA := space.New(n)
+	_, optA := wa.Optimum(spA)
+	_, optB := wb.Optimum(spA)
+	if got := wa.Throughput(best[0]); got < 0.7*optA {
+		t.Errorf("type A tuned to %v (%.1f, optimum %.1f)", best[0], got, optA)
+	}
+	if got := wb.Throughput(best[1]); got < 0.7*optB {
+		t.Errorf("type B tuned to %v (%.1f, optimum %.1f)", best[1], got, optB)
+	}
+}

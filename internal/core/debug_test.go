@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+// TestDebugPerWorkloadRun traces AutoPN on every workload across several
+// seeds; run with -v.
+func TestDebugPerWorkloadRun(t *testing.T) {
+	for _, w := range surface.AllWorkloads() {
+		sp := space.New(w.Cores)
+		opt, _ := w.Optimum(sp)
+		var dfoSum, explSum float64
+		worst := 0.0
+		var worstCfg space.Config
+		const seeds = 8
+		for seed := uint64(1); seed <= seeds; seed++ {
+			rng := stats.NewRNG(seed * 977)
+			a := New(sp, rng, Options{})
+			steps := 0
+			for steps < 400 {
+				cfg, done := a.Next()
+				if done {
+					break
+				}
+				kpi := w.Measure(cfg, rng)
+				a.Observe(cfg, kpi)
+				steps++
+			}
+			best, _ := a.Best()
+			dfo := 1 - w.Throughput(best)/w.Throughput(opt)
+			dfoSum += dfo
+			explSum += float64(a.Explored())
+			if dfo > worst {
+				worst, worstCfg = dfo, best
+			}
+		}
+		t.Logf("%-14s opt=%-8v meanDFO=%6.2f%% worstDFO=%6.2f%% (at %v) meanExpl=%.1f",
+			w.Name, opt, dfoSum/seeds*100, worst*100, worstCfg, explSum/seeds)
+	}
+}

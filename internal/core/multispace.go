@@ -1,0 +1,137 @@
+package core
+
+import (
+	"autopn/internal/search"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+)
+
+// MultiTuner implements the paper's §VIII extension to workloads with
+// heterogeneous transaction types: each of K top-level transaction types k
+// gets its own (t_k, c_k) pair. Exploring the product space directly is
+// exponential in K, so — following the paper's suggestion that AutoPN's
+// black-box nature makes the extension straightforward — the MultiTuner
+// runs coordinate descent over per-type AutoPN instances: it optimizes one
+// type's pair at a time (holding the others fixed at their incumbents),
+// sweeps the types round-robin, and stops when a full sweep improves the
+// global KPI by less than RelDelta.
+//
+// The driver protocol mirrors search.Optimizer, generalized to vectors:
+// Next returns the full configuration vector to apply (only one component
+// differs between consecutive calls within a sweep); Observe feeds the
+// measured global KPI.
+type MultiTuner struct {
+	spaces []*space.Space
+	rng    *stats.RNG
+	opts   Options
+
+	// RelDelta is the sweep-improvement stopping threshold (default 0.02).
+	RelDelta float64
+	// MaxSweeps caps the number of coordinate sweeps (default 5).
+	MaxSweeps int
+
+	current []space.Config // incumbent vector
+	active  int            // type currently being optimized
+	inner   search.Optimizer
+	sweep   int
+	done    bool
+
+	bestKPI     float64
+	sweepStart  float64
+	everObs     bool
+	sweepMoved  bool
+	innerDone   bool
+	pendingNext *[]space.Config
+}
+
+// NewMultiTuner creates a tuner for k transaction types over an n-core
+// machine. Each type's pair is constrained to its own space; the caller's
+// actuator is responsible for mapping the vector onto thread pools (e.g.
+// proportionally sharing cores).
+func NewMultiTuner(n, k int, rng *stats.RNG, opts Options) *MultiTuner {
+	if k < 1 {
+		k = 1
+	}
+	m := &MultiTuner{
+		rng:       rng,
+		opts:      opts,
+		RelDelta:  0.02,
+		MaxSweeps: 5,
+	}
+	m.spaces = make([]*space.Space, k)
+	m.current = make([]space.Config, k)
+	for i := 0; i < k; i++ {
+		m.spaces[i] = space.New(n)
+		m.current[i] = space.Config{T: 1, C: 1}
+	}
+	m.startInner()
+	return m
+}
+
+// Types returns the number of transaction types.
+func (m *MultiTuner) Types() int { return len(m.spaces) }
+
+// Best returns the incumbent configuration vector and its KPI.
+func (m *MultiTuner) Best() ([]space.Config, float64) {
+	out := make([]space.Config, len(m.current))
+	copy(out, m.current)
+	return out, m.bestKPI
+}
+
+func (m *MultiTuner) startInner() {
+	o := m.opts
+	o.Stop = nil // fresh stop condition state per inner run
+	m.inner = New(m.spaces[m.active], m.rng.Split(), o)
+	m.innerDone = false
+}
+
+// Next returns the next full configuration vector to measure, or done.
+func (m *MultiTuner) Next() ([]space.Config, bool) {
+	for {
+		if m.done {
+			return nil, true
+		}
+		cfg, innerDone := m.inner.Next()
+		if !innerDone {
+			vec := make([]space.Config, len(m.current))
+			copy(vec, m.current)
+			vec[m.active] = cfg
+			return vec, false
+		}
+		// Inner optimizer converged: adopt its best for this type.
+		best, kpi := m.inner.Best()
+		if kpi > m.bestKPI || !m.everObs {
+			m.bestKPI = kpi
+			m.everObs = true
+		}
+		if best != m.current[m.active] {
+			m.sweepMoved = true
+		}
+		m.current[m.active] = best
+		m.active++
+		if m.active >= len(m.spaces) {
+			// Sweep complete: stop if it brought too little.
+			m.sweep++
+			improved := m.sweepStart <= 0 ||
+				m.bestKPI > m.sweepStart*(1+m.RelDelta)
+			if m.sweep >= m.MaxSweeps || (!improved && !m.sweepMoved) || (!improved && m.sweep > 1) {
+				m.done = true
+				return nil, true
+			}
+			m.active = 0
+			m.sweepStart = m.bestKPI
+			m.sweepMoved = false
+		}
+		m.startInner()
+	}
+}
+
+// Observe feeds the measured global KPI for the vector last returned by
+// Next.
+func (m *MultiTuner) Observe(vec []space.Config, kpi float64) {
+	if kpi > m.bestKPI || !m.everObs {
+		m.bestKPI = kpi
+		m.everObs = true
+	}
+	m.inner.Observe(vec[m.active], kpi)
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+// noisyDrive runs AutoPN against a workload with strong multiplicative
+// measurement noise, feeding the known noise CV through ObserveMeasured.
+func noisyDrive(t *testing.T, noiseAware bool, seed uint64, noise float64) (dfo float64, expl int) {
+	t.Helper()
+	w := surface.TPCC("med")
+	w.NoiseSigma = noise
+	sp := space.New(w.Cores)
+	_, opt := w.Optimum(sp)
+	rng := stats.NewRNG(seed)
+	a := New(sp, rng, Options{NoiseAware: noiseAware})
+	for steps := 0; steps < 400; steps++ {
+		cfg, done := a.Next()
+		if done {
+			break
+		}
+		a.ObserveMeasured(cfg, w.Measure(cfg, rng), noise)
+	}
+	best, _ := a.Best()
+	return 1 - w.Throughput(best)/opt, a.Explored()
+}
+
+func TestNoiseAwareImprovesUnderHeavyNoise(t *testing.T) {
+	const noise = 0.15 // 15% measurement noise: individual samples mislead
+	var base, aware float64
+	var baseExpl, awareExpl float64
+	const seeds = 12
+	for seed := uint64(1); seed <= seeds; seed++ {
+		d0, e0 := noisyDrive(t, false, seed*101, noise)
+		d1, e1 := noisyDrive(t, true, seed*101, noise)
+		base += d0
+		aware += d1
+		baseExpl += float64(e0)
+		awareExpl += float64(e1)
+	}
+	base /= seeds
+	aware /= seeds
+	t.Logf("mean DFO under 15%% noise: baseline %.1f%% (expl %.1f), noise-aware %.1f%% (expl %.1f)",
+		base*100, baseExpl/seeds, aware*100, awareExpl/seeds)
+	// The noise floor keeps EI alive, so the noise-aware variant must
+	// explore at least as much and must not be worse than the baseline by
+	// more than noise jitter.
+	if awareExpl < baseExpl {
+		t.Errorf("noise-aware explored less (%.1f) than baseline (%.1f)", awareExpl/seeds, baseExpl/seeds)
+	}
+	if aware > base+0.02 {
+		t.Errorf("noise-aware DFO %.1f%% worse than baseline %.1f%%", aware*100, base*100)
+	}
+}
+
+func TestNoiseAwareHarmlessWithoutNoiseInfo(t *testing.T) {
+	// Without CVs (plain Observe), the noise-aware option degenerates to
+	// the baseline.
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	_, opt := w.Optimum(sp)
+	rng := stats.NewRNG(5)
+	a := New(sp, rng, Options{NoiseAware: true})
+	for steps := 0; steps < 400; steps++ {
+		cfg, done := a.Next()
+		if done {
+			break
+		}
+		a.Observe(cfg, w.Throughput(cfg))
+	}
+	best, _ := a.Best()
+	if dfo := 1 - w.Throughput(best)/opt; dfo > 0.05 {
+		t.Fatalf("noise-aware without CVs converged %.1f%% from optimum", dfo*100)
+	}
+}

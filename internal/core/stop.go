@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"autopn/internal/smbo"
+	"autopn/internal/space"
+)
+
+// StopCondition decides when AutoPN's SMBO phase should end. It is
+// consulted after every observation, with the acquisition function's next
+// suggestion already computed: relEI is the suggestion's Expected
+// Improvement relative to the incumbent best KPI.
+type StopCondition interface {
+	Name() string
+	// ShouldStop reports whether the SMBO phase is complete. history holds
+	// every observation so far in exploration order; best is the incumbent
+	// best KPI.
+	ShouldStop(relEI float64, history []smbo.Observation, best float64) bool
+}
+
+// EIStop is the paper's default stopping criterion: stop when the best
+// achievable Expected Improvement falls below Threshold (relative to the
+// incumbent; typical values 1%-10%). Consecutive (default 1) requires the
+// EI to stay below the threshold for that many successive suggestions
+// before stopping — a robustification against the transient EI dip that a
+// surrogate trained on only the boundary samples exhibits before its first
+// interior observations arrive. AutoPN's default uses Consecutive = 3.
+//
+// EIStop is stateful (it counts consecutive sub-threshold suggestions);
+// create a fresh value per optimization run.
+type EIStop struct {
+	Threshold   float64
+	Consecutive int
+
+	below int
+}
+
+// NewEIStop returns AutoPN's default stopping criterion: EI < threshold on
+// 3 consecutive suggestions.
+func NewEIStop(threshold float64) *EIStop {
+	return &EIStop{Threshold: threshold, Consecutive: 3}
+}
+
+// Name implements StopCondition.
+func (s *EIStop) Name() string { return fmt.Sprintf("EI<%g%%", s.Threshold*100) }
+
+// ShouldStop implements StopCondition.
+func (s *EIStop) ShouldStop(relEI float64, _ []smbo.Observation, _ float64) bool {
+	need := s.Consecutive
+	if need < 1 {
+		need = 1
+	}
+	if relEI < s.Threshold {
+		s.below++
+	} else {
+		s.below = 0
+	}
+	return s.below >= need
+}
+
+// NoImproveStop is the heuristic baseline of Fig. 6 (right): stop when the
+// last K observations have not improved the incumbent by more than
+// RelDelta.
+type NoImproveStop struct {
+	K        int
+	RelDelta float64
+}
+
+// Name implements StopCondition.
+func (s NoImproveStop) Name() string { return fmt.Sprintf("no-improvement(K=%d)", s.K) }
+
+// ShouldStop implements StopCondition.
+func (s NoImproveStop) ShouldStop(_ float64, history []smbo.Observation, _ float64) bool {
+	if len(history) <= s.K {
+		return false
+	}
+	// Best before the last K observations.
+	cut := len(history) - s.K
+	best := history[0].KPI
+	for _, o := range history[1:cut] {
+		if o.KPI > best {
+			best = o.KPI
+		}
+	}
+	threshold := best * (1 + s.RelDelta)
+	if best <= 0 {
+		threshold = best + s.RelDelta
+	}
+	for _, o := range history[cut:] {
+		if o.KPI > threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// AndStop stops only when every component stops (the paper's "hybrid"
+// EI ∧ no-improvement variant).
+type AndStop []StopCondition
+
+// Name implements StopCondition.
+func (s AndStop) Name() string {
+	out := "and("
+	for i, c := range s {
+		if i > 0 {
+			out += ","
+		}
+		out += c.Name()
+	}
+	return out + ")"
+}
+
+// ShouldStop implements StopCondition.
+func (s AndStop) ShouldStop(relEI float64, history []smbo.Observation, best float64) bool {
+	for _, c := range s {
+		if !c.ShouldStop(relEI, history, best) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// OrStop stops when any component stops.
+type OrStop []StopCondition
+
+// Name implements StopCondition.
+func (s OrStop) Name() string {
+	out := "or("
+	for i, c := range s {
+		if i > 0 {
+			out += ","
+		}
+		out += c.Name()
+	}
+	return out + ")"
+}
+
+// ShouldStop implements StopCondition.
+func (s OrStop) ShouldStop(relEI float64, history []smbo.Observation, best float64) bool {
+	for _, c := range s {
+		if c.ShouldStop(relEI, history, best) {
+			return true
+		}
+	}
+	return false
+}
+
+// StubbornStop is the idealized stopping condition of Fig. 6 (right): it
+// stops only when the true optimum has been explored. It cannot be
+// implemented in a real deployment (the optimum is unknown a priori); the
+// trace-driven experiment harness supplies the oracle.
+type StubbornStop struct {
+	IsOptimal func(cfg space.Config, kpi float64) bool
+}
+
+// Name implements StopCondition.
+func (s StubbornStop) Name() string { return "stubborn" }
+
+// ShouldStop implements StopCondition.
+func (s StubbornStop) ShouldStop(_ float64, history []smbo.Observation, _ float64) bool {
+	for _, o := range history {
+		if s.IsOptimal(o.Cfg, o.KPI) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+// Package ensemble implements bootstrap aggregation (bagging) of
+// regressors. AutoPN trains a bag of 10 M5 model trees, each on a uniform
+// random sample (with replacement) of the observations collected so far;
+// the mean and variance of the members' predictions provide the Gaussian
+// (mu, sigma) that the Expected Improvement acquisition function needs
+// (§V-B of the paper).
+package ensemble
+
+import (
+	"math"
+
+	"autopn/internal/m5"
+	"autopn/internal/stats"
+)
+
+// Regressor predicts a scalar from a feature vector.
+type Regressor interface {
+	Predict(x []float64) float64
+}
+
+// Trainer builds a Regressor from a training set.
+type Trainer func(data []m5.Instance) Regressor
+
+// M5Trainer returns a Trainer producing M5 model trees with the given
+// options.
+func M5Trainer(opts m5.Options) Trainer {
+	return func(data []m5.Instance) Regressor { return m5.Train(data, opts) }
+}
+
+// Bag is a trained bagging ensemble.
+type Bag struct {
+	members []Regressor
+}
+
+// Train builds a bag of k members, each trained on a bootstrap resample of
+// data (uniform with replacement, same size as data). The first member is
+// trained on the full data set so that a k=1 "ensemble" degenerates to the
+// plain base learner.
+func Train(data []m5.Instance, k int, rng *stats.RNG, trainer Trainer) *Bag {
+	if len(data) == 0 {
+		panic("ensemble: empty training set")
+	}
+	if k < 1 {
+		k = 1
+	}
+	b := &Bag{members: make([]Regressor, 0, k)}
+	b.members = append(b.members, trainer(data))
+	sample := make([]m5.Instance, len(data))
+	for m := 1; m < k; m++ {
+		for i := range sample {
+			sample[i] = data[rng.Intn(len(data))]
+		}
+		b.members = append(b.members, trainer(sample))
+	}
+	return b
+}
+
+// Size returns the number of members.
+func (b *Bag) Size() int { return len(b.members) }
+
+// Predict returns the ensemble mean at x.
+func (b *Bag) Predict(x []float64) float64 {
+	mean, _ := b.PredictDist(x)
+	return mean
+}
+
+// PredictDist returns the mean and standard deviation of the members'
+// predictions at x — the (mu_x, sigma_x) of the paper's Eq. 1. A
+// single-member bag reports zero deviation (a certain prediction).
+func (b *Bag) PredictDist(x []float64) (mean, std float64) {
+	n := len(b.members)
+	sum, sq := 0.0, 0.0
+	for _, m := range b.members {
+		p := m.Predict(x)
+		sum += p
+		sq += p * p
+	}
+	mean = sum / float64(n)
+	if n > 1 {
+		v := sq/float64(n) - mean*mean
+		if v > 0 {
+			std = math.Sqrt(v)
+		}
+	}
+	return mean, std
+}

@@ -1,0 +1,95 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"autopn/internal/m5"
+	"autopn/internal/stats"
+)
+
+func trainingData(rng *stats.RNG, n int) []m5.Instance {
+	data := make([]m5.Instance, n)
+	for i := range data {
+		x := []float64{rng.Float64() * 48, rng.Float64() * 48}
+		data[i] = m5.Instance{X: x, Y: 10*x[0] - 3*x[1] + rng.NormFloat64()*5}
+	}
+	return data
+}
+
+func TestBagSizeAndDegenerateK(t *testing.T) {
+	rng := stats.NewRNG(1)
+	data := trainingData(rng, 30)
+	tr := M5Trainer(m5.DefaultOptions())
+	if got := Train(data, 10, rng, tr).Size(); got != 10 {
+		t.Fatalf("Size = %d", got)
+	}
+	if got := Train(data, 0, rng, tr).Size(); got != 1 {
+		t.Fatalf("k=0 Size = %d, want 1", got)
+	}
+}
+
+func TestSingleMemberHasZeroVariance(t *testing.T) {
+	rng := stats.NewRNG(2)
+	bag := Train(trainingData(rng, 30), 1, rng, M5Trainer(m5.DefaultOptions()))
+	_, sd := bag.PredictDist([]float64{10, 10})
+	if sd != 0 {
+		t.Fatalf("k=1 sd = %v, want 0", sd)
+	}
+}
+
+func TestEnsembleMeanTracksTarget(t *testing.T) {
+	rng := stats.NewRNG(3)
+	data := trainingData(rng, 60)
+	bag := Train(data, 10, rng, M5Trainer(m5.DefaultOptions()))
+	x := []float64{20, 5}
+	want := 10*x[0] - 3*x[1]
+	mean, sd := bag.PredictDist(x)
+	if math.Abs(mean-want) > 0.15*math.Abs(want) {
+		t.Fatalf("mean %v far from %v", mean, want)
+	}
+	if sd < 0 {
+		t.Fatalf("negative sd %v", sd)
+	}
+	if p := bag.Predict(x); p != mean {
+		t.Fatalf("Predict %v != mean %v", p, mean)
+	}
+}
+
+func TestVarianceGrowsAwayFromData(t *testing.T) {
+	rng := stats.NewRNG(4)
+	// Cluster the training data in a corner; extrapolation variance at the
+	// far corner should exceed interpolation variance inside the cluster.
+	data := make([]m5.Instance, 40)
+	for i := range data {
+		x := []float64{rng.Float64() * 5, rng.Float64() * 5}
+		data[i] = m5.Instance{X: x, Y: x[0] + x[1] + rng.NormFloat64()}
+	}
+	bag := Train(data, 20, rng, M5Trainer(m5.DefaultOptions()))
+	_, sdNear := bag.PredictDist([]float64{2, 2})
+	_, sdFar := bag.PredictDist([]float64{48, 48})
+	if sdFar <= sdNear {
+		t.Fatalf("extrapolation sd %v not above interpolation sd %v", sdFar, sdNear)
+	}
+}
+
+func TestEmptyTrainingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Train(nil, 5, stats.NewRNG(1), M5Trainer(m5.DefaultOptions()))
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	data := trainingData(stats.NewRNG(9), 25)
+	a := Train(data, 10, stats.NewRNG(5), M5Trainer(m5.DefaultOptions()))
+	b := Train(data, 10, stats.NewRNG(5), M5Trainer(m5.DefaultOptions()))
+	x := []float64{13, 3}
+	ma, sa := a.PredictDist(x)
+	mb, sb := b.PredictDist(x)
+	if ma != mb || sa != sb {
+		t.Fatalf("same seed gave different ensembles: (%v,%v) vs (%v,%v)", ma, sa, mb, sb)
+	}
+}

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"autopn/internal/core"
+	"autopn/internal/simcore"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+// EngineResult is the outcome of the cross-engine robustness check: the
+// same live tuning sessions executed on the aggregate renewal engine (Sim,
+// used by the figure experiments) and on the per-thread discrete-event
+// engine (ThreadSim, which additionally models abort dynamics and
+// reconfiguration drain). If AutoPN's accuracy depended on artifacts of
+// one simulation style, the two columns would diverge.
+type EngineResult struct {
+	Workload     string
+	RenewalDFO   float64 // mean final DFO on the renewal engine
+	ThreadDFO    float64 // mean final DFO on the per-thread DES engine
+	ThreadAborts float64 // mean abort rate observed during DES sessions
+	RenewalExpl  float64
+	ThreadExpl   float64
+}
+
+// Engines runs AutoPN live tuning sessions on both simulator engines.
+func Engines(reps int, seed uint64) []EngineResult {
+	workloads := []*surface.Workload{
+		surface.TPCC("med"), surface.TPCC("high"),
+		surface.Vacation("med"), surface.Array("50"), surface.Array("90"),
+	}
+	master := stats.NewRNG(seed)
+	var out []EngineResult
+	for _, w := range workloads {
+		sp := space.New(w.Cores)
+		_, optTput := w.Optimum(sp)
+		res := EngineResult{Workload: w.Name}
+		var rDFO, tDFO, rExpl, tExpl, aborts []float64
+		for rep := 0; rep < reps; rep++ {
+			rng := master.Split()
+
+			sim := simcore.New(w, rng.Uint64(), simcore.Options{})
+			opt := core.New(sp, rng.Split(), core.Options{})
+			o := simcore.Tune(sim, opt, simcore.AdaptiveCV{}, 0)
+			best, _ := opt.Best()
+			rDFO = append(rDFO, 1-w.Throughput(best)/optTput)
+			rExpl = append(rExpl, float64(o.Explorations))
+
+			ts := simcore.NewThreadSim(w, rng.Uint64(), space.Config{T: 1, C: 1})
+			opt2 := core.New(sp, rng.Split(), core.Options{})
+			o2 := simcore.Tune(ts, opt2, simcore.AdaptiveCV{}, 0)
+			best2, _ := opt2.Best()
+			tDFO = append(tDFO, 1-w.Throughput(best2)/optTput)
+			tExpl = append(tExpl, float64(o2.Explorations))
+			aborts = append(aborts, ts.AbortRate())
+		}
+		res.RenewalDFO = stats.Mean(rDFO)
+		res.ThreadDFO = stats.Mean(tDFO)
+		res.RenewalExpl = stats.Mean(rExpl)
+		res.ThreadExpl = stats.Mean(tExpl)
+		res.ThreadAborts = stats.Mean(aborts)
+		out = append(out, res)
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"testing"
+
+	"autopn/internal/stats"
+)
+
+func TestEnginesAgreeOnTuningQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	results := Engines(4, 0xE461)
+	var rAll, tAll []float64
+	for _, r := range results {
+		t.Logf("%-14s renewal DFO=%6.2f%% (expl %.0f)  thread DFO=%6.2f%% (expl %.0f, abort rate %.0f%%)",
+			r.Workload, r.RenewalDFO*100, r.RenewalExpl, r.ThreadDFO*100, r.ThreadExpl, r.ThreadAborts*100)
+		rAll = append(rAll, r.RenewalDFO)
+		tAll = append(tAll, r.ThreadDFO)
+	}
+	rMean, tMean := stats.Mean(rAll), stats.Mean(tAll)
+	// Both engines must let AutoPN reach good configurations. The DES
+	// engine is allowed to be somewhat worse: its bursty high-abort commit
+	// streams expose a real fragility of the paper's 1/T(1,1) gap timeout
+	// (quiet retry periods at heavily contended configurations trigger
+	// spurious window timeouts), documented in EXPERIMENTS.md.
+	if rMean > 0.12 || tMean > 0.18 {
+		t.Errorf("mean DFO: renewal %.1f%%, thread %.1f%%; tuning failed on an engine", rMean*100, tMean*100)
+	}
+	// ...and must not disagree wildly (simulation-artifact check).
+	if diff := tMean - rMean; diff > 0.12 || diff < -0.12 {
+		t.Errorf("engines disagree by %.1f%% mean DFO", diff*100)
+	}
+}

@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"autopn/internal/space"
+	"autopn/internal/surface"
+)
+
+// SurfaceCell is one point of a throughput surface sweep.
+type SurfaceCell struct {
+	Cfg        space.Config
+	Throughput float64
+}
+
+// SurfaceResult is the full sweep of a workload over its configuration
+// space (Fig. 1a/1b).
+type SurfaceResult struct {
+	Workload string
+	Cells    []SurfaceCell
+	Best     SurfaceCell
+	Worst    SurfaceCell
+	// Seq is the throughput of the sequential configuration (1,1), the
+	// reference the paper's "9x higher than (1,1)" claim uses.
+	Seq float64
+}
+
+// Fig1 sweeps the workload's entire configuration space and reports the
+// throughput landscape, the best and worst configurations, and the spread
+// relative to the sequential configuration. Fig1a uses TPC-C medium
+// contention (the paper's headline surface, optimum (20,2), ~9x over
+// (1,1)); Fig1b uses a workload whose optimum is radically different
+// (Array at 90% writes).
+func Fig1(w *surface.Workload) SurfaceResult {
+	sp := space.New(w.Cores)
+	res := SurfaceResult{Workload: w.Name}
+	first := true
+	for _, cfg := range sp.Configs() {
+		cell := SurfaceCell{Cfg: cfg, Throughput: w.Throughput(cfg)}
+		res.Cells = append(res.Cells, cell)
+		if first {
+			res.Best, res.Worst = cell, cell
+			first = false
+		} else {
+			if cell.Throughput > res.Best.Throughput {
+				res.Best = cell
+			}
+			if cell.Throughput < res.Worst.Throughput {
+				res.Worst = cell
+			}
+		}
+	}
+	res.Seq = w.Throughput(space.Config{T: 1, C: 1})
+	return res
+}

@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"autopn/internal/core"
+	"autopn/internal/search"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+	"autopn/internal/trace"
+)
+
+// FactoryContext is what an optimizer factory may consult when
+// instantiating a strategy for one run.
+type FactoryContext struct {
+	Space *space.Space
+	RNG   *stats.RNG
+	// Trace is the trace being replayed (nil in live settings); the
+	// idealized "stubborn" stop condition uses it as its oracle.
+	Trace *trace.Trace
+}
+
+// Factory creates one optimizer instance per run.
+type Factory struct {
+	Name string
+	New  func(ctx FactoryContext) search.Optimizer
+}
+
+// BaselineFactories returns the paper's five baselines (§VII-A) with the
+// stopping rules used for the Fig. 5 comparison.
+func BaselineFactories() []Factory {
+	return []Factory{
+		{Name: "random", New: func(ctx FactoryContext) search.Optimizer {
+			return search.NewRandom(ctx.Space, ctx.RNG, 5, 0.10)
+		}},
+		{Name: "grid", New: func(ctx FactoryContext) search.Optimizer {
+			return search.NewGrid(ctx.Space, 5, 0.10)
+		}},
+		{Name: "hill-climbing", New: func(ctx FactoryContext) search.Optimizer {
+			return search.NewHillClimb(ctx.Space, ctx.RNG)
+		}},
+		{Name: "simulated-annealing", New: func(ctx FactoryContext) search.Optimizer {
+			return search.NewAnnealing(ctx.Space, ctx.RNG)
+		}},
+		{Name: "genetic", New: func(ctx FactoryContext) search.Optimizer {
+			return search.NewGenetic(ctx.Space, ctx.RNG)
+		}},
+	}
+}
+
+// AutoPNFactory returns a factory for AutoPN with the given options.
+func AutoPNFactory(name string, opts core.Options) Factory {
+	return Factory{Name: name, New: func(ctx FactoryContext) search.Optimizer {
+		return core.New(ctx.Space, ctx.RNG, opts)
+	}}
+}
+
+// Fig5Config parameterizes the optimizer comparison.
+type Fig5Config struct {
+	Workloads       []*surface.Workload
+	Factories       []Factory
+	Reps            int    // repetitions per workload (paper: 10)
+	TraceRuns       int    // samples per configuration in the traces (paper: 10)
+	Seed            uint64 // master seed
+	MaxExplorations int    // cap per run (paper's x-axis extent)
+}
+
+// DefaultFig5Config mirrors the paper: all 10 workloads, 10 repetitions,
+// traces with 10 runs per configuration, and the five baselines plus
+// AutoPN and AutoPN-without-hill-climbing.
+func DefaultFig5Config() Fig5Config {
+	factories := BaselineFactories()
+	factories = append(factories,
+		AutoPNFactory("autopn-noHC", core.Options{DisableHillClimb: true}),
+		AutoPNFactory("autopn", core.Options{}),
+	)
+	return Fig5Config{
+		Workloads:       surface.AllWorkloads(),
+		Factories:       factories,
+		Reps:            10,
+		TraceRuns:       10,
+		Seed:            0xF16_5,
+		MaxExplorations: 120,
+	}
+}
+
+// StrategyResult aggregates one strategy's runs across all workloads and
+// repetitions.
+type StrategyResult struct {
+	Name string
+	// MeanDFO[k] and P90DFO[k] are the mean and 90th-percentile distance
+	// from optimum after k+1 explorations (Fig. 5 left/right).
+	MeanDFO []float64
+	P90DFO  []float64
+	// MeanExplorations is the average number of explorations at which the
+	// strategy stopped (its convergence speed).
+	MeanExplorations float64
+	// MeanFinalDFO and P90FinalDFO summarize final accuracy.
+	MeanFinalDFO float64
+	P90FinalDFO  float64
+	// ConvergedFrac is the fraction of runs that stopped on their own
+	// within the exploration cap.
+	ConvergedFrac float64
+}
+
+// WorkloadBreakdown is one strategy's per-workload mean final DFO — the
+// diagnostic view behind Fig. 5's aggregate curves.
+type WorkloadBreakdown struct {
+	Strategy string
+	// PerWorkload maps workload name to mean final DFO across repetitions.
+	PerWorkload map[string]float64
+}
+
+// Fig5Breakdown runs the same protocol as Fig5 but reports per-workload
+// accuracy, which is how regressions localized to one surface family are
+// diagnosed.
+func Fig5Breakdown(cfg Fig5Config) []WorkloadBreakdown {
+	master := stats.NewRNG(cfg.Seed)
+	traces := make([]*trace.Trace, len(cfg.Workloads))
+	sp := space.New(cfg.Workloads[0].Cores)
+	for i, w := range cfg.Workloads {
+		traces[i] = trace.Collect(w, sp, cfg.TraceRuns, master.Split())
+	}
+	out := make([]WorkloadBreakdown, 0, len(cfg.Factories))
+	for _, f := range cfg.Factories {
+		frng := master.Split()
+		wb := WorkloadBreakdown{Strategy: f.Name, PerWorkload: map[string]float64{}}
+		for ti, tr := range traces {
+			sum := 0.0
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := frng.Split()
+				opt := f.New(FactoryContext{Space: sp, RNG: rng, Trace: tr})
+				rec := RunOnTrace(opt, tr, trace.NewEvaluator(tr, rng.Split()), cfg.MaxExplorations)
+				sum += rec.FinalDFO
+			}
+			wb.PerWorkload[cfg.Workloads[ti].Name] = sum / float64(cfg.Reps)
+		}
+		out = append(out, wb)
+	}
+	return out
+}
+
+// Fig5 runs the optimizer comparison of §VII-B: every strategy explores
+// every workload's trace Reps times, and accuracy (distance from optimum)
+// is aggregated per exploration count.
+func Fig5(cfg Fig5Config) []StrategyResult {
+	master := stats.NewRNG(cfg.Seed)
+	// Traces are shared by all strategies (same inputs for everyone).
+	traces := make([]*trace.Trace, len(cfg.Workloads))
+	sp := space.New(cfg.Workloads[0].Cores)
+	for i, w := range cfg.Workloads {
+		traces[i] = trace.Collect(w, sp, cfg.TraceRuns, master.Split())
+	}
+
+	results := make([]StrategyResult, 0, len(cfg.Factories))
+	for _, f := range cfg.Factories {
+		frng := master.Split()
+		var curves [][]float64
+		var finals, expls []float64
+		converged := 0
+		for ti, tr := range traces {
+			_ = ti
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := frng.Split()
+				opt := f.New(FactoryContext{Space: sp, RNG: rng, Trace: tr})
+				ev := trace.NewEvaluator(tr, rng.Split())
+				rec := RunOnTrace(opt, tr, ev, cfg.MaxExplorations)
+				curves = append(curves, rec.DFOByExploration)
+				finals = append(finals, rec.FinalDFO)
+				expls = append(expls, float64(rec.Explorations))
+				if rec.Converged {
+					converged++
+				}
+			}
+		}
+		padded := PadCurves(curves, cfg.MaxExplorations)
+		results = append(results, StrategyResult{
+			Name:             f.Name,
+			MeanDFO:          MeanCurve(padded),
+			P90DFO:           PercentileCurve(padded, 90),
+			MeanExplorations: stats.Mean(expls),
+			MeanFinalDFO:     stats.Mean(finals),
+			P90FinalDFO:      stats.Percentile(finals, 90),
+			ConvergedFrac:    float64(converged) / float64(len(curves)),
+		})
+	}
+	return results
+}

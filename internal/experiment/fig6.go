@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"fmt"
+
+	"autopn/internal/core"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+	"autopn/internal/trace"
+)
+
+// Fig6Config parameterizes the initial-sampling and stop-condition studies
+// of §VII-C.
+type Fig6Config struct {
+	Workloads []*surface.Workload
+	Reps      int
+	TraceRuns int
+	Seed      uint64
+	// MaxExplorations caps each run (the stubborn condition in particular
+	// may otherwise wander long).
+	MaxExplorations int
+}
+
+// DefaultFig6Config mirrors the paper's setup.
+func DefaultFig6Config() Fig6Config {
+	return Fig6Config{
+		Workloads:       surface.AllWorkloads(),
+		Reps:            10,
+		TraceRuns:       10,
+		Seed:            0xF16_6,
+		MaxExplorations: 120,
+	}
+}
+
+// VariantResult is the aggregate outcome of one AutoPN variant.
+type VariantResult struct {
+	Name             string
+	MeanFinalDFO     float64
+	P90FinalDFO      float64
+	MeanExplorations float64
+}
+
+// Fig6Sampling compares the biased initial sampling policy against uniform
+// random sampling at 3, 5, 7 and 9 initial configurations (Fig. 6 left).
+// The hill-climbing phase is disabled to isolate the SMBO phase, exactly as
+// in the paper.
+func Fig6Sampling(cfg Fig6Config) []VariantResult {
+	var variants []struct {
+		name string
+		opts core.Options
+	}
+	for _, k := range []int{3, 5, 7, 9} {
+		variants = append(variants,
+			struct {
+				name string
+				opts core.Options
+			}{fmt.Sprintf("uniform-%d", k), core.Options{
+				InitialSamples: k, UniformInitial: true, DisableHillClimb: true,
+			}},
+			struct {
+				name string
+				opts core.Options
+			}{fmt.Sprintf("biased-%d", k), core.Options{
+				InitialSamples: k, DisableHillClimb: true,
+			}},
+		)
+	}
+	out := make([]VariantResult, 0, len(variants))
+	for _, v := range variants {
+		opts := v.opts
+		out = append(out, runVariant(cfg, v.name, func(ctx FactoryContext) *core.AutoPN {
+			o := opts
+			o.Stop = core.NewEIStop(0.10)
+			return core.New(ctx.Space, ctx.RNG, o)
+		}))
+	}
+	return out
+}
+
+// Fig6Stop compares SMBO stopping criteria (Fig. 6 right): EI thresholds of
+// 1% and 10%, the no-improvement heuristic (K=5), hybrid combinations, and
+// the idealized "stubborn" condition that only stops at the true optimum
+// (oracle provided by the trace). Hill climbing is disabled as in the
+// paper.
+func Fig6Stop(cfg Fig6Config) []VariantResult {
+	type variant struct {
+		name string
+		stop func(tr *trace.Trace) core.StopCondition
+	}
+	variants := []variant{
+		{"EI<1%", func(*trace.Trace) core.StopCondition { return core.NewEIStop(0.01) }},
+		{"EI<10%", func(*trace.Trace) core.StopCondition { return core.NewEIStop(0.10) }},
+		{"no-improvement(5)", func(*trace.Trace) core.StopCondition {
+			return core.NoImproveStop{K: 5, RelDelta: 0.10}
+		}},
+		{"hybrid-and", func(*trace.Trace) core.StopCondition {
+			return core.AndStop{core.NewEIStop(0.10), core.NoImproveStop{K: 5, RelDelta: 0.10}}
+		}},
+		{"hybrid-or", func(*trace.Trace) core.StopCondition {
+			return core.OrStop{core.NewEIStop(0.10), core.NoImproveStop{K: 5, RelDelta: 0.10}}
+		}},
+		{"stubborn", func(tr *trace.Trace) core.StopCondition {
+			optCfg, _ := tr.Optimum()
+			return core.StubbornStop{IsOptimal: func(c space.Config, _ float64) bool {
+				return c == optCfg
+			}}
+		}},
+	}
+	out := make([]VariantResult, 0, len(variants))
+	for _, v := range variants {
+		mk := v.stop
+		out = append(out, runVariant(cfg, v.name, func(ctx FactoryContext) *core.AutoPN {
+			return core.New(ctx.Space, ctx.RNG, core.Options{
+				DisableHillClimb: true,
+				Stop:             mk(ctx.Trace),
+			})
+		}))
+	}
+	return out
+}
+
+// runVariant evaluates one AutoPN variant across all workloads and reps.
+func runVariant(cfg Fig6Config, name string, mk func(ctx FactoryContext) *core.AutoPN) VariantResult {
+	master := stats.NewRNG(cfg.Seed)
+	sp := space.New(cfg.Workloads[0].Cores)
+	var finals, expls []float64
+	for _, w := range cfg.Workloads {
+		tr := trace.Collect(w, sp, cfg.TraceRuns, master.Split())
+		for rep := 0; rep < cfg.Reps; rep++ {
+			rng := master.Split()
+			opt := mk(FactoryContext{Space: sp, RNG: rng, Trace: tr})
+			ev := trace.NewEvaluator(tr, rng.Split())
+			rec := RunOnTrace(opt, tr, ev, cfg.MaxExplorations)
+			finals = append(finals, rec.FinalDFO)
+			expls = append(expls, float64(rec.Explorations))
+		}
+	}
+	return VariantResult{
+		Name:             name,
+		MeanFinalDFO:     stats.Mean(finals),
+		P90FinalDFO:      stats.Percentile(finals, 90),
+		MeanExplorations: stats.Mean(expls),
+	}
+}

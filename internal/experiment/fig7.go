@@ -1,0 +1,193 @@
+package experiment
+
+import (
+	"time"
+
+	"autopn/internal/core"
+	"autopn/internal/simcore"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+// Fig7aPoint is one (window duration, workload) cell of Fig. 7a: the final
+// distance from optimum reached by a full AutoPN tuning session when the
+// KPI monitor uses a statically configured window of that duration.
+type Fig7aPoint struct {
+	Workload string
+	Window   time.Duration
+	MeanDFO  float64
+}
+
+// Fig7aWindows is the paper's x-axis: static window durations spanning
+// three orders of magnitude, 20ms to 40s.
+func Fig7aWindows() []time.Duration {
+	return []time.Duration{
+		20 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
+		300 * time.Millisecond, time.Second, 3 * time.Second,
+		10 * time.Second, 40 * time.Second,
+	}
+}
+
+// Fig7aWorkloads returns the two Array variants of the experiment: one
+// generating high throughput rates and one generating low rates (the same
+// workload slowed by 100x), which is what makes a single static window
+// duration impossible to tune for both.
+func Fig7aWorkloads() []*surface.Workload {
+	fast := surface.Array("0.01")
+	fast.Name = "array-fast"
+	slow := surface.Array("0.01").Scaled("array-slow", 100)
+	return []*surface.Workload{fast, slow}
+}
+
+// Fig7a runs live (simulated) tuning sessions with static measurement
+// windows of varying duration and reports the final accuracy per workload.
+func Fig7a(reps int, seed uint64) []Fig7aPoint {
+	var out []Fig7aPoint
+	master := stats.NewRNG(seed)
+	for _, w := range Fig7aWorkloads() {
+		sp := space.New(w.Cores)
+		optCfg, optTput := w.Optimum(sp)
+		_ = optCfg
+		for _, win := range Fig7aWindows() {
+			var dfos []float64
+			for rep := 0; rep < reps; rep++ {
+				rng := master.Split()
+				sim := simcore.New(w, rng.Uint64(), simcore.Options{})
+				opt := core.New(sp, rng, core.Options{})
+				simcore.Tune(sim, opt, simcore.FixedTime{Window: win}, 0)
+				best, _ := opt.Best()
+				dfos = append(dfos, 1-w.Throughput(best)/optTput)
+			}
+			out = append(out, Fig7aPoint{Workload: w.Name, Window: win, MeanDFO: stats.Mean(dfos)})
+		}
+	}
+	return out
+}
+
+// Fig7bPoint is one cell of Fig. 7b: the average throughput achieved over a
+// short application run (tuning included) as a function of the monitoring
+// window duration.
+type Fig7bPoint struct {
+	Window time.Duration
+	// MeanThroughputFrac is the run's average throughput normalized by the
+	// workload's optimal throughput (1 = the whole run at the optimum).
+	MeanThroughputFrac float64
+}
+
+// Fig7b runs short applications (runLength total virtual time) under static
+// monitoring windows of varying duration: the longer the windows, the more
+// of the short run is wasted measuring suboptimal configurations.
+// It also appends the adaptive policy as the final point (Window = 0).
+func Fig7b(runLength time.Duration, reps int, seed uint64) []Fig7bPoint {
+	w := surface.Array("0.01")
+	sp := space.New(w.Cores)
+	_, optTput := w.Optimum(sp)
+	master := stats.NewRNG(seed)
+
+	run := func(mk simcore.WindowMaker) float64 {
+		var fracs []float64
+		for rep := 0; rep < reps; rep++ {
+			rng := master.Split()
+			sim := simcore.New(w, rng.Uint64(), simcore.Options{})
+			opt := core.New(sp, rng, core.Options{})
+			simcore.Tune(sim, opt, mk, runLength)
+			if remaining := runLength - sim.Now(); remaining > 0 {
+				sim.RunFor(remaining)
+			}
+			avg := float64(sim.Commits()) / runLength.Seconds()
+			fracs = append(fracs, avg/optTput)
+		}
+		return stats.Mean(fracs)
+	}
+
+	var out []Fig7bPoint
+	for _, win := range Fig7aWindows() {
+		out = append(out, Fig7bPoint{Window: win, MeanThroughputFrac: run(simcore.FixedTime{Window: win})})
+	}
+	out = append(out, Fig7bPoint{Window: 0, MeanThroughputFrac: run(simcore.AdaptiveCV{})})
+	return out
+}
+
+// Fig7cPoint is one (policy, workload) cell of Fig. 7c: the final DFO of a
+// tuning session under the given monitoring policy, normalized by the DFO
+// obtained with the best statically tuned window for that workload.
+type Fig7cPoint struct {
+	Policy   string
+	Workload string
+	MeanDFO  float64
+	// NormDFO is MeanDFO minus the best static policy's mean DFO on the
+	// same workload (0 = as good as the optimally tuned static monitor;
+	// the paper normalizes the same way).
+	NormDFO float64
+}
+
+// Fig7cPolicies returns the monitoring policies compared in Fig. 7c.
+func Fig7cPolicies() []simcore.WindowMaker {
+	return []simcore.WindowMaker{
+		simcore.AdaptiveCV{},
+		simcore.FixedCommits{Commits: 10, AdaptiveTimeout: true},
+		simcore.FixedCommits{Commits: 30, AdaptiveTimeout: true},
+		simcore.FixedCommits{Commits: 30, AdaptiveTimeout: false, FallbackWindow: 120 * time.Second},
+	}
+}
+
+// Fig7c compares the adaptive policy against the fixed-commit-count
+// variants across heterogeneous workloads. Sessions are budgeted, as in the
+// paper ("we vary the workloads and their duration"): each run lasts the
+// time the sequential configuration would need for 600 commits, so a
+// monitoring policy that stalls inside starving configurations (WNOC) or
+// wastes long windows leaves the tuner unconverged and is charged for it in
+// the final distance from optimum.
+func Fig7c(reps int, seed uint64) []Fig7cPoint {
+	workloads := []*surface.Workload{
+		surface.TPCC("med"),
+		surface.Vacation("high"),
+		surface.Array("0.01"),
+		surface.Array("0.01").Scaled("array-slow", 100),
+		surface.Array("90"),
+	}
+	master := stats.NewRNG(seed)
+
+	session := func(w *surface.Workload, mk simcore.WindowMaker, rng *stats.RNG) float64 {
+		sp := space.New(w.Cores)
+		_, optTput := w.Optimum(sp)
+		t11 := w.Throughput(space.Config{T: 1, C: 1})
+		budget := time.Duration(600 / t11 * float64(time.Second))
+		sim := simcore.New(w, rng.Uint64(), simcore.Options{})
+		opt := core.New(sp, rng, core.Options{})
+		simcore.Tune(sim, opt, mk, budget)
+		best, _ := opt.Best()
+		return 1 - w.Throughput(best)/optTput
+	}
+
+	var out []Fig7cPoint
+	for _, w := range workloads {
+		// Best statically tuned window for this workload (oracle over the
+		// Fig. 7a window set), the paper's normalization reference.
+		bestStatic := 1.0
+		for _, win := range Fig7aWindows() {
+			var dfos []float64
+			for rep := 0; rep < reps; rep++ {
+				dfos = append(dfos, session(w, simcore.FixedTime{Window: win}, master.Split()))
+			}
+			if m := stats.Mean(dfos); m < bestStatic {
+				bestStatic = m
+			}
+		}
+		for _, pol := range Fig7cPolicies() {
+			var dfos []float64
+			for rep := 0; rep < reps; rep++ {
+				dfos = append(dfos, session(w, pol, master.Split()))
+			}
+			m := stats.Mean(dfos)
+			out = append(out, Fig7cPoint{
+				Policy:   pol.Name(),
+				Workload: w.Name,
+				MeanDFO:  m,
+				NormDFO:  m - bestStatic,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"autopn/internal/core"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+// HeteroResult quantifies the paper's §VIII extension: for a workload with
+// heterogeneous top-level transaction types, tuning a separate (t_k, c_k)
+// per type (the MultiTuner's coordinate descent over per-type AutoPN
+// instances) versus forcing one shared (t, c) on every type.
+type HeteroResult struct {
+	// SharedDFO is the distance from the per-type optimum achievable by
+	// the best single shared configuration (a lower bound for any
+	// homogeneous tuner — even a perfect one).
+	SharedDFO float64
+	// PerTypeDFO is the mean distance from optimum achieved by the
+	// MultiTuner across repetitions.
+	PerTypeDFO float64
+	// MeanExplorations is the mean number of vector measurements.
+	MeanExplorations float64
+}
+
+// Hetero runs the heterogeneous-types study: two transaction types with
+// sharply different optima (a TPC-C-like type favoring (≈20,2) and an
+// Array-90-like type favoring (1,≈14)) whose global throughput is the sum
+// of the per-type surfaces, measured under the usual sampling noise.
+func Hetero(reps int, seed uint64) HeteroResult {
+	wa := surface.TPCC("med")
+	wb := surface.Array("90")
+	n := wa.Cores
+	sp := space.New(n)
+
+	// Scale type A so both types contribute comparably to the global KPI.
+	_, optA := wa.Optimum(sp)
+	_, optB := wb.Optimum(sp)
+	scaleA := optB / optA
+
+	kpiTrue := func(vec []space.Config) float64 {
+		return scaleA*wa.Throughput(vec[0]) + wb.Throughput(vec[1])
+	}
+	optTotal := scaleA*optA + optB
+
+	// The best shared configuration (oracle over the whole space).
+	sharedBest := 0.0
+	for _, cfg := range sp.Configs() {
+		if v := kpiTrue([]space.Config{cfg, cfg}); v > sharedBest {
+			sharedBest = v
+		}
+	}
+
+	master := stats.NewRNG(seed)
+	var dfos, expls []float64
+	for rep := 0; rep < reps; rep++ {
+		rng := master.Split()
+		m := core.NewMultiTuner(n, 2, rng, core.Options{})
+		measurements := 0
+		for i := 0; i < 5000; i++ {
+			vec, done := m.Next()
+			if done {
+				break
+			}
+			noisy := scaleA*wa.Measure(vec[0], rng) + wb.Measure(vec[1], rng)
+			m.Observe(vec, noisy)
+			measurements++
+		}
+		best, _ := m.Best()
+		dfos = append(dfos, 1-kpiTrue(best)/optTotal)
+		expls = append(expls, float64(measurements))
+	}
+	return HeteroResult{
+		SharedDFO:        1 - sharedBest/optTotal,
+		PerTypeDFO:       stats.Mean(dfos),
+		MeanExplorations: stats.Mean(expls),
+	}
+}

@@ -1,0 +1,25 @@
+package experiment
+
+import "testing"
+
+func TestHeteroPerTypeTuningBeatsSharedOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	res := Hetero(5, 0x4E7E)
+	t.Logf("shared-oracle DFO=%.1f%%  per-type DFO=%.1f%%  explorations=%.0f",
+		res.SharedDFO*100, res.PerTypeDFO*100, res.MeanExplorations)
+	// The two types' optima are incompatible, so even a perfect shared
+	// configuration leaves substantial throughput on the table...
+	if res.SharedDFO < 0.10 {
+		t.Fatalf("shared oracle DFO only %.1f%%; types not heterogeneous enough", res.SharedDFO*100)
+	}
+	// ...while per-type coordinate descent recovers most of it.
+	if res.PerTypeDFO >= res.SharedDFO {
+		t.Fatalf("per-type tuning (%.1f%%) not better than the shared oracle (%.1f%%)",
+			res.PerTypeDFO*100, res.SharedDFO*100)
+	}
+	if res.PerTypeDFO > 0.15 {
+		t.Errorf("per-type tuning ended %.1f%% from optimum", res.PerTypeDFO*100)
+	}
+}

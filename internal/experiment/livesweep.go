@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"time"
+
+	"autopn/internal/pnpool"
+	"autopn/internal/space"
+	"autopn/internal/stm"
+	"autopn/internal/workload"
+	"autopn/internal/workload/array"
+	"autopn/internal/workload/tpcc"
+)
+
+// LiveSweepPoint is one configuration's live-measured throughput on the
+// real PN-STM running on the host machine.
+type LiveSweepPoint struct {
+	Cfg        space.Config
+	Throughput float64
+}
+
+// LiveSweep exhaustively measures a real workload on the real STM across
+// the full (t, c) space for a small core budget — the live counterpart of
+// the simulator surfaces, validating that the actual PN-STM's performance
+// genuinely varies with the configuration (absolute shapes depend on the
+// host's core count; on a single-core CI box nesting shows as pure
+// overhead, which is itself the correct physics).
+func LiveSweep(workloadName string, cores int, window time.Duration, seed uint64) []LiveSweepPoint {
+	sp := space.New(cores)
+	pool := pnpool.New(space.Config{T: 1, C: 1})
+	s := stm.New(stm.Options{Throttle: pool})
+	var w workload.Workload
+	switch workloadName {
+	case "tpcc":
+		w = tpcc.New("med", s)
+	default:
+		w = array.New(256, 0.05)
+	}
+	d := &workload.Driver{STM: s, Pool: pool, W: w, Threads: cores}
+	d.Start(seed)
+	defer d.Stop()
+
+	var out []LiveSweepPoint
+	for _, cfg := range sp.Configs() {
+		pool.Apply(cfg)
+		// Let the reconfiguration drain before measuring.
+		deadline := time.Now().Add(window)
+		for pool.TopHeld() > cfg.T && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		before := s.Stats.TopCommits.Load()
+		start := time.Now()
+		time.Sleep(window)
+		elapsed := time.Since(start).Seconds()
+		commits := s.Stats.TopCommits.Load() - before
+		out = append(out, LiveSweepPoint{Cfg: cfg, Throughput: float64(commits) / elapsed})
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLiveSweepMeasuresRealSTM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live timing experiment")
+	}
+	points := LiveSweep("array", 3, 60*time.Millisecond, 0x11FE)
+	if len(points) != 5 { // |S| for n=3: (1,1),(1,2),(1,3),(2,1),(3,1)
+		t.Fatalf("swept %d configs, want 5", len(points))
+	}
+	nonZero := 0
+	for _, p := range points {
+		t.Logf("%v: %.0f commits/s", p.Cfg, p.Throughput)
+		if p.Throughput > 0 {
+			nonZero++
+		}
+	}
+	if nonZero < len(points) {
+		t.Fatalf("only %d of %d configurations committed anything", nonZero, len(points))
+	}
+}

@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"time"
+
+	"autopn/internal/monitor"
+	"autopn/internal/pnpool"
+	"autopn/internal/search"
+	"autopn/internal/smbo"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/stm"
+	"autopn/internal/workload"
+	"autopn/internal/workload/array"
+)
+
+// OverheadResult quantifies the cost of the self-tuning machinery
+// (§VII-E): the live workload's throughput with and without the monitor
+// and the continuously retrained model ensemble, with the actuator
+// inhibited so the system never benefits from tuning — an upper bound on
+// the overhead.
+type OverheadResult struct {
+	BaselineThroughput float64
+	TunedThroughput    float64
+	// DropFrac is 1 - tuned/baseline (the paper reports < 2%).
+	DropFrac float64
+}
+
+// Overhead runs the no-contention Array workload (which scales to all
+// cores) twice for dur each — once plain and once with monitoring plus
+// per-window ensemble retraining active — and reports the throughput drop.
+func Overhead(threads int, dur time.Duration, seed uint64) OverheadResult {
+	run := func(withTuning bool) float64 {
+		cfg := space.Config{T: threads, C: 1}
+		pool := pnpool.New(cfg)
+		var live *monitor.Live
+		opts := stm.Options{Throttle: pool}
+		if withTuning {
+			live = monitor.NewLive(monitor.NewWallClock())
+			opts.CommitHook = live.OnCommit
+		}
+		s := stm.New(opts)
+		b := array.New(256, 0)
+		d := &workload.Driver{STM: s, Pool: pool, W: b, Threads: threads}
+
+		stop := make(chan struct{})
+		if withTuning {
+			// Monitoring plus model updates on trace-driven feedback, with
+			// the actuator inhibited (the configuration never changes).
+			go func() {
+				rng := stats.NewRNG(seed)
+				sp := space.New(threads)
+				var obs []smbo.Observation
+				var opt search.Optimizer = search.NewRandom(sp, rng, 1<<30, 0)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					c, done := opt.Next()
+					if done {
+						opt = search.NewRandom(sp, rng, 1<<30, 0)
+						continue
+					}
+					p := monitor.NewCVPolicy()
+					p.CVThreshold = 0.10
+					p.MaxWindow = 20 * time.Millisecond
+					m := live.Measure(p)
+					opt.Observe(c, m.Throughput)
+					obs = append(obs, smbo.Observation{Cfg: c, KPI: m.Throughput})
+					if len(obs) > 64 {
+						obs = obs[1:]
+					}
+					// Retrain and query the full ensemble, as the paper's
+					// overhead experiment does.
+					sur := smbo.Fit(obs, smbo.DefaultEnsembleSize, rng, nil)
+					explored := map[space.Config]bool{}
+					_, _ = smbo.SuggestEI(sp, sur, explored, m.Throughput)
+				}
+			}()
+		}
+		tput := d.RunFor(seed, dur)
+		close(stop)
+		return tput
+	}
+
+	base := run(false)
+	tuned := run(true)
+	res := OverheadResult{BaselineThroughput: base, TunedThroughput: tuned}
+	if base > 0 {
+		res.DropFrac = 1 - tuned/base
+	}
+	return res
+}

@@ -1,0 +1,25 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOverheadIsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live timing experiment")
+	}
+	res := Overhead(2, 400*time.Millisecond, 0x0E44)
+	t.Logf("baseline=%.0f/s tuned=%.0f/s drop=%.2f%%",
+		res.BaselineThroughput, res.TunedThroughput, res.DropFrac*100)
+	if res.BaselineThroughput <= 0 || res.TunedThroughput <= 0 {
+		t.Fatal("zero throughput")
+	}
+	// The paper reports <2% on a 48-core machine; on a single-core CI
+	// container the monitor and model updates steal cycles from the same
+	// core, so allow a wider bound while still requiring the overhead to
+	// be modest.
+	if res.DropFrac > 0.25 {
+		t.Errorf("overhead %.1f%% too high", res.DropFrac*100)
+	}
+}

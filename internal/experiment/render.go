@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderFig1 writes the throughput surface as a t x c table plus summary.
+func RenderFig1(w io.Writer, res SurfaceResult) {
+	fmt.Fprintf(w, "# Fig.1 — throughput surface, workload %s\n", res.Workload)
+	fmt.Fprintf(w, "# best %v = %.1f commits/s; worst %v = %.1f; best/seq(1,1) = %.1fx; best/worst = %.1fx\n",
+		res.Best.Cfg, res.Best.Throughput, res.Worst.Cfg, res.Worst.Throughput,
+		res.Best.Throughput/res.Seq, res.Best.Throughput/res.Worst.Throughput)
+	// Collect axes.
+	ts := map[int]bool{}
+	cs := map[int]bool{}
+	cell := map[[2]int]float64{}
+	for _, c := range res.Cells {
+		ts[c.Cfg.T] = true
+		cs[c.Cfg.C] = true
+		cell[[2]int{c.Cfg.T, c.Cfg.C}] = c.Throughput
+	}
+	tAxis := sortedKeys(ts)
+	cAxis := sortedKeys(cs)
+	fmt.Fprintf(w, "t\\c")
+	for _, c := range cAxis {
+		fmt.Fprintf(w, "\t%d", c)
+	}
+	fmt.Fprintln(w)
+	for _, t := range tAxis {
+		fmt.Fprintf(w, "%d", t)
+		for _, c := range cAxis {
+			if v, ok := cell[[2]int{t, c}]; ok {
+				fmt.Fprintf(w, "\t%.0f", v)
+			} else {
+				fmt.Fprintf(w, "\t-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RenderFig5 writes the optimizer-comparison curves: mean and 90th
+// percentile DFO at selected exploration counts, plus the convergence
+// summary.
+func RenderFig5(w io.Writer, results []StrategyResult) {
+	fmt.Fprintln(w, "# Fig.5 — distance from optimum (%) vs explored configurations")
+	marks := []int{5, 9, 12, 15, 20, 30, 45, 60, 90, 120}
+	fmt.Fprintf(w, "%-20s", "strategy")
+	for _, m := range marks {
+		fmt.Fprintf(w, "\t@%d", m)
+	}
+	fmt.Fprintf(w, "\t| stop@\tfinal\tp90\n")
+	for _, r := range results {
+		renderCurveRow(w, r.Name+" (mean)", r.MeanDFO, marks)
+		fmt.Fprintf(w, "\t| %.1f\t%.1f%%\t%.1f%%\n", r.MeanExplorations, r.MeanFinalDFO*100, r.P90FinalDFO*100)
+	}
+	fmt.Fprintln(w, "# 90th percentile curves")
+	for _, r := range results {
+		renderCurveRow(w, r.Name+" (p90)", r.P90DFO, marks)
+		fmt.Fprintln(w)
+	}
+}
+
+func renderCurveRow(w io.Writer, name string, curve []float64, marks []int) {
+	fmt.Fprintf(w, "%-20s", name)
+	for _, m := range marks {
+		i := m - 1
+		if i >= len(curve) {
+			i = len(curve) - 1
+		}
+		if i < 0 {
+			fmt.Fprintf(w, "\t-")
+			continue
+		}
+		fmt.Fprintf(w, "\t%.1f", curve[i]*100)
+	}
+}
+
+// RenderVariants writes a Fig.6-style variant table.
+func RenderVariants(w io.Writer, title string, results []VariantResult) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "%-20s\t%s\t%s\t%s\n", "variant", "meanDFO", "p90DFO", "explorations")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-20s\t%.2f%%\t%.2f%%\t%.1f\n",
+			r.Name, r.MeanFinalDFO*100, r.P90FinalDFO*100, r.MeanExplorations)
+	}
+}
+
+// RenderStatic writes the §VII-A static-configuration table.
+func RenderStatic(w io.Writer, res StaticResult) {
+	fmt.Fprintln(w, "# §VII-A — best static configuration vs per-workload optimum")
+	fmt.Fprintf(w, "best static config: %v (mean DFO %.1f%%, p90 slowdown %.2fx, worst %.2fx on %s)\n",
+		res.BestStatic, res.MeanDFO*100, res.P90Slowdown, res.WorstSlowdown, res.WorstWorkload)
+	names := make([]string, 0, len(res.PerWorkload))
+	for n := range res.PerWorkload {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-16s\t%.2fx slower than optimum\n", n, res.PerWorkload[n])
+	}
+}
+
+// RenderFig7a writes the static-window accuracy table.
+func RenderFig7a(w io.Writer, points []Fig7aPoint) {
+	fmt.Fprintln(w, "# Fig.7a — final DFO (%) vs static monitoring-window duration")
+	byWorkload := map[string][]Fig7aPoint{}
+	var names []string
+	for _, p := range points {
+		if _, ok := byWorkload[p.Workload]; !ok {
+			names = append(names, p.Workload)
+		}
+		byWorkload[p.Workload] = append(byWorkload[p.Workload], p)
+	}
+	fmt.Fprintf(w, "%-12s", "window")
+	for _, n := range names {
+		fmt.Fprintf(w, "\t%s", n)
+	}
+	fmt.Fprintln(w)
+	if len(names) == 0 {
+		return
+	}
+	for i := range byWorkload[names[0]] {
+		fmt.Fprintf(w, "%-12v", byWorkload[names[0]][i].Window)
+		for _, n := range names {
+			fmt.Fprintf(w, "\t%.1f", byWorkload[n][i].MeanDFO*100)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFig7b writes the short-run average-throughput table.
+func RenderFig7b(w io.Writer, points []Fig7bPoint) {
+	fmt.Fprintln(w, "# Fig.7b — short-run average throughput (% of optimal) vs window duration")
+	for _, p := range points {
+		label := p.Window.String()
+		if p.Window == 0 {
+			label = "adaptive"
+		}
+		bar := strings.Repeat("#", int(p.MeanThroughputFrac*40+0.5))
+		fmt.Fprintf(w, "%-12s\t%5.1f%%\t%s\n", label, p.MeanThroughputFrac*100, bar)
+	}
+}
+
+// RenderFig7c writes the monitoring-policy comparison table.
+func RenderFig7c(w io.Writer, points []Fig7cPoint) {
+	fmt.Fprintln(w, "# Fig.7c — final DFO (%) per monitoring policy (norm = excess over best static window)")
+	fmt.Fprintf(w, "%-10s\t%-14s\t%s\t%s\n", "policy", "workload", "meanDFO", "norm")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-10s\t%-14s\t%.2f%%\t%+.2f%%\n", p.Policy, p.Workload, p.MeanDFO*100, p.NormDFO*100)
+	}
+}
+
+// RenderOverhead writes the §VII-E overhead summary.
+func RenderOverhead(w io.Writer, res OverheadResult, dur time.Duration) {
+	fmt.Fprintln(w, "# §VII-E — self-tuning overhead (actuator inhibited)")
+	fmt.Fprintf(w, "baseline: %.0f commits/s\nwith monitoring+modeling: %.0f commits/s\ndrop: %.2f%% (paper: <2%% on 48 cores) over %v runs\n",
+		res.BaselineThroughput, res.TunedThroughput, res.DropFrac*100, dur)
+}

@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"autopn/internal/surface"
+)
+
+func TestRenderFig1ContainsSummaryAndGrid(t *testing.T) {
+	var sb strings.Builder
+	RenderFig1(&sb, Fig1(surface.TPCC("med")))
+	out := sb.String()
+	for _, want := range []string{"tpcc-med", "best (20,2)", "t\\c"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1 rendering missing %q", want)
+		}
+	}
+	// One row per t value plus headers.
+	if lines := strings.Count(out, "\n"); lines < 48 {
+		t.Errorf("Fig1 rendering has only %d lines", lines)
+	}
+}
+
+func TestRenderFig5AndVariants(t *testing.T) {
+	res := []StrategyResult{{
+		Name:             "autopn",
+		MeanDFO:          []float64{0.5, 0.2, 0.01},
+		P90DFO:           []float64{0.9, 0.4, 0.02},
+		MeanExplorations: 17.5,
+		MeanFinalDFO:     0.01,
+		P90FinalDFO:      0.02,
+	}}
+	var sb strings.Builder
+	RenderFig5(&sb, res)
+	if !strings.Contains(sb.String(), "autopn") || !strings.Contains(sb.String(), "17.5") {
+		t.Errorf("Fig5 rendering incomplete:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	RenderVariants(&sb, "title", []VariantResult{{Name: "biased-9", MeanFinalDFO: 0.078, MeanExplorations: 13.4}})
+	if !strings.Contains(sb.String(), "biased-9") || !strings.Contains(sb.String(), "7.80%") {
+		t.Errorf("variants rendering incomplete:\n%s", sb.String())
+	}
+}
+
+func TestRenderStaticAndFig7(t *testing.T) {
+	var sb strings.Builder
+	RenderStatic(&sb, StaticBaseline([]*surface.Workload{surface.TPCC("med"), surface.Array("90")}))
+	if !strings.Contains(sb.String(), "best static config") {
+		t.Error("static rendering missing header")
+	}
+
+	sb.Reset()
+	RenderFig7a(&sb, []Fig7aPoint{
+		{Workload: "w1", Window: 20 * time.Millisecond, MeanDFO: 0.1},
+		{Workload: "w1", Window: time.Second, MeanDFO: 0.01},
+	})
+	if !strings.Contains(sb.String(), "20ms") {
+		t.Error("fig7a rendering missing window column")
+	}
+
+	sb.Reset()
+	RenderFig7b(&sb, []Fig7bPoint{{Window: 0, MeanThroughputFrac: 0.95}})
+	if !strings.Contains(sb.String(), "adaptive") {
+		t.Error("fig7b rendering missing adaptive row")
+	}
+
+	sb.Reset()
+	RenderFig7c(&sb, []Fig7cPoint{{Policy: "adaptive", Workload: "w", MeanDFO: 0.01, NormDFO: 0.005}})
+	if !strings.Contains(sb.String(), "adaptive") {
+		t.Error("fig7c rendering missing policy row")
+	}
+
+	sb.Reset()
+	RenderOverhead(&sb, OverheadResult{BaselineThroughput: 100, TunedThroughput: 99, DropFrac: 0.01}, time.Second)
+	if !strings.Contains(sb.String(), "drop: 1.00%") {
+		t.Errorf("overhead rendering incomplete:\n%s", sb.String())
+	}
+}

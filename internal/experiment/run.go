@@ -1,0 +1,127 @@
+// Package experiment reproduces every figure and table of the paper's
+// experimental study (§VII). Each figure has a Fig* function returning a
+// structured result that cmd/autopn-bench renders and bench_test.go
+// regenerates; EXPERIMENTS.md records the measured outcomes next to the
+// paper's.
+package experiment
+
+import (
+	"autopn/internal/search"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/trace"
+)
+
+// RunRecord is the outcome of driving one optimizer over one trace.
+type RunRecord struct {
+	// DFOByExploration[k] is the distance from optimum of the optimizer's
+	// best-so-far configuration after k+1 distinct explorations (the
+	// quantity plotted in Fig. 5/6; the true DFO uses trace means, while
+	// the optimizer itself only ever saw noisy samples).
+	DFOByExploration []float64
+	// Explorations is the number of distinct configurations measured
+	// before the optimizer declared convergence (or hit the cap).
+	Explorations int
+	// FinalCfg is the configuration the optimizer settled on.
+	FinalCfg space.Config
+	// FinalDFO is the true distance from optimum of FinalCfg.
+	FinalDFO float64
+	// Converged reports whether the optimizer stopped by itself.
+	Converged bool
+}
+
+// RunOnTrace drives opt against the trace until convergence or until
+// maxExplorations distinct configurations have been measured. Re-requests
+// of already-measured configurations are served from cache (they are free,
+// matching the paper's accounting which counts explored configurations).
+// safetyCap bounds total Next/Observe rounds to guard against
+// non-converging strategies.
+func RunOnTrace(opt search.Optimizer, tr *trace.Trace, ev *trace.Evaluator, maxExplorations int) RunRecord {
+	var rec RunRecord
+	cache := make(map[space.Config]float64)
+	safetyCap := 20 * maxExplorations
+	if safetyCap <= 0 {
+		safetyCap = 1 << 20
+	}
+	for round := 0; round < safetyCap; round++ {
+		cfg, done := opt.Next()
+		if done {
+			rec.Converged = true
+			break
+		}
+		kpi, known := cache[cfg]
+		if !known {
+			kpi = ev.Evaluate(cfg)
+			cache[cfg] = kpi
+		}
+		opt.Observe(cfg, kpi)
+		if !known {
+			bestCfg, _ := opt.Best()
+			rec.DFOByExploration = append(rec.DFOByExploration, tr.DFO(bestCfg))
+			if maxExplorations > 0 && len(rec.DFOByExploration) >= maxExplorations {
+				break
+			}
+		}
+	}
+	rec.Explorations = len(rec.DFOByExploration)
+	rec.FinalCfg, _ = opt.Best()
+	rec.FinalDFO = tr.DFO(rec.FinalCfg)
+	return rec
+}
+
+// PadCurves extends every curve to length n by repeating its final value
+// (an optimizer that has converged keeps its answer), returning the padded
+// matrix. Empty curves pad with worst-case DFO 1.
+func PadCurves(curves [][]float64, n int) [][]float64 {
+	out := make([][]float64, len(curves))
+	for i, c := range curves {
+		p := make([]float64, n)
+		for k := 0; k < n; k++ {
+			switch {
+			case k < len(c):
+				p[k] = c[k]
+			case len(c) > 0:
+				p[k] = c[len(c)-1]
+			default:
+				p[k] = 1
+			}
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// MeanCurve returns the per-index mean of equally long curves.
+func MeanCurve(curves [][]float64) []float64 {
+	if len(curves) == 0 {
+		return nil
+	}
+	n := len(curves[0])
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		sum := 0.0
+		for _, c := range curves {
+			sum += c[k]
+		}
+		out[k] = sum / float64(len(curves))
+	}
+	return out
+}
+
+// PercentileCurve returns the per-index p-th percentile of equally long
+// curves.
+func PercentileCurve(curves [][]float64, p float64) []float64 {
+	if len(curves) == 0 {
+		return nil
+	}
+	n := len(curves[0])
+	out := make([]float64, n)
+	col := make([]float64, len(curves))
+	for k := 0; k < n; k++ {
+		for i, c := range curves {
+			col[i] = c[k]
+		}
+		out[k] = stats.Percentile(col, p)
+	}
+	return out
+}

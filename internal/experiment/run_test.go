@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"testing"
+
+	"autopn/internal/search"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+	"autopn/internal/trace"
+)
+
+func smallTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	w := surface.TPCC("med")
+	return trace.Collect(w, space.New(w.Cores), 5, stats.NewRNG(1))
+}
+
+// repeater is an optimizer that requests the same config forever — it
+// exercises RunOnTrace's safety cap.
+type repeater struct{ cfg space.Config }
+
+func (r *repeater) Name() string                  { return "repeater" }
+func (r *repeater) Next() (space.Config, bool)    { return r.cfg, false }
+func (r *repeater) Observe(space.Config, float64) {}
+func (r *repeater) Best() (space.Config, float64) { return r.cfg, 0 }
+
+var _ search.Optimizer = (*repeater)(nil)
+
+func TestRunOnTraceCachesRepeatedRequests(t *testing.T) {
+	tr := smallTrace(t)
+	ev := trace.NewEvaluator(tr, stats.NewRNG(2))
+	rec := RunOnTrace(&repeater{cfg: space.Config{T: 4, C: 2}}, tr, ev, 50)
+	// The repeater never converges and never explores a second config:
+	// the safety cap must end the run with exactly one exploration and one
+	// real evaluation.
+	if rec.Explorations != 1 {
+		t.Fatalf("Explorations = %d, want 1", rec.Explorations)
+	}
+	if ev.Evals != 1 {
+		t.Fatalf("Evals = %d, want 1 (duplicates must hit the cache)", ev.Evals)
+	}
+	if rec.Converged {
+		t.Fatal("repeater reported as converged")
+	}
+}
+
+func TestRunOnTraceRespectsExplorationCap(t *testing.T) {
+	tr := smallTrace(t)
+	rng := stats.NewRNG(3)
+	opt := search.NewRandom(tr.Space(), rng, 1<<30, 0) // explores forever
+	rec := RunOnTrace(opt, tr, trace.NewEvaluator(tr, rng.Split()), 7)
+	if rec.Explorations != 7 {
+		t.Fatalf("Explorations = %d, want cap 7", rec.Explorations)
+	}
+	if len(rec.DFOByExploration) != 7 {
+		t.Fatalf("curve length %d", len(rec.DFOByExploration))
+	}
+}
+
+func TestPadCurves(t *testing.T) {
+	padded := PadCurves([][]float64{{0.5, 0.2}, {}, {0.9}}, 4)
+	want := [][]float64{{0.5, 0.2, 0.2, 0.2}, {1, 1, 1, 1}, {0.9, 0.9, 0.9, 0.9}}
+	for i := range want {
+		for k := range want[i] {
+			if padded[i][k] != want[i][k] {
+				t.Fatalf("padded[%d][%d] = %v, want %v", i, k, padded[i][k], want[i][k])
+			}
+		}
+	}
+}
+
+func TestMeanAndPercentileCurves(t *testing.T) {
+	curves := [][]float64{{0, 1}, {1, 3}}
+	mean := MeanCurve(curves)
+	if mean[0] != 0.5 || mean[1] != 2 {
+		t.Fatalf("mean = %v", mean)
+	}
+	p := PercentileCurve(curves, 100)
+	if p[0] != 1 || p[1] != 3 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if MeanCurve(nil) != nil || PercentileCurve(nil, 50) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"time"
+
+	"autopn/internal/core"
+	"autopn/internal/simcore"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+// SpeedResult aggregates one strategy's live (simulated) tuning sessions:
+// the paper's headline comparison ("AutoPN reaches stability 9.8x faster
+// than its counterparts and converges to solutions less than 1% away from
+// optimum", §I/§VIII) measures wall-clock time to stability, which the
+// virtual-time simulator reproduces exactly.
+type SpeedResult struct {
+	Name string
+	// MeanTimeToStability is the mean virtual time until the optimizer
+	// declared convergence (budget-capped sessions count the full budget).
+	MeanTimeToStability time.Duration
+	// MeanFinalDFO is the mean true distance from optimum of the final
+	// configuration.
+	MeanFinalDFO float64
+	// ConvergedFrac is the fraction of sessions that converged within the
+	// budget.
+	ConvergedFrac float64
+}
+
+// SpeedConfig parameterizes the convergence-speed study.
+type SpeedConfig struct {
+	Workloads []*surface.Workload
+	Factories []Factory
+	Reps      int
+	Seed      uint64
+	// Budget caps each session's virtual time (default 600s).
+	Budget time.Duration
+}
+
+// DefaultSpeedConfig compares AutoPN against all five baselines on the ten
+// workloads.
+func DefaultSpeedConfig() SpeedConfig {
+	factories := BaselineFactories()
+	factories = append(factories, AutoPNFactory("autopn", core.Options{}))
+	return SpeedConfig{
+		Workloads: surface.AllWorkloads(),
+		Factories: factories,
+		Reps:      5,
+		Seed:      0x5BEED,
+		Budget:    600 * time.Second,
+	}
+}
+
+// Speed runs full live tuning sessions (adaptive monitoring windows, the
+// production configuration) for every strategy and reports time to
+// stability and final accuracy.
+func Speed(cfg SpeedConfig) []SpeedResult {
+	master := stats.NewRNG(cfg.Seed)
+	budget := cfg.Budget
+	if budget <= 0 {
+		budget = 600 * time.Second
+	}
+	out := make([]SpeedResult, 0, len(cfg.Factories))
+	for _, f := range cfg.Factories {
+		frng := master.Split()
+		var times, dfos []float64
+		converged := 0
+		total := 0
+		for _, w := range cfg.Workloads {
+			sp := space.New(w.Cores)
+			_, optTput := w.Optimum(sp)
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := frng.Split()
+				sim := simcore.New(w, rng.Uint64(), simcore.Options{})
+				opt := f.New(FactoryContext{Space: sp, RNG: rng})
+				res := simcore.Tune(sim, opt, simcore.AdaptiveCV{}, budget)
+				total++
+				if res.Converged {
+					converged++
+					times = append(times, res.ConvergedAt.Seconds())
+				} else {
+					times = append(times, budget.Seconds())
+				}
+				best, _ := opt.Best()
+				dfos = append(dfos, 1-w.Throughput(best)/optTput)
+			}
+		}
+		out = append(out, SpeedResult{
+			Name:                f.Name,
+			MeanTimeToStability: time.Duration(stats.Mean(times) * float64(time.Second)),
+			MeanFinalDFO:        stats.Mean(dfos),
+			ConvergedFrac:       float64(converged) / float64(total),
+		})
+	}
+	return out
+}

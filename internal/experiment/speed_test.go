@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpeedAutoPNFastestToStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := DefaultSpeedConfig()
+	cfg.Reps = 2
+	results := Speed(cfg)
+	byName := map[string]SpeedResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+		t.Logf("%-20s time-to-stability=%8v meanDFO=%6.2f%% converged=%.0f%%",
+			r.Name, r.MeanTimeToStability.Round(10*time.Millisecond), r.MeanFinalDFO*100, r.ConvergedFrac*100)
+	}
+	ap := byName["autopn"]
+	// Headline claims (shape): AutoPN stabilizes several times faster than
+	// the mean baseline and is several times more accurate.
+	var baseTime, baseDFO float64
+	n := 0
+	for name, r := range byName {
+		if name == "autopn" {
+			continue
+		}
+		baseTime += r.MeanTimeToStability.Seconds()
+		baseDFO += r.MeanFinalDFO
+		n++
+	}
+	baseTime /= float64(n)
+	baseDFO /= float64(n)
+	if speedup := baseTime / ap.MeanTimeToStability.Seconds(); speedup < 1.5 {
+		t.Errorf("autopn only %.1fx faster to stability than mean baseline", speedup)
+	} else {
+		t.Logf("stability speedup vs mean baseline: %.1fx (paper: 9.8x)", speedup)
+	}
+	if acc := baseDFO / ap.MeanFinalDFO; acc < 3 {
+		t.Errorf("autopn only %.1fx more accurate than mean baseline", acc)
+	} else {
+		t.Logf("accuracy gain vs mean baseline: %.1fx (paper: up to 32x)", acc)
+	}
+}

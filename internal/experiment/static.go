@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+// StaticResult quantifies how far the best static ("one size fits all")
+// configuration is from each workload's optimum — the motivation statistic
+// of §VII-A (the paper reports: best-on-average static config (24,2), mean
+// DFO 21.8%, 90th percentile 2.56x worse than optimum, worst case 3.22x on
+// the high-contention Array workload).
+type StaticResult struct {
+	// BestStatic is the configuration minimizing the mean distance from
+	// optimum across all workloads.
+	BestStatic space.Config
+	// MeanDFO is its mean distance from optimum across workloads.
+	MeanDFO float64
+	// PerWorkload is the slowdown factor opt/static per workload (1 =
+	// optimal; the paper quotes these as "x times worse than optimum").
+	PerWorkload map[string]float64
+	// P90Slowdown is the 90th percentile of the slowdown factors.
+	P90Slowdown float64
+	// WorstSlowdown and WorstWorkload identify the workload where the
+	// static choice hurts most.
+	WorstSlowdown float64
+	WorstWorkload string
+}
+
+// StaticBaseline finds the best-on-average static configuration across the
+// workloads and quantifies its distance from each workload's optimum, using
+// the model's mean surfaces.
+func StaticBaseline(workloads []*surface.Workload) StaticResult {
+	sp := space.New(workloads[0].Cores)
+	opts := make([]float64, len(workloads))
+	for i, w := range workloads {
+		_, best := w.Optimum(sp)
+		opts[i] = best
+	}
+	var bestCfg space.Config
+	bestMean := -1.0
+	for _, cfg := range sp.Configs() {
+		sum := 0.0
+		for i, w := range workloads {
+			sum += 1 - w.Throughput(cfg)/opts[i]
+		}
+		mean := sum / float64(len(workloads))
+		if bestMean < 0 || mean < bestMean {
+			bestMean = mean
+			bestCfg = cfg
+		}
+	}
+	res := StaticResult{
+		BestStatic:  bestCfg,
+		MeanDFO:     bestMean,
+		PerWorkload: make(map[string]float64, len(workloads)),
+	}
+	slowdowns := make([]float64, 0, len(workloads))
+	for i, w := range workloads {
+		tput := w.Throughput(bestCfg)
+		slow := opts[i] / tput
+		if tput <= 0 {
+			slow = 1e9
+		}
+		res.PerWorkload[w.Name] = slow
+		slowdowns = append(slowdowns, slow)
+		if slow > res.WorstSlowdown {
+			res.WorstSlowdown = slow
+			res.WorstWorkload = w.Name
+		}
+	}
+	res.P90Slowdown = stats.Percentile(slowdowns, 90)
+	return res
+}

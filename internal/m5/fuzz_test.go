@@ -1,0 +1,47 @@
+package m5
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzTrainPredict feeds arbitrary byte-derived training sets to the model
+// tree and asserts it neither panics nor produces non-finite predictions on
+// finite inputs (run with `go test -fuzz FuzzTrainPredict` to explore; the
+// seeds run as regular tests).
+func FuzzTrainPredict(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 254, 253, 252, 251, 250, 249, 248, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 12 {
+			return
+		}
+		var ins []Instance
+		for i := 0; i+12 <= len(data) && len(ins) < 200; i += 12 {
+			x0 := float64(binary.LittleEndian.Uint32(data[i:])%4800) / 100
+			x1 := float64(binary.LittleEndian.Uint32(data[i+4:])%4800) / 100
+			y := float64(int32(binary.LittleEndian.Uint32(data[i+8:]))%100000) / 10
+			ins = append(ins, Instance{X: []float64{x0, x1}, Y: y})
+		}
+		if len(ins) == 0 {
+			return
+		}
+		for _, opts := range []Options{DefaultOptions(), {MinLeaf: 1, Unpruned: true}, {ConstantLeaves: true}} {
+			tr := Train(ins, opts)
+			for _, in := range ins {
+				p := tr.Predict(in.X)
+				if math.IsNaN(p) || math.IsInf(p, 0) {
+					t.Fatalf("non-finite prediction %v on %v (opts %+v)", p, in.X, opts)
+				}
+			}
+			// Off-data probes must be finite too.
+			for _, probe := range [][]float64{{0, 0}, {48, 48}, {1, 48}, {48, 1}} {
+				if p := tr.Predict(probe); math.IsNaN(p) || math.IsInf(p, 0) {
+					t.Fatalf("non-finite prediction %v at probe %v", p, probe)
+				}
+			}
+		}
+	})
+}

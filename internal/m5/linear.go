@@ -1,0 +1,112 @@
+package m5
+
+import "math"
+
+// linearModel is a multivariate linear model y = intercept + coef . x.
+// A constant model has nil coefficients.
+type linearModel struct {
+	coef      []float64
+	intercept float64
+}
+
+func (m linearModel) predict(x []float64) float64 {
+	y := m.intercept
+	for i, c := range m.coef {
+		y += c * x[i]
+	}
+	return y
+}
+
+// params returns the effective number of fitted parameters, used by the
+// pruning penalty.
+func (m linearModel) params() int { return len(m.coef) + 1 }
+
+// constantModel fits the mean of the targets.
+func constantModel(data []Instance) linearModel {
+	sum := 0.0
+	for _, in := range data {
+		sum += in.Y
+	}
+	return linearModel{intercept: sum / float64(len(data))}
+}
+
+// fitLinear fits an ordinary-least-squares linear model with a tiny ridge
+// term for numerical stability on degenerate designs (collinear or
+// constant features are common in the tiny per-node samples of an online
+// tuner). Falls back to the constant model when the system is unsolvable
+// or the sample is smaller than the parameter count.
+func fitLinear(data []Instance, dim int) linearModel {
+	n := len(data)
+	if n <= dim+1 {
+		return constantModel(data)
+	}
+	// Normal equations over the augmented design [x, 1]: A w = b with
+	// A = X^T X + lambda*I, b = X^T y.
+	d := dim + 1
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d)
+	}
+	b := make([]float64, d)
+	xi := make([]float64, d)
+	for _, in := range data {
+		copy(xi, in.X)
+		xi[dim] = 1
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				a[i][j] += xi[i] * xi[j]
+			}
+			b[i] += xi[i] * in.Y
+		}
+	}
+	const lambda = 1e-8
+	for i := 0; i < d; i++ {
+		a[i][i] += lambda * (1 + a[i][i])
+	}
+	w, ok := solve(a, b)
+	if !ok {
+		return constantModel(data)
+	}
+	return linearModel{coef: w[:dim], intercept: w[dim]}
+}
+
+// solve performs Gaussian elimination with partial pivoting on the small
+// dense system a*w = b, destroying a and b. It reports failure on a
+// (numerically) singular matrix.
+func solve(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot: largest absolute value in this column.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	w := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * w[c]
+		}
+		w[r] = sum / a[r][r]
+	}
+	return w, true
+}

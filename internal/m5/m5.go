@@ -1,0 +1,331 @@
+// Package m5 implements the M5 model-tree learning algorithm (Quinlan,
+// "Learning with Continuous Classes", 1992; the M5P variant popularized by
+// Weka), the lightweight regressor AutoPN uses as base learner of its
+// bagging ensemble (§V-B of the paper, "Model construction").
+//
+// An M5 model tree is a decision tree for regression whose leaves hold
+// multivariate linear models, so the tree approximates an arbitrary
+// function by a piece-wise linear model. Training proceeds in three
+// phases: (1) grow a tree by recursively choosing the split that maximizes
+// standard-deviation reduction (SDR); (2) fit a linear model at every node
+// and prune bottom-up wherever the node's own model (after a complexity
+// penalty) beats its subtree; (3) smooth predictions along the path from
+// leaf to root to reduce discontinuities between adjacent leaves.
+//
+// The implementation is dimension-generic but tuned for the tiny training
+// sets (tens of points, two features) that online self-tuning produces:
+// training an ensemble of 10 trees on 30 samples takes microseconds, which
+// is what makes per-sample retraining viable at run time.
+package m5
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Instance is one training example: a feature vector and its target value.
+type Instance struct {
+	X []float64
+	Y float64
+}
+
+// Options control tree construction.
+type Options struct {
+	// MinLeaf is the minimum number of instances per leaf (default 4).
+	MinLeaf int
+	// SDRatio stops splitting when a node's target standard deviation
+	// drops below this fraction of the root's (default 0.05).
+	SDRatio float64
+	// Smoothing enables M5's leaf-to-root prediction smoothing
+	// (recommended and default via DefaultOptions).
+	Smoothing bool
+	// SmoothK is the smoothing constant (default 15).
+	SmoothK float64
+	// Unpruned disables the pruning phase.
+	Unpruned bool
+	// PruningFactor multiplies the pruning penalty; 1 is Quinlan's
+	// heuristic (n+v)/(n-v).
+	PruningFactor float64
+	// ConstantLeaves replaces leaf linear models with node means (used by
+	// the leaf-model ablation bench).
+	ConstantLeaves bool
+}
+
+// DefaultOptions returns the configuration used by AutoPN: pruned,
+// smoothed trees with Quinlan's defaults.
+func DefaultOptions() Options {
+	return Options{MinLeaf: 2, SDRatio: 0.05, Smoothing: true, SmoothK: 15, PruningFactor: 1}
+}
+
+type node struct {
+	attr  int     // split attribute (leaf if left == nil)
+	value float64 // split threshold: left if x[attr] <= value
+	left  *node
+	right *node
+
+	model linearModel // model fitted on this node's instances
+	n     int         // number of training instances at this node
+}
+
+func (nd *node) isLeaf() bool { return nd.left == nil }
+
+// Tree is a trained M5 model tree.
+type Tree struct {
+	root *node
+	opts Options
+	dim  int
+}
+
+// Train builds a model tree from data. It panics if data is empty or the
+// instances disagree on dimensionality.
+func Train(data []Instance, opts Options) *Tree {
+	if len(data) == 0 {
+		panic("m5: empty training set")
+	}
+	dim := len(data[0].X)
+	for _, in := range data {
+		if len(in.X) != dim {
+			panic(fmt.Sprintf("m5: inconsistent dimensionality %d vs %d", len(in.X), dim))
+		}
+	}
+	if opts.MinLeaf <= 0 {
+		opts.MinLeaf = 4
+	}
+	if opts.SDRatio <= 0 {
+		opts.SDRatio = 0.05
+	}
+	if opts.SmoothK <= 0 {
+		opts.SmoothK = 15
+	}
+	if opts.PruningFactor <= 0 {
+		opts.PruningFactor = 1
+	}
+	t := &Tree{opts: opts, dim: dim}
+	rootSD := stddev(data)
+	working := make([]Instance, len(data))
+	copy(working, data)
+	t.root = t.build(working, rootSD)
+	if !opts.Unpruned {
+		t.prune(t.root, working)
+	}
+	return t
+}
+
+// Dim returns the feature dimensionality the tree was trained on.
+func (t *Tree) Dim() int { return t.dim }
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int { return countLeaves(t.root) }
+
+func countLeaves(nd *node) int {
+	if nd.isLeaf() {
+		return 1
+	}
+	return countLeaves(nd.left) + countLeaves(nd.right)
+}
+
+// Depth returns the maximum depth (a stump has depth 0).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(nd *node) int {
+	if nd.isLeaf() {
+		return 0
+	}
+	l, r := depth(nd.left), depth(nd.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Predict returns the tree's estimate for feature vector x.
+func (t *Tree) Predict(x []float64) float64 {
+	if len(x) != t.dim {
+		panic(fmt.Sprintf("m5: predict with dim %d, trained on %d", len(x), t.dim))
+	}
+	if !t.opts.Smoothing {
+		nd := t.root
+		for !nd.isLeaf() {
+			if x[nd.attr] <= nd.value {
+				nd = nd.left
+			} else {
+				nd = nd.right
+			}
+		}
+		return nd.model.predict(x)
+	}
+	pred, _ := smoothPredict(t.root, x, t.opts.SmoothK)
+	return pred
+}
+
+// smoothPredict implements M5 smoothing: the leaf prediction p is filtered
+// through each ancestor's model q as p' = (n*p + k*q) / (n + k), where n is
+// the number of instances at the child.
+func smoothPredict(nd *node, x []float64, k float64) (pred float64, childN int) {
+	if nd.isLeaf() {
+		return nd.model.predict(x), nd.n
+	}
+	var p float64
+	var n int
+	if x[nd.attr] <= nd.value {
+		p, n = smoothPredict(nd.left, x, k)
+	} else {
+		p, n = smoothPredict(nd.right, x, k)
+	}
+	q := nd.model.predict(x)
+	return (float64(n)*p + k*q) / (float64(n) + k), nd.n
+}
+
+// build grows the tree recursively.
+func (t *Tree) build(data []Instance, rootSD float64) *node {
+	nd := &node{n: len(data)}
+	nd.model = t.fitModel(data)
+	if len(data) < 2*t.opts.MinLeaf || stddev(data) < t.opts.SDRatio*rootSD {
+		return nd
+	}
+	attr, val, ok := t.bestSplit(data)
+	if !ok {
+		return nd
+	}
+	left, right := partition(data, attr, val)
+	if len(left) < t.opts.MinLeaf || len(right) < t.opts.MinLeaf {
+		return nd
+	}
+	nd.attr, nd.value = attr, val
+	nd.left = t.build(left, rootSD)
+	nd.right = t.build(right, rootSD)
+	return nd
+}
+
+// bestSplit scans every attribute and every midpoint between consecutive
+// distinct values, maximizing the standard deviation reduction
+// SDR = sd(all) - sum_i |side_i|/|all| * sd(side_i).
+func (t *Tree) bestSplit(data []Instance) (attr int, val float64, ok bool) {
+	total := len(data)
+	sdAll := stddev(data)
+	bestSDR := 0.0
+	idx := make([]int, total)
+	ys := make([]float64, total)
+	for a := 0; a < t.dim; a++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool { return data[idx[i]].X[a] < data[idx[j]].X[a] })
+		for i, id := range idx {
+			ys[i] = data[id].Y
+		}
+		// Prefix sums for O(1) per-candidate side deviations.
+		prefSum := make([]float64, total+1)
+		prefSq := make([]float64, total+1)
+		for i, y := range ys {
+			prefSum[i+1] = prefSum[i] + y
+			prefSq[i+1] = prefSq[i] + y*y
+		}
+		for i := t.opts.MinLeaf; i <= total-t.opts.MinLeaf; i++ {
+			lo, hi := data[idx[i-1]].X[a], data[idx[i]].X[a]
+			if lo == hi {
+				continue
+			}
+			sdL := sideSD(prefSum[i], prefSq[i], i)
+			sdR := sideSD(prefSum[total]-prefSum[i], prefSq[total]-prefSq[i], total-i)
+			sdr := sdAll - (float64(i)*sdL+float64(total-i)*sdR)/float64(total)
+			if sdr > bestSDR {
+				bestSDR = sdr
+				attr = a
+				val = (lo + hi) / 2
+				ok = true
+			}
+		}
+	}
+	return attr, val, ok
+}
+
+func sideSD(sum, sq float64, n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	mean := sum / float64(n)
+	v := sq/float64(n) - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+func partition(data []Instance, attr int, val float64) (left, right []Instance) {
+	for _, in := range data {
+		if in.X[attr] <= val {
+			left = append(left, in)
+		} else {
+			right = append(right, in)
+		}
+	}
+	return left, right
+}
+
+// prune walks bottom-up, replacing a subtree by its node model whenever the
+// penalized model error does not exceed the subtree's error (Quinlan's
+// criterion with penalty (n+v)/(n-v)).
+func (t *Tree) prune(nd *node, data []Instance) float64 {
+	modelErr := t.penalizedError(nd, data)
+	if nd.isLeaf() {
+		return modelErr
+	}
+	left, right := partition(data, nd.attr, nd.value)
+	subErr := (t.prune(nd.left, left)*float64(len(left)) +
+		t.prune(nd.right, right)*float64(len(right))) / float64(len(data))
+	if modelErr <= subErr {
+		nd.left, nd.right = nil, nil
+		return modelErr
+	}
+	return subErr
+}
+
+// penalizedError is the node model's mean absolute error on its own data,
+// inflated by the complexity penalty (n+v)/(n-v) (v = effective number of
+// parameters).
+func (t *Tree) penalizedError(nd *node, data []Instance) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	mae := 0.0
+	for _, in := range data {
+		mae += math.Abs(in.Y - nd.model.predict(in.X))
+	}
+	mae /= float64(len(data))
+	v := float64(nd.model.params())
+	n := float64(len(data))
+	if n > v {
+		mae *= (n + v*t.opts.PruningFactor) / (n - v)
+	} else {
+		mae *= 2 // heavily penalize over-parameterized nodes
+	}
+	return mae
+}
+
+// fitModel fits the node's linear model (or a constant, per options).
+func (t *Tree) fitModel(data []Instance) linearModel {
+	if t.opts.ConstantLeaves {
+		return constantModel(data)
+	}
+	return fitLinear(data, t.dim)
+}
+
+func stddev(data []Instance) float64 {
+	n := len(data)
+	if n < 2 {
+		return 0
+	}
+	sum, sq := 0.0, 0.0
+	for _, in := range data {
+		sum += in.Y
+		sq += in.Y * in.Y
+	}
+	mean := sum / float64(n)
+	v := sq/float64(n) - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,232 @@
+package m5
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"autopn/internal/stats"
+)
+
+func linearData(n int, f func(x []float64) float64, rng *stats.RNG, dim int) []Instance {
+	data := make([]Instance, n)
+	for i := range data {
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = rng.Float64() * 10
+		}
+		data[i] = Instance{X: x, Y: f(x)}
+	}
+	return data
+}
+
+func TestRecoversLinearFunction(t *testing.T) {
+	rng := stats.NewRNG(1)
+	f := func(x []float64) float64 { return 3*x[0] - 2*x[1] + 5 }
+	tr := Train(linearData(60, f, rng, 2), DefaultOptions())
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		want := f(x)
+		if got := tr.Predict(x); math.Abs(got-want) > 0.05*(1+math.Abs(want)) {
+			t.Fatalf("Predict(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestPiecewiseFunctionNeedsSplits(t *testing.T) {
+	rng := stats.NewRNG(2)
+	f := func(x []float64) float64 {
+		if x[0] < 5 {
+			return 10 * x[0]
+		}
+		return 100 - 8*(x[0]-5)
+	}
+	data := linearData(200, f, rng, 1)
+	tr := Train(data, DefaultOptions())
+	if tr.NumLeaves() < 2 {
+		t.Fatalf("tree has %d leaves; a hinge function needs a split", tr.NumLeaves())
+	}
+	// Predictions on both sides of the hinge.
+	mae := 0.0
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64() * 10}
+		mae += math.Abs(tr.Predict(x) - f(x))
+	}
+	mae /= 100
+	if mae > 6 {
+		t.Fatalf("MAE %v too high for a piecewise-linear target", mae)
+	}
+}
+
+func TestConstantTargetGivesStump(t *testing.T) {
+	data := make([]Instance, 20)
+	for i := range data {
+		data[i] = Instance{X: []float64{float64(i), float64(i % 5)}, Y: 7}
+	}
+	tr := Train(data, DefaultOptions())
+	if tr.NumLeaves() != 1 {
+		t.Fatalf("constant target produced %d leaves", tr.NumLeaves())
+	}
+	if got := tr.Predict([]float64{100, 100}); math.Abs(got-7) > 1e-3 {
+		t.Fatalf("Predict = %v, want 7", got)
+	}
+}
+
+func TestTinyTrainingSetWorks(t *testing.T) {
+	// The online tuner trains on as few as 3 samples.
+	data := []Instance{
+		{X: []float64{1, 1}, Y: 10},
+		{X: []float64{48, 1}, Y: 50},
+		{X: []float64{1, 48}, Y: 5},
+	}
+	tr := Train(data, DefaultOptions())
+	if got := tr.Predict([]float64{24, 1}); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("prediction on tiny set = %v", got)
+	}
+}
+
+func TestPruningReducesLeavesOnNoise(t *testing.T) {
+	rng := stats.NewRNG(3)
+	// Pure noise: an unpruned deep tree overfits; pruning should collapse
+	// most of it.
+	data := make([]Instance, 100)
+	for i := range data {
+		data[i] = Instance{X: []float64{rng.Float64() * 10, rng.Float64() * 10}, Y: rng.NormFloat64()}
+	}
+	opts := DefaultOptions()
+	unpruned := opts
+	unpruned.Unpruned = true
+	a := Train(data, unpruned)
+	b := Train(data, opts)
+	if b.NumLeaves() > a.NumLeaves() {
+		t.Fatalf("pruned tree has more leaves (%d) than unpruned (%d)", b.NumLeaves(), a.NumLeaves())
+	}
+}
+
+func TestSmoothingStaysFinite(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := stats.NewRNG(seed)
+		count := int(n%50) + 1
+		data := make([]Instance, count)
+		for i := range data {
+			data[i] = Instance{
+				X: []float64{rng.Float64() * 48, rng.Float64() * 48},
+				Y: rng.Float64() * 1000,
+			}
+		}
+		tr := Train(data, DefaultOptions())
+		for i := 0; i < 20; i++ {
+			x := []float64{rng.Float64() * 48, rng.Float64() * 48}
+			p := tr.Predict(x)
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantLeavesOption(t *testing.T) {
+	rng := stats.NewRNG(4)
+	f := func(x []float64) float64 { return 5 * x[0] }
+	data := linearData(40, f, rng, 1)
+	opts := DefaultOptions()
+	opts.ConstantLeaves = true
+	tr := Train(data, opts)
+	// Constant-leaf trees cannot extrapolate a slope: far outside the
+	// training range the prediction stays near the data's range.
+	if got := tr.Predict([]float64{100}); got > 60 {
+		t.Fatalf("constant-leaf tree extrapolated to %v", got)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	tr := Train([]Instance{{X: []float64{1, 2}, Y: 3}}, DefaultOptions())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	tr.Predict([]float64{1})
+}
+
+func TestEmptyTrainingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty training set")
+		}
+	}()
+	Train(nil, DefaultOptions())
+}
+
+func TestSolveAgainstKnownSystem(t *testing.T) {
+	a := [][]float64{{2, 1, 0}, {1, 3, 1}, {0, 1, 2}}
+	b := []float64{5, 10, 7}
+	w, ok := solve(a, b)
+	if !ok {
+		t.Fatal("solve failed on a well-conditioned system")
+	}
+	// Verify A*w = b using fresh copies (solve destroys its arguments).
+	a2 := [][]float64{{2, 1, 0}, {1, 3, 1}, {0, 1, 2}}
+	b2 := []float64{5, 10, 7}
+	for i := range a2 {
+		sum := 0.0
+		for j := range w {
+			sum += a2[i][j] * w[j]
+		}
+		if math.Abs(sum-b2[i]) > 1e-9 {
+			t.Fatalf("residual row %d: %v", i, sum-b2[i])
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, ok := solve(a, b); ok {
+		t.Fatal("solve accepted a singular matrix")
+	}
+}
+
+func TestDepthAndDim(t *testing.T) {
+	rng := stats.NewRNG(5)
+	f := func(x []float64) float64 {
+		if x[0] < 5 {
+			return x[1]
+		}
+		return 50 + x[1]
+	}
+	tr := Train(linearData(120, f, rng, 2), DefaultOptions())
+	if tr.Dim() != 2 {
+		t.Fatalf("Dim = %d", tr.Dim())
+	}
+	if tr.NumLeaves() > 1 && tr.Depth() < 1 {
+		t.Fatalf("Depth = %d with %d leaves", tr.Depth(), tr.NumLeaves())
+	}
+}
+
+func TestTreeStringRendering(t *testing.T) {
+	rng := stats.NewRNG(6)
+	f := func(x []float64) float64 {
+		if x[0] < 5 {
+			return 10 * x[0]
+		}
+		return 100 - 8*(x[0]-5)
+	}
+	tr := Train(linearData(200, f, rng, 1), DefaultOptions())
+	out := tr.String()
+	if !strings.Contains(out, "leaf: y =") {
+		t.Fatalf("rendering missing leaves:\n%s", out)
+	}
+	if tr.NumLeaves() > 1 && !strings.Contains(out, "x0 <=") {
+		t.Fatalf("rendering missing split condition:\n%s", out)
+	}
+	if strings.Count(out, "leaf:") != tr.NumLeaves() {
+		t.Fatalf("rendered %d leaves, tree has %d:\n%s",
+			strings.Count(out, "leaf:"), tr.NumLeaves(), out)
+	}
+}

@@ -1,0 +1,51 @@
+package m5
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the tree structure for inspection and debugging: split
+// conditions on interior nodes and linear models on every node, e.g.
+//
+//	x0 <= 12.5 (n=30)
+//	  x1 <= 3.5 (n=18)
+//	    leaf: y = 42.1 + 3.2*x0 - 1.1*x1 (n=9)
+//	    ...
+//
+// The tuner's feature order is x0 = t, x1 = c.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	renderNode(&sb, t.root, 0)
+	return sb.String()
+}
+
+func renderNode(sb *strings.Builder, nd *node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if nd.isLeaf() {
+		fmt.Fprintf(sb, "%sleaf: y = %s (n=%d)\n", indent, nd.model, nd.n)
+		return
+	}
+	fmt.Fprintf(sb, "%sx%d <= %g (n=%d, node model y = %s)\n",
+		indent, nd.attr, nd.value, nd.n, nd.model)
+	renderNode(sb, nd.left, depth+1)
+	renderNode(sb, nd.right, depth+1)
+}
+
+// String renders the linear model as "b0 + b1*x0 + b2*x1 ...", eliding
+// zero coefficients.
+func (m linearModel) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%.4g", m.intercept)
+	for i, c := range m.coef {
+		switch {
+		case c == 0:
+			continue
+		case c > 0:
+			fmt.Fprintf(&sb, " + %.4g*x%d", c, i)
+		default:
+			fmt.Fprintf(&sb, " - %.4g*x%d", -c, i)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,96 @@
+package monitor
+
+import (
+	"sync"
+	"time"
+)
+
+// Live connects a Policy to a real, running STM: install Live.OnCommit as
+// the STM's commit hook and call Measure to run one monitoring window.
+// Deadlines are enforced by polling the clock at PollInterval, which only
+// matters for live (wall-clock) runs; the simulator drives policies
+// directly and does not use Live.
+type Live struct {
+	// PollInterval bounds how late a deadline can fire (default 1ms).
+	PollInterval time.Duration
+
+	clock Clock
+
+	mu     sync.Mutex
+	active *liveWindow
+}
+
+type liveWindow struct {
+	policy Policy
+	done   chan Measurement
+}
+
+// NewLive returns a live monitor reading the given clock.
+func NewLive(clock Clock) *Live {
+	return &Live{clock: clock, PollInterval: time.Millisecond}
+}
+
+// OnCommit records one top-level commit. It is safe for concurrent use and
+// cheap when no window is active; install it via stm.Options.CommitHook.
+func (l *Live) OnCommit() {
+	l.mu.Lock()
+	w := l.active
+	if w == nil {
+		l.mu.Unlock()
+		return
+	}
+	now := l.clock.Now()
+	if w.policy.OnCommit(now) {
+		l.active = nil
+		l.mu.Unlock()
+		w.done <- w.policy.Result(now, false)
+		return
+	}
+	l.mu.Unlock()
+}
+
+// Measure runs one monitoring window under the given policy and blocks
+// until it completes (by accuracy criterion or deadline). Only one window
+// may be active at a time; concurrent Measure calls are serialized by the
+// caller's protocol (the tuner measures sequentially).
+func (l *Live) Measure(policy Policy) Measurement {
+	now := l.clock.Now()
+	policy.Begin(now)
+	w := &liveWindow{policy: policy, done: make(chan Measurement, 1)}
+
+	l.mu.Lock()
+	if l.active != nil {
+		l.mu.Unlock()
+		panic("monitor: concurrent Measure calls")
+	}
+	l.active = w
+	l.mu.Unlock()
+
+	poll := l.PollInterval
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case m := <-w.done:
+			return m
+		case <-ticker.C:
+			l.mu.Lock()
+			if l.active != w {
+				// The window completed concurrently; its result is in done.
+				l.mu.Unlock()
+				return <-w.done
+			}
+			now := l.clock.Now()
+			if dl, ok := w.policy.Deadline(); ok && now >= dl {
+				l.active = nil
+				m := w.policy.Result(now, true)
+				l.mu.Unlock()
+				return m
+			}
+			l.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package monitor implements AutoPN's KPI monitor (§VI of the paper): it
+// turns the stream of top-level commit events of a PN-STM into throughput
+// measurements, deciding when a measurement window has become accurate
+// enough to report.
+//
+// The paper's adaptive policy combines two mechanisms:
+//
+//  1. CV-based stability: the throughput estimate T(i) = i / time(i) is
+//     recomputed on every commit, and the window ends once the coefficient
+//     of variation of the T(i) sequence drops below a threshold (10% is
+//     the robust default for PN-TM);
+//  2. an adaptive timeout of 1/T(1,1) — the mean inter-commit time of the
+//     sequential configuration — after which a window ends even without a
+//     stable (or any) commit, so that pathologically bad configurations
+//     cannot stall the tuning process.
+//
+// The static policies the paper compares against (fixed wall-clock windows
+// and fixed commit counts, §VII-D) are provided as well.
+//
+// All policies are passive state machines driven by Begin/OnCommit/
+// Deadline, so they work identically under the real-time clock (live runs)
+// and the virtual clock of the discrete-event simulator.
+package monitor
+
+import (
+	"time"
+
+	"autopn/internal/stats"
+)
+
+// Clock supplies monotonic elapsed time since an arbitrary epoch. The
+// simulator provides a virtual implementation; live runs use WallClock.
+type Clock interface {
+	Now() time.Duration
+}
+
+// WallClock is a Clock reading the host's monotonic clock.
+type WallClock struct {
+	start time.Time
+}
+
+// NewWallClock returns a wall clock with its epoch at the call time.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now implements Clock.
+func (w *WallClock) Now() time.Duration { return time.Since(w.start) }
+
+// Measurement is the outcome of one monitoring window.
+type Measurement struct {
+	// Throughput in committed top-level transactions per second.
+	Throughput float64
+	// Commits observed during the window.
+	Commits int
+	// Elapsed duration of the window.
+	Elapsed time.Duration
+	// TimedOut reports that the window was ended by a timeout rather than
+	// by the policy's accuracy criterion.
+	TimedOut bool
+	// CV is the final coefficient of variation of the running throughput
+	// estimates (0 when fewer than two commits were seen).
+	CV float64
+}
+
+// Policy decides when a measurement window is complete. Implementations
+// are not safe for concurrent use; the driver must serialize calls.
+type Policy interface {
+	// Begin starts a new window at the given time.
+	Begin(now time.Duration)
+	// OnCommit records a commit at the given time and reports whether the
+	// window is complete.
+	OnCommit(now time.Duration) bool
+	// Touch notes that a commit event was witnessed without sampling it —
+	// used for transactions admitted under a previous configuration that
+	// drain during the window. Touch keeps gap-based timeouts from firing
+	// (the system is demonstrably live) while keeping the throughput
+	// estimate attributed to the configuration under measurement.
+	Touch(now time.Duration)
+	// Deadline returns the absolute time at which the window must be
+	// force-ended if no further commit arrives, and whether such a
+	// deadline exists.
+	Deadline() (time.Duration, bool)
+	// Result summarizes the window as of now. timedOut marks deadline-
+	// triggered completion.
+	Result(now time.Duration, timedOut bool) Measurement
+}
+
+// windowCore holds the bookkeeping shared by all policies.
+type windowCore struct {
+	start      time.Duration
+	lastCommit time.Duration
+	commits    int
+	tput       stats.Summary
+}
+
+func (w *windowCore) begin(now time.Duration) {
+	w.start = now
+	w.lastCommit = now
+	w.commits = 0
+	w.tput.Reset()
+}
+
+func (w *windowCore) touch(now time.Duration) {
+	w.lastCommit = now
+}
+
+func (w *windowCore) onCommit(now time.Duration) {
+	w.commits++
+	w.lastCommit = now
+	if elapsed := now - w.start; elapsed > 0 {
+		w.tput.Add(float64(w.commits) / elapsed.Seconds())
+	}
+}
+
+func (w *windowCore) result(now time.Duration, timedOut bool) Measurement {
+	elapsed := now - w.start
+	m := Measurement{
+		Commits:  w.commits,
+		Elapsed:  elapsed,
+		TimedOut: timedOut,
+		CV:       w.tput.CV(),
+	}
+	if elapsed > 0 {
+		m.Throughput = float64(w.commits) / elapsed.Seconds()
+	}
+	return m
+}
+
+// CVPolicy is the paper's adaptive policy: the window ends when the CV of
+// the running throughput estimates falls below CVThreshold (after at least
+// MinCommits commits), or when GapTimeout elapses without a commit, or when
+// the window exceeds MaxWindow (a safety bound for configurations whose
+// throughput never stabilizes).
+type CVPolicy struct {
+	// CVThreshold is the stability criterion; the paper finds 10% (0.10)
+	// robust for PN-TM systems.
+	CVThreshold float64
+	// MinCommits is the minimum number of commits before CV is trusted.
+	MinCommits int
+	// GapTimeout ends the window if no commit arrives for this long; the
+	// tuner sets it adaptively to 1/T(1,1). Zero disables it.
+	GapTimeout time.Duration
+	// MaxWindow bounds the total window duration. Zero disables it.
+	MaxWindow time.Duration
+
+	core windowCore
+}
+
+// NewCVPolicy returns a CVPolicy with the paper's defaults: CV 10%,
+// at least 5 commits, no timeouts (set GapTimeout once T(1,1) is known).
+func NewCVPolicy() *CVPolicy {
+	return &CVPolicy{CVThreshold: 0.10, MinCommits: 5}
+}
+
+// Begin implements Policy.
+func (p *CVPolicy) Begin(now time.Duration) { p.core.begin(now) }
+
+// OnCommit implements Policy.
+func (p *CVPolicy) OnCommit(now time.Duration) bool {
+	p.core.onCommit(now)
+	if p.core.commits < p.MinCommits || p.core.tput.N() < 2 {
+		return false
+	}
+	return p.core.tput.CV() <= p.CVThreshold
+}
+
+// Touch implements Policy.
+func (p *CVPolicy) Touch(now time.Duration) { p.core.touch(now) }
+
+// Deadline implements Policy.
+func (p *CVPolicy) Deadline() (time.Duration, bool) {
+	var d time.Duration
+	ok := false
+	if p.GapTimeout > 0 {
+		d = p.core.lastCommit + p.GapTimeout
+		ok = true
+	}
+	if p.MaxWindow > 0 {
+		if end := p.core.start + p.MaxWindow; !ok || end < d {
+			d = end
+			ok = true
+		}
+	}
+	return d, ok
+}
+
+// Result implements Policy.
+func (p *CVPolicy) Result(now time.Duration, timedOut bool) Measurement {
+	return p.core.result(now, timedOut)
+}
+
+// FixedTimePolicy measures for a statically configured duration (the
+// baseline of Fig. 7a/7b).
+type FixedTimePolicy struct {
+	Window time.Duration
+	core   windowCore
+}
+
+// Begin implements Policy.
+func (p *FixedTimePolicy) Begin(now time.Duration) { p.core.begin(now) }
+
+// OnCommit implements Policy.
+func (p *FixedTimePolicy) OnCommit(now time.Duration) bool {
+	p.core.onCommit(now)
+	return now-p.core.start >= p.Window
+}
+
+// Touch implements Policy.
+func (p *FixedTimePolicy) Touch(now time.Duration) { p.core.touch(now) }
+
+// Deadline implements Policy.
+func (p *FixedTimePolicy) Deadline() (time.Duration, bool) {
+	return p.core.start + p.Window, true
+}
+
+// Result implements Policy.
+func (p *FixedTimePolicy) Result(now time.Duration, timedOut bool) Measurement {
+	return p.core.result(now, timedOut)
+}
+
+// FixedCommitsPolicy waits for a fixed number of commits (the WNOC
+// baselines of Fig. 7c). GapTimeout, if non-zero, adds the paper's adaptive
+// timeout on top (the WPNOC variants); without it a starving configuration
+// can stall the window indefinitely, which is exactly the weakness the
+// paper demonstrates.
+type FixedCommitsPolicy struct {
+	Commits    int
+	GapTimeout time.Duration
+	core       windowCore
+}
+
+// Begin implements Policy.
+func (p *FixedCommitsPolicy) Begin(now time.Duration) { p.core.begin(now) }
+
+// OnCommit implements Policy.
+func (p *FixedCommitsPolicy) OnCommit(now time.Duration) bool {
+	p.core.onCommit(now)
+	return p.core.commits >= p.Commits
+}
+
+// Touch implements Policy.
+func (p *FixedCommitsPolicy) Touch(now time.Duration) { p.core.touch(now) }
+
+// Deadline implements Policy.
+func (p *FixedCommitsPolicy) Deadline() (time.Duration, bool) {
+	if p.GapTimeout <= 0 {
+		return 0, false
+	}
+	return p.core.lastCommit + p.GapTimeout, true
+}
+
+// Result implements Policy.
+func (p *FixedCommitsPolicy) Result(now time.Duration, timedOut bool) Measurement {
+	return p.core.result(now, timedOut)
+}
+
+// AdaptiveGapFromSequential converts the measured throughput of the (1,1)
+// configuration into the paper's adaptive timeout 1/T(1,1): the mean time
+// between commits of the sequential configuration. A non-positive
+// throughput yields the provided fallback.
+func AdaptiveGapFromSequential(t11Throughput float64, fallback time.Duration) time.Duration {
+	if t11Throughput <= 0 {
+		return fallback
+	}
+	return time.Duration(float64(time.Second) / t11Throughput)
+}

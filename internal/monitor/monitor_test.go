@@ -1,0 +1,194 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+)
+
+// feed drives a policy with commits at the given absolute times, returning
+// after the first commit the policy declares completion on (-1 if never).
+func feed(p Policy, start time.Duration, commits []time.Duration) int {
+	p.Begin(start)
+	for i, ts := range commits {
+		if p.OnCommit(ts) {
+			return i
+		}
+	}
+	return -1
+}
+
+// regular returns n commit timestamps with equal spacing.
+func regular(start, spacing time.Duration, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = start + time.Duration(i+1)*spacing
+	}
+	return out
+}
+
+func TestCVPolicyStabilizesOnRegularStream(t *testing.T) {
+	p := NewCVPolicy()
+	done := feed(p, 0, regular(0, 10*time.Millisecond, 500))
+	if done < 0 {
+		t.Fatal("CV policy never completed on a perfectly regular stream")
+	}
+	if done+1 < p.MinCommits {
+		t.Fatalf("completed after %d commits, below MinCommits %d", done+1, p.MinCommits)
+	}
+	m := p.Result(time.Duration(done+1)*10*time.Millisecond, false)
+	want := 100.0 // 1 commit / 10ms
+	if m.Throughput < want*0.9 || m.Throughput > want*1.1 {
+		t.Fatalf("throughput = %v, want ~%v", m.Throughput, want)
+	}
+	if m.CV > p.CVThreshold {
+		t.Fatalf("final CV %v above threshold", m.CV)
+	}
+}
+
+func TestCVPolicyNeedsMoreCommitsWhenIrregular(t *testing.T) {
+	// A stream whose inter-commit gaps alternate wildly keeps the running
+	// throughput estimates dispersed, so stabilization takes longer than
+	// for the regular stream.
+	reg := NewCVPolicy()
+	regDone := feed(reg, 0, regular(0, 10*time.Millisecond, 1000))
+
+	irr := NewCVPolicy()
+	var ts []time.Duration
+	now := time.Duration(0)
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			now += 2 * time.Millisecond
+		} else {
+			now += 40 * time.Millisecond
+		}
+		ts = append(ts, now)
+	}
+	irrDone := feed(irr, 0, ts)
+	if irrDone >= 0 && regDone >= 0 && irrDone <= regDone {
+		t.Fatalf("irregular stream stabilized after %d commits, regular after %d", irrDone+1, regDone+1)
+	}
+}
+
+func TestCVPolicyGapTimeoutDeadline(t *testing.T) {
+	p := NewCVPolicy()
+	p.GapTimeout = 100 * time.Millisecond
+	p.Begin(1 * time.Second)
+	dl, ok := p.Deadline()
+	if !ok || dl != 1100*time.Millisecond {
+		t.Fatalf("initial deadline = (%v,%v)", dl, ok)
+	}
+	p.OnCommit(1050 * time.Millisecond)
+	if dl, _ := p.Deadline(); dl != 1150*time.Millisecond {
+		t.Fatalf("deadline after commit = %v, want 1.15s", dl)
+	}
+}
+
+func TestCVPolicyMaxWindowDominatesWhenEarlier(t *testing.T) {
+	p := NewCVPolicy()
+	p.GapTimeout = time.Hour
+	p.MaxWindow = time.Second
+	p.Begin(0)
+	dl, ok := p.Deadline()
+	if !ok || dl != time.Second {
+		t.Fatalf("deadline = (%v,%v), want (1s,true)", dl, ok)
+	}
+}
+
+func TestFixedTimePolicy(t *testing.T) {
+	p := &FixedTimePolicy{Window: 500 * time.Millisecond}
+	p.Begin(0)
+	if dl, ok := p.Deadline(); !ok || dl != 500*time.Millisecond {
+		t.Fatalf("deadline = (%v,%v)", dl, ok)
+	}
+	if p.OnCommit(100 * time.Millisecond) {
+		t.Fatal("completed before the window elapsed")
+	}
+	if !p.OnCommit(500 * time.Millisecond) {
+		t.Fatal("did not complete at the window boundary")
+	}
+	m := p.Result(500*time.Millisecond, false)
+	if m.Commits != 2 || m.Throughput != 4 {
+		t.Fatalf("measurement = %+v", m)
+	}
+}
+
+func TestFixedCommitsPolicy(t *testing.T) {
+	p := &FixedCommitsPolicy{Commits: 3}
+	p.Begin(0)
+	if _, ok := p.Deadline(); ok {
+		t.Fatal("WNOC must have no deadline")
+	}
+	done := feed(p, 0, regular(0, time.Millisecond, 10))
+	if done != 2 {
+		t.Fatalf("completed at commit %d, want 2 (the 3rd)", done)
+	}
+	// WPNOC variant: gap timeout produces a deadline.
+	p2 := &FixedCommitsPolicy{Commits: 3, GapTimeout: 50 * time.Millisecond}
+	p2.Begin(time.Second)
+	if dl, ok := p2.Deadline(); !ok || dl != 1050*time.Millisecond {
+		t.Fatalf("WPNOC deadline = (%v,%v)", dl, ok)
+	}
+}
+
+func TestResultTimedOutZeroCommits(t *testing.T) {
+	p := NewCVPolicy()
+	p.GapTimeout = 10 * time.Millisecond
+	p.Begin(0)
+	m := p.Result(10*time.Millisecond, true)
+	if !m.TimedOut || m.Commits != 0 || m.Throughput != 0 {
+		t.Fatalf("timed-out empty window measurement = %+v", m)
+	}
+}
+
+func TestAdaptiveGapFromSequential(t *testing.T) {
+	if got := AdaptiveGapFromSequential(100, time.Minute); got != 10*time.Millisecond {
+		t.Fatalf("1/T(1,1) for 100/s = %v, want 10ms", got)
+	}
+	if got := AdaptiveGapFromSequential(0, time.Minute); got != time.Minute {
+		t.Fatalf("fallback = %v", got)
+	}
+}
+
+func TestLiveMonitorMeasuresRealStream(t *testing.T) {
+	clock := NewWallClock()
+	live := NewLive(clock)
+	stop := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				live.OnCommit()
+			}
+		}
+	}()
+	defer close(stop)
+
+	p := NewCVPolicy()
+	p.CVThreshold = 0.3
+	p.MaxWindow = 2 * time.Second
+	m := live.Measure(p)
+	if m.Commits < p.MinCommits && !m.TimedOut {
+		t.Fatalf("measurement = %+v", m)
+	}
+	if m.Throughput <= 0 {
+		t.Fatalf("throughput = %v", m.Throughput)
+	}
+}
+
+func TestLiveMonitorDeadlineFiresWithoutCommits(t *testing.T) {
+	live := NewLive(NewWallClock())
+	p := NewCVPolicy()
+	p.MaxWindow = 30 * time.Millisecond
+	start := time.Now()
+	m := live.Measure(p)
+	if !m.TimedOut {
+		t.Fatal("expected timeout with no commits")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("deadline enforcement took %v", elapsed)
+	}
+}

@@ -1,0 +1,214 @@
+// Package pnpool implements the actuator of AutoPN (§VI of the paper): it
+// enforces, at run time and transparently to application code, the current
+// parallelism-degree configuration (t, c) of a parallel-nesting STM.
+//
+// Top-level transaction begins are intercepted (via the stm.Throttle
+// interface) and gated by a resizable semaphore of capacity t; each
+// transaction tree receives a child gate of capacity c limiting its
+// concurrently running nested transactions. Both capacities can be changed
+// while transactions are in flight: Pool.Apply never blocks and takes
+// effect immediately for new admissions (shrinking waits for naturally
+// released slots rather than interrupting running transactions, matching
+// the paper's semaphore-based design).
+package pnpool
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"autopn/internal/space"
+	"autopn/internal/stm"
+)
+
+// Semaphore is a counting semaphore whose capacity can be changed at any
+// time. Shrinking below the number of currently held slots does not revoke
+// them; the semaphore simply refuses new admissions until enough slots are
+// released. Use NewSemaphore; the zero value is unusable.
+type Semaphore struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cap  int
+	held int
+}
+
+// NewSemaphore returns a semaphore with the given initial capacity
+// (minimum 1).
+func NewSemaphore(capacity int) *Semaphore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	s := &Semaphore{cap: capacity}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Acquire blocks until a slot is available and takes it.
+func (s *Semaphore) Acquire() {
+	s.mu.Lock()
+	for s.held >= s.cap {
+		s.cond.Wait()
+	}
+	s.held++
+	s.mu.Unlock()
+}
+
+// TryAcquire takes a slot if one is immediately available.
+func (s *Semaphore) TryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.held >= s.cap {
+		return false
+	}
+	s.held++
+	return true
+}
+
+// Release returns a slot. Releasing more than was acquired panics.
+func (s *Semaphore) Release() {
+	s.mu.Lock()
+	if s.held <= 0 {
+		s.mu.Unlock()
+		panic("pnpool: semaphore released more than acquired")
+	}
+	s.held--
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Resize changes the capacity (minimum 1). Growing wakes waiters;
+// shrinking lets currently held slots drain naturally.
+func (s *Semaphore) Resize(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	s.mu.Lock()
+	grow := capacity > s.cap
+	s.cap = capacity
+	s.mu.Unlock()
+	if grow {
+		s.cond.Broadcast()
+	}
+}
+
+// Capacity returns the current capacity.
+func (s *Semaphore) Capacity() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cap
+}
+
+// Held returns the number of currently held slots.
+func (s *Semaphore) Held() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.held
+}
+
+// Pool is the actuator. It implements stm.Throttle: install it on an STM
+// with stm.Options.Throttle (or STM.SetThrottle) and every transaction is
+// admitted according to the current configuration.
+type Pool struct {
+	top *Semaphore
+
+	// Child admission across all trees shares one mutex/cond so that a
+	// capacity increase can wake every waiting child regardless of tree.
+	// Each tree still has its own held counter (the limit is per tree).
+	childMu   sync.Mutex
+	childCond *sync.Cond
+	childCap  int
+
+	// current is the last applied configuration, for the ad-hoc
+	// introspection API the paper describes (applications may query the
+	// tuned degree of parallelism, e.g. to adapt data partitioning).
+	current atomic.Pointer[space.Config]
+
+	// applied counts configuration changes (for tests and reporting).
+	applied atomic.Uint64
+}
+
+var _ stm.Throttle = (*Pool)(nil)
+
+// New returns a Pool initialized to cfg.
+func New(cfg space.Config) *Pool {
+	cfg = clamp(cfg)
+	p := &Pool{top: NewSemaphore(cfg.T), childCap: cfg.C}
+	p.childCond = sync.NewCond(&p.childMu)
+	c := cfg
+	p.current.Store(&c)
+	return p
+}
+
+func clamp(cfg space.Config) space.Config {
+	if cfg.T < 1 {
+		cfg.T = 1
+	}
+	if cfg.C < 1 {
+		cfg.C = 1
+	}
+	return cfg
+}
+
+// Apply reconfigures the pool to cfg, immediately affecting new admissions
+// of both top-level and nested transactions (including trees already in
+// flight).
+func (p *Pool) Apply(cfg space.Config) {
+	cfg = clamp(cfg)
+	p.top.Resize(cfg.T)
+	p.childMu.Lock()
+	p.childCap = cfg.C
+	p.childMu.Unlock()
+	p.childCond.Broadcast()
+	c := cfg
+	p.current.Store(&c)
+	p.applied.Add(1)
+}
+
+// Current returns the configuration currently enforced. This is the
+// "expose the optimal degree of inter/intra-transaction concurrency via an
+// ad-hoc API" hook of §VI.
+func (p *Pool) Current() space.Config { return *p.current.Load() }
+
+// Applications returns how many times Apply has been called.
+func (p *Pool) Applications() uint64 { return p.applied.Load() }
+
+// TopHeld returns the number of currently admitted top-level transactions.
+func (p *Pool) TopHeld() int { return p.top.Held() }
+
+// EnterTop implements stm.Throttle.
+func (p *Pool) EnterTop() { p.top.Acquire() }
+
+// ExitTop implements stm.Throttle.
+func (p *Pool) ExitTop() { p.top.Release() }
+
+// NewTreeGate implements stm.Throttle: each transaction tree gets a gate
+// whose capacity tracks the pool's current c.
+func (p *Pool) NewTreeGate() stm.TreeGate {
+	return &treeGate{pool: p}
+}
+
+// treeGate limits concurrent children of one tree to the pool's current c.
+type treeGate struct {
+	pool *Pool
+	held int // guarded by pool.childMu
+}
+
+func (g *treeGate) EnterChild() {
+	p := g.pool
+	p.childMu.Lock()
+	for g.held >= p.childCap {
+		p.childCond.Wait()
+	}
+	g.held++
+	p.childMu.Unlock()
+}
+
+func (g *treeGate) ExitChild() {
+	p := g.pool
+	p.childMu.Lock()
+	g.held--
+	p.childMu.Unlock()
+	// Broadcast rather than Signal: waiters of other (full) trees may be
+	// ineligible, and Signal could wake only such a waiter, stalling an
+	// eligible one. Admission is not hot enough for this to matter.
+	p.childCond.Broadcast()
+}

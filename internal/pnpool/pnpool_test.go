@@ -1,0 +1,194 @@
+package pnpool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autopn/internal/space"
+)
+
+func TestSemaphoreBasic(t *testing.T) {
+	s := NewSemaphore(2)
+	s.Acquire()
+	s.Acquire()
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire succeeded at capacity")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire failed with a free slot")
+	}
+	if s.Held() != 2 || s.Capacity() != 2 {
+		t.Fatalf("held=%d cap=%d", s.Held(), s.Capacity())
+	}
+}
+
+func TestSemaphoreOverReleasePanics(t *testing.T) {
+	s := NewSemaphore(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Release()
+}
+
+func TestSemaphoreEnforcesLimitUnderContention(t *testing.T) {
+	s := NewSemaphore(3)
+	var cur, max atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.Acquire()
+				v := cur.Add(1)
+				for {
+					m := max.Load()
+					if v <= m || max.CompareAndSwap(m, v) {
+						break
+					}
+				}
+				cur.Add(-1)
+				s.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if m := max.Load(); m > 3 {
+		t.Fatalf("observed %d concurrent holders, capacity 3", m)
+	}
+}
+
+func TestSemaphoreGrowWakesWaiters(t *testing.T) {
+	s := NewSemaphore(1)
+	s.Acquire()
+	acquired := make(chan struct{})
+	go func() {
+		s.Acquire()
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second Acquire succeeded at capacity 1")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Resize(2)
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("Resize did not wake the waiter")
+	}
+}
+
+func TestSemaphoreShrinkDrainsNaturally(t *testing.T) {
+	s := NewSemaphore(3)
+	s.Acquire()
+	s.Acquire()
+	s.Acquire()
+	s.Resize(1)
+	if s.TryAcquire() {
+		t.Fatal("admission above shrunken capacity")
+	}
+	s.Release()
+	s.Release()
+	if s.TryAcquire() {
+		t.Fatal("held 2 > new capacity 1, but admission allowed")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("no admission after drain")
+	}
+}
+
+func TestPoolAppliesConfig(t *testing.T) {
+	p := New(space.Config{T: 2, C: 3})
+	if cur := p.Current(); cur != (space.Config{T: 2, C: 3}) {
+		t.Fatalf("Current = %v", cur)
+	}
+	p.Apply(space.Config{T: 4, C: 1})
+	if cur := p.Current(); cur != (space.Config{T: 4, C: 1}) {
+		t.Fatalf("Current after Apply = %v", cur)
+	}
+	if p.Applications() != 1 {
+		t.Fatalf("Applications = %d", p.Applications())
+	}
+	// Degenerate configs are clamped.
+	p.Apply(space.Config{T: 0, C: -1})
+	if cur := p.Current(); cur != (space.Config{T: 1, C: 1}) {
+		t.Fatalf("clamped Current = %v", cur)
+	}
+}
+
+func TestTreeGatePerTreeLimit(t *testing.T) {
+	p := New(space.Config{T: 8, C: 2})
+	gate := p.NewTreeGate()
+	var cur, max atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 30; j++ {
+				gate.EnterChild()
+				v := cur.Add(1)
+				for {
+					m := max.Load()
+					if v <= m || max.CompareAndSwap(m, v) {
+						break
+					}
+				}
+				cur.Add(-1)
+				gate.ExitChild()
+			}
+		}()
+	}
+	wg.Wait()
+	if m := max.Load(); m > 2 {
+		t.Fatalf("tree gate admitted %d concurrent children, limit 2", m)
+	}
+}
+
+func TestTreeGatesAreIndependent(t *testing.T) {
+	p := New(space.Config{T: 8, C: 1})
+	g1 := p.NewTreeGate()
+	g2 := p.NewTreeGate()
+	g1.EnterChild()
+	done := make(chan struct{})
+	go func() {
+		g2.EnterChild() // a different tree: must not block on g1's slot
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("gates are not independent across trees")
+	}
+	g1.ExitChild()
+	g2.ExitChild()
+}
+
+func TestApplyGrowsChildCapacityForInFlightTrees(t *testing.T) {
+	p := New(space.Config{T: 4, C: 1})
+	gate := p.NewTreeGate()
+	gate.EnterChild()
+	admitted := make(chan struct{})
+	go func() {
+		gate.EnterChild()
+		close(admitted)
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("second child admitted at c=1")
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.Apply(space.Config{T: 4, C: 2})
+	select {
+	case <-admitted:
+	case <-time.After(time.Second):
+		t.Fatal("capacity increase did not reach the in-flight tree")
+	}
+}

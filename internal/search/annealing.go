@@ -1,0 +1,97 @@
+package search
+
+import (
+	"math"
+
+	"autopn/internal/space"
+	"autopn/internal/stats"
+)
+
+// Annealing is simulated annealing over the (t, c) grid (the paper's SA
+// baseline): a random-walk hill climber that accepts a worsening move with
+// probability exp(-delta / T), where the temperature T decays geometrically
+// after every evaluation. The meta-parameters below are the robust settings
+// identified by an offline grid search mirroring the paper's 10-fold
+// cross-validated meta-tuning (see the calibration test in this package).
+type Annealing struct {
+	tracker
+	sp  *space.Space
+	rng *stats.RNG
+
+	// InitialTemp is the starting temperature, expressed as a fraction of
+	// the first observed KPI (temperature must share the KPI's scale for
+	// exp(-delta/T) to be meaningful across workloads).
+	InitialTemp float64
+	// Cooling is the geometric decay factor applied per evaluation.
+	Cooling float64
+	// FreezeTemp stops the search once T falls below FreezeTemp times the
+	// initial temperature.
+	FreezeTemp float64
+
+	current    space.Config
+	currentKPI float64
+	temp       float64 // absolute temperature, set on first observation
+	temp0      float64 // initial absolute temperature
+	proposal   space.Config
+	known      map[space.Config]float64
+	steps      int
+	done       bool
+}
+
+// NewAnnealing returns an SA optimizer with the calibrated defaults
+// (initial temperature 30% of the first KPI, cooling 0.90, freeze at 1%).
+func NewAnnealing(sp *space.Space, rng *stats.RNG) *Annealing {
+	return &Annealing{
+		sp:          sp,
+		rng:         rng,
+		InitialTemp: 0.30,
+		Cooling:     0.90,
+		FreezeTemp:  0.01,
+		current:     sp.At(rng.Intn(sp.Size())),
+		known:       make(map[space.Config]float64),
+	}
+}
+
+// Name implements Optimizer.
+func (a *Annealing) Name() string { return "simulated-annealing" }
+
+// Next implements Optimizer.
+func (a *Annealing) Next() (space.Config, bool) {
+	if a.done {
+		return space.Config{}, true
+	}
+	if a.steps == 0 {
+		a.proposal = a.current
+		return a.current, false
+	}
+	// Propose a random neighbor of the current point.
+	nbs := a.sp.Neighbors(a.current)
+	a.proposal = nbs[a.rng.Intn(len(nbs))]
+	return a.proposal, false
+}
+
+// Observe implements Optimizer.
+func (a *Annealing) Observe(cfg space.Config, kpi float64) {
+	a.note(cfg, kpi)
+	a.known[cfg] = kpi
+	if a.steps == 0 {
+		a.current, a.currentKPI = cfg, kpi
+		scale := math.Abs(kpi)
+		if scale == 0 {
+			scale = 1
+		}
+		a.temp = a.InitialTemp * scale
+		a.temp0 = a.temp
+		a.steps++
+		return
+	}
+	delta := a.currentKPI - kpi // positive when the proposal is worse
+	if delta <= 0 || a.rng.Float64() < math.Exp(-delta/a.temp) {
+		a.current, a.currentKPI = cfg, kpi
+	}
+	a.temp *= a.Cooling
+	a.steps++
+	if a.temp < a.FreezeTemp*a.temp0 {
+		a.done = true
+	}
+}

@@ -1,0 +1,188 @@
+package search
+
+import (
+	"autopn/internal/space"
+	"autopn/internal/stats"
+)
+
+// Genetic is the paper's GA baseline: candidate configurations are encoded
+// as chromosomes (here, the (t, c) integer pair), evolved by elitism,
+// tournament selection, single-point crossover and per-gene mutation.
+// Offspring that violate the t*c <= n constraint are repaired by shrinking
+// the larger gene. Evolution stops when the best fitness has not improved
+// across StallGenerations consecutive generations.
+//
+// The meta-parameters are the robust settings identified by the offline
+// meta-tuning mirroring the paper's protocol (population 20, elitism 2,
+// crossover 0.9, mutation 0.15, stall window 4).
+type Genetic struct {
+	tracker
+	sp  *space.Space
+	rng *stats.RNG
+
+	PopulationSize   int
+	Elites           int
+	CrossoverRate    float64
+	MutationRate     float64
+	StallGenerations int
+
+	population []space.Config
+	fitness    []float64
+	pendingIdx int // next population member to evaluate
+	known      map[space.Config]float64
+
+	generation int
+	stalled    int
+	lastBest   float64
+	done       bool
+}
+
+// NewGenetic returns a GA optimizer with calibrated defaults.
+func NewGenetic(sp *space.Space, rng *stats.RNG) *Genetic {
+	g := &Genetic{
+		sp:               sp,
+		rng:              rng,
+		PopulationSize:   20,
+		Elites:           2,
+		CrossoverRate:    0.9,
+		MutationRate:     0.15,
+		StallGenerations: 4,
+		known:            make(map[space.Config]float64),
+	}
+	g.population = make([]space.Config, g.PopulationSize)
+	g.fitness = make([]float64, g.PopulationSize)
+	for i := range g.population {
+		g.population[i] = sp.At(rng.Intn(sp.Size()))
+	}
+	return g
+}
+
+// Name implements Optimizer.
+func (g *Genetic) Name() string { return "genetic" }
+
+// Next implements Optimizer.
+func (g *Genetic) Next() (space.Config, bool) {
+	for {
+		if g.done {
+			return space.Config{}, true
+		}
+		for g.pendingIdx < len(g.population) {
+			cfg := g.population[g.pendingIdx]
+			if kpi, ok := g.known[cfg]; ok {
+				// Duplicate individual: reuse the cached fitness for free.
+				g.fitness[g.pendingIdx] = kpi
+				g.pendingIdx++
+				continue
+			}
+			return cfg, false
+		}
+		g.evolve()
+	}
+}
+
+// Observe implements Optimizer.
+func (g *Genetic) Observe(cfg space.Config, kpi float64) {
+	g.note(cfg, kpi)
+	g.known[cfg] = kpi
+	if g.pendingIdx < len(g.population) && g.population[g.pendingIdx] == cfg {
+		g.fitness[g.pendingIdx] = kpi
+		g.pendingIdx++
+	}
+}
+
+// evolve produces the next generation and updates the stall counter.
+func (g *Genetic) evolve() {
+	// Rank current generation.
+	order := make([]int, len(g.population))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ { // insertion sort by descending fitness
+		for j := i; j > 0 && g.fitness[order[j]] > g.fitness[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	genBest := g.fitness[order[0]]
+	if g.generation > 0 && genBest <= g.lastBest {
+		g.stalled++
+	} else {
+		g.stalled = 0
+	}
+	if genBest > g.lastBest || g.generation == 0 {
+		g.lastBest = genBest
+	}
+	g.generation++
+	if g.stalled >= g.StallGenerations {
+		g.done = true
+		return
+	}
+
+	next := make([]space.Config, 0, g.PopulationSize)
+	for i := 0; i < g.Elites && i < len(order); i++ {
+		next = append(next, g.population[order[i]])
+	}
+	for len(next) < g.PopulationSize {
+		a := g.tournament()
+		b := g.tournament()
+		child := a
+		if g.rng.Float64() < g.CrossoverRate {
+			// Single-point crossover over the two genes: swap the c gene.
+			child = space.Config{T: a.T, C: b.C}
+		}
+		if g.rng.Float64() < g.MutationRate {
+			child.T += g.mutationStep()
+		}
+		if g.rng.Float64() < g.MutationRate {
+			child.C += g.mutationStep()
+		}
+		next = append(next, g.repair(child))
+	}
+	g.population = next
+	g.fitness = make([]float64, len(next))
+	g.pendingIdx = 0
+}
+
+// tournament selects the fitter of two uniformly drawn individuals.
+func (g *Genetic) tournament() space.Config {
+	i := g.rng.Intn(len(g.population))
+	j := g.rng.Intn(len(g.population))
+	if g.fitness[i] >= g.fitness[j] {
+		return g.population[i]
+	}
+	return g.population[j]
+}
+
+// mutationStep draws a small signed displacement (±1 or ±2).
+func (g *Genetic) mutationStep() int {
+	step := 1 + g.rng.Intn(2)
+	if g.rng.Float64() < 0.5 {
+		return -step
+	}
+	return step
+}
+
+// repair clamps a chromosome back into the admissible space: coordinates
+// are clamped to [1, n] and, while oversubscribed, the larger gene shrinks.
+func (g *Genetic) repair(cfg space.Config) space.Config {
+	n := g.sp.Cores()
+	if cfg.T < 1 {
+		cfg.T = 1
+	}
+	if cfg.C < 1 {
+		cfg.C = 1
+	}
+	if cfg.T > n {
+		cfg.T = n
+	}
+	if cfg.C > n {
+		cfg.C = n
+	}
+	for cfg.T*cfg.C > n {
+		if cfg.T >= cfg.C {
+			cfg.T--
+		} else {
+			cfg.C--
+		}
+	}
+	return cfg
+}

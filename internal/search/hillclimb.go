@@ -1,0 +1,117 @@
+package search
+
+import (
+	"autopn/internal/space"
+	"autopn/internal/stats"
+)
+
+// HillClimb is plain steepest-ascent hill climbing over the 4-neighborhood
+// of the (t, c) grid, started from a random point (the paper's HC
+// baseline). Each round it measures every not-yet-measured neighbor of the
+// current point, moves to the best neighbor if it improves, and stops at a
+// local maximum. Known KPIs are reused rather than re-measured.
+type HillClimb struct {
+	tracker
+	sp      *space.Space
+	current space.Config
+	known   map[space.Config]float64
+
+	pending []space.Config // neighbors to measure this round
+	started bool
+	done    bool
+}
+
+// NewHillClimb returns a hill climber starting from a uniformly random
+// configuration.
+func NewHillClimb(sp *space.Space, rng *stats.RNG) *HillClimb {
+	start := sp.At(rng.Intn(sp.Size()))
+	return NewHillClimbFrom(sp, start)
+}
+
+// NewHillClimbFrom returns a hill climber starting from start. AutoPN uses
+// this for its refinement phase, seeding the climb with the best
+// configuration found by the SMBO phase.
+func NewHillClimbFrom(sp *space.Space, start space.Config) *HillClimb {
+	return &HillClimb{sp: sp, current: start, known: make(map[space.Config]float64)}
+}
+
+// Seed pre-loads already-measured KPIs (e.g. from a preceding SMBO phase)
+// so the climb does not re-measure them.
+func (h *HillClimb) Seed(cfg space.Config, kpi float64) {
+	h.known[cfg] = kpi
+	h.note(cfg, kpi)
+}
+
+// Name implements Optimizer.
+func (h *HillClimb) Name() string { return "hill-climbing" }
+
+// Next implements Optimizer.
+func (h *HillClimb) Next() (space.Config, bool) {
+	if h.done {
+		return space.Config{}, true
+	}
+	if !h.started {
+		h.started = true
+		if _, ok := h.known[h.current]; !ok {
+			return h.current, false
+		}
+	}
+	for {
+		if len(h.pending) > 0 {
+			cfg := h.pending[0]
+			if _, ok := h.known[cfg]; ok {
+				h.pending = h.pending[1:]
+				continue
+			}
+			return cfg, false
+		}
+		// Round finished: decide whether to move.
+		if !h.step() {
+			h.done = true
+			return space.Config{}, true
+		}
+	}
+}
+
+// step refills pending with unknown neighbors, or — if all neighbors are
+// known — moves to the best strictly improving neighbor. It returns false
+// when the climb has converged to a local maximum.
+func (h *HillClimb) step() bool {
+	neighbors := h.sp.Neighbors(h.current)
+	var unknown []space.Config
+	for _, nb := range neighbors {
+		if _, ok := h.known[nb]; !ok {
+			unknown = append(unknown, nb)
+		}
+	}
+	if len(unknown) > 0 {
+		h.pending = unknown
+		return true
+	}
+	cur := h.known[h.current]
+	bestNb := h.current
+	bestKPI := cur
+	for _, nb := range neighbors {
+		if k := h.known[nb]; k > bestKPI {
+			bestKPI = k
+			bestNb = nb
+		}
+	}
+	if bestNb == h.current {
+		return false // local maximum
+	}
+	h.current = bestNb
+	return true
+}
+
+// Observe implements Optimizer.
+func (h *HillClimb) Observe(cfg space.Config, kpi float64) {
+	h.known[cfg] = kpi
+	h.note(cfg, kpi)
+	if len(h.pending) > 0 && h.pending[0] == cfg {
+		h.pending = h.pending[1:]
+	}
+}
+
+// Current returns the climber's current position (for tests).
+func (h *HillClimb) Current() space.Config { return h.current }

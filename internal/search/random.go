@@ -1,0 +1,84 @@
+package search
+
+import (
+	"autopn/internal/space"
+	"autopn/internal/stats"
+)
+
+// Random explores configurations uniformly at random without replacement,
+// stopping when the last Window explorations improved the best KPI by less
+// than RelDelta (the paper uses 5 and 10% to mirror AutoPN's EI stopping
+// threshold).
+type Random struct {
+	tracker
+	order []space.Config
+	pos   int
+	stop  *noImprovementStop
+	done  bool
+}
+
+// NewRandom returns a random-search optimizer over sp.
+func NewRandom(sp *space.Space, rng *stats.RNG, window int, relDelta float64) *Random {
+	cfgs := sp.Configs()
+	order := make([]space.Config, len(cfgs))
+	copy(order, cfgs)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return &Random{order: order, stop: newNoImprovementStop(window, relDelta)}
+}
+
+// Name implements Optimizer.
+func (r *Random) Name() string { return "random" }
+
+// Next implements Optimizer.
+func (r *Random) Next() (space.Config, bool) {
+	if r.done || r.pos >= len(r.order) {
+		return space.Config{}, true
+	}
+	return r.order[r.pos], false
+}
+
+// Observe implements Optimizer.
+func (r *Random) Observe(cfg space.Config, kpi float64) {
+	r.note(cfg, kpi)
+	r.pos++
+	if r.stop.observe(kpi) {
+		r.done = true
+	}
+}
+
+// Grid sweeps the space in deterministic order, first varying c (nested
+// parallelism) and then t (top-level parallelism), with the same
+// no-improvement stopping rule as Random.
+type Grid struct {
+	tracker
+	order []space.Config
+	pos   int
+	stop  *noImprovementStop
+	done  bool
+}
+
+// NewGrid returns a grid-search optimizer over sp.
+func NewGrid(sp *space.Space, window int, relDelta float64) *Grid {
+	// The space's canonical order is exactly "sweep c within each t".
+	return &Grid{order: sp.Configs(), stop: newNoImprovementStop(window, relDelta)}
+}
+
+// Name implements Optimizer.
+func (g *Grid) Name() string { return "grid" }
+
+// Next implements Optimizer.
+func (g *Grid) Next() (space.Config, bool) {
+	if g.done || g.pos >= len(g.order) {
+		return space.Config{}, true
+	}
+	return g.order[g.pos], false
+}
+
+// Observe implements Optimizer.
+func (g *Grid) Observe(cfg space.Config, kpi float64) {
+	g.note(cfg, kpi)
+	g.pos++
+	if g.stop.observe(kpi) {
+		g.done = true
+	}
+}

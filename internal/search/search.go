@@ -1,0 +1,85 @@
+// Package search defines the ask/tell optimizer interface shared by AutoPN
+// and the five general-purpose online baselines the paper compares against
+// (§VII-A): random search, grid search, hill climbing, simulated annealing,
+// and a genetic algorithm.
+//
+// Every optimizer is a deterministic state machine given its RNG seed: the
+// driver alternates Next (which configuration to measure) and Observe (its
+// measured KPI, higher = better), until Next reports done. This decoupling
+// lets the same optimizers run against live systems, the discrete-event
+// simulator, or the offline traces used by the paper's §VII-B protocol.
+package search
+
+import "autopn/internal/space"
+
+// Optimizer proposes configurations to evaluate and ingests measurements.
+// Implementations are not safe for concurrent use.
+type Optimizer interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Next returns the next configuration to measure. done=true means the
+	// optimizer has converged on Best and wants no further measurements.
+	Next() (cfg space.Config, done bool)
+	// Observe feeds the measured KPI of the configuration last returned by
+	// Next. Observe must be called exactly once between Next calls.
+	Observe(cfg space.Config, kpi float64)
+	// Best returns the best configuration and KPI observed so far.
+	Best() (space.Config, float64)
+}
+
+// tracker is embedded by optimizers for common best-so-far bookkeeping.
+type tracker struct {
+	bestCfg  space.Config
+	bestKPI  float64
+	observed int
+}
+
+func (t *tracker) note(cfg space.Config, kpi float64) {
+	if t.observed == 0 || kpi > t.bestKPI {
+		t.bestCfg, t.bestKPI = cfg, kpi
+	}
+	t.observed++
+}
+
+func (t *tracker) Best() (space.Config, float64) { return t.bestCfg, t.bestKPI }
+
+// noImprovementStop implements the stopping rule the paper applies to the
+// random and grid baselines for a fair comparison with AutoPN's EI<10%
+// criterion: stop when the last Window explorations have not improved the
+// best KPI by more than RelDelta (relative).
+type noImprovementStop struct {
+	window   int
+	relDelta float64
+
+	sinceImprove int
+	best         float64
+	any          bool
+}
+
+func newNoImprovementStop(window int, relDelta float64) *noImprovementStop {
+	return &noImprovementStop{window: window, relDelta: relDelta}
+}
+
+// observe feeds one KPI and reports whether exploration should stop.
+func (s *noImprovementStop) observe(kpi float64) bool {
+	if !s.any {
+		s.any = true
+		s.best = kpi
+		s.sinceImprove = 0
+		return false
+	}
+	threshold := s.best * (1 + s.relDelta)
+	if s.best <= 0 {
+		threshold = s.best + s.relDelta
+	}
+	if kpi > threshold {
+		s.best = kpi
+		s.sinceImprove = 0
+	} else {
+		if kpi > s.best {
+			s.best = kpi
+		}
+		s.sinceImprove++
+	}
+	return s.sinceImprove >= s.window
+}

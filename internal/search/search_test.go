@@ -1,0 +1,177 @@
+package search
+
+import (
+	"testing"
+
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+// drive runs an optimizer against a noiseless workload surface, caching
+// measurements, and returns the distinct exploration count and final best.
+func drive(t *testing.T, opt Optimizer, w *surface.Workload, maxRounds int) (int, space.Config) {
+	t.Helper()
+	known := map[space.Config]float64{}
+	for round := 0; round < maxRounds; round++ {
+		cfg, done := opt.Next()
+		if done {
+			best, _ := opt.Best()
+			return len(known), best
+		}
+		kpi, ok := known[cfg]
+		if !ok {
+			kpi = w.Throughput(cfg)
+			known[cfg] = kpi
+		}
+		opt.Observe(cfg, kpi)
+	}
+	t.Fatalf("%s did not converge within %d rounds", opt.Name(), maxRounds)
+	return 0, space.Config{}
+}
+
+func TestRandomExploresWithoutRepeats(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	opt := NewRandom(sp, stats.NewRNG(1), 1<<30, 0) // never stop early
+	seen := map[space.Config]bool{}
+	for i := 0; i < sp.Size(); i++ {
+		cfg, done := opt.Next()
+		if done {
+			t.Fatalf("exhaustive random stopped early at %d", i)
+		}
+		if seen[cfg] {
+			t.Fatalf("random repeated %v", cfg)
+		}
+		seen[cfg] = true
+		opt.Observe(cfg, w.Throughput(cfg))
+	}
+	if _, done := opt.Next(); !done {
+		t.Fatal("random did not stop after exhausting the space")
+	}
+}
+
+func TestRandomStopRule(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	opt := NewRandom(sp, stats.NewRNG(2), 5, 0.10)
+	n, _ := drive(t, opt, w, 10000)
+	if n < 5 || n >= sp.Size() {
+		t.Fatalf("random explored %d configs; stop rule broken", n)
+	}
+}
+
+func TestGridOrderSweepsCFirst(t *testing.T) {
+	sp := space.New(8)
+	opt := NewGrid(sp, 1<<30, 0)
+	cfg1, _ := opt.Next()
+	opt.Observe(cfg1, 1)
+	cfg2, _ := opt.Next()
+	if cfg1 != (space.Config{T: 1, C: 1}) || cfg2 != (space.Config{T: 1, C: 2}) {
+		t.Fatalf("grid order starts %v, %v; want (1,1), (1,2)", cfg1, cfg2)
+	}
+}
+
+func TestHillClimbReachesLocalOptimumOfSmoothSurface(t *testing.T) {
+	// On the noiseless tpcc-med surface, a climber seeded at (24,1) must
+	// walk to the global optimum (20,2): the path along c=2 is monotone.
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	optCfg, _ := w.Optimum(sp)
+	hc := NewHillClimbFrom(sp, space.Config{T: 24, C: 1})
+	_, best := drive(t, hc, w, 10000)
+	if best != optCfg {
+		t.Fatalf("hill climb from (24,1) ended at %v, want %v", best, optCfg)
+	}
+}
+
+func TestHillClimbStopsAtLocalMaximum(t *testing.T) {
+	// Array-90's surface has a local maximum at (1,14); starting there the
+	// climber must evaluate the neighborhood and stop quickly.
+	w := surface.Array("90")
+	sp := space.New(w.Cores)
+	optCfg, _ := w.Optimum(sp)
+	hc := NewHillClimbFrom(sp, optCfg)
+	n, best := drive(t, hc, w, 1000)
+	if best != optCfg {
+		t.Fatalf("climber left the optimum: %v", best)
+	}
+	if n > 5 {
+		t.Fatalf("climber at optimum explored %d configs", n)
+	}
+}
+
+func TestHillClimbSeedAvoidsRemeasurement(t *testing.T) {
+	w := surface.TPCC("low")
+	sp := space.New(w.Cores)
+	hc := NewHillClimbFrom(sp, space.Config{T: 5, C: 2})
+	hc.Seed(space.Config{T: 5, C: 2}, w.Throughput(space.Config{T: 5, C: 2}))
+	cfg, done := hc.Next()
+	if done {
+		t.Fatal("done immediately")
+	}
+	if cfg == (space.Config{T: 5, C: 2}) {
+		t.Fatal("re-measured the seeded start")
+	}
+}
+
+func TestAnnealingConvergesAndStops(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	opt := NewAnnealing(sp, stats.NewRNG(5))
+	n, _ := drive(t, opt, w, 10000)
+	if n < 5 {
+		t.Fatalf("annealing explored only %d configs", n)
+	}
+}
+
+func TestGeneticConvergesToGoodSolution(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	_, optV := w.Optimum(sp)
+	sum := 0.0
+	const reps = 5
+	for seed := uint64(1); seed <= reps; seed++ {
+		opt := NewGenetic(sp, stats.NewRNG(seed*37))
+		_, best := drive(t, opt, w, 100000)
+		sum += w.Throughput(best) / optV
+	}
+	if avg := sum / reps; avg < 0.85 {
+		t.Fatalf("GA average quality %.2f of optimum, want >= 0.85", avg)
+	}
+}
+
+func TestGeneticRepairRespectsConstraint(t *testing.T) {
+	sp := space.New(48)
+	g := NewGenetic(sp, stats.NewRNG(7))
+	cases := []space.Config{
+		{T: 100, C: 3}, {T: -2, C: 0}, {T: 48, C: 48}, {T: 7, C: 7}, {T: 1, C: 1},
+	}
+	for _, c := range cases {
+		r := g.repair(c)
+		if !r.Valid(48) {
+			t.Fatalf("repair(%v) = %v invalid", c, r)
+		}
+	}
+}
+
+func TestNoImprovementStopRelativeDelta(t *testing.T) {
+	s := newNoImprovementStop(3, 0.10)
+	if s.observe(100) {
+		t.Fatal("stopped on first observation")
+	}
+	// Improvements above 10% reset the counter.
+	if s.observe(115) || s.observe(130) {
+		t.Fatal("stopped during improvements")
+	}
+	// Three non-improvements trigger the stop.
+	if s.observe(131) {
+		t.Fatal("1st non-improvement stopped")
+	}
+	if s.observe(132) {
+		t.Fatal("2nd non-improvement stopped")
+	}
+	if !s.observe(120) {
+		t.Fatal("3rd non-improvement did not stop")
+	}
+}

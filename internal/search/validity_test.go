@@ -1,0 +1,61 @@
+package search_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"autopn/internal/core"
+	"autopn/internal/search"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+// TestAllStrategiesProposeOnlyAdmissibleConfigs property-checks every
+// optimizer (including AutoPN) across random seeds and machine sizes:
+// every configuration handed to the evaluator must lie inside S.
+func TestAllStrategiesProposeOnlyAdmissibleConfigs(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%31) + 2 // machine sizes 2..32
+		sp := space.New(n)
+		w := surface.TPCC("med")
+		w.Cores = n
+		rng := stats.NewRNG(seed)
+		opts := []search.Optimizer{
+			search.NewRandom(sp, rng.Split(), 5, 0.1),
+			search.NewGrid(sp, 5, 0.1),
+			search.NewHillClimb(sp, rng.Split()),
+			search.NewAnnealing(sp, rng.Split()),
+			search.NewGenetic(sp, rng.Split()),
+			core.New(sp, rng.Split(), core.Options{}),
+		}
+		for _, opt := range opts {
+			known := map[space.Config]float64{}
+			for round := 0; round < 3000; round++ {
+				cfg, done := opt.Next()
+				if done {
+					break
+				}
+				if !sp.Contains(cfg) {
+					t.Errorf("%s proposed inadmissible %v for n=%d", opt.Name(), cfg, n)
+					return false
+				}
+				kpi, ok := known[cfg]
+				if !ok {
+					kpi = w.Throughput(cfg)
+					known[cfg] = kpi
+				}
+				opt.Observe(cfg, kpi)
+			}
+			best, _ := opt.Best()
+			if !sp.Contains(best) {
+				t.Errorf("%s settled on inadmissible %v for n=%d", opt.Name(), best, n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package simcore
+
+import (
+	"time"
+
+	"autopn/internal/search"
+	"autopn/internal/space"
+)
+
+// TuneLatency drives opt to minimize mean committed-transaction latency on
+// the per-thread engine — the paper's §IV notes that AutoPN, being KPI-
+// agnostic, "could be used to optimize different metrics (e.g., latency or
+// abort rate)"; this is that path. The KPI fed to the optimizer is the
+// inverse mean latency of each measurement window (commits per second of
+// accumulated latency), so maximization and the relative EI stopping
+// threshold work unchanged. Latency includes the time lost to aborted
+// attempts, so highly contended configurations score poorly even when
+// their raw service time is short.
+func TuneLatency(ts *ThreadSim, opt search.Optimizer, wm WindowMaker, budget time.Duration) TuneOutcome {
+	var out TuneOutcome
+	t11 := 0.0
+	seen := make(map[space.Config]bool)
+	for {
+		if budget > 0 && ts.Now() >= budget {
+			break
+		}
+		cfg, done := opt.Next()
+		if done {
+			out.Converged = true
+			out.ConvergedAt = ts.Now()
+			break
+		}
+		ts.Apply(cfg)
+		Settle(ts, budget)
+		latBefore, comBefore := ts.latencySum, ts.commits
+		meas := MeasureWindow(ts, wm.Make(t11))
+		if (cfg == space.Config{T: 1, C: 1}) && t11 == 0 && meas.Throughput > 0 {
+			t11 = meas.Throughput
+		}
+		kpi := 0.0
+		if dc := ts.commits - comBefore; dc > 0 {
+			meanLat := (ts.latencySum - latBefore).Seconds() / float64(dc)
+			if meanLat > 0 {
+				kpi = 1 / meanLat
+			}
+		}
+		if !seen[cfg] {
+			seen[cfg] = true
+			out.Explorations++
+		}
+		out.Windows++
+		opt.Observe(cfg, kpi)
+	}
+	best, _ := opt.Best()
+	out.FinalCfg = best
+	ts.Apply(best)
+	return out
+}
+
+// LatencyOptimum returns the configuration minimizing the model's expected
+// committed-transaction latency (service time inflated by the expected
+// number of attempts) and that latency — the oracle the latency-tuning
+// tests compare against.
+func LatencyOptimum(ts *ThreadSim, sp *space.Space) (space.Config, time.Duration) {
+	var best space.Config
+	bestLat := time.Duration(0)
+	for _, cfg := range sp.Configs() {
+		dEff, p := ts.attemptParams(cfg)
+		if dEff <= 0 || p >= 1 {
+			continue
+		}
+		lat := time.Duration(dEff / (1 - p) * float64(time.Second))
+		if bestLat == 0 || lat < bestLat {
+			bestLat = lat
+			best = cfg
+		}
+	}
+	return best, bestLat
+}

@@ -1,0 +1,78 @@
+package simcore
+
+import (
+	"testing"
+	"time"
+
+	"autopn/internal/core"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+func TestMeanLatencyTracksModel(t *testing.T) {
+	w := surface.TPCC("med")
+	cfg := space.Config{T: 1, C: 2} // no top-level contention: latency = dEff
+	ts := NewThreadSim(w, 21, cfg)
+	RunFor(ts, 20*time.Second)
+	want := w.EffectiveDuration(2)
+	got := ts.MeanLatency().Seconds()
+	if got < 0.9*want || got > 1.1*want {
+		t.Fatalf("mean latency %.4fs, model %.4fs", got, want)
+	}
+}
+
+func TestLatencyIncludesAbortRetries(t *testing.T) {
+	w := surface.TPCC("high")
+	quiet := NewThreadSim(w, 23, space.Config{T: 1, C: 2})
+	noisy := NewThreadSim(w, 23, space.Config{T: 7, C: 2})
+	RunFor(quiet, 20*time.Second)
+	RunFor(noisy, 20*time.Second)
+	if noisy.MeanLatency() <= quiet.MeanLatency() {
+		t.Fatalf("contended latency %v not above uncontended %v (aborts must count)",
+			noisy.MeanLatency(), quiet.MeanLatency())
+	}
+}
+
+func TestLatencyOptimumDiffersFromThroughputOptimum(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	ts := NewThreadSim(w, 25, space.Config{T: 1, C: 1})
+	latOpt, lat := LatencyOptimum(ts, sp)
+	tputOpt, _ := w.Optimum(sp)
+	if latOpt == tputOpt {
+		t.Fatalf("latency optimum %v equals throughput optimum; KPI choice would be moot", latOpt)
+	}
+	// Latency is minimized without top-level contention.
+	if latOpt.T != 1 {
+		t.Fatalf("latency optimum %v should avoid top-level contention", latOpt)
+	}
+	if lat <= 0 {
+		t.Fatalf("latency oracle returned %v", lat)
+	}
+}
+
+func TestTuneLatencyFindsLowLatencyConfig(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	rng := stats.NewRNG(27)
+	ts := NewThreadSim(w, rng.Uint64(), space.Config{T: 1, C: 1})
+	_, oracleLat := LatencyOptimum(ts, sp)
+	opt := core.New(sp, rng, core.Options{})
+	out := TuneLatency(ts, opt, AdaptiveCV{}, 0)
+	if !out.Converged {
+		t.Fatal("latency tuning did not converge")
+	}
+	best, _ := opt.Best()
+	// The found configuration's model latency must be close to the oracle.
+	dEff, p := ts.attemptParams(best)
+	gotLat := time.Duration(dEff / (1 - p) * float64(time.Second))
+	if float64(gotLat) > 1.5*float64(oracleLat) {
+		t.Fatalf("latency tuning settled on %v with latency %v, oracle %v", best, gotLat, oracleLat)
+	}
+	// And it must be a genuinely different regime from the throughput
+	// optimum (low top-level parallelism).
+	if best.T > 4 {
+		t.Fatalf("latency tuning picked high top-level parallelism %v", best)
+	}
+}

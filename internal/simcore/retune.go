@@ -1,0 +1,95 @@
+package simcore
+
+import (
+	"time"
+
+	"autopn/internal/monitor"
+	"autopn/internal/search"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+// WorkloadSwitcher is implemented by engines whose workload can be swapped
+// at run time (both engines implement it), enabling deterministic
+// dynamic-workload experiments in virtual time.
+type WorkloadSwitcher interface {
+	SetWorkload(w *surface.Workload)
+}
+
+// SetWorkload switches the renewal engine to a new workload model; the
+// change takes effect for the next inter-commit interval.
+func (s *Sim) SetWorkload(w *surface.Workload) { s.w = w }
+
+// SetWorkload switches the per-thread engine to a new workload model.
+// Attempts already in flight complete under the durations they were
+// sampled with; their commit/abort outcome and all new attempts use the
+// new model (duration parameters are resampled per attempt).
+func (ts *ThreadSim) SetWorkload(w *surface.Workload) { ts.w = w }
+
+// RetuneOutcome summarizes a dynamic-workload session.
+type RetuneOutcome struct {
+	// Initial is the tuning outcome before the shift.
+	Initial TuneOutcome
+	// Detected reports whether the CUSUM watcher flagged the shift.
+	Detected bool
+	// DetectedAt is the virtual time of detection.
+	DetectedAt time.Duration
+	// Final is the re-tuning outcome after detection (zero if undetected).
+	Final TuneOutcome
+}
+
+// RunWithRetune is the §V "dynamic workloads" pipeline in virtual time:
+// tune with mkOpt, then watch throughput under the chosen configuration
+// with a CUSUM detector; when shiftAt arrives the engine's workload is
+// swapped to next, and on detection the optimizer restarts from scratch.
+// The session ends when the post-shift tuning converges or budget virtual
+// time elapses.
+func RunWithRetune(e Engine, mkOpt func() search.Optimizer, wm WindowMaker,
+	next *surface.Workload, shiftAt, budget time.Duration) RetuneOutcome {
+
+	var out RetuneOutcome
+	out.Initial = Tune(e, mkOpt(), wm, shiftAt)
+
+	det := stats.NewCUSUM(5, 1, 20)
+	shifted := false
+	for e.Now() < budget {
+		if !shifted && e.Now() >= shiftAt {
+			e.(WorkloadSwitcher).SetWorkload(next)
+			shifted = true
+		}
+		m := MeasureWindow(e, watchPolicy())
+		if det.Observe(m.Throughput) {
+			out.Detected = true
+			out.DetectedAt = e.Now()
+			break
+		}
+	}
+	if out.Detected {
+		out.Final = Tune(e, mkOpt(), wm, budget)
+	}
+	return out
+}
+
+// watchPolicy builds the monitoring window for the watch phase: fixed
+// one-second windows rather than the exploration policy. Two reasons. A
+// gap timeout derived from the tuned configuration's own (high) throughput
+// truncates windows mid-burst, making the samples heavy-tailed and the
+// CUSUM calibration blind. And CV-stability windows end after a few tens
+// of milliseconds — shorter than the throughput noise's correlation time —
+// so consecutive window means are strongly autocorrelated and CUSUM
+// accumulates same-signed evidence into false positives. One-second
+// windows average over many correlation times (stable means, negligible
+// correlation) while a workload collapse still reads as a near-zero
+// window, which is exactly the change signal.
+func watchPolicy() monitor.Policy {
+	return &monitor.FixedTimePolicy{Window: time.Second}
+}
+
+// mustSwitcher asserts at compile time that both engines can switch
+// workloads.
+var (
+	_ WorkloadSwitcher = (*Sim)(nil)
+	_ WorkloadSwitcher = (*ThreadSim)(nil)
+	_                  = space.Config{}
+)

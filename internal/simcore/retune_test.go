@@ -1,0 +1,80 @@
+package simcore
+
+import (
+	"testing"
+	"time"
+
+	"autopn/internal/core"
+	"autopn/internal/search"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+func TestRunWithRetuneDetectsAndReoptimizes(t *testing.T) {
+	// Start on a read-dominated Array workload (optimum (48,1)), shift to
+	// the write-heavy variant (optimum (1,14)): the detector must fire and
+	// the re-tuned configuration must fit the new workload.
+	before := surface.Array("0.01")
+	after := surface.Array("90")
+	sp := space.New(before.Cores)
+	_, afterOpt := after.Optimum(sp)
+
+	rng := stats.NewRNG(41)
+	sim := New(before, rng.Uint64(), Options{})
+	mk := func() search.Optimizer { return core.New(sp, rng.Split(), core.Options{}) }
+
+	out := RunWithRetune(sim, mk, AdaptiveCV{}, after, 60*time.Second, 30*time.Minute)
+	if !out.Initial.Converged {
+		t.Fatal("initial tuning did not converge before the shift")
+	}
+	if !out.Detected {
+		t.Fatal("workload shift not detected")
+	}
+	if out.DetectedAt < 60*time.Second {
+		t.Fatalf("detection at %v, before the shift", out.DetectedAt)
+	}
+	if lag := out.DetectedAt - 60*time.Second; lag > 5*time.Minute {
+		t.Fatalf("detection lag %v too long", lag)
+	}
+	if !out.Final.Converged {
+		t.Fatal("re-tuning did not converge")
+	}
+	final := sim.Config()
+	if dfo := 1 - after.Throughput(final)/afterOpt; dfo > 0.25 {
+		t.Fatalf("re-tuned to %v, %.1f%% from the new optimum", final, dfo*100)
+	}
+	t.Logf("shift detected after %v; re-tuned to %v",
+		(out.DetectedAt - 60*time.Second).Round(time.Millisecond), final)
+}
+
+func TestRunWithRetuneNoShiftNoFalsePositive(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	rng := stats.NewRNG(43)
+	sim := New(w, rng.Uint64(), Options{})
+	mk := func() search.Optimizer { return core.New(sp, rng.Split(), core.Options{}) }
+
+	// "Shift" to the same workload: statistically nothing changes, so the
+	// detector must stay quiet for the whole budget.
+	out := RunWithRetune(sim, mk, AdaptiveCV{}, w, 30*time.Second, 5*time.Minute)
+	if out.Detected {
+		t.Fatalf("false positive at %v on an unchanged workload", out.DetectedAt)
+	}
+}
+
+func TestSetWorkloadSwitchesRates(t *testing.T) {
+	fast := surface.Array("0.01")
+	slow := fast.Scaled("slow", 100)
+	for _, e := range []Engine{
+		New(fast, 7, Options{Initial: space.Config{T: 16, C: 3}}),
+		NewThreadSim(fast, 7, space.Config{T: 16, C: 3}),
+	} {
+		r1 := float64(RunFor(e, 5*time.Second)) / 5
+		e.(WorkloadSwitcher).SetWorkload(slow)
+		r2 := float64(RunFor(e, 5*time.Second)) / 5
+		if r2 >= r1/10 {
+			t.Fatalf("%T: rate %.1f -> %.1f after 100x slowdown", e, r1, r2)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package simcore is a discrete-event, virtual-time simulator of a PN-TM
+// system running on an n-core machine. It stands in for the paper's 48-core
+// testbed (see DESIGN.md): top-level commit events are generated as a
+// doubly stochastic Poisson process whose rate is the analytic workload
+// model's throughput at the currently applied (t, c) configuration,
+// modulated by a slowly varying Ornstein-Uhlenbeck noise process that
+// reproduces the temporally correlated throughput fluctuations of real TM
+// runs (without it, arbitrarily short monitoring windows would be
+// unrealistically accurate, hiding exactly the accuracy/reactivity
+// trade-off that §VII-D studies).
+//
+// The simulator implements monitor.Clock, so the very same monitor policies
+// and optimizers that run against a live STM drive tuning sessions in
+// virtual time — a multi-minute tuning run simulates in microseconds,
+// which is what makes the paper's full experimental grid reproducible on a
+// laptop.
+package simcore
+
+import (
+	"math"
+	"time"
+
+	"autopn/internal/monitor"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+// Engine is a virtual-time PN-TM deployment: both the aggregate renewal
+// engine (Sim) and the per-thread discrete-event engine (ThreadSim)
+// implement it, so monitors and tuning sessions run against either.
+type Engine interface {
+	monitor.Clock
+	// Apply reconfigures the simulated actuator.
+	Apply(cfg space.Config)
+	// Config returns the currently applied configuration.
+	Config() space.Config
+	// Commits returns the total number of simulated top-level commits.
+	Commits() uint64
+	// NextCommit advances virtual time to the next commit event, or to the
+	// deadline if it comes first, returning the event time and what
+	// happened.
+	NextCommit(deadline time.Duration, hasDeadline bool) (time.Duration, Event)
+}
+
+// Event classifies what NextCommit returned.
+type Event int
+
+// NextCommit outcomes.
+const (
+	// EventDeadline: no commit before the deadline (or idle bound).
+	EventDeadline Event = iota
+	// EventCommit: a commit attributable to the current configuration.
+	EventCommit
+	// EventStaleCommit: a commit of a transaction admitted under a
+	// previous configuration, draining after a reconfiguration. It proves
+	// the system is live but must not be sampled as the current
+	// configuration's throughput.
+	EventStaleCommit
+)
+
+// Settler is implemented by engines whose reconfigurations complete
+// asynchronously: Settled reports whether the currently applied
+// configuration is fully in force (in-flight work admitted under previous
+// configurations has drained). The aggregate renewal engine switches rates
+// instantaneously and does not implement it.
+type Settler interface {
+	Settled() bool
+}
+
+// Settle advances the engine until the applied configuration is in force
+// (or the budget is reached; budget 0 means no bound). Engines without
+// asynchronous reconfiguration settle immediately. Commits that occur while
+// settling belong to the application run but to no measurement window.
+func Settle(e Engine, budget time.Duration) {
+	st, ok := e.(Settler)
+	if !ok {
+		return
+	}
+	for !st.Settled() {
+		if budget > 0 && e.Now() >= budget {
+			return
+		}
+		e.NextCommit(0, false)
+	}
+}
+
+// MeasureWindow runs one monitoring window under policy p on any engine:
+// it begins the window now, feeds commit events until the policy declares
+// the window complete or its deadline fires, and returns the measurement.
+func MeasureWindow(e Engine, p monitor.Policy) monitor.Measurement {
+	p.Begin(e.Now())
+	for {
+		dl, has := p.Deadline()
+		now, ev := e.NextCommit(dl, has)
+		switch ev {
+		case EventDeadline:
+			return p.Result(now, true)
+		case EventStaleCommit:
+			p.Touch(now)
+		default:
+			if p.OnCommit(now) {
+				return p.Result(now, false)
+			}
+		}
+	}
+}
+
+// RunFor advances the engine by d without monitoring (the application
+// simply executes), returning the number of commits that occurred.
+func RunFor(e Engine, d time.Duration) uint64 {
+	end := e.Now() + d
+	start := e.Commits()
+	for e.Now() < end {
+		if _, ev := e.NextCommit(end, true); ev == EventDeadline {
+			break
+		}
+	}
+	return e.Commits() - start
+}
+
+// Sim is one virtual PN-TM deployment executing a workload.
+type Sim struct {
+	w   *surface.Workload
+	rng *stats.RNG
+
+	now time.Duration
+	cfg space.Config
+
+	// Ornstein-Uhlenbeck log-rate noise.
+	noiseX     float64
+	noiseTau   float64 // correlation time, seconds
+	noiseSigma float64 // stationary std-dev of the log rate
+
+	commits uint64
+}
+
+// Options tune the simulator's noise process.
+type Options struct {
+	// NoiseTau is the correlation time of throughput fluctuations
+	// (default 100ms).
+	NoiseTau time.Duration
+	// NoiseSigma is the stationary standard deviation of the log
+	// throughput (default 0.08, i.e. ~8% fluctuations).
+	NoiseSigma float64
+	// Initial is the starting configuration (default (1,1)).
+	Initial space.Config
+}
+
+// New returns a simulator for workload w seeded by seed.
+func New(w *surface.Workload, seed uint64, opts Options) *Sim {
+	if opts.NoiseTau <= 0 {
+		opts.NoiseTau = 100 * time.Millisecond
+	}
+	if opts.NoiseSigma < 0 {
+		opts.NoiseSigma = 0
+	} else if opts.NoiseSigma == 0 {
+		opts.NoiseSigma = 0.08
+	}
+	if opts.Initial.T < 1 || opts.Initial.C < 1 {
+		opts.Initial = space.Config{T: 1, C: 1}
+	}
+	return &Sim{
+		w:          w,
+		rng:        stats.NewRNG(seed),
+		cfg:        opts.Initial,
+		noiseTau:   opts.NoiseTau.Seconds(),
+		noiseSigma: opts.NoiseSigma,
+	}
+}
+
+// Workload returns the simulated workload.
+func (s *Sim) Workload() *surface.Workload { return s.w }
+
+// Now implements monitor.Clock (virtual time since simulation start).
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Commits returns the total number of simulated top-level commits.
+func (s *Sim) Commits() uint64 { return s.commits }
+
+// Config returns the currently applied configuration.
+func (s *Sim) Config() space.Config { return s.cfg }
+
+// Apply reconfigures the simulated actuator. The change takes effect for
+// the next inter-commit interval.
+func (s *Sim) Apply(cfg space.Config) { s.cfg = cfg }
+
+// rate returns the current instantaneous commit rate (commits/second).
+func (s *Sim) rate() float64 {
+	base := s.w.Throughput(s.cfg)
+	if base <= 0 {
+		return 0
+	}
+	return base * math.Exp(s.noiseX-s.noiseSigma*s.noiseSigma/2)
+}
+
+// advanceNoise evolves the OU log-rate process across dt seconds.
+func (s *Sim) advanceNoise(dt float64) {
+	if s.noiseSigma == 0 || s.noiseTau <= 0 {
+		return
+	}
+	decay := math.Exp(-dt / s.noiseTau)
+	s.noiseX = s.noiseX*decay + s.noiseSigma*math.Sqrt(1-decay*decay)*s.rng.NormFloat64()
+}
+
+// maxIdle bounds the virtual time the simulator will advance while waiting
+// for a commit that never comes (rate zero and no deadline).
+const maxIdle = time.Hour
+
+// erlangShape is the shape parameter of the Erlang-distributed inter-commit
+// times. TM commit streams are far more regular than Poisson (each thread
+// emits commits paced by its transaction duration); shape 16 gives the
+// moderate regularity (CV 0.25) observed in practice, and is what makes the
+// early cumulative-throughput estimates T(i) informative rather than
+// dominated by a single exponential outlier.
+const erlangShape = 16
+
+// erlang samples an Erlang(erlangShape) variate with unit mean.
+func (s *Sim) erlang() float64 {
+	sum := 0.0
+	for i := 0; i < erlangShape; i++ {
+		sum += s.rng.ExpFloat64()
+	}
+	return sum / erlangShape
+}
+
+// NextCommit advances virtual time to the next commit event, or to the
+// deadline if it comes first. It returns the event time and whether a
+// commit occurred (false = deadline reached first). A deadline of zero with
+// hasDeadline=false means "no deadline" (bounded internally by maxIdle to
+// keep simulations finite).
+func (s *Sim) NextCommit(deadline time.Duration, hasDeadline bool) (time.Duration, Event) {
+	r := s.rate()
+	var dt time.Duration
+	if r <= 0 {
+		dt = maxIdle
+	} else {
+		dt = time.Duration(s.erlang() / r * float64(time.Second))
+		if dt <= 0 {
+			dt = time.Nanosecond
+		}
+	}
+	next := s.now + dt
+	if hasDeadline && deadline < next {
+		s.advanceNoise((deadline - s.now).Seconds())
+		s.now = deadline
+		return s.now, EventDeadline
+	}
+	if !hasDeadline && dt == maxIdle {
+		s.now = next
+		return s.now, EventDeadline
+	}
+	s.advanceNoise(dt.Seconds())
+	s.now = next
+	s.commits++
+	return s.now, EventCommit
+}
+
+// MeasureWindow runs one monitoring window under policy p in virtual time.
+func (s *Sim) MeasureWindow(p monitor.Policy) monitor.Measurement {
+	return MeasureWindow(s, p)
+}
+
+// RunFor advances the simulation by d without monitoring (the application
+// simply executes), returning the number of commits that occurred.
+func (s *Sim) RunFor(d time.Duration) uint64 {
+	return RunFor(s, d)
+}
+
+var _ Engine = (*Sim)(nil)

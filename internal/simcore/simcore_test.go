@@ -1,0 +1,156 @@
+package simcore
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"autopn/internal/core"
+	"autopn/internal/monitor"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+func TestCommitRateMatchesModel(t *testing.T) {
+	w := surface.TPCC("med")
+	cfg := space.Config{T: 20, C: 2}
+	sim := New(w, 1, Options{Initial: cfg})
+	want := w.Throughput(cfg)
+	commits := sim.RunFor(20 * time.Second)
+	got := float64(commits) / 20
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("simulated rate %.1f deviates >10%% from model %.1f", got, want)
+	}
+}
+
+func TestVirtualTimeMonotone(t *testing.T) {
+	sim := New(surface.Array("0.01"), 2, Options{})
+	last := sim.Now()
+	for i := 0; i < 1000; i++ {
+		now, _ := sim.NextCommit(0, false)
+		if now < last {
+			t.Fatalf("time went backwards: %v -> %v", last, now)
+		}
+		last = now
+	}
+}
+
+func TestDeadlineCutsWaitingOnDeadConfig(t *testing.T) {
+	w := surface.TPCC("med")
+	sim := New(w, 3, Options{Initial: space.Config{T: 2, C: 24}}) // near-zero throughput
+	deadline := sim.Now() + 50*time.Millisecond
+	now, ev := sim.NextCommit(deadline, true)
+	if ev == EventCommit && now > deadline {
+		t.Fatal("commit after deadline")
+	}
+	if ev == EventDeadline && now != deadline {
+		t.Fatalf("deadline stop at %v, want %v", now, deadline)
+	}
+}
+
+func TestMeasureWindowAgreesWithModel(t *testing.T) {
+	w := surface.Array("0.01")
+	cfg := space.Config{T: 16, C: 3}
+	sim := New(w, 4, Options{Initial: cfg})
+	p := monitor.NewCVPolicy()
+	p.MaxWindow = 30 * time.Second
+	m := sim.MeasureWindow(p)
+	want := w.Throughput(cfg)
+	if m.TimedOut {
+		t.Fatalf("window timed out: %+v", m)
+	}
+	if math.Abs(m.Throughput-want) > 0.25*want {
+		t.Fatalf("measured %.1f, model %.1f", m.Throughput, want)
+	}
+}
+
+func TestZeroRateTimesOutWindow(t *testing.T) {
+	w := surface.TPCC("med")
+	sim := New(w, 5, Options{Initial: space.Config{T: 48, C: 2}}) // invalid => rate 0
+	p := monitor.NewCVPolicy()
+	p.GapTimeout = time.Second
+	m := sim.MeasureWindow(p)
+	if !m.TimedOut || m.Commits != 0 {
+		t.Fatalf("expected empty timed-out window, got %+v", m)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	w := surface.Vacation("med")
+	a := New(w, 42, Options{Initial: space.Config{T: 8, C: 2}})
+	b := New(w, 42, Options{Initial: space.Config{T: 8, C: 2}})
+	for i := 0; i < 100; i++ {
+		ta, ca := a.NextCommit(0, false)
+		tb, cb := b.NextCommit(0, false)
+		if ta != tb || ca != cb {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestTuneSessionConvergesOnSim(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	_, optTput := w.Optimum(sp)
+	rng := stats.NewRNG(11)
+	sim := New(w, rng.Uint64(), Options{})
+	opt := core.New(sp, rng, core.Options{})
+	out := Tune(sim, opt, AdaptiveCV{}, 0)
+	if !out.Converged {
+		t.Fatal("tuning did not converge without a budget")
+	}
+	if out.Explorations < 9 {
+		t.Fatalf("only %d explorations", out.Explorations)
+	}
+	best, _ := opt.Best()
+	if dfo := 1 - w.Throughput(best)/optTput; dfo > 0.15 {
+		t.Fatalf("converged to %v at %.1f%% from optimum", best, dfo*100)
+	}
+	if sim.Config() != best {
+		t.Fatalf("best %v not left applied (current %v)", best, sim.Config())
+	}
+}
+
+func TestTuneBudgetInterrupts(t *testing.T) {
+	w := surface.Array("0.01").Scaled("array-glacial", 10000)
+	sp := space.New(w.Cores)
+	rng := stats.NewRNG(12)
+	sim := New(w, rng.Uint64(), Options{})
+	opt := core.New(sp, rng, core.Options{})
+	out := Tune(sim, opt, AdaptiveCV{}, 2*time.Second)
+	if out.Converged {
+		t.Fatal("glacial workload cannot converge in 2 virtual seconds")
+	}
+}
+
+func TestWindowMakerNames(t *testing.T) {
+	cases := []struct {
+		mk   WindowMaker
+		want string
+	}{
+		{AdaptiveCV{}, "adaptive"},
+		{FixedTime{Window: time.Second}, "fixed-1s"},
+		{FixedCommits{Commits: 10, AdaptiveTimeout: true}, "WPNOC10"},
+		{FixedCommits{Commits: 30}, "WNOC30"},
+	}
+	for _, c := range cases {
+		if got := c.mk.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOUNoiseStationary(t *testing.T) {
+	// Over a long run the realized rate must stay near the model mean
+	// (the OU correction term keeps E[rate] = base).
+	w := surface.Array("0")
+	cfg := space.Config{T: 48, C: 1}
+	sim := New(w, 6, Options{Initial: cfg, NoiseSigma: 0.2})
+	commits := sim.RunFor(50 * time.Second)
+	got := float64(commits) / 50
+	want := w.Throughput(cfg)
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("long-run rate %.1f vs model %.1f under strong noise", got, want)
+	}
+}

@@ -1,0 +1,256 @@
+package simcore
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+// ThreadSim is the fine-grained discrete-event engine: each of the t
+// admitted top-level threads is simulated individually, cycling through
+// transaction attempts whose durations derive from the workload model's
+// conflict-free duration at the configuration in force when the attempt
+// started. At the end of an attempt the transaction commits or aborts
+// (with the model's conflict probability) and, on abort, retries
+// immediately — so the engine exposes abort statistics and the transient
+// dynamics of reconfiguration (in-flight attempts finish under the old
+// configuration; thread-count changes take effect at attempt boundaries),
+// which the aggregate renewal engine (Sim) averages away. Its stationary
+// commit rate matches the analytic model by construction:
+// t * (1-p) / d_eff = Workload.Throughput.
+type ThreadSim struct {
+	w   *surface.Workload
+	rng *stats.RNG
+
+	now time.Duration
+	cfg space.Config
+
+	events  eventHeap
+	nextID  int
+	active  int // threads currently scheduled
+	commits uint64
+	aborts  uint64
+
+	// Latency accounting: total committed-transaction latency (including
+	// the aborted attempts each commit absorbed).
+	latencySum time.Duration
+}
+
+// threadEvent is the completion of one transaction attempt.
+type threadEvent struct {
+	at time.Duration
+	// cfg is the configuration in force when the attempt started (its
+	// duration and conflict probability were drawn from it).
+	cfg space.Config
+	// began is when the transaction (not just this attempt) started; the
+	// latency of a commit is at - began, accumulating aborted attempts.
+	began time.Duration
+	id    int
+}
+
+type eventHeap []threadEvent
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(threadEvent)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// NewThreadSim creates a per-thread engine for workload w.
+func NewThreadSim(w *surface.Workload, seed uint64, initial space.Config) *ThreadSim {
+	if initial.T < 1 || initial.C < 1 {
+		initial = space.Config{T: 1, C: 1}
+	}
+	ts := &ThreadSim{w: w, rng: stats.NewRNG(seed)}
+	ts.cfg = initial
+	for i := 0; i < initial.T; i++ {
+		ts.scheduleAttempt()
+	}
+	return ts
+}
+
+var _ Engine = (*ThreadSim)(nil)
+
+// Now implements monitor.Clock.
+func (ts *ThreadSim) Now() time.Duration { return ts.now }
+
+// Config implements Engine.
+func (ts *ThreadSim) Config() space.Config { return ts.cfg }
+
+// Commits implements Engine.
+func (ts *ThreadSim) Commits() uint64 { return ts.commits }
+
+// Aborts returns the total number of simulated aborted attempts.
+func (ts *ThreadSim) Aborts() uint64 { return ts.aborts }
+
+// AbortRate returns aborts / attempts over the whole run.
+func (ts *ThreadSim) AbortRate() float64 {
+	total := ts.commits + ts.aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(ts.aborts) / float64(total)
+}
+
+// Apply implements Engine: thread-count growth takes effect immediately
+// (new threads start attempts now); shrinkage drains naturally at attempt
+// boundaries. The nesting degree affects attempts started from now on.
+func (ts *ThreadSim) Apply(cfg space.Config) {
+	if cfg.T < 1 {
+		cfg.T = 1
+	}
+	if cfg.C < 1 {
+		cfg.C = 1
+	}
+	ts.cfg = cfg
+	for ts.active < cfg.T {
+		ts.scheduleAttempt()
+	}
+	// Excess threads retire when their current attempt completes (see
+	// NextCommit); nothing to do here.
+}
+
+// attemptParams derives the per-attempt duration and conflict probability
+// from the workload model at cfg, such that the stationary commit rate
+// equals the analytic throughput: rate = T * (1-p) / dEff.
+func (ts *ThreadSim) attemptParams(cfg space.Config) (dEff float64, pConflict float64) {
+	tput := ts.w.Throughput(cfg)
+	dEff = ts.w.EffectiveDuration(cfg.C)
+	if tput <= 0 || dEff <= 0 {
+		return dEff, 1 // inadmissible: every attempt conflicts
+	}
+	// Throughput = T*(1-p)/dEff  =>  p = 1 - tput*dEff/T.
+	pConflict = 1 - tput*dEff/float64(cfg.T)
+	if pConflict < 0 {
+		pConflict = 0
+	}
+	if pConflict > 0.999 {
+		pConflict = 0.999
+	}
+	return dEff, pConflict
+}
+
+// scheduleAttempt starts a new attempt on a fresh logical thread at the
+// current time.
+func (ts *ThreadSim) scheduleAttempt() {
+	ts.pushAttempt(ts.cfg, ts.now)
+	ts.active++
+}
+
+// pushAttempt enqueues one attempt-completion event under cfg for a
+// transaction that began at began (== now for fresh transactions; earlier
+// for retries of aborted ones).
+func (ts *ThreadSim) pushAttempt(cfg space.Config, began time.Duration) {
+	dEff, _ := ts.attemptParams(cfg)
+	if dEff <= 0 || math.IsInf(dEff, 0) {
+		dEff = maxIdle.Seconds()
+	}
+	// Erlang-distributed service time, same regularity as the renewal
+	// engine.
+	dur := time.Duration(ts.erlang() * dEff * float64(time.Second))
+	if dur <= 0 {
+		dur = time.Nanosecond
+	}
+	ts.nextID++
+	heap.Push(&ts.events, threadEvent{at: ts.now + dur, cfg: cfg, began: began, id: ts.nextID})
+}
+
+// MeanLatency returns the mean committed-transaction latency over the whole
+// run (including time lost to aborted attempts), or 0 with no commits.
+func (ts *ThreadSim) MeanLatency() time.Duration {
+	if ts.commits == 0 {
+		return 0
+	}
+	return ts.latencySum / time.Duration(ts.commits)
+}
+
+// erlang samples an Erlang(erlangShape) variate with unit mean.
+func (ts *ThreadSim) erlang() float64 {
+	sum := 0.0
+	for i := 0; i < erlangShape; i++ {
+		sum += ts.rng.ExpFloat64()
+	}
+	return sum / erlangShape
+}
+
+// Settled reports whether the last reconfiguration is fully in force: no
+// in-flight attempt started under a previous configuration remains. The
+// tuner waits for this before opening a measurement window, mirroring the
+// real actuator whose semaphores complete a shrink only once the old
+// transactions have drained.
+func (ts *ThreadSim) Settled() bool {
+	for _, ev := range ts.events {
+		if ev.cfg != ts.cfg {
+			return false
+		}
+	}
+	return true
+}
+
+// NextCommit implements Engine: pop attempt completions until a commit
+// happens or the deadline passes.
+func (ts *ThreadSim) NextCommit(deadline time.Duration, hasDeadline bool) (time.Duration, Event) {
+	for {
+		if len(ts.events) == 0 {
+			// No runnable threads (possible only transiently); idle out.
+			if hasDeadline {
+				ts.now = deadline
+				return ts.now, EventDeadline
+			}
+			ts.now += maxIdle
+			return ts.now, EventDeadline
+		}
+		next := ts.events[0].at
+		if hasDeadline && deadline < next {
+			ts.now = deadline
+			return ts.now, EventDeadline
+		}
+		if !hasDeadline && next > ts.now+maxIdle {
+			ts.now += maxIdle
+			return ts.now, EventDeadline
+		}
+		ev := heap.Pop(&ts.events).(threadEvent)
+		ts.now = ev.at
+		_, p := ts.attemptParams(ev.cfg)
+		if ts.rng.Float64() < p {
+			ts.aborts++
+			if ts.active > ts.cfg.T {
+				// The configuration shrank while this thread ran: retire at
+				// the attempt boundary instead of retrying.
+				ts.active--
+				continue
+			}
+			// Abort: retry immediately under the *current* configuration,
+			// preserving the transaction's begin time for latency.
+			ts.pushAttempt(ts.cfg, ev.began)
+			continue
+		}
+		ts.commits++
+		ts.latencySum += ts.now - ev.began
+		// Thread finished a transaction; keep it running unless the
+		// configuration shrank.
+		stale := ev.cfg != ts.cfg
+		if ts.active > ts.cfg.T {
+			ts.active--
+		} else {
+			ts.pushAttempt(ts.cfg, ts.now)
+		}
+		if stale {
+			// The transaction was admitted under a previous configuration
+			// (a reconfiguration drained it mid-flight). It counts as a
+			// commit for the application and proves liveness (the monitor
+			// Touch-es its gap timer), but it is not sampled as the new
+			// configuration's throughput: the actuator intercepts
+			// begin/commit and attributes each transaction to its
+			// admission configuration. Without this, the drain burst after
+			// shrinking t would masquerade as throughput of the new
+			// configuration.
+			return ts.now, EventStaleCommit
+		}
+		return ts.now, EventCommit
+	}
+}

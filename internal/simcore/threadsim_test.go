@@ -1,0 +1,118 @@
+package simcore
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"autopn/internal/core"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+func TestThreadSimRateMatchesModel(t *testing.T) {
+	w := surface.TPCC("med")
+	for _, cfg := range []space.Config{{T: 1, C: 1}, {T: 20, C: 2}, {T: 8, C: 3}, {T: 48, C: 1}} {
+		ts := NewThreadSim(w, 7, cfg)
+		want := w.Throughput(cfg)
+		commits := RunFor(ts, 30*time.Second)
+		got := float64(commits) / 30
+		if math.Abs(got-want) > 0.12*want {
+			t.Errorf("%v: DES rate %.1f deviates >12%% from model %.1f", cfg, got, want)
+		}
+	}
+}
+
+func TestThreadSimAbortRateGrowsWithTopLevelParallelism(t *testing.T) {
+	w := surface.TPCC("high")
+	low := NewThreadSim(w, 3, space.Config{T: 2, C: 1})
+	high := NewThreadSim(w, 3, space.Config{T: 24, C: 2})
+	RunFor(low, 20*time.Second)
+	RunFor(high, 20*time.Second)
+	if low.AbortRate() >= high.AbortRate() {
+		t.Fatalf("abort rate did not grow with t: %.2f (t=2) vs %.2f (t=24)",
+			low.AbortRate(), high.AbortRate())
+	}
+	if high.AbortRate() < 0.2 {
+		t.Fatalf("high-contention abort rate %.2f suspiciously low", high.AbortRate())
+	}
+}
+
+func TestThreadSimSequentialNeverAborts(t *testing.T) {
+	w := surface.Array("90") // contention only matters with t > 1
+	ts := NewThreadSim(w, 5, space.Config{T: 1, C: 4})
+	RunFor(ts, 10*time.Second)
+	if a := ts.Aborts(); a != 0 {
+		t.Fatalf("sequential run aborted %d times", a)
+	}
+	if ts.Commits() == 0 {
+		t.Fatal("no commits")
+	}
+}
+
+func TestThreadSimReconfigurationMidRun(t *testing.T) {
+	w := surface.TPCC("med")
+	ts := NewThreadSim(w, 9, space.Config{T: 1, C: 1})
+	RunFor(ts, 2*time.Second)
+	slowRate := float64(ts.Commits()) / 2
+
+	ts.Apply(space.Config{T: 20, C: 2})
+	base := ts.Commits()
+	start := ts.Now()
+	for ts.Now() < start+10*time.Second {
+		if _, ev := ts.NextCommit(start+10*time.Second, true); ev == EventDeadline {
+			break
+		}
+	}
+	fastRate := float64(ts.Commits()-base) / 10
+	want := w.Throughput(space.Config{T: 20, C: 2})
+	if fastRate < 5*slowRate {
+		t.Fatalf("reconfiguration had little effect: %.1f -> %.1f", slowRate, fastRate)
+	}
+	if math.Abs(fastRate-want) > 0.15*want {
+		t.Fatalf("post-reconfig rate %.1f vs model %.1f", fastRate, want)
+	}
+	if got := ts.Config(); got != (space.Config{T: 20, C: 2}) {
+		t.Fatalf("Config = %v", got)
+	}
+}
+
+func TestThreadSimShrinkDrains(t *testing.T) {
+	w := surface.TPCC("low")
+	ts := NewThreadSim(w, 11, space.Config{T: 24, C: 2})
+	RunFor(ts, 2*time.Second)
+	ts.Apply(space.Config{T: 2, C: 1})
+	RunFor(ts, 5*time.Second)
+	// After draining, the event queue must hold at most t=2 attempts.
+	if n := len(ts.events); n > 2 {
+		t.Fatalf("%d in-flight attempts after shrinking to t=2", n)
+	}
+}
+
+func TestThreadSimDeadlineRespected(t *testing.T) {
+	w := surface.TPCC("med")
+	ts := NewThreadSim(w, 13, space.Config{T: 2, C: 24}) // inadmissible: rate ~0
+	deadline := ts.Now() + 100*time.Millisecond
+	now, ev := ts.NextCommit(deadline, true)
+	if ev != EventDeadline || now != deadline {
+		t.Fatalf("NextCommit = (%v, %v), want deadline timeout", now, ev)
+	}
+}
+
+func TestTuneRunsOnThreadSim(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	_, optTput := w.Optimum(sp)
+	rng := stats.NewRNG(17)
+	ts := NewThreadSim(w, rng.Uint64(), space.Config{T: 1, C: 1})
+	opt := core.New(sp, rng, core.Options{})
+	out := Tune(ts, opt, AdaptiveCV{}, 0)
+	if !out.Converged {
+		t.Fatal("tuning on the DES engine did not converge")
+	}
+	best, _ := opt.Best()
+	if dfo := 1 - w.Throughput(best)/optTput; dfo > 0.2 {
+		t.Fatalf("DES tuning ended %.1f%% from optimum (%v)", dfo*100, best)
+	}
+}

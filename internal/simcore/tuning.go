@@ -1,0 +1,151 @@
+package simcore
+
+import (
+	"fmt"
+	"time"
+
+	"autopn/internal/monitor"
+	"autopn/internal/search"
+	"autopn/internal/space"
+)
+
+// WindowMaker builds one monitoring policy per measurement window. t11 is
+// the throughput measured for the sequential configuration (1,1), or 0
+// while still unknown; the adaptive policies derive their gap timeout from
+// it (§VI of the paper).
+type WindowMaker interface {
+	Name() string
+	Make(t11 float64) monitor.Policy
+}
+
+// AdaptiveCV is the paper's adaptive monitor: CV-based stability plus the
+// adaptive 1/T(1,1) gap timeout.
+type AdaptiveCV struct {
+	CVThreshold float64       // default 0.10
+	MinCommits  int           // default 5
+	MaxWindow   time.Duration // safety bound, default 120s
+}
+
+// Name implements WindowMaker.
+func (a AdaptiveCV) Name() string { return "adaptive" }
+
+// Make implements WindowMaker.
+func (a AdaptiveCV) Make(t11 float64) monitor.Policy {
+	p := monitor.NewCVPolicy()
+	if a.CVThreshold > 0 {
+		p.CVThreshold = a.CVThreshold
+	}
+	if a.MinCommits > 0 {
+		p.MinCommits = a.MinCommits
+	}
+	p.MaxWindow = a.MaxWindow
+	if p.MaxWindow <= 0 {
+		p.MaxWindow = 120 * time.Second
+	}
+	p.GapTimeout = monitor.AdaptiveGapFromSequential(t11, 0)
+	return p
+}
+
+// FixedTime is the static-window baseline of Fig. 7a/7b.
+type FixedTime struct {
+	Window time.Duration
+}
+
+// Name implements WindowMaker.
+func (f FixedTime) Name() string { return fmt.Sprintf("fixed-%v", f.Window) }
+
+// Make implements WindowMaker.
+func (f FixedTime) Make(float64) monitor.Policy {
+	return &monitor.FixedTimePolicy{Window: f.Window}
+}
+
+// FixedCommits is the wait-for-K-commits baseline of Fig. 7c: WNOC when
+// AdaptiveTimeout is false, WPNOC (with the paper's adaptive timeout on
+// top) when true.
+type FixedCommits struct {
+	Commits         int
+	AdaptiveTimeout bool
+	// FallbackWindow bounds the window when no adaptive timeout applies
+	// (WNOC is unbounded in the paper; the simulator caps it so starving
+	// configurations cost a large-but-finite amount of virtual time).
+	FallbackWindow time.Duration
+}
+
+// Name implements WindowMaker.
+func (f FixedCommits) Name() string {
+	if f.AdaptiveTimeout {
+		return fmt.Sprintf("WPNOC%d", f.Commits)
+	}
+	return fmt.Sprintf("WNOC%d", f.Commits)
+}
+
+// Make implements WindowMaker.
+func (f FixedCommits) Make(t11 float64) monitor.Policy {
+	p := &monitor.FixedCommitsPolicy{Commits: f.Commits}
+	if f.AdaptiveTimeout {
+		p.GapTimeout = monitor.AdaptiveGapFromSequential(t11, f.FallbackWindow)
+	} else if f.FallbackWindow > 0 {
+		p.GapTimeout = f.FallbackWindow
+	}
+	return p
+}
+
+// TuneOutcome summarizes a live tuning session in the simulator.
+type TuneOutcome struct {
+	// FinalCfg is the configuration the tuner settled on (its best
+	// observation when interrupted by the budget).
+	FinalCfg space.Config
+	// Converged reports whether the optimizer finished before the budget.
+	Converged bool
+	// ConvergedAt is the virtual time at which the optimizer finished.
+	ConvergedAt time.Duration
+	// Windows is the number of measurement windows executed.
+	Windows int
+	// Explorations is the number of distinct configurations measured.
+	Explorations int
+}
+
+// Tune drives opt live on sim: each Next() configuration is applied to the
+// simulated actuator and measured with a fresh monitoring window from wm;
+// the measured throughput is fed back via Observe. The session stops when
+// the optimizer converges or the virtual-time budget is exhausted, and the
+// tuner's best configuration is left applied (so callers can keep running
+// the "application" and measure residual throughput, as Fig. 7b does).
+func Tune(sim Engine, opt search.Optimizer, wm WindowMaker, budget time.Duration) TuneOutcome {
+	var out TuneOutcome
+	t11 := 0.0
+	seen := make(map[space.Config]bool)
+	for {
+		if budget > 0 && sim.Now() >= budget {
+			break
+		}
+		cfg, done := opt.Next()
+		if done {
+			out.Converged = true
+			out.ConvergedAt = sim.Now()
+			break
+		}
+		sim.Apply(cfg)
+		Settle(sim, budget)
+		meas := MeasureWindow(sim, wm.Make(t11))
+		if (cfg == space.Config{T: 1, C: 1}) && t11 == 0 && meas.Throughput > 0 {
+			t11 = meas.Throughput
+		}
+		if !seen[cfg] {
+			seen[cfg] = true
+			out.Explorations++
+		}
+		out.Windows++
+		if om, ok := opt.(interface {
+			ObserveMeasured(space.Config, float64, float64)
+		}); ok {
+			om.ObserveMeasured(cfg, meas.Throughput, meas.CV)
+		} else {
+			opt.Observe(cfg, meas.Throughput)
+		}
+	}
+	best, _ := opt.Best()
+	out.FinalCfg = best
+	sim.Apply(best)
+	return out
+}

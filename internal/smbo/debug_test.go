@@ -1,0 +1,57 @@
+package smbo
+
+import (
+	"testing"
+
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+// TestDebugEIDynamics prints the surrogate's behaviour right after the
+// biased initial sampling on tpcc-med; run with -v while tuning.
+func TestDebugEIDynamics(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	rng := stats.NewRNG(42)
+
+	var obs []Observation
+	explored := map[space.Config]bool{}
+	best := 0.0
+	var bestCfg space.Config
+	for _, cfg := range sp.BiasedSample(9) {
+		kpi := w.Measure(cfg, rng)
+		obs = append(obs, Observation{Cfg: cfg, KPI: kpi})
+		explored[cfg] = true
+		if kpi > best {
+			best, bestCfg = kpi, cfg
+		}
+		t.Logf("init %v -> %.1f", cfg, kpi)
+	}
+	t.Logf("incumbent %v = %.1f (true opt: %v)", bestCfg, best, mustOpt(w, sp))
+
+	for step := 0; step < 25; step++ {
+		sur := Fit(obs, DefaultEnsembleSize, rng, nil)
+		for _, probe := range []space.Config{{T: 20, C: 2}, {T: 24, C: 2}, {T: 16, C: 3}, {T: 10, C: 4}, {T: 40, C: 1}} {
+			mu, sd := sur.PredictDist(probe)
+			t.Logf("  step %d predict %v: mu=%.1f sd=%.1f (true %.1f)", step, probe, mu, sd, w.Throughput(probe))
+		}
+		sug, ok := SuggestEI(sp, sur, explored, best)
+		if !ok {
+			break
+		}
+		t.Logf("step %d suggest %v EI=%.2f relEI=%.3f", step, sug.Cfg, sug.EI, sug.RelEI)
+		kpi := w.Measure(sug.Cfg, rng)
+		obs = append(obs, Observation{Cfg: sug.Cfg, KPI: kpi})
+		explored[sug.Cfg] = true
+		if kpi > best {
+			best, bestCfg = kpi, sug.Cfg
+		}
+		t.Logf("  measured %v = %.1f, incumbent %v = %.1f", sug.Cfg, kpi, bestCfg, best)
+	}
+}
+
+func mustOpt(w *surface.Workload, sp *space.Space) space.Config {
+	c, _ := w.Optimum(sp)
+	return c
+}

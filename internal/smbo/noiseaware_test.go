@@ -1,0 +1,28 @@
+package smbo
+
+import (
+	"testing"
+
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+func TestNoiseAwareWidensUncertainty(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	rng := stats.NewRNG(31)
+	var obs []Observation
+	for _, cfg := range sp.BiasedSample(9) {
+		obs = append(obs, Observation{Cfg: cfg, KPI: w.Measure(cfg, rng), MeasCV: 0.2})
+	}
+	base := Fit(obs, DefaultEnsembleSize, stats.NewRNG(1), nil)
+	aware := FitNoiseAware(obs, DefaultEnsembleSize, stats.NewRNG(1), nil)
+	probe := space.Config{T: 20, C: 2}
+	_, sdBase := base.PredictDist(probe)
+	_, sdAware := aware.PredictDist(probe)
+	t.Logf("sd base=%.1f aware=%.1f floor>=%.1f", sdBase, sdAware, sdAware-sdBase)
+	if sdAware <= sdBase {
+		t.Fatalf("noise floor did not widen uncertainty: %.2f vs %.2f", sdAware, sdBase)
+	}
+}

@@ -1,0 +1,168 @@
+// Package smbo provides the Sequential Model-Based Optimization machinery
+// of AutoPN (§V-B of the paper): fitting a bagged-M5 surrogate over the
+// (t, c) configuration space and selecting the next configuration to
+// explore with the Expected Improvement acquisition function.
+package smbo
+
+import (
+	"math"
+
+	"autopn/internal/ensemble"
+	"autopn/internal/m5"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+)
+
+// Observation is one explored configuration and its measured KPI (higher
+// is better; AutoPN maximizes throughput). MeasCV optionally records the
+// measurement's coefficient of variation, which the noise-aware variant of
+// the acquisition function (§VIII future work: "incorporate information on
+// the noisiness of sampled data in the modeling phase") folds into the
+// prediction uncertainty.
+type Observation struct {
+	Cfg    space.Config
+	KPI    float64
+	MeasCV float64
+}
+
+// Features maps a configuration to the surrogate's minimalist feature
+// vector. The paper deliberately restricts the feature space to (t, c) so
+// that models remain trainable from a handful of online samples (§V-B).
+func Features(cfg space.Config) []float64 {
+	return []float64{float64(cfg.T), float64(cfg.C)}
+}
+
+// Surrogate is the probabilistic model M of the SMBO loop: a bagging
+// ensemble whose prediction spread provides the uncertainty estimate.
+// When built with FitNoiseAware it additionally carries a measurement-noise
+// floor that widens predictive uncertainty (and damps over-trust in lucky
+// noisy samples).
+type Surrogate struct {
+	bag *ensemble.Bag
+	// noiseFloor is an absolute KPI standard deviation added (in
+	// quadrature) to the ensemble spread; zero for the paper's baseline
+	// behaviour.
+	noiseFloor float64
+}
+
+// DefaultEnsembleSize is the bag size the paper found sufficient for model
+// diversity at negligible overhead.
+const DefaultEnsembleSize = 10
+
+// Fit trains a surrogate on the observations. k is the ensemble size;
+// trainer may be nil, in which case M5 model trees with default options are
+// used.
+func Fit(obs []Observation, k int, rng *stats.RNG, trainer ensemble.Trainer) *Surrogate {
+	if trainer == nil {
+		trainer = ensemble.M5Trainer(m5.DefaultOptions())
+	}
+	data := make([]m5.Instance, len(obs))
+	for i, o := range obs {
+		data[i] = m5.Instance{X: Features(o.Cfg), Y: o.KPI}
+	}
+	return &Surrogate{bag: ensemble.Train(data, k, rng, trainer)}
+}
+
+// FitNoiseAware trains a surrogate that also accounts for the noisiness of
+// the measurements: the mean measurement standard deviation (CV times KPI)
+// across observations becomes a floor under the predictive uncertainty, so
+// the EI acquisition keeps exploring while measurements are too noisy to
+// distinguish candidates — the paper's §VIII extension.
+func FitNoiseAware(obs []Observation, k int, rng *stats.RNG, trainer ensemble.Trainer) *Surrogate {
+	sur := Fit(obs, k, rng, trainer)
+	sum, n := 0.0, 0
+	for _, o := range obs {
+		if o.MeasCV > 0 && o.KPI > 0 {
+			sum += o.MeasCV * o.KPI
+			n++
+		}
+	}
+	if n > 0 {
+		sur.noiseFloor = sum / float64(n)
+	}
+	return sur
+}
+
+// PredictDist returns the surrogate's Gaussian belief (mu, sigma) at cfg.
+func (s *Surrogate) PredictDist(cfg space.Config) (mean, std float64) {
+	mean, std = s.bag.PredictDist(Features(cfg))
+	if s.noiseFloor > 0 {
+		std = math.Sqrt(std*std + s.noiseFloor*s.noiseFloor)
+	}
+	return mean, std
+}
+
+// Suggestion is the outcome of an acquisition pass over the space.
+type Suggestion struct {
+	Cfg space.Config
+	// EI is the expected improvement of Cfg over the incumbent best.
+	EI float64
+	// RelEI is EI normalized by the incumbent best KPI (the quantity the
+	// paper compares against the 1%-10% stopping thresholds); it equals EI
+	// when the incumbent is non-positive.
+	RelEI float64
+}
+
+// SuggestEI scans every unexplored configuration and returns the one with
+// the highest Expected Improvement over best (the incumbent's measured
+// KPI). ok is false when every configuration has been explored.
+func SuggestEI(sp *space.Space, sur *Surrogate, explored map[space.Config]bool, best float64) (Suggestion, bool) {
+	var out Suggestion
+	outMean := 0.0
+	found := false
+	for _, cfg := range sp.Configs() {
+		if explored[cfg] {
+			continue
+		}
+		mean, std := sur.PredictDist(cfg)
+		ei := stats.ExpectedImprovement(mean, std, best)
+		// Ties (in particular the all-zero-EI regime once the model is
+		// confidently pessimistic everywhere) break toward the highest
+		// predicted mean rather than toward enumeration order.
+		if !found || ei > out.EI || (ei == out.EI && mean > outMean) {
+			out = Suggestion{Cfg: cfg, EI: ei}
+			outMean = mean
+			found = true
+		}
+	}
+	if !found {
+		return Suggestion{}, false
+	}
+	out.RelEI = out.EI
+	if best > 0 {
+		out.RelEI = out.EI / best
+	}
+	return out, true
+}
+
+// SuggestMean is the purely exploitative ("greedy") acquisition used by the
+// acquisition-function ablation: it picks the unexplored configuration with
+// the highest predicted mean, ignoring uncertainty.
+func SuggestMean(sp *space.Space, sur *Surrogate, explored map[space.Config]bool, best float64) (Suggestion, bool) {
+	var out Suggestion
+	bestMean := 0.0
+	found := false
+	for _, cfg := range sp.Configs() {
+		if explored[cfg] {
+			continue
+		}
+		mean, _ := sur.PredictDist(cfg)
+		if !found || mean > bestMean {
+			bestMean = mean
+			improvement := mean - best
+			if improvement < 0 {
+				improvement = 0
+			}
+			out = Suggestion{Cfg: cfg, EI: improvement}
+			found = true
+		}
+	}
+	if !found {
+		return Suggestion{}, false
+	}
+	out.RelEI = out.EI
+	if best > 0 {
+		out.RelEI = out.EI / best
+	}
+	return out, true
+}

@@ -1,0 +1,123 @@
+package smbo
+
+import (
+	"testing"
+
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+func initialObservations(w *surface.Workload, sp *space.Space, rng *stats.RNG) ([]Observation, map[space.Config]bool, float64) {
+	var obs []Observation
+	explored := map[space.Config]bool{}
+	best := 0.0
+	for _, cfg := range sp.BiasedSample(9) {
+		kpi := w.Measure(cfg, rng)
+		obs = append(obs, Observation{Cfg: cfg, KPI: kpi})
+		explored[cfg] = true
+		if kpi > best {
+			best = kpi
+		}
+	}
+	return obs, explored, best
+}
+
+func TestFeatures(t *testing.T) {
+	f := Features(space.Config{T: 20, C: 2})
+	if len(f) != 2 || f[0] != 20 || f[1] != 2 {
+		t.Fatalf("Features = %v", f)
+	}
+}
+
+func TestSuggestEISkipsExplored(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	rng := stats.NewRNG(11)
+	obs, explored, best := initialObservations(w, sp, rng)
+	sur := Fit(obs, DefaultEnsembleSize, rng, nil)
+	sug, ok := SuggestEI(sp, sur, explored, best)
+	if !ok {
+		t.Fatal("no suggestion with most of the space unexplored")
+	}
+	if explored[sug.Cfg] {
+		t.Fatalf("suggested already-explored %v", sug.Cfg)
+	}
+	if sug.EI < 0 || sug.RelEI < 0 {
+		t.Fatalf("negative EI: %+v", sug)
+	}
+}
+
+func TestSuggestExhaustedSpace(t *testing.T) {
+	sp := space.New(2) // 3 configurations
+	w := surface.TPCC("low")
+	rng := stats.NewRNG(3)
+	var obs []Observation
+	explored := map[space.Config]bool{}
+	for _, cfg := range sp.Configs() {
+		obs = append(obs, Observation{Cfg: cfg, KPI: float64(cfg.T)})
+		explored[cfg] = true
+	}
+	_ = w
+	sur := Fit(obs, 5, rng, nil)
+	if _, ok := SuggestEI(sp, sur, explored, 2); ok {
+		t.Fatal("SuggestEI returned a config from an exhausted space")
+	}
+	if _, ok := SuggestMean(sp, sur, explored, 2); ok {
+		t.Fatal("SuggestMean returned a config from an exhausted space")
+	}
+}
+
+func TestRelEINormalization(t *testing.T) {
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	rng := stats.NewRNG(17)
+	obs, explored, best := initialObservations(w, sp, rng)
+	sur := Fit(obs, DefaultEnsembleSize, rng, nil)
+	sug, _ := SuggestEI(sp, sur, explored, best)
+	if best > 0 && sug.RelEI != sug.EI/best {
+		t.Fatalf("RelEI %v != EI/best %v", sug.RelEI, sug.EI/best)
+	}
+}
+
+func TestSMBOLoopFindsGoodRegion(t *testing.T) {
+	// Driving the SMBO loop (without hill climbing, without stopping) for
+	// 25 steps must reach a configuration within 25% of the optimum on the
+	// paper's headline workload — the model-phase guarantee that the final
+	// hill climb then refines.
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	_, opt := w.Optimum(sp)
+	rng := stats.NewRNG(23)
+	obs, explored, best := initialObservations(w, sp, rng)
+	for step := 0; step < 25; step++ {
+		sur := Fit(obs, DefaultEnsembleSize, rng, nil)
+		sug, ok := SuggestEI(sp, sur, explored, best)
+		if !ok {
+			break
+		}
+		kpi := w.Measure(sug.Cfg, rng)
+		obs = append(obs, Observation{Cfg: sug.Cfg, KPI: kpi})
+		explored[sug.Cfg] = true
+		if kpi > best {
+			best = kpi
+		}
+	}
+	if best < 0.75*opt {
+		t.Fatalf("SMBO best %.1f below 75%% of optimum %.1f", best, opt)
+	}
+}
+
+func TestSurrogatePredictDistFinite(t *testing.T) {
+	w := surface.Array("90")
+	sp := space.New(w.Cores)
+	rng := stats.NewRNG(29)
+	obs, _, _ := initialObservations(w, sp, rng)
+	sur := Fit(obs, DefaultEnsembleSize, rng, nil)
+	for _, cfg := range sp.Configs() {
+		mean, sd := sur.PredictDist(cfg)
+		if sd < 0 || mean != mean || sd != sd { // NaN checks
+			t.Fatalf("bad prediction at %v: (%v, %v)", cfg, mean, sd)
+		}
+	}
+}

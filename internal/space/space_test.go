@@ -1,0 +1,184 @@
+package space
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeMatchesPaper(t *testing.T) {
+	// The paper's study on a 48-core machine encompasses 198 configurations.
+	if got := New(48).Size(); got != 198 {
+		t.Fatalf("|S| for n=48 = %d, want 198", got)
+	}
+}
+
+func TestSizeIsSumOfFloors(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 48, 100} {
+		want := 0
+		for tt := 1; tt <= n; tt++ {
+			want += n / tt
+		}
+		if got := New(n).Size(); got != want {
+			t.Errorf("n=%d: size %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestAllConfigsValidAndIndexed(t *testing.T) {
+	sp := New(24)
+	for i, cfg := range sp.Configs() {
+		if !cfg.Valid(24) {
+			t.Fatalf("invalid config %v in space", cfg)
+		}
+		if sp.Index(cfg) != i || sp.At(i) != cfg {
+			t.Fatalf("index roundtrip broken at %d (%v)", i, cfg)
+		}
+		if !sp.Contains(cfg) {
+			t.Fatalf("Contains(%v) = false", cfg)
+		}
+	}
+	if sp.Contains(Config{T: 5, C: 5}) {
+		t.Error("oversubscribed (5,5) reported admissible for n=24")
+	}
+	if sp.Index(Config{T: 0, C: 1}) != -1 {
+		t.Error("invalid config has an index")
+	}
+}
+
+func TestNeighborsWithinSpaceAndAdjacent(t *testing.T) {
+	sp := New(16)
+	for _, cfg := range sp.Configs() {
+		for _, nb := range sp.Neighbors(cfg) {
+			if !sp.Contains(nb) {
+				t.Fatalf("neighbor %v of %v outside space", nb, cfg)
+			}
+			dt, dc := nb.T-cfg.T, nb.C-cfg.C
+			if dt*dt+dc*dc != 1 {
+				t.Fatalf("%v not 4-adjacent to %v", nb, cfg)
+			}
+		}
+	}
+	// Corner (16,1) has only (15,1): (17,1) and (16,2) are out.
+	nbs := sp.Neighbors(Config{T: 16, C: 1})
+	if len(nbs) != 1 || nbs[0] != (Config{T: 15, C: 1}) {
+		t.Fatalf("Neighbors(16,1) = %v", nbs)
+	}
+}
+
+func TestPivots(t *testing.T) {
+	sp := New(48)
+	want := []Config{{1, 1}, {48, 1}, {1, 48}}
+	got := sp.Pivots()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pivots = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBiasedSampleNestingAndContent(t *testing.T) {
+	sp := New(48)
+	s3 := sp.BiasedSample(3)
+	s5 := sp.BiasedSample(5)
+	s7 := sp.BiasedSample(7)
+	s9 := sp.BiasedSample(9)
+	if len(s3) != 3 || len(s5) != 5 || len(s7) != 7 || len(s9) != 9 {
+		t.Fatalf("sizes: %d %d %d %d", len(s3), len(s5), len(s7), len(s9))
+	}
+	// The sets are nested (paper footnote 1).
+	isPrefix := func(short, long []Config) bool {
+		for i := range short {
+			if long[i] != short[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !isPrefix(s3, s5) || !isPrefix(s5, s7) || !isPrefix(s7, s9) {
+		t.Fatal("biased samples are not nested")
+	}
+	// Footnote contents.
+	want7 := []Config{{1, 1}, {48, 1}, {1, 48}, {47, 1}, {1, 47}, {2, 1}, {1, 2}}
+	for i, w := range want7 {
+		if s7[i] != w {
+			t.Fatalf("s7[%d] = %v, want %v", i, s7[i], w)
+		}
+	}
+	// The 9-set's last two are the frontier probes (n/2,2) and (2,n/2).
+	if s9[7] != (Config{T: 24, C: 2}) || s9[8] != (Config{T: 2, C: 24}) {
+		t.Fatalf("frontier probes = %v,%v", s9[7], s9[8])
+	}
+	// Every sample admissible and distinct.
+	seen := map[Config]bool{}
+	for _, c := range s9 {
+		if !sp.Contains(c) || seen[c] {
+			t.Fatalf("bad biased sample %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestBiasedSampleSmallSpaces(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		sp := New(n)
+		for _, k := range []int{3, 5, 7, 9} {
+			for _, c := range sp.BiasedSample(k) {
+				if !sp.Contains(c) {
+					t.Fatalf("n=%d k=%d: inadmissible sample %v", n, k, c)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundaryContainsPivotsAndFrontier(t *testing.T) {
+	sp := New(12)
+	onBoundary := map[Config]bool{}
+	for _, c := range sp.Boundary() {
+		onBoundary[c] = true
+	}
+	for _, p := range sp.Pivots() {
+		if !onBoundary[p] {
+			t.Errorf("pivot %v not on boundary", p)
+		}
+	}
+	if !onBoundary[Config{T: 3, C: 4}] {
+		t.Error("frontier point (3,4) (t*c=12) not on boundary")
+	}
+	if onBoundary[Config{T: 2, C: 3}] {
+		t.Error("interior point (2,3) reported on boundary")
+	}
+}
+
+func TestThreadsAndString(t *testing.T) {
+	c := Config{T: 20, C: 2}
+	if c.Threads() != 40 {
+		t.Errorf("Threads = %d", c.Threads())
+	}
+	if c.String() != "(20,2)" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestValidProperty(t *testing.T) {
+	f := func(tt, cc int8, n uint8) bool {
+		nn := int(n%32) + 1
+		cfg := Config{T: int(tt), C: int(cc)}
+		want := cfg.T >= 1 && cfg.C >= 1 && cfg.T*cfg.C <= nn
+		return cfg.Valid(nn) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortConfigs(t *testing.T) {
+	cs := []Config{{3, 1}, {1, 2}, {1, 1}, {2, 5}}
+	SortConfigs(cs)
+	want := []Config{{1, 1}, {1, 2}, {2, 5}, {3, 1}}
+	for i := range want {
+		if cs[i] != want[i] {
+			t.Fatalf("sorted = %v", cs)
+		}
+	}
+}

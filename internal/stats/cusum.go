@@ -1,0 +1,91 @@
+package stats
+
+import "math"
+
+// CUSUM is a two-sided cumulative-sum change detector (Page, 1954). It
+// watches a stream of observations and signals when the stream's mean has
+// shifted by more than Drift standard deviations from the reference mean,
+// accumulating evidence across observations so that small sustained shifts
+// are detected while isolated outliers are ignored.
+//
+// The paper's §V "Dynamic workloads" proposes exactly this mechanism to
+// re-trigger the self-tuning process when the workload changes; autopn wires
+// a CUSUM over the per-window throughput stream.
+//
+// Usage: construct with NewCUSUM, feed a calibration phase via Observe while
+// Calibrated() is false (the detector estimates the reference mean and
+// standard deviation from the first CalibrationN samples), after which
+// Observe returns true when a change is detected. Reset re-arms the
+// detector and starts a fresh calibration.
+type CUSUM struct {
+	// Threshold is the decision interval h, in units of reference standard
+	// deviations. Typical values are 4-5.
+	Threshold float64
+	// Drift is the allowable slack k, in units of reference standard
+	// deviations; shifts smaller than Drift are tolerated. Typical 0.5.
+	Drift float64
+	// CalibrationN is the number of initial samples used to estimate the
+	// reference mean and deviation.
+	CalibrationN int
+
+	calib Summary
+	mu    float64
+	sigma float64
+	ready bool
+
+	hi float64
+	lo float64
+}
+
+// NewCUSUM returns a detector with the given decision interval (threshold),
+// slack (drift) and calibration length. Non-positive arguments fall back to
+// the conventional defaults h=5, k=0.5, n=20.
+func NewCUSUM(threshold, drift float64, calibrationN int) *CUSUM {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if drift <= 0 {
+		drift = 0.5
+	}
+	if calibrationN <= 0 {
+		calibrationN = 20
+	}
+	return &CUSUM{Threshold: threshold, Drift: drift, CalibrationN: calibrationN}
+}
+
+// Calibrated reports whether the detector has finished estimating its
+// reference statistics and is actively monitoring.
+func (c *CUSUM) Calibrated() bool { return c.ready }
+
+// Observe feeds one observation. It returns true when a change in the mean
+// is detected; after a detection the caller should Reset the detector (and,
+// in autopn, re-run the optimization).
+func (c *CUSUM) Observe(x float64) bool {
+	if !c.ready {
+		c.calib.Add(x)
+		if c.calib.N() >= c.CalibrationN {
+			c.mu = c.calib.Mean()
+			c.sigma = c.calib.StdDev()
+			if c.sigma == 0 {
+				// A perfectly constant calibration stream: use a small
+				// fraction of the mean so any real movement registers.
+				c.sigma = math.Max(math.Abs(c.mu)*1e-3, 1e-12)
+			}
+			c.ready = true
+		}
+		return false
+	}
+	z := (x - c.mu) / c.sigma
+	c.hi = math.Max(0, c.hi+z-c.Drift)
+	c.lo = math.Max(0, c.lo-z-c.Drift)
+	return c.hi > c.Threshold || c.lo > c.Threshold
+}
+
+// Reset re-arms the detector, discarding reference statistics and
+// accumulated evidence.
+func (c *CUSUM) Reset() {
+	c.calib.Reset()
+	c.mu, c.sigma = 0, 0
+	c.hi, c.lo = 0, 0
+	c.ready = false
+}

@@ -1,0 +1,40 @@
+package stats
+
+import "math"
+
+// NormPDF returns the probability density of the standard normal
+// distribution at z.
+func NormPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+// NormCDF returns the cumulative distribution function of the standard
+// normal distribution at z.
+func NormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// ExpectedImprovement computes the closed-form Expected Improvement of
+// sampling a point whose predicted outcome is Gaussian with the given mean
+// and standard deviation, relative to the incumbent best value, for a
+// maximization problem (Eq. 1 of the paper):
+//
+//	EI = (mu - best) * Phi((mu-best)/sigma) + sigma * phi((mu-best)/sigma)
+//
+// When sigma is zero the prediction is treated as certain and EI degenerates
+// to max(mu-best, 0).
+func ExpectedImprovement(mean, stddev, best float64) float64 {
+	if stddev <= 0 {
+		if d := mean - best; d > 0 {
+			return d
+		}
+		return 0
+	}
+	z := (mean - best) / stddev
+	ei := (mean-best)*NormCDF(z) + stddev*NormPDF(z)
+	if ei < 0 {
+		// Guard against tiny negative values from floating-point error.
+		return 0
+	}
+	return ei
+}

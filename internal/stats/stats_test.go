@@ -1,0 +1,304 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Fatal("different seeds collided on first output")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	s1 := r.Split()
+	s2 := r.Split()
+	if s1.Uint64() == s2.Uint64() {
+		t.Fatal("two splits produced identical first outputs")
+	}
+}
+
+func TestIntnBoundsAndUniformity(t *testing.T) {
+	r := NewRNG(3)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for d, c := range counts {
+		if c < n/10*8/10 || c > n/10*12/10 {
+			t.Errorf("digit %d count %d deviates >20%% from uniform", d, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	var s Summary
+	for i := 0; i < 50000; i++ {
+		s.Add(r.NormFloat64())
+	}
+	if m := s.Mean(); math.Abs(m) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", m)
+	}
+	if sd := s.StdDev(); sd < 0.97 || sd > 1.03 {
+		t.Errorf("normal stddev = %v, want ~1", sd)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(17)
+	var s Summary
+	for i := 0; i < 50000; i++ {
+		s.Add(r.ExpFloat64())
+	}
+	if m := s.Mean(); m < 0.97 || m > 1.03 {
+		t.Errorf("exponential mean = %v, want ~1", m)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(19)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSummaryAgainstDirectFormulas(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				return true // skip pathological inputs
+			}
+		}
+		var s Summary
+		for _, x := range xs {
+			s.Add(x)
+		}
+		wantMean := Mean(xs)
+		wantSD := StdDev(xs)
+		tol := 1e-6 * (1 + math.Abs(wantMean) + wantSD)
+		return math.Abs(s.Mean()-wantMean) < tol && math.Abs(s.StdDev()-wantSD) < tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeEqualsSequential(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(xs []float64) []float64 {
+			out := xs[:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var sa, sb, all Summary
+		for _, x := range a {
+			sa.Add(x)
+			all.Add(x)
+		}
+		for _, x := range b {
+			sb.Add(x)
+			all.Add(x)
+		}
+		sa.Merge(&sb)
+		if sa.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		tol := 1e-6 * (1 + math.Abs(all.Mean()) + all.StdDev())
+		return math.Abs(sa.Mean()-all.Mean()) < tol &&
+			math.Abs(sa.StdDev()-all.StdDev()) < tol &&
+			sa.Min() == all.Min() && sa.Max() == all.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCV(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{10, 10, 10} {
+		s.Add(x)
+	}
+	if cv := s.CV(); cv != 0 {
+		t.Errorf("constant CV = %v, want 0", cv)
+	}
+	s.Reset()
+	for _, x := range []float64{9, 10, 11} {
+		s.Add(x)
+	}
+	if cv := s.CV(); math.Abs(cv-0.1) > 0.001 {
+		t.Errorf("CV = %v, want ~0.1", cv)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 10}, {50, 5.5}, {90, 9.1}, {25, 3.25},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(empty) = %v, want 0", got)
+	}
+	// Must not mutate the input.
+	xs2 := []float64{3, 1, 2}
+	Percentile(xs2, 50)
+	if xs2[0] != 3 || xs2[1] != 1 || xs2[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestNormCDFAndPDF(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5}, {1.6448536, 0.95}, {-1.6448536, 0.05}, {2.3263479, 0.99},
+	}
+	for _, c := range cases {
+		if got := NormCDF(c.z); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("NormCDF(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+	if got := NormPDF(0); math.Abs(got-0.3989423) > 1e-6 {
+		t.Errorf("NormPDF(0) = %v", got)
+	}
+}
+
+func TestExpectedImprovementProperties(t *testing.T) {
+	// EI is 0 when the prediction is certain and below the incumbent.
+	if ei := ExpectedImprovement(5, 0, 10); ei != 0 {
+		t.Errorf("certain below: EI = %v", ei)
+	}
+	// EI equals the margin when certain and above.
+	if ei := ExpectedImprovement(15, 0, 10); ei != 5 {
+		t.Errorf("certain above: EI = %v", ei)
+	}
+	// EI grows with uncertainty at equal mean.
+	lo := ExpectedImprovement(10, 1, 10)
+	hi := ExpectedImprovement(10, 5, 10)
+	if !(hi > lo && lo > 0) {
+		t.Errorf("EI not increasing in sigma: %v vs %v", lo, hi)
+	}
+	// At mean == best, EI = sigma * phi(0).
+	want := 2 * NormPDF(0)
+	if got := ExpectedImprovement(10, 2, 10); math.Abs(got-want) > 1e-9 {
+		t.Errorf("EI at z=0: got %v want %v", got, want)
+	}
+	// EI is monotone in the mean.
+	if ExpectedImprovement(12, 1, 10) <= ExpectedImprovement(8, 1, 10) {
+		t.Error("EI not monotone in mean")
+	}
+	// Never negative.
+	f := func(mu, sigma, best float64) bool {
+		if math.IsNaN(mu) || math.IsNaN(sigma) || math.IsNaN(best) ||
+			math.Abs(mu) > 1e12 || math.Abs(sigma) > 1e12 || math.Abs(best) > 1e12 {
+			return true
+		}
+		return ExpectedImprovement(mu, math.Abs(sigma), best) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCUSUMDetectsShiftIgnoresNoise(t *testing.T) {
+	rng := NewRNG(24)
+	// Drift k=1 targets shifts of >= 2 sigma; with a 50-sample
+	// calibration the in-control false-positive rate is negligible.
+	det := NewCUSUM(5, 1, 50)
+	// Calibration + stable phase: no detection on pure noise.
+	for i := 0; i < 300; i++ {
+		if det.Observe(100 + rng.NormFloat64()) {
+			t.Fatalf("false positive at stable observation %d", i)
+		}
+	}
+	// A 3-sigma sustained shift must be detected quickly.
+	detected := -1
+	for i := 0; i < 50; i++ {
+		if det.Observe(103 + rng.NormFloat64()) {
+			detected = i
+			break
+		}
+	}
+	if detected < 0 {
+		t.Fatal("3-sigma shift never detected")
+	}
+	if detected > 20 {
+		t.Errorf("detection took %d observations, want <= 20", detected)
+	}
+	// Reset re-arms calibration.
+	det.Reset()
+	if det.Calibrated() {
+		t.Error("still calibrated after Reset")
+	}
+}
+
+func TestCUSUMSingleOutlierTolerated(t *testing.T) {
+	rng := NewRNG(29)
+	det := NewCUSUM(5, 1, 50)
+	for i := 0; i < 100; i++ {
+		det.Observe(50 + rng.NormFloat64())
+	}
+	if det.Observe(54) { // single 4-sigma outlier: below the h=5 interval
+		t.Fatal("single outlier triggered detection")
+	}
+	for i := 0; i < 30; i++ {
+		if det.Observe(50+rng.NormFloat64()) && i < 3 {
+			t.Fatal("detection shortly after an absorbed outlier")
+		}
+	}
+}

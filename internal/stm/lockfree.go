@@ -1,0 +1,147 @@
+package stm
+
+import "sync/atomic"
+
+// This file implements the lock-free commit algorithm of JVSTM (Fernandes
+// & Cachopo, "Lock-free and scalable multi-version software transactional
+// memory", PPoPP 2011), selectable via Options.LockFreeCommit.
+//
+// Committing transactions enqueue a commit request onto a global lock-free
+// queue; the queue order defines the serialization order and each request's
+// commit version (predecessor's version + 1). Every committing thread then
+// *helps* process the queue front to back: validate the request's read set,
+// write its write set back (idempotently, via version-checked CAS installs)
+// and mark it done. Because any thread can complete any request, a
+// descheduled committer never blocks the others — the property that
+// motivated JVSTM's design and that the classic serialized commit
+// (commitMu) lacks. The two strategies are behaviorally identical from the
+// tuner's perspective; BenchmarkCommitStrategies quantifies their scaling
+// difference.
+//
+// The only shared mutable state is advanced by CAS: the queue tail (via
+// next-pointer append), each request's status (pending -> valid|aborted ->
+// done), each box's head body, and the global clock. The version-GC
+// horizon uses the STM's snapshot registry, whose mutex guards only
+// bookkeeping reads and never gates commit progress.
+
+// Commit request statuses.
+const (
+	commitPending int32 = iota
+	commitValid
+	commitAborted
+	commitDone
+)
+
+// commitRequest is one enqueued top-level commit.
+type commitRequest struct {
+	tx      *Tx
+	version uint64 // serialization position; set before the request is published
+	status  atomic.Int32
+	next    atomic.Pointer[commitRequest]
+}
+
+// initLockFree installs the queue sentinel. Called from New.
+func (s *STM) initLockFree() {
+	sentinel := &commitRequest{}
+	sentinel.status.Store(commitDone)
+	s.lfHead.Store(sentinel)
+	s.lfTail.Store(sentinel)
+}
+
+// commitTopLockFree enqueues tx's commit and helps the queue until the
+// request is resolved. It returns whether the commit succeeded.
+func (s *STM) commitTopLockFree(tx *Tx) bool {
+	req := &commitRequest{tx: tx}
+	for {
+		tail := s.findTail()
+		req.version = tail.version + 1
+		if tail.next.CompareAndSwap(nil, req) {
+			// Opportunistically publish the new tail for later enqueuers.
+			s.lfTail.CompareAndSwap(tail, req)
+			break
+		}
+	}
+	for {
+		switch req.status.Load() {
+		case commitDone:
+			return true
+		case commitAborted:
+			return false
+		}
+		s.helpCommits()
+	}
+}
+
+// findTail locates the queue's current last request, advancing the cached
+// tail pointer past any appended suffix.
+func (s *STM) findTail() *commitRequest {
+	t := s.lfTail.Load()
+	for {
+		n := t.next.Load()
+		if n == nil {
+			return t
+		}
+		s.lfTail.CompareAndSwap(t, n)
+		t = n
+	}
+}
+
+// helpCommits processes the earliest unfinished request, if any. Multiple
+// threads may process the same request concurrently; every step is
+// idempotent.
+func (s *STM) helpCommits() {
+	// Advance the head past completed requests.
+	h := s.lfHead.Load()
+	for {
+		st := h.status.Load()
+		if st != commitDone && st != commitAborted {
+			break
+		}
+		n := h.next.Load()
+		if n == nil {
+			return // queue drained
+		}
+		s.lfHead.CompareAndSwap(h, n)
+		h = s.lfHead.Load()
+	}
+
+	r := h
+	if r.status.Load() == commitPending {
+		// Validate against the fully applied state of every predecessor
+		// (all of which are done, by queue order): a box read at snapshot
+		// readVersion must not have a newer committed version.
+		valid := true
+		for _, b := range r.tx.globalReads {
+			if b.currentVersion() > r.tx.readVersion {
+				valid = false
+				break
+			}
+		}
+		target := commitValid
+		if !valid {
+			target = commitAborted
+		}
+		r.status.CompareAndSwap(commitPending, target)
+	}
+
+	if r.status.Load() == commitValid {
+		keepFrom := s.gcHorizon()
+		for b, e := range r.tx.writeSet {
+			b.installCAS(e.value, r.version, keepFrom)
+		}
+		// Publish the new clock before marking done so that any snapshot
+		// taken after observing "done" sees the writes.
+		advanceClock(&s.clock, r.version)
+		r.status.CompareAndSwap(commitValid, commitDone)
+	}
+}
+
+// advanceClock lifts the clock to at least v.
+func advanceClock(clock *atomic.Uint64, v uint64) {
+	for {
+		cur := clock.Load()
+		if cur >= v || clock.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

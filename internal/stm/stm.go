@@ -1,0 +1,320 @@
+// Package stm implements a multi-version software transactional memory with
+// closed parallel nesting, modeled after JVSTM (Cachopo & Rito-Silva;
+// parallel nesting per Diegues & Cachopo), the PN-STM the paper integrates
+// AutoPN with.
+//
+// Top-level transactions read a consistent snapshot identified by the value
+// of a global version clock at begin time. Writes are buffered in per-
+// transaction write sets and published atomically at commit under a
+// serialized commit section after read-set validation; read-only
+// transactions never abort. (JVSTM's 2011 lock-free helping commit is an
+// orthogonal engineering refinement; this implementation uses the classic
+// serialized commit, which preserves every property the tuner observes.)
+//
+// Closed parallel nesting lets a transaction run child transactions
+// concurrently via Tx.Parallel. Children see their ancestors' uncommitted
+// writes, detect conflicts with sibling commits through a per-tree nested
+// version clock, and merge their write sets into the parent on commit.
+// Nothing becomes globally visible until the top-level transaction commits.
+//
+// Admission of top-level transactions and of nested children is gated
+// through the Throttle interface, which the actuator (package pnpool)
+// implements with resizable semaphores; this is how the (t, c) parallelism
+// degree chosen by the tuner is enforced without modifying application code.
+package stm
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Throttle gates admission of transactions. Implementations must be safe
+// for concurrent use. A nil Throttle on an STM means unbounded admission.
+type Throttle interface {
+	// EnterTop blocks until a top-level slot is available.
+	EnterTop()
+	// ExitTop releases a top-level slot.
+	ExitTop()
+	// NewTreeGate returns the gate limiting concurrent nested transactions
+	// for one transaction tree. It is called once per top-level transaction
+	// attempt that spawns children.
+	NewTreeGate() TreeGate
+}
+
+// TreeGate limits the number of concurrently running nested transactions
+// within a single transaction tree.
+type TreeGate interface {
+	// EnterChild blocks until a child slot is available in this tree.
+	EnterChild()
+	// ExitChild releases a child slot.
+	ExitChild()
+}
+
+// Stats holds cumulative transaction counters. All fields are updated
+// atomically and may be read at any time.
+type Stats struct {
+	TopCommits      atomic.Uint64 // top-level commits (read-only + update)
+	TopAborts       atomic.Uint64 // top-level validation failures (retried)
+	ReadOnlyTops    atomic.Uint64 // subset of TopCommits with empty write set
+	NestedCommits   atomic.Uint64 // nested transaction merges into parents
+	NestedAborts    atomic.Uint64 // nested conflicts (retried)
+	UserAborts      atomic.Uint64 // transactions abandoned due to user error
+	VersionsWritten atomic.Uint64 // bodies installed at top-level commits
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		TopCommits:      s.TopCommits.Load(),
+		TopAborts:       s.TopAborts.Load(),
+		ReadOnlyTops:    s.ReadOnlyTops.Load(),
+		NestedCommits:   s.NestedCommits.Load(),
+		NestedAborts:    s.NestedAborts.Load(),
+		UserAborts:      s.UserAborts.Load(),
+		VersionsWritten: s.VersionsWritten.Load(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	TopCommits      uint64
+	TopAborts       uint64
+	ReadOnlyTops    uint64
+	NestedCommits   uint64
+	NestedAborts    uint64
+	UserAborts      uint64
+	VersionsWritten uint64
+}
+
+// Options configures an STM instance.
+type Options struct {
+	// Throttle gates transaction admission; nil means unbounded.
+	Throttle Throttle
+	// CommitHook, if non-nil, is invoked after every top-level commit
+	// (outside the commit critical section). The KPI monitor subscribes
+	// here.
+	CommitHook func()
+	// MaxRetries bounds the number of times a conflicted top-level
+	// transaction is retried before Atomic gives up with ErrTooManyRetries.
+	// Zero means retry without bound (the default; TM liveness is ensured
+	// because contention eventually drains).
+	MaxRetries int
+	// DisableGC turns off old-version truncation (useful for tests that
+	// inspect version chains).
+	DisableGC bool
+	// LockFreeCommit selects JVSTM's lock-free, helping-based commit
+	// algorithm (Fernandes & Cachopo 2011) instead of the classic
+	// serialized commit section. See lockfree.go.
+	LockFreeCommit bool
+	// Backoff replaces the contention-management delay between retries of
+	// a conflicted top-level transaction (default: capped exponential
+	// backoff with jitter). Backoff(0) is called before the second
+	// attempt.
+	Backoff func(attempt int)
+}
+
+// ErrTooManyRetries is returned by Atomic when Options.MaxRetries is set
+// and exceeded.
+var ErrTooManyRetries = errors.New("stm: transaction exceeded retry limit")
+
+// STM is an isolated transactional memory universe: a global version clock,
+// a commit section, and bookkeeping of active snapshots for version GC.
+// Boxes are not tied to an STM instance; an application must simply use one
+// STM consistently for the boxes it guards (sharing boxes across STM
+// instances forfeits atomicity between them).
+type STM struct {
+	opts  Options
+	clock atomic.Uint64
+
+	commitMu sync.Mutex
+
+	// Lock-free commit queue (Options.LockFreeCommit); see lockfree.go.
+	lfHead atomic.Pointer[commitRequest]
+	lfTail atomic.Pointer[commitRequest]
+
+	// Active-snapshot registry for version GC: refcounts per read version.
+	activeMu  sync.Mutex
+	active    map[uint64]int
+	activeMin uint64
+
+	// Stats are the cumulative transaction counters.
+	Stats Stats
+}
+
+// New creates an STM with the given options.
+func New(opts Options) *STM {
+	s := &STM{opts: opts, active: make(map[uint64]int)}
+	if opts.LockFreeCommit {
+		s.initLockFree()
+	}
+	return s
+}
+
+// Clock returns the current global version clock value.
+func (s *STM) Clock() uint64 { return s.clock.Load() }
+
+// SetCommitHook replaces the per-top-level-commit callback. It must not be
+// called concurrently with running transactions.
+func (s *STM) SetCommitHook(h func()) { s.opts.CommitHook = h }
+
+// SetThrottle replaces the admission throttle. It must not be called
+// concurrently with running transactions.
+func (s *STM) SetThrottle(t Throttle) { s.opts.Throttle = t }
+
+// beginSnapshot atomically samples the clock and registers the resulting
+// snapshot as active. Sampling and registering must be one critical
+// section: with a window between them, a committer could compute a GC
+// horizon that does not yet include the new reader and truncate the very
+// versions the reader is about to need. Registration under activeMu makes
+// that impossible — gcHorizon also holds activeMu, so either it sees the
+// registration, or the reader's subsequent clock sample is at least the
+// horizon's clock value (the clock is monotone), whose body the truncation
+// preserves.
+func (s *STM) beginSnapshot() uint64 {
+	if s.opts.DisableGC {
+		return s.clock.Load()
+	}
+	s.activeMu.Lock()
+	v := s.clock.Load()
+	if len(s.active) == 0 || v < s.activeMin {
+		s.activeMin = v
+	}
+	s.active[v]++
+	s.activeMu.Unlock()
+	return v
+}
+
+// unregisterSnapshot drops one active reader of version v.
+func (s *STM) unregisterSnapshot(v uint64) {
+	if s.opts.DisableGC {
+		return
+	}
+	s.activeMu.Lock()
+	if n := s.active[v]; n <= 1 {
+		delete(s.active, v)
+		if v == s.activeMin {
+			// Recompute the minimum; the active set is small (bounded by
+			// the top-level parallelism degree).
+			s.activeMin = 0
+			first := true
+			for ver := range s.active {
+				if first || ver < s.activeMin {
+					s.activeMin = ver
+					first = false
+				}
+			}
+			if first {
+				s.activeMin = s.clock.Load()
+			}
+		}
+	} else {
+		s.active[v] = n - 1
+	}
+	s.activeMu.Unlock()
+}
+
+// gcHorizon returns the newest version that every active or future snapshot
+// can still resolve: the minimum active snapshot version, or the current
+// clock when no transaction is active.
+func (s *STM) gcHorizon() uint64 {
+	if s.opts.DisableGC {
+		return 0
+	}
+	s.activeMu.Lock()
+	defer s.activeMu.Unlock()
+	if len(s.active) == 0 {
+		return s.clock.Load()
+	}
+	return s.activeMin
+}
+
+// Atomic runs fn as a top-level transaction, retrying on conflicts until it
+// commits, fn returns a non-nil error (which aborts and is returned), or
+// the retry limit is exceeded.
+func (s *STM) Atomic(fn func(tx *Tx) error) error {
+	if th := s.opts.Throttle; th != nil {
+		th.EnterTop()
+		defer th.ExitTop()
+	}
+	for attempt := 0; ; attempt++ {
+		tx := s.beginTop()
+		err, conflicted := tx.runTop(fn)
+		if !conflicted {
+			if err == nil && s.opts.CommitHook != nil {
+				s.opts.CommitHook()
+			}
+			return err
+		}
+		s.Stats.TopAborts.Add(1)
+		if s.opts.MaxRetries > 0 && attempt+1 >= s.opts.MaxRetries {
+			return ErrTooManyRetries
+		}
+		if s.opts.Backoff != nil {
+			s.opts.Backoff(attempt)
+		} else {
+			backoff(attempt)
+		}
+	}
+}
+
+// AtomicReadOnly runs fn as a top-level transaction that promises not to
+// write. Read-only transactions execute against a consistent snapshot and
+// can never conflict, so fn runs exactly once (no retry loop) — the
+// guarantee the multi-version design exists to provide. A write attempt
+// inside fn panics.
+func (s *STM) AtomicReadOnly(fn func(tx *Tx) error) error {
+	if th := s.opts.Throttle; th != nil {
+		th.EnterTop()
+		defer th.ExitTop()
+	}
+	tx := s.beginTop()
+	tx.readOnly = true
+	err, conflicted := tx.runTop(fn)
+	if conflicted {
+		// Unreachable: read-only transactions never fail validation.
+		panic("stm: read-only transaction reported a conflict")
+	}
+	if err == nil && s.opts.CommitHook != nil {
+		s.opts.CommitHook()
+	}
+	return err
+}
+
+// AtomicResult runs fn as a top-level transaction on s and returns its
+// result. It is a generic convenience wrapper over STM.Atomic.
+func AtomicResult[T any](s *STM, fn func(tx *Tx) (T, error)) (T, error) {
+	var out T
+	err := s.Atomic(func(tx *Tx) error {
+		var err error
+		out, err = fn(tx)
+		return err
+	})
+	return out, err
+}
+
+// beginTop creates a fresh top-level transaction with a snapshot of the
+// current clock.
+func (s *STM) beginTop() *Tx {
+	v := s.beginSnapshot()
+	tx := &Tx{stm: s, readVersion: v}
+	tx.root = tx
+	return tx
+}
+
+// backoff sleeps with bounded exponential backoff plus jitter to damp
+// conflict storms. Attempt 0 yields only.
+func backoff(attempt int) {
+	if attempt == 0 {
+		runtime.Gosched()
+		return
+	}
+	if attempt > 10 {
+		attempt = 10
+	}
+	max := time.Duration(1<<uint(attempt)) * time.Microsecond
+	time.Sleep(time.Duration(rand.Int63n(int64(max) + 1)))
+}

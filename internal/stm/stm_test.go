@@ -1,0 +1,718 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAtomicReadWrite(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(41)
+	err := s.Atomic(func(tx *Tx) error {
+		if got := box.Get(tx); got != 41 {
+			t.Errorf("initial Get = %d, want 41", got)
+		}
+		box.Put(tx, 42)
+		if got := box.Get(tx); got != 42 {
+			t.Errorf("read-own-write Get = %d, want 42", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if got := box.Peek(); got != 42 {
+		t.Fatalf("Peek after commit = %d, want 42", got)
+	}
+	if c := s.Stats.TopCommits.Load(); c != 1 {
+		t.Fatalf("TopCommits = %d, want 1", c)
+	}
+}
+
+func TestAtomicResultGeneric(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox("hello")
+	got, err := AtomicResult(s, func(tx *Tx) (string, error) {
+		return box.Get(tx) + " world", nil
+	})
+	if err != nil || got != "hello world" {
+		t.Fatalf("AtomicResult = (%q, %v)", got, err)
+	}
+}
+
+func TestUserErrorAborts(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(1)
+	wantErr := errors.New("boom")
+	err := s.Atomic(func(tx *Tx) error {
+		box.Put(tx, 99)
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if got := box.Peek(); got != 1 {
+		t.Fatalf("aborted write leaked: Peek = %d, want 1", got)
+	}
+	if a := s.Stats.UserAborts.Load(); a != 1 {
+		t.Fatalf("UserAborts = %d, want 1", a)
+	}
+}
+
+func TestConcurrentIncrementsConserved(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(0)
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := s.Atomic(func(tx *Tx) error {
+					box.Put(tx, box.Get(tx)+1)
+					return nil
+				}); err != nil {
+					t.Errorf("Atomic: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := box.Peek(); got != goroutines*perG {
+		t.Fatalf("final = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestSnapshotIsolationOfReadOnly(t *testing.T) {
+	s := New(Options{})
+	a := NewVBox(10)
+	b := NewVBox(20)
+
+	inReader := make(chan struct{})
+	writerDone := make(chan struct{})
+
+	var sum1, sum2 int
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Atomic(func(tx *Tx) error {
+			sum1 = a.Get(tx)
+			close(inReader)
+			<-writerDone // a concurrent writer commits a+b changes here
+			sum2 = b.Get(tx)
+			return nil
+		})
+	}()
+
+	<-inReader
+	if err := s.Atomic(func(tx *Tx) error {
+		a.Put(tx, 100)
+		b.Put(tx, 200)
+		return nil
+	}); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	close(writerDone)
+	if err := <-done; err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	if sum1+sum2 != 30 {
+		t.Fatalf("reader saw inconsistent snapshot: a=%d b=%d", sum1, sum2)
+	}
+}
+
+func TestUpdateTxConflictRetries(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(0)
+	attempts := 0
+	started := make(chan struct{})
+	var once sync.Once
+	interfered := make(chan struct{})
+
+	go func() {
+		<-started
+		_ = s.Atomic(func(tx *Tx) error {
+			box.Put(tx, box.Get(tx)+100)
+			return nil
+		})
+		close(interfered)
+	}()
+
+	err := s.Atomic(func(tx *Tx) error {
+		attempts++
+		v := box.Get(tx)
+		once.Do(func() {
+			close(started)
+			<-interfered // ensure a conflicting commit lands before ours
+		})
+		box.Put(tx, v+1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (first must conflict)", attempts)
+	}
+	if got := box.Peek(); got != 101 {
+		t.Fatalf("final = %d, want 101", got)
+	}
+	if a := s.Stats.TopAborts.Load(); a == 0 {
+		t.Fatal("expected at least one top-level abort")
+	}
+}
+
+func TestMaxRetriesExceeded(t *testing.T) {
+	s := New(Options{MaxRetries: 1})
+	box := NewVBox(0)
+	ranInterference := false
+	err := s.Atomic(func(tx *Tx) error {
+		_ = box.Get(tx)
+		if !ranInterference {
+			ranInterference = true
+			done := make(chan struct{})
+			go func() {
+				s2conflict(t, s, box)
+				close(done)
+			}()
+			<-done
+		}
+		box.Put(tx, 7)
+		return nil
+	})
+	if !errors.Is(err, ErrTooManyRetries) {
+		t.Fatalf("err = %v, want ErrTooManyRetries", err)
+	}
+}
+
+func s2conflict(t *testing.T, s *STM, box *VBox[int]) {
+	t.Helper()
+	if err := s.Atomic(func(tx *Tx) error {
+		box.Put(tx, box.Get(tx)+1)
+		return nil
+	}); err != nil {
+		t.Errorf("interfering tx: %v", err)
+	}
+}
+
+func TestNestedSeesParentWrites(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(1)
+	err := s.Atomic(func(tx *Tx) error {
+		box.Put(tx, 5)
+		return tx.Parallel(func(child *Tx) error {
+			if got := box.Get(child); got != 5 {
+				return fmt.Errorf("child sees %d, want parent's 5", got)
+			}
+			box.Put(child, 6)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if got := box.Peek(); got != 6 {
+		t.Fatalf("final = %d, want 6", got)
+	}
+	if n := s.Stats.NestedCommits.Load(); n != 1 {
+		t.Fatalf("NestedCommits = %d, want 1", n)
+	}
+}
+
+func TestParentSeesMergedChildWrites(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(0)
+	err := s.Atomic(func(tx *Tx) error {
+		if err := tx.Parallel(func(c *Tx) error {
+			box.Put(c, 11)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if got := box.Get(tx); got != 11 {
+			return fmt.Errorf("parent sees %d after child commit, want 11", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+}
+
+func TestSiblingIncrementsAllApplied(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(0)
+	const children = 8
+	err := s.Atomic(func(tx *Tx) error {
+		fns := make([]func(*Tx) error, children)
+		for i := range fns {
+			fns[i] = func(c *Tx) error {
+				box.Put(c, box.Get(c)+1)
+				return nil
+			}
+		}
+		return tx.Parallel(fns...)
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if got := box.Peek(); got != children {
+		t.Fatalf("final = %d, want %d (sibling conflicts must retry, not lose updates)", got, children)
+	}
+}
+
+func TestNoGlobalVisibilityBeforeTopCommit(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(0)
+	childCommitted := make(chan struct{})
+	releaseParent := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Atomic(func(tx *Tx) error {
+			if err := tx.Parallel(func(c *Tx) error {
+				box.Put(c, 123)
+				return nil
+			}); err != nil {
+				return err
+			}
+			close(childCommitted)
+			<-releaseParent
+			return nil
+		})
+	}()
+	<-childCommitted
+	// The child merged into the parent, but the top-level tx has not
+	// committed: other transactions must not see the write.
+	v, err := AtomicResult(s, func(tx *Tx) (int, error) { return box.Get(tx), nil })
+	if err != nil {
+		t.Fatalf("observer: %v", err)
+	}
+	if v != 0 {
+		t.Fatalf("closed nesting violated: observer saw %d before top commit", v)
+	}
+	close(releaseParent)
+	if err := <-done; err != nil {
+		t.Fatalf("parent: %v", err)
+	}
+	if got := box.Peek(); got != 123 {
+		t.Fatalf("final = %d, want 123", got)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(0)
+	err := s.Atomic(func(tx *Tx) error {
+		return tx.Parallel(func(c1 *Tx) error {
+			box.Put(c1, box.Get(c1)+1)
+			return c1.Parallel(func(c2 *Tx) error {
+				box.Put(c2, box.Get(c2)+10)
+				return c2.Parallel(func(c3 *Tx) error {
+					if d := c3.Depth(); d != 3 {
+						return fmt.Errorf("depth = %d, want 3", d)
+					}
+					box.Put(c3, box.Get(c3)+100)
+					return nil
+				})
+			})
+		})
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if got := box.Peek(); got != 111 {
+		t.Fatalf("final = %d, want 111", got)
+	}
+}
+
+func TestParallelForSums(t *testing.T) {
+	s := New(Options{})
+	const n = 100
+	boxes := make([]*VBox[int], n)
+	for i := range boxes {
+		boxes[i] = NewVBox(i)
+	}
+	var total atomic.Int64
+	err := s.Atomic(func(tx *Tx) error {
+		return tx.ParallelFor(n, 7, func(c *Tx, i int) error {
+			total.Add(int64(boxes[i].Get(c)))
+			boxes[i].Put(c, boxes[i].Get(c)*2)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if want := int64(n * (n - 1) / 2); total.Load() != want {
+		t.Fatalf("sum = %d, want %d", total.Load(), want)
+	}
+	for i, b := range boxes {
+		if got := b.Peek(); got != 2*i {
+			t.Fatalf("boxes[%d] = %d, want %d", i, got, 2*i)
+		}
+	}
+}
+
+func TestChildErrorPropagates(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(0)
+	wantErr := errors.New("child failed")
+	err := s.Atomic(func(tx *Tx) error {
+		return tx.Parallel(
+			func(c *Tx) error { box.Put(c, 1); return nil },
+			func(c *Tx) error { return wantErr },
+		)
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// The whole top-level transaction aborted: no writes visible.
+	if got := box.Peek(); got != 0 {
+		t.Fatalf("Peek = %d, want 0 after user abort", got)
+	}
+}
+
+func TestNestedReadValidatedAtTopLevel(t *testing.T) {
+	// A child's global read must participate in top-level validation: a
+	// conflicting external commit between the child's read and the parent's
+	// commit has to abort (and retry) the top-level transaction.
+	s := New(Options{})
+	box := NewVBox(0)
+	out := NewVBox(0)
+	attempts := 0
+	var once sync.Once
+	err := s.Atomic(func(tx *Tx) error {
+		attempts++
+		var seen int
+		if err := tx.Parallel(func(c *Tx) error {
+			seen = box.Get(c)
+			return nil
+		}); err != nil {
+			return err
+		}
+		once.Do(func() {
+			done := make(chan struct{})
+			go func() {
+				_ = s.Atomic(func(tx2 *Tx) error {
+					box.Put(tx2, 999)
+					return nil
+				})
+				close(done)
+			}()
+			<-done
+		})
+		out.Put(tx, seen+1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (nested read must be validated)", attempts)
+	}
+	if got := out.Peek(); got != 1000 {
+		t.Fatalf("out = %d, want 1000 (committed run must see the interfering write)", got)
+	}
+}
+
+func TestReadOnlyTopCounted(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(7)
+	for i := 0; i < 3; i++ {
+		if err := s.Atomic(func(tx *Tx) error {
+			_ = box.Get(tx)
+			return nil
+		}); err != nil {
+			t.Fatalf("Atomic: %v", err)
+		}
+	}
+	if ro := s.Stats.ReadOnlyTops.Load(); ro != 3 {
+		t.Fatalf("ReadOnlyTops = %d, want 3", ro)
+	}
+}
+
+func TestVersionGCBoundsChains(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(0)
+	for i := 0; i < 100; i++ {
+		if err := s.Atomic(func(tx *Tx) error {
+			box.Put(tx, i)
+			return nil
+		}); err != nil {
+			t.Fatalf("Atomic: %v", err)
+		}
+	}
+	if n := box.core.chainLen(); n > 3 {
+		t.Fatalf("chainLen = %d, want <= 3 with GC enabled", n)
+	}
+
+	sNoGC := New(Options{DisableGC: true})
+	box2 := NewVBox(0)
+	for i := 0; i < 50; i++ {
+		if err := sNoGC.Atomic(func(tx *Tx) error {
+			box2.Put(tx, i)
+			return nil
+		}); err != nil {
+			t.Fatalf("Atomic: %v", err)
+		}
+	}
+	if n := box2.core.chainLen(); n != 51 {
+		t.Fatalf("chainLen = %d, want 51 with GC disabled", n)
+	}
+}
+
+func TestOldSnapshotSurvivesGC(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(0)
+	inReader := make(chan struct{})
+	writersDone := make(chan struct{})
+	var sawFirst, sawSecond int
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Atomic(func(tx *Tx) error {
+			sawFirst = box.Get(tx)
+			close(inReader)
+			<-writersDone
+			sawSecond = box.Get(tx) // must still resolve the old version
+			return nil
+		})
+	}()
+	<-inReader
+	for i := 1; i <= 20; i++ {
+		if err := s.Atomic(func(tx *Tx) error {
+			box.Put(tx, i)
+			return nil
+		}); err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	close(writersDone)
+	if err := <-done; err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	if sawFirst != 0 || sawSecond != 0 {
+		t.Fatalf("snapshot not stable under GC: first=%d second=%d", sawFirst, sawSecond)
+	}
+}
+
+func TestGCSnapshotRegistrationRace(t *testing.T) {
+	// Regression test: snapshot registration must be atomic with the clock
+	// sample, or a rapid committer can garbage-collect the version a
+	// just-beginning reader is entitled to (observed as "version chain
+	// truncated below an active snapshot"). Hammer readers against fast
+	// writers on both commit strategies.
+	for _, lockFree := range []bool{false, true} {
+		s := New(Options{LockFreeCommit: lockFree})
+		box := NewVBox(0)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					_ = s.Atomic(func(tx *Tx) error {
+						box.Put(tx, box.Get(tx)+1)
+						return nil
+					})
+				}
+			}()
+		}
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					_ = s.Atomic(func(tx *Tx) error {
+						_ = box.Get(tx)
+						return nil
+					})
+				}
+			}()
+		}
+		time.Sleep(150 * time.Millisecond)
+		close(stop)
+		wg.Wait()
+	}
+}
+
+func TestCommitHookFires(t *testing.T) {
+	var hooks atomic.Int64
+	s := New(Options{CommitHook: func() { hooks.Add(1) }})
+	box := NewVBox(0)
+	for i := 0; i < 5; i++ {
+		if err := s.Atomic(func(tx *Tx) error {
+			box.Put(tx, i)
+			return nil
+		}); err != nil {
+			t.Fatalf("Atomic: %v", err)
+		}
+	}
+	if hooks.Load() != 5 {
+		t.Fatalf("hooks = %d, want 5", hooks.Load())
+	}
+}
+
+func TestUseAfterFinishPanics(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(0)
+	var leaked *Tx
+	if err := s.Atomic(func(tx *Tx) error {
+		leaked = tx
+		return nil
+	}); err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on use of finished transaction")
+		}
+	}()
+	box.Get(leaked)
+}
+
+func TestBlindSiblingWritesLastMergeWins(t *testing.T) {
+	// Blind (write-only) sibling writes do not conflict; the tree's final
+	// state reflects one of them and the transaction commits.
+	s := New(Options{})
+	box := NewVBox(0)
+	err := s.Atomic(func(tx *Tx) error {
+		return tx.Parallel(
+			func(c *Tx) error { box.Put(c, 1); return nil },
+			func(c *Tx) error { box.Put(c, 2); return nil },
+		)
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if got := box.Peek(); got != 1 && got != 2 {
+		t.Fatalf("final = %d, want 1 or 2", got)
+	}
+	if a := s.Stats.NestedAborts.Load(); a != 0 {
+		t.Fatalf("NestedAborts = %d, want 0 for blind writes", a)
+	}
+}
+
+func TestModify(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(10)
+	if err := s.Atomic(func(tx *Tx) error {
+		box.Modify(tx, func(v int) int { return v * 3 })
+		return nil
+	}); err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if got := box.Peek(); got != 30 {
+		t.Fatalf("final = %d, want 30", got)
+	}
+}
+
+func TestManyBoxesManyWorkersInvariant(t *testing.T) {
+	// Bank-transfer invariant: concurrent transfers (with nested parallel
+	// reads) conserve the total balance.
+	s := New(Options{})
+	const accounts = 16
+	boxes := make([]*VBox[int], accounts)
+	for i := range boxes {
+		boxes[i] = NewVBox(100)
+	}
+	const workers, transfers = 6, 60
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < transfers; i++ {
+				from := (seed + i) % accounts
+				to := (seed + i*7 + 1) % accounts
+				if from == to {
+					continue
+				}
+				if err := s.Atomic(func(tx *Tx) error {
+					amt := 1 + (i % 5)
+					boxes[from].Put(tx, boxes[from].Get(tx)-amt)
+					boxes[to].Put(tx, boxes[to].Get(tx)+amt)
+					return nil
+				}); err != nil {
+					t.Errorf("transfer: %v", err)
+				}
+			}
+		}(w * 3)
+	}
+	wg.Wait()
+	total := 0
+	for _, b := range boxes {
+		total += b.Peek()
+	}
+	if total != accounts*100 {
+		t.Fatalf("total = %d, want %d (money created or destroyed)", total, accounts*100)
+	}
+}
+
+func TestAtomicReadOnly(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(5)
+	got := 0
+	if err := s.AtomicReadOnly(func(tx *Tx) error {
+		got = box.Get(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("read %d", got)
+	}
+	if ro := s.Stats.ReadOnlyTops.Load(); ro != 1 {
+		t.Fatalf("ReadOnlyTops = %d", ro)
+	}
+	// A write inside a read-only transaction must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on write in read-only tx")
+		}
+	}()
+	_ = s.AtomicReadOnly(func(tx *Tx) error {
+		box.Put(tx, 6)
+		return nil
+	})
+}
+
+func TestCustomBackoffInvoked(t *testing.T) {
+	var calls atomic.Int64
+	s := New(Options{Backoff: func(attempt int) { calls.Add(1) }})
+	box := NewVBox(0)
+	ranInterference := false
+	if err := s.Atomic(func(tx *Tx) error {
+		_ = box.Get(tx)
+		if !ranInterference {
+			ranInterference = true
+			done := make(chan struct{})
+			go func() {
+				s2conflict(t, s, box)
+				close(done)
+			}()
+			<-done
+		}
+		box.Put(tx, box.Get(tx)+1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("custom backoff never invoked despite a forced conflict")
+	}
+}

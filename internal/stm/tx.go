@@ -1,0 +1,453 @@
+package stm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// writeEntry is a buffered write inside a transaction's write set. treeVer
+// is the per-tree nested version at which the entry became visible at this
+// level of the tree (for entries merged from committed children) or the
+// writer's own snapshot (for the transaction's own writes).
+type writeEntry struct {
+	value   any
+	treeVer uint64
+}
+
+// treeRead records a nested transaction's read that was satisfied from an
+// ancestor's write set (src != nil) or from global memory while inside a
+// tree (src == nil, treeVer 0 meaning "absent from every ancestor").
+// Validation re-resolves the box through the ancestor chain and requires
+// the same treeVer to still be observed.
+type treeRead struct {
+	box     *vbox
+	src     *Tx    // ancestor whose write set satisfied the read; nil if global
+	treeVer uint64 // version observed (0 when src == nil)
+}
+
+// treeState is shared by every transaction of one top-level tree.
+type treeState struct {
+	clock atomic.Uint64 // per-tree nested commit clock
+	gate  TreeGate      // actuator gate (nil = unbounded), created lazily
+
+	gateOnce sync.Once
+}
+
+// Tx is a transaction: either top-level (parent == nil) or nested. A Tx is
+// bound to the goroutine executing its function; it must not be shared
+// across goroutines except through Parallel, which creates a child Tx per
+// task.
+type Tx struct {
+	stm    *STM
+	parent *Tx
+	root   *Tx
+	depth  int
+
+	// readVersion is the global snapshot (root transactions; copied to
+	// descendants via root).
+	readVersion uint64
+	// readTreeVersion is the per-tree snapshot a nested transaction reads
+	// at: entries in ancestor write sets with treeVer <= readTreeVersion
+	// are visible, newer ones signal a conflict with a committed sibling.
+	readTreeVersion uint64
+
+	// mu guards writeSet and the read-set slices against concurrent access
+	// by descendants (children lock ancestors while resolving reads and
+	// while merging on commit).
+	mu          sync.Mutex
+	writeSet    map[*vbox]writeEntry
+	globalReads []*vbox        // boxes resolved from global memory
+	treeReads   []treeRead     // nested reads needing per-tree validation
+	seenReads   map[*vbox]bool // dedup: boxes already recorded in a read set
+
+	tree *treeState
+
+	// readOnly marks a transaction created by STM.AtomicReadOnly: writes
+	// panic, and commit is a no-op beyond accounting.
+	readOnly bool
+
+	// holdsGateSlot records whether this (nested) transaction occupies one
+	// of the tree gate's child slots, i.e. it runs on a spawned worker
+	// goroutine rather than inline on its parent's goroutine. A slot-holding
+	// transaction temporarily releases its slot while suspended at a
+	// Parallel join, so that deep nesting cannot deadlock the gate.
+	holdsGateSlot bool
+
+	finished bool // defensive: set when the tx function returned
+}
+
+// conflictSignal is panicked to unwind user code when a conflict is
+// detected eagerly (nested read of a too-new ancestor entry) or at nested
+// commit time. It is recovered by the transaction runners.
+type conflictSignal struct{ tx *Tx }
+
+// ReadVersion returns the global snapshot version this transaction reads.
+func (tx *Tx) ReadVersion() uint64 { return tx.root.readVersion }
+
+// Depth returns 0 for a top-level transaction, 1 for its children, etc.
+func (tx *Tx) Depth() int { return tx.depth }
+
+// IsNested reports whether tx is a nested transaction.
+func (tx *Tx) IsNested() bool { return tx.parent != nil }
+
+// read resolves a box for tx: own write set, then ancestors
+// nearest-first, then global memory at the root snapshot.
+func (tx *Tx) read(b *vbox) any {
+	tx.ensureLive()
+	// Own write set first. No other goroutine mutates it while tx runs
+	// (children only merge while tx is blocked in Parallel), but we lock
+	// for race-detector cleanliness and to keep the invariant simple.
+	tx.mu.Lock()
+	if e, ok := tx.writeSet[b]; ok {
+		tx.mu.Unlock()
+		return e.value
+	}
+	tx.mu.Unlock()
+
+	for anc := tx.parent; anc != nil; anc = anc.parent {
+		anc.mu.Lock()
+		e, ok := anc.writeSet[b]
+		anc.mu.Unlock()
+		if ok {
+			if e.treeVer > tx.readTreeVersion {
+				// A sibling (at some level) committed this entry after we
+				// took our tree snapshot: the version we should read no
+				// longer exists (tree write sets are single-version).
+				// Abort eagerly and retry with a fresh snapshot.
+				panic(conflictSignal{tx})
+			}
+			if tx.markRead(b) {
+				tx.treeReads = append(tx.treeReads, treeRead{box: b, src: anc, treeVer: e.treeVer})
+			}
+			return e.value
+		}
+	}
+
+	if tx.markRead(b) {
+		if tx.parent != nil {
+			// Record that the read bypassed every ancestor, so nested
+			// commit validation notices a sibling writing it meanwhile.
+			tx.treeReads = append(tx.treeReads, treeRead{box: b, src: nil, treeVer: 0})
+		}
+		tx.globalReads = append(tx.globalReads, b)
+	}
+	return b.readAt(tx.root.readVersion).value
+}
+
+// markRead returns true the first time b is recorded in tx's read sets.
+// Within a single transaction the resolution of a box is stable (any change
+// manifests as a conflict panic first), so one record per box suffices for
+// validation.
+func (tx *Tx) markRead(b *vbox) bool {
+	if tx.seenReads == nil {
+		tx.seenReads = make(map[*vbox]bool)
+	}
+	if tx.seenReads[b] {
+		return false
+	}
+	tx.seenReads[b] = true
+	return true
+}
+
+// write buffers a write in tx's write set.
+func (tx *Tx) write(b *vbox, v any) {
+	tx.ensureLive()
+	if tx.root.readOnly {
+		panic("stm: write inside a read-only transaction")
+	}
+	tx.mu.Lock()
+	if tx.writeSet == nil {
+		tx.writeSet = make(map[*vbox]writeEntry)
+	}
+	tx.writeSet[b] = writeEntry{value: v, treeVer: tx.readTreeVersion}
+	tx.mu.Unlock()
+}
+
+func (tx *Tx) ensureLive() {
+	if tx.finished {
+		panic(fmt.Sprintf("stm: use of finished transaction (depth %d)", tx.depth))
+	}
+}
+
+// runTop executes fn inside tx and attempts to commit. It returns the
+// user error (nil on success) and whether a conflict occurred (in which
+// case the caller retries with a fresh transaction).
+func (tx *Tx) runTop(fn func(*Tx) error) (err error, conflicted bool) {
+	defer tx.stm.unregisterSnapshot(tx.readVersion)
+	defer func() {
+		tx.finished = true
+		if r := recover(); r != nil {
+			if cs, ok := r.(conflictSignal); ok && cs.tx == tx {
+				conflicted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tx.stm.Stats.UserAborts.Add(1)
+		return err, false
+	}
+	if !tx.commitTop() {
+		return nil, true
+	}
+	return nil, false
+}
+
+// commitTop validates the transaction's global read set and publishes its
+// write set at a new clock version. Read-only transactions always succeed.
+func (tx *Tx) commitTop() bool {
+	s := tx.stm
+	if len(tx.writeSet) == 0 {
+		s.Stats.TopCommits.Add(1)
+		s.Stats.ReadOnlyTops.Add(1)
+		return true
+	}
+	if s.opts.LockFreeCommit {
+		if !s.commitTopLockFree(tx) {
+			return false
+		}
+		s.Stats.TopCommits.Add(1)
+		s.Stats.VersionsWritten.Add(uint64(len(tx.writeSet)))
+		return true
+	}
+	s.commitMu.Lock()
+	for _, b := range tx.globalReads {
+		if b.currentVersion() > tx.readVersion {
+			s.commitMu.Unlock()
+			return false
+		}
+	}
+	newVer := s.clock.Load() + 1
+	keepFrom := s.gcHorizon()
+	for b, e := range tx.writeSet {
+		b.install(e.value, newVer, keepFrom)
+	}
+	s.clock.Store(newVer)
+	s.commitMu.Unlock()
+	s.Stats.TopCommits.Add(1)
+	s.Stats.VersionsWritten.Add(uint64(len(tx.writeSet)))
+	return true
+}
+
+// treeOf returns the tree state shared by tx's whole transaction tree,
+// creating it lazily on the root.
+func (tx *Tx) treeOf() *treeState {
+	r := tx.root
+	r.mu.Lock()
+	if r.tree == nil {
+		r.tree = &treeState{}
+	}
+	t := r.tree
+	r.mu.Unlock()
+	return t
+}
+
+// beginChild creates a nested transaction under tx with a fresh tree
+// snapshot. spawned marks children running on their own worker goroutine
+// (and therefore holding a tree gate slot).
+func (tx *Tx) beginChild(t *treeState, spawned bool) *Tx {
+	return &Tx{
+		stm:             tx.stm,
+		parent:          tx,
+		root:            tx.root,
+		depth:           tx.depth + 1,
+		readVersion:     tx.root.readVersion,
+		readTreeVersion: t.clock.Load(),
+		tree:            t,
+		holdsGateSlot:   spawned,
+	}
+}
+
+// runChild executes fn as a child transaction of parent, retrying on
+// conflicts until commit or user error.
+func runChild(parent *Tx, t *treeState, spawned bool, fn func(*Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		child := parent.beginChild(t, spawned)
+		err, conflicted := child.runNested(fn)
+		if !conflicted {
+			return err
+		}
+		parent.stm.Stats.NestedAborts.Add(1)
+		backoff(attempt)
+	}
+}
+
+// runNested executes fn inside the nested tx and merges into the parent on
+// success. Returns the user error and whether a conflict occurred.
+func (tx *Tx) runNested(fn func(*Tx) error) (err error, conflicted bool) {
+	defer func() {
+		tx.finished = true
+		if r := recover(); r != nil {
+			if cs, ok := r.(conflictSignal); ok && cs.tx == tx {
+				conflicted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tx.stm.Stats.UserAborts.Add(1)
+		return err, false
+	}
+	if !tx.commitNested() {
+		return nil, true
+	}
+	tx.stm.Stats.NestedCommits.Add(1)
+	return nil, false
+}
+
+// commitNested validates tx's tree reads and merges its write set and
+// read sets into the parent. The parent's mutex serializes sibling commits
+// into the same parent; validation against higher ancestors locks each of
+// them briefly (always in descendant-to-ancestor order, so lock ordering is
+// consistent across the tree and deadlock-free).
+func (tx *Tx) commitNested() bool {
+	parent := tx.parent
+	t := tx.tree
+
+	parent.mu.Lock()
+	defer parent.mu.Unlock()
+
+	// Validate every tree-sensitive read: re-resolve the box through the
+	// ancestor chain (starting at parent) and require the same observation.
+	for _, r := range tx.treeReads {
+		src, ver := resolveTree(parent, r.box)
+		if src != r.src || ver != r.treeVer {
+			return false
+		}
+	}
+
+	// Merge: stamp our writes with a fresh tree version and fold them into
+	// the parent's write set.
+	if len(tx.writeSet) > 0 {
+		newVer := t.clock.Add(1)
+		if parent.writeSet == nil {
+			parent.writeSet = make(map[*vbox]writeEntry, len(tx.writeSet))
+		}
+		for b, e := range tx.writeSet {
+			parent.writeSet[b] = writeEntry{value: e.value, treeVer: newVer}
+		}
+	}
+
+	// Propagate read sets: global reads bubble up (ultimately validated at
+	// top-level commit); tree reads sourced strictly above the parent stay
+	// relevant for the parent's own nested commit. When the parent is the
+	// root there is no level above it, so only global reads propagate.
+	parent.globalReads = append(parent.globalReads, tx.globalReads...)
+	if parent.parent != nil {
+		for _, r := range tx.treeReads {
+			if r.src != parent {
+				parent.treeReads = append(parent.treeReads, r)
+			}
+		}
+	}
+	return true
+}
+
+// resolveTree finds which transaction's write set (from 'from' upward)
+// currently holds box b. It returns (nil, 0) when no ancestor holds it.
+// The caller must hold from.mu; higher ancestors are locked briefly here.
+func resolveTree(from *Tx, b *vbox) (*Tx, uint64) {
+	if e, ok := from.writeSet[b]; ok {
+		return from, e.treeVer
+	}
+	for anc := from.parent; anc != nil; anc = anc.parent {
+		anc.mu.Lock()
+		e, ok := anc.writeSet[b]
+		anc.mu.Unlock()
+		if ok {
+			return anc, e.treeVer
+		}
+	}
+	return nil, 0
+}
+
+// Parallel runs each fn as a nested (child) transaction of tx and waits for
+// all of them (fork-join, the execution model of JVSTM's parallel nesting).
+// Concurrency across children is limited by the actuator's per-tree gate
+// (the "c" knob); children beyond the limit queue. Conflicting children
+// retry individually. If any child's function returns an error, Parallel
+// waits for the remaining children and returns the first error in argument
+// order; committed siblings remain merged into tx (closed-nesting
+// semantics: nothing is globally visible unless tx itself commits).
+//
+// While Parallel runs, tx must not be used by the caller (the parent is
+// suspended at the join point, per the nested transaction model in which
+// only transactions without active children access data).
+func (tx *Tx) Parallel(fns ...func(*Tx) error) error {
+	tx.ensureLive()
+	if len(fns) == 0 {
+		return nil
+	}
+	t := tx.treeOf()
+	if tx.stm.opts.Throttle != nil {
+		t.gateOnce.Do(func() { t.gate = tx.stm.opts.Throttle.NewTreeGate() })
+	}
+	if len(fns) == 1 {
+		// A single child: run inline on the caller's goroutine (still as a
+		// proper nested transaction). The caller's thread is already
+		// accounted for, so no gate slot is consumed.
+		return runChild(tx, t, false, fns[0])
+	}
+
+	// The caller suspends at the join point; if it occupies a gate slot,
+	// hand the slot back while waiting so descendants can use it (otherwise
+	// deep nesting under a small c could starve the gate).
+	if tx.holdsGateSlot && t.gate != nil {
+		t.gate.ExitChild()
+		defer t.gate.EnterChild()
+	}
+
+	errs := make([]error, len(fns))
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for i, fn := range fns {
+		go func(i int, fn func(*Tx) error) {
+			defer wg.Done()
+			if g := t.gate; g != nil {
+				g.EnterChild()
+				defer g.ExitChild()
+			}
+			errs[i] = runChild(tx, t, true, fn)
+		}(i, fn)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParallelFor partitions the index range [0, n) into `parts` contiguous
+// chunks and runs each chunk as a child transaction calling body for every
+// index it owns. It is the idiomatic way to parallelize a scan (the Array
+// benchmark's access pattern). parts is clamped to [1, n].
+func (tx *Tx) ParallelFor(n, parts int, body func(child *Tx, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	fns := make([]func(*Tx) error, parts)
+	for p := 0; p < parts; p++ {
+		lo := p * n / parts
+		hi := (p + 1) * n / parts
+		fns[p] = func(child *Tx) error {
+			for i := lo; i < hi; i++ {
+				if err := body(child, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return tx.Parallel(fns...)
+}

@@ -1,0 +1,139 @@
+package stm
+
+import "sync/atomic"
+
+// body is one committed version of a vbox's value. Bodies form a
+// singly-linked list ordered by strictly decreasing version; the head is the
+// most recently committed version. Reads walk the list until they find the
+// newest body whose version is not greater than the reading transaction's
+// snapshot version. next is atomic because the commit section truncates old
+// tails (version GC) concurrently with readers traversing the chain.
+type body struct {
+	value   any
+	version uint64
+	next    atomic.Pointer[body]
+}
+
+// vbox is the untyped core of a versioned transactional box. It is the unit
+// of conflict detection: transactional read and write sets are keyed by
+// *vbox identity.
+type vbox struct {
+	head atomic.Pointer[body]
+}
+
+// readAt returns the newest body with version <= ver. Such a body always
+// exists unless the chain has been truncated past ver, which the STM's
+// version GC prevents for any version still held by an active transaction.
+func (b *vbox) readAt(ver uint64) *body {
+	for cur := b.head.Load(); cur != nil; cur = cur.next.Load() {
+		if cur.version <= ver {
+			return cur
+		}
+	}
+	// Unreachable under the GC invariant; fail loudly rather than return a
+	// torn value if the invariant is ever broken.
+	panic("stm: version chain truncated below an active snapshot")
+}
+
+// install publishes a new committed version. It must only be called from
+// within the STM's serialized commit section. Bodies older than keepFrom
+// become unreachable (simple version GC): the chain is cut after the newest
+// body with version <= keepFrom, which remains reachable so that any active
+// snapshot >= keepFrom can still be served. Readers never traverse past
+// that body, so cutting its next pointer is safe.
+func (b *vbox) install(value any, version, keepFrom uint64) {
+	nb := &body{value: value, version: version}
+	nb.next.Store(b.head.Load())
+	for cur := nb; cur != nil; cur = cur.next.Load() {
+		if cur.version <= keepFrom {
+			cur.next.Store(nil)
+			break
+		}
+	}
+	b.head.Store(nb)
+}
+
+// installCAS publishes a new committed version without any external
+// serialization: it is the write-back primitive of the lock-free commit,
+// where several helper threads may attempt the same installation. The
+// version check makes it idempotent (whoever wins the CAS installs the
+// body; latecomers and laggards observe head.version >= version and skip),
+// and because queue order guarantees strictly increasing versions per box,
+// skipping is always correct.
+func (b *vbox) installCAS(value any, version, keepFrom uint64) {
+	for {
+		cur := b.head.Load()
+		if cur.version >= version {
+			return
+		}
+		nb := &body{value: value, version: version}
+		nb.next.Store(cur)
+		for c := nb; c != nil; c = c.next.Load() {
+			if c.version <= keepFrom {
+				c.next.Store(nil)
+				break
+			}
+		}
+		if b.head.CompareAndSwap(cur, nb) {
+			return
+		}
+	}
+}
+
+// currentVersion returns the version of the most recent committed body.
+func (b *vbox) currentVersion() uint64 {
+	return b.head.Load().version
+}
+
+// chainLen reports the number of retained bodies (for GC tests).
+func (b *vbox) chainLen() int {
+	n := 0
+	for cur := b.head.Load(); cur != nil; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}
+
+// A VBox is a typed, versioned transactional memory location ("versioned
+// box" in JVSTM terminology). All access must happen inside a transaction
+// via Get and Put. VBoxes are created with NewVBox and may be freely shared
+// across goroutines.
+type VBox[T any] struct {
+	core vbox
+}
+
+// NewVBox creates a box holding initial as its version-0 committed value.
+func NewVBox[T any](initial T) *VBox[T] {
+	v := &VBox[T]{}
+	first := &body{value: initial, version: 0}
+	v.core.head.Store(first)
+	return v
+}
+
+// Get returns the box's value as seen by tx, recording the read for
+// conflict detection. It must be called from inside the transaction's
+// function; calling it after the transaction finished is a programming
+// error.
+func (v *VBox[T]) Get(tx *Tx) T {
+	return tx.read(&v.core).(T)
+}
+
+// Put buffers a write of val into tx's write set. The write becomes visible
+// to other transactions only if tx (and, for nested transactions, all its
+// ancestors) commit.
+func (v *VBox[T]) Put(tx *Tx, val T) {
+	tx.write(&v.core, val)
+}
+
+// Modify applies f to the current value seen by tx and writes the result
+// back, a common read-modify-write convenience.
+func (v *VBox[T]) Modify(tx *Tx, f func(T) T) {
+	v.Put(tx, f(v.Get(tx)))
+}
+
+// Peek returns the most recently committed value without any transactional
+// protection. It is intended for post-run inspection (tests, reporting);
+// using it to make decisions inside transactions breaks atomicity.
+func (v *VBox[T]) Peek() T {
+	return v.core.head.Load().value.(T)
+}

@@ -1,0 +1,79 @@
+package stmx
+
+import (
+	"testing"
+
+	"autopn/internal/stm"
+)
+
+func BenchmarkMapGet(b *testing.B) {
+	s := newSTM()
+	m := NewMap[uint64, int](256, FNV1a64)
+	_ = s.Atomic(func(tx *stm.Tx) error {
+		for k := uint64(0); k < 1000; k++ {
+			m.Put(tx, k, int(k))
+		}
+		return nil
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomic(func(tx *stm.Tx) error {
+			_, _ = m.Get(tx, uint64(i)%1000)
+			return nil
+		})
+	}
+}
+
+func BenchmarkMapPut(b *testing.B) {
+	s := newSTM()
+	m := NewMap[uint64, int](256, FNV1a64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomic(func(tx *stm.Tx) error {
+			m.Put(tx, uint64(i)%1000, i)
+			return nil
+		})
+	}
+}
+
+func BenchmarkRBTreeGet(b *testing.B) {
+	s := newSTM()
+	tr := NewRBTree[int, int](intLess)
+	_ = s.Atomic(func(tx *stm.Tx) error {
+		for k := 0; k < 1000; k++ {
+			tr.Put(tx, k, k)
+		}
+		return nil
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomic(func(tx *stm.Tx) error {
+			_, _ = tr.Get(tx, i%1000)
+			return nil
+		})
+	}
+}
+
+func BenchmarkRBTreePut(b *testing.B) {
+	s := newSTM()
+	tr := NewRBTree[int, int](intLess)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomic(func(tx *stm.Tx) error {
+			tr.Put(tx, i%4096, i)
+			return nil
+		})
+	}
+}
+
+func BenchmarkShardedCounterAdd(b *testing.B) {
+	s := newSTM()
+	c := NewShardedCounter(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomic(func(tx *stm.Tx) error {
+			c.Add(tx, uint64(i), 1)
+			return nil
+		})
+	}
+}

@@ -1,0 +1,184 @@
+// Package stmx provides transactional data structures built on the
+// PN-STM's versioned boxes: a fixed-bucket hash map and a counter. They are
+// the substrate the Vacation and TPC-C workload ports store their tables
+// in (STAMP's Vacation uses red-black trees; a bucketed hash map provides
+// the same transactional table abstraction with bucket-granular conflicts).
+package stmx
+
+import (
+	"autopn/internal/stm"
+)
+
+// entry is one key/value pair of a bucket.
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// Map is a transactional hash map with a fixed number of buckets. Each
+// bucket is a versioned box holding an immutable slice of entries, so two
+// transactions conflict only when they touch the same bucket. The zero
+// value is not usable; create with NewMap.
+type Map[K comparable, V any] struct {
+	buckets []*stm.VBox[[]entry[K, V]]
+	hash    func(K) uint64
+}
+
+// NewMap creates a map with the given bucket count (rounded up to at least
+// 1) and hash function.
+func NewMap[K comparable, V any](buckets int, hash func(K) uint64) *Map[K, V] {
+	if buckets < 1 {
+		buckets = 1
+	}
+	m := &Map[K, V]{
+		buckets: make([]*stm.VBox[[]entry[K, V]], buckets),
+		hash:    hash,
+	}
+	for i := range m.buckets {
+		m.buckets[i] = stm.NewVBox[[]entry[K, V]](nil)
+	}
+	return m
+}
+
+func (m *Map[K, V]) bucket(k K) *stm.VBox[[]entry[K, V]] {
+	return m.buckets[m.hash(k)%uint64(len(m.buckets))]
+}
+
+// Get returns the value stored under k, if any.
+func (m *Map[K, V]) Get(tx *stm.Tx, k K) (V, bool) {
+	for _, e := range m.bucket(k).Get(tx) {
+		if e.key == k {
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put stores v under k, replacing any existing value.
+func (m *Map[K, V]) Put(tx *stm.Tx, k K, v V) {
+	b := m.bucket(k)
+	old := b.Get(tx)
+	nw := make([]entry[K, V], 0, len(old)+1)
+	replaced := false
+	for _, e := range old {
+		if e.key == k {
+			nw = append(nw, entry[K, V]{key: k, val: v})
+			replaced = true
+		} else {
+			nw = append(nw, e)
+		}
+	}
+	if !replaced {
+		nw = append(nw, entry[K, V]{key: k, val: v})
+	}
+	b.Put(tx, nw)
+}
+
+// Delete removes k and reports whether it was present.
+func (m *Map[K, V]) Delete(tx *stm.Tx, k K) bool {
+	b := m.bucket(k)
+	old := b.Get(tx)
+	for i, e := range old {
+		if e.key == k {
+			nw := make([]entry[K, V], 0, len(old)-1)
+			nw = append(nw, old[:i]...)
+			nw = append(nw, old[i+1:]...)
+			b.Put(tx, nw)
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of stored keys (reads every bucket; a heavy
+// transaction, mostly for tests).
+func (m *Map[K, V]) Len(tx *stm.Tx) int {
+	n := 0
+	for _, b := range m.buckets {
+		n += len(b.Get(tx))
+	}
+	return n
+}
+
+// FNV1a64 is a convenience hash for integer keys.
+func FNV1a64(k uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= k & 0xff
+		h *= prime
+		k >>= 8
+	}
+	return h
+}
+
+// Counter is a transactional counter.
+type Counter struct {
+	box *stm.VBox[int64]
+}
+
+// NewCounter returns a counter starting at v.
+func NewCounter(v int64) *Counter { return &Counter{box: stm.NewVBox(v)} }
+
+// Get returns the counter value as seen by tx.
+func (c *Counter) Get(tx *stm.Tx) int64 { return c.box.Get(tx) }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(tx *stm.Tx, delta int64) {
+	c.box.Put(tx, c.box.Get(tx)+delta)
+}
+
+// Peek returns the last committed value without transactional protection.
+func (c *Counter) Peek() int64 { return c.box.Peek() }
+
+// ShardedCounter is a counter split across shards so that concurrent
+// increments from different transactions need not conflict: callers pick a
+// shard (typically by a per-worker random value) and only transactions
+// touching the same shard serialize. Use it for statistics counters inside
+// hot transactions, where a single Counter would create an artificial
+// global conflict point.
+type ShardedCounter struct {
+	shards []*stm.VBox[int64]
+}
+
+// NewShardedCounter creates a counter with n shards (minimum 1).
+func NewShardedCounter(n int) *ShardedCounter {
+	if n < 1 {
+		n = 1
+	}
+	c := &ShardedCounter{shards: make([]*stm.VBox[int64], n)}
+	for i := range c.shards {
+		c.shards[i] = stm.NewVBox[int64](0)
+	}
+	return c
+}
+
+// Add increments the shard selected by shard (reduced modulo the shard
+// count) by delta.
+func (c *ShardedCounter) Add(tx *stm.Tx, shard uint64, delta int64) {
+	b := c.shards[shard%uint64(len(c.shards))]
+	b.Put(tx, b.Get(tx)+delta)
+}
+
+// Sum returns the total across all shards as seen by tx (reads every
+// shard; use Peek for non-transactional reporting).
+func (c *ShardedCounter) Sum(tx *stm.Tx) int64 {
+	var total int64
+	for _, b := range c.shards {
+		total += b.Get(tx)
+	}
+	return total
+}
+
+// Peek returns the committed total without transactional protection.
+func (c *ShardedCounter) Peek() int64 {
+	var total int64
+	for _, b := range c.shards {
+		total += b.Peek()
+	}
+	return total
+}

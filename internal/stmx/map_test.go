@@ -1,0 +1,176 @@
+package stmx
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"autopn/internal/stm"
+)
+
+func newSTM() *stm.STM { return stm.New(stm.Options{}) }
+
+func TestMapBasicOps(t *testing.T) {
+	s := newSTM()
+	m := NewMap[uint64, string](16, FNV1a64)
+	err := s.Atomic(func(tx *stm.Tx) error {
+		if _, ok := m.Get(tx, 1); ok {
+			t.Error("empty map reported key")
+		}
+		m.Put(tx, 1, "one")
+		m.Put(tx, 2, "two")
+		m.Put(tx, 1, "uno") // replace
+		if v, ok := m.Get(tx, 1); !ok || v != "uno" {
+			t.Errorf("Get(1) = (%q,%v), want (uno,true)", v, ok)
+		}
+		if n := m.Len(tx); n != 2 {
+			t.Errorf("Len = %d, want 2", n)
+		}
+		if !m.Delete(tx, 2) {
+			t.Error("Delete(2) = false")
+		}
+		if m.Delete(tx, 2) {
+			t.Error("double Delete(2) = true")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapIsolation(t *testing.T) {
+	s := newSTM()
+	m := NewMap[uint64, int](4, FNV1a64)
+	if err := s.Atomic(func(tx *stm.Tx) error {
+		m.Put(tx, 7, 70)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// An aborting transaction's writes must not leak.
+	_ = s.Atomic(func(tx *stm.Tx) error {
+		m.Put(tx, 7, 999)
+		return errAbort
+	})
+	if err := s.Atomic(func(tx *stm.Tx) error {
+		if v, _ := m.Get(tx, 7); v != 70 {
+			t.Errorf("aborted write leaked: got %d", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errAbort = errorString("abort")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestMapConcurrentDistinctKeys(t *testing.T) {
+	s := newSTM()
+	m := NewMap[uint64, int](64, FNV1a64)
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				key := base*per + i
+				if err := s.Atomic(func(tx *stm.Tx) error {
+					m.Put(tx, key, int(key))
+					return nil
+				}); err != nil {
+					t.Errorf("put: %v", err)
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if err := s.Atomic(func(tx *stm.Tx) error {
+		if n := m.Len(tx); n != workers*per {
+			t.Errorf("Len = %d, want %d", n, workers*per)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapMatchesReference property-tests the transactional map against a
+// plain Go map under a random operation sequence.
+func TestMapMatchesReference(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := newSTM()
+		m := NewMap[uint64, uint16](8, FNV1a64)
+		ref := map[uint64]uint16{}
+		for _, op := range ops {
+			key := uint64(op % 32)
+			err := s.Atomic(func(tx *stm.Tx) error {
+				switch op % 3 {
+				case 0:
+					m.Put(tx, key, op)
+				case 1:
+					m.Delete(tx, key)
+				case 2:
+					v, ok := m.Get(tx, key)
+					rv, rok := ref[key]
+					if ok != rok || (ok && v != rv) {
+						t.Errorf("Get(%d) = (%d,%v), ref (%d,%v)", key, v, ok, rv, rok)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+			switch op % 3 {
+			case 0:
+				ref[key] = op
+			case 1:
+				delete(ref, key)
+			}
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	s := newSTM()
+	c := NewCounter(5)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := s.Atomic(func(tx *stm.Tx) error {
+					c.Add(tx, 2)
+					return nil
+				}); err != nil {
+					t.Errorf("add: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Peek(); got != 5+4*25*2 {
+		t.Fatalf("counter = %d, want %d", got, 5+4*25*2)
+	}
+}
+
+func TestFNV1a64Spreads(t *testing.T) {
+	seen := map[uint64]bool{}
+	for k := uint64(0); k < 1000; k++ {
+		seen[FNV1a64(k)%64] = true
+	}
+	if len(seen) < 32 {
+		t.Errorf("hash hits only %d of 64 buckets over 1000 keys", len(seen))
+	}
+}

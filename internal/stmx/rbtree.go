@@ -1,0 +1,275 @@
+package stmx
+
+import "autopn/internal/stm"
+
+// RBTree is a transactional ordered map implemented as a red-black tree
+// whose structure lives in versioned boxes — the data structure STAMP's
+// Vacation benchmark stores its tables in. Every node's links and payload
+// are transactional state, so structural rotations compose atomically with
+// payload updates, and two transactions conflict only when their access
+// paths intersect (readers of disjoint subtrees proceed in parallel).
+//
+// The implementation is a classic left-leaning red-black tree (Sedgewick):
+// purely top-down recursive insert/delete with rebalancing on the way back
+// up, which maps naturally onto transactional reads and writes of the
+// per-node boxes.
+type RBTree[K any, V any] struct {
+	root *stm.VBox[*rbNode[K, V]]
+	less func(a, b K) bool
+	size *Counter
+}
+
+type rbNode[K any, V any] struct {
+	key   K
+	value *stm.VBox[V]
+	left  *stm.VBox[*rbNode[K, V]]
+	right *stm.VBox[*rbNode[K, V]]
+	red   *stm.VBox[bool]
+}
+
+// NewRBTree creates an empty tree ordered by less.
+func NewRBTree[K any, V any](less func(a, b K) bool) *RBTree[K, V] {
+	return &RBTree[K, V]{
+		root: stm.NewVBox[*rbNode[K, V]](nil),
+		less: less,
+		size: NewCounter(0),
+	}
+}
+
+func newRBNode[K any, V any](key K, val V) *rbNode[K, V] {
+	return &rbNode[K, V]{
+		key:   key,
+		value: stm.NewVBox(val),
+		left:  stm.NewVBox[*rbNode[K, V]](nil),
+		right: stm.NewVBox[*rbNode[K, V]](nil),
+		red:   stm.NewVBox(true),
+	}
+}
+
+// Len returns the number of keys.
+func (t *RBTree[K, V]) Len(tx *stm.Tx) int { return int(t.size.Get(tx)) }
+
+// Get returns the value stored under key.
+func (t *RBTree[K, V]) Get(tx *stm.Tx, key K) (V, bool) {
+	n := t.root.Get(tx)
+	for n != nil {
+		switch {
+		case t.less(key, n.key):
+			n = n.left.Get(tx)
+		case t.less(n.key, key):
+			n = n.right.Get(tx)
+		default:
+			return n.value.Get(tx), true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value under key.
+func (t *RBTree[K, V]) Put(tx *stm.Tx, key K, val V) {
+	inserted := false
+	r := t.insert(tx, t.root.Get(tx), key, val, &inserted)
+	r.red.Put(tx, false)
+	t.root.Put(tx, r)
+	if inserted {
+		t.size.Add(tx, 1)
+	}
+}
+
+func (t *RBTree[K, V]) insert(tx *stm.Tx, n *rbNode[K, V], key K, val V, inserted *bool) *rbNode[K, V] {
+	if n == nil {
+		*inserted = true
+		return newRBNode(key, val)
+	}
+	switch {
+	case t.less(key, n.key):
+		n.left.Put(tx, t.insert(tx, n.left.Get(tx), key, val, inserted))
+	case t.less(n.key, key):
+		n.right.Put(tx, t.insert(tx, n.right.Get(tx), key, val, inserted))
+	default:
+		n.value.Put(tx, val)
+		return n
+	}
+	return t.fixUp(tx, n)
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *RBTree[K, V]) Delete(tx *stm.Tx, key K) bool {
+	root := t.root.Get(tx)
+	if root == nil {
+		return false
+	}
+	if _, ok := t.Get(tx, key); !ok {
+		return false
+	}
+	// Standard LLRB delete: ensure the root is not a 2-node.
+	if !t.isRed(tx, root.left.Get(tx)) && !t.isRed(tx, root.right.Get(tx)) {
+		root.red.Put(tx, true)
+	}
+	root = t.delete(tx, root, key)
+	if root != nil {
+		root.red.Put(tx, false)
+	}
+	t.root.Put(tx, root)
+	t.size.Add(tx, -1)
+	return true
+}
+
+func (t *RBTree[K, V]) delete(tx *stm.Tx, n *rbNode[K, V], key K) *rbNode[K, V] {
+	if t.less(key, n.key) {
+		if !t.isRed(tx, n.left.Get(tx)) && n.left.Get(tx) != nil &&
+			!t.isRed(tx, n.left.Get(tx).left.Get(tx)) {
+			n = t.moveRedLeft(tx, n)
+		}
+		n.left.Put(tx, t.delete(tx, n.left.Get(tx), key))
+	} else {
+		if t.isRed(tx, n.left.Get(tx)) {
+			n = t.rotateRight(tx, n)
+		}
+		if !t.less(n.key, key) && n.right.Get(tx) == nil {
+			return nil
+		}
+		if !t.isRed(tx, n.right.Get(tx)) && n.right.Get(tx) != nil &&
+			!t.isRed(tx, n.right.Get(tx).left.Get(tx)) {
+			n = t.moveRedRight(tx, n)
+		}
+		if !t.less(n.key, key) && !t.less(key, n.key) {
+			// Replace with the successor's key/value, delete the successor.
+			min := t.minNode(tx, n.right.Get(tx))
+			// Nodes are shared transactional structure: rebuild this node
+			// with the successor's payload rather than mutating keys in
+			// place (keys are immutable per node).
+			repl := &rbNode[K, V]{
+				key:   min.key,
+				value: stm.NewVBox(min.value.Get(tx)),
+				left:  n.left,
+				right: n.right,
+				red:   n.red,
+			}
+			repl.right.Put(tx, t.deleteMin(tx, repl.right.Get(tx)))
+			n = repl
+		} else {
+			n.right.Put(tx, t.delete(tx, n.right.Get(tx), key))
+		}
+	}
+	return t.fixUp(tx, n)
+}
+
+func (t *RBTree[K, V]) minNode(tx *stm.Tx, n *rbNode[K, V]) *rbNode[K, V] {
+	for {
+		l := n.left.Get(tx)
+		if l == nil {
+			return n
+		}
+		n = l
+	}
+}
+
+func (t *RBTree[K, V]) deleteMin(tx *stm.Tx, n *rbNode[K, V]) *rbNode[K, V] {
+	if n.left.Get(tx) == nil {
+		return nil
+	}
+	if !t.isRed(tx, n.left.Get(tx)) && !t.isRed(tx, n.left.Get(tx).left.Get(tx)) {
+		n = t.moveRedLeft(tx, n)
+	}
+	n.left.Put(tx, t.deleteMin(tx, n.left.Get(tx)))
+	return t.fixUp(tx, n)
+}
+
+// Min returns the smallest key, if any.
+func (t *RBTree[K, V]) Min(tx *stm.Tx) (K, V, bool) {
+	n := t.root.Get(tx)
+	if n == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	m := t.minNode(tx, n)
+	return m.key, m.value.Get(tx), true
+}
+
+// Range calls fn for every key/value pair in ascending order until fn
+// returns false.
+func (t *RBTree[K, V]) Range(tx *stm.Tx, fn func(key K, val V) bool) {
+	t.walk(tx, t.root.Get(tx), fn)
+}
+
+func (t *RBTree[K, V]) walk(tx *stm.Tx, n *rbNode[K, V], fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !t.walk(tx, n.left.Get(tx), fn) {
+		return false
+	}
+	if !fn(n.key, n.value.Get(tx)) {
+		return false
+	}
+	return t.walk(tx, n.right.Get(tx), fn)
+}
+
+// --- LLRB plumbing ---
+
+func (t *RBTree[K, V]) isRed(tx *stm.Tx, n *rbNode[K, V]) bool {
+	return n != nil && n.red.Get(tx)
+}
+
+func (t *RBTree[K, V]) rotateLeft(tx *stm.Tx, h *rbNode[K, V]) *rbNode[K, V] {
+	x := h.right.Get(tx)
+	h.right.Put(tx, x.left.Get(tx))
+	x.left.Put(tx, h)
+	x.red.Put(tx, h.red.Get(tx))
+	h.red.Put(tx, true)
+	return x
+}
+
+func (t *RBTree[K, V]) rotateRight(tx *stm.Tx, h *rbNode[K, V]) *rbNode[K, V] {
+	x := h.left.Get(tx)
+	h.left.Put(tx, x.right.Get(tx))
+	x.right.Put(tx, h)
+	x.red.Put(tx, h.red.Get(tx))
+	h.red.Put(tx, true)
+	return x
+}
+
+func (t *RBTree[K, V]) flipColors(tx *stm.Tx, h *rbNode[K, V]) {
+	h.red.Put(tx, !h.red.Get(tx))
+	if l := h.left.Get(tx); l != nil {
+		l.red.Put(tx, !l.red.Get(tx))
+	}
+	if r := h.right.Get(tx); r != nil {
+		r.red.Put(tx, !r.red.Get(tx))
+	}
+}
+
+func (t *RBTree[K, V]) moveRedLeft(tx *stm.Tx, h *rbNode[K, V]) *rbNode[K, V] {
+	t.flipColors(tx, h)
+	if r := h.right.Get(tx); r != nil && t.isRed(tx, r.left.Get(tx)) {
+		h.right.Put(tx, t.rotateRight(tx, r))
+		h = t.rotateLeft(tx, h)
+		t.flipColors(tx, h)
+	}
+	return h
+}
+
+func (t *RBTree[K, V]) moveRedRight(tx *stm.Tx, h *rbNode[K, V]) *rbNode[K, V] {
+	t.flipColors(tx, h)
+	if l := h.left.Get(tx); l != nil && t.isRed(tx, l.left.Get(tx)) {
+		h = t.rotateRight(tx, h)
+		t.flipColors(tx, h)
+	}
+	return h
+}
+
+func (t *RBTree[K, V]) fixUp(tx *stm.Tx, h *rbNode[K, V]) *rbNode[K, V] {
+	if t.isRed(tx, h.right.Get(tx)) && !t.isRed(tx, h.left.Get(tx)) {
+		h = t.rotateLeft(tx, h)
+	}
+	if l := h.left.Get(tx); t.isRed(tx, l) && t.isRed(tx, l.left.Get(tx)) {
+		h = t.rotateRight(tx, h)
+	}
+	if t.isRed(tx, h.left.Get(tx)) && t.isRed(tx, h.right.Get(tx)) {
+		t.flipColors(tx, h)
+	}
+	return h
+}

@@ -1,0 +1,287 @@
+package stmx
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"autopn/internal/stm"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func newIntTree() *RBTree[int, string] { return NewRBTree[int, string](intLess) }
+
+func TestRBTreeBasicOps(t *testing.T) {
+	s := newSTM()
+	tr := newIntTree()
+	err := s.Atomic(func(tx *stm.Tx) error {
+		if _, ok := tr.Get(tx, 1); ok {
+			t.Error("empty tree found a key")
+		}
+		tr.Put(tx, 5, "five")
+		tr.Put(tx, 3, "three")
+		tr.Put(tx, 8, "eight")
+		tr.Put(tx, 5, "FIVE") // replace
+		if v, ok := tr.Get(tx, 5); !ok || v != "FIVE" {
+			t.Errorf("Get(5) = (%q,%v)", v, ok)
+		}
+		if n := tr.Len(tx); n != 3 {
+			t.Errorf("Len = %d, want 3", n)
+		}
+		if k, v, ok := tr.Min(tx); !ok || k != 3 || v != "three" {
+			t.Errorf("Min = (%d,%q,%v)", k, v, ok)
+		}
+		if !tr.Delete(tx, 3) {
+			t.Error("Delete(3) = false")
+		}
+		if tr.Delete(tx, 3) {
+			t.Error("double Delete(3) = true")
+		}
+		if n := tr.Len(tx); n != 2 {
+			t.Errorf("Len after delete = %d", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeRangeOrdered(t *testing.T) {
+	s := newSTM()
+	tr := newIntTree()
+	keys := []int{9, 2, 7, 1, 8, 3, 6, 4, 5, 0}
+	if err := s.Atomic(func(tx *stm.Tx) error {
+		for _, k := range keys {
+			tr.Put(tx, k, "")
+		}
+		var got []int
+		tr.Range(tx, func(k int, _ string) bool {
+			got = append(got, k)
+			return true
+		})
+		if !sort.IntsAreSorted(got) || len(got) != len(keys) {
+			t.Errorf("Range order = %v", got)
+		}
+		// Early termination.
+		count := 0
+		tr.Range(tx, func(int, string) bool {
+			count++
+			return count < 3
+		})
+		if count != 3 {
+			t.Errorf("early-stop visited %d", count)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRBTreeMatchesReferenceMap property-tests the tree against a Go map
+// under random operation sequences, and validates red-black invariants
+// after every transaction.
+func TestRBTreeMatchesReferenceMap(t *testing.T) {
+	f := func(ops []int16) bool {
+		s := newSTM()
+		tr := NewRBTree[int, int](intLess)
+		ref := map[int]int{}
+		for i, op := range ops {
+			key := int(op) % 64
+			err := s.Atomic(func(tx *stm.Tx) error {
+				switch i % 3 {
+				case 0:
+					tr.Put(tx, key, i)
+				case 1:
+					tr.Delete(tx, key)
+				case 2:
+					v, ok := tr.Get(tx, key)
+					rv, rok := ref[key]
+					if ok != rok || (ok && v != rv) {
+						t.Errorf("Get(%d) = (%d,%v), ref (%d,%v)", key, v, ok, rv, rok)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+			switch i % 3 {
+			case 0:
+				ref[key] = i
+			case 1:
+				delete(ref, key)
+			}
+		}
+		// Final state equivalence plus structural invariants.
+		err := s.Atomic(func(tx *stm.Tx) error {
+			if tr.Len(tx) != len(ref) {
+				t.Errorf("Len %d != ref %d", tr.Len(tx), len(ref))
+			}
+			var got []int
+			tr.Range(tx, func(k int, v int) bool {
+				got = append(got, k)
+				if rv := ref[k]; rv != v {
+					t.Errorf("value mismatch at %d: %d vs %d", k, v, rv)
+				}
+				return true
+			})
+			if !sort.IntsAreSorted(got) {
+				t.Errorf("range not sorted: %v", got)
+			}
+			checkRBInvariants(t, tx, tr)
+			return nil
+		})
+		return err == nil && !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkRBInvariants verifies: no red node has a red left child chain
+// violations, rightleaning red links are absent (LLRB), and every
+// root-to-nil path has the same black height.
+func checkRBInvariants(t *testing.T, tx *stm.Tx, tr *RBTree[int, int]) {
+	t.Helper()
+	root := tr.root.Get(tx)
+	if tr.isRed(tx, root) {
+		t.Error("root is red")
+	}
+	var walk func(n *rbNode[int, int]) int
+	walk = func(n *rbNode[int, int]) int {
+		if n == nil {
+			return 1
+		}
+		l, r := n.left.Get(tx), n.right.Get(tx)
+		if tr.isRed(tx, r) {
+			t.Error("right-leaning red link")
+		}
+		if tr.isRed(tx, n) && tr.isRed(tx, l) {
+			t.Error("consecutive red links")
+		}
+		bl := walk(l)
+		br := walk(r)
+		if bl != br {
+			t.Errorf("black-height mismatch: %d vs %d", bl, br)
+		}
+		if !tr.isRed(tx, n) {
+			bl++
+		}
+		return bl
+	}
+	walk(root)
+}
+
+func TestRBTreeAbortedMutationsInvisible(t *testing.T) {
+	s := newSTM()
+	tr := newIntTree()
+	if err := s.Atomic(func(tx *stm.Tx) error {
+		for i := 0; i < 20; i++ {
+			tr.Put(tx, i, "v")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Atomic(func(tx *stm.Tx) error {
+		tr.Put(tx, 100, "leak")
+		tr.Delete(tx, 0)
+		return errAbort
+	})
+	if err := s.Atomic(func(tx *stm.Tx) error {
+		if _, ok := tr.Get(tx, 100); ok {
+			t.Error("aborted insert leaked")
+		}
+		if _, ok := tr.Get(tx, 0); !ok {
+			t.Error("aborted delete leaked")
+		}
+		if n := tr.Len(tx); n != 20 {
+			t.Errorf("Len = %d", n)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeConcurrentDisjointInserts(t *testing.T) {
+	s := newSTM()
+	tr := NewRBTree[int, int](intLess)
+	const workers, per = 4, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := base*per + i
+				if err := s.Atomic(func(tx *stm.Tx) error {
+					tr.Put(tx, k, k)
+					return nil
+				}); err != nil {
+					t.Errorf("put %d: %v", k, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Atomic(func(tx *stm.Tx) error {
+		if n := tr.Len(tx); n != workers*per {
+			t.Errorf("Len = %d, want %d", n, workers*per)
+		}
+		for k := 0; k < workers*per; k++ {
+			if v, ok := tr.Get(tx, k); !ok || v != k {
+				t.Errorf("Get(%d) = (%d,%v)", k, v, ok)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeNestedParallelReads(t *testing.T) {
+	s := newSTM()
+	tr := NewRBTree[int, int](intLess)
+	if err := s.Atomic(func(tx *stm.Tx) error {
+		for i := 0; i < 100; i++ {
+			tr.Put(tx, i, i*i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A transaction that scans two halves of the key space with parallel
+	// nested children.
+	var loSum, hiSum int
+	if err := s.Atomic(func(tx *stm.Tx) error {
+		return tx.Parallel(
+			func(c *stm.Tx) error {
+				for i := 0; i < 50; i++ {
+					v, _ := tr.Get(c, i)
+					loSum += v
+				}
+				return nil
+			},
+			func(c *stm.Tx) error {
+				for i := 50; i < 100; i++ {
+					v, _ := tr.Get(c, i)
+					hiSum += v
+				}
+				return nil
+			},
+		)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < 100; i++ {
+		want += i * i
+	}
+	if loSum+hiSum != want {
+		t.Fatalf("parallel scan sum = %d, want %d", loSum+hiSum, want)
+	}
+}

@@ -1,0 +1,146 @@
+package surface
+
+import (
+	"testing"
+
+	"autopn/internal/space"
+)
+
+// TestCalibrationReport prints each workload's optimum and landscape
+// statistics; run with -v to inspect while tuning presets.
+func TestCalibrationReport(t *testing.T) {
+	sp := space.New(DefaultCores)
+	for _, w := range AllWorkloads() {
+		opt, best := w.Optimum(sp)
+		worstCfg, worst := sp.At(0), best
+		for _, cfg := range sp.Configs() {
+			if v := w.Throughput(cfg); v < worst {
+				worst, worstCfg = v, cfg
+			}
+		}
+		seq := w.Throughput(space.Config{T: 1, C: 1})
+		t.Logf("%-14s opt=%-8v best=%10.1f  best/seq=%5.1fx  best/worst=%5.1fx (worst %v)",
+			w.Name, opt, best, best/seq, best/worst, worstCfg)
+	}
+}
+
+// TestQualitativeOptimaRegions pins each workload family's optimum to the
+// region the paper reports (Fig. 1 and §VII-A).
+func TestQualitativeOptimaRegions(t *testing.T) {
+	sp := space.New(DefaultCores)
+
+	check := func(name string, w *Workload, cond func(space.Config) bool, desc string) {
+		t.Helper()
+		opt, _ := w.Optimum(sp)
+		if !cond(opt) {
+			t.Errorf("%s: optimum %v not in expected region (%s)", name, opt, desc)
+		}
+	}
+
+	// TPC-C medium: moderate top-level parallelism with light nesting,
+	// approximating the paper's (20,2).
+	check("tpcc-med", TPCC("med"), func(c space.Config) bool {
+		return c.T >= 10 && c.T <= 32 && c.C >= 2 && c.C <= 4
+	}, "t in [10,32], c in [2,4]")
+
+	// Pure-read Array scan: all cores to top-level transactions, nesting
+	// disabled.
+	check("array-0", Array("0"), func(c space.Config) bool {
+		return c.T >= 40 && c.C == 1
+	}, "t>=40, c=1")
+
+	// High-contention Array: top-level concurrency is poisonous; the work
+	// must be parallelized inside few transactions.
+	check("array-90", Array("90"), func(c space.Config) bool {
+		return c.T <= 2 && c.C >= 12
+	}, "t<=2, c>=12")
+
+	// Low contention TPC-C prefers more top-level parallelism than the
+	// high-contention variant.
+	optLow, _ := TPCC("low").Optimum(sp)
+	optHigh, _ := TPCC("high").Optimum(sp)
+	if optLow.T <= optHigh.T {
+		t.Errorf("tpcc: low-contention optimum t=%d should exceed high-contention t=%d",
+			optLow.T, optHigh.T)
+	}
+}
+
+// TestBestToWorstSpread verifies the landscape is worth tuning: for the
+// medium-contention TPC-C port the paper reports the best configuration at
+// ~9x the worst ((1,1)) and 2-3x most of the rest.
+func TestBestToWorstSpread(t *testing.T) {
+	sp := space.New(DefaultCores)
+	w := TPCC("med")
+	opt, best := w.Optimum(sp)
+	seq := w.Throughput(space.Config{T: 1, C: 1})
+	ratio := best / seq
+	if ratio < 4 || ratio > 20 {
+		t.Errorf("tpcc-med best/seq = %.1fx (opt %v), want order-of-magnitude spread (4x-20x)", ratio, opt)
+	}
+	// Count configurations at least 2x below the best.
+	atLeast2x := 0
+	for _, cfg := range sp.Configs() {
+		if best/w.Throughput(cfg) >= 2 {
+			atLeast2x++
+		}
+	}
+	if frac := float64(atLeast2x) / float64(sp.Size()); frac < 0.3 {
+		t.Errorf("only %.0f%% of configs are >=2x below best; landscape too flat", frac*100)
+	}
+}
+
+// TestDistinctOptimaAcrossWorkloads verifies Fig. 1b's point: the best
+// configuration for one workload can be among the worst for another.
+func TestDistinctOptimaAcrossWorkloads(t *testing.T) {
+	sp := space.New(DefaultCores)
+	a := Array("0")
+	b := Array("90")
+	optA, _ := a.Optimum(sp)
+	optB, _ := b.Optimum(sp)
+	if optA == optB {
+		t.Fatalf("array-0 and array-90 share optimum %v; workloads must disagree", optA)
+	}
+	// a's optimum must be badly suboptimal for b and vice versa.
+	if dfo := dfo(b, sp, optA); dfo < 0.5 {
+		t.Errorf("array-0's optimum %v is only %.0f%% from array-90's optimum; want >50%%", optA, dfo*100)
+	}
+	if dfo := dfo(a, sp, optB); dfo < 0.5 {
+		t.Errorf("array-90's optimum %v is only %.0f%% from array-0's optimum; want >50%%", optB, dfo*100)
+	}
+}
+
+// dfo computes the distance from optimum of cfg under w: 1 - f(cfg)/f(opt).
+func dfo(w *Workload, sp *space.Space, cfg space.Config) float64 {
+	_, best := w.Optimum(sp)
+	return 1 - w.Throughput(cfg)/best
+}
+
+func TestMeasureNoiseIsUnbiasedAndPositive(t *testing.T) {
+	w := TPCC("med")
+	sp := space.New(DefaultCores)
+	opt, mean := w.Optimum(sp)
+	rng := newTestRNG()
+	sum := 0.0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		v := w.Measure(opt, rng)
+		if v <= 0 {
+			t.Fatalf("noisy measurement %g <= 0", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if got < 0.97*mean || got > 1.03*mean {
+		t.Errorf("noisy mean %.1f deviates from model mean %.1f by >3%%", got, mean)
+	}
+}
+
+func TestInvalidConfigZeroThroughput(t *testing.T) {
+	w := TPCC("med")
+	if v := w.Throughput(space.Config{T: 48, C: 2}); v != 0 {
+		t.Errorf("oversubscribed config throughput = %g, want 0", v)
+	}
+	if v := w.Throughput(space.Config{T: 0, C: 1}); v != 0 {
+		t.Errorf("invalid config throughput = %g, want 0", v)
+	}
+}

@@ -1,0 +1,112 @@
+package surface
+
+import (
+	"math"
+	"time"
+
+	"autopn/internal/space"
+)
+
+// Sample is one measured (configuration, throughput) pair used for model
+// calibration.
+type Sample struct {
+	Cfg        space.Config
+	Throughput float64
+}
+
+// Fit calibrates a Workload's free parameters against measured samples
+// (e.g. a live sweep of the real PN-STM), minimizing the mean squared
+// log-throughput error over a coarse-to-fine grid search. The template
+// supplies the fixed structure (cores, work volume, fixed cost); Fit tunes
+// the parameters that shape the surface: SeqFrac, SpawnCost, KInter and
+// KIntra. It returns the calibrated copy and the final RMS log error.
+//
+// This closes the loop between the live system and the simulator: a
+// workload measured on real hardware at a small core count can be
+// extrapolated to the 48-core space the paper's experiments explore.
+func Fit(template *Workload, samples []Sample) (*Workload, float64) {
+	if len(samples) == 0 {
+		out := *template
+		return &out, 0
+	}
+
+	evalErr := func(w *Workload) float64 {
+		sum, n := 0.0, 0
+		for _, s := range samples {
+			if s.Throughput <= 0 {
+				continue
+			}
+			m := w.Throughput(s.Cfg)
+			if m <= 0 {
+				sum += 25 // heavily penalize predicting a dead config
+				n++
+				continue
+			}
+			d := math.Log(m / s.Throughput)
+			sum += d * d
+			n++
+		}
+		if n == 0 {
+			return math.Inf(1)
+		}
+		return sum / float64(n)
+	}
+
+	best := *template
+	bestErr := evalErr(&best)
+
+	// Coarse-to-fine grid refinement over the four shape parameters.
+	seqGrid := []float64{0.02, 0.05, 0.1, 0.15, 0.25, 0.4}
+	spawnGrid := []time.Duration{
+		20 * time.Microsecond, 60 * time.Microsecond, 150 * time.Microsecond,
+		400 * time.Microsecond, 1 * time.Millisecond,
+	}
+	kInterGrid := []float64{0, 0.5, 1.5, 3, 7, 15, 40, 100, 400}
+	kIntraGrid := []float64{0, 0.005, 0.02, 0.08, 0.2}
+
+	for pass := 0; pass < 2; pass++ {
+		for _, sf := range seqGrid {
+			for _, sp := range spawnGrid {
+				for _, ki := range kInterGrid {
+					for _, kn := range kIntraGrid {
+						cand := *template
+						cand.SeqFrac = sf
+						cand.SpawnCost = sp
+						cand.KInter = ki
+						cand.KIntra = kn
+						if e := evalErr(&cand); e < bestErr {
+							bestErr = e
+							best = cand
+						}
+					}
+				}
+			}
+		}
+		// Refine each grid around the incumbent for the second pass.
+		seqGrid = refineF(best.SeqFrac, 0.5)
+		spawnGrid = refineD(best.SpawnCost, 0.5)
+		kInterGrid = refineF(best.KInter, 0.6)
+		kIntraGrid = refineF(best.KIntra, 0.6)
+	}
+	return &best, math.Sqrt(bestErr)
+}
+
+// refineF returns a small grid bracketing v by the relative spread r.
+func refineF(v, r float64) []float64 {
+	if v == 0 {
+		return []float64{0, 1e-3, 1e-2}
+	}
+	return []float64{v * (1 - r), v * (1 - r/2), v, v * (1 + r/2), v * (1 + r)}
+}
+
+// refineD is refineF for durations.
+func refineD(v time.Duration, r float64) []time.Duration {
+	if v == 0 {
+		return []time.Duration{0, 10 * time.Microsecond, 100 * time.Microsecond}
+	}
+	f := float64(v)
+	return []time.Duration{
+		time.Duration(f * (1 - r)), time.Duration(f * (1 - r/2)), v,
+		time.Duration(f * (1 + r/2)), time.Duration(f * (1 + r)),
+	}
+}

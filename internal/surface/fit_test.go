@@ -1,0 +1,73 @@
+package surface
+
+import (
+	"testing"
+
+	"autopn/internal/space"
+)
+
+// TestFitRecoversKnownSurface generates samples from a known workload and
+// checks that Fit, starting from a detuned template, recovers a model whose
+// surface matches — including the location of the optimum.
+func TestFitRecoversKnownSurface(t *testing.T) {
+	truth := TPCC("med")
+	sp := space.New(truth.Cores)
+	rng := newTestRNG()
+
+	var samples []Sample
+	for i, cfg := range sp.Configs() {
+		if i%3 != 0 { // a third of the space measured, with noise
+			continue
+		}
+		samples = append(samples, Sample{Cfg: cfg, Throughput: truth.Measure(cfg, rng)})
+	}
+
+	template := TPCC("med")
+	template.SeqFrac = 0.4 // detune the shape parameters
+	template.SpawnCost = 0
+	template.KInter = 0
+	template.KIntra = 0
+
+	fitted, rms := Fit(template, samples)
+	t.Logf("fit RMS log error: %.3f (SeqFrac=%.2f Spawn=%v KInter=%.1f KIntra=%.3f)",
+		rms, fitted.SeqFrac, fitted.SpawnCost, fitted.KInter, fitted.KIntra)
+	if rms > 0.25 {
+		t.Fatalf("RMS log error %.3f too high", rms)
+	}
+	wantOpt, wantV := truth.Optimum(sp)
+	gotOpt, _ := fitted.Optimum(sp)
+	// The fitted surface must place its optimum in the same neighborhood
+	// and value the true optimum within 15%.
+	if v := fitted.Throughput(wantOpt); v < 0.85*wantV || v > 1.15*wantV {
+		t.Errorf("fitted value at true optimum %v = %.1f, truth %.1f", wantOpt, v, wantV)
+	}
+	if dfo := 1 - truth.Throughput(gotOpt)/wantV; dfo > 0.1 {
+		t.Errorf("fitted optimum %v is %.1f%% from the true optimum %v", gotOpt, dfo*100, wantOpt)
+	}
+}
+
+func TestFitEmptySamples(t *testing.T) {
+	w, rms := Fit(TPCC("low"), nil)
+	if rms != 0 || w == nil {
+		t.Fatalf("Fit(nil) = (%v, %v)", w, rms)
+	}
+}
+
+func TestFitPenalizesDeadPredictions(t *testing.T) {
+	// Samples from a live workload where every config commits; a template
+	// must not be fitted into predicting zero throughput anywhere sampled.
+	truth := Array("0.01")
+	sp := space.New(truth.Cores)
+	var samples []Sample
+	for i, cfg := range sp.Configs() {
+		if i%5 == 0 {
+			samples = append(samples, Sample{Cfg: cfg, Throughput: truth.Throughput(cfg)})
+		}
+	}
+	fitted, _ := Fit(Array("90"), samples)
+	for _, s := range samples {
+		if fitted.Throughput(s.Cfg) <= 0 {
+			t.Fatalf("fitted model predicts dead config at %v", s.Cfg)
+		}
+	}
+}

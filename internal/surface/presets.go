@@ -1,0 +1,107 @@
+package surface
+
+import "time"
+
+// The ten workloads of §VII-A: three contention levels each for the TPC-C
+// and Vacation ports, and four write-ratio variants of the Array
+// micro-benchmark. Parameters are calibrated (see calibrate_test.go) so
+// that each family's optimum lands in the qualitative region the paper
+// reports: TPC-C-like workloads peak at moderate t with light nesting
+// (e.g. (20,2) for the medium-contention port, with ~9x spread between the
+// best and the sequential (1,1) configuration), read-dominated Array scans
+// peak at (n,1), and the high-contention Array variant is best served by a
+// single top-level transaction with deep intra-transaction parallelism.
+
+// DefaultCores is the machine size of the paper's testbed.
+const DefaultCores = 48
+
+// TPCC returns the TPC-C-like workload at the given contention level
+// ("low", "med", "high").
+func TPCC(level string) *Workload {
+	w := &Workload{
+		Name:         "tpcc-" + level,
+		Cores:        DefaultCores,
+		WorkUnits:    100,
+		BaseUnitTime: 100 * time.Microsecond,
+		FixedCost:    200 * time.Microsecond,
+		SeqFrac:      0.15,
+		SpawnCost:    600 * time.Microsecond,
+		NoiseSigma:   0.015,
+	}
+	switch level {
+	case "low":
+		w.KInter, w.KIntra = 3.0, 0.15
+	case "med":
+		w.KInter, w.KIntra = 6.6, 0.15
+	default: // high
+		w.Name = "tpcc-high"
+		w.KInter, w.KIntra = 18, 0.15
+	}
+	return w
+}
+
+// Vacation returns the STAMP-Vacation-like workload at the given contention
+// level ("low", "med", "high"). Vacation transactions are shorter than
+// TPC-C's and parallelize less profitably.
+func Vacation(level string) *Workload {
+	w := &Workload{
+		Name:         "vacation-" + level,
+		Cores:        DefaultCores,
+		WorkUnits:    40,
+		BaseUnitTime: 60 * time.Microsecond,
+		FixedCost:    100 * time.Microsecond,
+		SeqFrac:      0.20,
+		SpawnCost:    200 * time.Microsecond,
+		NoiseSigma:   0.015,
+	}
+	switch level {
+	case "low":
+		w.KInter, w.KIntra = 2.0, 0.02
+	case "med":
+		w.KInter, w.KIntra = 11, 0.05
+	default:
+		w.Name = "vacation-high"
+		w.KInter, w.KIntra = 25, 0.08
+	}
+	return w
+}
+
+// Array returns the Array micro-benchmark scanning a shared array and
+// writing the given fraction of its elements ("0", "0.01", "50", "90",
+// matching the paper's none / 0.01% / 50% / 90% variants).
+func Array(writePct string) *Workload {
+	w := &Workload{
+		Name:         "array-" + writePct,
+		Cores:        DefaultCores,
+		WorkUnits:    200,
+		BaseUnitTime: 50 * time.Microsecond,
+		FixedCost:    100 * time.Microsecond,
+		SeqFrac:      0.02,
+		SpawnCost:    40 * time.Microsecond,
+		NoiseSigma:   0.015,
+	}
+	switch writePct {
+	case "0": // pure scan: embarrassingly parallel, conflict-free
+		w.KInter, w.KIntra = 0, 0
+		// A pure scan profits from top-level parallelism only: nested
+		// children still pay spawn costs, so (n,1) wins.
+		w.SpawnCost = 150 * time.Microsecond
+	case "0.01":
+		w.KInter, w.KIntra = 0.8, 0.002
+	case "50":
+		w.KInter, w.KIntra = 60, 0.01
+	default: // 90: every pair of concurrent top-level scans conflicts
+		w.Name = "array-90"
+		w.KInter, w.KIntra = 800, 0.005
+	}
+	return w
+}
+
+// AllWorkloads returns the paper's ten workloads in a fixed order.
+func AllWorkloads() []*Workload {
+	return []*Workload{
+		TPCC("low"), TPCC("med"), TPCC("high"),
+		Vacation("low"), Vacation("med"), Vacation("high"),
+		Array("0"), Array("0.01"), Array("50"), Array("90"),
+	}
+}

@@ -1,0 +1,5 @@
+package surface
+
+import "autopn/internal/stats"
+
+func newTestRNG() *stats.RNG { return stats.NewRNG(0xA07A_0001) }

@@ -1,0 +1,160 @@
+// Package surface models the throughput of PN-TM workloads as a function
+// of the parallelism-degree configuration (t, c).
+//
+// The paper's experiments run on a 48-core machine unavailable to this
+// reproduction (see DESIGN.md), so the evaluation substrate is a calibrated
+// analytic model with the qualitative structure of a parallel-nesting TM:
+//
+//   - each top-level transaction carries L units of work, of which a
+//     fraction SeqFrac is inherently sequential (Amdahl) while the rest is
+//     divided among c nested children;
+//   - spawning and synchronizing children costs SpawnCost per child, so
+//     intra-transaction parallelism has diminishing — eventually negative —
+//     returns;
+//   - sibling transactions within a tree conflict with intensity KIntra,
+//     inflating the effective transaction duration;
+//   - concurrent top-level transactions conflict with an intensity
+//     proportional to both the number of peers (t-1) and the transaction's
+//     vulnerability window (its duration), so shortening transactions via
+//     nesting reduces top-level aborts — the central trade-off AutoPN
+//     navigates (§I of the paper);
+//   - throughput is t divided by the effective (retry-inflated)
+//     transaction duration.
+//
+// The resulting surfaces reproduce the paper's qualitative landscape:
+// humped, workload-dependent optima ((20,2)-style for TPC-C-like loads,
+// (1,n)-style under extreme contention, (n,1) for read-dominated loads),
+// with best/worst ratios of roughly an order of magnitude.
+package surface
+
+import (
+	"math"
+	"time"
+
+	"autopn/internal/space"
+	"autopn/internal/stats"
+)
+
+// Workload is a parameterized analytic PN-TM workload model.
+type Workload struct {
+	// Name identifies the workload in reports (e.g. "tpcc-med").
+	Name string
+	// Cores is the machine size n.
+	Cores int
+
+	// WorkUnits is the parallelizable work per top-level transaction, in
+	// abstract units; BaseUnitTime converts units to virtual time.
+	WorkUnits float64
+	// BaseUnitTime is the duration of one work unit on one core.
+	BaseUnitTime time.Duration
+	// FixedCost is the per-transaction begin/commit cost.
+	FixedCost time.Duration
+	// SeqFrac is the inherently sequential fraction of the work (Amdahl).
+	SeqFrac float64
+	// SpawnCost is the per-child spawn/merge/synchronization cost.
+	SpawnCost time.Duration
+
+	// KInter scales the top-level conflict hazard: the per-peer,
+	// per-second rate at which a running transaction is invalidated.
+	KInter float64
+	// KIntra scales sibling conflicts inside a tree (per extra child).
+	KIntra float64
+
+	// NoiseSigma is the standard deviation of the multiplicative
+	// measurement noise (log-scale) for sampled measurements.
+	NoiseSigma float64
+}
+
+// duration returns the conflict-free duration of one transaction under c
+// nested children, in seconds.
+func (w *Workload) duration(c int) float64 {
+	cf := float64(c)
+	unit := w.BaseUnitTime.Seconds()
+	work := w.WorkUnits * unit * (w.SeqFrac + (1-w.SeqFrac)/cf)
+	spawn := w.SpawnCost.Seconds() * (cf - 1)
+	return w.FixedCost.Seconds() + work + spawn
+}
+
+// intraRetryFactor inflates a transaction's duration by sibling conflicts.
+func (w *Workload) intraRetryFactor(c int) float64 {
+	if c <= 1 || w.KIntra <= 0 {
+		return 1
+	}
+	p := 1 - math.Exp(-w.KIntra*float64(c-1))
+	if p > 0.95 {
+		p = 0.95
+	}
+	return 1 / (1 - p)
+}
+
+// EffectiveDuration returns the conflict-free duration of one transaction
+// attempt under c nested children, including sibling-conflict inflation,
+// in seconds — the per-attempt service time the discrete-event engine
+// samples around.
+func (w *Workload) EffectiveDuration(c int) float64 {
+	if c < 1 {
+		return 0
+	}
+	return w.duration(c) * w.intraRetryFactor(c)
+}
+
+// Throughput returns the model's mean throughput (top-level commits per
+// second) for configuration cfg.
+func (w *Workload) Throughput(cfg space.Config) float64 {
+	if !cfg.Valid(w.Cores) {
+		return 0
+	}
+	d := w.duration(cfg.C) * w.intraRetryFactor(cfg.C)
+	// Top-level conflict hazard grows with peers and vulnerability window.
+	if cfg.T > 1 && w.KInter > 0 {
+		hazard := w.KInter * float64(cfg.T-1) * d
+		p := 1 - math.Exp(-hazard)
+		if p > 0.98 {
+			p = 0.98
+		}
+		d /= (1 - p)
+	}
+	return float64(cfg.T) / d
+}
+
+// Optimum returns the configuration maximizing the model's mean throughput
+// over sp and its value.
+func (w *Workload) Optimum(sp *space.Space) (space.Config, float64) {
+	var best space.Config
+	bestV := math.Inf(-1)
+	for _, cfg := range sp.Configs() {
+		if v := w.Throughput(cfg); v > bestV {
+			bestV = v
+			best = cfg
+		}
+	}
+	return best, bestV
+}
+
+// Scaled returns a copy of the workload slowed down by the given factor:
+// every time constant is multiplied by factor, so the surface's shape over
+// (t, c) is preserved (the inter-transaction conflict intensity, whose unit
+// is 1/second, is divided by factor accordingly) while absolute throughput
+// drops by factor. Fig. 7a uses this to derive a low-throughput variant of
+// the Array benchmark.
+func (w *Workload) Scaled(name string, factor float64) *Workload {
+	out := *w
+	out.Name = name
+	out.BaseUnitTime = time.Duration(float64(w.BaseUnitTime) * factor)
+	out.FixedCost = time.Duration(float64(w.FixedCost) * factor)
+	out.SpawnCost = time.Duration(float64(w.SpawnCost) * factor)
+	if factor > 0 {
+		out.KInter = w.KInter / factor
+	}
+	return &out
+}
+
+// Measure returns one noisy throughput sample at cfg: the model mean under
+// multiplicative log-normal noise of scale NoiseSigma.
+func (w *Workload) Measure(cfg space.Config, rng *stats.RNG) float64 {
+	mean := w.Throughput(cfg)
+	if w.NoiseSigma <= 0 {
+		return mean
+	}
+	return mean * math.Exp(w.NoiseSigma*rng.NormFloat64()-w.NoiseSigma*w.NoiseSigma/2)
+}

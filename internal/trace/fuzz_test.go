@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad asserts the trace loader never panics on arbitrary input and,
+// when it accepts input, produces a usable trace.
+func FuzzLoad(f *testing.F) {
+	f.Add(`{"workload":"w","cores":4,"runs":1,"configs":[{"t":1,"c":1,"samples":[5]}]}`)
+	f.Add(`{}`)
+	f.Add(`not json at all`)
+	f.Add(`{"workload":"w","cores":-3}`)
+	f.Add(`{"workload":"w","cores":2,"configs":[{"t":99,"c":99,"samples":[]}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := Load(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted traces must round-trip and answer queries safely.
+		_ = tr.Space()
+		_, _ = tr.Optimum()
+		for _, cfg := range tr.SortedConfigs() {
+			_ = tr.Mean(cfg)
+			_ = tr.DFO(cfg)
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatalf("accepted trace failed to save: %v", err)
+		}
+		if _, err := Load(&buf); err != nil {
+			t.Fatalf("round-trip load failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,187 @@
+// Package trace implements the offline-trace protocol of §VII-B of the
+// paper: every configuration of the space is measured a fixed number of
+// times up front, and optimizers are then evaluated by replaying these
+// traces, so that every strategy sees identical, reproducible inputs and
+// optimizer quality is decoupled from measurement quality.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+// ConfigSamples holds the measured samples of one configuration.
+type ConfigSamples struct {
+	T       int       `json:"t"`
+	C       int       `json:"c"`
+	Samples []float64 `json:"samples"`
+}
+
+// Trace is an exhaustive measurement of a workload over a configuration
+// space.
+type Trace struct {
+	Workload string          `json:"workload"`
+	Cores    int             `json:"cores"`
+	Runs     int             `json:"runs"`
+	Configs  []ConfigSamples `json:"configs"`
+
+	index map[space.Config]int
+}
+
+// Collect exhaustively measures w over sp, taking runs noisy samples per
+// configuration (the paper uses 10 runs of >= 10 minutes each; the noise
+// model stands in for run-length averaging).
+func Collect(w *surface.Workload, sp *space.Space, runs int, rng *stats.RNG) *Trace {
+	if runs < 1 {
+		runs = 1
+	}
+	tr := &Trace{Workload: w.Name, Cores: sp.Cores(), Runs: runs}
+	for _, cfg := range sp.Configs() {
+		cs := ConfigSamples{T: cfg.T, C: cfg.C, Samples: make([]float64, runs)}
+		for i := range cs.Samples {
+			cs.Samples[i] = w.Measure(cfg, rng)
+		}
+		tr.Configs = append(tr.Configs, cs)
+	}
+	tr.buildIndex()
+	return tr
+}
+
+func (tr *Trace) buildIndex() {
+	tr.index = make(map[space.Config]int, len(tr.Configs))
+	for i, cs := range tr.Configs {
+		tr.index[space.Config{T: cs.T, C: cs.C}] = i
+	}
+}
+
+// Space reconstructs the configuration space the trace covers.
+func (tr *Trace) Space() *space.Space { return space.New(tr.Cores) }
+
+// Samples returns the recorded samples for cfg (nil if absent).
+func (tr *Trace) Samples(cfg space.Config) []float64 {
+	if i, ok := tr.index[cfg]; ok {
+		return tr.Configs[i].Samples
+	}
+	return nil
+}
+
+// Mean returns the mean recorded throughput of cfg (0 if absent).
+func (tr *Trace) Mean(cfg space.Config) float64 {
+	return stats.Mean(tr.Samples(cfg))
+}
+
+// Optimum returns the configuration with the highest mean recorded
+// throughput, and that mean.
+func (tr *Trace) Optimum() (space.Config, float64) {
+	var best space.Config
+	bestV := 0.0
+	first := true
+	for _, cs := range tr.Configs {
+		m := stats.Mean(cs.Samples)
+		if first || m > bestV {
+			best, bestV = space.Config{T: cs.T, C: cs.C}, m
+			first = false
+		}
+	}
+	return best, bestV
+}
+
+// DFO returns the distance from optimum of cfg: 1 - mean(cfg)/mean(opt),
+// i.e. 0 at the optimum and approaching 1 for worthless configurations
+// (the metric of Fig. 5/6).
+func (tr *Trace) DFO(cfg space.Config) float64 {
+	_, best := tr.Optimum()
+	if best <= 0 {
+		return 0
+	}
+	return 1 - tr.Mean(cfg)/best
+}
+
+// Evaluator replays a trace as a measurement source: each evaluation of a
+// configuration returns one of its recorded samples, drawn uniformly by
+// rng (so repeated optimizer runs see varied but identically distributed
+// measurements, matching the paper's 10-repetition protocol).
+type Evaluator struct {
+	tr  *Trace
+	rng *stats.RNG
+	// Evals counts evaluations served (including repeats of the same
+	// configuration).
+	Evals int
+}
+
+// NewEvaluator returns an evaluator over tr.
+func NewEvaluator(tr *Trace, rng *stats.RNG) *Evaluator {
+	return &Evaluator{tr: tr, rng: rng}
+}
+
+// Evaluate returns one measurement for cfg.
+func (e *Evaluator) Evaluate(cfg space.Config) float64 {
+	s := e.tr.Samples(cfg)
+	if len(s) == 0 {
+		return 0
+	}
+	e.Evals++
+	return s[e.rng.Intn(len(s))]
+}
+
+// Save writes the trace as JSON.
+func (tr *Trace) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tr)
+}
+
+// SaveFile writes the trace to a file.
+func (tr *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tr.Save(f)
+}
+
+// Load reads a JSON trace.
+func Load(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if tr.Cores < 1 {
+		return nil, fmt.Errorf("trace: invalid core count %d", tr.Cores)
+	}
+	tr.buildIndex()
+	return &tr, nil
+}
+
+// LoadFile reads a trace from a file.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// SortedConfigs returns the trace's configurations in canonical order.
+func (tr *Trace) SortedConfigs() []space.Config {
+	out := make([]space.Config, 0, len(tr.Configs))
+	for _, cs := range tr.Configs {
+		out = append(out, space.Config{T: cs.T, C: cs.C})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].C < out[j].C
+	})
+	return out
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/surface"
+)
+
+func collectSmall(t *testing.T) (*Trace, *surface.Workload, *space.Space) {
+	t.Helper()
+	w := surface.TPCC("med")
+	sp := space.New(w.Cores)
+	tr := Collect(w, sp, 5, stats.NewRNG(1))
+	return tr, w, sp
+}
+
+func TestCollectCoversSpace(t *testing.T) {
+	tr, _, sp := collectSmall(t)
+	if len(tr.Configs) != sp.Size() {
+		t.Fatalf("trace covers %d configs, space has %d", len(tr.Configs), sp.Size())
+	}
+	for _, cfg := range sp.Configs() {
+		s := tr.Samples(cfg)
+		if len(s) != 5 {
+			t.Fatalf("%v has %d samples", cfg, len(s))
+		}
+	}
+	if tr.Samples(space.Config{T: 48, C: 2}) != nil {
+		t.Fatal("samples for inadmissible config")
+	}
+}
+
+func TestMeansTrackModel(t *testing.T) {
+	tr, w, sp := collectSmall(t)
+	for _, cfg := range sp.Configs() {
+		want := w.Throughput(cfg)
+		got := tr.Mean(cfg)
+		if want == 0 {
+			continue
+		}
+		if math.Abs(got-want) > 0.1*want {
+			t.Fatalf("%v: trace mean %.1f vs model %.1f", cfg, got, want)
+		}
+	}
+}
+
+func TestOptimumAndDFO(t *testing.T) {
+	tr, w, sp := collectSmall(t)
+	optCfg, optV := tr.Optimum()
+	wOpt, _ := w.Optimum(sp)
+	// Trace optimum equals (or neighbors, under noise) the model optimum.
+	if tr.DFO(wOpt) > 0.05 {
+		t.Fatalf("model optimum %v has trace DFO %.1f%%", wOpt, tr.DFO(wOpt)*100)
+	}
+	if got := tr.DFO(optCfg); got != 0 {
+		t.Fatalf("DFO(optimum) = %v", got)
+	}
+	if optV <= 0 {
+		t.Fatalf("optimum value %v", optV)
+	}
+	if dfo := tr.DFO(space.Config{T: 1, C: 48}); dfo < 0.5 {
+		t.Fatalf("DFO of a terrible config = %.2f", dfo)
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	tr, _, _ := collectSmall(t)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Workload != tr.Workload || tr2.Cores != tr.Cores || tr2.Runs != tr.Runs {
+		t.Fatalf("metadata mismatch: %+v", tr2)
+	}
+	for _, cfg := range tr.SortedConfigs() {
+		a, b := tr.Samples(cfg), tr2.Samples(cfg)
+		if len(a) != len(b) {
+			t.Fatalf("%v: %d vs %d samples", cfg, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v sample %d differs", cfg, i)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{not json")); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+	if _, err := Load(strings.NewReader(`{"workload":"x","cores":0}`)); err == nil {
+		t.Fatal("accepted zero core count")
+	}
+}
+
+func TestEvaluatorDrawsRecordedSamples(t *testing.T) {
+	tr, _, sp := collectSmall(t)
+	ev := NewEvaluator(tr, stats.NewRNG(7))
+	cfg := sp.At(10)
+	recorded := map[float64]bool{}
+	for _, s := range tr.Samples(cfg) {
+		recorded[s] = true
+	}
+	for i := 0; i < 20; i++ {
+		if v := ev.Evaluate(cfg); !recorded[v] {
+			t.Fatalf("evaluator returned %v, not among recorded samples", v)
+		}
+	}
+	if ev.Evals != 20 {
+		t.Fatalf("Evals = %d", ev.Evals)
+	}
+	if v := ev.Evaluate(space.Config{T: 0, C: 0}); v != 0 {
+		t.Fatalf("unknown config evaluated to %v", v)
+	}
+}
+
+func TestFileRoundtrip(t *testing.T) {
+	tr, _, _ := collectSmall(t)
+	path := t.TempDir() + "/trace.json"
+	if err := tr.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Space().Size() != tr.Space().Size() {
+		t.Fatal("space size mismatch after file roundtrip")
+	}
+}

@@ -1,0 +1,123 @@
+// Package array implements the paper's Array micro-benchmark (§VII-A):
+// top-level transactions scan a large shared array of integers, using
+// nested transactions to parallelize the scan, and write a configurable
+// fraction of the elements (none, 0.01%, 50% or 90% in the paper's four
+// workload variants). Contention between top-level transactions grows with
+// the write fraction; the scan itself parallelizes almost perfectly, so
+// the optimal (t, c) moves from (n, 1) at 0% writes toward (1, high-c) at
+// 90% writes — the two extremes of Fig. 1.
+package array
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"autopn/internal/stats"
+	"autopn/internal/stm"
+)
+
+// Benchmark is a live Array benchmark instance.
+type Benchmark struct {
+	name  string
+	cells []*stm.VBox[int]
+	// writePct holds the fraction of scanned elements written, in [0,1],
+	// as float64 bits; it is atomic so tests and demos can shift the
+	// workload mid-run (exercising the CUSUM change detector).
+	writePct atomic.Uint64
+}
+
+// New creates an Array benchmark over size cells writing writePct of the
+// elements per scan (0 <= writePct <= 1).
+func New(size int, writePct float64) *Benchmark {
+	if size < 1 {
+		size = 1
+	}
+	if writePct < 0 {
+		writePct = 0
+	}
+	if writePct > 1 {
+		writePct = 1
+	}
+	b := &Benchmark{
+		name:  fmt.Sprintf("array-%g%%", writePct*100),
+		cells: make([]*stm.VBox[int], size),
+	}
+	b.writePct.Store(math.Float64bits(writePct))
+	for i := range b.cells {
+		b.cells[i] = stm.NewVBox(i)
+	}
+	return b
+}
+
+// WritePct returns the current write fraction.
+func (b *Benchmark) WritePct() float64 {
+	return math.Float64frombits(b.writePct.Load())
+}
+
+// SetWritePct changes the write fraction for subsequent transactions,
+// shifting the workload's contention profile at run time.
+func (b *Benchmark) SetWritePct(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	b.writePct.Store(math.Float64bits(p))
+}
+
+// Name implements workload.Workload.
+func (b *Benchmark) Name() string { return b.name }
+
+// Size returns the array length.
+func (b *Benchmark) Size() int { return len(b.cells) }
+
+// Transaction implements workload.Workload: scan the whole array with
+// `nested` parallel children, incrementing a writePct fraction of the
+// elements.
+func (b *Benchmark) Transaction(tx *stm.Tx, rng *stats.RNG, nested int) error {
+	n := len(b.cells)
+	if nested < 1 {
+		nested = 1
+	}
+	// Each child gets a deterministic sub-seed so the write pattern does
+	// not depend on scheduling.
+	seed := rng.Uint64()
+	if nested == 1 {
+		return b.scan(tx, 0, n, seed)
+	}
+	fns := make([]func(*stm.Tx) error, nested)
+	for p := 0; p < nested; p++ {
+		lo, hi := p*n/nested, (p+1)*n/nested
+		sub := seed + uint64(p)*0x9e3779b97f4a7c15
+		fns[p] = func(child *stm.Tx) error { return b.scan(child, lo, hi, sub) }
+	}
+	return tx.Parallel(fns...)
+}
+
+// scan reads cells [lo, hi) and writes a writePct fraction of them.
+func (b *Benchmark) scan(tx *stm.Tx, lo, hi int, seed uint64) error {
+	rng := stats.NewRNG(seed)
+	pct := b.WritePct()
+	sum := 0
+	for i := lo; i < hi; i++ {
+		v := b.cells[i].Get(tx)
+		sum += v
+		if pct > 0 && rng.Float64() < pct {
+			b.cells[i].Put(tx, v+1)
+		}
+	}
+	_ = sum
+	return nil
+}
+
+// Checksum returns the committed sum of all cells (outside transactions;
+// for test validation).
+func (b *Benchmark) Checksum() int {
+	sum := 0
+	for _, c := range b.cells {
+		sum += c.Peek()
+	}
+	return sum
+}

@@ -1,0 +1,111 @@
+package array
+
+import (
+	"testing"
+
+	"autopn/internal/stats"
+	"autopn/internal/stm"
+)
+
+func TestScanReadsEveryCell(t *testing.T) {
+	s := stm.New(stm.Options{})
+	b := New(50, 0)
+	before := b.Checksum()
+	if err := s.Atomic(func(tx *stm.Tx) error {
+		return b.Transaction(tx, stats.NewRNG(1), 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Checksum() != before {
+		t.Fatal("read-only scan modified the array")
+	}
+}
+
+func TestWriteFractionRoughlyHonored(t *testing.T) {
+	s := stm.New(stm.Options{})
+	const size = 2000
+	b := New(size, 0.5)
+	before := b.Checksum()
+	if err := s.Atomic(func(tx *stm.Tx) error {
+		return b.Transaction(tx, stats.NewRNG(2), 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	writes := b.Checksum() - before // each write is +1
+	if writes < size*4/10 || writes > size*6/10 {
+		t.Fatalf("one 50%% scan wrote %d of %d cells", writes, size)
+	}
+}
+
+func TestFullWriteScan(t *testing.T) {
+	s := stm.New(stm.Options{})
+	b := New(100, 1)
+	before := b.Checksum()
+	if err := s.Atomic(func(tx *stm.Tx) error {
+		return b.Transaction(tx, stats.NewRNG(3), 4)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Checksum() - before; got != 100 {
+		t.Fatalf("writePct=1 scan wrote %d of 100 cells", got)
+	}
+}
+
+func TestNestedPartitionCoversArrayExactlyOnce(t *testing.T) {
+	// With writePct=1, every cell must be incremented exactly once per
+	// transaction regardless of the nested fan-out (no chunk overlap, no
+	// gaps).
+	for _, nested := range []int{1, 2, 3, 7, 16} {
+		s := stm.New(stm.Options{})
+		b := New(64, 1)
+		if err := s.Atomic(func(tx *stm.Tx) error {
+			return b.Transaction(tx, stats.NewRNG(4), nested)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range b.cells {
+			if got := c.Peek(); got != i+1 {
+				t.Fatalf("nested=%d: cell %d = %d, want %d", nested, i, got, i+1)
+			}
+		}
+	}
+}
+
+func TestNameAndClamping(t *testing.T) {
+	if got := New(10, 0.9).Name(); got != "array-90%" {
+		t.Fatalf("Name = %q", got)
+	}
+	b := New(0, -1) // degenerate inputs clamp
+	if b.Size() != 1 {
+		t.Fatalf("Size = %d", b.Size())
+	}
+	b2 := New(5, 2)
+	if b2.WritePct() != 1 {
+		t.Fatalf("writePct = %v", b2.WritePct())
+	}
+}
+
+func TestConcurrentFullWritersSerialize(t *testing.T) {
+	// Two concurrent 100%-write scans of the same array must serialize
+	// (one aborts and retries): final state equals two full increments.
+	s := stm.New(stm.Options{})
+	b := New(32, 1)
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(seed uint64) {
+			done <- s.Atomic(func(tx *stm.Tx) error {
+				return b.Transaction(tx, stats.NewRNG(seed), 2)
+			})
+		}(uint64(i + 10))
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, c := range b.cells {
+		if got := c.Peek(); got != i+2 {
+			t.Fatalf("cell %d = %d, want %d", i, got, i+2)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package tpcc ports the TPC-C transaction mix (§VII-A of the paper) to
+// the PN-STM, following the PN-TM adaptation used by the paper (the JVSTM
+// port): the database (warehouses, districts, customers, stock, orders)
+// lives in transactional tables, and the heavyweight NewOrder transaction
+// parallelizes its per-order-line work (stock lookup, price computation,
+// stock update) across nested transactions. Contention is controlled by
+// the number of warehouses (fewer warehouses = hotter districts and stock
+// rows).
+//
+// The mix covers four of TPC-C's five transactions: NewOrder (long,
+// update-heavy, nested-parallel), Payment (short, hot rows), OrderStatus
+// (read-only point lookups) and StockLevel (read-only scan, nested-
+// parallel). Delivery is subsumed by NewOrder's accounting for the
+// invariants this port validates.
+package tpcc
+
+import (
+	"fmt"
+
+	"autopn/internal/stats"
+	"autopn/internal/stm"
+	"autopn/internal/stmx"
+)
+
+// Config sizes the database.
+type Config struct {
+	Warehouses    int
+	DistrictsPerW int
+	CustomersPerD int
+	Items         int
+	// OrderLines is the number of lines per NewOrder transaction (TPC-C
+	// draws 5-15; we fix the mean 10 for determinism of the workload mix).
+	OrderLines int
+	// Mix fractions; the remainder after all fractions are NewOrder.
+	PaymentFrac     float64
+	OrderStatusFrac float64
+	StockLevelFrac  float64
+}
+
+// Preset returns the low/med/high-contention configurations.
+func Preset(level string) Config {
+	cfg := Config{
+		DistrictsPerW:   10,
+		CustomersPerD:   30,
+		Items:           1000,
+		OrderLines:      10,
+		PaymentFrac:     0.35,
+		OrderStatusFrac: 0.10,
+		StockLevelFrac:  0.05,
+	}
+	switch level {
+	case "low":
+		cfg.Warehouses = 8
+	case "med":
+		cfg.Warehouses = 2
+	default: // high
+		cfg.Warehouses = 1
+		cfg.Items = 200
+	}
+	return cfg
+}
+
+// district holds the hot per-district sequence and year-to-date counters.
+type district struct {
+	NextOrderID int
+	YTD         int64
+}
+
+// customer is a TPC-C customer row (reduced to the fields the transactions
+// touch).
+type customer struct {
+	Balance  int64
+	YTD      int64
+	Payments int
+}
+
+// stockRow is the per-(warehouse,item) stock level.
+type stockRow struct {
+	Quantity int
+	YTD      int
+}
+
+// order records a placed order (order table rows are insert-only).
+type order struct {
+	Customer uint64
+	Lines    int
+	Total    int64
+}
+
+// Benchmark is a live TPC-C instance.
+type Benchmark struct {
+	name string
+	cfg  Config
+
+	districts []*stm.VBox[district]    // warehouse*DistrictsPerW + d
+	customers []*stm.VBox[customer]    // flat index
+	stock     []*stm.VBox[stockRow]    // warehouse*Items + item
+	prices    []int                    // immutable item prices
+	orders    *stmx.Map[uint64, order] // orderKey(d, id) -> order
+	placed    *stmx.ShardedCounter     // statistics: orders placed
+}
+
+// counterShards bounds the serialization added by the statistics counter.
+const counterShards = 64
+
+// orderKey derives the order table key from a district and its per-
+// district order id (district sequences are independent, so the pair is
+// unique without any global sequence — a global counter would serialize
+// every NewOrder).
+func orderKey(d, id int) uint64 { return uint64(d)<<32 | uint64(uint32(id)) }
+
+// New creates and populates a TPC-C database at the given contention level
+// ("low", "med", "high"). The populated boxes carry version 0, so they are
+// visible to transactions on any STM; s is accepted to mirror the other
+// workloads' contract that a benchmark is bound to one STM.
+func New(level string, s *stm.STM) *Benchmark {
+	cfg := Preset(level)
+	b := &Benchmark{name: "tpcc-" + level, cfg: cfg}
+	nD := cfg.Warehouses * cfg.DistrictsPerW
+	b.districts = make([]*stm.VBox[district], nD)
+	for i := range b.districts {
+		b.districts[i] = stm.NewVBox(district{NextOrderID: 1})
+	}
+	b.customers = make([]*stm.VBox[customer], nD*cfg.CustomersPerD)
+	for i := range b.customers {
+		b.customers[i] = stm.NewVBox(customer{Balance: 1000})
+	}
+	b.stock = make([]*stm.VBox[stockRow], cfg.Warehouses*cfg.Items)
+	rng := stats.NewRNG(0x7Bcc)
+	for i := range b.stock {
+		b.stock[i] = stm.NewVBox(stockRow{Quantity: 50 + int(rng.Uint64()%50)})
+	}
+	b.prices = make([]int, cfg.Items)
+	for i := range b.prices {
+		b.prices[i] = 1 + int(rng.Uint64()%100)
+	}
+	b.orders = stmx.NewMap[uint64, order](4096, stmx.FNV1a64)
+	b.placed = stmx.NewShardedCounter(counterShards)
+	_ = s
+	return b
+}
+
+// Name implements workload.Workload.
+func (b *Benchmark) Name() string { return b.name }
+
+// Orders returns the number of committed orders (for validation).
+func (b *Benchmark) Orders() int64 { return b.placed.Peek() }
+
+// Transaction implements workload.Workload, drawing from the TPC-C mix.
+func (b *Benchmark) Transaction(tx *stm.Tx, rng *stats.RNG, nested int) error {
+	r := rng.Float64()
+	switch {
+	case r < b.cfg.PaymentFrac:
+		return b.payment(tx, rng)
+	case r < b.cfg.PaymentFrac+b.cfg.OrderStatusFrac:
+		return b.orderStatus(tx, rng)
+	case r < b.cfg.PaymentFrac+b.cfg.OrderStatusFrac+b.cfg.StockLevelFrac:
+		return b.stockLevel(tx, rng, nested)
+	default:
+		return b.newOrder(tx, rng, nested)
+	}
+}
+
+// payment updates a customer balance and the district YTD (short, hot).
+func (b *Benchmark) payment(tx *stm.Tx, rng *stats.RNG) error {
+	d := rng.Intn(len(b.districts))
+	c := d*b.cfg.CustomersPerD + rng.Intn(b.cfg.CustomersPerD)
+	amount := int64(1 + rng.Intn(500))
+
+	dist := b.districts[d].Get(tx)
+	dist.YTD += amount
+	b.districts[d].Put(tx, dist)
+
+	cust := b.customers[c].Get(tx)
+	cust.Balance -= amount
+	cust.YTD += amount
+	cust.Payments++
+	b.customers[c].Put(tx, cust)
+	return nil
+}
+
+// orderStatus is a read-only lookup of a random recent order in a random
+// district. Read-only transactions never abort under the multi-version
+// STM, which is part of what makes high top-level parallelism cheap for
+// read-heavy mixes.
+func (b *Benchmark) orderStatus(tx *stm.Tx, rng *stats.RNG) error {
+	d := rng.Intn(len(b.districts))
+	next := b.districts[d].Get(tx).NextOrderID
+	if next <= 1 {
+		return nil // no orders in this district yet
+	}
+	id := 1 + rng.Intn(next-1)
+	if o, ok := b.orders.Get(tx, orderKey(d, id)); ok {
+		_ = b.customers[o.Customer].Get(tx).Balance
+	}
+	return nil
+}
+
+// stockLevel counts low-stock items of one warehouse, scanning the stock
+// table with nested parallel children (TPC-C's analytics-flavored
+// read-only transaction).
+func (b *Benchmark) stockLevel(tx *stm.Tx, rng *stats.RNG, nested int) error {
+	w := rng.Intn(b.cfg.Warehouses)
+	base := w * b.cfg.Items
+	const threshold = 15
+	if nested < 1 {
+		nested = 1
+	}
+	low := make([]int, nested)
+	err := tx.ParallelFor(b.cfg.Items, nested, func(child *stm.Tx, i int) error {
+		if b.stock[base+i].Get(child).Quantity < threshold {
+			low[i*nested/b.cfg.Items]++
+		}
+		return nil
+	})
+	return err
+}
+
+// newOrder is the long transaction of the mix: it allocates an order id
+// from the district sequence and then processes OrderLines order lines —
+// the per-line stock reads and updates run as nested transactions,
+// partitioned across `nested` children.
+func (b *Benchmark) newOrder(tx *stm.Tx, rng *stats.RNG, nested int) error {
+	d := rng.Intn(len(b.districts))
+	w := d / b.cfg.DistrictsPerW
+	c := d*b.cfg.CustomersPerD + rng.Intn(b.cfg.CustomersPerD)
+
+	dist := b.districts[d].Get(tx)
+	orderID := dist.NextOrderID
+	dist.NextOrderID++
+	b.districts[d].Put(tx, dist)
+
+	// Pick the order-line items up front (deterministic given rng).
+	lines := make([]int, b.cfg.OrderLines)
+	for i := range lines {
+		lines[i] = rng.Intn(b.cfg.Items)
+	}
+
+	// Process lines with intra-transaction parallelism: each child owns a
+	// contiguous chunk of lines and accumulates its partial total.
+	if nested < 1 {
+		nested = 1
+	}
+	if nested > len(lines) {
+		nested = len(lines)
+	}
+	partials := make([]int64, nested)
+	fns := make([]func(*stm.Tx) error, nested)
+	for p := 0; p < nested; p++ {
+		lo, hi := p*len(lines)/nested, (p+1)*len(lines)/nested
+		part := p
+		fns[p] = func(child *stm.Tx) error {
+			var sum int64
+			for _, it := range lines[lo:hi] {
+				sIdx := w*b.cfg.Items + it
+				row := b.stock[sIdx].Get(child)
+				qty := 1 + (it % 5)
+				if row.Quantity < qty {
+					row.Quantity += 91 // TPC-C restock rule
+				}
+				row.Quantity -= qty
+				row.YTD += qty
+				b.stock[sIdx].Put(child, row)
+				sum += int64(qty * b.prices[it])
+			}
+			partials[part] = sum
+			return nil
+		}
+	}
+	var err error
+	if nested == 1 {
+		err = fns[0](tx)
+	} else {
+		err = tx.Parallel(fns...)
+	}
+	if err != nil {
+		return err
+	}
+	var total int64
+	for _, p := range partials {
+		total += p
+	}
+
+	cust := b.customers[c].Get(tx)
+	cust.Balance -= total
+	b.customers[c].Put(tx, cust)
+
+	b.orders.Put(tx, orderKey(d, orderID), order{
+		Customer: uint64(c),
+		Lines:    len(lines),
+		Total:    total,
+	})
+	b.placed.Add(tx, rng.Uint64(), 1)
+	return nil
+}
+
+// CheckInvariants validates accounting identities over the committed
+// state: the district order sequences, the order table and the statistics
+// counter agree on the number of orders placed, and customer YTD sums
+// match district YTD sums.
+func (b *Benchmark) CheckInvariants(s *stm.STM) error {
+	return s.Atomic(func(tx *stm.Tx) error {
+		ordersPlaced := 0
+		for _, db := range b.districts {
+			ordersPlaced += db.Get(tx).NextOrderID - 1
+		}
+		if int64(ordersPlaced) != b.placed.Sum(tx) {
+			return fmt.Errorf("tpcc: district sequences say %d orders, counter says %d",
+				ordersPlaced, b.placed.Sum(tx))
+		}
+		if n := b.orders.Len(tx); n != ordersPlaced {
+			return fmt.Errorf("tpcc: order table has %d rows, sequences say %d",
+				n, ordersPlaced)
+		}
+		var custYTD, distYTD int64
+		for _, cb := range b.customers {
+			custYTD += cb.Get(tx).YTD
+		}
+		for _, db := range b.districts {
+			distYTD += db.Get(tx).YTD
+		}
+		if custYTD != distYTD {
+			return fmt.Errorf("tpcc: customer YTD %d != district YTD %d", custYTD, distYTD)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,162 @@
+package tpcc
+
+import (
+	"testing"
+
+	"autopn/internal/stats"
+	"autopn/internal/stm"
+)
+
+func newBench(t *testing.T, level string) (*Benchmark, *stm.STM) {
+	t.Helper()
+	s := stm.New(stm.Options{})
+	return New(level, s), s
+}
+
+func TestNewOrderAccounting(t *testing.T) {
+	b, s := newBench(t, "med")
+	rng := stats.NewRNG(1)
+	for i := 0; i < 50; i++ {
+		if err := s.Atomic(func(tx *stm.Tx) error {
+			return b.newOrder(tx, rng, 1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Orders() != 50 {
+		t.Fatalf("Orders = %d, want 50", b.Orders())
+	}
+	if err := b.CheckInvariants(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewOrderNestedEqualsSequential(t *testing.T) {
+	// The same RNG seed must produce identical database effects whether the
+	// order lines are processed sequentially or split across children.
+	totals := map[int]int64{}
+	for _, nested := range []int{1, 2, 5, 10} {
+		b, s := newBench(t, "low")
+		rng := stats.NewRNG(42)
+		if err := s.Atomic(func(tx *stm.Tx) error {
+			return b.newOrder(tx, rng, nested)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		if err := s.Atomic(func(tx *stm.Tx) error {
+			// Sum all customer balance deltas: initial 1000 each.
+			total = 0
+			for _, cb := range b.customers {
+				total += 1000 - cb.Get(tx).Balance
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		totals[nested] = total
+		if err := b.CheckInvariants(s); err != nil {
+			t.Fatalf("nested=%d: %v", nested, err)
+		}
+	}
+	for nested, total := range totals {
+		if total != totals[1] {
+			t.Fatalf("nested=%d produced total %d, sequential produced %d", nested, total, totals[1])
+		}
+	}
+}
+
+func TestPaymentConservesYTD(t *testing.T) {
+	b, s := newBench(t, "high")
+	rng := stats.NewRNG(3)
+	for i := 0; i < 200; i++ {
+		if err := s.Atomic(func(tx *stm.Tx) error {
+			return b.payment(tx, rng)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.CheckInvariants(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnlyTransactionsDontAbort(t *testing.T) {
+	b, s := newBench(t, "med")
+	rng := stats.NewRNG(4)
+	// Seed some orders first.
+	for i := 0; i < 20; i++ {
+		if err := s.Atomic(func(tx *stm.Tx) error {
+			return b.newOrder(tx, rng, 2)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	abortsBefore := s.Stats.TopAborts.Load()
+	for i := 0; i < 100; i++ {
+		if err := s.Atomic(func(tx *stm.Tx) error {
+			if i%2 == 0 {
+				return b.orderStatus(tx, rng)
+			}
+			return b.stockLevel(tx, rng, 3)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats.TopAborts.Load(); got != abortsBefore {
+		t.Fatalf("read-only transactions aborted %d times", got-abortsBefore)
+	}
+}
+
+func TestOrderKeyUniqueAcrossDistricts(t *testing.T) {
+	seen := map[uint64]bool{}
+	for d := 0; d < 80; d++ {
+		for id := 1; id <= 100; id++ {
+			k := orderKey(d, id)
+			if seen[k] {
+				t.Fatalf("duplicate key for (%d,%d)", d, id)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	b, s := newBench(t, "low")
+	rng := stats.NewRNG(6)
+	counts := map[string]int{}
+	before := func() (p, o int64) {
+		for _, cb := range b.customers {
+			p += int64(cb.Peek().Payments)
+		}
+		return p, b.Orders()
+	}
+	p0, o0 := before()
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := s.Atomic(func(tx *stm.Tx) error {
+			return b.Transaction(tx, rng, 1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p1, o1 := before()
+	counts["payment"] = int(p1 - p0)
+	counts["neworder"] = int(o1 - o0)
+	// Payment ~35%, NewOrder ~50% of the mix.
+	if counts["payment"] < n/5 || counts["payment"] > n/2 {
+		t.Errorf("payments = %d of %d", counts["payment"], n)
+	}
+	if counts["neworder"] < n/3 || counts["neworder"] > n*2/3 {
+		t.Errorf("neworders = %d of %d", counts["neworder"], n)
+	}
+	if err := b.CheckInvariants(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentionPresets(t *testing.T) {
+	if Preset("low").Warehouses <= Preset("high").Warehouses {
+		t.Fatal("low contention must have more warehouses than high")
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autopn/internal/pnpool"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/stm"
+)
+
+// TypedDriver runs a mix of heterogeneous transaction types, each with its
+// own (t_k, c_k) parallelism degree — the execution substrate for the
+// paper's §VIII extension (core.MultiTuner). Admission per type is gated
+// by a dedicated resizable semaphore (the per-type top-level knob); the
+// intra-transaction knob is passed to the workload as its nested-
+// parallelism hint, which the benchmark ports honor by sizing their
+// Parallel fan-out.
+type TypedDriver struct {
+	STM *stm.STM
+	// Types are the transaction types; Weights their mix probabilities
+	// (normalized internally; nil = uniform).
+	Types   []Workload
+	Weights []float64
+	// ThreadsPerType is the worker-goroutine pool per type (>= the largest
+	// t_k to be explored).
+	ThreadsPerType int
+
+	sems   []*pnpool.Semaphore
+	nested []atomic.Int64
+	// Commits counts committed transactions per type (measurement source
+	// for per-type KPIs).
+	commits []atomic.Uint64
+
+	stop atomic.Bool
+	wg   sync.WaitGroup
+}
+
+// Start launches the workers. Each type starts at (1, 1).
+func (d *TypedDriver) Start(seed uint64) {
+	k := len(d.Types)
+	d.sems = make([]*pnpool.Semaphore, k)
+	d.nested = make([]atomic.Int64, k)
+	d.commits = make([]atomic.Uint64, k)
+	for i := range d.sems {
+		d.sems[i] = pnpool.NewSemaphore(1)
+		d.nested[i].Store(1)
+	}
+	master := stats.NewRNG(seed)
+	n := d.ThreadsPerType
+	if n < 1 {
+		n = 1
+	}
+	d.stop.Store(false)
+	for ti := range d.Types {
+		for w := 0; w < n; w++ {
+			rng := master.Split()
+			d.wg.Add(1)
+			go func(ti int) {
+				defer d.wg.Done()
+				for !d.stop.Load() {
+					d.sems[ti].Acquire()
+					nested := int(d.nested[ti].Load())
+					err := d.STM.Atomic(func(tx *stm.Tx) error {
+						return d.Types[ti].Transaction(tx, rng, nested)
+					})
+					d.sems[ti].Release()
+					if err == nil {
+						d.commits[ti].Add(1)
+					}
+				}
+			}(ti)
+		}
+	}
+}
+
+// Stop signals the workers and waits for them to drain.
+func (d *TypedDriver) Stop() {
+	d.stop.Store(true)
+	d.wg.Wait()
+}
+
+// Apply enforces the configuration vector (one (t_k, c_k) per type).
+func (d *TypedDriver) Apply(vec []space.Config) {
+	for i, cfg := range vec {
+		if i >= len(d.sems) {
+			break
+		}
+		t, c := cfg.T, cfg.C
+		if t < 1 {
+			t = 1
+		}
+		if c < 1 {
+			c = 1
+		}
+		d.sems[i].Resize(t)
+		d.nested[i].Store(int64(c))
+	}
+}
+
+// MeasureWindow runs one wall-clock measurement window and returns the
+// global weighted throughput (total commits per second across types) —
+// the KPI the MultiTuner optimizes.
+func (d *TypedDriver) MeasureWindow(window time.Duration) float64 {
+	before := make([]uint64, len(d.commits))
+	for i := range d.commits {
+		before[i] = d.commits[i].Load()
+	}
+	start := time.Now()
+	time.Sleep(window)
+	elapsed := time.Since(start).Seconds()
+	var total uint64
+	for i := range d.commits {
+		total += d.commits[i].Load() - before[i]
+	}
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(total) / elapsed
+}
+
+// Commits returns the committed-transaction count for type k.
+func (d *TypedDriver) Commits(k int) uint64 { return d.commits[k].Load() }

@@ -1,0 +1,77 @@
+package workload_test
+
+import (
+	"testing"
+	"time"
+
+	"autopn/internal/core"
+	"autopn/internal/space"
+	"autopn/internal/stats"
+	"autopn/internal/stm"
+	"autopn/internal/workload"
+	"autopn/internal/workload/array"
+	"autopn/internal/workload/tpcc"
+)
+
+func TestTypedDriverRunsMixAndApplies(t *testing.T) {
+	s := stm.New(stm.Options{})
+	d := &workload.TypedDriver{
+		STM:            s,
+		Types:          []workload.Workload{array.New(64, 0.05), tpcc.New("low", s)},
+		ThreadsPerType: 2,
+	}
+	d.Start(77)
+	time.Sleep(60 * time.Millisecond)
+	d.Apply([]space.Config{{T: 2, C: 2}, {T: 1, C: 3}})
+	time.Sleep(60 * time.Millisecond)
+	d.Stop()
+	if d.Commits(0) == 0 || d.Commits(1) == 0 {
+		t.Fatalf("type commits: %d, %d — both types must run", d.Commits(0), d.Commits(1))
+	}
+}
+
+// TestMultiTunerLive drives the §VIII per-type tuner against a live mix of
+// two transaction types on the real STM: a short end-to-end check that the
+// multi-space machinery composes with real measurements.
+func TestMultiTunerLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live timing test")
+	}
+	s := stm.New(stm.Options{})
+	d := &workload.TypedDriver{
+		STM:            s,
+		Types:          []workload.Workload{array.New(128, 0), array.New(128, 0.8)},
+		ThreadsPerType: 2,
+	}
+	d.Start(5)
+	defer d.Stop()
+
+	const cores = 2
+	m := core.NewMultiTuner(cores, 2, stats.NewRNG(3), core.Options{})
+	m.MaxSweeps = 2
+	deadline := time.Now().Add(20 * time.Second)
+	steps := 0
+	for time.Now().Before(deadline) {
+		vec, done := m.Next()
+		if done {
+			break
+		}
+		d.Apply(vec)
+		kpi := d.MeasureWindow(25 * time.Millisecond)
+		m.Observe(vec, kpi)
+		steps++
+	}
+	best, kpi := m.Best()
+	if len(best) != 2 {
+		t.Fatalf("best vector %v", best)
+	}
+	for i, cfg := range best {
+		if !cfg.Valid(cores) {
+			t.Fatalf("type %d tuned to invalid %v", i, cfg)
+		}
+	}
+	if kpi <= 0 {
+		t.Fatalf("best KPI %v", kpi)
+	}
+	t.Logf("live multi-type tuning: %d measurements, best %v at %.0f commits/s", steps, best, kpi)
+}

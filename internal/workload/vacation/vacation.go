@@ -1,0 +1,367 @@
+// Package vacation ports STAMP's Vacation benchmark (§VII-A of the paper)
+// to the PN-STM: a travel reservation system whose car, flight and room
+// inventories and customer records live in transactional red-black trees
+// (stmx.RBTree), exactly as in the original STAMP implementation.
+//
+// The transaction mix follows STAMP:
+//
+//   - MakeReservation (the bulk of the mix): query a batch of random items
+//     in each inventory, pick the cheapest available offer per category,
+//     book it and append it to the customer's reservation list. The three
+//     per-category searches are natural units of intra-transaction
+//     parallelism and run as nested transactions when the tuner grants
+//     nested parallelism.
+//   - DeleteCustomer: remove a customer, releasing every reservation they
+//     hold back to the inventories.
+//   - UpdateTables: price updates and additions/removals of inventory
+//     entries (the "manager" transaction).
+//
+// Contention is controlled by the inventory size relative to the query
+// rate, mirroring STAMP's low/medium/high-contention configurations.
+package vacation
+
+import (
+	"fmt"
+
+	"autopn/internal/stats"
+	"autopn/internal/stm"
+	"autopn/internal/stmx"
+)
+
+// Kind enumerates the reservation categories.
+type Kind int
+
+// The three inventory categories of Vacation.
+const (
+	Car Kind = iota
+	Flight
+	Room
+	numKinds
+)
+
+// item is one reservable inventory entry.
+type item struct {
+	Total int
+	Used  int
+	Price int
+}
+
+// reservation records one booked item on a customer.
+type reservation struct {
+	Kind Kind
+	ID   uint64
+}
+
+// customer is a customer record with their reservations.
+type customer struct {
+	Reservations []reservation
+}
+
+// Config sizes the benchmark.
+type Config struct {
+	// Items is the number of entries per inventory table.
+	Items int
+	// Customers is the size of the customer table.
+	Customers int
+	// QueriesPerKind is how many random items each reservation transaction
+	// inspects per category.
+	QueriesPerKind int
+	// ReservationFrac and DeleteFrac set the transaction mix; the
+	// remainder are UpdateTables transactions. STAMP's default mix is
+	// dominated by reservations.
+	ReservationFrac float64
+	DeleteFrac      float64
+}
+
+// Preset returns the low/med/high-contention configurations used by the
+// experiments.
+func Preset(level string) Config {
+	cfg := Config{
+		Customers:       256,
+		ReservationFrac: 0.90,
+		DeleteFrac:      0.05,
+	}
+	switch level {
+	case "low":
+		cfg.Items, cfg.QueriesPerKind = 4096, 4
+	case "med":
+		cfg.Items, cfg.QueriesPerKind = 512, 6
+	default: // high
+		cfg.Items, cfg.QueriesPerKind = 64, 8
+	}
+	return cfg
+}
+
+// Benchmark is a live Vacation instance.
+type Benchmark struct {
+	name      string
+	cfg       Config
+	tables    [numKinds]*stmx.RBTree[uint64, item]
+	customers *stmx.RBTree[uint64, customer]
+	// Statistics counters are sharded so they never become artificial
+	// global conflict points inside the hot transactions.
+	booked  *stmx.ShardedCounter
+	failed  *stmx.ShardedCounter
+	deleted *stmx.ShardedCounter
+	updated *stmx.ShardedCounter
+}
+
+// counterShards bounds the serialization added by statistics counters.
+const counterShards = 64
+
+func uintLess(a, b uint64) bool { return a < b }
+
+// New creates a Vacation benchmark at the given contention level,
+// populating every table through transactions on s (the STM instance the
+// benchmark will run on; versioned boxes must be used with a single STM).
+func New(level string, s *stm.STM) *Benchmark {
+	cfg := Preset(level)
+	b := &Benchmark{name: "vacation-" + level, cfg: cfg}
+	rng := stats.NewRNG(0xFACA)
+	for k := Kind(0); k < numKinds; k++ {
+		b.tables[k] = stmx.NewRBTree[uint64, item](uintLess)
+	}
+	b.customers = stmx.NewRBTree[uint64, customer](uintLess)
+	b.booked = stmx.NewShardedCounter(counterShards)
+	b.failed = stmx.NewShardedCounter(counterShards)
+	b.deleted = stmx.NewShardedCounter(counterShards)
+	b.updated = stmx.NewShardedCounter(counterShards)
+	for k := Kind(0); k < numKinds; k++ {
+		table := b.tables[k]
+		if err := s.Atomic(func(tx *stm.Tx) error {
+			for id := uint64(0); id < uint64(cfg.Items); id++ {
+				table.Put(tx, id, item{
+					Total: 5 + int(rng.Uint64()%10),
+					Price: 50 + int(rng.Uint64()%450),
+				})
+			}
+			return nil
+		}); err != nil {
+			panic(fmt.Sprintf("vacation: populate %d: %v", k, err))
+		}
+	}
+	if err := s.Atomic(func(tx *stm.Tx) error {
+		for id := uint64(0); id < uint64(cfg.Customers); id++ {
+			b.customers.Put(tx, id, customer{})
+		}
+		return nil
+	}); err != nil {
+		panic(fmt.Sprintf("vacation: populate customers: %v", err))
+	}
+	return b
+}
+
+// Name implements workload.Workload.
+func (b *Benchmark) Name() string { return b.name }
+
+// Booked returns the committed number of successful bookings.
+func (b *Benchmark) Booked() int64 { return b.booked.Peek() }
+
+// Deleted returns the committed number of customer deletions.
+func (b *Benchmark) Deleted() int64 { return b.deleted.Peek() }
+
+// Updated returns the committed number of table-update transactions.
+func (b *Benchmark) Updated() int64 { return b.updated.Peek() }
+
+// Transaction implements workload.Workload, drawing from the STAMP mix.
+func (b *Benchmark) Transaction(tx *stm.Tx, rng *stats.RNG, nested int) error {
+	r := rng.Float64()
+	switch {
+	case r < b.cfg.ReservationFrac:
+		return b.makeReservation(tx, rng, nested)
+	case r < b.cfg.ReservationFrac+b.cfg.DeleteFrac:
+		return b.deleteCustomer(tx, rng)
+	default:
+		return b.updateTables(tx, rng, nested)
+	}
+}
+
+// makeReservation searches each category (in parallel children when
+// granted) and books the cheapest available item per category for a random
+// customer.
+func (b *Benchmark) makeReservation(tx *stm.Tx, rng *stats.RNG, nested int) error {
+	var picks [numKinds]uint64
+	var found [numKinds]bool
+
+	search := func(k Kind) func(*stm.Tx) error {
+		seed := rng.Uint64()
+		return func(child *stm.Tx) error {
+			srng := stats.NewRNG(seed)
+			bestPrice := -1
+			for q := 0; q < b.cfg.QueriesPerKind; q++ {
+				id := srng.Uint64() % uint64(b.cfg.Items)
+				it, ok := b.tables[k].Get(child, id)
+				if !ok || it.Used >= it.Total {
+					continue
+				}
+				if bestPrice < 0 || it.Price < bestPrice {
+					bestPrice = it.Price
+					picks[k] = id
+					found[k] = true
+				}
+			}
+			return nil
+		}
+	}
+
+	var err error
+	if nested >= 2 {
+		err = tx.Parallel(search(Car), search(Flight), search(Room))
+	} else {
+		for k := Kind(0); k < numKinds; k++ {
+			if err = search(k)(tx); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	custID := rng.Uint64() % uint64(b.cfg.Customers)
+	cust, haveCust := b.customers.Get(tx, custID)
+	if !haveCust {
+		// The population is kept stable by deleteCustomer, so a missing
+		// record is unexpected; book nothing rather than orphan inventory.
+		b.failed.Add(tx, rng.Uint64(), 1)
+		return nil
+	}
+
+	// Copy-on-write: the slice read from the tree aliases committed state,
+	// so appending in place could scribble on a shared backing array even
+	// if this transaction later aborts. Work on a private copy.
+	resv := make([]reservation, len(cust.Reservations), len(cust.Reservations)+int(numKinds))
+	copy(resv, cust.Reservations)
+	cust.Reservations = resv
+
+	any := false
+	for k := Kind(0); k < numKinds; k++ {
+		if !found[k] {
+			continue
+		}
+		it, ok := b.tables[k].Get(tx, picks[k])
+		if !ok || it.Used >= it.Total {
+			continue // raced with another booking; skip this category
+		}
+		it.Used++
+		b.tables[k].Put(tx, picks[k], it)
+		cust.Reservations = append(cust.Reservations, reservation{Kind: k, ID: picks[k]})
+		any = true
+	}
+	if !any {
+		b.failed.Add(tx, rng.Uint64(), 1)
+		return nil
+	}
+	b.customers.Put(tx, custID, cust)
+	b.booked.Add(tx, rng.Uint64(), 1)
+	return nil
+}
+
+// deleteCustomer removes a random customer, releasing their reservations.
+func (b *Benchmark) deleteCustomer(tx *stm.Tx, rng *stats.RNG) error {
+	custID := rng.Uint64() % uint64(b.cfg.Customers)
+	cust, ok := b.customers.Get(tx, custID)
+	if !ok {
+		return nil // already deleted; a no-op transaction
+	}
+	for _, res := range cust.Reservations {
+		if it, ok := b.tables[res.Kind].Get(tx, res.ID); ok && it.Used > 0 {
+			it.Used--
+			b.tables[res.Kind].Put(tx, res.ID, it)
+		}
+	}
+	b.customers.Delete(tx, custID)
+	// Keep the customer population stable: immediately re-register a fresh
+	// customer under the same id (STAMP deletes permanently; a stable
+	// population keeps long runs stationary, which the monitor assumes).
+	b.customers.Put(tx, custID, customer{})
+	b.deleted.Add(tx, rng.Uint64(), 1)
+	return nil
+}
+
+// updateTables is the manager transaction: reprice a batch of random items
+// in every category (in parallel children when granted) and occasionally
+// rotate an item out of and into the inventory.
+func (b *Benchmark) updateTables(tx *stm.Tx, rng *stats.RNG, nested int) error {
+	update := func(k Kind) func(*stm.Tx) error {
+		seed := rng.Uint64()
+		return func(child *stm.Tx) error {
+			srng := stats.NewRNG(seed)
+			for q := 0; q < b.cfg.QueriesPerKind/2+1; q++ {
+				id := srng.Uint64() % uint64(b.cfg.Items)
+				if it, ok := b.tables[k].Get(child, id); ok {
+					it.Price = 50 + int(srng.Uint64()%450)
+					b.tables[k].Put(child, id, it)
+				}
+			}
+			return nil
+		}
+	}
+	var err error
+	if nested >= 2 {
+		err = tx.Parallel(update(Car), update(Flight), update(Room))
+	} else {
+		for k := Kind(0); k < numKinds; k++ {
+			if err = update(k)(tx); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	b.updated.Add(tx, rng.Uint64(), 1)
+	return nil
+}
+
+// Occupancy returns the committed total used/total ratio across all
+// inventories (for test validation). s must be the STM the benchmark runs
+// on.
+func (b *Benchmark) Occupancy(s *stm.STM) (used, total int) {
+	_ = s.Atomic(func(tx *stm.Tx) error {
+		used, total = 0, 0
+		for k := Kind(0); k < numKinds; k++ {
+			b.tables[k].Range(tx, func(_ uint64, it item) bool {
+				used += it.Used
+				total += it.Total
+				return true
+			})
+		}
+		return nil
+	})
+	return used, total
+}
+
+// CheckInvariants validates that the inventory usage exactly matches the
+// outstanding customer reservations — the benchmark's conservation law
+// (every booked unit is held by exactly one customer).
+func (b *Benchmark) CheckInvariants(s *stm.STM) error {
+	return s.Atomic(func(tx *stm.Tx) error {
+		held := map[reservation]int{}
+		b.customers.Range(tx, func(_ uint64, c customer) bool {
+			for _, r := range c.Reservations {
+				held[r]++
+			}
+			return true
+		})
+		for k := Kind(0); k < numKinds; k++ {
+			var bad error
+			b.tables[k].Range(tx, func(id uint64, it item) bool {
+				if it.Used < 0 || it.Used > it.Total {
+					bad = fmt.Errorf("vacation: item %v/%d used %d of %d", k, id, it.Used, it.Total)
+					return false
+				}
+				if h := held[reservation{Kind: k, ID: id}]; h != it.Used {
+					bad = fmt.Errorf("vacation: item %v/%d used %d but %d customer reservations",
+						k, id, it.Used, h)
+					return false
+				}
+				return true
+			})
+			if bad != nil {
+				return bad
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,103 @@
+// Package workload defines the live-benchmark interface and driver for
+// running PN-TM applications on the real STM with the actuator attached.
+// Sub-packages port the paper's three benchmarks: the Array
+// micro-benchmark, STAMP's Vacation, and TPC-C (§VII-A).
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autopn/internal/pnpool"
+	"autopn/internal/stats"
+	"autopn/internal/stm"
+)
+
+// Workload is a live benchmark: a population of transactional state plus a
+// transaction generator.
+type Workload interface {
+	// Name identifies the workload.
+	Name() string
+	// Transaction executes one top-level transaction body. nested is the
+	// intra-transaction parallelism the application should aim for (the
+	// actuator's current c, exposed through the paper's ad-hoc API); rng
+	// is a per-worker deterministic generator.
+	Transaction(tx *stm.Tx, rng *stats.RNG, nested int) error
+}
+
+// Driver runs a workload on an STM through the actuator: Threads worker
+// goroutines repeatedly submit top-level transactions; the pool's
+// semaphores enforce the current (t, c).
+type Driver struct {
+	STM     *stm.STM
+	Pool    *pnpool.Pool
+	W       Workload
+	Threads int // worker goroutines (>= the largest t to be explored)
+
+	// NestedHint, if set and Pool is nil, supplies the intra-transaction
+	// parallelism hint per transaction (e.g. the autopn tuner's
+	// Current().C when the actuator is owned by the tuner rather than
+	// handed to the driver).
+	NestedHint func() int
+
+	stop atomic.Bool
+	wg   sync.WaitGroup
+
+	// Errors counts transactions that failed with a user error.
+	Errors atomic.Uint64
+}
+
+// Start launches the worker goroutines. seed derives the per-worker RNGs.
+func (d *Driver) Start(seed uint64) {
+	master := stats.NewRNG(seed)
+	n := d.Threads
+	if n < 1 {
+		n = 1
+	}
+	d.stop.Store(false)
+	for i := 0; i < n; i++ {
+		rng := master.Split()
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for !d.stop.Load() {
+				nested := 1
+				switch {
+				case d.Pool != nil:
+					nested = d.Pool.Current().C
+				case d.NestedHint != nil:
+					nested = d.NestedHint()
+				}
+				err := d.STM.Atomic(func(tx *stm.Tx) error {
+					return d.W.Transaction(tx, rng, nested)
+				})
+				if err != nil {
+					d.Errors.Add(1)
+				}
+			}
+		}()
+	}
+}
+
+// Stop signals the workers and waits for them to drain.
+func (d *Driver) Stop() {
+	d.stop.Store(true)
+	d.wg.Wait()
+}
+
+// RunFor runs the workload for duration d and returns the achieved
+// top-level commit throughput (commits per second).
+func (d *Driver) RunFor(seed uint64, dur time.Duration) float64 {
+	before := d.STM.Stats.TopCommits.Load()
+	start := time.Now()
+	d.Start(seed)
+	time.Sleep(dur)
+	d.Stop()
+	elapsed := time.Since(start).Seconds()
+	commits := d.STM.Stats.TopCommits.Load() - before
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(commits) / elapsed
+}

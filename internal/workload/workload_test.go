@@ -1,0 +1,157 @@
+package workload_test
+
+import (
+	"testing"
+	"time"
+
+	"autopn/internal/pnpool"
+	"autopn/internal/space"
+	"autopn/internal/stm"
+	"autopn/internal/workload"
+	"autopn/internal/workload/array"
+	"autopn/internal/workload/tpcc"
+	"autopn/internal/workload/vacation"
+)
+
+// runDriver runs w for a short burst on a fresh STM gated at cfg and
+// returns the STM for inspection.
+func runDriver(t *testing.T, w workload.Workload, cfg space.Config, dur time.Duration) *stm.STM {
+	t.Helper()
+	pool := pnpool.New(cfg)
+	s := stm.New(stm.Options{Throttle: pool})
+	d := &workload.Driver{STM: s, Pool: pool, W: w, Threads: 4}
+	tput := d.RunFor(42, dur)
+	if tput <= 0 {
+		t.Fatalf("%s: zero throughput", w.Name())
+	}
+	if e := d.Errors.Load(); e != 0 {
+		t.Fatalf("%s: %d user errors", w.Name(), e)
+	}
+	return s
+}
+
+func TestArrayLiveConservesSemantics(t *testing.T) {
+	b := array.New(200, 0.5)
+	s := runDriver(t, b, space.Config{T: 2, C: 2}, 100*time.Millisecond)
+	// Every committed scan increments ~50% of cells; the checksum must be
+	// initial sum plus total increments — we can't know the exact count,
+	// but it must have grown and be consistent (each increment is +1, so
+	// checksum - initial >= 0).
+	initial := 200 * 199 / 2
+	if got := b.Checksum(); got < initial {
+		t.Fatalf("checksum shrank: %d < %d", got, initial)
+	}
+	if c := s.Stats.TopCommits.Load(); c == 0 {
+		t.Fatal("no commits")
+	}
+	if n := s.Stats.NestedCommits.Load(); n == 0 {
+		t.Fatal("no nested commits despite c=2")
+	}
+}
+
+func TestArrayReadOnlyNeverAborts(t *testing.T) {
+	b := array.New(100, 0)
+	s := runDriver(t, b, space.Config{T: 4, C: 1}, 50*time.Millisecond)
+	if a := s.Stats.TopAborts.Load(); a != 0 {
+		t.Fatalf("read-only workload aborted %d times", a)
+	}
+}
+
+func TestVacationLiveBookingsConsistent(t *testing.T) {
+	pool := pnpool.New(space.Config{T: 3, C: 3})
+	s := stm.New(stm.Options{Throttle: pool})
+	b := vacation.New("high", s)
+	d := &workload.Driver{STM: s, Pool: pool, W: b, Threads: 4}
+	d.RunFor(7, 200*time.Millisecond)
+	used, total := b.Occupancy(s)
+	if used == 0 {
+		t.Fatal("no bookings made")
+	}
+	if used > total {
+		t.Fatalf("overbooked: used %d > total %d", used, total)
+	}
+	if b.Booked() == 0 {
+		t.Fatal("booked counter is zero despite occupancy")
+	}
+	// The conservation law: every used inventory unit is held by exactly
+	// one customer reservation.
+	if err := b.CheckInvariants(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVacationFullMixRuns(t *testing.T) {
+	pool := pnpool.New(space.Config{T: 4, C: 2})
+	s := stm.New(stm.Options{Throttle: pool})
+	b := vacation.New("med", s)
+	d := &workload.Driver{STM: s, Pool: pool, W: b, Threads: 6}
+	d.RunFor(13, 400*time.Millisecond)
+	if b.Booked() == 0 {
+		t.Error("no reservations")
+	}
+	if b.Deleted() == 0 {
+		t.Error("no customer deletions (mix should include ~5%)")
+	}
+	if b.Updated() == 0 {
+		t.Error("no table updates (mix should include ~5%)")
+	}
+	if err := b.CheckInvariants(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTPCCInvariantsUnderConcurrency(t *testing.T) {
+	pool := pnpool.New(space.Config{T: 4, C: 2})
+	s := stm.New(stm.Options{Throttle: pool})
+	b := tpcc.New("high", s)
+	d := &workload.Driver{STM: s, Pool: pool, W: b, Threads: 6}
+	d.RunFor(11, 200*time.Millisecond)
+	if b.Orders() == 0 {
+		t.Fatal("no orders committed")
+	}
+	if err := b.CheckInvariants(s); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Stats.NestedCommits.Load(); n == 0 {
+		t.Fatal("NewOrder produced no nested commits despite c=2")
+	}
+}
+
+func TestDriverRespectsThrottle(t *testing.T) {
+	pool := pnpool.New(space.Config{T: 1, C: 1})
+	s := stm.New(stm.Options{Throttle: pool})
+	b := array.New(64, 0.9)
+	d := &workload.Driver{STM: s, Pool: pool, W: b, Threads: 8}
+	d.Start(3)
+	time.Sleep(50 * time.Millisecond)
+	if held := pool.TopHeld(); held > 1 {
+		t.Errorf("throttle violated: %d concurrent top-level transactions", held)
+	}
+	d.Stop()
+	// With t=1 there is no top-level concurrency, so no top-level aborts.
+	if a := s.Stats.TopAborts.Load(); a != 0 {
+		t.Errorf("sequential run aborted %d times", a)
+	}
+}
+
+func TestPoolReconfigurationMidRun(t *testing.T) {
+	pool := pnpool.New(space.Config{T: 1, C: 1})
+	s := stm.New(stm.Options{Throttle: pool})
+	b := tpcc.New("low", s)
+	d := &workload.Driver{STM: s, Pool: pool, W: b, Threads: 8}
+	d.Start(5)
+	time.Sleep(30 * time.Millisecond)
+	pool.Apply(space.Config{T: 4, C: 3})
+	time.Sleep(60 * time.Millisecond)
+	cur := pool.Current()
+	d.Stop()
+	if cur != (space.Config{T: 4, C: 3}) {
+		t.Fatalf("Current() = %v after Apply", cur)
+	}
+	if err := b.CheckInvariants(s); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Applications() != 1 {
+		t.Fatalf("Applications = %d, want 1", pool.Applications())
+	}
+}

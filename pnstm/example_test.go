@@ -1,0 +1,89 @@
+package pnstm_test
+
+import (
+	"fmt"
+
+	"autopn/pnstm"
+)
+
+// The fundamental operation: an atomic read-modify-write on versioned
+// boxes.
+func Example() {
+	s := pnstm.New(pnstm.Options{})
+	balance := pnstm.NewVBox(100)
+
+	err := s.Atomic(func(tx *pnstm.Tx) error {
+		balance.Put(tx, balance.Get(tx)-30)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(balance.Peek())
+	// Output: 70
+}
+
+// Parallel nesting: a transaction forks child transactions that run
+// concurrently, see the parent's uncommitted writes, and merge atomically.
+func ExampleTx_Parallel() {
+	s := pnstm.New(pnstm.Options{})
+	left := pnstm.NewVBox(0)
+	right := pnstm.NewVBox(0)
+	total := pnstm.NewVBox(0)
+
+	err := s.Atomic(func(tx *pnstm.Tx) error {
+		total.Put(tx, 10) // visible to the children below
+		if err := tx.Parallel(
+			func(c *pnstm.Tx) error { left.Put(c, total.Get(c)+1); return nil },
+			func(c *pnstm.Tx) error { right.Put(c, total.Get(c)+2); return nil },
+		); err != nil {
+			return err
+		}
+		// The parent sees both children's merged effects.
+		total.Put(tx, left.Get(tx)+right.Get(tx))
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(left.Peek(), right.Peek(), total.Peek())
+	// Output: 11 12 23
+}
+
+// AtomicResult returns a value computed transactionally.
+func ExampleAtomicResult() {
+	s := pnstm.New(pnstm.Options{})
+	a := pnstm.NewVBox(3)
+	b := pnstm.NewVBox(4)
+
+	sum, err := pnstm.AtomicResult(s, func(tx *pnstm.Tx) (int, error) {
+		return a.Get(tx) + b.Get(tx), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sum)
+	// Output: 7
+}
+
+// ParallelFor partitions an index range across nested children — the
+// idiom for parallelizing a scan inside a transaction.
+func ExampleTx_ParallelFor() {
+	s := pnstm.New(pnstm.Options{})
+	cells := make([]*pnstm.VBox[int], 8)
+	for i := range cells {
+		cells[i] = pnstm.NewVBox(i)
+	}
+
+	err := s.Atomic(func(tx *pnstm.Tx) error {
+		return tx.ParallelFor(len(cells), 4, func(c *pnstm.Tx, i int) error {
+			cells[i].Put(c, cells[i].Get(c)*10)
+			return nil
+		})
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cells[0].Peek(), cells[7].Peek())
+	// Output: 0 70
+}

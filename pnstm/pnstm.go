@@ -1,0 +1,78 @@
+// Package pnstm is the public face of the repository's parallel-nesting
+// software transactional memory. It re-exports the multi-version PN-STM
+// implemented in internal/stm so that downstream users can build
+// transactional applications against a stable import path:
+//
+//	s := pnstm.New(pnstm.Options{})
+//	box := pnstm.NewVBox(0)
+//	err := s.Atomic(func(tx *pnstm.Tx) error {
+//	    box.Put(tx, box.Get(tx)+1)
+//	    return tx.Parallel(
+//	        func(c *pnstm.Tx) error { ...child transaction... },
+//	        func(c *pnstm.Tx) error { ...runs concurrently...  },
+//	    )
+//	})
+//
+// See the package documentation of the aliased types for semantics: top-
+// level transactions run against a multi-version snapshot and validate
+// their read set at commit; nested transactions (Tx.Parallel) run
+// concurrently within their parent, see its uncommitted writes, detect
+// conflicts with committed siblings, and merge into the parent on commit
+// (closed nesting: nothing is globally visible until the top-level commit).
+package pnstm
+
+import "autopn/internal/stm"
+
+// STM is an isolated transactional memory universe. See stm.STM.
+type STM = stm.STM
+
+// Tx is a (top-level or nested) transaction handle. See stm.Tx.
+type Tx = stm.Tx
+
+// Options configures an STM instance. See stm.Options.
+type Options = stm.Options
+
+// Stats holds an STM's cumulative transaction counters. See stm.Stats.
+type Stats = stm.Stats
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot = stm.StatsSnapshot
+
+// VBox is a typed versioned transactional memory location. See stm.VBox.
+type VBox[T any] = stm.VBox[T]
+
+// Throttle gates transaction admission; the autopn tuner installs its
+// actuator through this interface. See stm.Throttle.
+type Throttle = stm.Throttle
+
+// TreeGate limits concurrent nested transactions within one transaction
+// tree. See stm.TreeGate.
+type TreeGate = stm.TreeGate
+
+// ErrTooManyRetries is returned by Atomic when Options.MaxRetries is
+// exceeded.
+var ErrTooManyRetries = stm.ErrTooManyRetries
+
+// New creates an STM with the given options.
+func New(opts Options) *STM { return stm.New(opts) }
+
+// NewVBox creates a box holding initial as its first committed value.
+func NewVBox[T any](initial T) *VBox[T] { return stm.NewVBox(initial) }
+
+// AtomicResult runs fn as a top-level transaction on s and returns its
+// result.
+func AtomicResult[T any](s *STM, fn func(tx *Tx) (T, error)) (T, error) {
+	return stm.AtomicResult(s, fn)
+}
+
+// AtomicResultReadOnly runs fn as a read-only transaction (never retried,
+// never conflicting; writes panic) and returns its result.
+func AtomicResultReadOnly[T any](s *STM, fn func(tx *Tx) (T, error)) (T, error) {
+	var out T
+	err := s.AtomicReadOnly(func(tx *Tx) error {
+		var err error
+		out, err = fn(tx)
+		return err
+	})
+	return out, err
+}

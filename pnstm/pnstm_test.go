@@ -1,0 +1,61 @@
+package pnstm_test
+
+import (
+	"errors"
+	"testing"
+
+	"autopn/pnstm"
+)
+
+// The pnstm package is a facade; these tests pin its public surface.
+
+func TestFacadeRoundtrip(t *testing.T) {
+	s := pnstm.New(pnstm.Options{})
+	box := pnstm.NewVBox("a")
+	err := s.Atomic(func(tx *pnstm.Tx) error {
+		box.Put(tx, box.Get(tx)+"b")
+		return tx.Parallel(
+			func(c *pnstm.Tx) error { box.Put(c, box.Get(c)+"c"); return nil },
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := box.Peek(); got != "abc" {
+		t.Fatalf("Peek = %q", got)
+	}
+	snap := s.Stats.Snapshot()
+	if snap.TopCommits != 1 || snap.NestedCommits != 1 {
+		t.Fatalf("stats = %+v", snap)
+	}
+}
+
+func TestFacadeAtomicResultAndErrors(t *testing.T) {
+	s := pnstm.New(pnstm.Options{MaxRetries: 1})
+	box := pnstm.NewVBox(10)
+	v, err := pnstm.AtomicResult(s, func(tx *pnstm.Tx) (int, error) {
+		return box.Get(tx) * 2, nil
+	})
+	if err != nil || v != 20 {
+		t.Fatalf("AtomicResult = (%d, %v)", v, err)
+	}
+	if !errors.Is(pnstm.ErrTooManyRetries, pnstm.ErrTooManyRetries) {
+		t.Fatal("error alias broken")
+	}
+}
+
+func TestFacadeLockFreeOption(t *testing.T) {
+	s := pnstm.New(pnstm.Options{LockFreeCommit: true})
+	box := pnstm.NewVBox(0)
+	for i := 0; i < 10; i++ {
+		if err := s.Atomic(func(tx *pnstm.Tx) error {
+			box.Put(tx, box.Get(tx)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if box.Peek() != 10 {
+		t.Fatalf("Peek = %d", box.Peek())
+	}
+}

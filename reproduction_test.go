@@ -1,0 +1,129 @@
+package autopn_test
+
+import (
+	"testing"
+
+	"autopn/internal/experiment"
+	"autopn/internal/space"
+	"autopn/internal/surface"
+)
+
+// TestReproductionGate is the single acceptance test for the paper's
+// headline claims: it runs a reduced version of every experiment and
+// checks each figure's *ordering/shape* result in one place. Individual
+// experiments have deeper dedicated tests; this gate is the one to run
+// first when validating a change to the optimizer, monitor or surfaces.
+func TestReproductionGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full (reduced) experiment grid")
+	}
+
+	t.Run("Fig1_TPCC_surface", func(t *testing.T) {
+		res := experiment.Fig1(surface.TPCC("med"))
+		if res.Best.Cfg != (space.Config{T: 20, C: 2}) {
+			t.Errorf("TPC-C optimum %v, paper reports (20,2)", res.Best.Cfg)
+		}
+		if ratio := res.Best.Throughput / res.Seq; ratio < 4 || ratio > 20 {
+			t.Errorf("best/(1,1) = %.1fx, paper reports ~9x", ratio)
+		}
+	})
+
+	t.Run("StaticConfigInsufficient", func(t *testing.T) {
+		res := experiment.StaticBaseline(surface.AllWorkloads())
+		if res.MeanDFO < 0.08 {
+			t.Errorf("best static mean DFO %.1f%%; paper reports 21.8%%", res.MeanDFO*100)
+		}
+		if res.WorstSlowdown < 2 {
+			t.Errorf("worst static slowdown %.1fx; paper reports 3.22x", res.WorstSlowdown)
+		}
+	})
+
+	t.Run("Fig5_AutoPNWins", func(t *testing.T) {
+		cfg := experiment.DefaultFig5Config()
+		cfg.Reps = 3
+		results := experiment.Fig5(cfg)
+		byName := map[string]experiment.StrategyResult{}
+		for _, r := range results {
+			byName[r.Name] = r
+		}
+		ap, ga := byName["autopn"], byName["genetic"]
+		if ap.MeanFinalDFO > 0.05 {
+			t.Errorf("autopn mean final DFO %.1f%%; paper reports <1%%", ap.MeanFinalDFO*100)
+		}
+		if ap.MeanExplorations*1.5 > ga.MeanExplorations {
+			t.Errorf("autopn explorations %.1f vs GA %.1f; paper reports ~3x fewer",
+				ap.MeanExplorations, ga.MeanExplorations)
+		}
+		for _, name := range []string{"random", "grid", "hill-climbing", "simulated-annealing"} {
+			if byName[name].MeanFinalDFO < 2*ap.MeanFinalDFO {
+				t.Errorf("%s unexpectedly competitive: %.1f%% vs autopn %.1f%%",
+					name, byName[name].MeanFinalDFO*100, ap.MeanFinalDFO*100)
+			}
+		}
+		// Hill-climb refinement helps (Fig. 5's autopn vs autopn-noHC gap).
+		if noHC := byName["autopn-noHC"]; ap.MeanFinalDFO > noHC.MeanFinalDFO {
+			t.Errorf("refinement hurt: %.1f%% with HC vs %.1f%% without",
+				ap.MeanFinalDFO*100, noHC.MeanFinalDFO*100)
+		}
+	})
+
+	t.Run("Fig6_Biased9AndEIStop", func(t *testing.T) {
+		cfg := experiment.DefaultFig6Config()
+		cfg.Reps = 3
+		byName := map[string]experiment.VariantResult{}
+		for _, r := range experiment.Fig6Sampling(cfg) {
+			byName[r.Name] = r
+		}
+		if byName["biased-9"].MeanFinalDFO >= byName["biased-7"].MeanFinalDFO {
+			t.Error("no 7->9 biased-sampling boost (the paper's major jump)")
+		}
+		if byName["biased-9"].MeanFinalDFO >= byName["uniform-9"].MeanFinalDFO {
+			t.Error("biased-9 not better than uniform-9")
+		}
+		stops := map[string]experiment.VariantResult{}
+		for _, r := range experiment.Fig6Stop(cfg) {
+			stops[r.Name] = r
+		}
+		if stops["EI<10%"].MeanExplorations >= stops["stubborn"].MeanExplorations {
+			t.Error("EI stopping not cheaper than stubborn exploration")
+		}
+	})
+
+	t.Run("Fig7_MonitoringTradeoffs", func(t *testing.T) {
+		pts := experiment.Fig7c(3, 0x6A7E)
+		sums := map[string]float64{}
+		n := map[string]int{}
+		for _, p := range pts {
+			sums[p.Policy] += p.MeanDFO
+			n[p.Policy]++
+		}
+		adaptive := sums["adaptive"] / float64(n["adaptive"])
+		wnoc := sums["WNOC30"] / float64(n["WNOC30"])
+		if wnoc < 2*adaptive {
+			t.Errorf("WNOC30 (%.1f%%) not clearly worse than adaptive (%.1f%%)",
+				wnoc*100, adaptive*100)
+		}
+	})
+
+	t.Run("Headline_SpeedAndAccuracy", func(t *testing.T) {
+		cfg := experiment.DefaultSpeedConfig()
+		cfg.Reps = 2
+		var apTime, apDFO, baseTime, baseDFO float64
+		nBase := 0
+		for _, r := range experiment.Speed(cfg) {
+			if r.Name == "autopn" {
+				apTime, apDFO = r.MeanTimeToStability.Seconds(), r.MeanFinalDFO
+			} else {
+				baseTime += r.MeanTimeToStability.Seconds()
+				baseDFO += r.MeanFinalDFO
+				nBase++
+			}
+		}
+		if speedup := baseTime / float64(nBase) / apTime; speedup < 2 {
+			t.Errorf("stability speedup %.1fx; paper reports 9.8x", speedup)
+		}
+		if gain := baseDFO / float64(nBase) / apDFO; gain < 3 {
+			t.Errorf("accuracy gain %.1fx; paper reports up to 32x", gain)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package autopn_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"autopn"
+	"autopn/internal/workload"
+	"autopn/internal/workload/array"
+	"autopn/pnstm"
+)
+
+// TestReTuneDetectsWorkloadShift runs the tuner in ReTune mode against a
+// live Array workload, then drastically changes the workload's write
+// fraction: the CUSUM detector must notice the throughput shift and
+// trigger at least one re-optimization (§V "Dynamic workloads").
+func TestReTuneDetectsWorkloadShift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live timing test")
+	}
+	s := pnstm.New(pnstm.Options{})
+	b := array.New(256, 0) // start read-only: fast, conflict-free
+	tuner := autopn.NewTuner(s, autopn.Options{
+		Cores:       2,
+		Seed:        17,
+		ReTune:      true,
+		CVThreshold: 0.25,
+		MaxWindow:   60 * time.Millisecond,
+	})
+	d := &workload.Driver{
+		STM:        s,
+		W:          b,
+		Threads:    2,
+		NestedHint: func() int { return tuner.Current().C },
+	}
+	d.Start(1)
+	defer d.Stop()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Shift the workload after the initial tuning has had time to converge
+	// and the change watcher has calibrated: writing 95% of the array slows
+	// every transaction dramatically.
+	go func() {
+		time.Sleep(6 * time.Second)
+		b.SetWritePct(0.95)
+	}()
+
+	done := make(chan autopn.Result, 1)
+	go func() { done <- tuner.Run(ctx) }()
+
+	// Give the session time to converge, calibrate, shift and re-tune,
+	// then stop it and inspect the result.
+	time.Sleep(20 * time.Second)
+	cancel()
+	res := <-done
+
+	if res.Retunes == 0 {
+		t.Fatalf("workload shift not detected: %+v", res)
+	}
+	t.Logf("re-tuned %d time(s); final %v after %d windows", res.Retunes, res.Best, res.Windows)
+}
