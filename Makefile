@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro figures clean
+.PHONY: all build test race race-all bench bench-stm repro figures clean
 
 all: build test
 
@@ -11,17 +11,27 @@ build:
 	$(GO) vet ./...
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
 
 # Short mode skips the slow live-timing and full-grid tests.
 test-short:
 	$(GO) test -short ./...
 
+# Race-detector pass over the concurrency core (the STM and its actuator),
+# including the snapshot-registry stress tests.
 race:
+	$(GO) test -race ./internal/stm/... ./internal/pnpool/...
+
+race-all:
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# STM hot-path microbenchmarks (compare against BENCH_stm.json).
+bench-stm:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/stm/
 
 # The single acceptance test for the paper's headline claims.
 repro:

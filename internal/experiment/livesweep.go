@@ -47,11 +47,11 @@ func LiveSweep(workloadName string, cores int, window time.Duration, seed uint64
 		for pool.TopHeld() > cfg.T && time.Now().Before(deadline) {
 			time.Sleep(time.Millisecond)
 		}
-		before := s.Stats.TopCommits.Load()
+		before := s.Stats.TopCommits()
 		start := time.Now()
 		time.Sleep(window)
 		elapsed := time.Since(start).Seconds()
-		commits := s.Stats.TopCommits.Load() - before
+		commits := s.Stats.TopCommits() - before
 		out = append(out, LiveSweepPoint{Cfg: cfg, Throughput: float64(commits) / elapsed})
 	}
 	return out

@@ -1,0 +1,156 @@
+package stm
+
+import "testing"
+
+// Hot-path microbenchmarks gating the begin/commit overhaul: every variant
+// reports allocations because the optimization target is "no global lock,
+// (amortized) no allocator" on the per-transaction fast path. Each benchmark
+// runs under both commit strategies, sequentially and with b.RunParallel,
+// since the two strategies share the begin path but diverge at commit.
+
+func benchStrategies(b *testing.B, run func(b *testing.B, s *STM)) {
+	for _, tc := range []struct {
+		name     string
+		lockFree bool
+	}{
+		{"Serialized", false},
+		{"LockFree", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			run(b, New(Options{LockFreeCommit: tc.lockFree}))
+		})
+	}
+}
+
+// BenchmarkBeginCommitReadOnly measures the cost of an empty-ish read-only
+// transaction: begin (snapshot registration), two reads, read-only commit.
+// This is the path the registry rebuild targets — it takes no commit lock
+// in either strategy, so any serialization observed here is pure begin/end
+// overhead.
+func BenchmarkBeginCommitReadOnly(b *testing.B) {
+	benchStrategies(b, func(b *testing.B, s *STM) {
+		x := NewVBox(1)
+		y := NewVBox(2)
+		b.Run("Seq", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := s.Atomic(func(tx *Tx) error {
+					_ = x.Get(tx)
+					_ = y.Get(tx)
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("Par", func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := s.Atomic(func(tx *Tx) error {
+						_ = x.Get(tx)
+						_ = y.Get(tx)
+						return nil
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	})
+}
+
+// BenchmarkSmallWriteTx measures a typical small update transaction: four
+// boxes read-modify-written, which fits the inline (pre-spill) read/write
+// set representation. The parallel variant gives each worker a disjoint
+// stripe of boxes so it measures throughput of the commit machinery, not
+// retry storms.
+func BenchmarkSmallWriteTx(b *testing.B) {
+	benchStrategies(b, func(b *testing.B, s *STM) {
+		const nBoxes = 4
+		mk := func() []*VBox[int] {
+			boxes := make([]*VBox[int], nBoxes)
+			for i := range boxes {
+				boxes[i] = NewVBox(0)
+			}
+			return boxes
+		}
+		body := func(boxes []*VBox[int]) func(*Tx) error {
+			return func(tx *Tx) error {
+				for _, bx := range boxes {
+					bx.Put(tx, bx.Get(tx)+1)
+				}
+				return nil
+			}
+		}
+		b.Run("Seq", func(b *testing.B) {
+			boxes := mk()
+			fn := body(boxes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := s.Atomic(fn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("Par", func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				boxes := mk() // disjoint per worker: no read-set conflicts
+				fn := body(boxes)
+				for pb.Next() {
+					if err := s.Atomic(fn); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	})
+}
+
+// BenchmarkNestedFanout measures a parallel-nesting transaction: a top-level
+// transaction forking fanout children, each writing its own box. This
+// exercises child Tx creation, tree-state setup, nested commit/merge, and
+// the top-level commit of the merged write set.
+func BenchmarkNestedFanout(b *testing.B) {
+	const fanout = 4
+	benchStrategies(b, func(b *testing.B, s *STM) {
+		mk := func() ([]*VBox[int], []func(*Tx) error) {
+			boxes := make([]*VBox[int], fanout)
+			fns := make([]func(*Tx) error, fanout)
+			for i := range boxes {
+				bx := NewVBox(0)
+				boxes[i] = bx
+				fns[i] = func(c *Tx) error {
+					bx.Put(c, bx.Get(c)+1)
+					return nil
+				}
+			}
+			return boxes, fns
+		}
+		b.Run("Seq", func(b *testing.B) {
+			_, fns := mk()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := s.Atomic(func(tx *Tx) error {
+					return tx.Parallel(fns...)
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("Par", func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				_, fns := mk() // disjoint per worker
+				for pb.Next() {
+					if err := s.Atomic(func(tx *Tx) error {
+						return tx.Parallel(fns...)
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	})
+}

@@ -50,7 +50,13 @@ func (s *STM) initLockFree() {
 
 // commitTopLockFree enqueues tx's commit and helps the queue until the
 // request is resolved. It returns whether the commit succeeded.
+//
+// Publishing tx to the queue makes its read/write sets reachable by every
+// helping thread, possibly beyond the owner's return (a second helper may
+// still be validating or writing back after the first marked the request
+// done). lfEnqueued therefore excludes tx from pool recycling (pool.go).
 func (s *STM) commitTopLockFree(tx *Tx) bool {
+	tx.lfEnqueued = true
 	req := &commitRequest{tx: tx}
 	for {
 		tail := s.findTail()
@@ -126,9 +132,9 @@ func (s *STM) helpCommits() {
 
 	if r.status.Load() == commitValid {
 		keepFrom := s.gcHorizon()
-		for b, e := range r.tx.writeSet {
+		r.tx.writes.forEach(func(b *vbox, e writeEntry) {
 			b.installCAS(e.value, r.version, keepFrom)
-		}
+		})
 		// Publish the new clock before marking done so that any snapshot
 		// taken after observing "done" sees the writes.
 		advanceClock(&s.clock, r.version)

@@ -47,7 +47,7 @@ func TestLockFreeConcurrentIncrementsConserved(t *testing.T) {
 	if got := box.Peek(); got != goroutines*perG {
 		t.Fatalf("final = %d, want %d", got, goroutines*perG)
 	}
-	if a := s.Stats.TopAborts.Load(); a == 0 {
+	if a := s.Stats.TopAborts(); a == 0 {
 		t.Log("note: no aborts observed (low contention run)")
 	}
 }
@@ -117,7 +117,7 @@ func TestLockFreeDisjointWritersAllCommit(t *testing.T) {
 			t.Fatalf("box %d = %d, want %d", w, got, per)
 		}
 	}
-	if a := s.Stats.TopAborts.Load(); a != 0 {
+	if a := s.Stats.TopAborts(); a != 0 {
 		t.Fatalf("disjoint writers aborted %d times", a)
 	}
 	if c := s.Clock(); c != workers*per {
@@ -221,7 +221,7 @@ func TestLockFreeConflictsActuallyAbort(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a := s.Stats.TopAborts.Load(); a == 0 {
+	if a := s.Stats.TopAborts(); a == 0 {
 		t.Fatal("forced conflict produced no abort")
 	}
 	if got := box.Peek(); got != 107 {

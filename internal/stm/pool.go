@@ -1,0 +1,114 @@
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Transaction-state recycling.
+//
+// The begin path used to allocate a Tx, a write-set map, a seen-reads map,
+// and read-set slice backing on every attempt. Under the array/TPC-C
+// workloads that is pure garbage: the objects die at commit. Each STM now
+// recycles Tx objects (with their inline small-set arrays and slice
+// capacity) through a sync.Pool; because sync.Pool shards per P, a core
+// keeps reusing the same Tx objects, which also stabilizes the snapshot-
+// registry slot and stats-shard affinities those objects carry.
+//
+// Lifecycle and reset discipline:
+//
+//   - getTx (checkout): clears `finished` — everything else was reset at
+//     put-back time, so checkout is O(1).
+//   - putTx (return): resets write/read sets (releasing *vbox and value
+//     references so pooled objects pin no user data), truncates the read
+//     slices (dropping them entirely if they grew past maxPooledSetCap, so
+//     one huge transaction cannot pin a huge buffer forever), zeroes tree
+//     linkage, and leaves `finished == true` — a user-held stale *Tx keeps
+//     panicking on use until the object is actually reused.
+//
+// Exclusions — a Tx is NOT recycled when:
+//
+//   - it was published to the lock-free commit queue (Tx.lfEnqueued):
+//     helper threads may still be reading its write/read sets after the
+//     owner observed the commit outcome, so the object must be left to the
+//     garbage collector (the queue releases it as the head advances);
+//   - its function panicked with a non-conflict panic: the unwound call
+//     escapes the runner before any put-back, which is exactly the
+//     conservative behavior we want for state of unknown integrity.
+
+// txSeq derives per-Tx-object affinity hints (stats shard, registry slot).
+// Consecutive objects land on different stripes; the golden-ratio multiply
+// spreads registry probes across the slot array.
+var txSeq atomic.Uint32
+
+// maxPooledSetCap bounds the slice capacity a pooled Tx may retain.
+const maxPooledSetCap = 1024
+
+// getTx checks a Tx out of the pool (or allocates one with fresh affinity
+// hints). Fields that vary per transaction are set by beginTop/beginChild.
+func (s *STM) getTx() *Tx {
+	if v := s.txPool.Get(); v != nil {
+		tx := v.(*Tx)
+		tx.finished = false
+		return tx
+	}
+	id := txSeq.Add(1)
+	return &Tx{
+		statShard: id,
+		snapHint:  id * 0x9e3779b9,
+	}
+}
+
+// putTx resets tx and returns it to the pool. Callers must guarantee no
+// other goroutine can still reach tx (see the exclusions above).
+func (s *STM) putTx(tx *Tx) {
+	if tx.lfEnqueued {
+		return
+	}
+	if t := tx.tree; t != nil && tx.parent == nil {
+		// Root owns the tree state; children only borrow the pointer.
+		putTree(t)
+	}
+	tx.tree = nil
+	tx.stm = nil
+	tx.parent = nil
+	tx.root = nil
+	tx.depth = 0
+	tx.readVersion = 0
+	tx.readTreeVersion = 0
+	tx.snapSlot = slotNone
+	tx.writes.reset()
+	tx.reads.reset()
+	for i := range tx.globalReads {
+		tx.globalReads[i] = nil
+	}
+	tx.globalReads = tx.globalReads[:0]
+	if cap(tx.globalReads) > maxPooledSetCap {
+		tx.globalReads = nil
+	}
+	for i := range tx.treeReads {
+		tx.treeReads[i] = treeRead{}
+	}
+	tx.treeReads = tx.treeReads[:0]
+	if cap(tx.treeReads) > maxPooledSetCap {
+		tx.treeReads = nil
+	}
+	tx.readOnly = false
+	tx.holdsGateSlot = false
+	tx.finished = true // stale user handles keep panicking until reuse
+	s.txPool.Put(tx)
+}
+
+// treePool recycles per-tree shared state (one object per top-level
+// transaction attempt that forked children).
+var treePool = sync.Pool{New: func() any { return new(treeState) }}
+
+func getTree() *treeState {
+	return treePool.Get().(*treeState)
+}
+
+func putTree(t *treeState) {
+	t.clock.Store(0)
+	t.gate = nil
+	treePool.Put(t)
+}

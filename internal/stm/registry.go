@@ -1,0 +1,187 @@
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the active-snapshot registry used by version GC.
+//
+// The registry answers one question — "what is the oldest snapshot any
+// running top-level transaction might still read?" — and must answer it
+// without making begin/end serialize on a global lock, because begin/end is
+// the hottest path in the system and any serialization there distorts the
+// throughput-vs-parallelism surface the tuner optimizes (a fixed-overhead
+// artifact, not a workload property).
+//
+// Design: a fixed array of cache-line-padded slots, each holding one active
+// snapshot version (biased by +1 so 0 can mean "free"). Beginning a
+// transaction claims a free slot with a single CAS and publishes its
+// snapshot; ending one stores 0. The commit-side GC-horizon computation
+// performs a lazy scan of all slots — commits are orders of magnitude rarer
+// than begins under the workloads that matter, so the scan is the right
+// place to pay.
+//
+// # Correctness: the sample-and-register atomicity invariant
+//
+// The old mutex registry made "sample the clock" and "become visible to GC"
+// one critical section. Without that, a committer could compute a horizon
+// that does not include a just-beginning reader and truncate the versions
+// the reader is entitled to. The lock-free registry preserves the invariant
+// with a publish-then-validate protocol on the reader and a clock-first
+// scan on the committer:
+//
+//   reader:    publish slot := v+1 (v = clock sample); reload the clock;
+//              if it moved, republish the new value and validate again.
+//              The snapshot is the last *validated* value.
+//   committer: c1 := clock load; scan all slots; horizon = min(c1, slots).
+//
+// Claim: a reader with validated snapshot v is never hurt by a horizon H
+// computed concurrently. Two cases on the committer's clock sample c1
+// (Go atomics are sequentially consistent, so a total order over the loads
+// and stores below exists):
+//
+//  1. c1 <= v: H <= c1 <= v. Truncation keeps the newest body with
+//     version <= H reachable, and every snapshot >= H resolves to that body
+//     or newer, so the reader is safe.
+//  2. c1 > v: the clock is monotone, so the store that advanced it past v
+//     comes after the reader's validating load (which returned v), which
+//     comes after the reader's publish of v+1. The committer's slot scan
+//     comes after its clock load c1, hence after all of the above: the scan
+//     observes the reader's slot occupied at v, forcing H <= v.
+//
+// In both cases H <= v or the reader is visible — exactly the guarantee
+// the mutex provided, with no lock on the begin path.
+//
+// # Overflow
+//
+// More than snapSlots simultaneous top-level transactions are possible
+// (admission may be unbounded). Late arrivals fall back to a small
+// mutex-guarded refcount map. The reader increments overflowN *before*
+// sampling the clock under the mutex; the committer checks overflowN after
+// its clock load and takes the mutex only when it is nonzero. The same
+// two-case argument applies: if the committer's horizon exceeds the
+// overflow reader's snapshot v, the clock advanced past v after the reader
+// sampled it — and the reader's overflowN increment precedes its sample, so
+// the committer's overflowN load (which follows its clock load) observes
+// the count and scans the map under the mutex, where it either sees the
+// entry or serializes before the reader's registration entirely (in which
+// case its c1 predates the reader's sample and H <= c1 <= v).
+
+const (
+	// snapSlots is the number of registry stripes. It bounds the number of
+	// top-level transactions that can begin without touching a lock; beyond
+	// it, admission still works through the overflow map. 64 comfortably
+	// covers the paper's (t) search space on commodity core counts.
+	snapSlots    = 64
+	snapSlotMask = snapSlots - 1
+)
+
+// Tx.snapSlot sentinels (non-negative values are registry slot indices).
+const (
+	slotNone     = -1 // not registered (Options.DisableGC)
+	slotOverflow = -2 // registered in the overflow map
+)
+
+// snapSlot is one stripe of the registry: a single published snapshot
+// version, biased by +1 (0 = free), alone on its cache line so that claims
+// and releases by different cores never false-share.
+type snapSlot struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// snapRegistry is the lock-free active-snapshot registry plus its mutex
+// overflow. It is embedded by value in STM.
+type snapRegistry struct {
+	slots [snapSlots]snapSlot
+
+	// overflowN is maintained so the commit path can skip the mutex when no
+	// overflow registrations exist (the common case). See the ordering
+	// argument above for why it is incremented before the clock sample.
+	overflowN  atomic.Int64
+	overflowMu sync.Mutex
+	overflow   map[uint64]int
+}
+
+// beginSnapshot samples the clock and registers the resulting snapshot as
+// active, returning the snapshot version and the slot handle to pass to
+// unregisterSnapshot. hint seeds the slot probe so that a pooled Tx reuses
+// the same slot (and therefore the same cache line) across lifetimes.
+func (s *STM) beginSnapshot(hint uint32) (uint64, int32) {
+	if s.opts.DisableGC {
+		return s.clock.Load(), slotNone
+	}
+	for probe := uint32(0); probe < snapSlots; probe++ {
+		sl := &s.snaps.slots[(hint+probe)&snapSlotMask]
+		v := s.clock.Load()
+		if !sl.v.CompareAndSwap(0, v+1) {
+			continue // occupied; try the next stripe
+		}
+		// Publish-then-validate: only a value the clock still held *after*
+		// the publish counts as the snapshot (see file comment). Once the
+		// CAS succeeded the slot is owned, so plain stores suffice.
+		for {
+			v2 := s.clock.Load()
+			if v2 == v {
+				return v, int32((hint + probe) & snapSlotMask)
+			}
+			v = v2
+			sl.v.Store(v + 1)
+		}
+	}
+	// Every stripe busy: fall back to the refcount map. The increment of
+	// overflowN must precede the clock sample (ordering argument above).
+	s.snaps.overflowN.Add(1)
+	s.snaps.overflowMu.Lock()
+	v := s.clock.Load()
+	if s.snaps.overflow == nil {
+		s.snaps.overflow = make(map[uint64]int)
+	}
+	s.snaps.overflow[v]++
+	s.snaps.overflowMu.Unlock()
+	return v, slotOverflow
+}
+
+// unregisterSnapshot drops the registration made by beginSnapshot.
+func (s *STM) unregisterSnapshot(v uint64, slot int32) {
+	switch {
+	case slot >= 0:
+		s.snaps.slots[slot].v.Store(0)
+	case slot == slotOverflow:
+		s.snaps.overflowMu.Lock()
+		if n := s.snaps.overflow[v]; n <= 1 {
+			delete(s.snaps.overflow, v)
+		} else {
+			s.snaps.overflow[v] = n - 1
+		}
+		s.snaps.overflowN.Add(-1)
+		s.snaps.overflowMu.Unlock()
+	}
+}
+
+// gcHorizon returns the newest version that every active or future snapshot
+// can still resolve: the minimum active snapshot, or the current clock when
+// nothing is active. The clock MUST be loaded before the slot scan — the
+// safety argument at the top of this file depends on that order.
+func (s *STM) gcHorizon() uint64 {
+	if s.opts.DisableGC {
+		return 0
+	}
+	h := s.clock.Load()
+	for i := range s.snaps.slots {
+		if x := s.snaps.slots[i].v.Load(); x != 0 && x-1 < h {
+			h = x - 1
+		}
+	}
+	if s.snaps.overflowN.Load() > 0 {
+		s.snaps.overflowMu.Lock()
+		for v := range s.snaps.overflow {
+			if v < h {
+				h = v
+			}
+		}
+		s.snaps.overflowMu.Unlock()
+	}
+	return h
+}

@@ -1,0 +1,220 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Stress tests for the striped snapshot registry (registry.go). The
+// registry's one job is to keep version GC from truncating a chain below an
+// active snapshot; any violation surfaces as the readAt panic ("version
+// chain truncated below an active snapshot") or, under -race, as a data
+// race. These tests are designed to run under the race detector (make race).
+
+// TestRegistryChurnStress hammers begin/commit/GC-horizon churn: writers
+// advance the clock (triggering truncation on every commit) while readers
+// continuously begin, read, and end — the exact interleaving the
+// publish-then-validate / clock-first-scan protocol must survive. Readers
+// outnumber registry slots so the overflow path is exercised in the same
+// run. Run with -race.
+func TestRegistryChurnStress(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		lockFree bool
+	}{
+		{"serialized", false},
+		{"lock-free", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(Options{LockFreeCommit: tc.lockFree})
+			const nBoxes = 4
+			boxes := make([]*VBox[int], nBoxes)
+			for i := range boxes {
+				boxes[i] = NewVBox(0)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+
+			// Writers: advance the clock as fast as possible so that every
+			// commit truncates and the GC horizon is always on the move.
+			for w := 0; w < 3; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if err := s.Atomic(func(tx *Tx) error {
+							b := boxes[(w+i)%nBoxes]
+							b.Put(tx, b.Get(tx)+1)
+							return nil
+						}); err != nil {
+							t.Errorf("writer: %v", err)
+							return
+						}
+					}
+				}(w)
+			}
+
+			// Readers: more than snapSlots concurrent top-level snapshots,
+			// so some registrations spill into the overflow map while the
+			// slot array churns. Each read must observe a consistent
+			// snapshot (sum of a multi-box read taken twice must agree).
+			for r := 0; r < snapSlots+8; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if err := s.Atomic(func(tx *Tx) error {
+							sum1 := 0
+							for _, b := range boxes {
+								sum1 += b.Get(tx)
+							}
+							sum2 := 0
+							for _, b := range boxes {
+								sum2 += b.Get(tx)
+							}
+							if sum1 != sum2 {
+								t.Errorf("snapshot tore: %d != %d", sum1, sum2)
+							}
+							return nil
+						}); err != nil {
+							t.Errorf("reader: %v", err)
+							return
+						}
+					}
+				}()
+			}
+
+			time.Sleep(200 * time.Millisecond)
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// TestRegistryOverflowSnapshotSurvivesGC parks more simultaneous top-level
+// transactions than the registry has stripes, forcing the late arrivals
+// into the mutex-guarded overflow map, then drives enough committing
+// writers to truncate every stale version — and finally checks that every
+// parked reader (slotted and overflowed alike) still resolves its original
+// snapshot.
+func TestRegistryOverflowSnapshotSurvivesGC(t *testing.T) {
+	s := New(Options{})
+	box := NewVBox(0)
+	const readers = snapSlots + 16
+
+	parked := make(chan struct{}, readers)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = s.Atomic(func(tx *Tx) error {
+				first := box.Get(tx)
+				parked <- struct{}{}
+				<-release
+				if second := box.Get(tx); second != first {
+					t.Errorf("reader %d: snapshot moved from %d to %d", r, first, second)
+				}
+				return nil
+			})
+		}(r)
+	}
+	for i := 0; i < readers; i++ {
+		<-parked
+	}
+	if n := s.snaps.overflowN.Load(); n < readers-snapSlots {
+		t.Fatalf("overflow registrations = %d, want >= %d", n, readers-snapSlots)
+	}
+
+	// Churn the box well past any retained version while the readers hold
+	// their snapshots; GC must clamp to the oldest of them.
+	for i := 1; i <= 50; i++ {
+		if err := s.Atomic(func(tx *Tx) error {
+			box.Put(tx, i)
+			return nil
+		}); err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	close(release)
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("reader %d: %v", r, err)
+		}
+	}
+
+	// With every reader gone the horizon snaps forward again: one more
+	// commit must truncate the chain down to the bounded steady state.
+	if err := s.Atomic(func(tx *Tx) error {
+		box.Put(tx, 51)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := box.core.chainLen(); n > 3 {
+		t.Fatalf("chainLen = %d after readers drained, want <= 3", n)
+	}
+	if n := s.snaps.overflowN.Load(); n != 0 {
+		t.Fatalf("overflowN = %d after all transactions ended, want 0", n)
+	}
+}
+
+// TestPooledTxReuseKeepsInvariants drives enough sequential and nested
+// transactions through one STM to recycle Tx objects many times over,
+// checking that no state leaks across pooled lifetimes (a stale write set
+// or read set would break conservation or spuriously conflict).
+func TestPooledTxReuseKeepsInvariants(t *testing.T) {
+	s := New(Options{})
+	const boxesN = 8
+	boxes := make([]*VBox[int], boxesN)
+	for i := range boxes {
+		boxes[i] = NewVBox(0)
+	}
+	const rounds = 2000
+	for i := 0; i < rounds; i++ {
+		if err := s.Atomic(func(tx *Tx) error {
+			// Alternate small (inline sets) and spilling (map sets)
+			// transactions so both representations cycle through the pool.
+			n := 2
+			if i%5 == 0 {
+				n = boxesN // > smallSetCap: forces the spill path
+			}
+			for j := 0; j < n; j++ {
+				boxes[j].Put(tx, boxes[j].Get(tx)+1)
+			}
+			if i%7 == 0 {
+				return tx.Parallel(
+					func(c *Tx) error { boxes[0].Put(c, boxes[0].Get(c)+1); return nil },
+					func(c *Tx) error { boxes[1].Put(c, boxes[1].Get(c)+1); return nil },
+				)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	want0 := rounds + (rounds+6)/7 // every round + the nested increments
+	if got := boxes[0].Peek(); got != want0 {
+		t.Fatalf("boxes[0] = %d, want %d", got, want0)
+	}
+	spills := rounds / 5
+	for j := 2; j < boxesN; j++ {
+		if got := boxes[j].Peek(); got != spills {
+			t.Fatalf("boxes[%d] = %d, want %d", j, got, spills)
+		}
+	}
+}

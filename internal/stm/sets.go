@@ -1,0 +1,149 @@
+package stm
+
+// Hybrid read/write set representations for the transaction hot path.
+//
+// Most transactions of the workloads the tuner targets (array scans, TPC-C
+// order lines, vacation reservations) touch a handful of boxes. A Go map
+// costs an allocation to create, hashing per access, and heap churn per
+// grow; for tiny sets a linear scan over an inline array beats it on every
+// axis and costs zero allocations because the arrays live inside the pooled
+// Tx. Sets spill to a map once they exceed smallSetCap entries, after which
+// all operations delegate to the map (the transaction is big anyway, so the
+// map's amortized costs are in proportion).
+
+// smallSetCap is the inline capacity before a set spills to a map. Eight
+// covers the overwhelming majority of array/TPC-C transactions while
+// keeping the linear scans trivially cheap.
+const smallSetCap = 8
+
+// writeSet maps *vbox -> writeEntry. The zero value is an empty set ready
+// for use. Not safe for concurrent use; callers hold the owning Tx's mutex.
+type writeSet struct {
+	boxes   [smallSetCap]*vbox
+	entries [smallSetCap]writeEntry
+	n       int
+	m       map[*vbox]writeEntry // non-nil once spilled; then n == 0
+}
+
+// size returns the number of entries.
+func (w *writeSet) size() int {
+	if w.m != nil {
+		return len(w.m)
+	}
+	return w.n
+}
+
+// get returns the entry for b, if present.
+func (w *writeSet) get(b *vbox) (writeEntry, bool) {
+	if w.m != nil {
+		e, ok := w.m[b]
+		return e, ok
+	}
+	for i := 0; i < w.n; i++ {
+		if w.boxes[i] == b {
+			return w.entries[i], true
+		}
+	}
+	return writeEntry{}, false
+}
+
+// put inserts or overwrites the entry for b, spilling to a map when the
+// inline array is full.
+func (w *writeSet) put(b *vbox, e writeEntry) {
+	if w.m != nil {
+		w.m[b] = e
+		return
+	}
+	for i := 0; i < w.n; i++ {
+		if w.boxes[i] == b {
+			w.entries[i] = e
+			return
+		}
+	}
+	if w.n < smallSetCap {
+		w.boxes[w.n] = b
+		w.entries[w.n] = e
+		w.n++
+		return
+	}
+	w.m = make(map[*vbox]writeEntry, 2*smallSetCap)
+	for i := 0; i < w.n; i++ {
+		w.m[w.boxes[i]] = w.entries[i]
+		w.boxes[i] = nil
+		w.entries[i] = writeEntry{}
+	}
+	w.n = 0
+	w.m[b] = e
+}
+
+// forEach calls f for every entry. Iteration order is unspecified.
+func (w *writeSet) forEach(f func(*vbox, writeEntry)) {
+	if w.m != nil {
+		for b, e := range w.m {
+			f(b, e)
+		}
+		return
+	}
+	for i := 0; i < w.n; i++ {
+		f(w.boxes[i], w.entries[i])
+	}
+}
+
+// reset empties the set and releases references so a pooled Tx does not
+// pin boxes or values. A spilled map is dropped rather than cleared: spill
+// is the rare case, and keeping an empty map would force every later small
+// transaction in this Tx's pooled lifetime onto the map path.
+func (w *writeSet) reset() {
+	for i := 0; i < w.n; i++ {
+		w.boxes[i] = nil
+		w.entries[i] = writeEntry{}
+	}
+	w.n = 0
+	w.m = nil
+}
+
+// boxSet is a hybrid membership set of *vbox used to deduplicate read-set
+// records. The zero value is an empty set ready for use.
+type boxSet struct {
+	small [smallSetCap]*vbox
+	n     int
+	m     map[*vbox]struct{} // non-nil once spilled; then n == 0
+}
+
+// add inserts b, reporting whether it was newly added.
+func (s *boxSet) add(b *vbox) bool {
+	if s.m != nil {
+		if _, ok := s.m[b]; ok {
+			return false
+		}
+		s.m[b] = struct{}{}
+		return true
+	}
+	for i := 0; i < s.n; i++ {
+		if s.small[i] == b {
+			return false
+		}
+	}
+	if s.n < smallSetCap {
+		s.small[s.n] = b
+		s.n++
+		return true
+	}
+	s.m = make(map[*vbox]struct{}, 2*smallSetCap)
+	for i := 0; i < s.n; i++ {
+		s.m[s.small[i]] = struct{}{}
+		s.small[i] = nil
+	}
+	s.n = 0
+	s.m[b] = struct{}{}
+	return true
+}
+
+// reset empties the set, releasing references (see writeSet.reset).
+func (s *boxSet) reset() {
+	for i := 0; i < s.n; i++ {
+		s.small[i] = nil
+	}
+	s.n = 0
+	s.m = nil
+}

@@ -1,0 +1,111 @@
+package stm
+
+import "sync/atomic"
+
+// Sharded transaction counters.
+//
+// The previous Stats was a single struct of atomic.Uint64 fields packed
+// into two cache lines; every committing core bounced those lines around
+// the machine (false *and* true sharing), which at high (t) showed up as a
+// fixed per-commit cost — precisely the kind of runtime-induced overhead
+// that flattens the throughput surface the tuner searches. Counters are now
+// striped across statShardCount cache-line-padded blocks; each Tx carries a
+// shard affinity assigned at Tx-object creation, and because Tx objects are
+// recycled through a per-P sync.Pool, a given core keeps hammering the same
+// shard — its own cache line — while Snapshot() pays the (cold-path) cost
+// of summing all shards.
+
+// statIdx enumerates the counters within a shard block.
+type statIdx int
+
+const (
+	idxTopCommits statIdx = iota
+	idxTopAborts
+	idxReadOnlyTops
+	idxNestedCommits
+	idxNestedAborts
+	idxUserAborts
+	idxVersionsWritten
+	numStatCounters
+)
+
+// statShardCount is the number of counter stripes (power of two).
+const statShardCount = 16
+
+// statShard is one stripe: all seven counters of one affinity group, padded
+// to 128 bytes (a cache-line pair, covering adjacent-line prefetchers) so
+// increments on different shards never share a line.
+type statShard struct {
+	c [numStatCounters]atomic.Uint64
+	_ [128 - 8*numStatCounters]byte
+}
+
+// Stats holds cumulative transaction counters, striped to avoid contention
+// on the commit path. Mutation happens only inside the STM; readers use the
+// accessor methods or Snapshot, which aggregate across stripes. All
+// operations are safe for concurrent use.
+type Stats struct {
+	shards [statShardCount]statShard
+}
+
+// add bumps counter idx on the stripe selected by shard.
+func (s *Stats) add(shard uint32, idx statIdx, n uint64) {
+	s.shards[shard&(statShardCount-1)].c[idx].Add(n)
+}
+
+// sum aggregates counter idx across all stripes. Each stripe is read
+// atomically; the total is therefore a linearizable-per-stripe, monotone
+// view — the same guarantee a single atomic counter read under concurrent
+// increments gave.
+func (s *Stats) sum(idx statIdx) uint64 {
+	var t uint64
+	for i := range s.shards {
+		t += s.shards[i].c[idx].Load()
+	}
+	return t
+}
+
+// TopCommits returns the number of top-level commits (read-only + update).
+func (s *Stats) TopCommits() uint64 { return s.sum(idxTopCommits) }
+
+// TopAborts returns the number of top-level validation failures (retried).
+func (s *Stats) TopAborts() uint64 { return s.sum(idxTopAborts) }
+
+// ReadOnlyTops returns the subset of TopCommits with an empty write set.
+func (s *Stats) ReadOnlyTops() uint64 { return s.sum(idxReadOnlyTops) }
+
+// NestedCommits returns the number of nested-transaction merges.
+func (s *Stats) NestedCommits() uint64 { return s.sum(idxNestedCommits) }
+
+// NestedAborts returns the number of nested conflicts (retried).
+func (s *Stats) NestedAborts() uint64 { return s.sum(idxNestedAborts) }
+
+// UserAborts returns the number of transactions abandoned by user error.
+func (s *Stats) UserAborts() uint64 { return s.sum(idxUserAborts) }
+
+// VersionsWritten returns the number of bodies installed at top commits.
+func (s *Stats) VersionsWritten() uint64 { return s.sum(idxVersionsWritten) }
+
+// Snapshot returns a plain-value copy of the aggregated counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		TopCommits:      s.TopCommits(),
+		TopAborts:       s.TopAborts(),
+		ReadOnlyTops:    s.ReadOnlyTops(),
+		NestedCommits:   s.NestedCommits(),
+		NestedAborts:    s.NestedAborts(),
+		UserAborts:      s.UserAborts(),
+		VersionsWritten: s.VersionsWritten(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	TopCommits      uint64
+	TopAborts       uint64
+	ReadOnlyTops    uint64
+	NestedCommits   uint64
+	NestedAborts    uint64
+	UserAborts      uint64
+	VersionsWritten uint64
+}

@@ -21,15 +21,22 @@
 // through the Throttle interface, which the actuator (package pnpool)
 // implements with resizable semaphores; this is how the (t, c) parallelism
 // degree chosen by the tuner is enforced without modifying application code.
+//
+// The begin/commit hot path is engineered to touch no global lock and,
+// amortized, no allocator: snapshot registration uses a striped lock-free
+// registry (registry.go), transaction state is pooled (pool.go) with
+// inline small-array read/write sets (sets.go), and counters are sharded
+// (stats.go). See docs/STM.md, "Hot path & memory discipline".
 package stm
 
 import (
 	"errors"
-	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"autopn/internal/stats"
 )
 
 // Throttle gates admission of transactions. Implementations must be safe
@@ -52,42 +59,6 @@ type TreeGate interface {
 	EnterChild()
 	// ExitChild releases a child slot.
 	ExitChild()
-}
-
-// Stats holds cumulative transaction counters. All fields are updated
-// atomically and may be read at any time.
-type Stats struct {
-	TopCommits      atomic.Uint64 // top-level commits (read-only + update)
-	TopAborts       atomic.Uint64 // top-level validation failures (retried)
-	ReadOnlyTops    atomic.Uint64 // subset of TopCommits with empty write set
-	NestedCommits   atomic.Uint64 // nested transaction merges into parents
-	NestedAborts    atomic.Uint64 // nested conflicts (retried)
-	UserAborts      atomic.Uint64 // transactions abandoned due to user error
-	VersionsWritten atomic.Uint64 // bodies installed at top-level commits
-}
-
-// Snapshot returns a plain-value copy of the counters.
-func (s *Stats) Snapshot() StatsSnapshot {
-	return StatsSnapshot{
-		TopCommits:      s.TopCommits.Load(),
-		TopAborts:       s.TopAborts.Load(),
-		ReadOnlyTops:    s.ReadOnlyTops.Load(),
-		NestedCommits:   s.NestedCommits.Load(),
-		NestedAborts:    s.NestedAborts.Load(),
-		UserAborts:      s.UserAborts.Load(),
-		VersionsWritten: s.VersionsWritten.Load(),
-	}
-}
-
-// StatsSnapshot is a point-in-time copy of Stats.
-type StatsSnapshot struct {
-	TopCommits      uint64
-	TopAborts       uint64
-	ReadOnlyTops    uint64
-	NestedCommits   uint64
-	NestedAborts    uint64
-	UserAborts      uint64
-	VersionsWritten uint64
 }
 
 // Options configures an STM instance.
@@ -136,18 +107,19 @@ type STM struct {
 	lfHead atomic.Pointer[commitRequest]
 	lfTail atomic.Pointer[commitRequest]
 
-	// Active-snapshot registry for version GC: refcounts per read version.
-	activeMu  sync.Mutex
-	active    map[uint64]int
-	activeMin uint64
+	// Active-snapshot registry for version GC; see registry.go.
+	snaps snapRegistry
 
-	// Stats are the cumulative transaction counters.
+	// txPool recycles transaction state; see pool.go.
+	txPool sync.Pool
+
+	// Stats are the cumulative transaction counters (sharded; see stats.go).
 	Stats Stats
 }
 
 // New creates an STM with the given options.
 func New(opts Options) *STM {
-	s := &STM{opts: opts, active: make(map[uint64]int)}
+	s := &STM{opts: opts}
 	if opts.LockFreeCommit {
 		s.initLockFree()
 	}
@@ -165,73 +137,6 @@ func (s *STM) SetCommitHook(h func()) { s.opts.CommitHook = h }
 // concurrently with running transactions.
 func (s *STM) SetThrottle(t Throttle) { s.opts.Throttle = t }
 
-// beginSnapshot atomically samples the clock and registers the resulting
-// snapshot as active. Sampling and registering must be one critical
-// section: with a window between them, a committer could compute a GC
-// horizon that does not yet include the new reader and truncate the very
-// versions the reader is about to need. Registration under activeMu makes
-// that impossible — gcHorizon also holds activeMu, so either it sees the
-// registration, or the reader's subsequent clock sample is at least the
-// horizon's clock value (the clock is monotone), whose body the truncation
-// preserves.
-func (s *STM) beginSnapshot() uint64 {
-	if s.opts.DisableGC {
-		return s.clock.Load()
-	}
-	s.activeMu.Lock()
-	v := s.clock.Load()
-	if len(s.active) == 0 || v < s.activeMin {
-		s.activeMin = v
-	}
-	s.active[v]++
-	s.activeMu.Unlock()
-	return v
-}
-
-// unregisterSnapshot drops one active reader of version v.
-func (s *STM) unregisterSnapshot(v uint64) {
-	if s.opts.DisableGC {
-		return
-	}
-	s.activeMu.Lock()
-	if n := s.active[v]; n <= 1 {
-		delete(s.active, v)
-		if v == s.activeMin {
-			// Recompute the minimum; the active set is small (bounded by
-			// the top-level parallelism degree).
-			s.activeMin = 0
-			first := true
-			for ver := range s.active {
-				if first || ver < s.activeMin {
-					s.activeMin = ver
-					first = false
-				}
-			}
-			if first {
-				s.activeMin = s.clock.Load()
-			}
-		}
-	} else {
-		s.active[v] = n - 1
-	}
-	s.activeMu.Unlock()
-}
-
-// gcHorizon returns the newest version that every active or future snapshot
-// can still resolve: the minimum active snapshot version, or the current
-// clock when no transaction is active.
-func (s *STM) gcHorizon() uint64 {
-	if s.opts.DisableGC {
-		return 0
-	}
-	s.activeMu.Lock()
-	defer s.activeMu.Unlock()
-	if len(s.active) == 0 {
-		return s.clock.Load()
-	}
-	return s.activeMin
-}
-
 // Atomic runs fn as a top-level transaction, retrying on conflicts until it
 // commits, fn returns a non-nil error (which aborts and is returned), or
 // the retry limit is exceeded.
@@ -240,23 +145,29 @@ func (s *STM) Atomic(fn func(tx *Tx) error) error {
 		th.EnterTop()
 		defer th.ExitTop()
 	}
+	var rng *stats.RNG
 	for attempt := 0; ; attempt++ {
 		tx := s.beginTop()
 		err, conflicted := tx.runTop(fn)
 		if !conflicted {
+			s.putTx(tx)
 			if err == nil && s.opts.CommitHook != nil {
 				s.opts.CommitHook()
 			}
 			return err
 		}
-		s.Stats.TopAborts.Add(1)
+		s.Stats.add(tx.statShard, idxTopAborts, 1)
+		s.putTx(tx)
 		if s.opts.MaxRetries > 0 && attempt+1 >= s.opts.MaxRetries {
 			return ErrTooManyRetries
 		}
 		if s.opts.Backoff != nil {
 			s.opts.Backoff(attempt)
 		} else {
-			backoff(attempt)
+			if rng == nil {
+				rng = newBackoffRNG()
+			}
+			backoff(attempt, rng)
 		}
 	}
 }
@@ -278,6 +189,7 @@ func (s *STM) AtomicReadOnly(fn func(tx *Tx) error) error {
 		// Unreachable: read-only transactions never fail validation.
 		panic("stm: read-only transaction reported a conflict")
 	}
+	s.putTx(tx)
 	if err == nil && s.opts.CommitHook != nil {
 		s.opts.CommitHook()
 	}
@@ -296,18 +208,40 @@ func AtomicResult[T any](s *STM, fn func(tx *Tx) (T, error)) (T, error) {
 	return out, err
 }
 
-// beginTop creates a fresh top-level transaction with a snapshot of the
-// current clock.
+// beginTop checks a transaction out of the pool and binds it to a
+// registered snapshot of the current clock. The registry slot that served
+// this Tx object becomes its probe hint, so a recycled Tx claims the same
+// (core-local) slot next time.
 func (s *STM) beginTop() *Tx {
-	v := s.beginSnapshot()
-	tx := &Tx{stm: s, readVersion: v}
+	tx := s.getTx()
+	v, slot := s.beginSnapshot(tx.snapHint)
+	if slot >= 0 {
+		tx.snapHint = uint32(slot)
+	}
+	tx.stm = s
+	tx.readVersion = v
+	tx.snapSlot = slot
 	tx.root = tx
 	return tx
 }
 
+// backoffSeed derives statistically independent splitmix64 streams for the
+// retry jitter; one atomic add per conflicted Atomic/runChild call, never
+// touched on the conflict-free path.
+var backoffSeed atomic.Uint64
+
+// newBackoffRNG returns a fresh jitter stream. The previous implementation
+// used the globally-locked math/rand source, which made contended retries —
+// the one moment many goroutines hit this code at once — serialize on the
+// rand mutex, adding exactly the kind of artificial convoy the backoff is
+// supposed to dissolve.
+func newBackoffRNG() *stats.RNG {
+	return stats.NewRNG(backoffSeed.Add(0x9e3779b97f4a7c15))
+}
+
 // backoff sleeps with bounded exponential backoff plus jitter to damp
 // conflict storms. Attempt 0 yields only.
-func backoff(attempt int) {
+func backoff(attempt int, rng *stats.RNG) {
 	if attempt == 0 {
 		runtime.Gosched()
 		return
@@ -316,5 +250,5 @@ func backoff(attempt int) {
 		attempt = 10
 	}
 	max := time.Duration(1<<uint(attempt)) * time.Microsecond
-	time.Sleep(time.Duration(rand.Int63n(int64(max) + 1)))
+	time.Sleep(time.Duration(rng.Uint64() % uint64(max+1)))
 }

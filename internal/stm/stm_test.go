@@ -28,7 +28,7 @@ func TestAtomicReadWrite(t *testing.T) {
 	if got := box.Peek(); got != 42 {
 		t.Fatalf("Peek after commit = %d, want 42", got)
 	}
-	if c := s.Stats.TopCommits.Load(); c != 1 {
+	if c := s.Stats.TopCommits(); c != 1 {
 		t.Fatalf("TopCommits = %d, want 1", c)
 	}
 }
@@ -58,7 +58,7 @@ func TestUserErrorAborts(t *testing.T) {
 	if got := box.Peek(); got != 1 {
 		t.Fatalf("aborted write leaked: Peek = %d, want 1", got)
 	}
-	if a := s.Stats.UserAborts.Load(); a != 1 {
+	if a := s.Stats.UserAborts(); a != 1 {
 		t.Fatalf("UserAborts = %d, want 1", a)
 	}
 }
@@ -161,7 +161,7 @@ func TestUpdateTxConflictRetries(t *testing.T) {
 	if got := box.Peek(); got != 101 {
 		t.Fatalf("final = %d, want 101", got)
 	}
-	if a := s.Stats.TopAborts.Load(); a == 0 {
+	if a := s.Stats.TopAborts(); a == 0 {
 		t.Fatal("expected at least one top-level abort")
 	}
 }
@@ -218,7 +218,7 @@ func TestNestedSeesParentWrites(t *testing.T) {
 	if got := box.Peek(); got != 6 {
 		t.Fatalf("final = %d, want 6", got)
 	}
-	if n := s.Stats.NestedCommits.Load(); n != 1 {
+	if n := s.Stats.NestedCommits(); n != 1 {
 		t.Fatalf("NestedCommits = %d, want 1", n)
 	}
 }
@@ -430,7 +430,7 @@ func TestReadOnlyTopCounted(t *testing.T) {
 			t.Fatalf("Atomic: %v", err)
 		}
 	}
-	if ro := s.Stats.ReadOnlyTops.Load(); ro != 3 {
+	if ro := s.Stats.ReadOnlyTops(); ro != 3 {
 		t.Fatalf("ReadOnlyTops = %d, want 3", ro)
 	}
 }
@@ -602,7 +602,7 @@ func TestBlindSiblingWritesLastMergeWins(t *testing.T) {
 	if got := box.Peek(); got != 1 && got != 2 {
 		t.Fatalf("final = %d, want 1 or 2", got)
 	}
-	if a := s.Stats.NestedAborts.Load(); a != 0 {
+	if a := s.Stats.NestedAborts(); a != 0 {
 		t.Fatalf("NestedAborts = %d, want 0 for blind writes", a)
 	}
 }
@@ -676,7 +676,7 @@ func TestAtomicReadOnly(t *testing.T) {
 	if got != 5 {
 		t.Fatalf("read %d", got)
 	}
-	if ro := s.Stats.ReadOnlyTops.Load(); ro != 1 {
+	if ro := s.Stats.ReadOnlyTops(); ro != 1 {
 		t.Fatalf("ReadOnlyTops = %d", ro)
 	}
 	// A write inside a read-only transaction must panic.

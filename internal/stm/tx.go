@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"autopn/internal/stats"
 )
 
 // writeEntry is a buffered write inside a transaction's write set. treeVer
@@ -26,18 +28,21 @@ type treeRead struct {
 	treeVer uint64 // version observed (0 when src == nil)
 }
 
-// treeState is shared by every transaction of one top-level tree.
+// treeState is shared by every transaction of one top-level tree. Instances
+// are recycled through treePool (pool.go) when the root transaction ends.
 type treeState struct {
 	clock atomic.Uint64 // per-tree nested commit clock
-	gate  TreeGate      // actuator gate (nil = unbounded), created lazily
-
-	gateOnce sync.Once
+	gate  TreeGate      // actuator gate (nil = unbounded), set at creation
 }
 
 // Tx is a transaction: either top-level (parent == nil) or nested. A Tx is
 // bound to the goroutine executing its function; it must not be shared
 // across goroutines except through Parallel, which creates a child Tx per
 // task.
+//
+// Tx objects are pooled (see pool.go): user code must never retain a *Tx
+// beyond the transaction function. A retained handle panics on use until
+// the object is recycled, after which it aliases an unrelated transaction.
 type Tx struct {
 	stm    *STM
 	parent *Tx
@@ -52,14 +57,23 @@ type Tx struct {
 	// are visible, newer ones signal a conflict with a committed sibling.
 	readTreeVersion uint64
 
-	// mu guards writeSet and the read-set slices against concurrent access
+	// snapSlot is the registry handle from beginSnapshot (top-level only;
+	// children never register — the root's registration covers the tree).
+	snapSlot int32
+	// snapHint seeds the registry slot probe; sticky across pooled reuse so
+	// a recycled Tx reclaims the same cache line (registry.go).
+	snapHint uint32
+	// statShard is this Tx object's counter-stripe affinity (stats.go).
+	statShard uint32
+
+	// mu guards writes and the read-set slices against concurrent access
 	// by descendants (children lock ancestors while resolving reads and
 	// while merging on commit).
 	mu          sync.Mutex
-	writeSet    map[*vbox]writeEntry
-	globalReads []*vbox        // boxes resolved from global memory
-	treeReads   []treeRead     // nested reads needing per-tree validation
-	seenReads   map[*vbox]bool // dedup: boxes already recorded in a read set
+	writes      writeSet
+	globalReads []*vbox    // boxes resolved from global memory
+	treeReads   []treeRead // nested reads needing per-tree validation
+	reads       boxSet     // dedup: boxes already recorded in a read set
 
 	tree *treeState
 
@@ -73,6 +87,11 @@ type Tx struct {
 	// transaction temporarily releases its slot while suspended at a
 	// Parallel join, so that deep nesting cannot deadlock the gate.
 	holdsGateSlot bool
+
+	// lfEnqueued marks a Tx published to the lock-free commit queue, where
+	// helper threads may reference its sets after the owner returns; such a
+	// Tx is never recycled (pool.go).
+	lfEnqueued bool
 
 	finished bool // defensive: set when the tx function returned
 }
@@ -99,7 +118,7 @@ func (tx *Tx) read(b *vbox) any {
 	// (children only merge while tx is blocked in Parallel), but we lock
 	// for race-detector cleanliness and to keep the invariant simple.
 	tx.mu.Lock()
-	if e, ok := tx.writeSet[b]; ok {
+	if e, ok := tx.writes.get(b); ok {
 		tx.mu.Unlock()
 		return e.value
 	}
@@ -107,7 +126,7 @@ func (tx *Tx) read(b *vbox) any {
 
 	for anc := tx.parent; anc != nil; anc = anc.parent {
 		anc.mu.Lock()
-		e, ok := anc.writeSet[b]
+		e, ok := anc.writes.get(b)
 		anc.mu.Unlock()
 		if ok {
 			if e.treeVer > tx.readTreeVersion {
@@ -117,14 +136,14 @@ func (tx *Tx) read(b *vbox) any {
 				// Abort eagerly and retry with a fresh snapshot.
 				panic(conflictSignal{tx})
 			}
-			if tx.markRead(b) {
+			if tx.reads.add(b) {
 				tx.treeReads = append(tx.treeReads, treeRead{box: b, src: anc, treeVer: e.treeVer})
 			}
 			return e.value
 		}
 	}
 
-	if tx.markRead(b) {
+	if tx.reads.add(b) {
 		if tx.parent != nil {
 			// Record that the read bypassed every ancestor, so nested
 			// commit validation notices a sibling writing it meanwhile.
@@ -135,21 +154,6 @@ func (tx *Tx) read(b *vbox) any {
 	return b.readAt(tx.root.readVersion).value
 }
 
-// markRead returns true the first time b is recorded in tx's read sets.
-// Within a single transaction the resolution of a box is stable (any change
-// manifests as a conflict panic first), so one record per box suffices for
-// validation.
-func (tx *Tx) markRead(b *vbox) bool {
-	if tx.seenReads == nil {
-		tx.seenReads = make(map[*vbox]bool)
-	}
-	if tx.seenReads[b] {
-		return false
-	}
-	tx.seenReads[b] = true
-	return true
-}
-
 // write buffers a write in tx's write set.
 func (tx *Tx) write(b *vbox, v any) {
 	tx.ensureLive()
@@ -157,10 +161,7 @@ func (tx *Tx) write(b *vbox, v any) {
 		panic("stm: write inside a read-only transaction")
 	}
 	tx.mu.Lock()
-	if tx.writeSet == nil {
-		tx.writeSet = make(map[*vbox]writeEntry)
-	}
-	tx.writeSet[b] = writeEntry{value: v, treeVer: tx.readTreeVersion}
+	tx.writes.put(b, writeEntry{value: v, treeVer: tx.readTreeVersion})
 	tx.mu.Unlock()
 }
 
@@ -174,7 +175,7 @@ func (tx *Tx) ensureLive() {
 // user error (nil on success) and whether a conflict occurred (in which
 // case the caller retries with a fresh transaction).
 func (tx *Tx) runTop(fn func(*Tx) error) (err error, conflicted bool) {
-	defer tx.stm.unregisterSnapshot(tx.readVersion)
+	defer tx.stm.unregisterSnapshot(tx.readVersion, tx.snapSlot)
 	defer func() {
 		tx.finished = true
 		if r := recover(); r != nil {
@@ -186,7 +187,7 @@ func (tx *Tx) runTop(fn func(*Tx) error) (err error, conflicted bool) {
 		}
 	}()
 	if err := fn(tx); err != nil {
-		tx.stm.Stats.UserAborts.Add(1)
+		tx.stm.Stats.add(tx.statShard, idxUserAborts, 1)
 		return err, false
 	}
 	if !tx.commitTop() {
@@ -199,17 +200,18 @@ func (tx *Tx) runTop(fn func(*Tx) error) (err error, conflicted bool) {
 // write set at a new clock version. Read-only transactions always succeed.
 func (tx *Tx) commitTop() bool {
 	s := tx.stm
-	if len(tx.writeSet) == 0 {
-		s.Stats.TopCommits.Add(1)
-		s.Stats.ReadOnlyTops.Add(1)
+	nWrites := tx.writes.size()
+	if nWrites == 0 {
+		s.Stats.add(tx.statShard, idxTopCommits, 1)
+		s.Stats.add(tx.statShard, idxReadOnlyTops, 1)
 		return true
 	}
 	if s.opts.LockFreeCommit {
 		if !s.commitTopLockFree(tx) {
 			return false
 		}
-		s.Stats.TopCommits.Add(1)
-		s.Stats.VersionsWritten.Add(uint64(len(tx.writeSet)))
+		s.Stats.add(tx.statShard, idxTopCommits, 1)
+		s.Stats.add(tx.statShard, idxVersionsWritten, uint64(nWrites))
 		return true
 	}
 	s.commitMu.Lock()
@@ -221,56 +223,67 @@ func (tx *Tx) commitTop() bool {
 	}
 	newVer := s.clock.Load() + 1
 	keepFrom := s.gcHorizon()
-	for b, e := range tx.writeSet {
+	tx.writes.forEach(func(b *vbox, e writeEntry) {
 		b.install(e.value, newVer, keepFrom)
-	}
+	})
 	s.clock.Store(newVer)
 	s.commitMu.Unlock()
-	s.Stats.TopCommits.Add(1)
-	s.Stats.VersionsWritten.Add(uint64(len(tx.writeSet)))
+	s.Stats.add(tx.statShard, idxTopCommits, 1)
+	s.Stats.add(tx.statShard, idxVersionsWritten, uint64(nWrites))
 	return true
 }
 
 // treeOf returns the tree state shared by tx's whole transaction tree,
-// creating it lazily on the root.
+// creating it lazily on the root (with the actuator's per-tree gate, when
+// an admission throttle is installed).
 func (tx *Tx) treeOf() *treeState {
 	r := tx.root
 	r.mu.Lock()
 	if r.tree == nil {
-		r.tree = &treeState{}
+		t := getTree()
+		if th := tx.stm.opts.Throttle; th != nil {
+			t.gate = th.NewTreeGate()
+		}
+		r.tree = t
 	}
 	t := r.tree
 	r.mu.Unlock()
 	return t
 }
 
-// beginChild creates a nested transaction under tx with a fresh tree
-// snapshot. spawned marks children running on their own worker goroutine
-// (and therefore holding a tree gate slot).
+// beginChild checks a nested transaction out of the pool under tx with a
+// fresh tree snapshot. spawned marks children running on their own worker
+// goroutine (and therefore holding a tree gate slot).
 func (tx *Tx) beginChild(t *treeState, spawned bool) *Tx {
-	return &Tx{
-		stm:             tx.stm,
-		parent:          tx,
-		root:            tx.root,
-		depth:           tx.depth + 1,
-		readVersion:     tx.root.readVersion,
-		readTreeVersion: t.clock.Load(),
-		tree:            t,
-		holdsGateSlot:   spawned,
-	}
+	c := tx.stm.getTx()
+	c.stm = tx.stm
+	c.parent = tx
+	c.root = tx.root
+	c.depth = tx.depth + 1
+	c.readVersion = tx.root.readVersion
+	c.readTreeVersion = t.clock.Load()
+	c.snapSlot = slotNone // the root's registration covers the tree
+	c.tree = t
+	c.holdsGateSlot = spawned
+	return c
 }
 
 // runChild executes fn as a child transaction of parent, retrying on
 // conflicts until commit or user error.
 func runChild(parent *Tx, t *treeState, spawned bool, fn func(*Tx) error) error {
+	var rng *stats.RNG
 	for attempt := 0; ; attempt++ {
 		child := parent.beginChild(t, spawned)
 		err, conflicted := child.runNested(fn)
+		parent.stm.putTx(child)
 		if !conflicted {
 			return err
 		}
-		parent.stm.Stats.NestedAborts.Add(1)
-		backoff(attempt)
+		parent.stm.Stats.add(parent.statShard, idxNestedAborts, 1)
+		if rng == nil {
+			rng = newBackoffRNG()
+		}
+		backoff(attempt, rng)
 	}
 }
 
@@ -288,13 +301,13 @@ func (tx *Tx) runNested(fn func(*Tx) error) (err error, conflicted bool) {
 		}
 	}()
 	if err := fn(tx); err != nil {
-		tx.stm.Stats.UserAborts.Add(1)
+		tx.stm.Stats.add(tx.statShard, idxUserAborts, 1)
 		return err, false
 	}
 	if !tx.commitNested() {
 		return nil, true
 	}
-	tx.stm.Stats.NestedCommits.Add(1)
+	tx.stm.Stats.add(tx.statShard, idxNestedCommits, 1)
 	return nil, false
 }
 
@@ -321,14 +334,11 @@ func (tx *Tx) commitNested() bool {
 
 	// Merge: stamp our writes with a fresh tree version and fold them into
 	// the parent's write set.
-	if len(tx.writeSet) > 0 {
+	if tx.writes.size() > 0 {
 		newVer := t.clock.Add(1)
-		if parent.writeSet == nil {
-			parent.writeSet = make(map[*vbox]writeEntry, len(tx.writeSet))
-		}
-		for b, e := range tx.writeSet {
-			parent.writeSet[b] = writeEntry{value: e.value, treeVer: newVer}
-		}
+		tx.writes.forEach(func(b *vbox, e writeEntry) {
+			parent.writes.put(b, writeEntry{value: e.value, treeVer: newVer})
+		})
 	}
 
 	// Propagate read sets: global reads bubble up (ultimately validated at
@@ -350,12 +360,12 @@ func (tx *Tx) commitNested() bool {
 // currently holds box b. It returns (nil, 0) when no ancestor holds it.
 // The caller must hold from.mu; higher ancestors are locked briefly here.
 func resolveTree(from *Tx, b *vbox) (*Tx, uint64) {
-	if e, ok := from.writeSet[b]; ok {
+	if e, ok := from.writes.get(b); ok {
 		return from, e.treeVer
 	}
 	for anc := from.parent; anc != nil; anc = anc.parent {
 		anc.mu.Lock()
-		e, ok := anc.writeSet[b]
+		e, ok := anc.writes.get(b)
 		anc.mu.Unlock()
 		if ok {
 			return anc, e.treeVer
@@ -382,9 +392,6 @@ func (tx *Tx) Parallel(fns ...func(*Tx) error) error {
 		return nil
 	}
 	t := tx.treeOf()
-	if tx.stm.opts.Throttle != nil {
-		t.gateOnce.Do(func() { t.gate = tx.stm.opts.Throttle.NewTreeGate() })
-	}
 	if len(fns) == 1 {
 		// A single child: run inline on the caller's goroutine (still as a
 		// proper nested transaction). The caller's thread is already

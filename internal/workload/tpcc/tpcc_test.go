@@ -92,7 +92,7 @@ func TestReadOnlyTransactionsDontAbort(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	abortsBefore := s.Stats.TopAborts.Load()
+	abortsBefore := s.Stats.TopAborts()
 	for i := 0; i < 100; i++ {
 		if err := s.Atomic(func(tx *stm.Tx) error {
 			if i%2 == 0 {
@@ -103,7 +103,7 @@ func TestReadOnlyTransactionsDontAbort(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := s.Stats.TopAborts.Load(); got != abortsBefore {
+	if got := s.Stats.TopAborts(); got != abortsBefore {
 		t.Fatalf("read-only transactions aborted %d times", got-abortsBefore)
 	}
 }

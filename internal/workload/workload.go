@@ -89,13 +89,13 @@ func (d *Driver) Stop() {
 // RunFor runs the workload for duration d and returns the achieved
 // top-level commit throughput (commits per second).
 func (d *Driver) RunFor(seed uint64, dur time.Duration) float64 {
-	before := d.STM.Stats.TopCommits.Load()
+	before := d.STM.Stats.TopCommits()
 	start := time.Now()
 	d.Start(seed)
 	time.Sleep(dur)
 	d.Stop()
 	elapsed := time.Since(start).Seconds()
-	commits := d.STM.Stats.TopCommits.Load() - before
+	commits := d.STM.Stats.TopCommits() - before
 	if elapsed <= 0 {
 		return 0
 	}

@@ -41,10 +41,10 @@ func TestArrayLiveConservesSemantics(t *testing.T) {
 	if got := b.Checksum(); got < initial {
 		t.Fatalf("checksum shrank: %d < %d", got, initial)
 	}
-	if c := s.Stats.TopCommits.Load(); c == 0 {
+	if c := s.Stats.TopCommits(); c == 0 {
 		t.Fatal("no commits")
 	}
-	if n := s.Stats.NestedCommits.Load(); n == 0 {
+	if n := s.Stats.NestedCommits(); n == 0 {
 		t.Fatal("no nested commits despite c=2")
 	}
 }
@@ -52,7 +52,7 @@ func TestArrayLiveConservesSemantics(t *testing.T) {
 func TestArrayReadOnlyNeverAborts(t *testing.T) {
 	b := array.New(100, 0)
 	s := runDriver(t, b, space.Config{T: 4, C: 1}, 50*time.Millisecond)
-	if a := s.Stats.TopAborts.Load(); a != 0 {
+	if a := s.Stats.TopAborts(); a != 0 {
 		t.Fatalf("read-only workload aborted %d times", a)
 	}
 }
@@ -112,7 +112,7 @@ func TestTPCCInvariantsUnderConcurrency(t *testing.T) {
 	if err := b.CheckInvariants(s); err != nil {
 		t.Fatal(err)
 	}
-	if n := s.Stats.NestedCommits.Load(); n == 0 {
+	if n := s.Stats.NestedCommits(); n == 0 {
 		t.Fatal("NewOrder produced no nested commits despite c=2")
 	}
 }
@@ -129,7 +129,7 @@ func TestDriverRespectsThrottle(t *testing.T) {
 	}
 	d.Stop()
 	// With t=1 there is no top-level concurrency, so no top-level aborts.
-	if a := s.Stats.TopAborts.Load(); a != 0 {
+	if a := s.Stats.TopAborts(); a != 0 {
 		t.Errorf("sequential run aborted %d times", a)
 	}
 }
