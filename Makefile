@@ -2,7 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test race race-all bench bench-stm repro figures clean
+# Fuzzing/benchmark budgets; CI overrides these to keep the smoke jobs
+# bounded, local runs can crank them up.
+FUZZTIME ?= 30s
+BENCHTIME ?= 100x
+
+.PHONY: all build test test-short race race-all bench bench-stm \
+	bench-smoke fuzz-smoke lint ci repro figures clean
 
 all: build test
 
@@ -32,6 +38,29 @@ bench:
 # STM hot-path microbenchmarks (compare against BENCH_stm.json).
 bench-stm:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/stm/
+
+# Trend-only benchmark smoke for CI: a fixed, tiny iteration budget so the
+# job is fast; the output is uploaded as an artifact, never gated on.
+bench-smoke:
+	$(GO) test -bench . -benchmem -benchtime=$(BENCHTIME) -run '^$$' ./internal/stm/ | tee bench-smoke.txt
+
+# Trace-loader fuzz smoke (the corpus-backed FuzzLoad target).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) -run '^$$' ./internal/trace
+
+# Static analysis beyond go vet. Uses golangci-lint (see .golangci.yml)
+# when installed; CI always runs it.
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run; \
+	else \
+		echo "golangci-lint not installed; running go vet only"; \
+		$(GO) vet ./...; \
+	fi
+
+# Everything the CI pipeline runs, in one target, so local runs and the
+# pipeline stay in lockstep (the fuzz/bench budgets match ci.yml).
+ci: build test-short race fuzz-smoke bench-smoke lint
 
 # The single acceptance test for the paper's headline claims.
 repro:

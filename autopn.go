@@ -33,10 +33,12 @@ package autopn
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"autopn/internal/core"
 	"autopn/internal/monitor"
+	"autopn/internal/obs"
 	"autopn/internal/pnpool"
 	"autopn/internal/search"
 	"autopn/internal/space"
@@ -106,6 +108,18 @@ type Options struct {
 	// with the configuration measured and the window's outcome — the
 	// observability hook the CLI uses to print the tuning trajectory.
 	OnMeasurement func(cfg Config, m Measurement)
+
+	// Recorder, if non-nil, receives the tuner's structured decision trail
+	// (see internal/obs): every measurement window, every optimizer
+	// suggestion with its Expected Improvement, phase transitions, applied
+	// configurations and CUSUM change-points. Wire an obs.JSONL to persist
+	// it, an obs.Ring to serve it over HTTP, or an obs.Multi for both.
+	Recorder obs.Recorder
+	// Metrics, if non-nil, is the registry the tuner instruments: the
+	// STM's transaction counters, the monitor's window summaries, and the
+	// tuner's own gauges/counters are registered on it (see
+	// docs/OBSERVABILITY.md for the catalogue). Serve it with obs.NewHandler.
+	Metrics *obs.Registry
 }
 
 // Measurement summarizes one monitoring window (see internal/monitor).
@@ -119,6 +133,9 @@ type Measurement struct {
 	// TimedOut reports deadline-triggered completion (starving or
 	// never-stabilizing configuration).
 	TimedOut bool
+	// CV is the final coefficient of variation of the window's running
+	// throughput estimates (0 when fewer than two commits were seen).
+	CV float64
 }
 
 // Result summarizes a completed tuning run.
@@ -144,6 +161,14 @@ type Tuner struct {
 	pool *pnpool.Pool
 	live *monitor.Live
 	stm  *stm.STM
+
+	rec   obs.Recorder
+	phase atomic.Value // string; see Phase
+
+	// Tuner-level metrics (nil without Options.Metrics).
+	mExplorations *obs.Counter
+	mRetunes      *obs.Counter
+	mSessions     *obs.Counter
 }
 
 // NewTuner attaches a tuner to s: it installs the actuator as the STM's
@@ -171,14 +196,37 @@ func NewTuner(s *stm.STM, opts Options) *Tuner {
 		sp:   space.New(opts.Cores),
 		pool: pnpool.New(space.Config{T: 1, C: 1}),
 		live: monitor.NewLive(monitor.NewWallClock()),
+		rec:  opts.Recorder,
 	}
+	if t.rec == nil {
+		t.rec = obs.Nop{}
+	}
+	t.phase.Store("idle")
 	t.stm = s
 	if !opts.DryRun {
 		s.SetThrottle(t.pool)
 	}
 	s.SetCommitHook(t.live.OnCommit)
+	if reg := opts.Metrics; reg != nil {
+		s.Stats.Collect(reg)
+		t.live.Instrument(reg)
+		reg.GaugeFunc("autopn_tuner_current_t", func() float64 { return float64(t.pool.Current().T) })
+		reg.GaugeFunc("autopn_tuner_current_c", func() float64 { return float64(t.pool.Current().C) })
+		reg.GaugeFunc("autopn_tuner_space_size", func() float64 { return float64(t.sp.Size()) })
+		t.mExplorations = reg.Counter("autopn_tuner_explorations_total")
+		t.mRetunes = reg.Counter("autopn_tuner_retunes_total")
+		t.mSessions = reg.Counter("autopn_tuner_sessions_total")
+	}
 	return t
 }
+
+// Phase returns the tuner's current activity as a human-readable string:
+// "idle" before Run, the optimizer's phase while tuning (for AutoPN:
+// initial-sampling, smbo, hill-climbing; for the baselines their strategy
+// name), "converged" after a session applies its best configuration, and
+// "watching" while the ReTune change detector is armed. Safe for
+// concurrent use — this is what the /status endpoint reports.
+func (t *Tuner) Phase() string { return t.phase.Load().(string) }
 
 // Current returns the configuration currently enforced by the actuator —
 // the paper's ad-hoc introspection API for applications that adapt their
@@ -209,6 +257,7 @@ func (t *Tuner) newOptimizer(rng *stats.RNG) search.Optimizer {
 			InitialSamples:   t.opts.InitialSamples,
 			Stop:             core.NewEIStop(t.opts.EIThreshold),
 			DisableHillClimb: t.opts.DisableHillClimb,
+			Recorder:         t.rec,
 		})
 	}
 }
@@ -242,6 +291,9 @@ func (t *Tuner) Run(ctx context.Context) Result {
 // tuneOnce runs one full optimization session.
 func (t *Tuner) tuneOnce(ctx context.Context, rng *stats.RNG) Result {
 	opt := t.newOptimizer(rng.Split())
+	if t.mSessions != nil {
+		t.mSessions.Inc()
+	}
 	var res Result
 	t11 := 0.0
 	seen := make(map[space.Config]bool)
@@ -250,6 +302,7 @@ func (t *Tuner) tuneOnce(ctx context.Context, rng *stats.RNG) Result {
 		if done {
 			break
 		}
+		t.phase.Store(t.optPhase(opt))
 		if !t.opts.DryRun {
 			t.pool.Apply(cfg)
 			t.settle(ctx, cfg)
@@ -264,11 +317,22 @@ func (t *Tuner) tuneOnce(ctx context.Context, rng *stats.RNG) Result {
 				Commits:    m.Commits,
 				Elapsed:    m.Elapsed,
 				TimedOut:   m.TimedOut,
+				CV:         m.CV,
 			})
 		}
+		t.rec.Record(obs.Decision{
+			Kind: obs.KindMeasurement, Phase: t.Phase(),
+			T: cfg.T, C: cfg.C,
+			Throughput: m.Throughput, CV: m.CV, Commits: m.Commits,
+			WindowMS: float64(m.Elapsed) / float64(time.Millisecond),
+			TimedOut: m.TimedOut,
+		})
 		if !seen[cfg] {
 			seen[cfg] = true
 			res.Explorations++
+			if t.mExplorations != nil {
+				t.mExplorations.Inc()
+			}
 		}
 		res.Windows++
 		if ap, ok := opt.(*core.AutoPN); ok {
@@ -281,9 +345,23 @@ func (t *Tuner) tuneOnce(ctx context.Context, rng *stats.RNG) Result {
 	if !t.opts.DryRun {
 		t.pool.Apply(best)
 	}
+	t.phase.Store("converged")
+	t.rec.Record(obs.Decision{
+		Kind: obs.KindApply, Phase: t.Phase(),
+		T: best.T, C: best.C, Throughput: kpi,
+		Note: "best of session applied",
+	})
 	res.Best = Config{T: best.T, C: best.C}
 	res.BestThroughput = kpi
 	return res
+}
+
+// optPhase names what the optimizer is doing for Phase()/the decision log.
+func (t *Tuner) optPhase(opt search.Optimizer) string {
+	if ap, ok := opt.(*core.AutoPN); ok {
+		return ap.Phase()
+	}
+	return opt.Name()
 }
 
 // settle waits until a shrinking reconfiguration has drained: transactions
@@ -313,9 +391,18 @@ func (t *Tuner) windowPolicy(t11 float64) monitor.Policy {
 // ctx cancellation).
 func (t *Tuner) watchForChange(ctx context.Context) bool {
 	det := stats.NewCUSUM(5, 1, 20)
+	t.phase.Store("watching")
 	for ctx.Err() == nil {
 		m := t.live.Measure(t.windowPolicy(0))
 		if det.Observe(m.Throughput) {
+			if t.mRetunes != nil {
+				t.mRetunes.Inc()
+			}
+			t.rec.Record(obs.Decision{
+				Kind: obs.KindChangePoint, Phase: t.Phase(),
+				Throughput: m.Throughput,
+				Note:       "CUSUM throughput shift: re-tuning",
+			})
 			return true
 		}
 	}

@@ -55,8 +55,8 @@ func main() {
 				for {
 					n, err := r.Read(buf)
 					if n > 0 {
-						old.Write(buf[:n])
-						tee.Write(buf[:n])
+						_, _ = old.Write(buf[:n])
+						_, _ = tee.Write(buf[:n])
 					}
 					if err != nil {
 						close(done)

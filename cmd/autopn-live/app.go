@@ -1,0 +1,226 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"autopn"
+	"autopn/internal/obs"
+	"autopn/internal/stm"
+	"autopn/internal/workload"
+	"autopn/internal/workload/array"
+	"autopn/internal/workload/tpcc"
+	"autopn/internal/workload/vacation"
+)
+
+// liveConfig mirrors the command's flags; see main.go for documentation.
+type liveConfig struct {
+	workload    string
+	level       string
+	writes      float64
+	size        int
+	cores       int
+	duration    time.Duration
+	strategy    string
+	seed        uint64
+	retune      bool
+	verbose     bool
+	lockfree    bool
+	maxWindow   time.Duration
+	httpAddr    string // "" = no HTTP server
+	decisionLog string // "" = no persisted decision log
+}
+
+// statusPayload is what /status serves: current configuration, phase, and
+// the tail of the decision trail.
+type statusPayload struct {
+	Workload      string            `json:"workload"`
+	Strategy      string            `json:"strategy"`
+	Cores         int               `json:"cores"`
+	SpaceSize     int               `json:"space_size"`
+	Phase         string            `json:"phase"`
+	T             int               `json:"t"`
+	C             int               `json:"c"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	STM           stm.StatsSnapshot `json:"stm"`
+	Decisions     []obs.Decision    `json:"recent_decisions"`
+}
+
+// statusDecisions is how many trailing decisions /status reports.
+const statusDecisions = 20
+
+// liveRun is one testable invocation of the command: main wires it to the
+// flags and OS signals, the end-to-end test drives it directly.
+type liveRun struct {
+	cfg liveConfig
+	out io.Writer
+
+	mu       sync.Mutex
+	httpAddr string // actual listen address once the server is up
+}
+
+func newLiveRun(cfg liveConfig, out io.Writer) *liveRun {
+	return &liveRun{cfg: cfg, out: out}
+}
+
+// HTTPAddr returns the introspection server's actual address ("" until it
+// is listening, or when -http is off). Safe for concurrent use.
+func (r *liveRun) HTTPAddr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.httpAddr
+}
+
+func (r *liveRun) setHTTPAddr(addr string) {
+	r.mu.Lock()
+	r.httpAddr = addr
+	r.mu.Unlock()
+}
+
+// run executes the live tuning session until the optimizer converges (plus
+// re-tune watching with -retune) or ctx is cancelled — by the -duration
+// timeout or by SIGINT/SIGTERM. On any exit path it flushes the decision
+// log and prints the final metrics snapshot, so an interrupted run still
+// leaves a complete, parseable trail behind.
+func (r *liveRun) run(ctx context.Context) error {
+	cfg := r.cfg
+	s := stm.New(stm.Options{LockFreeCommit: cfg.lockfree})
+	var w workload.Workload
+	switch cfg.workload {
+	case "array":
+		w = array.New(cfg.size, cfg.writes)
+	case "vacation":
+		w = vacation.New(cfg.level, s)
+	case "tpcc":
+		w = tpcc.New(cfg.level, s)
+	default:
+		return fmt.Errorf("unknown workload %q", cfg.workload)
+	}
+
+	strat, ok := map[string]autopn.Strategy{
+		"autopn": autopn.StrategyAutoPN, "random": autopn.StrategyRandom,
+		"grid": autopn.StrategyGrid, "hillclimb": autopn.StrategyHillClimb,
+		"annealing": autopn.StrategyAnnealing, "genetic": autopn.StrategyGenetic,
+	}[cfg.strategy]
+	if !ok {
+		return fmt.Errorf("unknown strategy %q", cfg.strategy)
+	}
+
+	// Observability: every run keeps a ring of recent decisions (served by
+	// /status) and a metrics registry; -decision-log adds a persistent
+	// JSONL recorder.
+	reg := obs.NewRegistry()
+	ring := obs.NewRing(128)
+	recorders := obs.Multi{ring}
+	var jsonl *obs.JSONL
+	if cfg.decisionLog != "" {
+		f, err := os.Create(cfg.decisionLog)
+		if err != nil {
+			return fmt.Errorf("decision log: %w", err)
+		}
+		jsonl = obs.NewJSONL(f)
+		recorders = append(recorders, jsonl)
+		defer func() {
+			if err := jsonl.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "decision log: %v\n", err)
+			}
+		}()
+	}
+
+	opts := autopn.Options{
+		Cores:     cfg.cores,
+		Strategy:  strat,
+		Seed:      cfg.seed,
+		MaxWindow: cfg.maxWindow,
+		ReTune:    cfg.retune,
+		Recorder:  recorders,
+		Metrics:   reg,
+	}
+	if cfg.verbose {
+		opts.OnMeasurement = func(c autopn.Config, m autopn.Measurement) {
+			suffix := ""
+			if m.TimedOut {
+				suffix = " (timed out)"
+			}
+			fmt.Fprintf(r.out, "  measured %v: %.0f commits/s over %v (cv %.2f)%s\n",
+				c, m.Throughput, m.Elapsed.Round(time.Millisecond), m.CV, suffix)
+		}
+	}
+	tuner := autopn.NewTuner(s, opts)
+
+	if cfg.httpAddr != "" {
+		start := time.Now()
+		status := func() any {
+			cur := tuner.Current()
+			return statusPayload{
+				Workload:      w.Name(),
+				Strategy:      cfg.strategy,
+				Cores:         cfg.cores,
+				SpaceSize:     tuner.SpaceSize(),
+				Phase:         tuner.Phase(),
+				T:             cur.T,
+				C:             cur.C,
+				UptimeSeconds: time.Since(start).Seconds(),
+				STM:           s.Stats.Snapshot(),
+				Decisions:     ring.Last(statusDecisions),
+			}
+		}
+		ln, err := net.Listen("tcp", cfg.httpAddr)
+		if err != nil {
+			return fmt.Errorf("http: %w", err)
+		}
+		srv := &http.Server{Handler: obs.NewHandler(reg, status)}
+		go func() { _ = srv.Serve(ln) }()
+		defer func() {
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutdownCtx)
+		}()
+		r.setHTTPAddr(ln.Addr().String())
+		fmt.Fprintf(r.out, "introspection: http://%s/ (/metrics, /status, /debug/pprof)\n", ln.Addr())
+	}
+
+	d := &workload.Driver{
+		STM:        s,
+		W:          w,
+		Threads:    cfg.cores,
+		NestedHint: func() int { return tuner.Current().C },
+	}
+	d.Start(cfg.seed)
+	defer d.Stop()
+
+	fmt.Fprintf(r.out, "running %s on %d cores with strategy %s (space: %d configs)\n",
+		w.Name(), cfg.cores, cfg.strategy, tuner.SpaceSize())
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+	res := tuner.Run(runCtx)
+	if ctx.Err() != nil {
+		fmt.Fprintf(r.out, "interrupted — flushing decision log and metrics\n")
+	}
+
+	fmt.Fprintf(r.out, "converged to %v after %d explorations (%d windows) in %v\n",
+		res.Best, res.Explorations, res.Windows, res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(r.out, "measured throughput at best: %.0f commits/s\n", res.BestThroughput)
+	if cfg.retune {
+		fmt.Fprintf(r.out, "re-tunes triggered: %d\n", res.Retunes)
+	}
+	snap := s.Stats.Snapshot()
+	fmt.Fprintf(r.out, "stm: %d top commits (%d read-only), %d top aborts, %d nested commits, %d nested aborts\n",
+		snap.TopCommits, snap.ReadOnlyTops, snap.TopAborts, snap.NestedCommits, snap.NestedAborts)
+	fmt.Fprintf(r.out, "final metrics snapshot:\n")
+	if err := reg.WritePrometheus(r.out); err != nil {
+		return err
+	}
+	return nil
+}
+
+// defaultCores is the flag default, split out so main and the tests agree.
+func defaultCores() int { return runtime.NumCPU() }

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"autopn/internal/obs"
+)
+
+// TestLiveEndToEnd runs the full command path — real STM, real workload
+// driver, AutoPN strategy — with the HTTP introspection server and the
+// JSONL decision log enabled, and asserts that (a) /metrics and /status
+// serve live data while the run is in flight, and (b) the persisted
+// decision log parses and covers all three tuning phases.
+func TestLiveEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live timing test")
+	}
+	logPath := filepath.Join(t.TempDir(), "decisions.jsonl")
+	cfg := liveConfig{
+		workload: "array",
+		writes:   0.1,
+		size:     256,
+		// 6 logical cores gives a 14-config space, larger than the 9
+		// initial samples, so the SMBO phase genuinely runs before
+		// hill-climbing (all three phases appear in the log).
+		cores:       6,
+		duration:    20 * time.Second,
+		strategy:    "autopn",
+		seed:        1,
+		maxWindow:   80 * time.Millisecond,
+		httpAddr:    "127.0.0.1:0",
+		decisionLog: logPath,
+	}
+	var out bytes.Buffer
+	r := newLiveRun(cfg, &out)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() { errCh <- r.run(ctx) }()
+
+	// Wait for the introspection server to come up.
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if addr = r.HTTPAddr(); addr != "" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("HTTP server never came up")
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// /metrics serves the full catalogue: STM bridge, monitor windows,
+	// tuner gauges.
+	code, metrics := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"autopn_stm_top_commits_total",
+		"autopn_monitor_windows_total",
+		"autopn_tuner_current_t",
+		"autopn_tuner_space_size 14",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /status serves the tuner's live view.
+	code, body := get("/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status status %d", code)
+	}
+	var st statusPayload
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status does not parse: %v\n%s", err, body)
+	}
+	if st.Workload == "" || st.Phase == "" || st.T < 1 || st.C < 1 {
+		t.Errorf("implausible /status: %+v", st)
+	}
+	if st.SpaceSize != 14 {
+		t.Errorf("/status space_size = %d, want 14", st.SpaceSize)
+	}
+
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+
+	// Let the run finish on its own (convergence well before -duration).
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not finish")
+	}
+
+	// The persisted decision log must be strict JSONL, sequence-numbered,
+	// and cover all three tuning phases plus the final apply.
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	phases := map[string]int{}
+	kinds := map[string]int{}
+	var lastSeq uint64
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var d obs.Decision
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("decision log line %d does not parse: %v\n%s", lines, err, sc.Text())
+		}
+		if d.Seq <= lastSeq {
+			t.Errorf("line %d: seq %d not increasing (prev %d)", lines, d.Seq, lastSeq)
+		}
+		lastSeq = d.Seq
+		phases[d.Phase]++
+		kinds[d.Kind]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("decision log is empty")
+	}
+	for _, phase := range []string{"initial-sampling", "smbo", "hill-climbing"} {
+		if phases[phase] == 0 {
+			t.Errorf("decision log covers no %q decisions (phases: %v)", phase, phases)
+		}
+	}
+	for _, kind := range []string{obs.KindMeasurement, obs.KindSuggestion, obs.KindPhase, obs.KindApply} {
+		if kinds[kind] == 0 {
+			t.Errorf("decision log has no %q records (kinds: %v)", kind, kinds)
+		}
+	}
+	t.Logf("decision log: %d records, phases %v, kinds %v", lines, phases, kinds)
+}
+
+// TestLiveRejectsBadFlags covers the validation exits.
+func TestLiveRejectsBadFlags(t *testing.T) {
+	cfg := liveConfig{workload: "nope", cores: 2, duration: time.Second, strategy: "autopn", seed: 1, maxWindow: time.Second}
+	if err := newLiveRun(cfg, io.Discard).run(context.Background()); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	cfg = liveConfig{workload: "array", size: 64, cores: 2, duration: time.Second, strategy: "nope", seed: 1, maxWindow: time.Second}
+	if err := newLiveRun(cfg, io.Discard).run(context.Background()); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}

@@ -4,10 +4,18 @@
 // full production path — actuator semaphores, commit-hook monitoring,
 // online model training — on the host machine's cores.
 //
+// With -http it additionally serves the tuner's introspection surface
+// (Prometheus /metrics, JSON /status with the current configuration,
+// phase and recent decisions, and /debug/pprof), and with -decision-log it
+// persists every tuning decision as JSONL; see docs/OBSERVABILITY.md.
+// SIGINT/SIGTERM trigger a graceful shutdown that flushes the decision log
+// and prints the final metrics snapshot before exiting.
+//
 // Usage:
 //
 //	autopn-live -workload array -writes 0.5 -cores 8 -duration 10s
 //	autopn-live -workload tpcc -level med -strategy autopn
+//	autopn-live -http :6060 -decision-log decisions.jsonl -retune
 package main
 
 import (
@@ -15,95 +23,44 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
+	"os/signal"
+	"syscall"
 	"time"
-
-	"autopn"
-	"autopn/internal/stm"
-	"autopn/internal/workload"
-	"autopn/internal/workload/array"
-	"autopn/internal/workload/tpcc"
-	"autopn/internal/workload/vacation"
 )
 
 func main() {
-	var (
-		wl       = flag.String("workload", "array", "array | vacation | tpcc")
-		level    = flag.String("level", "med", "contention level for vacation/tpcc (low|med|high)")
-		writes   = flag.Float64("writes", 0.1, "write fraction for array (0..1)")
-		size     = flag.Int("size", 1024, "array size")
-		cores    = flag.Int("cores", runtime.NumCPU(), "core budget n (t*c <= n)")
-		duration = flag.Duration("duration", 15*time.Second, "total run duration")
-		strategy = flag.String("strategy", "autopn", "autopn | random | grid | hillclimb | annealing | genetic")
-		seed     = flag.Uint64("seed", 1, "seed")
-		retune   = flag.Bool("retune", false, "keep watching for workload changes (CUSUM)")
-		verbose  = flag.Bool("v", false, "print every measurement window")
-		lockfree = flag.Bool("lockfree", false, "use JVSTM's lock-free commit algorithm")
-	)
+	var cfg liveConfig
+	flag.StringVar(&cfg.workload, "workload", "array", "array | vacation | tpcc")
+	flag.StringVar(&cfg.level, "level", "med", "contention level for vacation/tpcc (low|med|high)")
+	flag.Float64Var(&cfg.writes, "writes", 0.1, "write fraction for array (0..1)")
+	flag.IntVar(&cfg.size, "size", 1024, "array size")
+	flag.IntVar(&cfg.cores, "cores", defaultCores(), "core budget n (t*c <= n)")
+	flag.DurationVar(&cfg.duration, "duration", 15*time.Second, "total run duration")
+	flag.StringVar(&cfg.strategy, "strategy", "autopn", "autopn | random | grid | hillclimb | annealing | genetic")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "seed")
+	flag.BoolVar(&cfg.retune, "retune", false, "keep watching for workload changes (CUSUM)")
+	flag.BoolVar(&cfg.verbose, "v", false, "print every measurement window")
+	flag.BoolVar(&cfg.lockfree, "lockfree", false, "use JVSTM's lock-free commit algorithm")
+	flag.DurationVar(&cfg.maxWindow, "max-window", 2*time.Second, "bound on any single measurement window")
+	flag.StringVar(&cfg.httpAddr, "http", "", "serve /metrics, /status and /debug/pprof on this address (e.g. :6060)")
+	flag.StringVar(&cfg.decisionLog, "decision-log", "", "write the JSONL decision log to this file")
 	flag.Parse()
 
-	s := stm.New(stm.Options{LockFreeCommit: *lockfree})
-	var w workload.Workload
-	switch *wl {
-	case "array":
-		w = array.New(*size, *writes)
-	case "vacation":
-		w = vacation.New(*level, s)
-	case "tpcc":
-		w = tpcc.New(*level, s)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
-		os.Exit(2)
+	// A graceful-shutdown context: the first SIGINT/SIGTERM cancels the
+	// run (the tuner notices within one measurement window and the final
+	// flush still happens); a second signal kills the process the default
+	// way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// Restore default signal behavior once cancelled, so a second
+		// signal terminates immediately instead of being swallowed.
+		<-ctx.Done()
+		stop()
+	}()
+
+	if err := newLiveRun(cfg, os.Stdout).run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-
-	strat := map[string]autopn.Strategy{
-		"autopn": autopn.StrategyAutoPN, "random": autopn.StrategyRandom,
-		"grid": autopn.StrategyGrid, "hillclimb": autopn.StrategyHillClimb,
-		"annealing": autopn.StrategyAnnealing, "genetic": autopn.StrategyGenetic,
-	}[*strategy]
-
-	opts := autopn.Options{
-		Cores:     *cores,
-		Strategy:  strat,
-		Seed:      *seed,
-		MaxWindow: 2 * time.Second,
-		ReTune:    *retune,
-	}
-	if *verbose {
-		opts.OnMeasurement = func(cfg autopn.Config, m autopn.Measurement) {
-			suffix := ""
-			if m.TimedOut {
-				suffix = " (timed out)"
-			}
-			fmt.Printf("  measured %v: %.0f commits/s over %v%s\n",
-				cfg, m.Throughput, m.Elapsed.Round(time.Millisecond), suffix)
-		}
-	}
-	tuner := autopn.NewTuner(s, opts)
-
-	d := &workload.Driver{
-		STM:        s,
-		W:          w,
-		Threads:    *cores,
-		NestedHint: func() int { return tuner.Current().C },
-	}
-	d.Start(*seed)
-	defer d.Stop()
-
-	fmt.Printf("running %s on %d cores with strategy %s (space: %d configs)\n",
-		w.Name(), *cores, *strategy, tuner.SpaceSize())
-
-	ctx, cancel := context.WithTimeout(context.Background(), *duration)
-	defer cancel()
-	res := tuner.Run(ctx)
-
-	fmt.Printf("converged to %v after %d explorations (%d windows) in %v\n",
-		res.Best, res.Explorations, res.Windows, res.Elapsed.Round(time.Millisecond))
-	fmt.Printf("measured throughput at best: %.0f commits/s\n", res.BestThroughput)
-	if *retune {
-		fmt.Printf("re-tunes triggered: %d\n", res.Retunes)
-	}
-	snap := s.Stats.Snapshot()
-	fmt.Printf("stm: %d top commits (%d read-only), %d top aborts, %d nested commits, %d nested aborts\n",
-		snap.TopCommits, snap.ReadOnlyTops, snap.TopAborts, snap.NestedCommits, snap.NestedAborts)
 }

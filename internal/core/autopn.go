@@ -18,8 +18,11 @@
 package core
 
 import (
+	"fmt"
+
 	"autopn/internal/ensemble"
 	"autopn/internal/m5"
+	"autopn/internal/obs"
 	"autopn/internal/search"
 	"autopn/internal/smbo"
 	"autopn/internal/space"
@@ -65,6 +68,12 @@ type Options struct {
 	// the surrogate's predictive uncertainty, keeping exploration alive
 	// when measurements cannot yet distinguish candidates.
 	NoiseAware bool
+	// Recorder receives the optimizer's structured decision trail: phase
+	// transitions, every SMBO suggestion with its (relative) Expected
+	// Improvement, every hill-climbing probe, and the converged
+	// configuration. Defaults to obs.Nop{}, so library users and the
+	// simulation/experiment harnesses pay nothing.
+	Recorder obs.Recorder
 }
 
 type phase int
@@ -95,6 +104,9 @@ type AutoPN struct {
 	smboCount  int // observations consumed by the SMBO phase
 	everNotify bool
 	pendingCV  float64 // measurement CV for the next Observe (NoiseAware)
+
+	hcProbed  space.Config // last hill-climb probe recorded (dedup)
+	hcProbeOK bool
 }
 
 var _ search.Optimizer = (*AutoPN)(nil)
@@ -115,8 +127,15 @@ func New(sp *space.Space, rng *stats.RNG, opts Options) *AutoPN {
 	if opts.Trainer == nil {
 		opts.Trainer = ensemble.M5Trainer(m5.DefaultOptions())
 	}
+	if opts.Recorder == nil {
+		opts.Recorder = obs.Nop{}
+	}
 	a := &AutoPN{sp: sp, rng: rng, opts: opts, explored: make(map[space.Config]bool)}
 	a.initial = a.chooseInitial()
+	a.opts.Recorder.Record(obs.Decision{
+		Kind: obs.KindPhase, Phase: a.Phase(),
+		Note: fmt.Sprintf("session start: %d initial samples over %d configs", len(a.initial), sp.Size()),
+	})
 	return a
 }
 
@@ -168,7 +187,7 @@ func (a *AutoPN) Phase() string {
 // Next implements search.Optimizer.
 func (a *AutoPN) Next() (space.Config, bool) {
 	if a.capped() {
-		a.phase = phaseDone
+		a.finish("exploration cap reached")
 	}
 	switch a.phase {
 	case phaseInitial:
@@ -189,13 +208,19 @@ func (a *AutoPN) Next() (space.Config, bool) {
 			return *a.pending, false
 		}
 		// No pending suggestion (e.g. space exhausted): refine.
-		a.enterHillClimb()
+		a.enterHillClimb("no SMBO suggestion available")
 		return a.Next()
 	case phaseHillClimb:
 		cfg, done := a.hc.Next()
 		if done {
-			a.phase = phaseDone
+			a.finish("hill-climb reached a local maximum")
 			return space.Config{}, true
+		}
+		if !a.hcProbeOK || cfg != a.hcProbed {
+			a.hcProbed, a.hcProbeOK = cfg, true
+			a.opts.Recorder.Record(obs.Decision{
+				Kind: obs.KindSuggestion, Phase: a.Phase(), T: cfg.T, C: cfg.C,
+			})
 		}
 		return cfg, false
 	default:
@@ -246,7 +271,25 @@ func (a *AutoPN) capped() bool {
 // suggestion.
 func (a *AutoPN) enterSMBO() {
 	a.phase = phaseSMBO
+	a.opts.Recorder.Record(obs.Decision{
+		Kind: obs.KindPhase, Phase: a.Phase(),
+		Note: fmt.Sprintf("initial sampling complete after %d observations", len(a.history)),
+	})
 	a.suggest()
+}
+
+// finish transitions to the terminal phase (once) and records the
+// converged configuration.
+func (a *AutoPN) finish(reason string) {
+	if a.phase == phaseDone {
+		return
+	}
+	a.phase = phaseDone
+	a.opts.Recorder.Record(obs.Decision{
+		Kind: obs.KindConverged, Phase: a.Phase(),
+		T: a.bestCfg.T, C: a.bestCfg.C, Throughput: a.bestKPI,
+		Note: reason,
+	})
 }
 
 // suggest fits the surrogate on everything observed so far, asks the
@@ -255,7 +298,7 @@ func (a *AutoPN) enterSMBO() {
 // hill-climbing phase.
 func (a *AutoPN) suggest() {
 	if a.capped() {
-		a.enterHillClimb()
+		a.enterHillClimb("exploration cap reached")
 		return
 	}
 	fit := smbo.Fit
@@ -271,22 +314,35 @@ func (a *AutoPN) suggest() {
 	default:
 		sug, ok = smbo.SuggestEI(a.sp, sur, a.explored, a.bestKPI)
 	}
-	if !ok || a.opts.Stop.ShouldStop(sug.RelEI, a.history, a.bestKPI) {
-		a.enterHillClimb()
+	if !ok {
+		a.enterHillClimb("configuration space exhausted")
 		return
 	}
+	if a.opts.Stop.ShouldStop(sug.RelEI, a.history, a.bestKPI) {
+		a.enterHillClimb(fmt.Sprintf("stop condition %s met (rel EI %.4f)", a.opts.Stop.Name(), sug.RelEI))
+		return
+	}
+	a.opts.Recorder.Record(obs.Decision{
+		Kind: obs.KindSuggestion, Phase: a.Phase(),
+		T: sug.Cfg.T, C: sug.Cfg.C, EI: sug.EI, RelEI: sug.RelEI,
+	})
 	c := sug.Cfg
 	a.pending = &c
 }
 
 // enterHillClimb transitions into the refinement phase (or finishes, when
-// disabled), seeding the climber with every KPI measured so far.
-func (a *AutoPN) enterHillClimb() {
+// disabled), seeding the climber with every KPI measured so far. reason
+// explains why the SMBO phase ended (it is carried into the decision log).
+func (a *AutoPN) enterHillClimb(reason string) {
 	if a.opts.DisableHillClimb || a.capped() {
-		a.phase = phaseDone
+		a.finish(reason)
 		return
 	}
 	a.phase = phaseHillClimb
+	a.opts.Recorder.Record(obs.Decision{
+		Kind: obs.KindPhase, Phase: a.Phase(),
+		T: a.bestCfg.T, C: a.bestCfg.C, Note: reason,
+	})
 	a.hc = search.NewHillClimbFrom(a.sp, a.bestCfg)
 	for _, o := range a.history {
 		a.hc.Seed(o.Cfg, o.KPI)

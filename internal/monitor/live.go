@@ -14,7 +14,8 @@ type Live struct {
 	// PollInterval bounds how late a deadline can fire (default 1ms).
 	PollInterval time.Duration
 
-	clock Clock
+	clock   Clock
+	metrics *liveMetrics // set by Instrument; nil = no metrics
 
 	mu     sync.Mutex
 	active *liveWindow
@@ -54,6 +55,15 @@ func (l *Live) OnCommit() {
 // may be active at a time; concurrent Measure calls are serialized by the
 // caller's protocol (the tuner measures sequentially).
 func (l *Live) Measure(policy Policy) Measurement {
+	m := l.measure(policy)
+	if l.metrics != nil {
+		l.metrics.observe(m)
+	}
+	return m
+}
+
+// measure is Measure without the instrumentation wrapper.
+func (l *Live) measure(policy Policy) Measurement {
 	now := l.clock.Now()
 	policy.Begin(now)
 	w := &liveWindow{policy: policy, done: make(chan Measurement, 1)}

@@ -1,0 +1,50 @@
+package monitor
+
+import "autopn/internal/obs"
+
+// liveMetrics is the monitor's view into the metrics registry: per-window
+// counters and sliding-window summaries of the quantities the paper's
+// adaptive policy is built on (window length, final CV, throughput).
+type liveMetrics struct {
+	windows    *obs.Counter
+	timeouts   *obs.Counter
+	cv         *obs.Histogram
+	seconds    *obs.Histogram
+	throughput *obs.Histogram
+	commits    *obs.Histogram
+}
+
+// Instrument registers the monitor's window metrics with r and makes every
+// subsequent Measure report its outcome there:
+//
+//	autopn_monitor_windows_total           completed measurement windows
+//	autopn_monitor_window_timeouts_total   windows ended by the adaptive timeout
+//	autopn_monitor_window_cv               final CV of the running throughput estimates (summary)
+//	autopn_monitor_window_seconds          window length in seconds (summary)
+//	autopn_monitor_window_throughput       window throughput in commits/s (summary)
+//	autopn_monitor_window_commits          commits sampled per window (summary)
+//
+// Call it before the first Measure; like the rest of the monitor's
+// configuration it must not be swapped while a window is active.
+func (l *Live) Instrument(r *obs.Registry) {
+	l.metrics = &liveMetrics{
+		windows:    r.Counter("autopn_monitor_windows_total"),
+		timeouts:   r.Counter("autopn_monitor_window_timeouts_total"),
+		cv:         r.Histogram("autopn_monitor_window_cv"),
+		seconds:    r.Histogram("autopn_monitor_window_seconds"),
+		throughput: r.Histogram("autopn_monitor_window_throughput"),
+		commits:    r.Histogram("autopn_monitor_window_commits"),
+	}
+}
+
+// observe reports one completed window.
+func (m *liveMetrics) observe(meas Measurement) {
+	m.windows.Inc()
+	if meas.TimedOut {
+		m.timeouts.Inc()
+	}
+	m.cv.Observe(meas.CV)
+	m.seconds.Observe(meas.Elapsed.Seconds())
+	m.throughput.Observe(meas.Throughput)
+	m.commits.Observe(float64(meas.Commits))
+}

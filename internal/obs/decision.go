@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Decision kinds. Every record the tuner emits carries exactly one.
+const (
+	// KindMeasurement is one completed monitoring window: the configuration
+	// under test, its throughput, CV, commits, window length and whether the
+	// window was ended by the adaptive timeout.
+	KindMeasurement = "measurement"
+	// KindSuggestion is one candidate the optimizer proposes: the SMBO
+	// acquisition's pick (with EI/RelEI) or a hill-climbing probe.
+	KindSuggestion = "suggestion"
+	// KindPhase marks a tuning-phase transition (initial-sampling → smbo →
+	// hill-climbing → done), with the new phase in Phase and the reason in
+	// Note.
+	KindPhase = "phase"
+	// KindConverged reports the optimizer's final configuration and KPI for
+	// one optimization session.
+	KindConverged = "converged"
+	// KindApply records the actuator applying a configuration outside the
+	// regular exploration flow (the final best of a session).
+	KindApply = "apply"
+	// KindChangePoint is a CUSUM workload-change detection that triggers a
+	// re-tune.
+	KindChangePoint = "change-point"
+)
+
+// Decision is one structured record of the tuner's decision trail. Fields
+// that do not apply to a given Kind are zero and omitted from the JSON
+// encoding; T and C are kept even when zero-valued records are impossible
+// so every record that names a configuration is self-describing.
+type Decision struct {
+	// Time is the wall-clock timestamp. Recorders stamp it at Record time
+	// when the producer leaves it zero.
+	Time time.Time `json:"ts"`
+	// Seq is a per-recorder monotone sequence number, assigned by the
+	// recorder.
+	Seq uint64 `json:"seq"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Phase is the tuning phase the decision was made in (initial-sampling,
+	// smbo, hill-climbing, done, watching).
+	Phase string `json:"phase,omitempty"`
+	// T, C name the configuration the decision concerns.
+	T int `json:"t,omitempty"`
+	C int `json:"c,omitempty"`
+	// EI and RelEI carry the acquisition value of a KindSuggestion from the
+	// SMBO phase (absolute and relative to the incumbent best).
+	EI    float64 `json:"ei,omitempty"`
+	RelEI float64 `json:"rel_ei,omitempty"`
+	// Throughput is the measured (KindMeasurement) or best-known
+	// (KindConverged) KPI in commits/second.
+	Throughput float64 `json:"throughput,omitempty"`
+	// CV is the coefficient of variation of the window's running throughput
+	// estimates.
+	CV float64 `json:"cv,omitempty"`
+	// Commits is the number of commits observed in the window.
+	Commits int `json:"commits,omitempty"`
+	// WindowMS is the measurement window length in milliseconds.
+	WindowMS float64 `json:"window_ms,omitempty"`
+	// TimedOut marks a window ended by the adaptive timeout rather than CV
+	// stability.
+	TimedOut bool `json:"timed_out,omitempty"`
+	// Note carries free-form context (stop reasons, detector identity).
+	Note string `json:"note,omitempty"`
+}
+
+// Recorder consumes the tuner's decision trail. Implementations must be
+// safe for concurrent use.
+type Recorder interface {
+	Record(Decision)
+}
+
+// Nop is a Recorder that discards everything — the default wired into the
+// optimizer so library users pay nothing for the decision log.
+type Nop struct{}
+
+// Record implements Recorder.
+func (Nop) Record(Decision) {}
+
+// stamp fills Time and Seq. seq is owned by the caller's lock.
+func stamp(d *Decision, seq *uint64) {
+	*seq++
+	d.Seq = *seq
+	if d.Time.IsZero() {
+		d.Time = time.Now()
+	}
+}
+
+// JSONL is a Recorder writing one JSON object per line, the
+// machine-readable decision log autopn-live persists. Create with
+// NewJSONL; call Flush (or Close) before reading the output.
+type JSONL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	seq uint64
+	err error
+}
+
+// NewJSONL returns a JSONL recorder writing to w. If w is an io.Closer,
+// Close closes it after flushing.
+func NewJSONL(w io.Writer) *JSONL {
+	j := &JSONL{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Record implements Recorder. Encoding errors are sticky and reported by
+// Err/Flush/Close; recording never blocks the tuner on I/O failure.
+func (j *JSONL) Record(d Decision) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	stamp(&d, &j.seq)
+	b, err := json.Marshal(d)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+// Err returns the first error encountered while recording.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Flush writes buffered records through to the underlying writer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.w.Flush()
+	return j.err
+}
+
+// Close flushes and, when the underlying writer is an io.Closer, closes it.
+func (j *JSONL) Close() error {
+	err := j.Flush()
+	j.mu.Lock()
+	c := j.c
+	j.c = nil
+	j.mu.Unlock()
+	if c != nil {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Ring is a Recorder keeping the most recent decisions in memory — the
+// backing store of the /status endpoint's "recent decisions" view.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Decision
+	next int
+	n    int
+	seq  uint64
+}
+
+// NewRing returns a ring recorder holding the last n decisions (n >= 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Decision, n)}
+}
+
+// Record implements Recorder.
+func (r *Ring) Record(d Decision) {
+	r.mu.Lock()
+	stamp(&d, &r.seq)
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of decisions currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Last returns up to k of the most recent decisions, oldest first.
+func (r *Ring) Last(k int) []Decision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k > r.n {
+		k = r.n
+	}
+	out := make([]Decision, 0, k)
+	for i := r.n - k; i < r.n; i++ {
+		out = append(out, r.buf[(r.next-r.n+i+2*len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Multi fans one decision out to several recorders in order.
+type Multi []Recorder
+
+// Record implements Recorder.
+func (m Multi) Record(d Decision) {
+	for _, r := range m {
+		r.Record(d)
+	}
+}

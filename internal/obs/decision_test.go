@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sampleDecisions() []Decision {
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	return []Decision{
+		{Time: t0, Kind: KindPhase, Phase: "initial-sampling", Note: "session start"},
+		{Time: t0.Add(time.Second), Kind: KindMeasurement, Phase: "initial-sampling",
+			T: 1, C: 1, Throughput: 1234.5, CV: 0.08, Commits: 50, WindowMS: 40.5},
+		{Time: t0.Add(2 * time.Second), Kind: KindSuggestion, Phase: "smbo",
+			T: 3, C: 2, EI: 120.5, RelEI: 0.097},
+		{Time: t0.Add(3 * time.Second), Kind: KindMeasurement, Phase: "smbo",
+			T: 3, C: 2, Throughput: 900, CV: 0.3, Commits: 7, WindowMS: 2000, TimedOut: true},
+		{Time: t0.Add(4 * time.Second), Kind: KindConverged, T: 2, C: 2, Throughput: 2000},
+		{Time: t0.Add(5 * time.Second), Kind: KindChangePoint, Phase: "watching", Note: "cusum"},
+	}
+}
+
+// TestJSONLRoundTrip writes a decision trail through the JSONL recorder and
+// re-parses it line by line: every field must survive, sequence numbers
+// must be monotone, and the output must be strict JSONL.
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	in := sampleDecisions()
+	for _, d := range in {
+		j.Record(d)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var out []Decision
+	for sc.Scan() {
+		var d Decision
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("line %d does not parse: %v", len(out)+1, err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Seq != uint64(i+1) {
+			t.Errorf("record %d: seq = %d, want %d", i, out[i].Seq, i+1)
+		}
+		want := in[i]
+		want.Seq = out[i].Seq
+		if !want.Time.Equal(out[i].Time) {
+			t.Errorf("record %d: time = %v, want %v", i, out[i].Time, want.Time)
+		}
+		got := out[i]
+		got.Time, want.Time = time.Time{}, time.Time{}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("record %d round-trip mismatch:\ngot  %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestJSONLStampsTime(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Record(Decision{Kind: KindPhase})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var d Decision
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Time.IsZero() {
+		t.Error("recorder did not stamp a zero Time")
+	}
+}
+
+func TestRingLast(t *testing.T) {
+	r := NewRing(8)
+	for i := 1; i <= 30; i++ {
+		r.Record(Decision{Kind: KindMeasurement, Commits: i})
+	}
+	if r.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", r.Len())
+	}
+	last := r.Last(5)
+	if len(last) != 5 {
+		t.Fatalf("Last(5) returned %d", len(last))
+	}
+	for i, d := range last {
+		if want := 26 + i; d.Commits != want {
+			t.Errorf("Last(5)[%d].Commits = %d, want %d", i, d.Commits, want)
+		}
+	}
+	if got := len(r.Last(100)); got != 8 {
+		t.Errorf("Last(100) returned %d, want 8", got)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(Decision{Kind: KindMeasurement})
+				_ = r.Last(16)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 16 {
+		t.Errorf("Len = %d, want 16", r.Len())
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	ring := NewRing(4)
+	m := Multi{j, ring, Nop{}}
+	m.Record(Decision{Kind: KindApply, T: 2, C: 3})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("JSONL recorder saw nothing")
+	}
+	if ring.Len() != 1 {
+		t.Error("ring recorder saw nothing")
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewHandler returns the tuner's HTTP introspection surface:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/metrics.json   the same metrics as indented JSON
+//	/status         the status callback's value as indented JSON
+//	/debug/pprof/*  the runtime's profiling endpoints
+//	/               a plain-text index of the above
+//
+// status may be nil, in which case /status serves 404. The handler is
+// standalone (its own ServeMux) so callers never mutate
+// http.DefaultServeMux.
+func NewHandler(reg *Registry, status func() any) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if status == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(status())
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("autopn introspection\n\n" +
+			"/metrics        Prometheus text\n" +
+			"/metrics.json   metrics as JSON\n" +
+			"/status         tuner status (current config, phase, recent decisions)\n" +
+			"/debug/pprof/   runtime profiles\n"))
+	})
+	return mux
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := populated()
+	status := func() any {
+		return map[string]any{"phase": "smbo", "t": 3, "c": 2}
+	}
+	srv := httptest.NewServer(NewHandler(reg, status))
+	defer srv.Close()
+
+	code, ct, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE autopn_test_commits_total counter",
+		"autopn_test_commits_total 42",
+		"autopn_test_window_cv{quantile=\"0.5\"}",
+		"autopn_test_window_cv_count 5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, ct, body = get(t, srv, "/metrics.json")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/metrics.json status %d, content type %q", code, ct)
+	}
+	var mj map[string]any
+	if err := json.Unmarshal([]byte(body), &mj); err != nil {
+		t.Fatalf("/metrics.json does not parse: %v", err)
+	}
+
+	code, _, body = get(t, srv, "/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status status %d", code)
+	}
+	var st map[string]any
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status does not parse: %v", err)
+	}
+	if st["phase"] != "smbo" {
+		t.Errorf("/status phase = %v", st["phase"])
+	}
+
+	if code, _, _ := get(t, srv, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, _, body := get(t, srv, "/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index status %d body %q", code, body)
+	}
+	if code, _, _ := get(t, srv, "/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestHandlerNilStatus(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewRegistry(), nil))
+	defer srv.Close()
+	if code, _, _ := get(t, srv, "/status"); code != http.StatusNotFound {
+		t.Errorf("/status with nil callback: status %d, want 404", code)
+	}
+}

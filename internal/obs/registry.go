@@ -1,0 +1,362 @@
+// Package obs is the observability layer of autopn: a dependency-free
+// metrics registry (atomic counters, gauges, windowed histograms) with
+// Prometheus-text and JSON exporters, and a structured decision log that
+// records every step the online tuner takes (sampled configurations,
+// surrogate suggestions, acquisition values, measurement windows, CUSUM
+// change-points).
+//
+// The package deliberately uses only the standard library so that the hot
+// paths it instruments (the STM commit path, the monitor's window
+// bookkeeping) pay nothing beyond an atomic increment, and so that library
+// users who do not opt in pay nothing at all: every integration point in
+// the rest of the tree accepts a nil *Registry or a Nop Recorder.
+//
+// Metric names follow the Prometheus conventions: snake_case, a
+// `_total` suffix on monotone counters, base units (seconds) in the name.
+// See docs/OBSERVABILITY.md for the full catalogue exported by a live run.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value (zero before the first Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// defaultHistogramWindow is the number of most-recent observations a
+// Histogram keeps for its quantile estimates. Cumulative count and sum are
+// unbounded; only the quantiles are windowed, which is the behaviour a
+// continuously running tuner needs (recent window CV, recent throughput)
+// without unbounded memory.
+const defaultHistogramWindow = 512
+
+// Histogram records a stream of float64 observations. It keeps exact
+// cumulative count/sum plus a sliding window of the most recent
+// observations from which min/max/mean/quantiles are computed on demand.
+type Histogram struct {
+	mu    sync.Mutex
+	ring  []float64
+	next  int
+	count uint64 // cumulative observations
+	sum   float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.ring[h.next] = v
+	h.next = (h.next + 1) % len(h.ring)
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram. Count and
+// Sum are cumulative; the order statistics cover only the sliding window.
+type HistogramSnapshot struct {
+	Count  uint64  `json:"count"`
+	Sum    float64 `json:"sum"`
+	Window int     `json:"window"` // samples currently in the window
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"` // mean of the window
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram. With no observations the order
+// statistics are zero.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	n := int(h.count)
+	if n > len(h.ring) {
+		n = len(h.ring)
+	}
+	window := make([]float64, n)
+	copy(window, h.ring[:n])
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Window: n}
+	h.mu.Unlock()
+
+	if n == 0 {
+		return s
+	}
+	sort.Float64s(window)
+	s.Min = window[0]
+	s.Max = window[n-1]
+	total := 0.0
+	for _, v := range window {
+		total += v
+	}
+	s.Mean = total / float64(n)
+	s.P50 = quantile(window, 0.50)
+	s.P90 = quantile(window, 0.90)
+	s.P99 = quantile(window, 0.99)
+	return s
+}
+
+// quantile returns the q-th quantile of sorted (nearest-rank with linear
+// interpolation).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use; the Counter/Gauge/Histogram accessors create the metric
+// on first use and return the same instance thereafter, so call sites can
+// either cache the returned pointer (hot paths) or look it up each time
+// (cold paths).
+//
+// Besides owned metrics, a Registry accepts read-at-export callbacks
+// (CounterFunc, GaugeFunc) for values that already live elsewhere — the
+// bridge the STM's sharded Stats counters use, so the commit path keeps
+// its striped counters and the registry never duplicates state.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	counterFns map[string]func() uint64
+	gaugeFns   map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		hists:      make(map[string]*Histogram),
+		counterFns: make(map[string]func() uint64),
+		gaugeFns:   make(map[string]func() float64),
+	}
+}
+
+// checkName panics on names that are not valid Prometheus metric names or
+// that are already registered with a different metric kind. Callers hold mu.
+func (r *Registry) checkName(name, kind string) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for otherKind, taken := range map[string]bool{
+		"counter":      kind != "counter" && r.counters[name] != nil,
+		"gauge":        kind != "gauge" && r.gauges[name] != nil,
+		"histogram":    kind != "histogram" && r.hists[name] != nil,
+		"counter_func": kind != "counter_func" && r.counterFns[name] != nil,
+		"gauge_func":   kind != "gauge_func" && r.gaugeFns[name] != nil,
+	} {
+		if taken {
+			panic(fmt.Sprintf("obs: metric %q already registered as %s", name, otherKind))
+		}
+	}
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		letter := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[name]; c != nil {
+		return c
+	}
+	r.checkName(name, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.gauges[name]; g != nil {
+		return g
+	}
+	r.checkName(name, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it (with
+// the default sliding window) if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.hists[name]; h != nil {
+		return h
+	}
+	r.checkName(name, "histogram")
+	h := &Histogram{ring: make([]float64, defaultHistogramWindow)}
+	r.hists[name] = h
+	return h
+}
+
+// CounterFunc registers fn as a counter read at export time. Use it to
+// bridge counters that already exist elsewhere (e.g. the STM's sharded
+// Stats) without duplicating state. Re-registering a name replaces the
+// callback.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "counter_func")
+	r.counterFns[name] = fn
+}
+
+// GaugeFunc registers fn as a gauge read at export time. Re-registering a
+// name replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "gauge_func")
+	r.gaugeFns[name] = fn
+}
+
+// family is one named metric resolved for export.
+type family struct {
+	name string
+	kind string // "counter" | "gauge" | "summary"
+	val  float64
+	hist *HistogramSnapshot
+}
+
+// families resolves every metric to an export value, sorted by name so the
+// output is deterministic (golden-testable) and diff-friendly.
+func (r *Registry) families() []family {
+	r.mu.Lock()
+	out := make([]family, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.counterFns)+len(r.gaugeFns))
+	for name, c := range r.counters {
+		out = append(out, family{name: name, kind: "counter", val: float64(c.Value())})
+	}
+	for name, fn := range r.counterFns {
+		out = append(out, family{name: name, kind: "counter", val: float64(fn())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, family{name: name, kind: "gauge", val: g.Value()})
+	}
+	for name, fn := range r.gaugeFns {
+		out = append(out, family{name: name, kind: "gauge", val: fn()})
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	// Snapshot histograms outside the registry lock: Snapshot takes the
+	// histogram's own lock and sorts its window.
+	for name, h := range hists {
+		s := h.Snapshot()
+		out = append(out, family{name: name, kind: "summary", hist: &s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func formatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4). Histograms are rendered as summaries with p50,
+// p90 and p99 quantiles over their sliding window.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.families() {
+		var err error
+		switch f.kind {
+		case "summary":
+			s := f.hist
+			_, err = fmt.Fprintf(w,
+				"# TYPE %[1]s summary\n%[1]s{quantile=\"0.5\"} %[2]s\n%[1]s{quantile=\"0.9\"} %[3]s\n%[1]s{quantile=\"0.99\"} %[4]s\n%[1]s_sum %[5]s\n%[1]s_count %[6]d\n",
+				f.name, formatFloat(s.P50), formatFloat(s.P90), formatFloat(s.P99), formatFloat(s.Sum), s.Count)
+		default:
+			_, err = fmt.Fprintf(w, "# TYPE %[1]s %[2]s\n%[1]s %[3]s\n", f.name, f.kind, formatFloat(f.val))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns a JSON-marshalable view of every metric: counters and
+// gauges as plain numbers, histograms as HistogramSnapshot summaries.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	counters := make(map[string]uint64)
+	gauges := make(map[string]float64)
+	histograms := make(map[string]HistogramSnapshot)
+	for _, f := range r.families() {
+		switch f.kind {
+		case "counter":
+			counters[f.name] = uint64(f.val)
+		case "gauge":
+			gauges[f.name] = f.val
+		case "summary":
+			histograms[f.name] = *f.hist
+		}
+	}
+	out["counters"] = counters
+	out["gauges"] = gauges
+	out["histograms"] = histograms
+	return out
+}
+
+// WriteJSON writes the Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

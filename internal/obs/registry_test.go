@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// populated builds a registry with deterministic contents for the golden
+// exporter tests.
+func populated() *Registry {
+	r := NewRegistry()
+	r.Counter("autopn_test_commits_total").Add(42)
+	r.CounterFunc("autopn_test_bridged_total", func() uint64 { return 7 })
+	r.Gauge("autopn_test_current_t").Set(4)
+	r.GaugeFunc("autopn_test_space_size", func() float64 { return 14 })
+	h := r.Histogram("autopn_test_window_cv")
+	for _, v := range []float64{0.05, 0.08, 0.12, 0.20, 0.03} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (rerun with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populated().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom.golden", buf.Bytes())
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populated().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Must stay parseable regardless of the golden comparison.
+	var v map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	checkGolden(t, "metrics.json.golden", buf.Bytes())
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	if s := h.Snapshot(); s.Count != 0 || s.P50 != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	// Overflow the window: cumulative count/sum keep growing, order
+	// statistics cover only the last defaultHistogramWindow samples.
+	n := defaultHistogramWindow + 100
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(n) {
+		t.Errorf("Count = %d, want %d", s.Count, n)
+	}
+	if s.Window != defaultHistogramWindow {
+		t.Errorf("Window = %d, want %d", s.Window, defaultHistogramWindow)
+	}
+	if s.Min != 100 || s.Max != float64(n-1) {
+		t.Errorf("window bounds [%g, %g], want [100, %d]", s.Min, s.Max, n-1)
+	}
+	if s.P50 < s.Min || s.P50 > s.Max || s.P90 < s.P50 || s.P99 < s.P90 {
+		t.Errorf("quantiles out of order: %+v", s)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(float64(i))
+				r.Histogram("h").Observe(float64(i))
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					if err := r.WritePrometheus(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h").Snapshot().Count; got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestRegistryNameValidation(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9starts_with_digit", "has-dash", "has space"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad)
+		}()
+	}
+	r.Counter("ok_name")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-kind reuse of a name accepted")
+			}
+		}()
+		r.Gauge("ok_name")
+	}()
+}

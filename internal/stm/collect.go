@@ -1,0 +1,28 @@
+package stm
+
+import "autopn/internal/obs"
+
+// Collect registers the STM's transaction counters with r as
+// read-at-export bridges. The commit path keeps writing its sharded
+// striped counters (see stats.go); the registry reads the cross-shard sums
+// only when a scrape or snapshot asks for them, so instrumentation adds
+// zero cost to the hot path.
+//
+// Registered metrics (all counters):
+//
+//	autopn_stm_top_commits_total
+//	autopn_stm_top_aborts_total
+//	autopn_stm_read_only_tops_total
+//	autopn_stm_nested_commits_total
+//	autopn_stm_nested_aborts_total
+//	autopn_stm_user_aborts_total
+//	autopn_stm_versions_written_total
+func (s *Stats) Collect(r *obs.Registry) {
+	r.CounterFunc("autopn_stm_top_commits_total", s.TopCommits)
+	r.CounterFunc("autopn_stm_top_aborts_total", s.TopAborts)
+	r.CounterFunc("autopn_stm_read_only_tops_total", s.ReadOnlyTops)
+	r.CounterFunc("autopn_stm_nested_commits_total", s.NestedCommits)
+	r.CounterFunc("autopn_stm_nested_aborts_total", s.NestedAborts)
+	r.CounterFunc("autopn_stm_user_aborts_total", s.UserAborts)
+	r.CounterFunc("autopn_stm_versions_written_total", s.VersionsWritten)
+}
