@@ -8,7 +8,8 @@ FUZZTIME ?= 30s
 BENCHTIME ?= 100x
 
 .PHONY: all build test test-short race race-all bench bench-stm \
-	bench-smoke fuzz-smoke lint ci repro figures clean
+	bench-compare bench-smoke trace-smoke fuzz-smoke lint ci repro \
+	figures clean
 
 all: build test
 
@@ -24,10 +25,11 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Race-detector pass over the concurrency core (the STM and its actuator),
-# including the snapshot-registry stress tests.
+# Race-detector pass over the concurrency core (the STM with its tracer
+# and actuator, plus the observability layer scraped concurrently),
+# including the snapshot-registry stress and tracer enable/disable tests.
 race:
-	$(GO) test -race ./internal/stm/... ./internal/pnpool/...
+	$(GO) test -race ./internal/stm/... ./internal/pnpool/... ./internal/obs/...
 
 race-all:
 	$(GO) test -race ./...
@@ -38,6 +40,19 @@ bench:
 # STM hot-path microbenchmarks (compare against BENCH_stm.json).
 bench-stm:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/stm/
+
+# Run the hot-path benchmarks and diff them against BENCH_stm.json's
+# "after" numbers, failing on >15% ns/op regressions (the tracing-off
+# overhead guardrail).
+bench-compare:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/stm/ | \
+		$(GO) run ./cmd/bench-compare -baseline BENCH_stm.json -threshold 15
+
+# Produce a sample trace_event dump from a short fully-traced live run
+# (CI uploads stm-trace.json as an artifact; load it in ui.perfetto.dev).
+trace-smoke:
+	$(GO) run ./cmd/autopn-live -workload array -writes 0.5 -cores 4 \
+		-duration 3s -max-window 100ms -trace-sample 1 -trace-out stm-trace.json
 
 # Trend-only benchmark smoke for CI: a fixed, tiny iteration budget so the
 # job is fast; the output is uploaded as an artifact, never gated on.

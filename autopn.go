@@ -136,6 +136,10 @@ type Measurement struct {
 	// CV is the final coefficient of variation of the window's running
 	// throughput estimates (0 when fewer than two commits were seen).
 	CV float64
+	// Aborts is the number of STM aborts (top-level + nested) observed
+	// during the window — the contention cost of the configuration under
+	// measurement.
+	Aborts uint64
 }
 
 // Result summarizes a completed tuning run.
@@ -207,9 +211,15 @@ func NewTuner(s *stm.STM, opts Options) *Tuner {
 		s.SetThrottle(t.pool)
 	}
 	s.SetCommitHook(t.live.OnCommit)
+	t.live.SetAbortSource(func() uint64 {
+		return s.Stats.TopAborts() + s.Stats.NestedAborts()
+	})
 	if reg := opts.Metrics; reg != nil {
 		s.Stats.Collect(reg)
 		t.live.Instrument(reg)
+		if tr := s.Tracer(); tr != nil {
+			tr.Collect(reg)
+		}
 		reg.GaugeFunc("autopn_tuner_current_t", func() float64 { return float64(t.pool.Current().T) })
 		reg.GaugeFunc("autopn_tuner_current_c", func() float64 { return float64(t.pool.Current().C) })
 		reg.GaugeFunc("autopn_tuner_space_size", func() float64 { return float64(t.sp.Size()) })
@@ -318,6 +328,7 @@ func (t *Tuner) tuneOnce(ctx context.Context, rng *stats.RNG) Result {
 				Elapsed:    m.Elapsed,
 				TimedOut:   m.TimedOut,
 				CV:         m.CV,
+				Aborts:     m.Aborts,
 			})
 		}
 		t.rec.Record(obs.Decision{
@@ -325,7 +336,7 @@ func (t *Tuner) tuneOnce(ctx context.Context, rng *stats.RNG) Result {
 			T: cfg.T, C: cfg.C,
 			Throughput: m.Throughput, CV: m.CV, Commits: m.Commits,
 			WindowMS: float64(m.Elapsed) / float64(time.Millisecond),
-			TimedOut: m.TimedOut,
+			TimedOut: m.TimedOut, Aborts: m.Aborts,
 		})
 		if !seen[cfg] {
 			seen[cfg] = true

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -14,6 +15,7 @@ import (
 	"autopn"
 	"autopn/internal/obs"
 	"autopn/internal/stm"
+	stmtrace "autopn/internal/stm/trace"
 	"autopn/internal/workload"
 	"autopn/internal/workload/array"
 	"autopn/internal/workload/tpcc"
@@ -36,6 +38,9 @@ type liveConfig struct {
 	maxWindow   time.Duration
 	httpAddr    string // "" = no HTTP server
 	decisionLog string // "" = no persisted decision log
+	logMaxMB    int    // decision-log size cap per generation (0 = uncapped)
+	traceSample float64
+	traceOut    string // "" = no trace_event dump on exit
 }
 
 // statusPayload is what /status serves: current configuration, phase, and
@@ -50,7 +55,10 @@ type statusPayload struct {
 	C             int               `json:"c"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
 	STM           stm.StatsSnapshot `json:"stm"`
-	Decisions     []obs.Decision    `json:"recent_decisions"`
+	// Contention is the tracer's conflict-attribution report (nil unless
+	// -trace-sample is on).
+	Contention *stmtrace.ConflictReport `json:"contention,omitempty"`
+	Decisions  []obs.Decision           `json:"recent_decisions"`
 }
 
 // statusDecisions is how many trailing decisions /status reports.
@@ -91,7 +99,18 @@ func (r *liveRun) setHTTPAddr(addr string) {
 // leaves a complete, parseable trail behind.
 func (r *liveRun) run(ctx context.Context) error {
 	cfg := r.cfg
-	s := stm.New(stm.Options{LockFreeCommit: cfg.lockfree})
+	// The tracer exists whenever anything could consume it (sampling on, or
+	// a trace dump requested); with -trace-sample 0 it stays idle and the
+	// STM hot path pays only the disabled gate.
+	var tracer *stmtrace.Tracer
+	if cfg.traceSample > 0 || cfg.traceOut != "" {
+		tracer = stmtrace.New(stmtrace.Options{})
+	}
+	s := stm.New(stm.Options{
+		LockFreeCommit:  cfg.lockfree,
+		Tracer:          tracer,
+		TraceSampleRate: cfg.traceSample,
+	})
 	var w workload.Workload
 	switch cfg.workload {
 	case "array":
@@ -119,13 +138,11 @@ func (r *liveRun) run(ctx context.Context) error {
 	reg := obs.NewRegistry()
 	ring := obs.NewRing(128)
 	recorders := obs.Multi{ring}
-	var jsonl *obs.JSONL
 	if cfg.decisionLog != "" {
-		f, err := os.Create(cfg.decisionLog)
+		jsonl, err := obs.NewJSONLFile(cfg.decisionLog, int64(cfg.logMaxMB)<<20)
 		if err != nil {
 			return fmt.Errorf("decision log: %w", err)
 		}
-		jsonl = obs.NewJSONL(f)
 		recorders = append(recorders, jsonl)
 		defer func() {
 			if err := jsonl.Close(); err != nil {
@@ -159,7 +176,7 @@ func (r *liveRun) run(ctx context.Context) error {
 		start := time.Now()
 		status := func() any {
 			cur := tuner.Current()
-			return statusPayload{
+			p := statusPayload{
 				Workload:      w.Name(),
 				Strategy:      cfg.strategy,
 				Cores:         cfg.cores,
@@ -171,12 +188,40 @@ func (r *liveRun) run(ctx context.Context) error {
 				STM:           s.Stats.Snapshot(),
 				Decisions:     ring.Last(statusDecisions),
 			}
+			if tracer != nil {
+				rep := tracer.Conflicts(statusHotBoxes)
+				p.Contention = &rep
+			}
+			return p
 		}
 		ln, err := net.Listen("tcp", cfg.httpAddr)
 		if err != nil {
 			return fmt.Errorf("http: %w", err)
 		}
-		srv := &http.Server{Handler: obs.NewHandler(reg, status)}
+		var extra []obs.Endpoint
+		if tracer != nil {
+			extra = append(extra,
+				obs.Endpoint{
+					Path: "/debug/stm/conflicts",
+					Desc: "conflict-attribution report (abort reasons, hottest boxes)",
+					Handler: http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+						rw.Header().Set("Content-Type", "application/json")
+						enc := json.NewEncoder(rw)
+						enc.SetIndent("", "  ")
+						_ = enc.Encode(tracer.Conflicts(statusHotBoxes))
+					}),
+				},
+				obs.Endpoint{
+					Path: "/debug/stm/trace",
+					Desc: "sampled transaction spans as Chrome trace_event JSON (load in Perfetto)",
+					Handler: http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+						rw.Header().Set("Content-Type", "application/json")
+						_ = tracer.WriteTraceEvents(rw)
+					}),
+				},
+			)
+		}
+		srv := &http.Server{Handler: obs.NewHandler(reg, status, extra...)}
 		go func() { _ = srv.Serve(ln) }()
 		defer func() {
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
@@ -215,11 +260,63 @@ func (r *liveRun) run(ctx context.Context) error {
 	snap := s.Stats.Snapshot()
 	fmt.Fprintf(r.out, "stm: %d top commits (%d read-only), %d top aborts, %d nested commits, %d nested aborts\n",
 		snap.TopCommits, snap.ReadOnlyTops, snap.TopAborts, snap.NestedCommits, snap.NestedAborts)
+	if tracer != nil {
+		printConflictSummary(r.out, tracer)
+		if cfg.traceOut != "" {
+			f, err := os.Create(cfg.traceOut)
+			if err != nil {
+				return fmt.Errorf("trace out: %w", err)
+			}
+			werr := tracer.WriteTraceEvents(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("trace out: %w", werr)
+			}
+			fmt.Fprintf(r.out, "trace: %d spans written to %s (open in ui.perfetto.dev)\n",
+				tracer.SpanCount()-tracer.Dropped(), cfg.traceOut)
+		}
+	}
 	fmt.Fprintf(r.out, "final metrics snapshot:\n")
 	if err := reg.WritePrometheus(r.out); err != nil {
 		return err
 	}
 	return nil
+}
+
+// statusHotBoxes is how many hot boxes /status and /debug/stm/conflicts
+// report.
+const statusHotBoxes = 10
+
+// printConflictSummary renders the tracer's contention picture in the
+// final report: sampled coverage, abort reasons, hottest boxes.
+func printConflictSummary(out io.Writer, tracer *stmtrace.Tracer) {
+	rep := tracer.Conflicts(3)
+	fmt.Fprintf(out, "contention (sampled %d tx, %d spans", rep.SampledTx, rep.Spans)
+	if rep.DroppedSpans > 0 {
+		fmt.Fprintf(out, ", %d dropped", rep.DroppedSpans)
+	}
+	fmt.Fprintf(out, "):\n")
+	if len(rep.Reasons) == 0 {
+		fmt.Fprintf(out, "  no aborts sampled\n")
+		return
+	}
+	for _, reason := range []stmtrace.Reason{
+		stmtrace.ReasonTopValidation, stmtrace.ReasonLockFreeHelp,
+		stmtrace.ReasonNestedParent, stmtrace.ReasonNestedSibling,
+		stmtrace.ReasonUser,
+	} {
+		if n := rep.Reasons[reason.String()]; n > 0 {
+			fmt.Fprintf(out, "  %-22s %d\n", reason.String(), n)
+		}
+	}
+	for _, box := range rep.TopBoxes {
+		fmt.Fprintf(out, "  hot box %s: %d aborts\n", box.Box, box.Aborts)
+	}
+	if rep.OtherBoxAborts > 0 {
+		fmt.Fprintf(out, "  other boxes: %d aborts\n", rep.OtherBoxAborts)
+	}
 }
 
 // defaultCores is the flag default, split out so main and the tests agree.

@@ -15,18 +15,23 @@ import (
 	"time"
 
 	"autopn/internal/obs"
+	stmtrace "autopn/internal/stm/trace"
 )
 
 // TestLiveEndToEnd runs the full command path — real STM, real workload
-// driver, AutoPN strategy — with the HTTP introspection server and the
-// JSONL decision log enabled, and asserts that (a) /metrics and /status
-// serve live data while the run is in flight, and (b) the persisted
-// decision log parses and covers all three tuning phases.
+// driver, AutoPN strategy — with the HTTP introspection server, the JSONL
+// decision log and full transaction tracing enabled, and asserts that (a)
+// /metrics, /status and the /debug/stm endpoints serve live data while the
+// run is in flight, (b) the persisted decision log parses and covers all
+// three tuning phases, and (c) the trace_event dump written on exit parses
+// and carries spans.
 func TestLiveEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live timing test")
 	}
-	logPath := filepath.Join(t.TempDir(), "decisions.jsonl")
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "decisions.jsonl")
+	tracePath := filepath.Join(dir, "trace.json")
 	cfg := liveConfig{
 		workload: "array",
 		writes:   0.1,
@@ -41,6 +46,9 @@ func TestLiveEndToEnd(t *testing.T) {
 		maxWindow:   80 * time.Millisecond,
 		httpAddr:    "127.0.0.1:0",
 		decisionLog: logPath,
+		logMaxMB:    64,
+		traceSample: 1,
+		traceOut:    tracePath,
 	}
 	var out bytes.Buffer
 	r := newLiveRun(cfg, &out)
@@ -84,8 +92,12 @@ func TestLiveEndToEnd(t *testing.T) {
 	for _, want := range []string{
 		"autopn_stm_top_commits_total",
 		"autopn_monitor_windows_total",
+		"autopn_monitor_window_aborts",
 		"autopn_tuner_current_t",
 		"autopn_tuner_space_size 14",
+		"autopn_stm_trace_sampled_total",
+		"autopn_stm_trace_aborts_top_validation_total",
+		"autopn_stm_phase_commit_seconds_count",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -108,8 +120,40 @@ func TestLiveEndToEnd(t *testing.T) {
 		t.Errorf("/status space_size = %d, want 14", st.SpaceSize)
 	}
 
+	if st.Contention == nil {
+		t.Error("/status has no contention section with tracing on")
+	} else if st.Contention.SampledTx == 0 {
+		t.Error("/status contention sampled no transactions at rate 1")
+	}
+
 	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
 		t.Errorf("/debug/pprof/ status %d", code)
+	}
+
+	// The tracing endpoints serve parseable reports while the run is live.
+	code, body = get("/debug/stm/conflicts")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/stm/conflicts status %d", code)
+	}
+	var rep stmtrace.ConflictReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/debug/stm/conflicts does not parse: %v\n%s", err, body)
+	}
+	if rep.SampledTx == 0 {
+		t.Error("/debug/stm/conflicts reports zero sampled transactions at rate 1")
+	}
+	code, body = get("/debug/stm/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/stm/trace status %d", code)
+	}
+	var live struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &live); err != nil {
+		t.Fatalf("/debug/stm/trace does not parse: %v", err)
+	}
+	if len(live.TraceEvents) == 0 {
+		t.Error("/debug/stm/trace served no events at sample rate 1")
 	}
 
 	// Let the run finish on its own (convergence well before -duration).
@@ -164,6 +208,39 @@ func TestLiveEndToEnd(t *testing.T) {
 		}
 	}
 	t.Logf("decision log: %d records, phases %v, kinds %v", lines, phases, kinds)
+
+	// The trace_event dump written on exit parses and carries X events with
+	// the pid/tid identity scheme (pid = root span) Perfetto groups by.
+	traceBytes, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace dump: %v", err)
+	}
+	var dump struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			PID uint64 `json:"pid"`
+			TID uint64 `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceBytes, &dump); err != nil {
+		t.Fatalf("trace dump does not parse: %v", err)
+	}
+	xEvents := 0
+	for _, e := range dump.TraceEvents {
+		if e.Ph == "X" {
+			xEvents++
+			if e.PID == 0 || e.TID == 0 {
+				t.Errorf("X event with zero pid/tid: %+v", e)
+			}
+		}
+	}
+	if xEvents == 0 {
+		t.Error("trace dump has no span events")
+	}
+	t.Logf("trace dump: %d events (%d spans)", len(dump.TraceEvents), xEvents)
+	if !strings.Contains(out.String(), "contention (sampled") {
+		t.Errorf("final report lacks the contention summary:\n%s", out.String())
+	}
 }
 
 // TestLiveRejectsBadFlags covers the validation exits.

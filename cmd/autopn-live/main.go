@@ -7,15 +7,21 @@
 // With -http it additionally serves the tuner's introspection surface
 // (Prometheus /metrics, JSON /status with the current configuration,
 // phase and recent decisions, and /debug/pprof), and with -decision-log it
-// persists every tuning decision as JSONL; see docs/OBSERVABILITY.md.
-// SIGINT/SIGTERM trigger a graceful shutdown that flushes the decision log
-// and prints the final metrics snapshot before exiting.
+// persists every tuning decision as JSONL, size-rotated past
+// -decision-log-max-mb; see docs/OBSERVABILITY.md. With -trace-sample it
+// traces that fraction of transactions through the STM's conflict
+// profiler: /debug/stm/conflicts reports abort reasons and the hottest
+// boxes, /debug/stm/trace (and -trace-out on exit) exports the sampled
+// spans as Chrome trace_event JSON for Perfetto. SIGINT/SIGTERM trigger a
+// graceful shutdown that flushes the decision log and prints the final
+// metrics snapshot before exiting.
 //
 // Usage:
 //
 //	autopn-live -workload array -writes 0.5 -cores 8 -duration 10s
 //	autopn-live -workload tpcc -level med -strategy autopn
 //	autopn-live -http :6060 -decision-log decisions.jsonl -retune
+//	autopn-live -trace-sample 0.01 -trace-out trace.json -http :6060
 package main
 
 import (
@@ -44,6 +50,9 @@ func main() {
 	flag.DurationVar(&cfg.maxWindow, "max-window", 2*time.Second, "bound on any single measurement window")
 	flag.StringVar(&cfg.httpAddr, "http", "", "serve /metrics, /status and /debug/pprof on this address (e.g. :6060)")
 	flag.StringVar(&cfg.decisionLog, "decision-log", "", "write the JSONL decision log to this file")
+	flag.IntVar(&cfg.logMaxMB, "decision-log-max-mb", 64, "rotate the decision log past this size (0 = never)")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 0, "fraction of transactions to trace (0..1; 0 = off)")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write sampled spans as Chrome trace_event JSON to this file on exit")
 	flag.Parse()
 
 	// A graceful-shutdown context: the first SIGINT/SIGTERM cancels the

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBaseline = `{
+  "benchmarks": {
+    "BenchmarkFast/Seq": {"after": {"ns_op": 100, "b_op": 0, "allocs_op": 0}},
+    "BenchmarkSlow/Seq": {"after": {"ns_op": 1000, "b_op": 160, "allocs_op": 7}},
+    "BenchmarkGone/Seq": {"after": {"ns_op": 50, "b_op": 0, "allocs_op": 0}}
+  }
+}`
+
+const sampleRun = `goos: linux
+goarch: amd64
+pkg: autopn/internal/stm
+BenchmarkFast/Seq-8     	10000000	       105.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSlow/Seq-8     	 1000000	      1300 ns/op	     200 B/op	       9 allocs/op
+BenchmarkNew/Seq-8      	 5000000	       250.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func parseBaseline(t *testing.T) baselineFile {
+	t.Helper()
+	var b baselineFile
+	if err := json.Unmarshal([]byte(sampleBaseline), &b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParseBenchStripsProcsSuffix(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	if results[0].name != "BenchmarkFast/Seq" || results[0].nsOp != 105 {
+		t.Errorf("first result = %+v", results[0])
+	}
+	if !results[1].hasAlloc || results[1].allocsOp != 9 {
+		t.Errorf("allocs not parsed: %+v", results[1])
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	violations := compare(&out, results, parseBaseline(t), 15, false)
+	report := out.String()
+
+	// Slow regressed 30% (> 15%): one violation. Fast is within 5%: ok.
+	if violations != 1 {
+		t.Errorf("violations = %d, want 1\n%s", violations, report)
+	}
+	for _, want := range []string{
+		"REGRESSED >15% BenchmarkSlow/Seq",
+		"ok        BenchmarkFast/Seq",
+		"ALLOCS    BenchmarkSlow/Seq",
+		"new       BenchmarkNew/Seq",
+		"missing   BenchmarkGone/Seq",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestCompareStrictAllocs(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strict mode also counts the allocs/op increase on Slow.
+	if v := compare(&strings.Builder{}, results, parseBaseline(t), 15, true); v != 2 {
+		t.Errorf("strict violations = %d, want 2", v)
+	}
+	// A generous threshold leaves only the alloc violation.
+	if v := compare(&strings.Builder{}, results, parseBaseline(t), 50, true); v != 1 {
+		t.Errorf("generous-threshold strict violations = %d, want 1", v)
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	run := "BenchmarkFast/Seq-8 1000 101.0 ns/op 0 B/op 0 allocs/op\n" +
+		"BenchmarkSlow/Seq-8 1000 1050 ns/op 150 B/op 7 allocs/op\n"
+	results, err := parseBench(strings.NewReader(run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := compare(&strings.Builder{}, results, parseBaseline(t), 15, true); v != 0 {
+		t.Errorf("violations = %d, want 0", v)
+	}
+}

@@ -14,8 +14,9 @@ type Live struct {
 	// PollInterval bounds how late a deadline can fire (default 1ms).
 	PollInterval time.Duration
 
-	clock   Clock
-	metrics *liveMetrics // set by Instrument; nil = no metrics
+	clock       Clock
+	metrics     *liveMetrics  // set by Instrument; nil = no metrics
+	abortSource func() uint64 // set by SetAbortSource; nil = no abort counts
 
 	mu     sync.Mutex
 	active *liveWindow
@@ -30,6 +31,12 @@ type liveWindow struct {
 func NewLive(clock Clock) *Live {
 	return &Live{clock: clock, PollInterval: time.Millisecond}
 }
+
+// SetAbortSource installs a cumulative abort counter (typically the STM's
+// Stats total); Measure snapshots it around each window and reports the
+// delta as Measurement.Aborts. Like the rest of the monitor's
+// configuration it must not be swapped while a window is active.
+func (l *Live) SetAbortSource(src func() uint64) { l.abortSource = src }
 
 // OnCommit records one top-level commit. It is safe for concurrent use and
 // cheap when no window is active; install it via stm.Options.CommitHook.
@@ -55,7 +62,14 @@ func (l *Live) OnCommit() {
 // may be active at a time; concurrent Measure calls are serialized by the
 // caller's protocol (the tuner measures sequentially).
 func (l *Live) Measure(policy Policy) Measurement {
+	var aborts0 uint64
+	if l.abortSource != nil {
+		aborts0 = l.abortSource()
+	}
 	m := l.measure(policy)
+	if l.abortSource != nil {
+		m.Aborts = l.abortSource() - aborts0
+	}
 	if l.metrics != nil {
 		l.metrics.observe(m)
 	}

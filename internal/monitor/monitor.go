@@ -59,6 +59,12 @@ type Measurement struct {
 	// CV is the final coefficient of variation of the running throughput
 	// estimates (0 when fewer than two commits were seen).
 	CV float64
+	// Aborts is the number of STM aborts observed during the window (0
+	// unless an abort source is installed via Live.SetAbortSource). Together
+	// with Throughput it tells wasted work from useful work, which is what
+	// distinguishes a low-throughput configuration that is starved from one
+	// that is thrashing on conflicts.
+	Aborts uint64
 }
 
 // Policy decides when a measurement window is complete. Implementations

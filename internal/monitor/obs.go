@@ -12,6 +12,7 @@ type liveMetrics struct {
 	seconds    *obs.Histogram
 	throughput *obs.Histogram
 	commits    *obs.Histogram
+	aborts     *obs.Histogram
 }
 
 // Instrument registers the monitor's window metrics with r and makes every
@@ -23,6 +24,7 @@ type liveMetrics struct {
 //	autopn_monitor_window_seconds          window length in seconds (summary)
 //	autopn_monitor_window_throughput       window throughput in commits/s (summary)
 //	autopn_monitor_window_commits          commits sampled per window (summary)
+//	autopn_monitor_window_aborts           STM aborts per window (summary; needs SetAbortSource)
 //
 // Call it before the first Measure; like the rest of the monitor's
 // configuration it must not be swapped while a window is active.
@@ -34,6 +36,7 @@ func (l *Live) Instrument(r *obs.Registry) {
 		seconds:    r.Histogram("autopn_monitor_window_seconds"),
 		throughput: r.Histogram("autopn_monitor_window_throughput"),
 		commits:    r.Histogram("autopn_monitor_window_commits"),
+		aborts:     r.Histogram("autopn_monitor_window_aborts"),
 	}
 }
 
@@ -47,4 +50,5 @@ func (m *liveMetrics) observe(meas Measurement) {
 	m.seconds.Observe(meas.Elapsed.Seconds())
 	m.throughput.Observe(meas.Throughput)
 	m.commits.Observe(float64(meas.Commits))
+	m.aborts.Observe(float64(meas.Aborts))
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"os"
 	"sync"
 	"time"
 )
@@ -63,6 +64,10 @@ type Decision struct {
 	CV float64 `json:"cv,omitempty"`
 	// Commits is the number of commits observed in the window.
 	Commits int `json:"commits,omitempty"`
+	// Aborts is the number of STM aborts (top-level + nested) observed in
+	// the window, correlating a tuning decision with the contention that
+	// drove it.
+	Aborts uint64 `json:"aborts,omitempty"`
 	// WindowMS is the measurement window length in milliseconds.
 	WindowMS float64 `json:"window_ms,omitempty"`
 	// TimedOut marks a window ended by the adaptive timeout rather than CV
@@ -161,6 +166,114 @@ func (j *JSONL) Close() error {
 	j.mu.Unlock()
 	if c != nil {
 		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// JSONLFile is a JSONL recorder that owns its file and rotates it by size:
+// when a record would push the current file past maxBytes, the file is
+// renamed to path+".1" (replacing any previous rotation) and a fresh file
+// is opened at path. At most two files ever exist, bounding the disk
+// footprint of a long-running autopn-live at ~2×maxBytes.
+type JSONLFile struct {
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	path     string
+	maxBytes int64
+	size     int64
+	seq      uint64
+	err      error
+}
+
+// NewJSONLFile opens (truncating) a size-rotated JSONL recorder at path.
+// maxBytes <= 0 disables rotation.
+func NewJSONLFile(path string, maxBytes int64) (*JSONLFile, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &JSONLFile{f: f, w: bufio.NewWriter(f), path: path, maxBytes: maxBytes}, nil
+}
+
+// Record implements Recorder. Errors (encoding, I/O, rotation) are sticky
+// and reported by Err/Flush/Close; recording never blocks the tuner.
+func (j *JSONLFile) Record(d Decision) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	stamp(&d, &j.seq)
+	b, err := json.Marshal(d)
+	if err != nil {
+		j.err = err
+		return
+	}
+	line := int64(len(b) + 1)
+	if j.maxBytes > 0 && j.size > 0 && j.size+line > j.maxBytes {
+		if j.err = j.rotate(); j.err != nil {
+			return
+		}
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		j.err = err
+		return
+	}
+	j.size += line
+}
+
+// rotate closes the current file, shifts it to path+".1" and reopens.
+// Caller holds j.mu.
+func (j *JSONLFile) rotate() error {
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(j.path, j.path+".1"); err != nil {
+		return err
+	}
+	f, err := os.Create(j.path)
+	if err != nil {
+		return err
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	j.size = 0
+	return nil
+}
+
+// Err returns the first error encountered while recording.
+func (j *JSONLFile) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Flush writes buffered records through to the file.
+func (j *JSONLFile) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.w.Flush()
+	return j.err
+}
+
+// Close flushes and closes the file.
+func (j *JSONLFile) Close() error {
+	err := j.Flush()
+	j.mu.Lock()
+	f := j.f
+	j.f = nil
+	j.mu.Unlock()
+	if f != nil {
+		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 	}

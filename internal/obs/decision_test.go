@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
@@ -142,5 +144,117 @@ func TestMultiFansOut(t *testing.T) {
 	}
 	if ring.Len() != 1 {
 		t.Error("ring recorder saw nothing")
+	}
+}
+
+// TestJSONLFileRotation fills a size-capped file recorder past its limit
+// and checks the rotation contract: the live file restarts, the previous
+// generation moves to path+".1", and no records are lost across the
+// boundary (sequence numbers stay contiguous across both files).
+func TestJSONLFileRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.jsonl")
+	// Each record is ~100 bytes; cap at 1 KiB so ~10 records per generation.
+	j, err := NewJSONLFile(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		j.Record(Decision{Kind: KindMeasurement, T: 1 + i%4, C: 1 + i%3,
+			Throughput: float64(1000 + i), Commits: i, Aborts: uint64(i % 7)})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	readSeqs := func(p string) []uint64 {
+		t.Helper()
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var seqs []uint64
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			var d Decision
+			if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+				t.Fatalf("%s: bad line %q: %v", p, sc.Text(), err)
+			}
+			seqs = append(seqs, d.Seq)
+		}
+		return seqs
+	}
+
+	old := readSeqs(path + ".1")
+	cur := readSeqs(path)
+	if len(old) == 0 {
+		t.Fatal("no rotated file produced")
+	}
+	fi, err := os.Stat(path + ".1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 1024 {
+		t.Errorf("rotated file is %d bytes, over the 1024 cap", fi.Size())
+	}
+	// The live file holds the tail; together the two most recent
+	// generations must cover a contiguous suffix ending at n. Earlier
+	// generations are deliberately discarded (bounded footprint), so only
+	// contiguity is checked, not full coverage.
+	all := append(old, cur...)
+	if all[len(all)-1] != n {
+		t.Fatalf("last seq = %d, want %d", all[len(all)-1], n)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i] != all[i-1]+1 {
+			t.Fatalf("sequence gap at %d: %d -> %d", i, all[i-1], all[i])
+		}
+	}
+}
+
+// TestJSONLFileNoRotationWhenUncapped checks maxBytes <= 0 disables
+// rotation entirely.
+func TestJSONLFileNoRotationWhenUncapped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.jsonl")
+	j, err := NewJSONLFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		j.Record(Decision{Kind: KindMeasurement, Throughput: float64(i)})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Errorf("uncapped recorder rotated: %v", err)
+	}
+}
+
+// TestJSONLFileConcurrent hammers one file recorder from several
+// goroutines across rotation boundaries (meaningful under -race).
+func TestJSONLFileConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.jsonl")
+	j, err := NewJSONLFile(path, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				j.Record(Decision{Kind: KindMeasurement, T: g, C: i, Throughput: float64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
 	}
 }

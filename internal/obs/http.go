@@ -2,9 +2,22 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 )
+
+// Endpoint is an additional route mounted on the introspection handler —
+// how subsystems outside obs (e.g. the STM's conflict profiler) expose
+// their own debug surfaces without obs importing them.
+type Endpoint struct {
+	// Path is the route pattern (e.g. "/debug/stm/conflicts").
+	Path string
+	// Desc is the one-line description shown on the index page.
+	Desc string
+	// Handler serves the route.
+	Handler http.Handler
+}
 
 // NewHandler returns the tuner's HTTP introspection surface:
 //
@@ -14,10 +27,10 @@ import (
 //	/debug/pprof/*  the runtime's profiling endpoints
 //	/               a plain-text index of the above
 //
-// status may be nil, in which case /status serves 404. The handler is
-// standalone (its own ServeMux) so callers never mutate
-// http.DefaultServeMux.
-func NewHandler(reg *Registry, status func() any) http.Handler {
+// status may be nil, in which case /status serves 404. Additional routes
+// (with index entries) are mounted via extra. The handler is standalone
+// (its own ServeMux) so callers never mutate http.DefaultServeMux.
+func NewHandler(reg *Registry, status func() any, extra ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -45,17 +58,23 @@ func NewHandler(reg *Registry, status func() any) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
+	index := "autopn introspection\n\n" +
+		"/metrics        Prometheus text\n" +
+		"/metrics.json   metrics as JSON\n" +
+		"/status         tuner status (current config, phase, recent decisions)\n" +
+		"/debug/pprof/   runtime profiles\n"
+	for _, e := range extra {
+		mux.Handle(e.Path, e.Handler)
+		index += fmt.Sprintf("%-15s %s\n", e.Path, e.Desc)
+	}
+
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("autopn introspection\n\n" +
-			"/metrics        Prometheus text\n" +
-			"/metrics.json   metrics as JSON\n" +
-			"/status         tuner status (current config, phase, recent decisions)\n" +
-			"/debug/pprof/   runtime profiles\n"))
+		_, _ = w.Write([]byte(index))
 	})
 	return mux
 }

@@ -2,11 +2,14 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
@@ -87,4 +90,94 @@ func TestHandlerNilStatus(t *testing.T) {
 	if code, _, _ := get(t, srv, "/status"); code != http.StatusNotFound {
 		t.Errorf("/status with nil callback: status %d, want 404", code)
 	}
+}
+
+// TestHandlerExtraEndpoints mounts additional debug endpoints (the hook
+// autopn-live uses for /debug/stm/conflicts and /debug/stm/trace) and
+// checks they serve and appear on the index page.
+func TestHandlerExtraEndpoints(t *testing.T) {
+	extra := Endpoint{
+		Path: "/debug/stm/conflicts",
+		Desc: "conflict report",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `{"reasons":{}}`)
+		}),
+	}
+	srv := httptest.NewServer(NewHandler(NewRegistry(), nil, extra))
+	defer srv.Close()
+
+	code, ct, body := get(t, srv, "/debug/stm/conflicts")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("extra endpoint: status %d content type %q", code, ct)
+	}
+	if body != `{"reasons":{}}` {
+		t.Errorf("extra endpoint body %q", body)
+	}
+	if _, _, index := get(t, srv, "/"); !strings.Contains(index, "/debug/stm/conflicts") {
+		t.Errorf("index does not list the extra endpoint:\n%s", index)
+	}
+}
+
+// TestMetricsScrapeDuringUpdates scrapes /metrics and /metrics.json while
+// counters, gauges and histograms are being updated and late metrics are
+// still being registered — the concurrent-observability race gate.
+func TestMetricsScrapeDuringUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("autopn_test_ops_total")
+	g := reg.Gauge("autopn_test_level")
+	h := reg.Histogram("autopn_test_latency_seconds")
+	srv := httptest.NewServer(NewHandler(reg, func() any { return map[string]int{"ok": 1} }))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // writer: update metrics and register new ones
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Add(1)
+			g.Set(float64(i))
+			h.Observe(float64(i%10) / 1000)
+			if i%50 == 0 {
+				reg.CounterFunc(fmt.Sprintf("autopn_test_late_%d_total", i), func() uint64 { return 1 })
+				reg.RegisterHistogram(fmt.Sprintf("autopn_test_late_hist_%d", i), NewHistogram(16))
+			}
+		}
+	}()
+	scrape := func(path string) error {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.ReadAll(resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+	go func() { // scraper (no t.Fatal off the test goroutine)
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if err := scrape("/metrics"); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := scrape("/metrics.json"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
 }

@@ -62,12 +62,26 @@ const defaultHistogramWindow = 512
 // Histogram records a stream of float64 observations. It keeps exact
 // cumulative count/sum plus a sliding window of the most recent
 // observations from which min/max/mean/quantiles are computed on demand.
+// Create with Registry.Histogram (registered) or NewHistogram
+// (standalone, registrable later with Registry.RegisterHistogram); the
+// zero value is not usable.
 type Histogram struct {
 	mu    sync.Mutex
 	ring  []float64
 	next  int
 	count uint64 // cumulative observations
 	sum   float64
+}
+
+// NewHistogram returns a standalone histogram with the given sliding
+// window (<= 0 selects the default of 512). Use it when the owning
+// subsystem wants to keep the histogram whether or not a registry exists,
+// and bridge it in with Registry.RegisterHistogram.
+func NewHistogram(window int) *Histogram {
+	if window <= 0 {
+		window = defaultHistogramWindow
+	}
+	return &Histogram{ring: make([]float64, window)}
 }
 
 // Observe records one sample.
@@ -239,6 +253,15 @@ func (r *Registry) Histogram(name string) *Histogram {
 	h := &Histogram{ring: make([]float64, defaultHistogramWindow)}
 	r.hists[name] = h
 	return h
+}
+
+// RegisterHistogram registers an existing histogram (NewHistogram) under
+// name. Re-registering a name replaces the previous histogram.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "histogram")
+	r.hists[name] = h
 }
 
 // CounterFunc registers fn as a counter read at export time. Use it to

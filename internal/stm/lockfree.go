@@ -1,6 +1,10 @@
 package stm
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	stmtrace "autopn/internal/stm/trace"
+)
 
 // This file implements the lock-free commit algorithm of JVSTM (Fernandes
 // & Cachopo, "Lock-free and scalable multi-version software transactional
@@ -117,17 +121,26 @@ func (s *STM) helpCommits() {
 		// (all of which are done, by queue order): a box read at snapshot
 		// readVersion must not have a newer committed version.
 		valid := true
+		var conflictBox *vbox
 		for _, b := range r.tx.globalReads {
 			if b.currentVersion() > r.tx.readVersion {
 				valid = false
+				conflictBox = b
 				break
 			}
 		}
-		target := commitValid
-		if !valid {
-			target = commitAborted
+		if valid {
+			r.status.CompareAndSwap(commitPending, commitValid)
+		} else if r.status.CompareAndSwap(commitPending, commitAborted) {
+			// Attribution rides the winning CAS so concurrent helpers
+			// cannot double-count one abort. The owner's span pointer is
+			// safely visible through the queue-publication CAS; Span.
+			// Conflict is helper-goroutine-safe.
+			if sp := r.tx.span; sp != nil {
+				key, label := boxKeyLabel(conflictBox)
+				sp.Conflict(stmtrace.ReasonLockFreeHelp, key, label)
+			}
 		}
-		r.status.CompareAndSwap(commitPending, target)
 	}
 
 	if r.status.Load() == commitValid {

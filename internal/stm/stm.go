@@ -31,12 +31,14 @@ package stm
 
 import (
 	"errors"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"autopn/internal/stats"
+	stmtrace "autopn/internal/stm/trace"
 )
 
 // Throttle gates admission of transactions. Implementations must be safe
@@ -86,6 +88,16 @@ type Options struct {
 	// backoff with jitter). Backoff(0) is called before the second
 	// attempt.
 	Backoff func(attempt int)
+	// Tracer, if non-nil, receives sampled transaction spans and conflict
+	// attribution (see internal/stm/trace). Whether anything is sampled is
+	// governed by TraceSampleRate; both are swappable at runtime via
+	// SetTracer / SetTraceSampleRate.
+	Tracer *stmtrace.Tracer
+	// TraceSampleRate is the fraction of top-level transactions traced,
+	// in [0, 1]. The whole parallel-nesting tree of a sampled transaction
+	// is traced. Zero (the default) keeps tracing off: the begin path then
+	// pays a single atomic load and a predictable branch.
+	TraceSampleRate float64
 }
 
 // ErrTooManyRetries is returned by Atomic when Options.MaxRetries is set
@@ -113,6 +125,15 @@ type STM struct {
 	// txPool recycles transaction state; see pool.go.
 	txPool sync.Pool
 
+	// Transaction tracing (internal/stm/trace). traceThreshold is the
+	// sampling gate the begin path loads: 0 means off, ^0 means always,
+	// anything else is compared against a per-transaction splitmix64 draw.
+	// Keeping the gate on the STM (not the tracer) makes "tracing
+	// disabled" exactly one atomic load, tracer attached or not.
+	tracer         atomic.Pointer[stmtrace.Tracer]
+	traceThreshold atomic.Uint64
+	traceSeq       atomic.Uint64
+
 	// Stats are the cumulative transaction counters (sharded; see stats.go).
 	Stats Stats
 }
@@ -123,6 +144,10 @@ func New(opts Options) *STM {
 	if opts.LockFreeCommit {
 		s.initLockFree()
 	}
+	if opts.Tracer != nil {
+		s.tracer.Store(opts.Tracer)
+	}
+	s.SetTraceSampleRate(opts.TraceSampleRate)
 	return s
 }
 
@@ -137,6 +162,57 @@ func (s *STM) SetCommitHook(h func()) { s.opts.CommitHook = h }
 // concurrently with running transactions.
 func (s *STM) SetThrottle(t Throttle) { s.opts.Throttle = t }
 
+// Tracer returns the attached transaction tracer (nil when tracing was
+// never wired).
+func (s *STM) Tracer() *stmtrace.Tracer { return s.tracer.Load() }
+
+// SetTracer attaches (or, with nil, detaches) the transaction tracer.
+// Safe to call concurrently with running transactions: in-flight sampled
+// trees keep reporting to the tracer they started on.
+func (s *STM) SetTracer(t *stmtrace.Tracer) { s.tracer.Store(t) }
+
+// SetTraceSampleRate changes the fraction of top-level transactions
+// sampled for tracing (clamped to [0, 1]). Safe to call concurrently with
+// running transactions — the gate is a single atomic.
+func (s *STM) SetTraceSampleRate(rate float64) {
+	switch {
+	case rate <= 0 || math.IsNaN(rate):
+		s.traceThreshold.Store(0)
+	case rate >= 1:
+		s.traceThreshold.Store(^uint64(0))
+	default:
+		s.traceThreshold.Store(uint64(rate * float64(1<<63) * 2))
+	}
+}
+
+// sampleTrace decides whether the next logical top-level transaction is
+// traced, returning the tracer to report to (nil = untraced). The
+// disabled path is one atomic load and a never-taken branch.
+func (s *STM) sampleTrace() *stmtrace.Tracer {
+	th := s.traceThreshold.Load()
+	if th == 0 {
+		return nil
+	}
+	tr := s.tracer.Load()
+	if tr == nil {
+		return nil
+	}
+	if th != ^uint64(0) {
+		// splitmix64 over a shared counter: cheap, and statistically fine
+		// for a sampling decision.
+		x := s.traceSeq.Add(0x9e3779b97f4a7c15)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x >= th {
+			return nil
+		}
+	}
+	return tr
+}
+
 // Atomic runs fn as a top-level transaction, retrying on conflicts until it
 // commits, fn returns a non-nil error (which aborts and is returned), or
 // the retry limit is exceeded.
@@ -145,9 +221,10 @@ func (s *STM) Atomic(fn func(tx *Tx) error) error {
 		th.EnterTop()
 		defer th.ExitTop()
 	}
+	tr := s.sampleTrace() // nil unless this logical transaction is traced
 	var rng *stats.RNG
 	for attempt := 0; ; attempt++ {
-		tx := s.beginTop()
+		tx := s.beginTop(tr, attempt)
 		err, conflicted := tx.runTop(fn)
 		if !conflicted {
 			s.putTx(tx)
@@ -182,7 +259,7 @@ func (s *STM) AtomicReadOnly(fn func(tx *Tx) error) error {
 		th.EnterTop()
 		defer th.ExitTop()
 	}
-	tx := s.beginTop()
+	tx := s.beginTop(s.sampleTrace(), 0)
 	tx.readOnly = true
 	err, conflicted := tx.runTop(fn)
 	if conflicted {
@@ -211,8 +288,14 @@ func AtomicResult[T any](s *STM, fn func(tx *Tx) (T, error)) (T, error) {
 // beginTop checks a transaction out of the pool and binds it to a
 // registered snapshot of the current clock. The registry slot that served
 // this Tx object becomes its probe hint, so a recycled Tx claims the same
-// (core-local) slot next time.
-func (s *STM) beginTop() *Tx {
+// (core-local) slot next time. tr is non-nil when this attempt is traced
+// (the timestamp is taken first so PhaseBegin covers the whole begin
+// path).
+func (s *STM) beginTop(tr *stmtrace.Tracer, attempt int) *Tx {
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	tx := s.getTx()
 	v, slot := s.beginSnapshot(tx.snapHint)
 	if slot >= 0 {
@@ -222,6 +305,10 @@ func (s *STM) beginTop() *Tx {
 	tx.readVersion = v
 	tx.snapSlot = slot
 	tx.root = tx
+	if tr != nil {
+		tx.span = tr.StartTopAt(t0, attempt)
+		tx.span.Mark(stmtrace.PhaseBegin)
+	}
 	return tx
 }
 

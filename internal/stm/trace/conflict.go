@@ -1,0 +1,258 @@
+package stmtrace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Reason is the abort-reason taxonomy: one value per retry site in the
+// STM. Every conflicted transaction attempt records exactly one.
+type Reason uint8
+
+// Abort reasons.
+const (
+	// ReasonNone marks a span that never conflicted (committed spans).
+	ReasonNone Reason = iota
+	// ReasonTopValidation is a top-level read-set validation failure in the
+	// serialized commit section: a box read at the snapshot has a newer
+	// committed version.
+	ReasonTopValidation
+	// ReasonLockFreeHelp is the lock-free commit queue's equivalent: a
+	// helping thread (possibly not the owner) invalidated the request
+	// against the fully applied state of its queue predecessors.
+	ReasonLockFreeHelp
+	// ReasonNestedParent is an eager nested abort at read time: the child
+	// resolved a box to an ancestor's write-set entry whose tree version is
+	// newer than the child's tree snapshot (the version it should read no
+	// longer exists in the single-version tree write sets).
+	ReasonNestedParent
+	// ReasonNestedSibling is a nested commit-time validation failure: a
+	// sibling's merge changed how a recorded tree read resolves.
+	ReasonNestedSibling
+	// ReasonUser is a transaction abandoned because its function returned a
+	// non-nil error (no retry).
+	ReasonUser
+	numReasons
+)
+
+// String returns the reason's stable snake-case-free label (used in metric
+// names after mangling, JSON reports, and docs).
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonTopValidation:
+		return "top-validation"
+	case ReasonLockFreeHelp:
+		return "commit-queue-helping"
+	case ReasonNestedParent:
+		return "nested-vs-parent"
+	case ReasonNestedSibling:
+		return "nested-vs-sibling"
+	case ReasonUser:
+		return "user-abort"
+	}
+	return "unknown"
+}
+
+// metricName returns the reason's snake_case fragment for metric names.
+func (r Reason) metricName() string {
+	switch r {
+	case ReasonTopValidation:
+		return "top_validation"
+	case ReasonLockFreeHelp:
+		return "commit_queue_helping"
+	case ReasonNestedParent:
+		return "nested_vs_parent"
+	case ReasonNestedSibling:
+		return "nested_vs_sibling"
+	case ReasonUser:
+		return "user_abort"
+	}
+	return "none"
+}
+
+// conflictShardCount stripes the box table the same way stm's Stats
+// stripes its counters, so concurrent abort storms on different cores do
+// not serialize on one mutex.
+const conflictShardCount = 16
+
+// boxAgg accumulates aborts attributed to one box. Guarded by its shard's
+// mutex.
+type boxAgg struct {
+	label    string
+	total    uint64
+	byReason [numReasons]uint64
+}
+
+// conflictShard is one stripe of the box table.
+type conflictShard struct {
+	mu       sync.Mutex
+	boxes    map[uintptr]*boxAgg
+	overflow uint64 // conflicts on boxes beyond the per-shard cap
+	_        [40]byte
+}
+
+// conflictTable is the sampled contention profile: per-reason totals
+// (atomic) plus a sharded per-box table feeding the top-K report.
+type conflictTable struct {
+	reasons  [numReasons]atomic.Uint64
+	maxBoxes int
+	shards   [conflictShardCount]conflictShard
+}
+
+func (c *conflictTable) init(maxBoxes int) {
+	c.maxBoxes = maxBoxes
+	for i := range c.shards {
+		c.shards[i].boxes = make(map[uintptr]*boxAgg)
+	}
+}
+
+// record attributes one abort. key 0 (no box) updates only the reason
+// totals.
+func (c *conflictTable) record(reason Reason, key uintptr, label string) {
+	c.reasons[reason].Add(1)
+	if key == 0 {
+		return
+	}
+	sh := &c.shards[(uint64(key)*0x9e3779b97f4a7c15)>>60&(conflictShardCount-1)]
+	sh.mu.Lock()
+	agg := sh.boxes[key]
+	if agg == nil {
+		if len(sh.boxes) >= c.maxBoxes {
+			sh.overflow++
+			sh.mu.Unlock()
+			return
+		}
+		agg = &boxAgg{label: label}
+		sh.boxes[key] = agg
+	}
+	if agg.label == "" && label != "" {
+		agg.label = label
+	}
+	agg.total++
+	agg.byReason[reason]++
+	sh.mu.Unlock()
+}
+
+// BoxConflicts is one row of the hot-box table.
+type BoxConflicts struct {
+	// Box is the box's label when one was set (VBox.WithLabel), otherwise
+	// its address rendered as 0x… — still a stable identity within a run.
+	Box string `json:"box"`
+	// Aborts is the total sampled aborts attributed to this box.
+	Aborts uint64 `json:"aborts"`
+	// ByReason breaks Aborts down by Reason label.
+	ByReason map[string]uint64 `json:"by_reason"`
+}
+
+// ConflictReport is the profiler's exportable view: what aborted, why, and
+// on which boxes. Counts cover sampled transactions only.
+type ConflictReport struct {
+	// SampledTx is the number of top-level transactions sampled.
+	SampledTx uint64 `json:"sampled_tx"`
+	// Spans / DroppedSpans describe the span ring's coverage.
+	Spans        uint64 `json:"spans"`
+	DroppedSpans uint64 `json:"dropped_spans,omitempty"`
+	// Reasons maps each abort reason to its sampled count (zero counts are
+	// omitted).
+	Reasons map[string]uint64 `json:"reasons"`
+	// TopBoxes lists the k most contended boxes, most aborted first.
+	TopBoxes []BoxConflicts `json:"top_boxes"`
+	// OtherBoxAborts counts conflicts on boxes beyond the table cap.
+	OtherBoxAborts uint64 `json:"other_box_aborts,omitempty"`
+}
+
+// Conflicts builds the contention report with the k hottest boxes.
+func (t *Tracer) Conflicts(k int) ConflictReport {
+	rep := ConflictReport{
+		SampledTx:    t.sampled.Load(),
+		Spans:        t.spans.Load(),
+		DroppedSpans: t.dropped.Load(),
+		Reasons:      make(map[string]uint64),
+	}
+	for r := Reason(1); r < numReasons; r++ {
+		if n := t.conflicts.reasons[r].Load(); n > 0 {
+			rep.Reasons[r.String()] = n
+		}
+	}
+	type row struct {
+		key uintptr
+		agg boxAgg
+	}
+	var rows []row
+	for i := range t.conflicts.shards {
+		sh := &t.conflicts.shards[i]
+		sh.mu.Lock()
+		for key, agg := range sh.boxes {
+			rows = append(rows, row{key: key, agg: *agg})
+		}
+		rep.OtherBoxAborts += sh.overflow
+		sh.mu.Unlock()
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].agg.total != rows[j].agg.total {
+			return rows[i].agg.total > rows[j].agg.total
+		}
+		return rows[i].key < rows[j].key // deterministic tie-break
+	})
+	if k > 0 && len(rows) > k {
+		for _, r := range rows[k:] {
+			rep.OtherBoxAborts += r.agg.total
+		}
+		rows = rows[:k]
+	}
+	for _, r := range rows {
+		bc := BoxConflicts{
+			Box:      r.agg.label,
+			Aborts:   r.agg.total,
+			ByReason: make(map[string]uint64),
+		}
+		if bc.Box == "" {
+			bc.Box = fmt.Sprintf("0x%x", r.key)
+		}
+		for reason := Reason(1); reason < numReasons; reason++ {
+			if n := r.agg.byReason[reason]; n > 0 {
+				bc.ByReason[reason.String()] = n
+			}
+		}
+		rep.TopBoxes = append(rep.TopBoxes, bc)
+	}
+	return rep
+}
+
+// AbortCount returns the sampled abort count for one reason.
+func (t *Tracer) AbortCount(r Reason) uint64 {
+	return t.conflicts.reasons[r].Load()
+}
+
+// hottestBoxAborts returns the abort count of the single most contended
+// box (a cheap gauge for /metrics; the full table is in Conflicts).
+func (t *Tracer) hottestBoxAborts() uint64 {
+	var max uint64
+	for i := range t.conflicts.shards {
+		sh := &t.conflicts.shards[i]
+		sh.mu.Lock()
+		for _, agg := range sh.boxes {
+			if agg.total > max {
+				max = agg.total
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return max
+}
+
+// boxesTracked returns the number of distinct boxes in the table.
+func (t *Tracer) boxesTracked() int {
+	n := 0
+	for i := range t.conflicts.shards {
+		sh := &t.conflicts.shards[i]
+		sh.mu.Lock()
+		n += len(sh.boxes)
+		sh.mu.Unlock()
+	}
+	return n
+}

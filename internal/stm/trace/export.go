@@ -1,0 +1,130 @@
+package stmtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"autopn/internal/obs"
+)
+
+// Chrome trace_event export.
+//
+// The dump uses the JSON-object format ({"traceEvents": [...]}) with
+// complete ("X") events, which both Perfetto and chrome://tracing load
+// directly. Each transaction tree becomes one process (pid = the
+// top-level span's ID, named via a process_name metadata event) and each
+// span becomes one thread (tid = span ID) inside it, so nested children
+// render parented under their top-level transaction with retries visible
+// as sibling tracks.
+
+// traceEvent is one entry of the trace_event array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds since tracer epoch
+	Dur  float64        `json:"dur,omitempty"`
+	PID  uint64         `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// spanName renders a span's display name.
+func spanName(d SpanData) string {
+	if d.Parent == 0 {
+		if d.Attempt > 0 {
+			return fmt.Sprintf("top tx (retry %d)", d.Attempt)
+		}
+		return "top tx"
+	}
+	if d.Attempt > 0 {
+		return fmt.Sprintf("nested d%d (retry %d)", d.Depth, d.Attempt)
+	}
+	return fmt.Sprintf("nested d%d", d.Depth)
+}
+
+// events converts the completed-span ring to trace events.
+func (t *Tracer) events() []traceEvent {
+	spans := t.Spans()
+	evs := make([]traceEvent, 0, 2*len(spans)+16)
+	namedRoot := make(map[uint64]bool)
+	for _, d := range spans {
+		if !namedRoot[d.Root] {
+			namedRoot[d.Root] = true
+			evs = append(evs, traceEvent{
+				Name: "process_name", Ph: "M", PID: d.Root, TID: d.Root,
+				Args: map[string]any{"name": fmt.Sprintf("stm tx tree %d", d.Root)},
+			})
+		}
+		evs = append(evs, traceEvent{
+			Name: "thread_name", Ph: "M", PID: d.Root, TID: d.ID,
+			Args: map[string]any{"name": spanName(d)},
+		})
+		args := map[string]any{
+			"outcome": d.Outcome.String(),
+			"depth":   d.Depth,
+			"attempt": d.Attempt,
+		}
+		if d.Reason != ReasonNone {
+			args["abort_reason"] = d.Reason.String()
+		}
+		if d.Parent != 0 {
+			args["parent_span"] = d.Parent
+		}
+		for p := Phase(0); p < numPhases; p++ {
+			if ns := d.PhaseNS[p]; ns > 0 {
+				args["phase_"+p.String()+"_us"] = float64(ns) / 1e3
+			}
+		}
+		dur := float64(d.End-d.Start) / 1e3
+		if dur <= 0 {
+			dur = 0.001 // zero-duration X events are dropped by some viewers
+		}
+		evs = append(evs, traceEvent{
+			Name: spanName(d), Cat: "stm", Ph: "X",
+			TS: float64(d.Start) / 1e3, Dur: dur,
+			PID: d.Root, TID: d.ID, Args: args,
+		})
+	}
+	return evs
+}
+
+// WriteTraceEvents writes the completed-span ring as Chrome trace_event
+// JSON, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (t *Tracer) WriteTraceEvents(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"displayTimeUnit": "ms",
+		"traceEvents":     t.events(),
+	})
+}
+
+// Collect registers the tracer's observability surface on r:
+//
+//	autopn_stm_trace_sampled_total                      top-level transactions sampled
+//	autopn_stm_trace_spans_total                        spans completed (all depths)
+//	autopn_stm_trace_spans_dropped_total                spans overwritten in the ring
+//	autopn_stm_trace_aborts_<reason>_total              sampled aborts per Reason
+//	autopn_stm_trace_hot_box_aborts                     aborts on the single hottest box (gauge)
+//	autopn_stm_trace_boxes_tracked                      distinct boxes in the conflict table (gauge)
+//	autopn_stm_phase_<begin|run|validate|commit>_seconds  top-level phase latency (summary)
+//
+// Everything is read-at-export: the hot path never touches the registry.
+func (t *Tracer) Collect(r *obs.Registry) {
+	r.CounterFunc("autopn_stm_trace_sampled_total", t.sampled.Load)
+	r.CounterFunc("autopn_stm_trace_spans_total", t.spans.Load)
+	r.CounterFunc("autopn_stm_trace_spans_dropped_total", t.dropped.Load)
+	for reason := Reason(1); reason < numReasons; reason++ {
+		reason := reason
+		r.CounterFunc("autopn_stm_trace_aborts_"+reason.metricName()+"_total",
+			func() uint64 { return t.AbortCount(reason) })
+	}
+	r.GaugeFunc("autopn_stm_trace_hot_box_aborts",
+		func() float64 { return float64(t.hottestBoxAborts()) })
+	r.GaugeFunc("autopn_stm_trace_boxes_tracked",
+		func() float64 { return float64(t.boxesTracked()) })
+	for p := Phase(0); p < numPhases; p++ {
+		r.RegisterHistogram("autopn_stm_phase_"+p.String()+"_seconds", t.phaseHists[p])
+	}
+}

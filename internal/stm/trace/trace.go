@@ -1,0 +1,303 @@
+// Package stmtrace is the STM's transaction tracer and conflict profiler.
+//
+// The STM's cumulative counters (stm.Stats) say how many transactions
+// aborted; this package says why, where, and on which box. It captures
+// spans for whole parallel-nesting trees — the top-level transaction plus
+// every nested child, linked by parent span IDs — together with per-phase
+// latency (begin / run / validate / commit), an abort-reason taxonomy
+// recorded at every retry site, and a top-K table of the most contended
+// boxes. That contention structure is exactly what shapes the throughput
+// surface over (t, c) that the AutoPN tuner searches, so the profiler is
+// how a tuning decision can be correlated with the conflicts that caused
+// it.
+//
+// Tracing is sampled: the STM decides per top-level transaction (one
+// atomic load plus a predictable branch when the rate is zero) whether the
+// whole tree is traced. A traced tree allocates its spans from the regular
+// heap — sampling keeps that off the hot path — and completed spans land
+// in a fixed-size ring, exportable as Chrome trace_event JSON
+// (Tracer.WriteTraceEvents, viewable in Perfetto or chrome://tracing) and
+// mirrored into runtime/trace tasks and regions so `go tool trace` shows
+// transaction trees alongside scheduler events.
+//
+// The package never imports the stm package (the STM imports it), so box
+// identity crosses the boundary as an opaque uintptr key plus an optional
+// human-readable label.
+package stmtrace
+
+import (
+	"context"
+	rtrace "runtime/trace"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autopn/internal/obs"
+)
+
+// Phase indexes the per-span latency buckets.
+type Phase uint8
+
+// Span phases, in hot-path order. PhaseRun covers user code including
+// reads; PhaseValidate is the read-set validation of the serialized commit
+// (folded into PhaseCommit under the lock-free strategy, where helping
+// interleaves validation and write-back).
+const (
+	PhaseBegin    Phase = iota // pool checkout + snapshot registration
+	PhaseRun                   // user function (reads, buffered writes)
+	PhaseValidate              // read-set validation (serialized commit)
+	PhaseCommit                // write-back and clock publish
+	numPhases
+)
+
+// String returns the phase's snake_case name (used in metric names and
+// trace_event args).
+func (p Phase) String() string {
+	switch p {
+	case PhaseBegin:
+		return "begin"
+	case PhaseRun:
+		return "run"
+	case PhaseValidate:
+		return "validate"
+	case PhaseCommit:
+		return "commit"
+	}
+	return "unknown"
+}
+
+// Outcome is how a span ended.
+type Outcome uint8
+
+// Span outcomes.
+const (
+	OutcomeCommit    Outcome = iota // committed (top-level) or merged (nested)
+	OutcomeAbort                    // conflict; the span's Reason names the site
+	OutcomeUserAbort                // the transaction function returned an error
+)
+
+// String returns the outcome label used in exports.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCommit:
+		return "commit"
+	case OutcomeAbort:
+		return "abort"
+	case OutcomeUserAbort:
+		return "user-abort"
+	}
+	return "unknown"
+}
+
+// SpanData is one completed transaction attempt. Times are nanoseconds
+// since the tracer's epoch (New), so a dump is self-consistent without
+// wall-clock conversions.
+type SpanData struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"` // 0 for top-level spans
+	Root   uint64 `json:"root"`             // top-level span of the tree (== ID for tops)
+	Depth  int    `json:"depth"`
+	// Attempt numbers retries of the same logical transaction: a conflicted
+	// attempt and its retry appear as sibling spans with increasing Attempt.
+	Attempt int   `json:"attempt"`
+	Start   int64 `json:"start_ns"`
+	End     int64 `json:"end_ns"`
+	// PhaseNS holds cumulative nanoseconds per Phase, indexed by Phase.
+	PhaseNS [numPhases]int64 `json:"phase_ns"`
+	Outcome Outcome          `json:"-"`
+	Reason  Reason           `json:"-"`
+}
+
+// Span is a live transaction attempt being traced. The owning goroutine
+// calls Mark and Finish; Conflict may additionally be called by lock-free
+// commit helpers on other goroutines (its state is atomic).
+type Span struct {
+	tr   *Tracer
+	data SpanData
+	last int64 // epoch-ns of the previous Mark (phase accounting)
+
+	// reason is the last conflict reason noted on this span. Atomic because
+	// lock-free commit helpers attribute validation failures to the owning
+	// transaction's span from their own goroutines.
+	reason atomic.Uint32
+
+	// runtime/trace mirror: the task spans the top-level attempt, regions
+	// span nested children. Both are nil when runtime tracing is inactive
+	// at span start.
+	ctx    context.Context
+	task   *rtrace.Task
+	region *rtrace.Region
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// MaxSpans bounds the completed-span ring (default 8192). When full,
+	// the oldest spans are overwritten and Dropped counts the loss — a
+	// long-running process keeps the most recent window of activity.
+	MaxSpans int
+	// MaxBoxes bounds the number of distinct boxes tracked per conflict
+	// shard (default 1024 per shard); beyond it, conflicts fold into an
+	// "other" bucket so the table cannot grow without bound.
+	MaxBoxes int
+	// HistogramWindow is the sliding window of the phase-latency
+	// histograms (default obs's 512).
+	HistogramWindow int
+}
+
+// Tracer collects sampled spans and conflict attribution for one STM.
+// All methods are safe for concurrent use.
+type Tracer struct {
+	epoch time.Time
+
+	seq     atomic.Uint64 // span ID allocator
+	sampled atomic.Uint64 // top-level transactions sampled
+	spans   atomic.Uint64 // spans completed (all depths)
+	dropped atomic.Uint64 // completed spans overwritten in the ring
+
+	mu   sync.Mutex
+	ring []SpanData
+	next int
+	n    int
+
+	conflicts conflictTable
+
+	// phase latency histograms, indexed by Phase; top-level spans only so
+	// the distributions match the begin/commit paths PR 1 benchmarks.
+	phaseHists [numPhases]*obs.Histogram
+}
+
+// New returns a tracer with the given options completed with defaults.
+func New(opts Options) *Tracer {
+	if opts.MaxSpans <= 0 {
+		opts.MaxSpans = 8192
+	}
+	if opts.MaxBoxes <= 0 {
+		opts.MaxBoxes = 1024
+	}
+	t := &Tracer{
+		epoch: time.Now(),
+		ring:  make([]SpanData, opts.MaxSpans),
+	}
+	t.conflicts.init(opts.MaxBoxes)
+	for p := range t.phaseHists {
+		t.phaseHists[p] = obs.NewHistogram(opts.HistogramWindow)
+	}
+	return t
+}
+
+// now returns nanoseconds since the tracer epoch (monotonic).
+func (t *Tracer) now() int64 { return int64(time.Since(t.epoch)) }
+
+// StartTopAt opens a top-level span whose clock started at t0 (the STM
+// samples t0 before pool checkout so PhaseBegin covers the real begin
+// path). attempt numbers the retry.
+func (t *Tracer) StartTopAt(t0 time.Time, attempt int) *Span {
+	start := int64(t0.Sub(t.epoch))
+	id := t.seq.Add(1)
+	if attempt == 0 {
+		t.sampled.Add(1)
+	}
+	sp := &Span{tr: t, last: start}
+	sp.data = SpanData{ID: id, Root: id, Attempt: attempt, Start: start}
+	if rtrace.IsEnabled() {
+		sp.ctx, sp.task = rtrace.NewTask(context.Background(), "stm.tx")
+	}
+	return sp
+}
+
+// StartChild opens a nested span under sp. It must be called on the
+// goroutine that will run the child (runtime/trace regions are
+// goroutine-bound).
+func (sp *Span) StartChild(depth, attempt int) *Span {
+	t := sp.tr
+	now := t.now()
+	c := &Span{tr: t, last: now}
+	c.data = SpanData{
+		ID:      t.seq.Add(1),
+		Parent:  sp.data.ID,
+		Root:    sp.data.Root,
+		Depth:   depth,
+		Attempt: attempt,
+		Start:   now,
+	}
+	if sp.ctx != nil {
+		c.ctx = sp.ctx
+		c.region = rtrace.StartRegion(sp.ctx, "stm.child")
+	}
+	return c
+}
+
+// Mark closes the phase that began at the previous Mark (or span start),
+// attributing the elapsed time to p.
+func (sp *Span) Mark(p Phase) {
+	now := sp.tr.now()
+	sp.data.PhaseNS[p] += now - sp.last
+	sp.last = now
+}
+
+// Conflict attributes one abort to reason at the box identified by key
+// (0 = no specific box, e.g. user aborts). Safe to call from helper
+// goroutines (lock-free commit).
+func (sp *Span) Conflict(reason Reason, key uintptr, label string) {
+	sp.reason.Store(uint32(reason))
+	sp.tr.conflicts.record(reason, key, label)
+}
+
+// Finish completes the span and publishes it to the tracer's ring. The
+// owning goroutine must call it exactly once.
+func (sp *Span) Finish(o Outcome) {
+	t := sp.tr
+	sp.data.End = t.now()
+	sp.data.Outcome = o
+	sp.data.Reason = Reason(sp.reason.Load())
+	if sp.region != nil {
+		sp.region.End()
+	}
+	if sp.task != nil && sp.data.Parent == 0 {
+		rtrace.Log(sp.ctx, "stm.outcome", o.String())
+		sp.task.End()
+	}
+	if sp.data.Parent == 0 {
+		for p := Phase(0); p < numPhases; p++ {
+			if ns := sp.data.PhaseNS[p]; ns > 0 {
+				t.phaseHists[p].Observe(float64(ns) / 1e9)
+			}
+		}
+	}
+	t.spans.Add(1)
+	t.mu.Lock()
+	if t.n == len(t.ring) {
+		t.dropped.Add(1)
+	} else {
+		t.n++
+	}
+	t.ring[t.next] = sp.data
+	t.next = (t.next + 1) % len(t.ring)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the completed-span ring, oldest first.
+func (t *Tracer) Spans() []SpanData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(t.next-t.n+i+2*len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// Sampled returns the number of top-level transactions sampled.
+func (t *Tracer) Sampled() uint64 { return t.sampled.Load() }
+
+// SpanCount returns the number of spans completed (all depths, including
+// spans already overwritten in the ring).
+func (t *Tracer) SpanCount() uint64 { return t.spans.Load() }
+
+// Dropped returns the number of completed spans lost to ring overwrite.
+func (t *Tracer) Dropped() uint64 { return t.dropped.Load() }
+
+// PhaseSnapshot summarizes the latency histogram of one phase.
+func (t *Tracer) PhaseSnapshot(p Phase) obs.HistogramSnapshot {
+	return t.phaseHists[p].Snapshot()
+}

@@ -1,0 +1,315 @@
+package stmtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"autopn/internal/obs"
+)
+
+func TestPhaseReasonOutcomeStrings(t *testing.T) {
+	for p, want := range map[Phase]string{
+		PhaseBegin: "begin", PhaseRun: "run", PhaseValidate: "validate", PhaseCommit: "commit",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+	for r, want := range map[Reason]string{
+		ReasonNone:          "none",
+		ReasonTopValidation: "top-validation",
+		ReasonLockFreeHelp:  "commit-queue-helping",
+		ReasonNestedParent:  "nested-vs-parent",
+		ReasonNestedSibling: "nested-vs-sibling",
+		ReasonUser:          "user-abort",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("Reason(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+	for o, want := range map[Outcome]string{
+		OutcomeCommit: "commit", OutcomeAbort: "abort", OutcomeUserAbort: "user-abort",
+	} {
+		if got := o.String(); got != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, got, want)
+		}
+	}
+}
+
+func TestSpanLifecycleAndParenting(t *testing.T) {
+	tr := New(Options{})
+	top := tr.StartTopAt(time.Now(), 0)
+	top.Mark(PhaseBegin)
+	child := top.StartChild(1, 0)
+	child.Mark(PhaseBegin)
+	child.Mark(PhaseRun)
+	child.Finish(OutcomeCommit)
+	top.Mark(PhaseRun)
+	top.Mark(PhaseCommit)
+	top.Finish(OutcomeCommit)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Ring order is completion order: the child finished first.
+	c, root := spans[0], spans[1]
+	if root.Parent != 0 || root.Root != root.ID {
+		t.Errorf("top span not self-rooted: %+v", root)
+	}
+	if c.Parent != root.ID || c.Root != root.ID || c.Depth != 1 {
+		t.Errorf("child not parented under top: child %+v top %+v", c, root)
+	}
+	if c.End < c.Start || root.End < root.Start {
+		t.Errorf("span times not monotone: %+v %+v", c, root)
+	}
+	if tr.Sampled() != 1 || tr.SpanCount() != 2 || tr.Dropped() != 0 {
+		t.Errorf("counters: sampled %d spans %d dropped %d", tr.Sampled(), tr.SpanCount(), tr.Dropped())
+	}
+	if got := tr.PhaseSnapshot(PhaseCommit).Count; got != 1 {
+		t.Errorf("commit-phase histogram count = %d, want 1 (top spans only)", got)
+	}
+}
+
+func TestRingOverwriteCountsDropped(t *testing.T) {
+	tr := New(Options{MaxSpans: 4})
+	for i := 0; i < 6; i++ {
+		tr.StartTopAt(time.Now(), 0).Finish(OutcomeCommit)
+	}
+	if got := len(tr.Spans()); got != 4 {
+		t.Errorf("ring holds %d spans, want 4", got)
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+	// The survivors are the most recent spans.
+	for i, sp := range tr.Spans() {
+		if want := uint64(i + 3); sp.ID != want {
+			t.Errorf("ring[%d].ID = %d, want %d", i, sp.ID, want)
+		}
+	}
+}
+
+func TestConflictTableTopKAndReasons(t *testing.T) {
+	tr := New(Options{})
+	sp := tr.StartTopAt(time.Now(), 0)
+	// Three boxes with distinct abort counts; one labeled.
+	for i := 0; i < 5; i++ {
+		sp.Conflict(ReasonTopValidation, 0x1000, "hot-box")
+	}
+	for i := 0; i < 3; i++ {
+		sp.Conflict(ReasonNestedSibling, 0x2000, "")
+	}
+	sp.Conflict(ReasonNestedParent, 0x3000, "")
+	sp.Conflict(ReasonUser, 0, "") // no box: reason total only
+	sp.Finish(OutcomeAbort)
+
+	rep := tr.Conflicts(2)
+	if rep.Reasons["top-validation"] != 5 || rep.Reasons["nested-vs-sibling"] != 3 ||
+		rep.Reasons["nested-vs-parent"] != 1 || rep.Reasons["user-abort"] != 1 {
+		t.Errorf("reason totals wrong: %v", rep.Reasons)
+	}
+	if len(rep.TopBoxes) != 2 {
+		t.Fatalf("top-K returned %d rows, want 2", len(rep.TopBoxes))
+	}
+	if rep.TopBoxes[0].Box != "hot-box" || rep.TopBoxes[0].Aborts != 5 {
+		t.Errorf("hottest box = %+v, want hot-box with 5", rep.TopBoxes[0])
+	}
+	if rep.TopBoxes[1].Box != "0x2000" || rep.TopBoxes[1].Aborts != 3 {
+		t.Errorf("second box = %+v, want 0x2000 with 3", rep.TopBoxes[1])
+	}
+	if rep.OtherBoxAborts != 1 { // the truncated 0x3000 row
+		t.Errorf("other-box aborts = %d, want 1", rep.OtherBoxAborts)
+	}
+	if rep.TopBoxes[0].ByReason["top-validation"] != 5 {
+		t.Errorf("by-reason breakdown wrong: %v", rep.TopBoxes[0].ByReason)
+	}
+	if tr.AbortCount(ReasonTopValidation) != 5 {
+		t.Errorf("AbortCount(top-validation) = %d", tr.AbortCount(ReasonTopValidation))
+	}
+}
+
+func TestConflictTableBoxCap(t *testing.T) {
+	tr := New(Options{MaxBoxes: 1}) // one box per shard
+	sp := tr.StartTopAt(time.Now(), 0)
+	// Many distinct keys hashing across shards; with cap 1 most overflow.
+	for i := 1; i <= 64; i++ {
+		sp.Conflict(ReasonTopValidation, uintptr(i*64), "")
+	}
+	sp.Finish(OutcomeAbort)
+	rep := tr.Conflicts(0)
+	tracked := uint64(0)
+	for _, b := range rep.TopBoxes {
+		tracked += b.Aborts
+	}
+	if tracked+rep.OtherBoxAborts != 64 {
+		t.Errorf("tracked %d + overflow %d != 64 recorded", tracked, rep.OtherBoxAborts)
+	}
+	if rep.OtherBoxAborts == 0 {
+		t.Error("expected overflow with per-shard cap 1")
+	}
+}
+
+// traceFile mirrors the chrome trace_event JSON object format.
+type traceFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  uint64         `json:"pid"`
+		TID  uint64         `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteTraceEventsParentsChildrenUnderTop(t *testing.T) {
+	tr := New(Options{})
+	top := tr.StartTopAt(time.Now(), 0)
+	top.Mark(PhaseBegin)
+	child := top.StartChild(1, 0)
+	child.Conflict(ReasonNestedSibling, 0xbeef, "counter")
+	child.Finish(OutcomeAbort)
+	retry := top.StartChild(1, 1)
+	retry.Finish(OutcomeCommit)
+	top.Mark(PhaseRun)
+	top.Finish(OutcomeCommit)
+
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f traceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace_event output does not parse: %v\n%s", err, buf.String())
+	}
+
+	topID := uint64(0)
+	var xEvents, metaEvents int
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "X":
+			xEvents++
+			if e.Name == "top tx" {
+				topID = e.TID
+			}
+			if e.Dur <= 0 {
+				t.Errorf("X event %q has non-positive dur %v", e.Name, e.Dur)
+			}
+		case "M":
+			metaEvents++
+		default:
+			t.Errorf("unexpected event phase %q", e.Ph)
+		}
+	}
+	if xEvents != 3 {
+		t.Fatalf("got %d X events, want 3", xEvents)
+	}
+	if metaEvents == 0 {
+		t.Fatal("no metadata (process/thread name) events")
+	}
+	if topID == 0 {
+		t.Fatal("no top tx X event")
+	}
+	// Every span of the tree shares the top span's ID as its pid, which is
+	// what groups children under their top-level transaction in Perfetto.
+	sawRetry, sawAbort := false, false
+	for _, e := range f.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.PID != topID {
+			t.Errorf("event %q has pid %d, want top id %d", e.Name, e.PID, topID)
+		}
+		if strings.Contains(e.Name, "retry 1") {
+			sawRetry = true
+		}
+		if e.Args["abort_reason"] == "nested-vs-sibling" {
+			sawAbort = true
+			if e.Args["parent_span"] == nil {
+				t.Error("aborted child lacks parent_span arg")
+			}
+		}
+	}
+	if !sawRetry {
+		t.Error("retry span not named as retry")
+	}
+	if !sawAbort {
+		t.Error("abort reason not exported in args")
+	}
+}
+
+func TestCollectRegistersMetrics(t *testing.T) {
+	tr := New(Options{})
+	sp := tr.StartTopAt(time.Now(), 0)
+	sp.Conflict(ReasonTopValidation, 0xabc, "b")
+	sp.Mark(PhaseCommit)
+	sp.Finish(OutcomeAbort)
+
+	reg := obs.NewRegistry()
+	tr.Collect(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"autopn_stm_trace_sampled_total 1",
+		"autopn_stm_trace_spans_total 1",
+		"autopn_stm_trace_aborts_top_validation_total 1",
+		"autopn_stm_trace_aborts_nested_vs_sibling_total 0",
+		"autopn_stm_trace_hot_box_aborts 1",
+		"autopn_stm_trace_boxes_tracked 1",
+		"autopn_stm_phase_commit_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentSpansAndConflicts hammers the tracer from many goroutines
+// (meaningful under -race: the ring mutex, the conflict shards and the
+// atomic counters all cross goroutines).
+func TestConcurrentSpansAndConflicts(t *testing.T) {
+	tr := New(Options{MaxSpans: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.StartTopAt(time.Now(), 0)
+				sp.Mark(PhaseBegin)
+				c := sp.StartChild(1, 0)
+				c.Conflict(ReasonNestedSibling, uintptr(1+(g*7+i)%13)*8, fmt.Sprintf("box%d", i%13))
+				c.Finish(OutcomeAbort)
+				sp.Mark(PhaseRun)
+				sp.Finish(OutcomeCommit)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent readers
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			tr.Conflicts(5)
+			tr.Spans()
+			var buf bytes.Buffer
+			_ = tr.WriteTraceEvents(&buf)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if tr.SpanCount() != 8*200*2 {
+		t.Errorf("span count = %d, want %d", tr.SpanCount(), 8*200*2)
+	}
+	if got := tr.AbortCount(ReasonNestedSibling); got != 8*200 {
+		t.Errorf("abort count = %d, want %d", got, 8*200)
+	}
+}

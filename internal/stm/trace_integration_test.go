@@ -1,0 +1,395 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	stmtrace "autopn/internal/stm/trace"
+)
+
+// newTracedSTM builds an STM with a fresh tracer sampling every transaction.
+func newTracedSTM(opts Options) (*STM, *stmtrace.Tracer) {
+	tr := stmtrace.New(stmtrace.Options{})
+	opts.Tracer = tr
+	opts.TraceSampleRate = 1
+	return New(opts), tr
+}
+
+// TestTraceTopValidationAttribution forces a deterministic top-level
+// validation failure (the ISSUE's contended-writer acceptance scenario):
+// the first attempt reads the box, then a second writer commits before the
+// first attempt validates. The abort must be attributed to
+// ReasonTopValidation at the labeled box.
+func TestTraceTopValidationAttribution(t *testing.T) {
+	s, tr := newTracedSTM(Options{})
+	b := NewVBox(0).WithLabel("hot-counter")
+	first := true
+	err := s.Atomic(func(tx *Tx) error {
+		v := b.Get(tx)
+		if first {
+			first = false
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				_ = s.Atomic(func(tx2 *Tx) error {
+					b.Modify(tx2, func(x int) int { return x + 1 })
+					return nil
+				})
+			}()
+			<-done
+		}
+		b.Put(tx, v+1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Peek(); got != 2 {
+		t.Fatalf("final value = %d, want 2", got)
+	}
+	if n := tr.AbortCount(stmtrace.ReasonTopValidation); n != 1 {
+		t.Errorf("top-validation aborts = %d, want 1", n)
+	}
+	rep := tr.Conflicts(10)
+	if rep.Reasons["top-validation"] != 1 {
+		t.Errorf("report reasons = %v, want top-validation:1", rep.Reasons)
+	}
+	if len(rep.TopBoxes) != 1 || rep.TopBoxes[0].Box != "hot-counter" || rep.TopBoxes[0].Aborts != 1 {
+		t.Errorf("hot boxes = %+v, want hot-counter with 1 abort", rep.TopBoxes)
+	}
+	// The aborted attempt and its successful retry both appear as spans.
+	var aborted, committed bool
+	for _, sp := range tr.Spans() {
+		if sp.Parent != 0 {
+			continue
+		}
+		switch {
+		case sp.Reason == stmtrace.ReasonTopValidation && sp.Outcome == stmtrace.OutcomeAbort:
+			aborted = true
+		case sp.Attempt > 0 && sp.Outcome == stmtrace.OutcomeCommit:
+			committed = true
+		}
+	}
+	if !aborted || !committed {
+		t.Errorf("span ring missing aborted attempt (%v) or committed retry (%v)", aborted, committed)
+	}
+}
+
+// TestTraceLockFreeHelpAttribution is the same scenario under the
+// lock-free commit strategy: the abort is detected by a helping thread and
+// must be attributed to ReasonLockFreeHelp at the same box.
+func TestTraceLockFreeHelpAttribution(t *testing.T) {
+	s, tr := newTracedSTM(Options{LockFreeCommit: true})
+	b := NewVBox(0).WithLabel("lf-counter")
+	first := true
+	err := s.Atomic(func(tx *Tx) error {
+		v := b.Get(tx)
+		if first {
+			first = false
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				_ = s.Atomic(func(tx2 *Tx) error {
+					b.Modify(tx2, func(x int) int { return x + 1 })
+					return nil
+				})
+			}()
+			<-done
+		}
+		b.Put(tx, v+1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Peek(); got != 2 {
+		t.Fatalf("final value = %d, want 2", got)
+	}
+	if n := tr.AbortCount(stmtrace.ReasonLockFreeHelp); n != 1 {
+		t.Errorf("commit-queue-helping aborts = %d, want 1", n)
+	}
+	rep := tr.Conflicts(10)
+	if len(rep.TopBoxes) != 1 || rep.TopBoxes[0].Box != "lf-counter" {
+		t.Errorf("hot boxes = %+v, want lf-counter", rep.TopBoxes)
+	}
+}
+
+// TestTraceNestedSiblingAttribution forces two sibling children to
+// read-modify-write the same box with both reads happening before either
+// commit (a one-shot barrier that retries pass through), so exactly one
+// sibling fails nested validation with ReasonNestedSibling.
+func TestTraceNestedSiblingAttribution(t *testing.T) {
+	s, tr := newTracedSTM(Options{})
+	b := NewVBox(0).WithLabel("shared-nested")
+	var arrived atomic.Int32
+	gate := make(chan struct{})
+	rmw := func(child *Tx) error {
+		v := b.Get(child)
+		if arrived.Add(1) == 2 {
+			close(gate)
+		}
+		<-gate // retries sail through: gate is already closed
+		b.Put(child, v+1)
+		return nil
+	}
+	err := s.Atomic(func(tx *Tx) error {
+		return tx.Parallel(rmw, rmw)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Peek(); got != 2 {
+		t.Fatalf("final value = %d, want 2", got)
+	}
+	if n := tr.AbortCount(stmtrace.ReasonNestedSibling); n != 1 {
+		t.Errorf("nested-vs-sibling aborts = %d, want 1", n)
+	}
+	rep := tr.Conflicts(10)
+	if len(rep.TopBoxes) != 1 || rep.TopBoxes[0].Box != "shared-nested" {
+		t.Errorf("hot boxes = %+v, want shared-nested", rep.TopBoxes)
+	}
+	if rep.TopBoxes[0].ByReason["nested-vs-sibling"] != 1 {
+		t.Errorf("by-reason = %v", rep.TopBoxes[0].ByReason)
+	}
+}
+
+// TestTraceNestedParentAttribution exercises the eager read-time abort: a
+// reader child that began before a sibling's merge reads the box after the
+// merge, observing an ancestor entry newer than its tree snapshot. The
+// interleaving needs the writer's merge to land inside the reader's
+// window, so the whole scenario retries until the abort is observed.
+func TestTraceNestedParentAttribution(t *testing.T) {
+	s, tr := newTracedSTM(Options{})
+	b := NewVBox(0).WithLabel("eager-box")
+	deadline := time.Now().Add(10 * time.Second)
+	for tr.AbortCount(stmtrace.ReasonNestedParent) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no nested-vs-parent abort observed within deadline")
+		}
+		var began atomic.Int32
+		gate := make(chan struct{})
+		err := s.Atomic(func(tx *Tx) error {
+			return tx.Parallel(
+				func(child *Tx) error { // writer: wait for the reader to begin, then merge
+					if began.Add(1) == 2 {
+						close(gate)
+					}
+					<-gate
+					b.Modify(child, func(x int) int { return x + 1 })
+					return nil
+				},
+				func(child *Tx) error { // reader: begin, let the writer merge, then read
+					if began.Add(1) == 2 {
+						close(gate)
+					}
+					<-gate
+					time.Sleep(500 * time.Microsecond)
+					_ = b.Get(child)
+					return nil
+				},
+			)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := tr.Conflicts(10)
+	if rep.Reasons["nested-vs-parent"] == 0 {
+		t.Errorf("report reasons = %v, want nested-vs-parent > 0", rep.Reasons)
+	}
+	found := false
+	for _, box := range rep.TopBoxes {
+		if box.Box == "eager-box" && box.ByReason["nested-vs-parent"] > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("eager-box not attributed in %+v", rep.TopBoxes)
+	}
+}
+
+// TestTraceUserAbort checks that a transaction function returning an error
+// is recorded as OutcomeUserAbort with ReasonUser (and no box).
+func TestTraceUserAbort(t *testing.T) {
+	s, tr := newTracedSTM(Options{})
+	b := NewVBox(0)
+	sentinel := errors.New("nope")
+	if err := s.Atomic(func(tx *Tx) error {
+		b.Put(tx, 1)
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if got := b.Peek(); got != 0 {
+		t.Fatalf("aborted write leaked: %d", got)
+	}
+	if n := tr.AbortCount(stmtrace.ReasonUser); n != 1 {
+		t.Errorf("user aborts = %d, want 1", n)
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Outcome != stmtrace.OutcomeUserAbort {
+		t.Errorf("spans = %+v, want one user-abort span", spans)
+	}
+	if rep := tr.Conflicts(10); len(rep.TopBoxes) != 0 {
+		t.Errorf("user abort should not attribute a box: %+v", rep.TopBoxes)
+	}
+}
+
+// TestTraceNestedTreeParenting runs a conflict-free fanout and checks the
+// whole tree is captured: one top span, three children parented under it.
+func TestTraceNestedTreeParenting(t *testing.T) {
+	s, tr := newTracedSTM(Options{})
+	boxes := []*VBox[int]{NewVBox(0), NewVBox(0), NewVBox(0)}
+	err := s.Atomic(func(tx *Tx) error {
+		return tx.Parallel(
+			func(c *Tx) error { boxes[0].Put(c, 1); return nil },
+			func(c *Tx) error { boxes[1].Put(c, 2); return nil },
+			func(c *Tx) error { boxes[2].Put(c, 3); return nil },
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4 (top + 3 children): %+v", len(spans), spans)
+	}
+	var top stmtrace.SpanData
+	children := 0
+	for _, sp := range spans {
+		if sp.Parent == 0 {
+			top = sp
+		}
+	}
+	if top.ID == 0 {
+		t.Fatal("no top-level span captured")
+	}
+	for _, sp := range spans {
+		if sp.Parent == 0 {
+			continue
+		}
+		children++
+		if sp.Parent != top.ID || sp.Root != top.ID || sp.Depth != 1 {
+			t.Errorf("child span not parented under top: %+v (top %d)", sp, top.ID)
+		}
+		if sp.Outcome != stmtrace.OutcomeCommit {
+			t.Errorf("conflict-free child did not commit: %+v", sp)
+		}
+	}
+	if children != 3 {
+		t.Errorf("got %d child spans, want 3", children)
+	}
+	if top.Outcome != stmtrace.OutcomeCommit {
+		t.Errorf("top span outcome = %v, want commit", top.Outcome)
+	}
+}
+
+// TestTraceSamplingDisabledCapturesNothing checks the default-off gate.
+func TestTraceSamplingDisabledCapturesNothing(t *testing.T) {
+	tr := stmtrace.New(stmtrace.Options{})
+	s := New(Options{Tracer: tr}) // rate defaults to 0
+	b := NewVBox(0)
+	for i := 0; i < 10; i++ {
+		if err := s.Atomic(func(tx *Tx) error {
+			b.Modify(tx, func(x int) int { return x + 1 })
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Sampled() != 0 || tr.SpanCount() != 0 {
+		t.Errorf("disabled tracer captured sampled=%d spans=%d", tr.Sampled(), tr.SpanCount())
+	}
+}
+
+// TestTraceSampleRatePartial checks that a mid-range rate samples some but
+// not all transactions (statistically: 2000 draws at 0.5 landing on 0 or
+// 2000 is beyond astronomically unlikely).
+func TestTraceSampleRatePartial(t *testing.T) {
+	tr := stmtrace.New(stmtrace.Options{})
+	s := New(Options{Tracer: tr, TraceSampleRate: 0.5})
+	b := NewVBox(0)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := s.Atomic(func(tx *Tx) error {
+			b.Modify(tx, func(x int) int { return x + 1 })
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tr.Sampled()
+	if got == 0 || got == n {
+		t.Errorf("rate 0.5 sampled %d of %d transactions", got, n)
+	}
+	if got < n/4 || got > 3*n/4 {
+		t.Errorf("rate 0.5 sampled %d of %d, far outside expectation", got, n)
+	}
+}
+
+// TestTracerEnableDisableRace toggles the tracer and the sampling rate
+// while transactions (including nested fanouts) run — the -race gate for
+// the SetTracer/SetTraceSampleRate hot-path interaction. In-flight sampled
+// trees must keep reporting to the tracer they started on.
+func TestTracerEnableDisableRace(t *testing.T) {
+	s := New(Options{})
+	tr := stmtrace.New(stmtrace.Options{MaxSpans: 256})
+	boxes := make([]*VBox[int], 8)
+	for i := range boxes {
+		boxes[i] = NewVBox(0).WithLabel("box")
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = s.Atomic(func(tx *Tx) error {
+					if i%4 == 0 {
+						return tx.Parallel(
+							func(c *Tx) error {
+								boxes[(g+i)%8].Modify(c, func(x int) int { return x + 1 })
+								return nil
+							},
+							func(c *Tx) error {
+								boxes[(g+i+1)%8].Modify(c, func(x int) int { return x + 1 })
+								return nil
+							},
+						)
+					}
+					boxes[(g*2+i)%8].Modify(tx, func(x int) int { return x + 1 })
+					return nil
+				})
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		switch i % 4 {
+		case 0:
+			s.SetTracer(tr)
+			s.SetTraceSampleRate(1)
+		case 1:
+			s.SetTraceSampleRate(0.25)
+		case 2:
+			s.SetTraceSampleRate(0)
+		case 3:
+			s.SetTracer(nil)
+		}
+		if i%16 == 0 {
+			tr.Conflicts(5)
+			tr.Spans()
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+}

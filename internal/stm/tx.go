@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"autopn/internal/stats"
+	stmtrace "autopn/internal/stm/trace"
 )
 
 // writeEntry is a buffered write inside a transaction's write set. treeVer
@@ -93,6 +95,11 @@ type Tx struct {
 	// Tx is never recycled (pool.go).
 	lfEnqueued bool
 
+	// span is this attempt's tracing span; nil unless the tree was sampled
+	// (see STM.sampleTrace). Children of a sampled root carry their own
+	// spans, parented under the root's.
+	span *stmtrace.Span
+
 	finished bool // defensive: set when the tx function returned
 }
 
@@ -134,6 +141,7 @@ func (tx *Tx) read(b *vbox) any {
 				// took our tree snapshot: the version we should read no
 				// longer exists (tree write sets are single-version).
 				// Abort eagerly and retry with a fresh snapshot.
+				tx.traceConflict(stmtrace.ReasonNestedParent, b)
 				panic(conflictSignal{tx})
 			}
 			if tx.reads.add(b) {
@@ -171,6 +179,41 @@ func (tx *Tx) ensureLive() {
 	}
 }
 
+// markSpan closes the current tracing phase on tx's span, if traced.
+func (tx *Tx) markSpan(p stmtrace.Phase) {
+	if tx.span != nil {
+		tx.span.Mark(p)
+	}
+}
+
+// finishSpan completes tx's span, if traced.
+func (tx *Tx) finishSpan(o stmtrace.Outcome) {
+	if tx.span != nil {
+		tx.span.Finish(o)
+		tx.span = nil
+	}
+}
+
+// boxKeyLabel returns b's identity key and label for conflict
+// attribution. The key is the box's address used purely as an opaque
+// identity (never dereferenced by the tracer).
+func boxKeyLabel(b *vbox) (uintptr, string) {
+	if b == nil {
+		return 0, ""
+	}
+	return uintptr(unsafe.Pointer(b)), b.label
+}
+
+// traceConflict attributes one abort of tx to reason at box b (nil = no
+// specific box). No-op when the tree is untraced.
+func (tx *Tx) traceConflict(reason stmtrace.Reason, b *vbox) {
+	if tx.span == nil {
+		return
+	}
+	key, label := boxKeyLabel(b)
+	tx.span.Conflict(reason, key, label)
+}
+
 // runTop executes fn inside tx and attempts to commit. It returns the
 // user error (nil on success) and whether a conflict occurred (in which
 // case the caller retries with a fresh transaction).
@@ -181,6 +224,7 @@ func (tx *Tx) runTop(fn func(*Tx) error) (err error, conflicted bool) {
 		if r := recover(); r != nil {
 			if cs, ok := r.(conflictSignal); ok && cs.tx == tx {
 				conflicted = true
+				tx.finishSpan(stmtrace.OutcomeAbort)
 				return
 			}
 			panic(r)
@@ -188,11 +232,17 @@ func (tx *Tx) runTop(fn func(*Tx) error) (err error, conflicted bool) {
 	}()
 	if err := fn(tx); err != nil {
 		tx.stm.Stats.add(tx.statShard, idxUserAborts, 1)
+		tx.markSpan(stmtrace.PhaseRun)
+		tx.traceConflict(stmtrace.ReasonUser, nil)
+		tx.finishSpan(stmtrace.OutcomeUserAbort)
 		return err, false
 	}
+	tx.markSpan(stmtrace.PhaseRun)
 	if !tx.commitTop() {
+		tx.finishSpan(stmtrace.OutcomeAbort)
 		return nil, true
 	}
+	tx.finishSpan(stmtrace.OutcomeCommit)
 	return nil, false
 }
 
@@ -202,12 +252,19 @@ func (tx *Tx) commitTop() bool {
 	s := tx.stm
 	nWrites := tx.writes.size()
 	if nWrites == 0 {
+		tx.markSpan(stmtrace.PhaseCommit)
 		s.Stats.add(tx.statShard, idxTopCommits, 1)
 		s.Stats.add(tx.statShard, idxReadOnlyTops, 1)
 		return true
 	}
 	if s.opts.LockFreeCommit {
-		if !s.commitTopLockFree(tx) {
+		// Helping interleaves validation and write-back across threads, so
+		// the whole enqueue-and-help section is accounted as PhaseCommit;
+		// the helper that invalidates the request attributes the conflict
+		// (see helpCommits).
+		ok := s.commitTopLockFree(tx)
+		tx.markSpan(stmtrace.PhaseCommit)
+		if !ok {
 			return false
 		}
 		s.Stats.add(tx.statShard, idxTopCommits, 1)
@@ -218,16 +275,20 @@ func (tx *Tx) commitTop() bool {
 	for _, b := range tx.globalReads {
 		if b.currentVersion() > tx.readVersion {
 			s.commitMu.Unlock()
+			tx.traceConflict(stmtrace.ReasonTopValidation, b)
+			tx.markSpan(stmtrace.PhaseValidate)
 			return false
 		}
 	}
 	newVer := s.clock.Load() + 1
 	keepFrom := s.gcHorizon()
+	tx.markSpan(stmtrace.PhaseValidate)
 	tx.writes.forEach(func(b *vbox, e writeEntry) {
 		b.install(e.value, newVer, keepFrom)
 	})
 	s.clock.Store(newVer)
 	s.commitMu.Unlock()
+	tx.markSpan(stmtrace.PhaseCommit)
 	s.Stats.add(tx.statShard, idxTopCommits, 1)
 	s.Stats.add(tx.statShard, idxVersionsWritten, uint64(nWrites))
 	return true
@@ -253,8 +314,10 @@ func (tx *Tx) treeOf() *treeState {
 
 // beginChild checks a nested transaction out of the pool under tx with a
 // fresh tree snapshot. spawned marks children running on their own worker
-// goroutine (and therefore holding a tree gate slot).
-func (tx *Tx) beginChild(t *treeState, spawned bool) *Tx {
+// goroutine (and therefore holding a tree gate slot). It runs on the
+// goroutine that will execute the child (tracing regions are
+// goroutine-bound).
+func (tx *Tx) beginChild(t *treeState, spawned bool, attempt int) *Tx {
 	c := tx.stm.getTx()
 	c.stm = tx.stm
 	c.parent = tx
@@ -265,6 +328,13 @@ func (tx *Tx) beginChild(t *treeState, spawned bool) *Tx {
 	c.snapSlot = slotNone // the root's registration covers the tree
 	c.tree = t
 	c.holdsGateSlot = spawned
+	if psp := tx.span; psp != nil {
+		// Sampled tree: trace every child, parented under tx's span. The
+		// parent is suspended at the Parallel join, so reading its span is
+		// safe from the child goroutine.
+		c.span = psp.StartChild(c.depth, attempt)
+		c.span.Mark(stmtrace.PhaseBegin)
+	}
 	return c
 }
 
@@ -273,7 +343,7 @@ func (tx *Tx) beginChild(t *treeState, spawned bool) *Tx {
 func runChild(parent *Tx, t *treeState, spawned bool, fn func(*Tx) error) error {
 	var rng *stats.RNG
 	for attempt := 0; ; attempt++ {
-		child := parent.beginChild(t, spawned)
+		child := parent.beginChild(t, spawned, attempt)
 		err, conflicted := child.runNested(fn)
 		parent.stm.putTx(child)
 		if !conflicted {
@@ -295,6 +365,7 @@ func (tx *Tx) runNested(fn func(*Tx) error) (err error, conflicted bool) {
 		if r := recover(); r != nil {
 			if cs, ok := r.(conflictSignal); ok && cs.tx == tx {
 				conflicted = true
+				tx.finishSpan(stmtrace.OutcomeAbort)
 				return
 			}
 			panic(r)
@@ -302,12 +373,18 @@ func (tx *Tx) runNested(fn func(*Tx) error) (err error, conflicted bool) {
 	}()
 	if err := fn(tx); err != nil {
 		tx.stm.Stats.add(tx.statShard, idxUserAborts, 1)
+		tx.markSpan(stmtrace.PhaseRun)
+		tx.traceConflict(stmtrace.ReasonUser, nil)
+		tx.finishSpan(stmtrace.OutcomeUserAbort)
 		return err, false
 	}
+	tx.markSpan(stmtrace.PhaseRun)
 	if !tx.commitNested() {
+		tx.finishSpan(stmtrace.OutcomeAbort)
 		return nil, true
 	}
 	tx.stm.Stats.add(tx.statShard, idxNestedCommits, 1)
+	tx.finishSpan(stmtrace.OutcomeCommit)
 	return nil, false
 }
 
@@ -328,9 +405,12 @@ func (tx *Tx) commitNested() bool {
 	for _, r := range tx.treeReads {
 		src, ver := resolveTree(parent, r.box)
 		if src != r.src || ver != r.treeVer {
+			tx.traceConflict(stmtrace.ReasonNestedSibling, r.box)
+			tx.markSpan(stmtrace.PhaseValidate)
 			return false
 		}
 	}
+	tx.markSpan(stmtrace.PhaseValidate)
 
 	// Merge: stamp our writes with a fresh tree version and fold them into
 	// the parent's write set.
@@ -353,6 +433,7 @@ func (tx *Tx) commitNested() bool {
 			}
 		}
 	}
+	tx.markSpan(stmtrace.PhaseCommit)
 	return true
 }
 

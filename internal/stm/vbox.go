@@ -19,6 +19,10 @@ type body struct {
 // *vbox identity.
 type vbox struct {
 	head atomic.Pointer[body]
+	// label is an optional human-readable identity for the conflict
+	// profiler (set once via VBox.WithLabel before the box is shared;
+	// never mutated afterwards, so reads need no synchronization).
+	label string
 }
 
 // readAt returns the newest body with version <= ver. Such a body always
@@ -109,6 +113,19 @@ func NewVBox[T any](initial T) *VBox[T] {
 	v.core.head.Store(first)
 	return v
 }
+
+// WithLabel names the box for the conflict profiler: aborts attributed to
+// it appear under this label in /debug/stm/conflicts and trace dumps
+// instead of a bare address. It returns v for chaining
+// (NewVBox(0).WithLabel("account:42")) and must be called before the box
+// is shared across goroutines.
+func (v *VBox[T]) WithLabel(label string) *VBox[T] {
+	v.core.label = label
+	return v
+}
+
+// Label returns the profiling label set by WithLabel ("" when unset).
+func (v *VBox[T]) Label() string { return v.core.label }
 
 // Get returns the box's value as seen by tx, recording the read for
 // conflict detection. It must be called from inside the transaction's
