@@ -7,8 +7,12 @@ GO ?= go
 FUZZTIME ?= 30s
 BENCHTIME ?= 100x
 
+# Fault-injection soak seed; every CHAOS_SEED value yields one fixed,
+# byte-identical fault schedule (see docs/ROBUSTNESS.md).
+CHAOS_SEED ?= 1
+
 .PHONY: all build test test-short race race-all bench bench-stm \
-	bench-compare bench-smoke trace-smoke fuzz-smoke lint ci repro \
+	bench-compare bench-smoke trace-smoke fuzz-smoke chaos lint ci repro \
 	figures clean
 
 all: build test
@@ -63,6 +67,15 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) -run '^$$' ./internal/trace
 
+# Fault-injection soak under the race detector: the injector's own unit
+# tests, the STM chaos suite (forced aborts, stalls and the seeded soak on
+# both commit paths), and the end-to-end tuner self-protection test.
+# Deterministic per CHAOS_SEED; set CHAOS_LOG=<path> to persist the
+# self-protection decision trail as JSONL.
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run '^TestChaos' \
+		./internal/chaos/ ./internal/stm/ .
+
 # Static analysis beyond go vet. Uses golangci-lint (see .golangci.yml)
 # when installed; CI always runs it.
 lint:
@@ -75,7 +88,7 @@ lint:
 
 # Everything the CI pipeline runs, in one target, so local runs and the
 # pipeline stay in lockstep (the fuzz/bench budgets match ci.yml).
-ci: build test-short race fuzz-smoke bench-smoke lint
+ci: build test-short race chaos fuzz-smoke bench-smoke lint
 
 # The single acceptance test for the paper's headline claims.
 repro:

@@ -33,6 +33,7 @@ package autopn
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -104,6 +105,27 @@ type Options struct {
 	// configuration change (used by the §VII-E overhead experiment).
 	DryRun bool
 
+	// WatchdogFactor arms the monitor's window watchdog with a budget of
+	// WatchdogFactor times the adaptive gap timeout 1/T(1,1): windows that
+	// defeat the policy's own deadlines (trickling or jittering
+	// configurations) are force-ended and treated as starved. The derived
+	// budget is floored at 100ms so that fast workloads, whose adaptive gap
+	// is far below the monitor's deadline-polling granularity, cannot have
+	// healthy windows force-ended; when the budget would not fire before
+	// MaxWindow the watchdog disarms (the policy's own deadline governs).
+	// 0 selects the default factor (32); negative disables the watchdog.
+	WatchdogFactor float64
+	// WatchdogMinBudget floors the watchdog budget, and also arms the
+	// watchdog before T(1,1) has been measured (with zero minimum the
+	// watchdog stays disarmed until the sequential configuration's
+	// throughput anchors the gap timeout).
+	WatchdogMinBudget time.Duration
+	// QuarantineAfter bans a configuration from the candidate space after
+	// this many consecutive starved windows (zero-commit gap timeouts or
+	// watchdog trips). 0 selects the default (2); negative disables
+	// quarantining. The sequential pivot (1,1) is never banned.
+	QuarantineAfter int
+
 	// OnMeasurement, if non-nil, is invoked after every measurement window
 	// with the configuration measured and the window's outcome — the
 	// observability hook the CLI uses to print the tuning trajectory.
@@ -140,6 +162,9 @@ type Measurement struct {
 	// during the window — the contention cost of the configuration under
 	// measurement.
 	Aborts uint64
+	// WatchdogTripped reports that the window was force-ended by the
+	// monitor's watchdog (see Options.WatchdogFactor).
+	WatchdogTripped bool
 }
 
 // Result summarizes a completed tuning run.
@@ -169,6 +194,15 @@ type Tuner struct {
 	rec   obs.Recorder
 	phase atomic.Value // string; see Phase
 
+	// Self-protection state (see Options.WatchdogFactor/QuarantineAfter).
+	quar    *space.Quarantine // nil when quarantining is disabled
+	t11gap  atomic.Uint64     // adaptive gap 1/T(1,1) in ns; 0 = unknown
+	wdTrips atomic.Uint64     // watchdog trips this process
+
+	lastGoodMu  sync.Mutex
+	lastGood    space.Config // most recent config with a healthy window
+	hasLastGood bool
+
 	// Tuner-level metrics (nil without Options.Metrics).
 	mExplorations *obs.Counter
 	mRetunes      *obs.Counter
@@ -195,6 +229,12 @@ func NewTuner(s *stm.STM, opts Options) *Tuner {
 	if opts.MaxWindow <= 0 {
 		opts.MaxWindow = 30 * time.Second
 	}
+	if opts.WatchdogFactor == 0 {
+		opts.WatchdogFactor = 32
+	}
+	if opts.QuarantineAfter == 0 {
+		opts.QuarantineAfter = 2
+	}
 	t := &Tuner{
 		opts: opts,
 		sp:   space.New(opts.Cores),
@@ -207,6 +247,15 @@ func NewTuner(s *stm.STM, opts Options) *Tuner {
 	}
 	t.phase.Store("idle")
 	t.stm = s
+	if opts.QuarantineAfter > 0 {
+		t.quar = space.NewQuarantine(opts.QuarantineAfter, space.Config{T: 1, C: 1})
+	}
+	if opts.WatchdogFactor > 0 {
+		t.live.SetWatchdog(&monitor.Watchdog{
+			Budget: t.watchdogBudget,
+			OnTrip: func(time.Duration) { t.wdTrips.Add(1) },
+		})
+	}
 	if !opts.DryRun {
 		s.SetThrottle(t.pool)
 	}
@@ -226,8 +275,48 @@ func NewTuner(s *stm.STM, opts Options) *Tuner {
 		t.mExplorations = reg.Counter("autopn_tuner_explorations_total")
 		t.mRetunes = reg.Counter("autopn_tuner_retunes_total")
 		t.mSessions = reg.Counter("autopn_tuner_sessions_total")
+		reg.GaugeFunc("autopn_quarantined_configs", func() float64 {
+			if t.quar == nil {
+				return 0
+			}
+			return float64(t.quar.Len())
+		})
 	}
 	return t
+}
+
+// watchdogBudgetFloor bounds the derived watchdog budget from below. On
+// fast workloads the adaptive gap 1/T(1,1) is microseconds — far below the
+// monitor's deadline-polling granularity — and a factor×gap budget at that
+// scale would force-end perfectly healthy windows at the first poll tick.
+// No pathological window is shorter than this.
+const watchdogBudgetFloor = 100 * time.Millisecond
+
+// watchdogBudget derives the per-window watchdog budget: WatchdogFactor
+// times the adaptive gap 1/T(1,1), floored by watchdogBudgetFloor and
+// WatchdogMinBudget. Before T(1,1) is known the configured minimum alone
+// applies (zero = disarmed). The watchdog's job is to end a pathological
+// window BEFORE the policy's MaxWindow would, and attribute starvation; a
+// budget that cannot fire first is useless and — at the boundary — races
+// MaxWindow, mislabeling healthy windows that legitimately run that long.
+// So when the budget would not undercut MaxWindow the watchdog disarms and
+// the policy's own deadline governs.
+func (t *Tuner) watchdogBudget() time.Duration {
+	gap := time.Duration(t.t11gap.Load())
+	b := t.opts.WatchdogMinBudget
+	if gap > 0 {
+		b = time.Duration(t.opts.WatchdogFactor * float64(gap))
+		if b < watchdogBudgetFloor {
+			b = watchdogBudgetFloor
+		}
+		if b < t.opts.WatchdogMinBudget {
+			b = t.opts.WatchdogMinBudget
+		}
+	}
+	if t.opts.MaxWindow > 0 && b >= t.opts.MaxWindow {
+		return 0
+	}
+	return b
 }
 
 // Phase returns the tuner's current activity as a human-readable string:
@@ -268,6 +357,7 @@ func (t *Tuner) newOptimizer(rng *stats.RNG) search.Optimizer {
 			Stop:             core.NewEIStop(t.opts.EIThreshold),
 			DisableHillClimb: t.opts.DisableHillClimb,
 			Recorder:         t.rec,
+			Quarantine:       t.quar,
 		})
 	}
 }
@@ -317,18 +407,23 @@ func (t *Tuner) tuneOnce(ctx context.Context, rng *stats.RNG) Result {
 			t.pool.Apply(cfg)
 			t.settle(ctx, cfg)
 		}
+		ll0 := t.stm.Stats.LivelockTrips()
 		m := t.live.Measure(t.windowPolicy(t11))
+		livelocks := t.stm.Stats.LivelockTrips() - ll0
 		if (cfg == space.Config{T: 1, C: 1}) && t11 == 0 && m.Throughput > 0 {
 			t11 = m.Throughput
+			// Anchor the watchdog budget to the freshly measured adaptive gap.
+			t.t11gap.Store(uint64(monitor.AdaptiveGapFromSequential(t11, 0)))
 		}
 		if t.opts.OnMeasurement != nil {
 			t.opts.OnMeasurement(Config{T: cfg.T, C: cfg.C}, Measurement{
-				Throughput: m.Throughput,
-				Commits:    m.Commits,
-				Elapsed:    m.Elapsed,
-				TimedOut:   m.TimedOut,
-				CV:         m.CV,
-				Aborts:     m.Aborts,
+				Throughput:      m.Throughput,
+				Commits:         m.Commits,
+				Elapsed:         m.Elapsed,
+				TimedOut:        m.TimedOut,
+				CV:              m.CV,
+				Aborts:          m.Aborts,
+				WatchdogTripped: m.WatchdogTripped,
 			})
 		}
 		t.rec.Record(obs.Decision{
@@ -337,7 +432,24 @@ func (t *Tuner) tuneOnce(ctx context.Context, rng *stats.RNG) Result {
 			Throughput: m.Throughput, CV: m.CV, Commits: m.Commits,
 			WindowMS: float64(m.Elapsed) / float64(time.Millisecond),
 			TimedOut: m.TimedOut, Aborts: m.Aborts,
+			Watchdog: m.WatchdogTripped, Livelocks: livelocks,
 		})
+		// Self-protection: a starved window (watchdog trip, or a gap
+		// timeout with zero commits) strikes the configuration and falls
+		// back to the last known-good one; a healthy window clears strikes
+		// and becomes the new known-good. This runs before the optimizer
+		// sees the KPI so a ban is already effective for the next Next().
+		// A starved window's throughput is untrustworthy (the window never
+		// stabilized — a watchdog-tripped trickle can even look fast), so
+		// the optimizer is fed zero for it: a pathological configuration
+		// must never become the incumbent best.
+		kpi := m.Throughput
+		if m.WatchdogTripped || (m.TimedOut && m.Commits == 0) {
+			t.handleStarved(cfg, m)
+			kpi = 0
+		} else {
+			t.noteHealthy(cfg, m)
+		}
 		if !seen[cfg] {
 			seen[cfg] = true
 			res.Explorations++
@@ -347,9 +459,9 @@ func (t *Tuner) tuneOnce(ctx context.Context, rng *stats.RNG) Result {
 		}
 		res.Windows++
 		if ap, ok := opt.(*core.AutoPN); ok {
-			ap.ObserveMeasured(cfg, m.Throughput, m.CV)
+			ap.ObserveMeasured(cfg, kpi, m.CV)
 		} else {
-			opt.Observe(cfg, m.Throughput)
+			opt.Observe(cfg, kpi)
 		}
 	}
 	best, kpi := opt.Best()
@@ -365,6 +477,85 @@ func (t *Tuner) tuneOnce(ctx context.Context, rng *stats.RNG) Result {
 	res.Best = Config{T: best.T, C: best.C}
 	res.BestThroughput = kpi
 	return res
+}
+
+// handleStarved processes a starved measurement window: strike (and
+// possibly ban) the configuration, then revert the actuator to the last
+// known-good configuration so the system does not keep running a
+// pathological (t,c) while the optimizer deliberates.
+func (t *Tuner) handleStarved(cfg space.Config, m monitor.Measurement) {
+	if t.quar != nil {
+		if t.quar.ReportStarved(cfg) {
+			t.rec.Record(obs.Decision{
+				Kind: obs.KindQuarantine, Phase: t.Phase(),
+				T: cfg.T, C: cfg.C, Watchdog: m.WatchdogTripped,
+				Note: fmt.Sprintf("banned after %d starved windows", t.quar.Strikes(cfg)),
+			})
+		}
+	}
+	t.fallback(cfg, m.WatchdogTripped)
+}
+
+// noteHealthy clears cfg's quarantine strikes and, when the window actually
+// committed work, remembers cfg as the fallback target.
+func (t *Tuner) noteHealthy(cfg space.Config, m monitor.Measurement) {
+	if t.quar != nil {
+		t.quar.ReportHealthy(cfg)
+	}
+	if m.Commits > 0 {
+		t.lastGoodMu.Lock()
+		t.lastGood, t.hasLastGood = cfg, true
+		t.lastGoodMu.Unlock()
+	}
+}
+
+// fallback reverts the actuator to the last known-good configuration.
+func (t *Tuner) fallback(from space.Config, watchdog bool) {
+	if t.opts.DryRun {
+		return
+	}
+	t.lastGoodMu.Lock()
+	good, ok := t.lastGood, t.hasLastGood
+	t.lastGoodMu.Unlock()
+	if !ok || good == from {
+		return
+	}
+	t.pool.Apply(good)
+	t.rec.Record(obs.Decision{
+		Kind: obs.KindFallback, Phase: t.Phase(),
+		T: good.T, C: good.C, Watchdog: watchdog,
+		Note: fmt.Sprintf("reverted from starving %s to last known-good %s", from, good),
+	})
+}
+
+// Protection summarizes the tuner's self-protection state (see
+// Options.WatchdogFactor and Options.QuarantineAfter); the /status endpoint
+// of autopn-live serves it.
+type Protection struct {
+	// WatchdogTrips counts measurement windows force-ended by the watchdog.
+	WatchdogTrips uint64 `json:"watchdog_trips"`
+	// Quarantined lists the banned configurations in canonical order.
+	Quarantined []Config `json:"quarantined,omitempty"`
+	// LastGood is the most recent configuration with a healthy committing
+	// window — the fallback target (nil before the first healthy window).
+	LastGood *Config `json:"last_good,omitempty"`
+}
+
+// Protection returns a snapshot of the self-protection state. Safe for
+// concurrent use.
+func (t *Tuner) Protection() Protection {
+	p := Protection{WatchdogTrips: t.wdTrips.Load()}
+	if t.quar != nil {
+		for _, cfg := range t.quar.List() {
+			p.Quarantined = append(p.Quarantined, Config{T: cfg.T, C: cfg.C})
+		}
+	}
+	t.lastGoodMu.Lock()
+	if t.hasLastGood {
+		p.LastGood = &Config{T: t.lastGood.T, C: t.lastGood.C}
+	}
+	t.lastGoodMu.Unlock()
+	return p
 }
 
 // optPhase names what the optimizer is doing for Phase()/the decision log.

@@ -41,6 +41,10 @@ type liveConfig struct {
 	logMaxMB    int    // decision-log size cap per generation (0 = uncapped)
 	traceSample float64
 	traceOut    string // "" = no trace_event dump on exit
+	// shutdownTimeout bounds how long shutdown waits for in-flight
+	// transactions to drain; workers still running past it are abandoned
+	// and reported in the exit summary (0 = wait forever).
+	shutdownTimeout time.Duration
 }
 
 // statusPayload is what /status serves: current configuration, phase, and
@@ -55,6 +59,9 @@ type statusPayload struct {
 	C             int               `json:"c"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
 	STM           stm.StatsSnapshot `json:"stm"`
+	// Protection is the tuner's self-protection state: watchdog trips,
+	// quarantined configurations, and the fallback target.
+	Protection autopn.Protection `json:"protection"`
 	// Contention is the tracer's conflict-attribution report (nil unless
 	// -trace-sample is on).
 	Contention *stmtrace.ConflictReport `json:"contention,omitempty"`
@@ -166,6 +173,9 @@ func (r *liveRun) run(ctx context.Context) error {
 			if m.TimedOut {
 				suffix = " (timed out)"
 			}
+			if m.WatchdogTripped {
+				suffix = " (watchdog)"
+			}
 			fmt.Fprintf(r.out, "  measured %v: %.0f commits/s over %v (cv %.2f)%s\n",
 				c, m.Throughput, m.Elapsed.Round(time.Millisecond), m.CV, suffix)
 		}
@@ -186,6 +196,7 @@ func (r *liveRun) run(ctx context.Context) error {
 				C:             cur.C,
 				UptimeSeconds: time.Since(start).Seconds(),
 				STM:           s.Stats.Snapshot(),
+				Protection:    tuner.Protection(),
 				Decisions:     ring.Last(statusDecisions),
 			}
 			if tracer != nil {
@@ -239,7 +250,6 @@ func (r *liveRun) run(ctx context.Context) error {
 		NestedHint: func() int { return tuner.Current().C },
 	}
 	d.Start(cfg.seed)
-	defer d.Stop()
 
 	fmt.Fprintf(r.out, "running %s on %d cores with strategy %s (space: %d configs)\n",
 		w.Name(), cfg.cores, cfg.strategy, tuner.SpaceSize())
@@ -248,7 +258,18 @@ func (r *liveRun) run(ctx context.Context) error {
 	defer cancel()
 	res := tuner.Run(runCtx)
 	if ctx.Err() != nil {
-		fmt.Fprintf(r.out, "interrupted — flushing decision log and metrics\n")
+		fmt.Fprintf(r.out, "interrupted — draining in-flight transactions (timeout %v)\n", cfg.shutdownTimeout)
+	}
+
+	// Bounded drain: workers finish their in-flight transactions within
+	// -shutdown-timeout; whatever is still running past the deadline is
+	// abandoned and reported, so a wedged transaction cannot hold the
+	// shutdown hostage.
+	if abandoned := d.StopTimeout(cfg.shutdownTimeout); abandoned > 0 {
+		fmt.Fprintf(r.out, "shutdown: abandoned %d in-flight transactions after %v\n",
+			abandoned, cfg.shutdownTimeout)
+	} else {
+		fmt.Fprintf(r.out, "shutdown: all in-flight transactions drained\n")
 	}
 
 	fmt.Fprintf(r.out, "converged to %v after %d explorations (%d windows) in %v\n",
@@ -256,6 +277,10 @@ func (r *liveRun) run(ctx context.Context) error {
 	fmt.Fprintf(r.out, "measured throughput at best: %.0f commits/s\n", res.BestThroughput)
 	if cfg.retune {
 		fmt.Fprintf(r.out, "re-tunes triggered: %d\n", res.Retunes)
+	}
+	if prot := tuner.Protection(); prot.WatchdogTrips > 0 || len(prot.Quarantined) > 0 {
+		fmt.Fprintf(r.out, "protection: %d watchdog trips, quarantined %v\n",
+			prot.WatchdogTrips, prot.Quarantined)
 	}
 	snap := s.Stats.Snapshot()
 	fmt.Fprintf(r.out, "stm: %d top commits (%d read-only), %d top aborts, %d nested commits, %d nested aborts\n",

@@ -39,8 +39,13 @@ func TestLiveEndToEnd(t *testing.T) {
 		// 6 logical cores gives a 14-config space, larger than the 9
 		// initial samples, so the SMBO phase genuinely runs before
 		// hill-climbing (all three phases appear in the log).
-		cores:       6,
-		duration:    20 * time.Second,
+		cores: 6,
+		// With -retune the run lasts exactly -duration (the change watcher
+		// keeps it alive after convergence), so the mid-run endpoint probes
+		// below never race a fast convergence ending the run — and the
+		// HTTP server with it — from under them.
+		duration:    2 * time.Second,
+		retune:      true,
 		strategy:    "autopn",
 		seed:        1,
 		maxWindow:   80 * time.Millisecond,
@@ -156,7 +161,7 @@ func TestLiveEndToEnd(t *testing.T) {
 		t.Error("/debug/stm/trace served no events at sample rate 1")
 	}
 
-	// Let the run finish on its own (convergence well before -duration).
+	// Let the run finish on its own (the -duration timeout ends it).
 	select {
 	case err := <-errCh:
 		if err != nil {

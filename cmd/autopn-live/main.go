@@ -53,6 +53,7 @@ func main() {
 	flag.IntVar(&cfg.logMaxMB, "decision-log-max-mb", 64, "rotate the decision log past this size (0 = never)")
 	flag.Float64Var(&cfg.traceSample, "trace-sample", 0, "fraction of transactions to trace (0..1; 0 = off)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write sampled spans as Chrome trace_event JSON to this file on exit")
+	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 5*time.Second, "bound on draining in-flight transactions at shutdown (0 = wait forever)")
 	flag.Parse()
 
 	// A graceful-shutdown context: the first SIGINT/SIGTERM cancels the

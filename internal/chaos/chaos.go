@@ -1,0 +1,404 @@
+// Package chaos is a deterministic, seedable fault-injection layer for the
+// PN-STM. The STM compiles named hook points into both commit paths
+// (stm.Options.FaultInjector); when no injector is configured each hook is
+// a single nil-pointer branch, so production runs pay nothing.
+//
+// An Injector is built from a set of Rules. Each rule names a hook Point
+// (begin, read, validate, commit, helping, nested-validate, nested-commit),
+// optionally a site label (the VBox label for read hooks, "owner"/"helper"
+// for the lock-free helping hooks), a Trigger deciding *which* arrivals
+// inject, and an Action: delay the caller, force an abort, or stall until
+// resumed. Trigger evaluation — arrival counting and probability draws from
+// a splitmix64 stream — happens under one injector-wide mutex, so a given
+// seed and rule set replays the exact same fault sequence against a
+// deterministic workload; FormatLog renders that sequence byte-for-byte for
+// reproducibility assertions. The delays and stalls themselves happen
+// outside the mutex so injected faults overlap like real ones.
+//
+// See docs/ROBUSTNESS.md for the hook catalogue and schedule format.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"autopn/internal/stats"
+)
+
+// Point identifies a hook site inside the STM.
+type Point uint8
+
+const (
+	// PointBegin fires at the start of every top-level attempt, before the
+	// snapshot is registered.
+	PointBegin Point = iota
+	// PointRead fires when a transaction reads a *labeled* VBox (unlabeled
+	// boxes never fire, keeping the hot path cheap). The site label is the
+	// box label.
+	PointRead
+	// PointValidate fires at the start of top-level commit validation: for
+	// the serialized path after the commit lock is taken, for the
+	// lock-free path before the commit request is enqueued. ActAbort here
+	// forces a validation failure (attributed as top-validation).
+	PointValidate
+	// PointCommit fires on the serialized path after validation succeeds
+	// and before the write-back, while the commit lock is still held — a
+	// delay or stall here is a stuck committer.
+	PointCommit
+	// PointHelping fires on the lock-free path: with label "owner" after a
+	// transaction enqueues its commit request and before it starts
+	// helping (a stall here is a preempted committer whose request other
+	// threads must finish), and with label "helper" on every entry to the
+	// helping loop.
+	PointHelping
+	// PointNestedValidate fires when a nested child starts validating
+	// against its parent, under the parent's merge lock. ActAbort forces a
+	// nested-vs-sibling validation failure.
+	PointNestedValidate
+	// PointNestedCommit fires after nested validation succeeds, before the
+	// tree-clock bump and merge — delays here, under the parent lock,
+	// create nested-clock contention storms.
+	PointNestedCommit
+
+	numPoints
+)
+
+var pointNames = [numPoints]string{
+	"begin", "read", "validate", "commit", "helping",
+	"nested-validate", "nested-commit",
+}
+
+func (p Point) String() string {
+	if int(p) < len(pointNames) {
+		return pointNames[p]
+	}
+	return fmt.Sprintf("point(%d)", uint8(p))
+}
+
+// Action is what an injected fault does to the hooked code path.
+type Action uint8
+
+const (
+	// ActNone means the rule matched but injects nothing (useful to count
+	// arrivals at a site via Injected).
+	ActNone Action = iota
+	// ActDelay sleeps the caller for the rule's Delay.
+	ActDelay
+	// ActAbort forces the hooked operation to fail: a conflict-style abort
+	// at read/validate hooks (the transaction retries normally).
+	ActAbort
+	// ActStall blocks the caller until Resume or Close releases it,
+	// modeling a preempted thread.
+	ActStall
+)
+
+var actionNames = [...]string{"none", "delay", "abort", "stall"}
+
+func (a Action) String() string {
+	if int(a) < len(actionNames) {
+		return actionNames[a]
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// Trigger decides which arrivals at a rule's site inject the fault. The
+// zero Trigger fires on every arrival. Conditions combine conjunctively:
+// skip the first After arrivals, then fire on every EveryN-th (1 ≡ every)
+// arrival that also passes the Probability draw, at most Times times
+// (0 ≡ unlimited).
+type Trigger struct {
+	After       uint64  // skip this many arrivals first
+	Times       uint64  // maximum injections (0 = unlimited)
+	EveryN      uint64  // fire on every N-th eligible arrival (0/1 = every)
+	Probability float64 // fire with this probability (<=0 or >=1 = always)
+}
+
+// Nth is the schedule "inject on exactly the n-th arrival" (1-based).
+func Nth(n uint64) Trigger {
+	if n == 0 {
+		n = 1
+	}
+	return Trigger{After: n - 1, Times: 1}
+}
+
+// Prob is the schedule "inject on each arrival with probability p", drawn
+// from the injector's seeded stream.
+func Prob(p float64) Trigger { return Trigger{Probability: p} }
+
+// Rule binds a trigger and an action to a hook site.
+type Rule struct {
+	Name  string // unique handle for Resume/StallDepth/Injected and the event log
+	Point Point
+	Label string // "" matches any site label; otherwise exact match
+	Trigger
+	Action Action
+	Delay  time.Duration // for ActDelay
+}
+
+// Event is one injected fault, in injection order.
+type Event struct {
+	Seq     uint64 // 1-based global injection sequence
+	Rule    string
+	Point   Point
+	Label   string // the site label the hook fired with
+	Action  Action
+	Arrival uint64 // 1-based arrival count at the rule's site
+}
+
+// Options configures an Injector.
+type Options struct {
+	// Seed seeds the probability stream. The same seed, rules and workload
+	// interleaving replay the same fault sequence.
+	Seed uint64
+	// Rules is the fault schedule. Rule names must be unique.
+	Rules []Rule
+	// MaxEvents caps the in-memory event log (default 4096); injections
+	// past the cap still happen but are only counted, not logged.
+	MaxEvents int
+}
+
+type compiledRule struct {
+	Rule
+	arrivals   uint64
+	injected   uint64
+	stallDepth int
+	resume     chan struct{} // tokens releasing current-or-future stalls
+}
+
+// Injector evaluates a fault schedule at the STM's hook points. All methods
+// are safe for concurrent use. Fire is the hot entry point called by the
+// STM; everything else is test/operator surface.
+type Injector struct {
+	mu      sync.Mutex
+	rng     *stats.RNG
+	rules   []*compiledRule
+	byPoint [numPoints][]*compiledRule
+	byName  map[string]*compiledRule
+	events  []Event
+	seq     uint64
+	dropped uint64
+	maxEv   int
+	closed  bool
+	done    chan struct{} // closed by Close; releases every stall
+}
+
+// New builds an injector from a schedule. It panics on duplicate or empty
+// rule names — schedules are static test fixtures, and a bad one should
+// fail loudly.
+func New(opts Options) *Injector {
+	maxEv := opts.MaxEvents
+	if maxEv <= 0 {
+		maxEv = 4096
+	}
+	inj := &Injector{
+		rng:    stats.NewRNG(opts.Seed),
+		byName: make(map[string]*compiledRule, len(opts.Rules)),
+		maxEv:  maxEv,
+		done:   make(chan struct{}),
+	}
+	for _, r := range opts.Rules {
+		if r.Name == "" {
+			panic("chaos: rule with empty name")
+		}
+		if _, dup := inj.byName[r.Name]; dup {
+			panic("chaos: duplicate rule name " + r.Name)
+		}
+		if int(r.Point) >= int(numPoints) {
+			panic("chaos: rule " + r.Name + " has an unknown point")
+		}
+		cr := &compiledRule{Rule: r, resume: make(chan struct{}, 1024)}
+		inj.rules = append(inj.rules, cr)
+		inj.byName[r.Name] = cr
+		inj.byPoint[r.Point] = append(inj.byPoint[r.Point], cr)
+	}
+	return inj
+}
+
+// Fire evaluates the schedule at hook point p with site label label and
+// performs the first matching rule's action. It returns that action so the
+// caller can react (ActAbort makes the STM fail the hooked operation);
+// ActNone/no match mean "proceed". Delays and stalls happen after the
+// schedule decision is recorded, outside the injector lock.
+func (inj *Injector) Fire(p Point, label string) Action {
+	if inj == nil {
+		return ActNone
+	}
+	inj.mu.Lock()
+	if inj.closed {
+		inj.mu.Unlock()
+		return ActNone
+	}
+	var hit *compiledRule
+	for _, cr := range inj.byPoint[p] {
+		if cr.Label != "" && cr.Label != label {
+			continue
+		}
+		cr.arrivals++
+		if hit == nil && inj.decideLocked(cr) {
+			hit = cr
+			cr.injected++
+			if cr.Action == ActStall {
+				cr.stallDepth++
+			}
+			inj.seq++
+			if len(inj.events) < inj.maxEv {
+				inj.events = append(inj.events, Event{
+					Seq: inj.seq, Rule: cr.Name, Point: p, Label: label,
+					Action: cr.Action, Arrival: cr.arrivals,
+				})
+			} else {
+				inj.dropped++
+			}
+		}
+	}
+	if hit == nil {
+		inj.mu.Unlock()
+		return ActNone
+	}
+	act, delay, resume := hit.Action, hit.Delay, hit.resume
+	inj.mu.Unlock()
+
+	switch act {
+	case ActDelay:
+		time.Sleep(delay)
+	case ActStall:
+		select {
+		case <-resume:
+		case <-inj.done:
+		}
+		inj.mu.Lock()
+		hit.stallDepth--
+		inj.mu.Unlock()
+	}
+	return act
+}
+
+// decideLocked evaluates cr's trigger against its (already incremented)
+// arrival counter. Called with inj.mu held.
+func (inj *Injector) decideLocked(cr *compiledRule) bool {
+	t := cr.Trigger
+	if cr.arrivals <= t.After {
+		return false
+	}
+	if t.Times > 0 && cr.injected >= t.Times {
+		return false
+	}
+	if t.EveryN > 1 && (cr.arrivals-t.After-1)%t.EveryN != 0 {
+		return false
+	}
+	if t.Probability > 0 && t.Probability < 1 && inj.rng.Float64() >= t.Probability {
+		return false
+	}
+	return true
+}
+
+// Resume releases one current-or-future stall of the named rule. It is a
+// no-op for unknown rules.
+func (inj *Injector) Resume(name string) {
+	inj.mu.Lock()
+	cr := inj.byName[name]
+	inj.mu.Unlock()
+	if cr == nil {
+		return
+	}
+	select {
+	case cr.resume <- struct{}{}:
+	default: // token buffer full; 1024 outstanding resumes is a test bug
+	}
+}
+
+// StallDepth reports how many callers are currently blocked in the named
+// rule's stall.
+func (inj *Injector) StallDepth(name string) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if cr := inj.byName[name]; cr != nil {
+		return cr.stallDepth
+	}
+	return 0
+}
+
+// Injected reports how many times the named rule has injected its fault.
+func (inj *Injector) Injected(name string) uint64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if cr := inj.byName[name]; cr != nil {
+		return cr.injected
+	}
+	return 0
+}
+
+// Arrivals reports how many times execution reached the named rule's site
+// (matching its label filter), whether or not it injected.
+func (inj *Injector) Arrivals(name string) uint64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if cr := inj.byName[name]; cr != nil {
+		return cr.arrivals
+	}
+	return 0
+}
+
+// Close disables all future injection and releases every blocked stall.
+// Safe to call multiple times and mandatory at the end of any test that
+// uses ActStall, so no goroutine is left blocked.
+func (inj *Injector) Close() {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if !inj.closed {
+		inj.closed = true
+		close(inj.done)
+	}
+}
+
+// Events returns a copy of the injected-fault log, in injection order.
+func (inj *Injector) Events() []Event {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make([]Event, len(inj.events))
+	copy(out, inj.events)
+	return out
+}
+
+// Dropped reports how many injections were not logged because the event
+// log hit MaxEvents.
+func (inj *Injector) Dropped() uint64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.dropped
+}
+
+// FormatLog renders the event log one line per injection:
+//
+//	#3 stall-owner helping/owner stall arrival=2
+//
+// Two runs of the same seeded schedule against the same deterministic
+// workload produce byte-identical output — the reproducibility artifact
+// chaos tests assert on.
+func (inj *Injector) FormatLog() string {
+	events := inj.Events()
+	var b strings.Builder
+	for _, e := range events {
+		site := e.Point.String()
+		if e.Label != "" {
+			site += "/" + e.Label
+		}
+		fmt.Fprintf(&b, "#%d %s %s %s arrival=%d\n", e.Seq, e.Rule, site, e.Action, e.Arrival)
+	}
+	return b.String()
+}
+
+// StormRules is a preset schedule for nested-clock contention storms: every
+// k-th nested validation is delayed by d under the parent's merge lock,
+// serializing sibling commits behind it.
+func StormRules(d time.Duration, k uint64) []Rule {
+	return []Rule{{
+		Name:    "nested-storm",
+		Point:   PointNestedCommit,
+		Trigger: Trigger{EveryN: k},
+		Action:  ActDelay,
+		Delay:   d,
+	}}
+}

@@ -1,0 +1,220 @@
+package chaos
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestChaosTriggerNth asserts 1-based Nth scheduling: only the n-th arrival
+// injects.
+func TestChaosTriggerNth(t *testing.T) {
+	inj := New(Options{Rules: []Rule{
+		{Name: "third", Point: PointBegin, Trigger: Nth(3), Action: ActAbort},
+	}})
+	defer inj.Close()
+	var got []Action
+	for i := 0; i < 5; i++ {
+		got = append(got, inj.Fire(PointBegin, ""))
+	}
+	want := []Action{ActNone, ActNone, ActAbort, ActNone, ActNone}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d: got %v, want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if n := inj.Injected("third"); n != 1 {
+		t.Errorf("Injected = %d, want 1", n)
+	}
+	if n := inj.Arrivals("third"); n != 5 {
+		t.Errorf("Arrivals = %d, want 5", n)
+	}
+}
+
+// TestChaosTriggerEveryNAfterTimes combines After/EveryN/Times: skip 2,
+// then every 2nd, at most 2 injections → arrivals 3, 5 inject.
+func TestChaosTriggerEveryNAfterTimes(t *testing.T) {
+	inj := New(Options{Rules: []Rule{
+		{
+			Name: "combo", Point: PointValidate,
+			Trigger: Trigger{After: 2, EveryN: 2, Times: 2},
+			Action:  ActAbort,
+		},
+	}})
+	defer inj.Close()
+	var injected []int
+	for i := 1; i <= 10; i++ {
+		if inj.Fire(PointValidate, "") == ActAbort {
+			injected = append(injected, i)
+		}
+	}
+	if len(injected) != 2 || injected[0] != 3 || injected[1] != 5 {
+		t.Fatalf("injected on arrivals %v, want [3 5]", injected)
+	}
+}
+
+// TestChaosLabelFilter: a labeled rule only matches its own site label; an
+// unlabeled rule matches any.
+func TestChaosLabelFilter(t *testing.T) {
+	inj := New(Options{Rules: []Rule{
+		{Name: "only-x", Point: PointRead, Label: "x", Action: ActAbort},
+	}})
+	defer inj.Close()
+	if a := inj.Fire(PointRead, "y"); a != ActNone {
+		t.Errorf("label y matched rule for x: %v", a)
+	}
+	if a := inj.Fire(PointRead, "x"); a != ActAbort {
+		t.Errorf("label x did not match: %v", a)
+	}
+	if n := inj.Arrivals("only-x"); n != 1 {
+		t.Errorf("Arrivals counted non-matching label: %d", n)
+	}
+}
+
+// TestChaosStallResumeClose: a stalled caller blocks until Resume, depth is
+// observable, and Close releases any remaining stalls.
+func TestChaosStallResumeClose(t *testing.T) {
+	inj := New(Options{Rules: []Rule{
+		{Name: "stall", Point: PointHelping, Label: "owner", Action: ActStall},
+	}})
+	release := make(chan struct{}, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inj.Fire(PointHelping, "owner")
+			release <- struct{}{}
+		}()
+	}
+	waitDepth := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for inj.StallDepth("stall") != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("StallDepth never reached %d (now %d)", want, inj.StallDepth("stall"))
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitDepth(2)
+	select {
+	case <-release:
+		t.Fatal("a stalled caller ran before Resume")
+	case <-time.After(20 * time.Millisecond):
+	}
+	inj.Resume("stall")
+	<-release
+	waitDepth(1)
+	inj.Close() // releases the second stall
+	<-release
+	wg.Wait()
+	if a := inj.Fire(PointHelping, "owner"); a != ActNone {
+		t.Errorf("closed injector still injects: %v", a)
+	}
+}
+
+// TestChaosProbabilisticDeterminism: two injectors with the same seed make
+// identical probability decisions; a different seed diverges (with
+// overwhelming probability over 512 draws).
+func TestChaosProbabilisticDeterminism(t *testing.T) {
+	run := func(seed uint64) string {
+		inj := New(Options{Seed: seed, Rules: []Rule{
+			{Name: "p", Point: PointBegin, Trigger: Prob(0.3), Action: ActAbort},
+		}})
+		defer inj.Close()
+		var b strings.Builder
+		for i := 0; i < 512; i++ {
+			if inj.Fire(PointBegin, "") == ActAbort {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	a, b, c := run(42), run(42), run(43)
+	if a != b {
+		t.Error("same seed produced different injection sequences")
+	}
+	if a == c {
+		t.Error("different seeds produced identical injection sequences")
+	}
+	ones := strings.Count(a, "1")
+	if ones < 512*15/100 || ones > 512*45/100 {
+		t.Errorf("p=0.3 injected %d/512 times — implausible", ones)
+	}
+}
+
+// TestChaosFormatLogReproducible: the rendered event log of two identically
+// seeded schedules driven identically is byte-identical and non-empty.
+func TestChaosFormatLogReproducible(t *testing.T) {
+	drive := func() string {
+		inj := New(Options{Seed: 7, Rules: []Rule{
+			{Name: "p-abort", Point: PointValidate, Trigger: Prob(0.5), Action: ActAbort},
+			{Name: "nth-read", Point: PointRead, Label: "hot", Trigger: Nth(2), Action: ActAbort},
+		}})
+		defer inj.Close()
+		for i := 0; i < 64; i++ {
+			inj.Fire(PointValidate, "")
+			inj.Fire(PointRead, "hot")
+			inj.Fire(PointRead, "cold")
+		}
+		return inj.FormatLog()
+	}
+	a, b := drive(), drive()
+	if a == "" {
+		t.Fatal("empty event log")
+	}
+	if a != b {
+		t.Fatalf("seeded schedule not byte-identical:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "nth-read read/hot abort arrival=2") {
+		t.Errorf("log misses the labeled Nth injection:\n%s", a)
+	}
+}
+
+// TestChaosEventLogCap: injections past MaxEvents are counted, not logged.
+func TestChaosEventLogCap(t *testing.T) {
+	inj := New(Options{MaxEvents: 3, Rules: []Rule{
+		{Name: "always", Point: PointBegin, Action: ActAbort},
+	}})
+	defer inj.Close()
+	for i := 0; i < 10; i++ {
+		inj.Fire(PointBegin, "")
+	}
+	if n := len(inj.Events()); n != 3 {
+		t.Errorf("logged %d events, want 3", n)
+	}
+	if d := inj.Dropped(); d != 7 {
+		t.Errorf("Dropped = %d, want 7", d)
+	}
+	if n := inj.Injected("always"); n != 10 {
+		t.Errorf("Injected = %d, want 10", n)
+	}
+}
+
+// TestChaosNilInjector: a nil *Injector is a safe no-op (the STM calls
+// through a possibly-nil field).
+func TestChaosNilInjector(t *testing.T) {
+	var inj *Injector
+	if a := inj.Fire(PointBegin, ""); a != ActNone {
+		t.Errorf("nil injector returned %v", a)
+	}
+}
+
+// TestChaosDelay: ActDelay sleeps roughly the configured duration.
+func TestChaosDelay(t *testing.T) {
+	inj := New(Options{Rules: []Rule{
+		{Name: "d", Point: PointCommit, Action: ActDelay, Delay: 30 * time.Millisecond},
+	}})
+	defer inj.Close()
+	start := time.Now()
+	if a := inj.Fire(PointCommit, ""); a != ActDelay {
+		t.Fatalf("got %v", a)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Errorf("delay of 30ms returned after %v", el)
+	}
+}

@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"autopn/internal/ensemble"
 	"autopn/internal/m5"
@@ -74,6 +75,13 @@ type Options struct {
 	// configuration. Defaults to obs.Nop{}, so library users and the
 	// simulation/experiment harnesses pay nothing.
 	Recorder obs.Recorder
+	// Quarantine, if non-nil, removes configurations banned by the tuner's
+	// self-protection layer from the candidate set of every phase: banned
+	// initial samples are skipped, the acquisition functions never suggest
+	// them, and hill-climbing treats them as unimprovable. The set is
+	// consulted live, so a configuration banned mid-session stops being a
+	// candidate from the next Next() on.
+	Quarantine *space.Quarantine
 }
 
 type phase int
@@ -193,7 +201,7 @@ func (a *AutoPN) Next() (space.Config, bool) {
 	case phaseInitial:
 		for a.initPos < len(a.initial) {
 			cfg := a.initial[a.initPos]
-			if !a.explored[cfg] {
+			if !a.explored[cfg] && !a.banned(cfg) {
 				return cfg, false
 			}
 			a.initPos++
@@ -204,6 +212,13 @@ func (a *AutoPN) Next() (space.Config, bool) {
 		a.enterSMBO()
 		return a.Next()
 	case phaseSMBO:
+		if a.pending != nil && a.banned(*a.pending) {
+			// The suggestion was quarantined between suggest() and now:
+			// drop it and ask the model again.
+			a.pending = nil
+			a.suggest()
+			return a.Next()
+		}
 		if a.pending != nil {
 			return *a.pending, false
 		}
@@ -211,21 +226,34 @@ func (a *AutoPN) Next() (space.Config, bool) {
 		a.enterHillClimb("no SMBO suggestion available")
 		return a.Next()
 	case phaseHillClimb:
-		cfg, done := a.hc.Next()
-		if done {
-			a.finish("hill-climb reached a local maximum")
-			return space.Config{}, true
+		for {
+			cfg, done := a.hc.Next()
+			if done {
+				a.finish("hill-climb reached a local maximum")
+				return space.Config{}, true
+			}
+			if a.banned(cfg) {
+				// Teach the climber the probe is a dead end without
+				// measuring it.
+				a.hc.Observe(cfg, math.Inf(-1))
+				continue
+			}
+			if !a.hcProbeOK || cfg != a.hcProbed {
+				a.hcProbed, a.hcProbeOK = cfg, true
+				a.opts.Recorder.Record(obs.Decision{
+					Kind: obs.KindSuggestion, Phase: a.Phase(), T: cfg.T, C: cfg.C,
+				})
+			}
+			return cfg, false
 		}
-		if !a.hcProbeOK || cfg != a.hcProbed {
-			a.hcProbed, a.hcProbeOK = cfg, true
-			a.opts.Recorder.Record(obs.Decision{
-				Kind: obs.KindSuggestion, Phase: a.Phase(), T: cfg.T, C: cfg.C,
-			})
-		}
-		return cfg, false
 	default:
 		return space.Config{}, true
 	}
+}
+
+// banned reports whether the self-protection layer has quarantined cfg.
+func (a *AutoPN) banned(cfg space.Config) bool {
+	return a.opts.Quarantine != nil && a.opts.Quarantine.Banned(cfg)
 }
 
 // ObserveMeasured feeds a measurement together with its coefficient of
@@ -306,13 +334,14 @@ func (a *AutoPN) suggest() {
 		fit = smbo.FitNoiseAware
 	}
 	sur := fit(a.history, a.opts.EnsembleSize, a.rng, a.opts.Trainer)
+	skip := func(cfg space.Config) bool { return a.explored[cfg] || a.banned(cfg) }
 	var sug smbo.Suggestion
 	var ok bool
 	switch a.opts.Acquisition {
 	case AcqMean:
-		sug, ok = smbo.SuggestMean(a.sp, sur, a.explored, a.bestKPI)
+		sug, ok = smbo.SuggestMeanWhere(a.sp, sur, a.bestKPI, skip)
 	default:
-		sug, ok = smbo.SuggestEI(a.sp, sur, a.explored, a.bestKPI)
+		sug, ok = smbo.SuggestEIWhere(a.sp, sur, a.bestKPI, skip)
 	}
 	if !ok {
 		a.enterHillClimb("configuration space exhausted")

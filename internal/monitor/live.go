@@ -17,10 +17,32 @@ type Live struct {
 	clock       Clock
 	metrics     *liveMetrics  // set by Instrument; nil = no metrics
 	abortSource func() uint64 // set by SetAbortSource; nil = no abort counts
+	watchdog    *Watchdog     // set by SetWatchdog; nil = no watchdog
 
 	mu     sync.Mutex
 	active *liveWindow
 }
+
+// Watchdog is the live monitor's last line of defense against measurement
+// windows that defeat the policy's own deadlines: configurations that
+// trickle just enough commits to keep resetting a gap timeout, or whose
+// throughput jitters forever below the CV threshold. When a window runs
+// longer than Budget() the watchdog force-ends it, marks the Measurement
+// WatchdogTripped, and invokes OnTrip.
+type Watchdog struct {
+	// Budget returns the maximum window duration, evaluated once at window
+	// start. The tuner derives it as a multiple of the adaptive gap timeout
+	// 1/T(1,1); a non-positive return disarms the watchdog for that window
+	// (e.g. before T(1,1) is known).
+	Budget func() time.Duration
+	// OnTrip, if non-nil, is called (outside the monitor's lock) with the
+	// window's elapsed duration each time the watchdog fires.
+	OnTrip func(elapsed time.Duration)
+}
+
+// SetWatchdog installs a window watchdog. Like the rest of the monitor's
+// configuration it must not be swapped while a window is active.
+func (l *Live) SetWatchdog(w *Watchdog) { l.watchdog = w }
 
 type liveWindow struct {
 	policy Policy
@@ -78,8 +100,15 @@ func (l *Live) Measure(policy Policy) Measurement {
 
 // measure is Measure without the instrumentation wrapper.
 func (l *Live) measure(policy Policy) Measurement {
-	now := l.clock.Now()
-	policy.Begin(now)
+	start := l.clock.Now()
+	policy.Begin(start)
+	// The watchdog budget is evaluated once per window, at window start, so
+	// a budget change mid-window (e.g. T(1,1) being re-measured) never
+	// retroactively shortens an in-flight window.
+	var budget time.Duration
+	if l.watchdog != nil && l.watchdog.Budget != nil {
+		budget = l.watchdog.Budget()
+	}
 	w := &liveWindow{policy: policy, done: make(chan Measurement, 1)}
 
 	l.mu.Lock()
@@ -108,6 +137,20 @@ func (l *Live) measure(policy Policy) Measurement {
 				return <-w.done
 			}
 			now := l.clock.Now()
+			// The watchdog outranks the policy deadline: a window that ran
+			// past its budget ends now even if the policy would grant it
+			// more time (e.g. a gap timeout kept alive by trickling
+			// commits).
+			if budget > 0 && now-start >= budget {
+				l.active = nil
+				m := w.policy.Result(now, true)
+				m.WatchdogTripped = true
+				l.mu.Unlock()
+				if l.watchdog.OnTrip != nil {
+					l.watchdog.OnTrip(now - start)
+				}
+				return m
+			}
 			if dl, ok := w.policy.Deadline(); ok && now >= dl {
 				l.active = nil
 				m := w.policy.Result(now, true)

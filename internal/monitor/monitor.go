@@ -65,6 +65,13 @@ type Measurement struct {
 	// distinguishes a low-throughput configuration that is starved from one
 	// that is thrashing on conflicts.
 	Aborts uint64
+	// WatchdogTripped reports that the window was force-ended by the live
+	// monitor's watchdog (see Live.SetWatchdog) because it ran past its
+	// budget without the policy ending it. A tripped window is also marked
+	// TimedOut; the distinction matters to the tuner, which treats watchdog
+	// trips as evidence of a pathological configuration rather than an
+	// ordinary adaptive timeout.
+	WatchdogTripped bool
 }
 
 // Policy decides when a measurement window is complete. Implementations

@@ -8,6 +8,7 @@ import "autopn/internal/obs"
 type liveMetrics struct {
 	windows    *obs.Counter
 	timeouts   *obs.Counter
+	watchdog   *obs.Counter
 	cv         *obs.Histogram
 	seconds    *obs.Histogram
 	throughput *obs.Histogram
@@ -20,6 +21,7 @@ type liveMetrics struct {
 //
 //	autopn_monitor_windows_total           completed measurement windows
 //	autopn_monitor_window_timeouts_total   windows ended by the adaptive timeout
+//	autopn_watchdog_trips_total            windows force-ended by the watchdog
 //	autopn_monitor_window_cv               final CV of the running throughput estimates (summary)
 //	autopn_monitor_window_seconds          window length in seconds (summary)
 //	autopn_monitor_window_throughput       window throughput in commits/s (summary)
@@ -32,6 +34,7 @@ func (l *Live) Instrument(r *obs.Registry) {
 	l.metrics = &liveMetrics{
 		windows:    r.Counter("autopn_monitor_windows_total"),
 		timeouts:   r.Counter("autopn_monitor_window_timeouts_total"),
+		watchdog:   r.Counter("autopn_watchdog_trips_total"),
 		cv:         r.Histogram("autopn_monitor_window_cv"),
 		seconds:    r.Histogram("autopn_monitor_window_seconds"),
 		throughput: r.Histogram("autopn_monitor_window_throughput"),
@@ -45,6 +48,9 @@ func (m *liveMetrics) observe(meas Measurement) {
 	m.windows.Inc()
 	if meas.TimedOut {
 		m.timeouts.Inc()
+	}
+	if meas.WatchdogTripped {
+		m.watchdog.Inc()
 	}
 	m.cv.Observe(meas.CV)
 	m.seconds.Observe(meas.Elapsed.Seconds())

@@ -1,0 +1,190 @@
+package monitor
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a Clock whose time is advanced explicitly by the test; the
+// live monitor's real ticker still drives polling, but every deadline
+// comparison reads this virtual time, making watchdog tests deterministic.
+type fakeClock struct {
+	now atomic.Int64
+}
+
+func (c *fakeClock) Now() time.Duration      { return time.Duration(c.now.Load()) }
+func (c *fakeClock) advance(d time.Duration) { c.now.Add(int64(d)) }
+func (c *fakeClock) set(d time.Duration)     { c.now.Store(int64(d)) }
+
+func measureAsync(l *Live, p Policy) <-chan Measurement {
+	out := make(chan Measurement, 1)
+	go func() { out <- l.Measure(p) }()
+	return out
+}
+
+// waitActive blocks until l has an active window, so tests can advance the
+// fake clock without racing Measure's startup (the window's start time is
+// read from the clock before the window becomes active).
+func waitActive(t *testing.T, l *Live) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l.mu.Lock()
+		active := l.active != nil
+		l.mu.Unlock()
+		if active {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("window never became active")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestWatchdogTripsStalledWindow: a policy with no deadline of its own
+// would stall forever; the watchdog ends it at its budget and marks the
+// measurement.
+func TestWatchdogTripsStalledWindow(t *testing.T) {
+	clock := &fakeClock{}
+	live := NewLive(clock)
+	live.PollInterval = 100 * time.Microsecond
+
+	var tripped atomic.Int64
+	var elapsed atomic.Int64
+	live.SetWatchdog(&Watchdog{
+		Budget: func() time.Duration { return 100 * time.Millisecond },
+		OnTrip: func(e time.Duration) { tripped.Add(1); elapsed.Store(int64(e)) },
+	})
+
+	// CVPolicy with no GapTimeout and no MaxWindow: no deadline at all.
+	done := measureAsync(live, NewCVPolicy())
+	waitActive(t, live)
+
+	// Just under budget: the window must still be running.
+	clock.set(99 * time.Millisecond)
+	select {
+	case m := <-done:
+		t.Fatalf("window ended before budget: %+v", m)
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	clock.set(130 * time.Millisecond)
+	select {
+	case m := <-done:
+		if !m.WatchdogTripped {
+			t.Error("WatchdogTripped not set")
+		}
+		if !m.TimedOut {
+			t.Error("a watchdog-ended window must also be TimedOut")
+		}
+		if m.Commits != 0 {
+			t.Errorf("Commits = %d, want 0", m.Commits)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never tripped")
+	}
+	if tripped.Load() != 1 {
+		t.Errorf("OnTrip calls = %d, want 1", tripped.Load())
+	}
+	if e := time.Duration(elapsed.Load()); e < 100*time.Millisecond {
+		t.Errorf("OnTrip elapsed = %v, want >= budget", e)
+	}
+}
+
+// TestWatchdogOutranksTrickleCommits: commits arriving just inside the gap
+// timeout keep the policy deadline forever in the future — exactly the
+// pathology the watchdog exists for.
+func TestWatchdogOutranksTrickleCommits(t *testing.T) {
+	clock := &fakeClock{}
+	live := NewLive(clock)
+	live.PollInterval = 100 * time.Microsecond
+	live.SetWatchdog(&Watchdog{
+		Budget: func() time.Duration { return 200 * time.Millisecond },
+	})
+
+	// Gap timeout 50ms; commits every 40ms reset it indefinitely. The CV of
+	// an irregular trickle stays high, so the accuracy criterion never ends
+	// the window either.
+	pol := &CVPolicy{CVThreshold: 0.0001, MinCommits: 3, GapTimeout: 50 * time.Millisecond}
+	done := measureAsync(live, pol)
+	waitActive(t, live)
+
+	// Irregular arrival times whose gaps all stay under the 50ms timeout;
+	// the jitter keeps the CV of the throughput estimates high.
+	for i, at := range []time.Duration{40, 75, 120, 158} {
+		clock.set(at * time.Millisecond)
+		live.OnCommit()
+		select {
+		case m := <-done:
+			t.Fatalf("window ended at trickle commit %d: %+v", i+1, m)
+		default:
+		}
+	}
+
+	clock.set(210 * time.Millisecond)
+	select {
+	case m := <-done:
+		if !m.WatchdogTripped {
+			t.Error("WatchdogTripped not set")
+		}
+		if m.Commits != 4 {
+			t.Errorf("Commits = %d, want 4", m.Commits)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never tripped despite trickle commits")
+	}
+}
+
+// TestWatchdogDisarmedByZeroBudget: a non-positive budget leaves the policy
+// deadline in charge and the measurement unmarked.
+func TestWatchdogDisarmedByZeroBudget(t *testing.T) {
+	clock := &fakeClock{}
+	live := NewLive(clock)
+	live.PollInterval = 100 * time.Microsecond
+	live.SetWatchdog(&Watchdog{
+		Budget: func() time.Duration { return 0 },
+		OnTrip: func(time.Duration) { t.Error("OnTrip called with zero budget") },
+	})
+
+	pol := &CVPolicy{CVThreshold: 0.10, MinCommits: 5, MaxWindow: 30 * time.Millisecond}
+	done := measureAsync(live, pol)
+	waitActive(t, live)
+	clock.set(40 * time.Millisecond)
+	select {
+	case m := <-done:
+		if m.WatchdogTripped {
+			t.Error("WatchdogTripped set with zero budget")
+		}
+		if !m.TimedOut {
+			t.Error("expected MaxWindow timeout")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("window never ended")
+	}
+}
+
+// TestWatchdogBudgetReadOncePerWindow: the budget function is consulted
+// exactly once, at window start.
+func TestWatchdogBudgetReadOncePerWindow(t *testing.T) {
+	clock := &fakeClock{}
+	live := NewLive(clock)
+	live.PollInterval = 100 * time.Microsecond
+	var calls atomic.Int64
+	live.SetWatchdog(&Watchdog{
+		Budget: func() time.Duration { calls.Add(1); return 20 * time.Millisecond },
+	})
+
+	done := measureAsync(live, NewCVPolicy())
+	waitActive(t, live)
+	clock.set(25 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never tripped")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("Budget evaluated %d times, want 1", calls.Load())
+	}
+}

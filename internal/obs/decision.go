@@ -31,6 +31,15 @@ const (
 	// KindChangePoint is a CUSUM workload-change detection that triggers a
 	// re-tune.
 	KindChangePoint = "change-point"
+	// KindQuarantine records the self-protection layer banning a
+	// configuration from the candidate space after repeated starved windows;
+	// Watchdog marks whether the final strike was a watchdog trip.
+	KindQuarantine = "quarantine"
+	// KindFallback records the actuator reverting to the last known-good
+	// configuration after a starved or watchdog-tripped window, so the
+	// system never keeps running a pathological (t,c) while the optimizer
+	// deliberates.
+	KindFallback = "fallback"
 )
 
 // Decision is one structured record of the tuner's decision trail. Fields
@@ -73,6 +82,13 @@ type Decision struct {
 	// TimedOut marks a window ended by the adaptive timeout rather than CV
 	// stability.
 	TimedOut bool `json:"timed_out,omitempty"`
+	// Watchdog marks a KindMeasurement window force-ended by the monitor's
+	// watchdog, and on KindQuarantine/KindFallback records that a watchdog
+	// trip (rather than a zero-commit gap timeout) triggered the action.
+	Watchdog bool `json:"watchdog,omitempty"`
+	// Livelocks is the number of STM livelock-detector trips observed during
+	// the window (KindMeasurement only).
+	Livelocks uint64 `json:"livelocks,omitempty"`
 	// Note carries free-form context (stop reasons, detector identity).
 	Note string `json:"note,omitempty"`
 }

@@ -107,11 +107,19 @@ type Suggestion struct {
 // the highest Expected Improvement over best (the incumbent's measured
 // KPI). ok is false when every configuration has been explored.
 func SuggestEI(sp *space.Space, sur *Surrogate, explored map[space.Config]bool, best float64) (Suggestion, bool) {
+	return SuggestEIWhere(sp, sur, best, func(cfg space.Config) bool { return explored[cfg] })
+}
+
+// SuggestEIWhere is SuggestEI with an arbitrary exclusion predicate: any
+// configuration for which skip returns true is removed from the candidate
+// set. The tuner uses it to exclude quarantined configurations in addition
+// to already-explored ones.
+func SuggestEIWhere(sp *space.Space, sur *Surrogate, best float64, skip func(space.Config) bool) (Suggestion, bool) {
 	var out Suggestion
 	outMean := 0.0
 	found := false
 	for _, cfg := range sp.Configs() {
-		if explored[cfg] {
+		if skip(cfg) {
 			continue
 		}
 		mean, std := sur.PredictDist(cfg)
@@ -139,11 +147,17 @@ func SuggestEI(sp *space.Space, sur *Surrogate, explored map[space.Config]bool, 
 // acquisition-function ablation: it picks the unexplored configuration with
 // the highest predicted mean, ignoring uncertainty.
 func SuggestMean(sp *space.Space, sur *Surrogate, explored map[space.Config]bool, best float64) (Suggestion, bool) {
+	return SuggestMeanWhere(sp, sur, best, func(cfg space.Config) bool { return explored[cfg] })
+}
+
+// SuggestMeanWhere is SuggestMean with an arbitrary exclusion predicate,
+// mirroring SuggestEIWhere.
+func SuggestMeanWhere(sp *space.Space, sur *Surrogate, best float64, skip func(space.Config) bool) (Suggestion, bool) {
 	var out Suggestion
 	bestMean := 0.0
 	found := false
 	for _, cfg := range sp.Configs() {
-		if explored[cfg] {
+		if skip(cfg) {
 			continue
 		}
 		mean, _ := sur.PredictDist(cfg)

@@ -1,0 +1,97 @@
+package space
+
+import "sync"
+
+// Quarantine tracks configurations that repeatedly starved measurement
+// windows (zero-commit gap timeouts or watchdog trips) and removes them
+// from the tuner's candidate set. A configuration is banned after
+// `threshold` consecutive starved windows; a healthy window clears its
+// strikes. Protected configurations — the sequential pivot (1,1), whose
+// measurement anchors the adaptive timeout — accumulate strikes but are
+// never banned, so the tuner always retains at least one admissible
+// configuration.
+//
+// Quarantine is safe for concurrent use: the tuning loop reports outcomes
+// while HTTP status handlers read the banned list.
+type Quarantine struct {
+	mu        sync.Mutex
+	threshold int
+	strikes   map[Config]int
+	banned    map[Config]bool
+	protected map[Config]bool
+}
+
+// NewQuarantine returns a quarantine that bans a configuration after
+// threshold consecutive starved windows (threshold < 1 is clamped to 1).
+// The protected configurations can never be banned.
+func NewQuarantine(threshold int, protected ...Config) *Quarantine {
+	if threshold < 1 {
+		threshold = 1
+	}
+	q := &Quarantine{
+		threshold: threshold,
+		strikes:   make(map[Config]int),
+		banned:    make(map[Config]bool),
+		protected: make(map[Config]bool, len(protected)),
+	}
+	for _, cfg := range protected {
+		q.protected[cfg] = true
+	}
+	return q
+}
+
+// ReportStarved records a starved window for cfg and reports whether this
+// report newly banned it. Protected configurations accumulate strikes but
+// never ban.
+func (q *Quarantine) ReportStarved(cfg Config) (newlyBanned bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.strikes[cfg]++
+	if q.banned[cfg] || q.protected[cfg] || q.strikes[cfg] < q.threshold {
+		return false
+	}
+	q.banned[cfg] = true
+	return true
+}
+
+// ReportHealthy records a healthy window for cfg, clearing its strikes.
+// A banned configuration stays banned: the tuner never re-measures it, so
+// a healthy report for one can only come from stale in-flight work.
+func (q *Quarantine) ReportHealthy(cfg Config) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	delete(q.strikes, cfg)
+}
+
+// Banned reports whether cfg is quarantined.
+func (q *Quarantine) Banned(cfg Config) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.banned[cfg]
+}
+
+// Strikes returns cfg's current consecutive-starvation count.
+func (q *Quarantine) Strikes(cfg Config) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.strikes[cfg]
+}
+
+// Len returns the number of quarantined configurations.
+func (q *Quarantine) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.banned)
+}
+
+// List returns the quarantined configurations in canonical order.
+func (q *Quarantine) List() []Config {
+	q.mu.Lock()
+	out := make([]Config, 0, len(q.banned))
+	for cfg := range q.banned {
+		out = append(out, cfg)
+	}
+	q.mu.Unlock()
+	SortConfigs(out)
+	return out
+}

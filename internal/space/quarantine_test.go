@@ -1,0 +1,86 @@
+package space
+
+import "testing"
+
+func TestQuarantineBansAfterThreshold(t *testing.T) {
+	q := NewQuarantine(2)
+	cfg := Config{4, 1}
+	if q.ReportStarved(cfg) {
+		t.Error("banned after 1 strike with threshold 2")
+	}
+	if q.Banned(cfg) {
+		t.Error("Banned true before threshold")
+	}
+	if !q.ReportStarved(cfg) {
+		t.Error("not newly banned at threshold")
+	}
+	if !q.Banned(cfg) {
+		t.Error("Banned false after threshold")
+	}
+	if q.ReportStarved(cfg) {
+		t.Error("newlyBanned reported twice")
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestQuarantineHealthyClearsStrikes(t *testing.T) {
+	q := NewQuarantine(2)
+	cfg := Config{2, 2}
+	q.ReportStarved(cfg)
+	if q.Strikes(cfg) != 1 {
+		t.Errorf("Strikes = %d, want 1", q.Strikes(cfg))
+	}
+	q.ReportHealthy(cfg)
+	if q.Strikes(cfg) != 0 {
+		t.Errorf("Strikes after healthy = %d, want 0", q.Strikes(cfg))
+	}
+	// The counter restarts: two more starved windows are needed to ban.
+	if q.ReportStarved(cfg) {
+		t.Error("banned after healthy reset with one strike")
+	}
+	if !q.ReportStarved(cfg) {
+		t.Error("not banned after two fresh strikes")
+	}
+}
+
+func TestQuarantineProtectedNeverBans(t *testing.T) {
+	seq := Config{1, 1}
+	q := NewQuarantine(1, seq)
+	for i := 0; i < 5; i++ {
+		if q.ReportStarved(seq) {
+			t.Fatal("protected configuration banned")
+		}
+	}
+	if q.Banned(seq) {
+		t.Error("protected configuration reported banned")
+	}
+	if q.Strikes(seq) != 5 {
+		t.Errorf("Strikes = %d, want 5 (accumulate even when protected)", q.Strikes(seq))
+	}
+}
+
+func TestQuarantineListSorted(t *testing.T) {
+	q := NewQuarantine(1)
+	for _, cfg := range []Config{{3, 1}, {1, 3}, {2, 2}} {
+		q.ReportStarved(cfg)
+	}
+	got := q.List()
+	want := []Config{{1, 3}, {2, 2}, {3, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQuarantineThresholdClamped(t *testing.T) {
+	q := NewQuarantine(0)
+	if !q.ReportStarved(Config{2, 1}) {
+		t.Error("threshold 0 should clamp to 1 and ban on first strike")
+	}
+}

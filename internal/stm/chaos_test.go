@@ -1,0 +1,296 @@
+package stm
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"autopn/internal/chaos"
+	stmtrace "autopn/internal/stm/trace"
+)
+
+// chaosSeed returns the soak seed, overridable via CHAOS_SEED (the knob
+// `make chaos` and the CI chaos-smoke job pin).
+func chaosSeed(t *testing.T) uint64 {
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", v, err)
+		}
+		return n
+	}
+	return 1
+}
+
+// TestChaosForcedValidationAbortSerialized: an injected validation abort on
+// the serialized path looks exactly like a real conflict — retried once,
+// then committed — and is attributed as top-validation.
+func TestChaosForcedValidationAbortSerialized(t *testing.T) {
+	inj := chaos.New(chaos.Options{Rules: []chaos.Rule{
+		{Name: "val", Point: chaos.PointValidate, Trigger: chaos.Nth(1), Action: chaos.ActAbort},
+	}})
+	defer inj.Close()
+	tr := stmtrace.New(stmtrace.Options{})
+	s := New(Options{FaultInjector: inj, Tracer: tr, TraceSampleRate: 1})
+	b := NewVBox(0)
+	if err := s.Atomic(func(tx *Tx) error { b.Put(tx, b.Get(tx)+1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats.TopAborts(); got != 1 {
+		t.Errorf("TopAborts = %d, want 1", got)
+	}
+	if got := s.Stats.TopCommits(); got != 1 {
+		t.Errorf("TopCommits = %d, want 1", got)
+	}
+	if got := readCommitted(s, b); got != 1 {
+		t.Errorf("box = %d, want 1", got)
+	}
+	if got := tr.AbortCount(stmtrace.ReasonTopValidation); got != 1 {
+		t.Errorf("AbortCount(top-validation) = %d, want 1", got)
+	}
+	if n := inj.Injected("val"); n != 1 {
+		t.Errorf("Injected = %d, want 1", n)
+	}
+}
+
+// TestChaosForcedValidationAbortLockFree: same forced abort on the
+// lock-free path (pre-enqueue).
+func TestChaosForcedValidationAbortLockFree(t *testing.T) {
+	inj := chaos.New(chaos.Options{Rules: []chaos.Rule{
+		{Name: "val", Point: chaos.PointValidate, Trigger: chaos.Nth(1), Action: chaos.ActAbort},
+	}})
+	defer inj.Close()
+	s := New(Options{LockFreeCommit: true, FaultInjector: inj})
+	b := NewVBox(0)
+	if err := s.Atomic(func(tx *Tx) error { b.Put(tx, b.Get(tx)+1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats.TopAborts(); got != 1 {
+		t.Errorf("TopAborts = %d, want 1", got)
+	}
+	if got := readCommitted(s, b); got != 1 {
+		t.Errorf("box = %d, want 1", got)
+	}
+}
+
+// TestChaosLabeledReadAbort: a read-site rule fires only on the labeled
+// box, for top-level and nested readers alike.
+func TestChaosLabeledReadAbort(t *testing.T) {
+	inj := chaos.New(chaos.Options{Rules: []chaos.Rule{
+		{Name: "hot", Point: chaos.PointRead, Label: "hot", Trigger: chaos.Nth(1), Action: chaos.ActAbort},
+	}})
+	defer inj.Close()
+	s := New(Options{FaultInjector: inj})
+	hot := NewVBox(0).WithLabel("hot")
+	cold := NewVBox(0).WithLabel("cold")
+	if err := s.Atomic(func(tx *Tx) error {
+		cold.Put(tx, cold.Get(tx)+1) // cold label never matches
+		hot.Put(tx, hot.Get(tx)+1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats.TopAborts(); got != 1 {
+		t.Errorf("TopAborts = %d, want 1", got)
+	}
+	if got, want := readCommitted(s, hot), 1; got != want {
+		t.Errorf("hot = %d, want %d", got, want)
+	}
+}
+
+// TestChaosCommitQueueHelpingAttribution is the deterministic single-abort
+// construction for the fifth abort reason, commit-queue-helping: a chaos
+// stall preempts committer A between enqueueing its request and helping,
+// a second writer invalidates A's snapshot, and a third committer's helper
+// finds A's pending request invalid — the winning abort CAS attributes the
+// conflict. Exactly one commit-queue-helping abort, on box "X".
+func TestChaosCommitQueueHelpingAttribution(t *testing.T) {
+	inj := chaos.New(chaos.Options{Rules: []chaos.Rule{
+		// Owner arrival #2 is transaction A (B commits first, see below).
+		{Name: "stall-owner", Point: chaos.PointHelping, Label: "owner", Trigger: chaos.Nth(2), Action: chaos.ActStall},
+	}})
+	defer inj.Close()
+	tr := stmtrace.New(stmtrace.Options{})
+	s := New(Options{LockFreeCommit: true, Tracer: tr, TraceSampleRate: 1})
+	s.inj = inj // arm hooks after tracer wiring; equivalent to Options.FaultInjector
+	x := NewVBox(0).WithLabel("X")
+	y := NewVBox(0).WithLabel("Y")
+
+	readX := make(chan struct{})
+	invalidated := make(chan struct{})
+	aDone := make(chan error, 1)
+	go func() {
+		first := true
+		aDone <- s.Atomic(func(tx *Tx) error {
+			_ = x.Get(tx) // read set: X
+			if first {
+				first = false
+				close(readX)
+				<-invalidated // hold the attempt until B committed
+			}
+			y.Put(tx, y.Get(tx)+1)
+			return nil
+		})
+	}()
+
+	// B: owner arrival #1 — commits a new version of X, invalidating A.
+	<-readX
+	if err := s.Atomic(func(tx *Tx) error { x.Put(tx, x.Get(tx)+1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	close(invalidated)
+
+	// A proceeds to commit, enqueues its request, and stalls as owner #2.
+	deadline := time.Now().Add(10 * time.Second)
+	for inj.StallDepth("stall-owner") != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("A never stalled at the owner hook")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// C: owner arrival #3 — its helping pass finds A's pending request,
+	// validates it against X's newer version, and wins the abort CAS.
+	if err := s.Atomic(func(tx *Tx) error { y.Put(tx, y.Get(tx)+10); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.AbortCount(stmtrace.ReasonLockFreeHelp); got != 1 {
+		t.Fatalf("AbortCount(commit-queue-helping) = %d, want exactly 1 before A resumes", got)
+	}
+
+	// Release A: it observes the aborted request, retries, and commits.
+	inj.Resume("stall-owner")
+	if err := <-aDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.AbortCount(stmtrace.ReasonLockFreeHelp); got != 1 {
+		t.Errorf("AbortCount(commit-queue-helping) = %d, want 1", got)
+	}
+	if got := s.Stats.TopAborts(); got != 1 {
+		t.Errorf("TopAborts = %d, want 1", got)
+	}
+	if got := readCommitted(s, y); got != 11 {
+		t.Errorf("Y = %d, want 11", got)
+	}
+	// The attribution names the conflicting box.
+	rep := tr.Conflicts(4)
+	found := false
+	for _, hb := range rep.TopBoxes {
+		if hb.Box == "X" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hot boxes missing X: %+v", rep.TopBoxes)
+	}
+	// And the chaos log shows the stall that made it deterministic.
+	if log := inj.FormatLog(); log == "" {
+		t.Error("empty chaos event log")
+	}
+}
+
+// TestChaosScheduleReproducibleSTM drives a deterministic single-goroutine
+// workload under a probabilistic seeded schedule twice and asserts the two
+// injectors' fault sequences are byte-identical.
+func TestChaosScheduleReproducibleSTM(t *testing.T) {
+	seed := chaosSeed(t)
+	run := func() (string, uint64) {
+		inj := chaos.New(chaos.Options{Seed: seed, Rules: []chaos.Rule{
+			{Name: "p-val", Point: chaos.PointValidate, Trigger: chaos.Prob(0.25), Action: chaos.ActAbort},
+			{Name: "p-read", Point: chaos.PointRead, Label: "k", Trigger: chaos.Prob(0.10), Action: chaos.ActAbort},
+		}})
+		defer inj.Close()
+		s := New(Options{FaultInjector: inj})
+		b := NewVBox(0).WithLabel("k")
+		for i := 0; i < 200; i++ {
+			if err := s.Atomic(func(tx *Tx) error { b.Put(tx, b.Get(tx)+1); return nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := readCommitted(s, b); got != 200 {
+			t.Fatalf("box = %d, want 200", got)
+		}
+		return inj.FormatLog(), s.Stats.TopAborts()
+	}
+	log1, aborts1 := run()
+	log2, aborts2 := run()
+	if log1 == "" {
+		t.Fatal("probabilistic schedule injected nothing in 200 transactions")
+	}
+	if log1 != log2 {
+		t.Fatalf("seed %d not byte-identical across runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", seed, log1, log2)
+	}
+	if aborts1 != aborts2 {
+		t.Errorf("abort counts diverged: %d vs %d", aborts1, aborts2)
+	}
+}
+
+// chaosSoak runs a concurrent increment workload under a probabilistic
+// fault schedule and checks the invariant that survives any interleaving
+// of faults: the committed counter equals the number of successful Atomic
+// calls. Runs under -race via `make chaos`.
+func chaosSoak(t *testing.T, lockFree bool) {
+	inj := chaos.New(chaos.Options{Seed: chaosSeed(t), Rules: []chaos.Rule{
+		{Name: "begin-delay", Point: chaos.PointBegin, Trigger: chaos.Prob(0.02), Action: chaos.ActDelay, Delay: 200 * time.Microsecond},
+		{Name: "val-abort", Point: chaos.PointValidate, Trigger: chaos.Prob(0.05), Action: chaos.ActAbort},
+		{Name: "commit-delay", Point: chaos.PointCommit, Trigger: chaos.Prob(0.03), Action: chaos.ActDelay, Delay: 100 * time.Microsecond},
+		{Name: "helper-delay", Point: chaos.PointHelping, Label: "helper", Trigger: chaos.Prob(0.01), Action: chaos.ActDelay, Delay: 50 * time.Microsecond},
+		{Name: "nested-val-abort", Point: chaos.PointNestedValidate, Trigger: chaos.Prob(0.05), Action: chaos.ActAbort},
+		{Name: "storm", Point: chaos.PointNestedCommit, Trigger: chaos.Prob(0.05), Action: chaos.ActDelay, Delay: 100 * time.Microsecond},
+	}})
+	defer inj.Close()
+	s := New(Options{LockFreeCommit: lockFree, FaultInjector: inj})
+	counter := NewVBox(0)
+	boxes := make([]*VBox[int], 8)
+	for i := range boxes {
+		boxes[i] = NewVBox(0)
+	}
+	const workers, perWorker = 8, 120
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := s.Atomic(func(tx *Tx) error {
+					counter.Put(tx, counter.Get(tx)+1)
+					// Half the transactions fan out nested children that
+					// touch disjoint boxes plus one shared one.
+					if i%2 == 0 {
+						return tx.Parallel(
+							func(c *Tx) error { boxes[w%8].Put(c, boxes[w%8].Get(c)+1); return nil },
+							func(c *Tx) error { boxes[(w+1)%8].Put(c, boxes[(w+1)%8].Get(c)+1); return nil },
+						)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := readCommitted(s, counter), workers*perWorker; got != want {
+		t.Errorf("counter = %d, want %d (faults corrupted committed state)", got, want)
+	}
+	if s.Stats.TopAborts() == 0 {
+		t.Error("soak injected no aborts — schedule too weak to mean anything")
+	}
+	t.Logf("soak(lockfree=%v): %d commits, %d top aborts, %d nested aborts, %d injections logged",
+		lockFree, s.Stats.TopCommits(), s.Stats.TopAborts(), s.Stats.NestedAborts(), len(inj.Events()))
+}
+
+func TestChaosSoakSerialized(t *testing.T) { chaosSoak(t, false) }
+func TestChaosSoakLockFree(t *testing.T)   { chaosSoak(t, true) }
+
+// readCommitted reads a box's latest committed value via a read-only
+// transaction on s (the snapshot clock lives on the STM).
+func readCommitted(s *STM, b *VBox[int]) int {
+	var v int
+	_ = s.AtomicReadOnly(func(tx *Tx) error { v = b.Get(tx); return nil })
+	return v
+}

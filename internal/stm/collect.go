@@ -17,6 +17,8 @@ import "autopn/internal/obs"
 //	autopn_stm_nested_aborts_total
 //	autopn_stm_user_aborts_total
 //	autopn_stm_versions_written_total
+//	autopn_stm_livelock_trips_total
+//	autopn_stm_ctx_cancels_total
 func (s *Stats) Collect(r *obs.Registry) {
 	r.CounterFunc("autopn_stm_top_commits_total", s.TopCommits)
 	r.CounterFunc("autopn_stm_top_aborts_total", s.TopAborts)
@@ -25,4 +27,6 @@ func (s *Stats) Collect(r *obs.Registry) {
 	r.CounterFunc("autopn_stm_nested_aborts_total", s.NestedAborts)
 	r.CounterFunc("autopn_stm_user_aborts_total", s.UserAborts)
 	r.CounterFunc("autopn_stm_versions_written_total", s.VersionsWritten)
+	r.CounterFunc("autopn_stm_livelock_trips_total", s.LivelockTrips)
+	r.CounterFunc("autopn_stm_ctx_cancels_total", s.CtxCancels)
 }

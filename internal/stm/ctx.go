@@ -1,0 +1,26 @@
+package stm
+
+import "context"
+
+// AtomicResultCtx runs fn as a top-level transaction on s with
+// context-aware retries (see STM.AtomicCtx) and returns its result. On
+// cancellation the zero T is returned alongside ctx.Err().
+func AtomicResultCtx[T any](ctx context.Context, s *STM, fn func(tx *Tx) (T, error)) (T, error) {
+	var out T
+	err := s.AtomicCtx(ctx, func(tx *Tx) error {
+		var err error
+		out, err = fn(tx)
+		return err
+	})
+	return out, err
+}
+
+// Context returns the context the enclosing top-level transaction was
+// started with via AtomicCtx, or context.Background() for plain Atomic.
+// Nested children report their root's context.
+func (t *Tx) Context() context.Context {
+	if c := t.root.ctx; c != nil {
+		return c
+	}
+	return context.Background()
+}

@@ -1,0 +1,385 @@
+package stm
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autopn/internal/chaos"
+)
+
+// TestAtomicCtxPreCancelled: an already-cancelled context returns ctx.Err()
+// without ever executing user code.
+func TestAtomicCtxPreCancelled(t *testing.T) {
+	s := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := s.AtomicCtx(ctx, func(tx *Tx) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("user function ran despite cancelled context")
+	}
+	if got := s.Stats.CtxCancels(); got != 1 {
+		t.Errorf("CtxCancels = %d, want 1", got)
+	}
+	if got := s.Stats.TopCommits(); got != 0 {
+		t.Errorf("TopCommits = %d, want 0", got)
+	}
+}
+
+// TestAtomicCtxNilAndBackground: nil and background contexts behave like
+// plain Atomic, and Tx.Context reports the transaction's context.
+func TestAtomicCtxNilAndBackground(t *testing.T) {
+	s := New(Options{})
+	b := NewVBox(0)
+	type ctxKey struct{}
+	ctx := context.WithValue(context.Background(), ctxKey{}, "v")
+	err := s.AtomicCtx(ctx, func(tx *Tx) error {
+		if tx.Context().Value(ctxKey{}) != "v" {
+			t.Error("Tx.Context does not carry the AtomicCtx context")
+		}
+		b.Put(tx, b.Get(tx)+1)
+		return tx.Parallel(
+			func(c *Tx) error {
+				if c.Context().Value(ctxKey{}) != "v" {
+					t.Error("child Tx.Context does not inherit the root context")
+				}
+				return nil
+			},
+			func(c *Tx) error { return nil },
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Atomic(func(tx *Tx) error {
+		if tx.Context() != context.Background() {
+			t.Error("plain Atomic should report context.Background()")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAtomicCtxDeadlineStopsRetries: with a chaos rule forcing every
+// validation to fail, the retry loop is unbounded — the context deadline is
+// the only exit, taken at a retry boundary.
+func TestAtomicCtxDeadlineStopsRetries(t *testing.T) {
+	inj := chaos.New(chaos.Options{Rules: []chaos.Rule{
+		{Name: "always-fail", Point: chaos.PointValidate, Action: chaos.ActAbort},
+	}})
+	defer inj.Close()
+	s := New(Options{FaultInjector: inj})
+	b := NewVBox(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := s.AtomicCtx(ctx, func(tx *Tx) error { b.Put(tx, 1); return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if got := s.Stats.CtxCancels(); got != 1 {
+		t.Errorf("CtxCancels = %d, want 1", got)
+	}
+	if s.Stats.TopAborts() == 0 {
+		t.Error("expected at least one forced abort before the deadline")
+	}
+}
+
+// TestChaosCtxCancelMidFanoutDrainsChildren is the goroutine-leak check for
+// cancellation during a parallel fan-out: a chaos rule makes every nested
+// validation fail, so all four children retry forever until the context is
+// cancelled mid-flight; AtomicCtx must return ctx.Err() with every child
+// goroutine drained.
+func TestChaosCtxCancelMidFanoutDrainsChildren(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	inj := chaos.New(chaos.Options{Rules: []chaos.Rule{
+		{Name: "nested-always-fail", Point: chaos.PointNestedValidate, Action: chaos.ActAbort},
+	}})
+	defer inj.Close()
+	s := New(Options{FaultInjector: inj})
+	boxes := [4]*VBox[int]{NewVBox(0), NewVBox(0), NewVBox(0), NewVBox(0)}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		done <- s.AtomicCtx(ctx, func(tx *Tx) error {
+			return tx.Parallel(
+				func(c *Tx) error { started.Add(1); boxes[0].Put(c, 1); return nil },
+				func(c *Tx) error { started.Add(1); boxes[1].Put(c, 1); return nil },
+				func(c *Tx) error { started.Add(1); boxes[2].Put(c, 1); return nil },
+				func(c *Tx) error { started.Add(1); boxes[3].Put(c, 1); return nil },
+			)
+		})
+	}()
+
+	// Let the fan-out spin through some retries, then cancel mid-flight.
+	for started.Load() < 8 { // every child has begun at least its 2nd attempt
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("AtomicCtx never returned after cancellation")
+	}
+	if got := s.Stats.CtxCancels(); got < 1 {
+		t.Errorf("CtxCancels = %d, want >= 1", got)
+	}
+	if s.Stats.TopCommits() != 0 {
+		t.Error("cancelled transaction committed")
+	}
+
+	// Every child goroutine must be gone. The runtime needs a moment to
+	// retire exiting goroutines, so poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The STM remains fully usable after the drained cancellation.
+	if err := s.Atomic(func(tx *Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryPolicyBudgetTop: a RetryPolicy budget surfaces ErrTooManyRetries
+// after exactly MaxAttempts failed attempts, with one livelock trip and one
+// OnLivelock callback.
+func TestRetryPolicyBudgetTop(t *testing.T) {
+	inj := chaos.New(chaos.Options{Rules: []chaos.Rule{
+		{Name: "always-fail", Point: chaos.PointValidate, Action: chaos.ActAbort},
+	}})
+	defer inj.Close()
+	var cb atomic.Int64
+	var cbAttempts atomic.Int64
+	s := New(Options{
+		FaultInjector: inj,
+		Retry: &RetryPolicy{
+			MaxAttempts: 5,
+			BaseDelay:   time.Microsecond,
+			MaxDelay:    10 * time.Microsecond,
+			OnLivelock:  func(attempts int) { cb.Add(1); cbAttempts.Store(int64(attempts)) },
+		},
+	})
+	b := NewVBox(0)
+	err := s.Atomic(func(tx *Tx) error { b.Put(tx, 1); return nil })
+	if !errors.Is(err, ErrTooManyRetries) {
+		t.Fatalf("err = %v, want ErrTooManyRetries", err)
+	}
+	if got := s.Stats.TopAborts(); got != 5 {
+		t.Errorf("TopAborts = %d, want 5", got)
+	}
+	if got := s.Stats.LivelockTrips(); got != 1 {
+		t.Errorf("LivelockTrips = %d, want 1", got)
+	}
+	if cb.Load() != 1 || cbAttempts.Load() != 5 {
+		t.Errorf("OnLivelock: %d calls (want 1), attempts %d (want 5)", cb.Load(), cbAttempts.Load())
+	}
+}
+
+// TestRetryPolicyLivelockThresholdUnbounded: with no budget, the livelock
+// detector trips once at LivelockThreshold and the transaction keeps
+// retrying (and eventually succeeds when the fault schedule runs dry).
+func TestRetryPolicyLivelockThresholdUnbounded(t *testing.T) {
+	inj := chaos.New(chaos.Options{Rules: []chaos.Rule{
+		{Name: "fail-7", Point: chaos.PointValidate, Trigger: chaos.Trigger{Times: 7}, Action: chaos.ActAbort},
+	}})
+	defer inj.Close()
+	var cb atomic.Int64
+	s := New(Options{
+		FaultInjector: inj,
+		Retry: &RetryPolicy{
+			LivelockThreshold: 3,
+			BaseDelay:         time.Microsecond,
+			MaxDelay:          10 * time.Microsecond,
+			OnLivelock:        func(int) { cb.Add(1) },
+		},
+	})
+	b := NewVBox(0)
+	if err := s.Atomic(func(tx *Tx) error { b.Put(tx, b.Get(tx)+1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats.TopAborts(); got != 7 {
+		t.Errorf("TopAborts = %d, want 7", got)
+	}
+	if got := s.Stats.LivelockTrips(); got != 1 {
+		t.Errorf("LivelockTrips = %d, want exactly 1 (one trip per transaction)", got)
+	}
+	if cb.Load() != 1 {
+		t.Errorf("OnLivelock calls = %d, want 1", cb.Load())
+	}
+	if got := readCommitted(s, b); got != 1 {
+		t.Errorf("box = %d, want 1", got)
+	}
+}
+
+// TestRetryPolicyBudgetNested: the budget also bounds nested children;
+// their ErrTooManyRetries surfaces through Parallel and Atomic, matchable
+// with errors.Is.
+func TestRetryPolicyBudgetNested(t *testing.T) {
+	inj := chaos.New(chaos.Options{Rules: []chaos.Rule{
+		{Name: "nested-always-fail", Point: chaos.PointNestedValidate, Action: chaos.ActAbort},
+	}})
+	defer inj.Close()
+	s := New(Options{
+		FaultInjector: inj,
+		Retry:         &RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond},
+	})
+	b := NewVBox(0)
+	err := s.Atomic(func(tx *Tx) error {
+		return tx.Parallel(
+			func(c *Tx) error { b.Put(c, 1); return nil },
+			func(c *Tx) error { return nil },
+		)
+	})
+	if !errors.Is(err, ErrTooManyRetries) {
+		t.Fatalf("err = %v, want ErrTooManyRetries", err)
+	}
+	if got := s.Stats.LivelockTrips(); got == 0 {
+		t.Error("nested budget exhaustion did not trip the livelock counter")
+	}
+}
+
+// TestLegacyMaxRetriesCountsLivelock: the pre-policy MaxRetries path now
+// also counts a livelock trip when it gives up.
+func TestLegacyMaxRetriesCountsLivelock(t *testing.T) {
+	inj := chaos.New(chaos.Options{Rules: []chaos.Rule{
+		{Name: "always-fail", Point: chaos.PointValidate, Action: chaos.ActAbort},
+	}})
+	defer inj.Close()
+	s := New(Options{FaultInjector: inj, MaxRetries: 4})
+	b := NewVBox(0)
+	err := s.Atomic(func(tx *Tx) error { b.Put(tx, 1); return nil })
+	if !errors.Is(err, ErrTooManyRetries) {
+		t.Fatalf("err = %v, want ErrTooManyRetries", err)
+	}
+	if got := s.Stats.LivelockTrips(); got != 1 {
+		t.Errorf("LivelockTrips = %d, want 1", got)
+	}
+}
+
+// trackingGate counts enter/exit parity for the panic regression test.
+type trackingGate struct {
+	entered atomic.Int64
+	exited  atomic.Int64
+}
+
+func (g *trackingGate) EnterChild() { g.entered.Add(1) }
+func (g *trackingGate) ExitChild()  { g.exited.Add(1) }
+
+// trackingThrottle installs trackingGates so the test can verify gate-slot
+// release on the panic path.
+type trackingThrottle struct {
+	tops  atomic.Int64
+	gates []*trackingGate
+}
+
+func (th *trackingThrottle) EnterTop() { th.tops.Add(1) }
+func (th *trackingThrottle) ExitTop()  { th.tops.Add(-1) }
+func (th *trackingThrottle) NewTreeGate() TreeGate {
+	g := &trackingGate{}
+	th.gates = append(th.gates, g)
+	return g
+}
+
+// TestParallelChildPanicDrainsSiblings is the panic-safety regression test:
+// when one child's function panics while siblings are still running, the
+// panic must (a) not kill the process from the child goroutine, (b) re-
+// propagate to the Atomic caller only after every sibling drained, with
+// (c) all gate slots released and the STM fully usable afterwards.
+func TestParallelChildPanicDrainsSiblings(t *testing.T) {
+	before := runtime.NumGoroutine()
+	th := &trackingThrottle{}
+	s := New(Options{Throttle: th})
+	b := NewVBox(0)
+	var siblingsDone atomic.Int32
+
+	func() {
+		defer func() {
+			r := recover()
+			if r != "boom" {
+				t.Fatalf("recovered %v, want \"boom\"", r)
+			}
+			// The panic must arrive only after both siblings finished.
+			if got := siblingsDone.Load(); got != 2 {
+				t.Errorf("panic propagated with %d/2 siblings drained", got)
+			}
+		}()
+		_ = s.Atomic(func(tx *Tx) error {
+			return tx.Parallel(
+				func(c *Tx) error {
+					time.Sleep(5 * time.Millisecond) // siblings are mid-flight
+					panic("boom")
+				},
+				func(c *Tx) error {
+					time.Sleep(20 * time.Millisecond)
+					b.Put(c, b.Get(c)+1)
+					siblingsDone.Add(1)
+					return nil
+				},
+				func(c *Tx) error {
+					time.Sleep(20 * time.Millisecond)
+					siblingsDone.Add(1)
+					return nil
+				},
+			)
+		})
+		t.Fatal("Atomic returned normally; the panic was swallowed")
+	}()
+
+	// Gate slots and top slots are all released.
+	if held := th.tops.Load(); held != 0 {
+		t.Errorf("top slots still held after panic: %d", held)
+	}
+	for i, g := range th.gates {
+		if e, x := g.entered.Load(), g.exited.Load(); e != x {
+			t.Errorf("gate %d: entered %d != exited %d", i, e, x)
+		}
+	}
+
+	// No goroutines leaked.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d -> %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The STM (and its throttle) remains fully usable: new transactions,
+	// including parallel-nested ones, commit normally.
+	if err := s.Atomic(func(tx *Tx) error {
+		return tx.Parallel(
+			func(c *Tx) error { b.Put(c, b.Get(c)+1); return nil },
+			func(c *Tx) error { return nil },
+		)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readCommitted(s, b); got != 1 {
+		// The panicked tree's sibling writes must NOT be globally visible
+		// (the top never committed); the follow-up transaction's must.
+		t.Errorf("box = %d, want 1", got)
+	}
+}

@@ -3,6 +3,7 @@ package stm
 import (
 	"sync/atomic"
 
+	"autopn/internal/chaos"
 	stmtrace "autopn/internal/stm/trace"
 )
 
@@ -60,6 +61,14 @@ func (s *STM) initLockFree() {
 // still be validating or writing back after the first marked the request
 // done). lfEnqueued therefore excludes tx from pool recycling (pool.go).
 func (s *STM) commitTopLockFree(tx *Tx) bool {
+	if s.inj != nil {
+		// Chaos hook before the request is published: an abort here is a
+		// forced validation failure on the lock-free path.
+		if s.inj.Fire(chaos.PointValidate, "") == chaos.ActAbort {
+			tx.traceConflict(stmtrace.ReasonTopValidation, nil)
+			return false
+		}
+	}
 	tx.lfEnqueued = true
 	req := &commitRequest{tx: tx}
 	for {
@@ -70,6 +79,13 @@ func (s *STM) commitTopLockFree(tx *Tx) bool {
 			s.lfTail.CompareAndSwap(tail, req)
 			break
 		}
+	}
+	if s.inj != nil {
+		// Chaos hook between publication and the helping loop: a stall
+		// here models the preempted committer of Fernandes & Cachopo's
+		// design argument — its request sits in the queue and other
+		// threads must finish (or invalidate) it.
+		s.inj.Fire(chaos.PointHelping, "owner")
 	}
 	for {
 		switch req.status.Load() {
@@ -100,6 +116,9 @@ func (s *STM) findTail() *commitRequest {
 // threads may process the same request concurrently; every step is
 // idempotent.
 func (s *STM) helpCommits() {
+	if s.inj != nil {
+		s.inj.Fire(chaos.PointHelping, "helper")
+	}
 	// Advance the head past completed requests.
 	h := s.lfHead.Load()
 	for {

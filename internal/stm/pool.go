@@ -71,6 +71,7 @@ func (s *STM) putTx(tx *Tx) {
 	}
 	tx.tree = nil
 	tx.stm = nil
+	tx.ctx = nil
 	tx.parent = nil
 	tx.root = nil
 	tx.depth = 0

@@ -1,0 +1,86 @@
+package stm
+
+import (
+	"runtime"
+	"time"
+
+	"autopn/internal/stats"
+)
+
+// defaultLivelockThreshold is the attempt count at which an unbounded
+// RetryPolicy (MaxAttempts == 0) signals a livelock. The default backoff
+// caps its exponential at attempt 10, so by attempt 64 a transaction has
+// been spinning at the maximum delay for a long time — on this STM's
+// workloads that only happens when forward progress has genuinely stalled.
+const defaultLivelockThreshold = 64
+
+// RetryPolicy configures the contention management of conflicted
+// transactions (Options.Retry). All fields are optional; the zero policy
+// behaves like the defaults documented per field. A policy applies to
+// top-level retries and, where noted, to parallel-nested child retries.
+type RetryPolicy struct {
+	// MaxAttempts is the per-transaction attempt budget: a transaction
+	// whose MaxAttempts-th attempt conflicts gives up with
+	// ErrTooManyRetries. It supersedes the legacy Options.MaxRetries and —
+	// unlike it — also bounds nested-child retry loops, whose
+	// ErrTooManyRetries surfaces through Tx.Parallel to the caller
+	// (matchable with errors.Is). Zero means unbounded.
+	MaxAttempts int
+	// BaseDelay is the backoff ceiling before the second attempt; the
+	// ceiling doubles per attempt up to MaxDelay, and the actual sleep is
+	// uniform jitter in [0, ceiling] drawn from a per-retry-loop splitmix64
+	// stream (full jitter dissolves retry convoys). The first retry only
+	// yields the processor. Default 1µs.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling. Default ~1ms (1024µs).
+	MaxDelay time.Duration
+	// LivelockThreshold is the number of consecutive failed attempts after
+	// which the transaction is counted as livelocked (Stats.LivelockTrips,
+	// the autopn_stm_livelock_trips_total metric) and OnLivelock fires —
+	// once per transaction. Zero defaults to MaxAttempts when a budget is
+	// set, else to defaultLivelockThreshold (64).
+	LivelockThreshold int
+	// OnLivelock, if non-nil, is called (once per livelocked transaction,
+	// from the retrying goroutine) with the failed-attempt count. Keep it
+	// cheap and non-blocking.
+	OnLivelock func(attempts int)
+}
+
+// livelockThreshold resolves the effective trip point.
+func (p *RetryPolicy) livelockThreshold() int {
+	if p.LivelockThreshold > 0 {
+		return p.LivelockThreshold
+	}
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return defaultLivelockThreshold
+}
+
+// sleep applies the policy's capped-exponential full-jitter delay after a
+// failed attempt (attempt is 0-based, like Options.Backoff).
+func (p *RetryPolicy) sleep(attempt int, rng *stats.RNG) {
+	if attempt == 0 {
+		runtime.Gosched()
+		return
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = time.Microsecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 1024 * time.Microsecond
+	}
+	if max < base {
+		max = base
+	}
+	ceil := base
+	for i := 1; i < attempt && ceil < max; i++ {
+		ceil <<= 1
+	}
+	if ceil > max {
+		ceil = max
+	}
+	time.Sleep(time.Duration(rng.Uint64() % uint64(ceil+1)))
+}

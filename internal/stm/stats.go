@@ -26,8 +26,15 @@ const (
 	idxNestedAborts
 	idxUserAborts
 	idxVersionsWritten
+	idxLivelockTrips
+	idxCtxCancels
 	numStatCounters
 )
+
+// statShardHint picks a stripe for counters bumped outside any transaction
+// (e.g. a cancellation observed before begin). Cold path; the exact
+// distribution barely matters.
+func statShardHint() uint32 { return txSeq.Load() }
 
 // statShardCount is the number of counter stripes (power of two).
 const statShardCount = 16
@@ -86,6 +93,14 @@ func (s *Stats) UserAborts() uint64 { return s.sum(idxUserAborts) }
 // VersionsWritten returns the number of bodies installed at top commits.
 func (s *Stats) VersionsWritten() uint64 { return s.sum(idxVersionsWritten) }
 
+// LivelockTrips returns the number of transactions that exceeded their
+// retry budget or livelock threshold (at most one trip per transaction).
+func (s *Stats) LivelockTrips() uint64 { return s.sum(idxLivelockTrips) }
+
+// CtxCancels returns the number of times a context cancellation stopped a
+// transaction (or one of its nested children) at a retry boundary.
+func (s *Stats) CtxCancels() uint64 { return s.sum(idxCtxCancels) }
+
 // Snapshot returns a plain-value copy of the aggregated counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
@@ -96,6 +111,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		NestedAborts:    s.NestedAborts(),
 		UserAborts:      s.UserAborts(),
 		VersionsWritten: s.VersionsWritten(),
+		LivelockTrips:   s.LivelockTrips(),
+		CtxCancels:      s.CtxCancels(),
 	}
 }
 
@@ -108,4 +125,6 @@ type StatsSnapshot struct {
 	NestedAborts    uint64
 	UserAborts      uint64
 	VersionsWritten uint64
+	LivelockTrips   uint64
+	CtxCancels      uint64
 }

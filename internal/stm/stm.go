@@ -30,6 +30,7 @@
 package stm
 
 import (
+	"context"
 	"errors"
 	"math"
 	"runtime"
@@ -37,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"autopn/internal/chaos"
 	"autopn/internal/stats"
 	stmtrace "autopn/internal/stm/trace"
 )
@@ -98,6 +100,17 @@ type Options struct {
 	// is traced. Zero (the default) keeps tracing off: the begin path then
 	// pays a single atomic load and a predictable branch.
 	TraceSampleRate float64
+	// Retry, if non-nil, replaces the default retry behavior of conflicted
+	// transactions: capped exponential backoff with jitter, a per-
+	// transaction attempt budget (MaxAttempts supersedes the legacy
+	// MaxRetries), and livelock detection. A user Backoff function still
+	// overrides the policy's delay curve. See RetryPolicy.
+	Retry *RetryPolicy
+	// FaultInjector, if non-nil, arms the chaos hook points compiled into
+	// both commit paths (see internal/chaos and docs/ROBUSTNESS.md). When
+	// nil — the production default — every hook is a single nil-check
+	// branch.
+	FaultInjector *chaos.Injector
 }
 
 // ErrTooManyRetries is returned by Atomic when Options.MaxRetries is set
@@ -134,13 +147,17 @@ type STM struct {
 	traceThreshold atomic.Uint64
 	traceSeq       atomic.Uint64
 
+	// inj is Options.FaultInjector, hoisted onto the STM so hook sites
+	// load one field. Nil in production.
+	inj *chaos.Injector
+
 	// Stats are the cumulative transaction counters (sharded; see stats.go).
 	Stats Stats
 }
 
 // New creates an STM with the given options.
 func New(opts Options) *STM {
-	s := &STM{opts: opts}
+	s := &STM{opts: opts, inj: opts.FaultInjector}
 	if opts.LockFreeCommit {
 		s.initLockFree()
 	}
@@ -217,14 +234,48 @@ func (s *STM) sampleTrace() *stmtrace.Tracer {
 // commits, fn returns a non-nil error (which aborts and is returned), or
 // the retry limit is exceeded.
 func (s *STM) Atomic(fn func(tx *Tx) error) error {
+	return s.atomic(nil, fn)
+}
+
+// AtomicCtx is Atomic with context-aware retries: cancellation and
+// deadlines are honored at retry boundaries — before admission, before the
+// first attempt, and before every retry — so an already-cancelled context
+// returns ctx.Err() without ever executing fn. The context also propagates
+// into parallel-nested children (via Tx.Context), whose retry loops stop at
+// the same boundaries; Tx.Parallel drains all in-flight siblings before the
+// error surfaces. An attempt already past its begin boundary is never
+// interrupted mid-flight — a committed attempt stays committed.
+func (s *STM) AtomicCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			s.Stats.add(statShardHint(), idxCtxCancels, 1)
+			return err
+		}
+	}
+	return s.atomic(ctx, fn)
+}
+
+// atomic is the shared top-level retry loop; ctx is nil for plain Atomic.
+func (s *STM) atomic(ctx context.Context, fn func(tx *Tx) error) error {
 	if th := s.opts.Throttle; th != nil {
 		th.EnterTop()
 		defer th.ExitTop()
 	}
 	tr := s.sampleTrace() // nil unless this logical transaction is traced
 	var rng *stats.RNG
+	pol := s.opts.Retry
+	maxAttempts := s.opts.MaxRetries
+	if pol != nil && pol.MaxAttempts > 0 {
+		maxAttempts = pol.MaxAttempts
+	}
 	for attempt := 0; ; attempt++ {
-		tx := s.beginTop(tr, attempt)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				s.Stats.add(statShardHint(), idxCtxCancels, 1)
+				return err
+			}
+		}
+		tx := s.beginTop(ctx, tr, attempt)
 		err, conflicted := tx.runTop(fn)
 		if !conflicted {
 			s.putTx(tx)
@@ -233,9 +284,20 @@ func (s *STM) Atomic(fn func(tx *Tx) error) error {
 			}
 			return err
 		}
-		s.Stats.add(tx.statShard, idxTopAborts, 1)
+		shard := tx.statShard
+		s.Stats.add(shard, idxTopAborts, 1)
 		s.putTx(tx)
-		if s.opts.MaxRetries > 0 && attempt+1 >= s.opts.MaxRetries {
+		failed := attempt + 1
+		if pol != nil && failed == pol.livelockThreshold() {
+			s.tripLivelock(shard, pol, failed)
+		}
+		if maxAttempts > 0 && failed >= maxAttempts {
+			if pol == nil || pol.livelockThreshold() > maxAttempts {
+				// The budget ran out before the (or without a) livelock
+				// threshold firing: exceeding the budget IS the livelock
+				// signal, counted exactly once per transaction.
+				s.tripLivelock(shard, pol, failed)
+			}
 			return ErrTooManyRetries
 		}
 		if s.opts.Backoff != nil {
@@ -244,8 +306,21 @@ func (s *STM) Atomic(fn func(tx *Tx) error) error {
 			if rng == nil {
 				rng = newBackoffRNG()
 			}
-			backoff(attempt, rng)
+			if pol != nil {
+				pol.sleep(attempt, rng)
+			} else {
+				backoff(attempt, rng)
+			}
 		}
+	}
+}
+
+// tripLivelock counts one livelock trip and fires the policy callback (if
+// any). pol may be nil (legacy MaxRetries exhaustion).
+func (s *STM) tripLivelock(shard uint32, pol *RetryPolicy, attempts int) {
+	s.Stats.add(shard, idxLivelockTrips, 1)
+	if pol != nil && pol.OnLivelock != nil {
+		pol.OnLivelock(attempts)
 	}
 }
 
@@ -259,7 +334,7 @@ func (s *STM) AtomicReadOnly(fn func(tx *Tx) error) error {
 		th.EnterTop()
 		defer th.ExitTop()
 	}
-	tx := s.beginTop(s.sampleTrace(), 0)
+	tx := s.beginTop(nil, s.sampleTrace(), 0)
 	tx.readOnly = true
 	err, conflicted := tx.runTop(fn)
 	if conflicted {
@@ -291,10 +366,13 @@ func AtomicResult[T any](s *STM, fn func(tx *Tx) (T, error)) (T, error) {
 // (core-local) slot next time. tr is non-nil when this attempt is traced
 // (the timestamp is taken first so PhaseBegin covers the whole begin
 // path).
-func (s *STM) beginTop(tr *stmtrace.Tracer, attempt int) *Tx {
+func (s *STM) beginTop(ctx context.Context, tr *stmtrace.Tracer, attempt int) *Tx {
 	var t0 time.Time
 	if tr != nil {
 		t0 = time.Now()
+	}
+	if s.inj != nil {
+		s.inj.Fire(chaos.PointBegin, "")
 	}
 	tx := s.getTx()
 	v, slot := s.beginSnapshot(tx.snapHint)
@@ -302,6 +380,7 @@ func (s *STM) beginTop(tr *stmtrace.Tracer, attempt int) *Tx {
 		tx.snapHint = uint32(slot)
 	}
 	tx.stm = s
+	tx.ctx = ctx
 	tx.readVersion = v
 	tx.snapSlot = slot
 	tx.root = tx

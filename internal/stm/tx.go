@@ -1,11 +1,13 @@
 package stm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"unsafe"
 
+	"autopn/internal/chaos"
 	"autopn/internal/stats"
 	stmtrace "autopn/internal/stm/trace"
 )
@@ -50,6 +52,11 @@ type Tx struct {
 	parent *Tx
 	root   *Tx
 	depth  int
+
+	// ctx is the context AtomicCtx was called with (top-level only; nil for
+	// plain Atomic). Retry loops — the root's and every child's — check it
+	// via root.ctx at attempt boundaries.
+	ctx context.Context
 
 	// readVersion is the global snapshot (root transactions; copied to
 	// descendants via root).
@@ -121,6 +128,23 @@ func (tx *Tx) IsNested() bool { return tx.parent != nil }
 // nearest-first, then global memory at the root snapshot.
 func (tx *Tx) read(b *vbox) any {
 	tx.ensureLive()
+	if inj := tx.stm.inj; inj != nil && b.label != "" {
+		// Chaos hook: labeled boxes only, so unlabeled hot-path boxes never
+		// pay the schedule evaluation. A forced abort is indistinguishable
+		// from a real conflict to the retry machinery. Read-only roots
+		// ignore forced aborts — multi-version reads cannot conflict by
+		// design, so that fault is impossible by construction (the arrival
+		// and probability draw are still consumed, keeping schedules
+		// deterministic).
+		if inj.Fire(chaos.PointRead, b.label) == chaos.ActAbort && !tx.root.readOnly {
+			if tx.parent != nil {
+				tx.traceConflict(stmtrace.ReasonNestedParent, b)
+			} else {
+				tx.traceConflict(stmtrace.ReasonTopValidation, b)
+			}
+			panic(conflictSignal{tx})
+		}
+	}
 	// Own write set first. No other goroutine mutates it while tx runs
 	// (children only merge while tx is blocked in Parallel), but we lock
 	// for race-detector cleanliness and to keep the invariant simple.
@@ -272,6 +296,18 @@ func (tx *Tx) commitTop() bool {
 		return true
 	}
 	s.commitMu.Lock()
+	if s.inj != nil {
+		// Chaos hooks on the serialized path, inside the commit section: a
+		// delay/stall at either point is a stuck committer holding the
+		// commit lock; an abort at PointValidate forces a validation
+		// failure.
+		if s.inj.Fire(chaos.PointValidate, "") == chaos.ActAbort {
+			s.commitMu.Unlock()
+			tx.traceConflict(stmtrace.ReasonTopValidation, nil)
+			tx.markSpan(stmtrace.PhaseValidate)
+			return false
+		}
+	}
 	for _, b := range tx.globalReads {
 		if b.currentVersion() > tx.readVersion {
 			s.commitMu.Unlock()
@@ -283,6 +319,13 @@ func (tx *Tx) commitTop() bool {
 	newVer := s.clock.Load() + 1
 	keepFrom := s.gcHorizon()
 	tx.markSpan(stmtrace.PhaseValidate)
+	if s.inj != nil {
+		if s.inj.Fire(chaos.PointCommit, "") == chaos.ActAbort {
+			s.commitMu.Unlock()
+			tx.traceConflict(stmtrace.ReasonTopValidation, nil)
+			return false
+		}
+	}
 	tx.writes.forEach(func(b *vbox, e writeEntry) {
 		b.install(e.value, newVer, keepFrom)
 	})
@@ -339,21 +382,51 @@ func (tx *Tx) beginChild(t *treeState, spawned bool, attempt int) *Tx {
 }
 
 // runChild executes fn as a child transaction of parent, retrying on
-// conflicts until commit or user error.
+// conflicts until commit, user error, context cancellation, or (when a
+// RetryPolicy budget is set) ErrTooManyRetries.
 func runChild(parent *Tx, t *treeState, spawned bool, fn func(*Tx) error) error {
+	s := parent.stm
 	var rng *stats.RNG
+	pol := s.opts.Retry
+	maxAttempts := 0
+	if pol != nil {
+		maxAttempts = pol.MaxAttempts
+	}
 	for attempt := 0; ; attempt++ {
+		if c := parent.root.ctx; c != nil {
+			if err := c.Err(); err != nil {
+				// Cancellation stops the child's retry loop at the same
+				// boundary as the top-level loop; Parallel's join drains
+				// the siblings and surfaces the error.
+				s.Stats.add(parent.statShard, idxCtxCancels, 1)
+				return err
+			}
+		}
 		child := parent.beginChild(t, spawned, attempt)
 		err, conflicted := child.runNested(fn)
-		parent.stm.putTx(child)
+		s.putTx(child)
 		if !conflicted {
 			return err
 		}
-		parent.stm.Stats.add(parent.statShard, idxNestedAborts, 1)
+		s.Stats.add(parent.statShard, idxNestedAborts, 1)
+		failed := attempt + 1
+		if pol != nil && failed == pol.livelockThreshold() {
+			s.tripLivelock(parent.statShard, pol, failed)
+		}
+		if maxAttempts > 0 && failed >= maxAttempts {
+			if pol.livelockThreshold() > maxAttempts {
+				s.tripLivelock(parent.statShard, pol, failed)
+			}
+			return ErrTooManyRetries
+		}
 		if rng == nil {
 			rng = newBackoffRNG()
 		}
-		backoff(attempt, rng)
+		if pol != nil {
+			pol.sleep(attempt, rng)
+		} else {
+			backoff(attempt, rng)
+		}
 	}
 }
 
@@ -400,6 +473,15 @@ func (tx *Tx) commitNested() bool {
 	parent.mu.Lock()
 	defer parent.mu.Unlock()
 
+	if inj := tx.stm.inj; inj != nil {
+		// Chaos hook under the parent's merge lock: an abort is a forced
+		// nested-vs-sibling validation failure.
+		if inj.Fire(chaos.PointNestedValidate, "") == chaos.ActAbort {
+			tx.traceConflict(stmtrace.ReasonNestedSibling, nil)
+			tx.markSpan(stmtrace.PhaseValidate)
+			return false
+		}
+	}
 	// Validate every tree-sensitive read: re-resolve the box through the
 	// ancestor chain (starting at parent) and require the same observation.
 	for _, r := range tx.treeReads {
@@ -411,6 +493,15 @@ func (tx *Tx) commitNested() bool {
 		}
 	}
 	tx.markSpan(stmtrace.PhaseValidate)
+	if inj := tx.stm.inj; inj != nil {
+		// A delay here, still under the parent's lock and right before the
+		// tree-clock bump, serializes sibling merges behind it — the
+		// nested-clock contention storm.
+		if inj.Fire(chaos.PointNestedCommit, "") == chaos.ActAbort {
+			tx.traceConflict(stmtrace.ReasonNestedSibling, nil)
+			return false
+		}
+	}
 
 	// Merge: stamp our writes with a fresh tree version and fold them into
 	// the parent's write set.
@@ -467,6 +558,14 @@ func resolveTree(from *Tx, b *vbox) (*Tx, uint64) {
 // While Parallel runs, tx must not be used by the caller (the parent is
 // suspended at the join point, per the nested transaction model in which
 // only transactions without active children access data).
+// childResult is one parallel child's outcome: its error and any escaped
+// panic value (captured on the child goroutine, re-raised at the join).
+// One slice of these keeps the fan-out at a single allocation.
+type childResult struct {
+	err error
+	pan any
+}
+
 func (tx *Tx) Parallel(fns ...func(*Tx) error) error {
 	tx.ensureLive()
 	if len(fns) == 0 {
@@ -488,23 +587,35 @@ func (tx *Tx) Parallel(fns ...func(*Tx) error) error {
 		defer t.gate.EnterChild()
 	}
 
-	errs := make([]error, len(fns))
+	// Child panics (other than the conflict signal, which runNested
+	// consumes) are captured per child and re-panicked on the caller's
+	// goroutine after the join. This keeps a panicking child from killing
+	// the process on its own goroutine and — crucially — drains every
+	// sibling and releases the gate slots and tree state before the panic
+	// resumes unwinding through the caller.
+	results := make([]childResult, len(fns))
 	var wg sync.WaitGroup
 	wg.Add(len(fns))
 	for i, fn := range fns {
 		go func(i int, fn func(*Tx) error) {
 			defer wg.Done()
+			defer func() { results[i].pan = recover() }()
 			if g := t.gate; g != nil {
 				g.EnterChild()
 				defer g.ExitChild()
 			}
-			errs[i] = runChild(tx, t, true, fn)
+			results[i].err = runChild(tx, t, true, fn)
 		}(i, fn)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	for _, r := range results {
+		if r.pan != nil {
+			panic(r.pan)
+		}
+	}
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
 		}
 	}
 	return nil

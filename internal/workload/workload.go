@@ -41,8 +41,9 @@ type Driver struct {
 	// handed to the driver).
 	NestedHint func() int
 
-	stop atomic.Bool
-	wg   sync.WaitGroup
+	stop    atomic.Bool
+	wg      sync.WaitGroup
+	running atomic.Int64 // workers currently alive
 
 	// Errors counts transactions that failed with a user error.
 	Errors atomic.Uint64
@@ -59,8 +60,10 @@ func (d *Driver) Start(seed uint64) {
 	for i := 0; i < n; i++ {
 		rng := master.Split()
 		d.wg.Add(1)
+		d.running.Add(1)
 		go func() {
 			defer d.wg.Done()
+			defer d.running.Add(-1)
 			for !d.stop.Load() {
 				nested := 1
 				switch {
@@ -84,6 +87,31 @@ func (d *Driver) Start(seed uint64) {
 func (d *Driver) Stop() {
 	d.stop.Store(true)
 	d.wg.Wait()
+}
+
+// StopTimeout signals the workers and waits up to timeout for them to
+// drain their in-flight transactions. It returns the number of workers
+// still running when the deadline expired (0 = clean drain). A
+// non-positive timeout waits indefinitely, like Stop. Abandoned workers
+// keep their goroutines; callers use the count for an exit report before
+// the process terminates anyway.
+func (d *Driver) StopTimeout(timeout time.Duration) int {
+	d.stop.Store(true)
+	if timeout <= 0 {
+		d.wg.Wait()
+		return 0
+	}
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return 0
+	case <-time.After(timeout):
+		return int(d.running.Load())
+	}
 }
 
 // RunFor runs the workload for duration d and returns the achieved

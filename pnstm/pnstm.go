@@ -21,7 +21,11 @@
 // (closed nesting: nothing is globally visible until the top-level commit).
 package pnstm
 
-import "autopn/internal/stm"
+import (
+	"context"
+
+	"autopn/internal/stm"
+)
 
 // STM is an isolated transactional memory universe. See stm.STM.
 type STM = stm.STM
@@ -49,8 +53,13 @@ type Throttle = stm.Throttle
 // tree. See stm.TreeGate.
 type TreeGate = stm.TreeGate
 
-// ErrTooManyRetries is returned by Atomic when Options.MaxRetries is
-// exceeded.
+// RetryPolicy configures contention management of conflicted transactions:
+// capped exponential backoff with jitter, a per-transaction attempt budget,
+// and livelock detection. See stm.RetryPolicy.
+type RetryPolicy = stm.RetryPolicy
+
+// ErrTooManyRetries is returned by Atomic when the retry budget
+// (Options.MaxRetries or RetryPolicy.MaxAttempts) is exceeded.
 var ErrTooManyRetries = stm.ErrTooManyRetries
 
 // New creates an STM with the given options.
@@ -63,6 +72,13 @@ func NewVBox[T any](initial T) *VBox[T] { return stm.NewVBox(initial) }
 // result.
 func AtomicResult[T any](s *STM, fn func(tx *Tx) (T, error)) (T, error) {
 	return stm.AtomicResult(s, fn)
+}
+
+// AtomicResultCtx runs fn as a top-level transaction with context-aware
+// retries (see STM.AtomicCtx: cancellation is honored at retry boundaries
+// and propagates into parallel-nested children) and returns its result.
+func AtomicResultCtx[T any](ctx context.Context, s *STM, fn func(tx *Tx) (T, error)) (T, error) {
+	return stm.AtomicResultCtx(ctx, s, fn)
 }
 
 // AtomicResultReadOnly runs fn as a read-only transaction (never retried,

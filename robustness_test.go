@@ -1,0 +1,194 @@
+package autopn_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autopn"
+	"autopn/internal/obs"
+	"autopn/pnstm"
+)
+
+// TestChaosTunerSelfProtection drives the full self-protection loop end to
+// end on a live surface: a workload with two pathological configurations —
+// one that starves completely (zero commits, caught by the zero-commit gap
+// timeout) and one that trickles jittery commits forever (defeats both the
+// gap timeout and the CV criterion, caught only by the watchdog) — must be
+// quarantined, trigger fallback to the last known-good configuration, and
+// still let the tuner converge to a sane optimum, with the whole trail in
+// the decision log.
+func TestChaosTunerSelfProtection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running live-tuning test")
+	}
+
+	var (
+		poisonStarve  = autopn.Config{T: 4, C: 1} // workers refuse to commit
+		poisonTrickle = autopn.Config{T: 1, C: 4} // jittery trickle defeats CV + gap
+	)
+
+	ring := obs.NewRing(512)
+	rec := obs.Recorder(ring)
+	if path := os.Getenv("CHAOS_LOG"); path != "" {
+		f, err := obs.NewJSONLFile(path, 0)
+		if err != nil {
+			t.Fatalf("CHAOS_LOG: %v", err)
+		}
+		defer f.Close()
+		rec = obs.Multi{ring, f}
+	}
+
+	s := pnstm.New(pnstm.Options{})
+	opts := autopn.Options{
+		Cores:             4,
+		Seed:              7,
+		CVThreshold:       0.10,
+		MaxWindow:         400 * time.Millisecond,
+		WatchdogFactor:    25, // ≈ 25 × 1/T(1,1) ≈ 130ms at ~5ms per commit
+		WatchdogMinBudget: 0,  // disarmed until T(1,1) is known
+		QuarantineAfter:   1,
+		Recorder:          rec,
+		OnMeasurement: func(cfg autopn.Config, m autopn.Measurement) {
+			t.Logf("window %v: tput=%.0f commits=%d elapsed=%v cv=%.3f timedOut=%v watchdog=%v",
+				cfg, m.Throughput, m.Commits, m.Elapsed, m.CV, m.TimedOut, m.WatchdogTripped)
+		},
+	}
+	tuner := autopn.NewTuner(s, opts)
+
+	// Workload: every normal transaction carries ~5ms of work, anchoring
+	// T(1,1) ≈ 190 commits/s and therefore the adaptive gap ≈ 5.3ms.
+	const workers = 6
+	var (
+		stop  atomic.Bool
+		osc   atomic.Uint64 // alternates the trickle regime's jitter
+		wg    sync.WaitGroup
+		boxes [workers]*pnstm.VBox[int]
+	)
+	errSkip := errors.New("poisoned: refuse to commit")
+	for i := range boxes {
+		boxes[i] = pnstm.NewVBox(0)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for !stop.Load() {
+				if tuner.Current() == poisonStarve {
+					// Refuse to submit any work while the starving
+					// configuration is enforced.
+					time.Sleep(500 * time.Microsecond)
+					continue
+				}
+				_ = s.Atomic(func(tx *pnstm.Tx) error {
+					v := boxes[i].Get(tx)
+					d := 5 * time.Millisecond
+					if tuner.Current() == poisonTrickle {
+						// Nonstationary trickle: blocks of fast commits
+						// alternate with blocks of slow ones. Every gap
+						// stays well inside the adaptive gap timeout, but
+						// the running throughput estimate keeps drifting
+						// between the two regimes, so its CV never
+						// stabilizes — only the watchdog ends the window.
+						// Blocks shorter than the policy's MinCommits
+						// guarantee both regimes appear before the CV is
+						// first trusted.
+						if (osc.Add(1)/3)%2 == 0 {
+							d = 300 * time.Microsecond
+						} else {
+							d = 2500 * time.Microsecond
+						}
+					}
+					time.Sleep(d)
+					if tuner.Current() == poisonStarve {
+						// A transaction in flight when the starving config
+						// was applied must not commit into its window.
+						return errSkip
+					}
+					boxes[i].Put(tx, v+1)
+					return nil
+				})
+			}
+		}(i)
+	}
+	defer func() {
+		stop.Store(true)
+		wg.Wait()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res := tuner.Run(ctx)
+	if ctx.Err() != nil {
+		t.Fatal("tuner did not converge within the deadline")
+	}
+
+	// Both poisons quarantined; the trickle poison specifically needed the
+	// watchdog.
+	prot := tuner.Protection()
+	banned := make(map[autopn.Config]bool, len(prot.Quarantined))
+	for _, cfg := range prot.Quarantined {
+		banned[cfg] = true
+	}
+	if !banned[poisonStarve] {
+		t.Errorf("starving config %v not quarantined (banned: %v)", poisonStarve, prot.Quarantined)
+	}
+	if !banned[poisonTrickle] {
+		t.Errorf("trickling config %v not quarantined (banned: %v)", poisonTrickle, prot.Quarantined)
+	}
+	if prot.WatchdogTrips < 1 {
+		t.Error("watchdog never tripped despite the trickle poison")
+	}
+	if prot.LastGood == nil {
+		t.Error("no last known-good configuration recorded")
+	}
+
+	// The converged best is sane and not a poison.
+	if res.Best == poisonStarve || res.Best == poisonTrickle {
+		t.Errorf("converged to a poisoned configuration %v", res.Best)
+	}
+	if res.Best.T < 1 || res.Best.C < 1 || res.Best.T*res.Best.C > opts.Cores {
+		t.Errorf("invalid best config %v", res.Best)
+	}
+	if got := tuner.Current(); got == poisonStarve || got == poisonTrickle {
+		t.Errorf("actuator left enforcing a poisoned configuration %v", got)
+	}
+
+	// The whole protection trail is in the decision log: at least one
+	// quarantine (one of them watchdog-attributed), one fallback, and a
+	// watchdog-marked measurement.
+	var quarantines, fallbacks, wdQuarantines, wdMeasurements int
+	for _, d := range ring.Last(512) {
+		switch d.Kind {
+		case obs.KindQuarantine:
+			quarantines++
+			if d.Watchdog {
+				wdQuarantines++
+			}
+		case obs.KindFallback:
+			fallbacks++
+		case obs.KindMeasurement:
+			if d.Watchdog {
+				wdMeasurements++
+			}
+		}
+	}
+	if quarantines < 2 {
+		t.Errorf("decision log has %d quarantine records, want >= 2", quarantines)
+	}
+	if wdQuarantines < 1 {
+		t.Error("no watchdog-attributed quarantine in the decision log")
+	}
+	if fallbacks < 1 {
+		t.Error("no fallback record in the decision log")
+	}
+	if wdMeasurements < 1 {
+		t.Error("no watchdog-marked measurement in the decision log")
+	}
+	t.Logf("converged to %v (%.0f commits/s); quarantined %v; %d watchdog trips; %d fallbacks",
+		res.Best, res.BestThroughput, prot.Quarantined, prot.WatchdogTrips, fallbacks)
+}
