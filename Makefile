@@ -6,14 +6,15 @@ GO ?= go
 # bounded, local runs can crank them up.
 FUZZTIME ?= 30s
 BENCHTIME ?= 100x
+CONTENDED_BENCHTIME ?= 10000x
 
 # Fault-injection soak seed; every CHAOS_SEED value yields one fixed,
 # byte-identical fault schedule (see docs/ROBUSTNESS.md).
 CHAOS_SEED ?= 1
 
 .PHONY: all build test test-short race race-all bench bench-stm \
-	bench-compare bench-smoke trace-smoke fuzz-smoke chaos lint ci repro \
-	figures clean
+	bench-compare bench-contended bench-smoke trace-smoke fuzz-smoke chaos \
+	lint ci repro figures clean
 
 all: build test
 
@@ -32,8 +33,11 @@ test-short:
 # Race-detector pass over the concurrency core (the STM with its tracer
 # and actuator, plus the observability layer scraped concurrently),
 # including the snapshot-registry stress and tracer enable/disable tests.
+# GOMAXPROCS=4 even on single-core runners: the flat-combining commit
+# (combiner election, queue hand-off, spin-then-park wake-up) only
+# interleaves interestingly with several Ps.
 race:
-	$(GO) test -race ./internal/stm/... ./internal/pnpool/... ./internal/obs/...
+	GOMAXPROCS=4 $(GO) test -race ./internal/stm/... ./internal/pnpool/... ./internal/obs/...
 
 race-all:
 	$(GO) test -race ./...
@@ -47,10 +51,26 @@ bench-stm:
 
 # Run the hot-path benchmarks and diff them against BENCH_stm.json's
 # "after" numbers, failing on >15% ns/op regressions (the tracing-off
-# overhead guardrail).
+# overhead guardrail). The contended benchmarks are excluded here: their
+# run-to-run noise on shared runners is far above 15%, so they get their
+# own target (bench-contended) with a generous threshold.
 bench-compare:
-	$(GO) test -bench . -benchmem -run '^$$' ./internal/stm/ | \
+	$(GO) test -benchmem -run '^$$' \
+		-bench '^(BenchmarkBeginCommitReadOnly|BenchmarkSmallWriteTx|BenchmarkNestedFanout)$$' \
+		./internal/stm/ | \
 		$(GO) run ./cmd/bench-compare -baseline BENCH_stm.json -threshold 15
+
+# Contended commit-path benchmarks at -cpu 1,4 (the flat-combining group
+# commit's target workload), diffed against the exact -cpu entries in
+# BENCH_stm.json. Advisory only — contended rows on shared or
+# oversubscribed runners routinely vary 2x, so the diff is printed for
+# trend reading (and to exercise the -cpu matching) but never fails the
+# target; bench-contended.txt is the artifact to read.
+bench-contended:
+	$(GO) test -bench '^BenchmarkContendedCommit$$' -benchmem -cpu 1,4 \
+		-benchtime=$(CONTENDED_BENCHTIME) -run '^$$' ./internal/stm/ | \
+		tee bench-contended.txt | \
+		{ $(GO) run ./cmd/bench-compare -baseline BENCH_stm.json -threshold 100 || true; }
 
 # Produce a sample trace_event dump from a short fully-traced live run
 # (CI uploads stm-trace.json as an artifact; load it in ui.perfetto.dev).
@@ -59,9 +79,13 @@ trace-smoke:
 		-duration 3s -max-window 100ms -trace-sample 1 -trace-out stm-trace.json
 
 # Trend-only benchmark smoke for CI: a fixed, tiny iteration budget so the
-# job is fast; the output is uploaded as an artifact, never gated on.
+# job is fast; the output is uploaded as an artifact, never gated on. The
+# contended benchmarks run at -cpu 1,4 so the artifact tracks the group
+# commit's scaling trend alongside the uncontended hot paths.
 bench-smoke:
 	$(GO) test -bench . -benchmem -benchtime=$(BENCHTIME) -run '^$$' ./internal/stm/ | tee bench-smoke.txt
+	$(GO) test -bench '^BenchmarkContendedCommit$$' -benchmem -cpu 1,4 \
+		-benchtime=$(BENCHTIME) -run '^$$' ./internal/stm/ | tee bench-contended.txt
 
 # Trace-loader fuzz smoke (the corpus-backed FuzzLoad target).
 fuzz-smoke:
@@ -73,7 +97,7 @@ fuzz-smoke:
 # Deterministic per CHAOS_SEED; set CHAOS_LOG=<path> to persist the
 # self-protection decision trail as JSONL.
 chaos:
-	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run '^TestChaos' \
+	GOMAXPROCS=4 CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run '^TestChaos' \
 		./internal/chaos/ ./internal/stm/ .
 
 # Static analysis beyond go vet. Uses golangci-lint (see .golangci.yml)

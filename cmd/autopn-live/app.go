@@ -59,6 +59,10 @@ type statusPayload struct {
 	C             int               `json:"c"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
 	STM           stm.StatsSnapshot `json:"stm"`
+	// CommitBatchSize summarizes the flat-combining batch-size histogram
+	// (how many queued commits each combiner drain chunk installed); nil
+	// when the STM predates the group-commit pipeline or it never ran.
+	CommitBatchSize *obs.HistogramSnapshot `json:"commit_batch_size,omitempty"`
 	// Protection is the tuner's self-protection state: watchdog trips,
 	// quarantined configurations, and the fallback target.
 	Protection autopn.Protection `json:"protection"`
@@ -198,6 +202,10 @@ func (r *liveRun) run(ctx context.Context) error {
 				STM:           s.Stats.Snapshot(),
 				Protection:    tuner.Protection(),
 				Decisions:     ring.Last(statusDecisions),
+			}
+			if h := s.Stats.BatchSizes(); h != nil {
+				snap := h.Snapshot()
+				p.CommitBatchSize = &snap
 			}
 			if tracer != nil {
 				rep := tracer.Conflicts(statusHotBoxes)

@@ -103,6 +103,10 @@ func TestLiveEndToEnd(t *testing.T) {
 		"autopn_stm_trace_sampled_total",
 		"autopn_stm_trace_aborts_top_validation_total",
 		"autopn_stm_phase_commit_seconds_count",
+		"autopn_stm_preval_aborts_total",
+		"autopn_stm_commit_inline_total",
+		"autopn_stm_commit_combined_total",
+		"autopn_stm_commit_batch_size_count",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -123,6 +127,11 @@ func TestLiveEndToEnd(t *testing.T) {
 	}
 	if st.SpaceSize != 14 {
 		t.Errorf("/status space_size = %d, want 14", st.SpaceSize)
+	}
+	// The commit-batch histogram is attached by stm.New, so the section is
+	// always present even if every commit took the inline fast path.
+	if st.CommitBatchSize == nil {
+		t.Error("/status has no commit_batch_size section")
 	}
 
 	if st.Contention == nil {

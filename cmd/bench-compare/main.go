@@ -8,11 +8,17 @@
 //	go test -bench . -benchmem -run '^$' ./internal/stm/ | \
 //	    go run ./cmd/bench-compare -baseline BENCH_stm.json -threshold 15
 //
-// Benchmark lines are matched to baseline entries by name with the
-// GOMAXPROCS suffix stripped (BenchmarkFoo/Bar-8 -> BenchmarkFoo/Bar).
-// For each matched benchmark the ns/op ratio against the baseline's
-// "after" value is reported; ratios above 1+threshold% fail the run
-// (exit 1). Allocations are compared exactly: the hot paths are
+// Benchmark lines are matched to baseline entries by exact name first, so
+// baselines may pin specific -cpu variants (BenchmarkFoo/Bar-4). When no
+// exact entry exists, the -N GOMAXPROCS suffix is stripped
+// (BenchmarkFoo/Bar-8 -> BenchmarkFoo/Bar) and the stripped name is tried —
+// but only when the run contains a single variant of that base name. A run
+// driven with -cpu 1,4 emits both BenchmarkFoo/Bar and BenchmarkFoo/Bar-4;
+// silently folding the -4 line onto an unsuffixed baseline entry would
+// compare cross-CPU-count numbers, so ambiguous variants are reported as
+// unmatched instead. For each matched benchmark the ns/op ratio against the
+// baseline's "after" value is reported; ratios above 1+threshold% fail the
+// run (exit 1). Allocations are compared exactly: the hot paths are
 // zero-or-counted-alloc by design, so any increase is called out (but
 // only fails with -strict-allocs). Unmatched lines on either side are
 // listed, never fatal — benchmarks come and go across PRs.
@@ -75,7 +81,7 @@ func parseBench(r io.Reader) ([]result, error) {
 		if m == nil {
 			continue
 		}
-		res := result{name: stripProcs(m[1])}
+		res := result{name: m[1]}
 		var err error
 		if res.nsOp, err = strconv.ParseFloat(m[2], 64); err != nil {
 			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
@@ -96,13 +102,42 @@ func parseBench(r io.Reader) ([]result, error) {
 func compare(w io.Writer, results []result, base baselineFile, thresholdPct float64, strictAllocs bool) int {
 	violations := 0
 	matched := map[string]bool{}
+	// How many distinct benchmark names share each stripped base name
+	// (-count N repeats lines, so count names, not lines): the
+	// procs-stripped fallback below is only sound when the answer is one,
+	// otherwise two different -cpu variants would silently pair with the
+	// same baseline entry.
+	variantNames := map[string]map[string]bool{}
 	for _, r := range results {
-		b, ok := base.Benchmarks[r.name]
+		sb := stripProcs(r.name)
+		if variantNames[sb] == nil {
+			variantNames[sb] = map[string]bool{}
+		}
+		variantNames[sb][r.name] = true
+	}
+	variants := map[string]int{}
+	for sb, names := range variantNames {
+		variants[sb] = len(names)
+	}
+	for _, r := range results {
+		key := r.name
+		b, ok := base.Benchmarks[key]
 		if !ok {
-			fmt.Fprintf(w, "  new       %-55s %10.1f ns/op (no baseline)\n", r.name, r.nsOp)
+			if sb := stripProcs(r.name); variants[sb] == 1 {
+				b, ok = base.Benchmarks[sb]
+				key = sb
+			}
+		}
+		if !ok {
+			if sb := stripProcs(r.name); variants[sb] > 1 {
+				fmt.Fprintf(w, "  new       %-55s %10.1f ns/op (no exact baseline; %d -cpu variants in run, not folding)\n",
+					r.name, r.nsOp, variants[sb])
+			} else {
+				fmt.Fprintf(w, "  new       %-55s %10.1f ns/op (no baseline)\n", r.name, r.nsOp)
+			}
 			continue
 		}
-		matched[r.name] = true
+		matched[key] = true
 		ratio := r.nsOp / b.After.NsOp
 		verdict := "ok"
 		if ratio > 1+thresholdPct/100 {

@@ -32,7 +32,7 @@ func parseBaseline(t *testing.T) baselineFile {
 	return b
 }
 
-func TestParseBenchStripsProcsSuffix(t *testing.T) {
+func TestParseBenchKeepsFullName(t *testing.T) {
 	results, err := parseBench(strings.NewReader(sampleRun))
 	if err != nil {
 		t.Fatal(err)
@@ -40,7 +40,9 @@ func TestParseBenchStripsProcsSuffix(t *testing.T) {
 	if len(results) != 3 {
 		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
 	}
-	if results[0].name != "BenchmarkFast/Seq" || results[0].nsOp != 105 {
+	// The -N GOMAXPROCS suffix survives parsing: matching decides later
+	// whether to strip it, so -cpu variants stay distinguishable.
+	if results[0].name != "BenchmarkFast/Seq-8" || results[0].nsOp != 105 {
 		t.Errorf("first result = %+v", results[0])
 	}
 	if !results[1].hasAlloc || results[1].allocsOp != 9 {
@@ -58,14 +60,16 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	report := out.String()
 
 	// Slow regressed 30% (> 15%): one violation. Fast is within 5%: ok.
+	// Each run name is the only -N variant of its base, so all fold onto
+	// the unsuffixed baseline entries.
 	if violations != 1 {
 		t.Errorf("violations = %d, want 1\n%s", violations, report)
 	}
 	for _, want := range []string{
-		"REGRESSED >15% BenchmarkSlow/Seq",
-		"ok        BenchmarkFast/Seq",
-		"ALLOCS    BenchmarkSlow/Seq",
-		"new       BenchmarkNew/Seq",
+		"REGRESSED >15% BenchmarkSlow/Seq-8",
+		"ok        BenchmarkFast/Seq-8",
+		"ALLOCS    BenchmarkSlow/Seq-8",
+		"new       BenchmarkNew/Seq-8",
 		"missing   BenchmarkGone/Seq",
 	} {
 		if !strings.Contains(report, want) {
@@ -98,5 +102,99 @@ func TestCompareWithinThresholdPasses(t *testing.T) {
 	}
 	if v := compare(&strings.Builder{}, results, parseBaseline(t), 15, true); v != 0 {
 		t.Errorf("violations = %d, want 0", v)
+	}
+}
+
+// TestCompareCPUVariants covers a -cpu 1,4 run: Go emits the cpu-1 line
+// unsuffixed and the cpu-4 line as Name-4. With exact baseline entries
+// both variants pair one-to-one; the stripped-name fallback must never
+// fold a -4 line onto the unsuffixed entry.
+func TestCompareCPUVariants(t *testing.T) {
+	const baseline = `{
+	  "benchmarks": {
+	    "BenchmarkContended/Disjoint": {"after": {"ns_op": 500, "b_op": 160, "allocs_op": 7}},
+	    "BenchmarkContended/Disjoint-4": {"after": {"ns_op": 2500, "b_op": 160, "allocs_op": 7}}
+	  }
+	}`
+	var base baselineFile
+	if err := json.Unmarshal([]byte(baseline), &base); err != nil {
+		t.Fatal(err)
+	}
+	run := "BenchmarkContended/Disjoint 10000 520.0 ns/op 160 B/op 7 allocs/op\n" +
+		"BenchmarkContended/Disjoint-4 10000 2600 ns/op 160 B/op 7 allocs/op\n"
+	results, err := parseBench(strings.NewReader(run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if v := compare(&out, results, base, 15, true); v != 0 {
+		t.Errorf("violations = %d, want 0\n%s", v, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{
+		"ok        BenchmarkContended/Disjoint ",
+		"ok        BenchmarkContended/Disjoint-4",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "missing") || strings.Contains(report, "new") {
+		t.Errorf("exact -cpu pairing left unmatched entries:\n%s", report)
+	}
+}
+
+// TestCompareAmbiguousVariantsNotFolded: when the run holds several -cpu
+// variants of one base name but the baseline lacks an exact entry for one
+// of them, that line is reported as new ("not folding") instead of being
+// silently compared against a different CPU count's number.
+func TestCompareAmbiguousVariantsNotFolded(t *testing.T) {
+	const baseline = `{
+	  "benchmarks": {
+	    "BenchmarkContended/Disjoint": {"after": {"ns_op": 500, "b_op": 160, "allocs_op": 7}}
+	  }
+	}`
+	var base baselineFile
+	if err := json.Unmarshal([]byte(baseline), &base); err != nil {
+		t.Fatal(err)
+	}
+	run := "BenchmarkContended/Disjoint 10000 520.0 ns/op 160 B/op 7 allocs/op\n" +
+		"BenchmarkContended/Disjoint-4 10000 9999 ns/op 160 B/op 7 allocs/op\n"
+	results, err := parseBench(strings.NewReader(run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	// The -4 line would be a 20x "regression" against the cpu-1 baseline;
+	// refusing to fold keeps violations at zero.
+	if v := compare(&out, results, base, 15, true); v != 0 {
+		t.Errorf("violations = %d, want 0 (ambiguous variant must not fold)\n%s", v, out.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "ok        BenchmarkContended/Disjoint ") {
+		t.Errorf("exact cpu-1 match missing:\n%s", report)
+	}
+	if !strings.Contains(report, "not folding") {
+		t.Errorf("ambiguous -4 variant not flagged:\n%s", report)
+	}
+}
+
+// TestCompareCountRepeatsStillFold: -count N repeats each benchmark line;
+// repeated identical names are still one variant, so the stripped-name
+// fallback keeps working.
+func TestCompareCountRepeatsStillFold(t *testing.T) {
+	run := "BenchmarkFast/Seq-8 1000 101.0 ns/op 0 B/op 0 allocs/op\n" +
+		"BenchmarkFast/Seq-8 1000 103.0 ns/op 0 B/op 0 allocs/op\n" +
+		"BenchmarkFast/Seq-8 1000 102.0 ns/op 0 B/op 0 allocs/op\n"
+	results, err := parseBench(strings.NewReader(run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if v := compare(&out, results, parseBaseline(t), 15, false); v != 0 {
+		t.Errorf("violations = %d, want 0\n%s", v, out.String())
+	}
+	if strings.Contains(out.String(), "not folding") {
+		t.Errorf("-count repeats miscounted as distinct -cpu variants:\n%s", out.String())
 	}
 }

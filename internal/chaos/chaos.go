@@ -4,7 +4,8 @@
 // a single nil-pointer branch, so production runs pay nothing.
 //
 // An Injector is built from a set of Rules. Each rule names a hook Point
-// (begin, read, validate, commit, helping, nested-validate, nested-commit),
+// (begin, read, validate, commit, helping, nested-validate, nested-commit,
+// combiner),
 // optionally a site label (the VBox label for read hooks, "owner"/"helper"
 // for the lock-free helping hooks), a Trigger deciding *which* arrivals
 // inject, and an Action: delay the caller, force an abort, or stall until
@@ -39,9 +40,10 @@ const (
 	// box label.
 	PointRead
 	// PointValidate fires at the start of top-level commit validation: for
-	// the serialized path after the commit lock is taken, for the
-	// lock-free path before the commit request is enqueued. ActAbort here
-	// forces a validation failure (attributed as top-validation).
+	// the group-commit path at out-of-lock pre-validation (before the
+	// commit lock or request queue is touched), for the lock-free path
+	// before the commit request is enqueued. ActAbort here forces a
+	// validation failure (attributed as top-validation).
 	PointValidate
 	// PointCommit fires on the serialized path after validation succeeds
 	// and before the write-back, while the commit lock is still held — a
@@ -61,13 +63,18 @@ const (
 	// tree-clock bump and merge — delays here, under the parent lock,
 	// create nested-clock contention storms.
 	PointNestedCommit
+	// PointCombiner fires on the group-commit path when a committer wins
+	// the commit lock and becomes the flat-combining combiner, before it
+	// drains the request queue — a stall here is a stuck combiner holding
+	// the commit lock while every queued committer stays parked.
+	PointCombiner
 
 	numPoints
 )
 
 var pointNames = [numPoints]string{
 	"begin", "read", "validate", "commit", "helping",
-	"nested-validate", "nested-commit",
+	"nested-validate", "nested-commit", "combiner",
 }
 
 func (p Point) String() string {

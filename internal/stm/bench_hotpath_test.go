@@ -108,6 +108,63 @@ func BenchmarkSmallWriteTx(b *testing.B) {
 	})
 }
 
+// BenchmarkContendedCommit measures cross-worker commit throughput — the
+// scenario the flat-combining group commit targets. Every worker runs small
+// write transactions concurrently (b.RunParallel; drive it with -cpu 1,4,8
+// to vary the degree of hardware parallelism), so unlike the /Par variants
+// above, which measure per-op latency of mostly uncontended commits, this
+// benchmark keeps the commit path saturated. Disjoint gives each worker its
+// own boxes (pure commit-machinery contention, zero data conflicts);
+// Overlap10 additionally blind-writes one shared hot box on every 10th
+// transaction (overlapping write sets across the batch, still no read
+// conflicts). Three commit strategies: Group (flat-combining, the default),
+// Legacy (DisableGroupCommit: the pre-group-commit serialized path), and
+// LockFree.
+func BenchmarkContendedCommit(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"Group", Options{}},
+		{"Legacy", Options{DisableGroupCommit: true}},
+		{"LockFree", Options{LockFreeCommit: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			const nBoxes = 4
+			for _, mode := range []string{"Disjoint", "Overlap10"} {
+				overlap := mode == "Overlap10"
+				b.Run(mode, func(b *testing.B) {
+					s := New(tc.opts)
+					shared := NewVBox(0)
+					b.ReportAllocs()
+					b.RunParallel(func(pb *testing.PB) {
+						boxes := make([]*VBox[int], nBoxes)
+						for i := range boxes {
+							boxes[i] = NewVBox(0)
+						}
+						n := 0
+						for pb.Next() {
+							n++
+							hot := overlap && n%10 == 0
+							if err := s.Atomic(func(tx *Tx) error {
+								for _, bx := range boxes {
+									bx.Put(tx, bx.Get(tx)+1)
+								}
+								if hot {
+									shared.Put(tx, n)
+								}
+								return nil
+							}); err != nil {
+								b.Fatal(err)
+							}
+						}
+					})
+				})
+			}
+		})
+	}
+}
+
 // BenchmarkNestedFanout measures a parallel-nesting transaction: a top-level
 // transaction forking fanout children, each writing its own box. This
 // exercises child Tx creation, tree-state setup, nested commit/merge, and

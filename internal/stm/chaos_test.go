@@ -25,8 +25,9 @@ func chaosSeed(t *testing.T) uint64 {
 }
 
 // TestChaosForcedValidationAbortSerialized: an injected validation abort on
-// the serialized path looks exactly like a real conflict — retried once,
-// then committed — and is attributed as top-validation.
+// the default commit path (fired at out-of-lock pre-validation) looks
+// exactly like a real conflict — retried once, then committed — and is
+// attributed as top-validation.
 func TestChaosForcedValidationAbortSerialized(t *testing.T) {
 	inj := chaos.New(chaos.Options{Rules: []chaos.Rule{
 		{Name: "val", Point: chaos.PointValidate, Trigger: chaos.Nth(1), Action: chaos.ActAbort},
@@ -231,7 +232,7 @@ func TestChaosScheduleReproducibleSTM(t *testing.T) {
 // fault schedule and checks the invariant that survives any interleaving
 // of faults: the committed counter equals the number of successful Atomic
 // calls. Runs under -race via `make chaos`.
-func chaosSoak(t *testing.T, lockFree bool) {
+func chaosSoak(t *testing.T, opts Options) {
 	inj := chaos.New(chaos.Options{Seed: chaosSeed(t), Rules: []chaos.Rule{
 		{Name: "begin-delay", Point: chaos.PointBegin, Trigger: chaos.Prob(0.02), Action: chaos.ActDelay, Delay: 200 * time.Microsecond},
 		{Name: "val-abort", Point: chaos.PointValidate, Trigger: chaos.Prob(0.05), Action: chaos.ActAbort},
@@ -241,7 +242,8 @@ func chaosSoak(t *testing.T, lockFree bool) {
 		{Name: "storm", Point: chaos.PointNestedCommit, Trigger: chaos.Prob(0.05), Action: chaos.ActDelay, Delay: 100 * time.Microsecond},
 	}})
 	defer inj.Close()
-	s := New(Options{LockFreeCommit: lockFree, FaultInjector: inj})
+	opts.FaultInjector = inj
+	s := New(opts)
 	counter := NewVBox(0)
 	boxes := make([]*VBox[int], 8)
 	for i := range boxes {
@@ -280,12 +282,19 @@ func chaosSoak(t *testing.T, lockFree bool) {
 	if s.Stats.TopAborts() == 0 {
 		t.Error("soak injected no aborts — schedule too weak to mean anything")
 	}
-	t.Logf("soak(lockfree=%v): %d commits, %d top aborts, %d nested aborts, %d injections logged",
-		lockFree, s.Stats.TopCommits(), s.Stats.TopAborts(), s.Stats.NestedAborts(), len(inj.Events()))
+	t.Logf("soak(lockfree=%v, legacy=%v): %d commits, %d top aborts, %d nested aborts, %d injections logged",
+		opts.LockFreeCommit, opts.DisableGroupCommit,
+		s.Stats.TopCommits(), s.Stats.TopAborts(), s.Stats.NestedAborts(), len(inj.Events()))
 }
 
-func TestChaosSoakSerialized(t *testing.T) { chaosSoak(t, false) }
-func TestChaosSoakLockFree(t *testing.T)   { chaosSoak(t, true) }
+// The group-commit soak also exercises the combiner under load: with the
+// commit-delay rule stretching the in-lock section, committers pile onto
+// the request queue and drain in combined batches.
+func TestChaosSoakGroupCommit(t *testing.T) { chaosSoak(t, Options{}) }
+func TestChaosSoakLegacySerialized(t *testing.T) {
+	chaosSoak(t, Options{DisableGroupCommit: true})
+}
+func TestChaosSoakLockFree(t *testing.T) { chaosSoak(t, Options{LockFreeCommit: true}) }
 
 // readCommitted reads a box's latest committed value via a read-only
 // transaction on s (the snapshot clock lives on the STM).

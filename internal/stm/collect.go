@@ -19,6 +19,15 @@ import "autopn/internal/obs"
 //	autopn_stm_versions_written_total
 //	autopn_stm_livelock_trips_total
 //	autopn_stm_ctx_cancels_total
+//	autopn_stm_preval_aborts_total
+//	autopn_stm_preval_hits_total
+//	autopn_stm_preval_fallbacks_total
+//	autopn_stm_commit_inline_total
+//	autopn_stm_commit_combined_total
+//	autopn_stm_commit_batches_total
+//
+// plus the combiner batch-size histogram autopn_stm_commit_batch_size
+// (see groupcommit.go for the commit-pipeline counters' semantics).
 func (s *Stats) Collect(r *obs.Registry) {
 	r.CounterFunc("autopn_stm_top_commits_total", s.TopCommits)
 	r.CounterFunc("autopn_stm_top_aborts_total", s.TopAborts)
@@ -29,4 +38,13 @@ func (s *Stats) Collect(r *obs.Registry) {
 	r.CounterFunc("autopn_stm_versions_written_total", s.VersionsWritten)
 	r.CounterFunc("autopn_stm_livelock_trips_total", s.LivelockTrips)
 	r.CounterFunc("autopn_stm_ctx_cancels_total", s.CtxCancels)
+	r.CounterFunc("autopn_stm_preval_aborts_total", s.PrevalAborts)
+	r.CounterFunc("autopn_stm_preval_hits_total", s.PrevalHits)
+	r.CounterFunc("autopn_stm_preval_fallbacks_total", s.PrevalFallbacks)
+	r.CounterFunc("autopn_stm_commit_inline_total", s.InlineCommits)
+	r.CounterFunc("autopn_stm_commit_combined_total", s.CombinedCommits)
+	r.CounterFunc("autopn_stm_commit_batches_total", s.CombineBatches)
+	if h := s.BatchSizes(); h != nil {
+		r.RegisterHistogram("autopn_stm_commit_batch_size", h)
+	}
 }

@@ -1,0 +1,391 @@
+package stm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"autopn/internal/chaos"
+	stmtrace "autopn/internal/stm/trace"
+)
+
+// Flat-combining group commit with out-of-lock pre-validation.
+//
+// The classic serialized commit (commitTopLegacy) holds one global commitMu
+// across full read-set validation *and* write-back, so every added top-level
+// writer queues on one lock and throughput stops scaling with writers — the
+// exact ceiling the paper's tuner ends up steering around. The default
+// commit path is now a three-stage pipeline:
+//
+//  1. Out-of-lock pre-validation. A committer loads the clock (pv) and
+//     validates its whole global read set against it before touching
+//     commitMu. Correctness: the clock is stored *after* write-back as the
+//     last action of every commit, so every commit with version <= pv is
+//     fully installed and visible; a read set valid at pv can only be
+//     invalidated by commits with versions strictly greater than pv.
+//
+//  2. O(delta) in-lock revalidation. The STM keeps a ring of the last
+//     gcRingSize committed write sets (ring entry = commit version, 64-bit
+//     bloom signature, and up to gcEntryKeys exact vbox identities), plus a
+//     per-STM 64-bit summary filter (the OR of the live entries' blooms).
+//     Inside the lock a committer re-checks only read-set boxes that
+//     intersect commits in (pv, clock] — typically zero or a handful —
+//     instead of re-walking the whole read set. Commit versions are dense
+//     (exactly one clock bump per update commit, on every path that can
+//     coexist with this one), so the ring covers (pv, clock] iff
+//     clock-pv <= gcRingSize; when the ring has been overrun the committer
+//     falls back to a full read-set re-walk, which is always sound.
+//
+//  3. Flat-combining group commit. When commitMu is free, a committer
+//     TryLocks it and commits inline (stage 2 only). When it is contended,
+//     committers push pooled request nodes onto a lock-free MPSC Treiber
+//     stack and wait: first a short Gosched spin on the request's done
+//     flag (on a loaded scheduler the combiner usually finishes the batch
+//     within a few yields, so most waiters never hit a futex), then a park
+//     on a per-request WaitGroup (a runtime semaphore — futex-backed on
+//     Linux — not a mutex spin). Whoever wins the
+//     gcCombining flag becomes the combiner: it takes commitMu once, drains
+//     the stack in arrival order, and revalidates + installs every request
+//     under that single lock acquisition with one clock bump per request.
+//
+// Combiner election and the lost-wakeup problem: parking requesters never
+// retake commitMu themselves, so some thread must be guaranteed to drain any
+// non-empty stack. The gcCombining flag provides that guarantee: every
+// pusher CASes it false->true after pushing, and the winner combines. On
+// exit the combiner stores the flag false and *then* re-reads the stack; a
+// producer that pushed after the combiner's final swap either sees the flag
+// already false (its own CAS wins and it combines) or pushed before the
+// store, in which case the combiner's re-read sees its node and the combiner
+// re-elects itself. Both sides use sequentially-consistent atomics, so the
+// (push; CAS-fail) / (store-false; re-read) pair cannot both miss.
+//
+// Memory discipline: request nodes are recycled through a sync.Pool. The
+// combiner publishes the result by storing the done flag and then calling
+// r.wg.Done() (its last touch of r, after reading r.next); the owner always
+// settles the WaitGroup with wg.Wait() — immediate when Done already ran —
+// before recycling, so the happens-before edge through the WaitGroup makes
+// reuse safe even when the owner observed the done flag first. Ring entries store vbox
+// identities as uintptr (never pointers), so the ring pins no user data.
+//
+// Interaction with version GC: the combiner refreshes its GC horizon
+// (gcHorizon) at the start of every chunk of at most gcMaxBatch requests,
+// not per request. Reusing a slightly stale horizon is safe — the horizon
+// only grows, and a smaller keepFrom merely retains more old versions.
+//
+// Conflicts the combiner detects are handed back through the request
+// (ok=false, the conflicting *vbox) and attributed by the *owner* after it
+// wakes — traceConflict charges the abort to the owner's own attempt span
+// and the conflicting box's label, exactly as on the inline path.
+
+const (
+	// gcRingSize is the number of recently committed write-set summaries
+	// retained for O(delta) in-lock revalidation (power of two).
+	gcRingSize = 64
+	// gcEntryKeys is the number of exact vbox identities one ring entry
+	// stores; larger write sets degrade to bloom-only membership tests.
+	gcEntryKeys = 8
+	// gcMaxBatch caps how many requests the combiner installs per GC-horizon
+	// refresh; each drained chunk records one batch-size histogram sample.
+	gcMaxBatch = 64
+)
+
+// ringEntry summarizes one committed write set.
+type ringEntry struct {
+	version uint64
+	bloom   uint64
+	n       int16 // -1: bloom-only (write set exceeded gcEntryKeys)
+	keys    [gcEntryKeys]uintptr
+}
+
+// commitRing is the fixed-size history of recent commits, indexed by
+// version & (gcRingSize-1). All fields are guarded by commitMu.
+type commitRing struct {
+	entries [gcRingSize]ringEntry
+	// summary is the OR of the live entries' blooms, maintained
+	// incrementally (bits of overwritten entries go stale and are rebuilt
+	// every gcRingSize records; stale bits only cause false positives,
+	// which are conservative).
+	summary      uint64
+	sinceRebuild int
+}
+
+// touched reports whether any commit with version in (pv, cur] may have
+// written the box with identity key/signature sig. Callers must have
+// checked coverage (cur-pv <= gcRingSize). Exact-key entries answer
+// precisely; bloom-only entries may report false positives.
+func (r *commitRing) touched(key uintptr, sig uint64, pv, cur uint64) bool {
+	for v := cur; v > pv; v-- {
+		e := &r.entries[v&(gcRingSize-1)]
+		if e.bloom&sig == 0 {
+			continue
+		}
+		if e.n < 0 {
+			return true
+		}
+		for i := int16(0); i < e.n; i++ {
+			if e.keys[i] == key {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// gcRequest is one parked commit request on the flat-combining stack.
+type gcRequest struct {
+	tx       *Tx
+	preval   uint64 // clock value the owner pre-validated at
+	next     *gcRequest
+	wg       sync.WaitGroup
+	done     atomic.Bool // set by the combiner just before wg.Done
+	ok       bool
+	conflict *vbox // combiner-detected conflicting box (may be nil on abort)
+}
+
+// gcSpin bounds the owner's pre-park yield loop: how many runtime.Gosched
+// iterations to spend watching the done flag before falling back to the
+// WaitGroup's futex. Yields are much cheaper than a park/unpark pair and
+// give the combiner — often on the same P — a chance to finish the batch.
+const gcSpin = 128
+
+// gcPush pushes r onto the MPSC request stack.
+func (s *STM) gcPush(r *gcRequest) {
+	for {
+		h := s.gcStack.Load()
+		r.next = h
+		if s.gcStack.CompareAndSwap(h, r) {
+			return
+		}
+	}
+}
+
+// gcQueueLen counts currently queued requests (white-box tests only; the
+// next pointers of published nodes are stable until a combiner swaps the
+// stack out).
+func (s *STM) gcQueueLen() int {
+	n := 0
+	for r := s.gcStack.Load(); r != nil; r = r.next {
+		n++
+	}
+	return n
+}
+
+// commitTopGroup is the group-commit pipeline for update transactions.
+// It returns whether the transaction committed; on false the caller
+// retries. Stats for top-commit/abort totals stay with the caller.
+func (s *STM) commitTopGroup(tx *Tx) bool {
+	// Stage 1: out-of-lock pre-validation. The chaos validate hook fires
+	// here — before the lock or the queue is touched — so forced
+	// validation failures keep attributing as top-validation.
+	if s.inj != nil {
+		if s.inj.Fire(chaos.PointValidate, "") == chaos.ActAbort {
+			s.Stats.add(tx.statShard, idxPrevalAborts, 1)
+			tx.traceConflict(stmtrace.ReasonTopValidation, nil)
+			tx.markSpan(stmtrace.PhaseValidate)
+			return false
+		}
+	}
+	pv := s.clock.Load()
+	for _, b := range tx.globalReads {
+		if b.currentVersion() > tx.readVersion {
+			s.Stats.add(tx.statShard, idxPrevalAborts, 1)
+			tx.traceConflict(stmtrace.ReasonTopValidation, b)
+			tx.markSpan(stmtrace.PhaseValidate)
+			return false
+		}
+	}
+	tx.markSpan(stmtrace.PhaseValidate)
+
+	// Uncontended fast path: take the lock inline and skip the queue.
+	// Safe alongside the combiner protocol because every pusher
+	// independently guarantees a combiner via the gcCombining CAS.
+	if s.commitMu.TryLock() {
+		cur := s.clock.Load()
+		conflict, valid := s.revalidateLocked(tx, pv, cur)
+		if valid && s.inj != nil && s.inj.Fire(chaos.PointCommit, "") == chaos.ActAbort {
+			valid = false
+		}
+		if !valid {
+			s.commitMu.Unlock()
+			tx.traceConflict(stmtrace.ReasonTopValidation, conflict)
+			return false
+		}
+		s.installLocked(tx, cur+1, s.gcHorizon())
+		s.commitMu.Unlock()
+		s.Stats.add(tx.statShard, idxInlineCommits, 1)
+		return true
+	}
+
+	// Contended path: enqueue, elect a combiner, park.
+	r := s.getGCReq()
+	r.tx = tx
+	r.preval = pv
+	r.wg.Add(1)
+	s.gcPush(r)
+	if s.gcCombining.CompareAndSwap(false, true) {
+		s.combine()
+	}
+	for i := 0; i < gcSpin && !r.done.Load(); i++ {
+		runtime.Gosched()
+	}
+	// Always settle the WaitGroup (immediate when Done already ran): it is
+	// the recycle-safety edge — the combiner's wg.Done is its last touch.
+	r.wg.Wait()
+	ok, conflict := r.ok, r.conflict
+	s.putGCReq(r)
+	if !ok {
+		// Attribution happens owner-side so the abort lands on the owner's
+		// attempt span with the right goroutine, not the combiner's.
+		tx.traceConflict(stmtrace.ReasonTopValidation, conflict)
+		return false
+	}
+	s.Stats.add(tx.statShard, idxCombinedCommits, 1)
+	return true
+}
+
+// combine drains the request stack under a single commitMu acquisition.
+// The caller must have won the gcCombining flag.
+func (s *STM) combine() {
+	s.commitMu.Lock()
+	if s.inj != nil {
+		// A stall here is a stuck combiner: it holds the commit lock while
+		// every queued committer stays parked on its request.
+		s.inj.Fire(chaos.PointCombiner, "")
+	}
+	for {
+		head := s.gcStack.Swap(nil)
+		if head == nil {
+			// Exit protocol (see the lost-wakeup argument above): clear the
+			// flag, then re-check for producers that pushed concurrently.
+			s.gcCombining.Store(false)
+			if s.gcStack.Load() != nil && s.gcCombining.CompareAndSwap(false, true) {
+				continue
+			}
+			break
+		}
+		// The Treiber stack yields LIFO order; reverse into arrival order
+		// so a reader parked behind two related writers observes their
+		// effects in submission order.
+		var batch *gcRequest
+		for head != nil {
+			n := head.next
+			head.next = batch
+			batch = head
+			head = n
+		}
+		s.processBatch(batch)
+	}
+	s.commitMu.Unlock()
+}
+
+// processBatch revalidates and installs each queued request, bumping the
+// clock once per request. The GC horizon is refreshed every gcMaxBatch
+// requests (a stale horizon only retains more versions, never fewer than
+// an active snapshot needs).
+func (s *STM) processBatch(batch *gcRequest) {
+	for batch != nil {
+		keepFrom := s.gcHorizon()
+		n := 0
+		for batch != nil && n < gcMaxBatch {
+			r := batch
+			batch = r.next // read before Done: the owner may recycle r after Wait
+			n++
+			cur := s.clock.Load()
+			conflict, valid := s.revalidateLocked(r.tx, r.preval, cur)
+			if valid && s.inj != nil && s.inj.Fire(chaos.PointCommit, "") == chaos.ActAbort {
+				valid = false
+				conflict = nil
+			}
+			if valid {
+				s.installLocked(r.tx, cur+1, keepFrom)
+			}
+			r.ok, r.conflict = valid, conflict
+			r.done.Store(true) // publishes ok/conflict to a spinning owner
+			r.wg.Done()        // last touch of r: the owner recycles it after Wait
+		}
+		s.Stats.add(statShardHint(), idxCombineBatches, 1)
+		s.Stats.observeBatchSize(n)
+	}
+}
+
+// revalidateLocked is stage 2: it re-checks tx's read set against commits
+// newer than its pre-validation clock pv, under commitMu with cur ==
+// s.clock. It returns valid=false and the conflicting box on failure.
+func (s *STM) revalidateLocked(tx *Tx, pv, cur uint64) (conflict *vbox, valid bool) {
+	if cur == pv {
+		// Nothing committed since pre-validation; the read set is valid
+		// as-is.
+		s.Stats.add(tx.statShard, idxPrevalHits, 1)
+		return nil, true
+	}
+	if cur-pv <= gcRingSize {
+		// O(delta): only boxes intersecting commits in (pv, cur] can have
+		// changed. The summary filter rejects most boxes in one AND; ring
+		// hits are confirmed against the box's live version so bloom false
+		// positives cannot abort a valid transaction.
+		r := &s.gcRing
+		sum := r.summary
+		for _, b := range tx.globalReads {
+			sig := boxSig(b)
+			if sig&sum == 0 {
+				continue
+			}
+			if r.touched(boxKey(b), sig, pv, cur) && b.currentVersion() > tx.readVersion {
+				s.Stats.add(tx.statShard, idxPrevalHits, 1)
+				return b, false
+			}
+		}
+		s.Stats.add(tx.statShard, idxPrevalHits, 1)
+		return nil, true
+	}
+	// Ring overrun: more than gcRingSize commits landed since
+	// pre-validation. Fall back to the full re-walk, which is always sound.
+	s.Stats.add(tx.statShard, idxPrevalFallbacks, 1)
+	for _, b := range tx.globalReads {
+		if b.currentVersion() > tx.readVersion {
+			return b, false
+		}
+	}
+	return nil, true
+}
+
+// installLocked publishes tx's write set at newVer, records the write set
+// in the revalidation ring and bumps the clock — the clock store is last,
+// which is what makes out-of-lock pre-validation sound. Must hold commitMu.
+func (s *STM) installLocked(tx *Tx, newVer, keepFrom uint64) {
+	e := &s.gcRing.entries[newVer&(gcRingSize-1)]
+	e.version = newVer
+	e.bloom = 0
+	e.n = 0
+	tx.writes.forEach(func(b *vbox, w writeEntry) {
+		b.install(w.value, newVer, keepFrom)
+		sig := boxSig(b)
+		e.bloom |= sig
+		if e.n >= 0 {
+			if int(e.n) < gcEntryKeys {
+				e.keys[e.n] = boxKey(b)
+				e.n++
+			} else {
+				e.n = -1
+			}
+		}
+	})
+	r := &s.gcRing
+	r.summary |= e.bloom
+	r.sinceRebuild++
+	if r.sinceRebuild >= gcRingSize {
+		// Amortized summary rebuild: drop bits that belong only to
+		// overwritten entries. O(gcRingSize) once per gcRingSize commits.
+		r.sinceRebuild = 0
+		var sum uint64
+		lo := uint64(1)
+		if newVer > gcRingSize {
+			lo = newVer - gcRingSize + 1
+		}
+		for v := lo; v <= newVer; v++ {
+			sum |= r.entries[v&(gcRingSize-1)].bloom
+		}
+		r.summary = sum
+	}
+	s.clock.Store(newVer)
+}

@@ -1,0 +1,407 @@
+package stm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"autopn/internal/chaos"
+	"autopn/internal/obs"
+	stmtrace "autopn/internal/stm/trace"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", msg)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestGroupCommitBatchSerialOrder asserts that a combined batch is
+// equivalent to some serial order. Each writer commits "take the next
+// ticket and record it in my slot" as one transaction, so every update
+// commit writes its order into both the shared ticket box and a per-writer
+// slot. Concurrent snapshot readers then check two invariants that any
+// violation of batch atomicity or ordering would break:
+//
+//   - max(slots) == ticket: a reader mid-batch that saw a later request's
+//     writes (a slot holding order k) without the earlier ones (ticket < k)
+//     has caught the combiner publishing requests out of order or
+//     non-atomically;
+//   - ticket is monotone per reader: per-request clock bumps are observed
+//     in order.
+//
+// Afterwards the clock must equal the number of update commits — exactly
+// one clock bump per combined request.
+func TestGroupCommitBatchSerialOrder(t *testing.T) {
+	s := New(Options{})
+	const workers, perW = 8, 150
+	ticket := NewVBox(0)
+	slots := make([]*VBox[int], workers)
+	for i := range slots {
+		slots[i] = NewVBox(0)
+	}
+
+	done := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			last := 0
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var tk, mx int
+				_ = s.AtomicReadOnly(func(tx *Tx) error {
+					tk = ticket.Get(tx)
+					mx = 0
+					for _, sl := range slots {
+						if v := sl.Get(tx); v > mx {
+							mx = v
+						}
+					}
+					return nil
+				})
+				if mx != tk {
+					t.Errorf("snapshot tore a batch: max(slots) = %d, ticket = %d", mx, tk)
+					return
+				}
+				if tk < last {
+					t.Errorf("clock bumps not monotone: ticket went %d -> %d", last, tk)
+					return
+				}
+				last = tk
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				_ = s.Atomic(func(tx *Tx) error {
+					k := ticket.Get(tx) + 1
+					ticket.Put(tx, k)
+					slots[w].Put(tx, k)
+					return nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	readerWG.Wait()
+
+	const n = workers * perW
+	if got := ticket.Peek(); got != n {
+		t.Errorf("final ticket = %d, want %d", got, n)
+	}
+	if got := s.Clock(); got != uint64(n) {
+		t.Errorf("clock = %d, want %d (one bump per update commit)", got, n)
+	}
+	// Every update commit took exactly one of the two group-commit routes.
+	if got := s.Stats.InlineCommits() + s.Stats.CombinedCommits(); got != n {
+		t.Errorf("inline + combined = %d, want %d", got, n)
+	}
+}
+
+// TestGroupCommitPrevalidationAbort: a conflict that already exists when
+// the committer starts is caught by out-of-lock pre-validation — counted
+// as a preval abort, attributed to the conflicting box, and retried to
+// success without ever taking a commit-lock route for the failed attempt.
+func TestGroupCommitPrevalidationAbort(t *testing.T) {
+	tr := stmtrace.New(stmtrace.Options{})
+	s := New(Options{Tracer: tr, TraceSampleRate: 1})
+	x := NewVBox(0).WithLabel("x")
+	y := NewVBox(0)
+
+	readX := make(chan struct{})
+	invalidated := make(chan struct{})
+	wDone := make(chan error, 1)
+	go func() {
+		first := true
+		wDone <- s.Atomic(func(tx *Tx) error {
+			_ = x.Get(tx)
+			if first {
+				first = false
+				close(readX)
+				<-invalidated
+			}
+			y.Put(tx, y.Get(tx)+1)
+			return nil
+		})
+	}()
+	<-readX
+	if err := s.Atomic(func(tx *Tx) error { x.Put(tx, x.Get(tx)+1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	close(invalidated)
+	if err := <-wDone; err != nil {
+		t.Fatal(err)
+	}
+
+	if got := s.Stats.PrevalAborts(); got != 1 {
+		t.Errorf("PrevalAborts = %d, want 1", got)
+	}
+	if got := s.Stats.TopAborts(); got != 1 {
+		t.Errorf("TopAborts = %d, want 1", got)
+	}
+	// Both the main writer's commit and W's retry went through a lock
+	// route; the aborted attempt must not have.
+	if got := s.Stats.InlineCommits() + s.Stats.CombinedCommits(); got != 2 {
+		t.Errorf("inline + combined = %d, want 2", got)
+	}
+	if got := tr.AbortCount(stmtrace.ReasonTopValidation); got != 1 {
+		t.Errorf("AbortCount(top-validation) = %d, want 1", got)
+	}
+	rep := tr.Conflicts(4)
+	found := false
+	for _, hb := range rep.TopBoxes {
+		if hb.Box == "x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hot boxes missing x: %+v", rep.TopBoxes)
+	}
+}
+
+// TestChaosCombinerStallParksCommitters stalls the combiner at its named
+// chaos point while committers are parked behind it: the parked committers
+// neither spin on the commit lock nor deadlock (they all complete after
+// Resume), a conflict detected *by the combiner* on another transaction's
+// behalf is still attributed to the conflicting VBox on the owner's own
+// attempt span, and the fault schedule replays byte-identically.
+func TestChaosCombinerStallParksCommitters(t *testing.T) {
+	run := func() string {
+		inj := chaos.New(chaos.Options{Rules: []chaos.Rule{
+			{Name: "stall-combiner", Point: chaos.PointCombiner, Trigger: chaos.Nth(1), Action: chaos.ActStall},
+		}})
+		defer inj.Close()
+		tr := stmtrace.New(stmtrace.Options{})
+		s := New(Options{FaultInjector: inj, Tracer: tr, TraceSampleRate: 1})
+		x := NewVBox(0).WithLabel("X")
+		y := NewVBox(0).WithLabel("Y")
+		z := NewVBox(0).WithLabel("Z")
+
+		// Hold the commit lock so every committer fails TryLock and takes
+		// the queue path; the first pusher wins the combiner flag and
+		// blocks on the lock inside combine().
+		s.commitMu.Lock()
+		results := make(chan error, 3)
+		go func() { results <- s.Atomic(func(tx *Tx) error { z.Put(tx, z.Get(tx)+1); return nil }) }()
+		waitFor(t, "Wz queued", func() bool { return s.gcQueueLen() == 1 && s.gcCombining.Load() })
+		go func() { results <- s.Atomic(func(tx *Tx) error { x.Put(tx, x.Get(tx)+1); return nil }) }()
+		waitFor(t, "Wx queued", func() bool { return s.gcQueueLen() == 2 })
+		// Wr reads X before Wx's write is installed, so the combiner —
+		// not Wr itself — will detect the conflict during in-lock delta
+		// revalidation.
+		go func() {
+			results <- s.Atomic(func(tx *Tx) error {
+				_ = x.Get(tx)
+				y.Put(tx, y.Get(tx)+1)
+				return nil
+			})
+		}()
+		waitFor(t, "Wr queued", func() bool { return s.gcQueueLen() == 3 })
+
+		// Release the lock: the combiner acquires it, hits the stall, and
+		// now holds the commit lock with three committers parked behind it.
+		s.commitMu.Unlock()
+		waitFor(t, "combiner stalled", func() bool { return inj.StallDepth("stall-combiner") == 1 })
+		select {
+		case err := <-results:
+			t.Fatalf("a committer completed (%v) while the combiner was stalled", err)
+		case <-time.After(20 * time.Millisecond):
+			// Parked, not deadlocked — and not spinning on commitMu, which
+			// the stalled combiner still holds.
+		}
+
+		inj.Resume("stall-combiner")
+		for i := 0; i < 3; i++ {
+			if err := <-results; err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if got := readCommitted(s, x); got != 1 {
+			t.Errorf("X = %d, want 1", got)
+		}
+		if got := readCommitted(s, y); got != 1 {
+			t.Errorf("Y = %d, want 1", got)
+		}
+		if got := readCommitted(s, z); got != 1 {
+			t.Errorf("Z = %d, want 1", got)
+		}
+		// Wr aborted exactly once, detected by the combiner but attributed
+		// on Wr's own attempt to the conflicting box.
+		if got := s.Stats.TopAborts(); got != 1 {
+			t.Errorf("TopAborts = %d, want 1", got)
+		}
+		if got := tr.AbortCount(stmtrace.ReasonTopValidation); got != 1 {
+			t.Errorf("AbortCount(top-validation) = %d, want 1", got)
+		}
+		found := false
+		for _, hb := range tr.Conflicts(4).TopBoxes {
+			if hb.Box == "X" {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("combiner-detected conflict not attributed to X")
+		}
+		// Wz and Wx committed inside the stalled combiner's batch.
+		if got := s.Stats.CombinedCommits(); got < 2 {
+			t.Errorf("CombinedCommits = %d, want >= 2", got)
+		}
+		if got := s.Stats.CombineBatches(); got < 1 {
+			t.Errorf("CombineBatches = %d, want >= 1", got)
+		}
+		return inj.FormatLog()
+	}
+	log1 := run()
+	log2 := run()
+	if log1 == "" {
+		t.Fatal("empty chaos event log")
+	}
+	if log1 != log2 {
+		t.Fatalf("combiner-stall schedule not byte-identical across runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", log1, log2)
+	}
+}
+
+// TestGroupCommitRingOverrunFallback overruns the revalidation ring: more
+// than gcRingSize commits land between a committer's pre-validation and
+// its turn inside the lock, forcing the full read-set re-walk — which must
+// still detect a real conflict.
+func TestGroupCommitRingOverrunFallback(t *testing.T) {
+	s := New(Options{})
+	const nWriters = gcRingSize + 2
+	boxes := make([]*VBox[int], nWriters)
+	for i := range boxes {
+		boxes[i] = NewVBox(0)
+	}
+	extra := NewVBox(0)
+
+	s.commitMu.Lock()
+	var wg sync.WaitGroup
+	for i := 0; i < nWriters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = s.Atomic(func(tx *Tx) error { boxes[i].Put(tx, boxes[i].Get(tx)+1); return nil })
+		}(i)
+	}
+	waitFor(t, "writers queued", func() bool { return s.gcQueueLen() == nWriters })
+	// The straggler reads boxes[1] (which a queued writer will overwrite)
+	// at pre-validation clock 0, then parks last in the batch — by its
+	// turn, nWriters > gcRingSize commits have landed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = s.Atomic(func(tx *Tx) error {
+			_ = boxes[1].Get(tx)
+			extra.Put(tx, extra.Get(tx)+1)
+			return nil
+		})
+	}()
+	waitFor(t, "straggler queued", func() bool { return s.gcQueueLen() == nWriters+1 })
+	s.commitMu.Unlock()
+	wg.Wait()
+
+	for i := range boxes {
+		if got := readCommitted(s, boxes[i]); got != 1 {
+			t.Fatalf("boxes[%d] = %d, want 1", i, got)
+		}
+	}
+	if got := readCommitted(s, extra); got != 1 {
+		t.Errorf("extra = %d, want 1", got)
+	}
+	// Batch positions beyond gcRingSize+1 overran the ring: the last
+	// writer and the straggler both fell back to the full re-walk, and the
+	// straggler's fallback caught the real conflict.
+	if got := s.Stats.PrevalFallbacks(); got != 2 {
+		t.Errorf("PrevalFallbacks = %d, want 2", got)
+	}
+	if got := s.Stats.TopAborts(); got != 1 {
+		t.Errorf("TopAborts = %d, want 1 (straggler's conflict)", got)
+	}
+	if got := s.Clock(); got != uint64(nWriters)+1 {
+		t.Errorf("clock = %d, want %d", got, nWriters+1)
+	}
+}
+
+// TestGroupCommitMetricsExported: the pipeline counters and the batch-size
+// histogram flow through Stats.Collect into a registry scrape, and the
+// histogram's sample count matches CombineBatches.
+func TestGroupCommitMetricsExported(t *testing.T) {
+	s := New(Options{})
+	a, b := NewVBox(0), NewVBox(0)
+
+	// Force one combined batch of two requests.
+	s.commitMu.Lock()
+	var wg sync.WaitGroup
+	for _, box := range []*VBox[int]{a, b} {
+		wg.Add(1)
+		go func(box *VBox[int]) {
+			defer wg.Done()
+			_ = s.Atomic(func(tx *Tx) error { box.Put(tx, box.Get(tx)+1); return nil })
+		}(box)
+	}
+	waitFor(t, "two requests queued", func() bool { return s.gcQueueLen() == 2 })
+	s.commitMu.Unlock()
+	wg.Wait()
+	// And one inline commit.
+	if err := s.Atomic(func(tx *Tx) error { a.Put(tx, a.Get(tx)+1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := s.Stats.CombinedCommits(); got != 2 {
+		t.Errorf("CombinedCommits = %d, want 2", got)
+	}
+	if got := s.Stats.InlineCommits(); got != 1 {
+		t.Errorf("InlineCommits = %d, want 1", got)
+	}
+	h := s.Stats.BatchSizes()
+	if h == nil {
+		t.Fatal("BatchSizes histogram not initialized")
+	}
+	hs := h.Snapshot()
+	if hs.Count != s.Stats.CombineBatches() {
+		t.Errorf("batch histogram count = %d, want %d", hs.Count, s.Stats.CombineBatches())
+	}
+	snap := s.Stats.Snapshot()
+	if snap.CombinedCommits != 2 || snap.InlineCommits != 1 {
+		t.Errorf("snapshot pipeline counters = %+v", snap)
+	}
+
+	reg := obs.NewRegistry()
+	s.Stats.Collect(reg)
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"autopn_stm_preval_hits_total",
+		"autopn_stm_preval_fallbacks_total",
+		"autopn_stm_preval_aborts_total",
+		"autopn_stm_commit_inline_total 1",
+		"autopn_stm_commit_combined_total 2",
+		"autopn_stm_commit_batches_total",
+		"autopn_stm_commit_batch_size",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

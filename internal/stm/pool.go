@@ -101,6 +101,29 @@ func (s *STM) putTx(tx *Tx) {
 	s.txPool.Put(tx)
 }
 
+// getGCReq checks a group-commit request node out of the per-STM pool.
+// The owner parks on the node's WaitGroup while a combiner commits on its
+// behalf; see groupcommit.go.
+func (s *STM) getGCReq() *gcRequest {
+	if v := s.gcReqPool.Get(); v != nil {
+		return v.(*gcRequest)
+	}
+	return new(gcRequest)
+}
+
+// putGCReq resets r and returns it to the pool. Only the owner may call
+// this, and only after wg.Wait() returned — the combiner's last touch is
+// wg.Done(), so the WaitGroup edge makes the reuse race-free.
+func (s *STM) putGCReq(r *gcRequest) {
+	r.tx = nil
+	r.next = nil
+	r.conflict = nil
+	r.preval = 0
+	r.ok = false
+	r.done.Store(false)
+	s.gcReqPool.Put(r)
+}
+
 // treePool recycles per-tree shared state (one object per top-level
 // transaction attempt that forked children).
 var treePool = sync.Pool{New: func() any { return new(treeState) }}

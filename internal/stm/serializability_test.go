@@ -11,21 +11,25 @@ import (
 // implementation is serializable, the multiset of values read by the
 // committed transactions must be exactly {0, 1, ..., N-1} — any lost
 // update, dirty read or write skew produces a duplicate or a gap. Checked
-// for both commit strategies, with and without nested execution of the
-// read.
+// for all three commit strategies (group commit, legacy serialized,
+// lock-free), with and without nested execution of the read. A mid-batch
+// atomicity check for the group-commit path lives in groupcommit_test.go.
 func TestCounterHistorySerializable(t *testing.T) {
 	for _, tc := range []struct {
 		name     string
 		lockFree bool
 		nested   bool
+		legacy   bool
 	}{
-		{"serialized", false, false},
-		{"serialized-nested", false, true},
-		{"lock-free", true, false},
-		{"lock-free-nested", true, true},
+		{"group-commit", false, false, false},
+		{"group-commit-nested", false, true, false},
+		{"serialized-legacy", false, false, true},
+		{"serialized-legacy-nested", false, true, true},
+		{"lock-free", true, false, false},
+		{"lock-free-nested", true, true, false},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			s := New(Options{LockFreeCommit: tc.lockFree})
+			s := New(Options{LockFreeCommit: tc.lockFree, DisableGroupCommit: tc.legacy})
 			box := NewVBox(0)
 			const workers, perW = 6, 100
 			reads := make([][]int, workers)

@@ -1,6 +1,10 @@
 package stm
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"autopn/internal/obs"
+)
 
 // Sharded transaction counters.
 //
@@ -28,6 +32,13 @@ const (
 	idxVersionsWritten
 	idxLivelockTrips
 	idxCtxCancels
+	// Group-commit pipeline counters (see groupcommit.go).
+	idxPrevalAborts    // aborts caught by out-of-lock pre-validation
+	idxPrevalHits      // in-lock revalidations answered by the delta ring
+	idxPrevalFallbacks // in-lock revalidations that re-walked the read set
+	idxInlineCommits   // update commits via the uncontended TryLock path
+	idxCombinedCommits // update commits installed by a combiner batch
+	idxCombineBatches  // combiner drain chunks (batch sizes: BatchSizes)
 	numStatCounters
 )
 
@@ -39,9 +50,10 @@ func statShardHint() uint32 { return txSeq.Load() }
 // statShardCount is the number of counter stripes (power of two).
 const statShardCount = 16
 
-// statShard is one stripe: all seven counters of one affinity group, padded
-// to 128 bytes (a cache-line pair, covering adjacent-line prefetchers) so
-// increments on different shards never share a line.
+// statShard is one stripe: all counters of one affinity group, padded to
+// 128 bytes (a cache-line pair, covering adjacent-line prefetchers) so
+// increments on different shards never share a line. numStatCounters must
+// stay <= 16 or the padding underflows.
 type statShard struct {
 	c [numStatCounters]atomic.Uint64
 	_ [128 - 8*numStatCounters]byte
@@ -53,7 +65,29 @@ type statShard struct {
 // operations are safe for concurrent use.
 type Stats struct {
 	shards [statShardCount]statShard
+
+	// batchSizes samples the number of requests each combiner drain chunk
+	// installed (see groupcommit.go). Set once by stm.New, before any
+	// transaction can run; nil on a zero-value Stats.
+	batchSizes *obs.Histogram
 }
+
+// initBatchHistogram attaches the combiner batch-size histogram. Called
+// once from stm.New before the STM is shared.
+func (s *Stats) initBatchHistogram() {
+	s.batchSizes = obs.NewHistogram(0)
+}
+
+// observeBatchSize records one combiner drain chunk of n requests.
+func (s *Stats) observeBatchSize(n int) {
+	if s.batchSizes != nil {
+		s.batchSizes.Observe(float64(n))
+	}
+}
+
+// BatchSizes returns the combiner batch-size histogram (nil on a
+// zero-value Stats that never belonged to an STM).
+func (s *Stats) BatchSizes() *obs.Histogram { return s.batchSizes }
 
 // add bumps counter idx on the stripe selected by shard.
 func (s *Stats) add(shard uint32, idx statIdx, n uint64) {
@@ -101,6 +135,33 @@ func (s *Stats) LivelockTrips() uint64 { return s.sum(idxLivelockTrips) }
 // transaction (or one of its nested children) at a retry boundary.
 func (s *Stats) CtxCancels() uint64 { return s.sum(idxCtxCancels) }
 
+// PrevalAborts returns the number of update-commit aborts caught by
+// out-of-lock pre-validation — conflicts resolved without ever touching
+// the commit lock or the request queue.
+func (s *Stats) PrevalAborts() uint64 { return s.sum(idxPrevalAborts) }
+
+// PrevalHits returns the number of in-lock revalidations answered by the
+// O(delta) recent-commit ring (including the cheapest case, an unchanged
+// clock) instead of a full read-set re-walk.
+func (s *Stats) PrevalHits() uint64 { return s.sum(idxPrevalHits) }
+
+// PrevalFallbacks returns the number of in-lock revalidations that had to
+// re-walk the whole read set because more than the ring's capacity of
+// commits landed since pre-validation.
+func (s *Stats) PrevalFallbacks() uint64 { return s.sum(idxPrevalFallbacks) }
+
+// InlineCommits returns the number of update commits that took the
+// uncontended TryLock fast path.
+func (s *Stats) InlineCommits() uint64 { return s.sum(idxInlineCommits) }
+
+// CombinedCommits returns the number of update commits installed on their
+// owners' behalf by a flat-combining combiner.
+func (s *Stats) CombinedCommits() uint64 { return s.sum(idxCombinedCommits) }
+
+// CombineBatches returns the number of combiner drain chunks; the per-chunk
+// request counts are sampled in BatchSizes.
+func (s *Stats) CombineBatches() uint64 { return s.sum(idxCombineBatches) }
+
 // Snapshot returns a plain-value copy of the aggregated counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
@@ -113,6 +174,12 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		VersionsWritten: s.VersionsWritten(),
 		LivelockTrips:   s.LivelockTrips(),
 		CtxCancels:      s.CtxCancels(),
+		PrevalAborts:    s.PrevalAborts(),
+		PrevalHits:      s.PrevalHits(),
+		PrevalFallbacks: s.PrevalFallbacks(),
+		InlineCommits:   s.InlineCommits(),
+		CombinedCommits: s.CombinedCommits(),
+		CombineBatches:  s.CombineBatches(),
 	}
 }
 
@@ -127,4 +194,10 @@ type StatsSnapshot struct {
 	VersionsWritten uint64
 	LivelockTrips   uint64
 	CtxCancels      uint64
+	PrevalAborts    uint64
+	PrevalHits      uint64
+	PrevalFallbacks uint64
+	InlineCommits   uint64
+	CombinedCommits uint64
+	CombineBatches  uint64
 }

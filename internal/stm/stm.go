@@ -5,11 +5,13 @@
 //
 // Top-level transactions read a consistent snapshot identified by the value
 // of a global version clock at begin time. Writes are buffered in per-
-// transaction write sets and published atomically at commit under a
-// serialized commit section after read-set validation; read-only
-// transactions never abort. (JVSTM's 2011 lock-free helping commit is an
-// orthogonal engineering refinement; this implementation uses the classic
-// serialized commit, which preserves every property the tuner observes.)
+// transaction write sets and published atomically at commit after read-set
+// validation; read-only transactions never abort. The default commit path
+// is a flat-combining group commit with out-of-lock pre-validation (see
+// groupcommit.go and docs/STM.md, "Commit pipeline"); JVSTM's 2011
+// lock-free helping commit (Options.LockFreeCommit) and the classic
+// fully-serialized commit section (Options.DisableGroupCommit) remain
+// selectable. All paths preserve every property the tuner observes.
 //
 // Closed parallel nesting lets a transaction run child transactions
 // concurrently via Tx.Parallel. Children see their ancestors' uncommitted
@@ -85,6 +87,13 @@ type Options struct {
 	// algorithm (Fernandes & Cachopo 2011) instead of the classic
 	// serialized commit section. See lockfree.go.
 	LockFreeCommit bool
+	// DisableGroupCommit falls back to the legacy fully-serialized commit
+	// section (one global lock held across full read-set validation and
+	// write-back) instead of the default flat-combining group-commit
+	// pipeline with out-of-lock pre-validation (see groupcommit.go).
+	// Escape hatch for comparison benchmarks and bisection; ignored when
+	// LockFreeCommit is set.
+	DisableGroupCommit bool
 	// Backoff replaces the contention-management delay between retries of
 	// a conflicted top-level transaction (default: capped exponential
 	// backoff with jitter). Backoff(0) is called before the second
@@ -128,6 +137,16 @@ type STM struct {
 
 	commitMu sync.Mutex
 
+	// Flat-combining group-commit machinery (the default update-commit
+	// path); see groupcommit.go. gcStack is the MPSC request stack,
+	// gcCombining the combiner-election flag, gcRing the recent-commit
+	// summaries for O(delta) in-lock revalidation (guarded by commitMu),
+	// gcReqPool the request-node recycler.
+	gcStack     atomic.Pointer[gcRequest]
+	gcCombining atomic.Bool
+	gcRing      commitRing
+	gcReqPool   sync.Pool
+
 	// Lock-free commit queue (Options.LockFreeCommit); see lockfree.go.
 	lfHead atomic.Pointer[commitRequest]
 	lfTail atomic.Pointer[commitRequest]
@@ -158,6 +177,7 @@ type STM struct {
 // New creates an STM with the given options.
 func New(opts Options) *STM {
 	s := &STM{opts: opts, inj: opts.FaultInjector}
+	s.Stats.initBatchHistogram()
 	if opts.LockFreeCommit {
 		s.initLockFree()
 	}

@@ -272,6 +272,10 @@ func (tx *Tx) runTop(fn func(*Tx) error) (err error, conflicted bool) {
 
 // commitTop validates the transaction's global read set and publishes its
 // write set at a new clock version. Read-only transactions always succeed.
+// Update transactions take one of three paths: the flat-combining group
+// commit (default; groupcommit.go), JVSTM's lock-free helping commit
+// (Options.LockFreeCommit; lockfree.go), or the legacy fully-serialized
+// commit section below (Options.DisableGroupCommit).
 func (tx *Tx) commitTop() bool {
 	s := tx.stm
 	nWrites := tx.writes.size()
@@ -295,12 +299,23 @@ func (tx *Tx) commitTop() bool {
 		s.Stats.add(tx.statShard, idxVersionsWritten, uint64(nWrites))
 		return true
 	}
+	if !s.opts.DisableGroupCommit {
+		// Default path: flat-combining group commit with out-of-lock
+		// pre-validation and O(delta) in-lock revalidation (groupcommit.go).
+		if !s.commitTopGroup(tx) {
+			return false
+		}
+		tx.markSpan(stmtrace.PhaseCommit)
+		s.Stats.add(tx.statShard, idxTopCommits, 1)
+		s.Stats.add(tx.statShard, idxVersionsWritten, uint64(nWrites))
+		return true
+	}
 	s.commitMu.Lock()
 	if s.inj != nil {
-		// Chaos hooks on the serialized path, inside the commit section: a
-		// delay/stall at either point is a stuck committer holding the
-		// commit lock; an abort at PointValidate forces a validation
-		// failure.
+		// Chaos hooks on the legacy serialized path, inside the commit
+		// section: a delay/stall at either point is a stuck committer
+		// holding the commit lock; an abort at PointValidate forces a
+		// validation failure.
 		if s.inj.Fire(chaos.PointValidate, "") == chaos.ActAbort {
 			s.commitMu.Unlock()
 			tx.traceConflict(stmtrace.ReasonTopValidation, nil)

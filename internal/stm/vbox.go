@@ -1,6 +1,9 @@
 package stm
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"unsafe"
+)
 
 // body is one committed version of a vbox's value. Bodies form a
 // singly-linked list ordered by strictly decreasing version; the head is the
@@ -87,6 +90,25 @@ func (b *vbox) installCAS(value any, version, keepFrom uint64) {
 // currentVersion returns the version of the most recent committed body.
 func (b *vbox) currentVersion() uint64 {
 	return b.head.Load().version
+}
+
+// boxKey returns b's identity for set membership without pinning the box
+// (the commit ring stores these; see groupcommit.go).
+func boxKey(b *vbox) uintptr {
+	return uintptr(unsafe.Pointer(b))
+}
+
+// boxSig hashes b's identity to a one-bit bloom signature in a 64-bit
+// word (splitmix64 finalizer over the address, which alone has poor
+// entropy in its low bits because of allocation alignment).
+func boxSig(b *vbox) uint64 {
+	x := uint64(uintptr(unsafe.Pointer(b)))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return 1 << (x & 63)
 }
 
 // chainLen reports the number of retained bodies (for GC tests).

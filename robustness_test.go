@@ -47,9 +47,9 @@ func TestChaosTunerSelfProtection(t *testing.T) {
 	opts := autopn.Options{
 		Cores:             4,
 		Seed:              7,
-		CVThreshold:       0.10,
+		CVThreshold:       0.04,
 		MaxWindow:         400 * time.Millisecond,
-		WatchdogFactor:    25, // ≈ 25 × 1/T(1,1) ≈ 130ms at ~5ms per commit
+		WatchdogFactor:    11, // 11 × 1/T(1,1) < 100ms production floor → budget pinned at ~100ms
 		WatchdogMinBudget: 0,  // disarmed until T(1,1) is known
 		QuarantineAfter:   1,
 		Recorder:          rec,
@@ -60,14 +60,21 @@ func TestChaosTunerSelfProtection(t *testing.T) {
 	}
 	tuner := autopn.NewTuner(s, opts)
 
-	// Workload: every normal transaction carries ~5ms of work, anchoring
-	// T(1,1) ≈ 190 commits/s and therefore the adaptive gap ≈ 5.3ms.
+	// Workload: every normal transaction carries ~8ms of work, anchoring
+	// T(1,1) ≈ 115 commits/s and therefore the adaptive gap ≈ 8.7ms — wide
+	// enough that the trickle poison's ~3.5ms effective slow gaps cannot
+	// trip it even under single-P scheduling spikes (≈5ms of headroom).
 	const workers = 6
 	var (
-		stop  atomic.Bool
-		osc   atomic.Uint64 // alternates the trickle regime's jitter
-		wg    sync.WaitGroup
-		boxes [workers]*pnstm.VBox[int]
+		stop atomic.Bool
+		// trickleSince is when the trickle poison was last observed being
+		// enforced (unix nanos; 0 = not current): its phase schedule is
+		// keyed off this so every probe of the poison replays the same
+		// nonstationary shape from the window's point of view.
+		trickleSince atomic.Int64
+		osc          atomic.Uint64 // alternates the jitter phase's gap length
+		wg           sync.WaitGroup
+		boxes        [workers]*pnstm.VBox[int]
 	)
 	errSkip := errors.New("poisoned: refuse to commit")
 	for i := range boxes {
@@ -86,22 +93,47 @@ func TestChaosTunerSelfProtection(t *testing.T) {
 				}
 				_ = s.Atomic(func(tx *pnstm.Tx) error {
 					v := boxes[i].Get(tx)
-					d := 5 * time.Millisecond
+					d := 8 * time.Millisecond
 					if tuner.Current() == poisonTrickle {
-						// Nonstationary trickle: blocks of fast commits
-						// alternate with blocks of slow ones. Every gap
-						// stays well inside the adaptive gap timeout, but
-						// the running throughput estimate keeps drifting
-						// between the two regimes, so its CV never
-						// stabilizes — only the watchdog ends the window.
-						// Blocks shorter than the policy's MinCommits
-						// guarantee both regimes appear before the CV is
-						// first trusted.
-						if (osc.Add(1)/3)%2 == 0 {
-							d = 300 * time.Microsecond
-						} else {
-							d = 2500 * time.Microsecond
+						// Nonstationary trickle, phase-keyed to when the
+						// poison was applied: ~20ms of alternating
+						// fast/slow gaps (the window's first samples have
+						// untrustably high spread, so it cannot close at
+						// MinCommits), then ~30ms of fast commits (the
+						// cumulative estimate T(i) = i/time(i) climbs),
+						// then slow commits forever (it decays again).
+						// Every gap stays well inside the adaptive gap
+						// timeout, and the window's cumulative estimates
+						// span so wide a range that their CV stays above
+						// the threshold past the watchdog budget — a
+						// stationary trickle fails here: the estimates
+						// converge and the CV decays through the
+						// threshold first. Only the watchdog can end this
+						// window.
+						now := time.Now().UnixNano()
+						since := trickleSince.Load()
+						if since == 0 {
+							trickleSince.CompareAndSwap(0, now)
+							since = trickleSince.Load()
 						}
+						switch tau := time.Duration(now - since); {
+						case tau < 20*time.Millisecond:
+							if osc.Add(1)%2 == 0 {
+								d = 300 * time.Microsecond
+							} else {
+								d = 2800 * time.Microsecond
+							}
+						case tau < 50*time.Millisecond:
+							d = 300 * time.Microsecond
+						case tau < 58*time.Millisecond:
+							// Soften the fast→slow transition so no single
+							// step risks tripping the adaptive gap timeout.
+							d = 1500 * time.Microsecond
+						default:
+							d = 2800 * time.Microsecond
+						}
+					} else {
+						trickleSince.Store(0)
 					}
 					time.Sleep(d)
 					if tuner.Current() == poisonStarve {
