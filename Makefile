@@ -7,14 +7,18 @@ GO ?= go
 FUZZTIME ?= 30s
 BENCHTIME ?= 100x
 CONTENDED_BENCHTIME ?= 10000x
+# bench-allocs needs enough iterations to amortize pool warm-up (the first
+# few commits miss the body free list by design), and a fixed count so
+# allocs/op is deterministic run to run.
+ALLOC_BENCHTIME ?= 20000x
 
 # Fault-injection soak seed; every CHAOS_SEED value yields one fixed,
 # byte-identical fault schedule (see docs/ROBUSTNESS.md).
 CHAOS_SEED ?= 1
 
 .PHONY: all build test test-short race race-all bench bench-stm \
-	bench-compare bench-contended bench-smoke trace-smoke fuzz-smoke chaos \
-	lint ci repro figures clean
+	bench-compare bench-allocs bench-contended bench-smoke trace-smoke \
+	fuzz-smoke chaos lint ci repro figures clean
 
 all: build test
 
@@ -59,6 +63,19 @@ bench-compare:
 		-bench '^(BenchmarkBeginCommitReadOnly|BenchmarkSmallWriteTx|BenchmarkNestedFanout)$$' \
 		./internal/stm/ | \
 		$(GO) run ./cmd/bench-compare -baseline BENCH_stm.json -threshold 15
+
+# Hard allocation gate on the write-path benchmark family. The enormous
+# ns/op threshold neutralizes timing noise (shared runners vary wildly);
+# the only way this target fails is an allocs/op increase over
+# BENCH_stm.json's "after" column (-strict-allocs). This is the guardrail
+# that keeps the pooled zero-alloc write path honest: timing regressions
+# are judged by bench-compare, allocation regressions by this target —
+# exactly, since allocs/op at a fixed iteration count is deterministic.
+bench-allocs:
+	$(GO) test -benchmem -run '^$$' -benchtime=$(ALLOC_BENCHTIME) \
+		-bench '^(BenchmarkBeginCommitReadOnly|BenchmarkSmallWriteTx|BenchmarkNestedFanout)$$' \
+		./internal/stm/ | \
+		$(GO) run ./cmd/bench-compare -baseline BENCH_stm.json -threshold 10000 -strict-allocs
 
 # Contended commit-path benchmarks at -cpu 1,4 (the flat-combining group
 # commit's target workload), diffed against the exact -cpu entries in
@@ -112,7 +129,7 @@ lint:
 
 # Everything the CI pipeline runs, in one target, so local runs and the
 # pipeline stay in lockstep (the fuzz/bench budgets match ci.yml).
-ci: build test-short race chaos fuzz-smoke bench-smoke lint
+ci: build test-short race chaos fuzz-smoke bench-smoke bench-allocs lint
 
 # The single acceptance test for the paper's headline claims.
 repro:

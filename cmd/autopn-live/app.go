@@ -69,7 +69,44 @@ type statusPayload struct {
 	// Contention is the tracer's conflict-attribution report (nil unless
 	// -trace-sample is on).
 	Contention *stmtrace.ConflictReport `json:"contention,omitempty"`
-	Decisions  []obs.Decision           `json:"recent_decisions"`
+	// Memory pairs the Go runtime's heap picture with the STM's
+	// version-record pool counters, so a live run shows whether the
+	// pooled write path is holding (pool hits climbing, mallocs flat).
+	Memory    memoryStatus   `json:"memory"`
+	Decisions []obs.Decision `json:"recent_decisions"`
+}
+
+// memoryStatus is the /status "memory" section.
+type memoryStatus struct {
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	HeapObjects     uint64  `json:"heap_objects"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	Mallocs         uint64  `json:"mallocs"`
+	NumGC           uint32  `json:"num_gc"`
+	GCPauseTotalMs  float64 `json:"gc_pause_total_ms"`
+	// Version-record pool counters (duplicated from the stm section for
+	// one-stop memory triage; see internal/stm/bodypool.go).
+	BodyPoolHits   uint64 `json:"body_pool_hits"`
+	BodyPoolMisses uint64 `json:"body_pool_misses"`
+	BodyRetired    uint64 `json:"body_retired"`
+}
+
+// readMemoryStatus samples runtime.MemStats and folds in the STM pool
+// counters from an already-taken stats snapshot.
+func readMemoryStatus(snap stm.StatsSnapshot) memoryStatus {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return memoryStatus{
+		HeapAllocBytes:  ms.HeapAlloc,
+		HeapObjects:     ms.HeapObjects,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		NumGC:           ms.NumGC,
+		GCPauseTotalMs:  float64(ms.PauseTotalNs) / 1e6,
+		BodyPoolHits:    snap.BodyPoolHits,
+		BodyPoolMisses:  snap.BodyPoolMisses,
+		BodyRetired:     snap.BodyRetired,
+	}
 }
 
 // statusDecisions is how many trailing decisions /status reports.
@@ -190,6 +227,7 @@ func (r *liveRun) run(ctx context.Context) error {
 		start := time.Now()
 		status := func() any {
 			cur := tuner.Current()
+			snap := s.Stats.Snapshot()
 			p := statusPayload{
 				Workload:      w.Name(),
 				Strategy:      cfg.strategy,
@@ -199,7 +237,8 @@ func (r *liveRun) run(ctx context.Context) error {
 				T:             cur.T,
 				C:             cur.C,
 				UptimeSeconds: time.Since(start).Seconds(),
-				STM:           s.Stats.Snapshot(),
+				STM:           snap,
+				Memory:        readMemoryStatus(snap),
 				Protection:    tuner.Protection(),
 				Decisions:     ring.Last(statusDecisions),
 			}

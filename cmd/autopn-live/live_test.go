@@ -133,6 +133,11 @@ func TestLiveEndToEnd(t *testing.T) {
 	if st.CommitBatchSize == nil {
 		t.Error("/status has no commit_batch_size section")
 	}
+	// The memory section always carries a live runtime heap picture; a
+	// running process has allocated something.
+	if st.Memory.HeapAllocBytes == 0 || st.Memory.Mallocs == 0 {
+		t.Errorf("implausible /status memory section: %+v", st.Memory)
+	}
 
 	if st.Contention == nil {
 		t.Error("/status has no contention section with tracing on")

@@ -68,13 +68,20 @@ const (
 	// drains the request queue — a stall here is a stuck combiner holding
 	// the commit lock while every queued committer stays parked.
 	PointCombiner
+	// PointReclaim fires inside the commit section when the version-record
+	// pool is about to drain limbo segments whose grace period has expired
+	// (bodypool.go). ActAbort skips the drain for that commit —
+	// deterministically delaying reclamation and widening the window in
+	// which retired nodes stay unreused — while a delay or stall holds the
+	// commit lock mid-reclaim.
+	PointReclaim
 
 	numPoints
 )
 
 var pointNames = [numPoints]string{
 	"begin", "read", "validate", "commit", "helping",
-	"nested-validate", "nested-commit", "combiner",
+	"nested-validate", "nested-commit", "combiner", "reclaim",
 }
 
 func (p Point) String() string {

@@ -5,19 +5,22 @@ import "testing"
 // Hot-path microbenchmarks gating the begin/commit overhaul: every variant
 // reports allocations because the optimization target is "no global lock,
 // (amortized) no allocator" on the per-transaction fast path. Each benchmark
-// runs under both commit strategies, sequentially and with b.RunParallel,
-// since the two strategies share the begin path but diverge at commit.
+// runs under all three commit strategies, sequentially and with
+// b.RunParallel, since the strategies share the begin path but diverge at
+// commit: Group (flat-combining, the default), Legacy (DisableGroupCommit:
+// the fully serialized commit section), and LockFree (JVSTM helping commit).
 
 func benchStrategies(b *testing.B, run func(b *testing.B, s *STM)) {
 	for _, tc := range []struct {
-		name     string
-		lockFree bool
+		name string
+		opts Options
 	}{
-		{"Serialized", false},
-		{"LockFree", true},
+		{"Group", Options{}},
+		{"Legacy", Options{DisableGroupCommit: true}},
+		{"LockFree", Options{LockFreeCommit: true}},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			run(b, New(Options{LockFreeCommit: tc.lockFree}))
+			run(b, New(tc.opts))
 		})
 	}
 }

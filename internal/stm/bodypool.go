@@ -1,0 +1,219 @@
+package stm
+
+import (
+	"sync"
+
+	"autopn/internal/chaos"
+)
+
+// Pooled version records with epoch-based reclamation.
+//
+// Every update commit allocates one body per written box and — via chain
+// truncation — retires roughly as many. Handing the retired nodes straight
+// back to the allocator would be unsafe: a reader that resolved a chain
+// pointer before the truncation may still be dereferencing the detached
+// segment. The classic answer is a grace period, and the STM already owns
+// the exact structure that defines it: the snapshot registry's GC horizon
+// (registry.go) is a version below which no registered transaction holds a
+// snapshot.
+//
+// Retired segments therefore pass through a small limbo ring keyed by the
+// commit version ("epoch") of the truncating install, and move to a
+// sync.Pool free list — Go's per-P free-list primitive — only once the
+// registry horizon has reached their epoch.
+//
+// Safety argument (the version-chain variant of epoch-based reclamation):
+// a segment retired by the commit of version e became unreachable from its
+// box's head at that commit. Any transaction still holding a pointer into
+// the segment obtained it by traversing the chain before the truncation,
+// i.e. it began before commit e completed, so its snapshot is < e (the
+// clock reaches e only as commit e's last step) — and it stays registered
+// in the snapshot registry until it finishes. Hence while any such reader
+// exists, gcHorizon() < e; conversely horizon >= e implies no registered
+// transaction can reference the segment, and reuse is safe. The
+// happens-before chain backing this under the race detector runs through
+// the registry's atomic slot release (reader's last chain access, then
+// atomic slot store) and the horizon scan's atomic slot load before the
+// reclaimer rewrites the node.
+//
+// Unregistered readers (VBox.Peek) sit outside that argument; they are
+// covered by the per-body seqlock instead (see body.seq in vbox.go).
+//
+// Only word-representation bodies are pooled. Boxed bodies go to the GC as
+// before: their install allocates the boxed value anyway, and never reusing
+// them is what keeps the boxed Peek path a plain load.
+
+const (
+	// limboSize bounds the grace-period ring (power of two). Each update
+	// commit adds at most one entry per truncated chain; entries drain as
+	// the horizon advances, so the ring only fills when an old snapshot is
+	// pinned for a long time — at which point overflowing chains fall back
+	// to the garbage collector, which is always safe.
+	limboSize = 256
+	limboMask = limboSize - 1
+)
+
+// limboEntry is one retired chain segment awaiting its grace period.
+type limboEntry struct {
+	epoch uint64 // commit version of the truncating install
+	head  *body  // detached segment (linked through body.next)
+}
+
+// bodyPool is the STM's version-record recycler: a free list of
+// ready-to-reuse nodes plus the limbo ring of segments still inside their
+// grace period. The ring and its cursors are guarded by the STM's commitMu
+// (retire and reclaim only ever run inside the serialized commit section);
+// the free list is internally synchronized.
+type bodyPool struct {
+	free  sync.Pool
+	limbo [limboSize]limboEntry
+	lhead uint64 // oldest live entry (ring index = lhead & limboMask)
+	ltail uint64 // next free slot
+}
+
+// getBody returns a body for installation on box b. Word boxes draw from
+// the free list; boxed bodies are always freshly allocated (see the file
+// comment). shard routes the pool-efficacy counters.
+func (s *STM) getBody(word bool, shard uint32) *body {
+	if word {
+		if v := s.bodies.free.Get(); v != nil {
+			s.Stats.add(shard, idxBodyPoolHits, 1)
+			return v.(*body)
+		}
+		s.Stats.add(shard, idxBodyPoolMisses, 1)
+	}
+	return &body{}
+}
+
+// releaseBody returns a node that was never published (a lock-free CAS
+// loser's speculative body) straight to the free list — no grace period is
+// needed for a node no reader could ever have seen. No-op for boxed nodes.
+func (s *STM) releaseBody(nb *body, word bool) {
+	if !word {
+		return
+	}
+	nb.seq.Add(1) // odd: payload is unstable until the next install
+	nb.value = nil
+	nb.version = 0
+	nb.next.Store(nil)
+	s.bodies.free.Put(nb)
+}
+
+// retire hands a detached chain segment to the limbo ring under epoch
+// (the truncating commit's version). Must hold commitMu. The caller owns
+// the segment exclusively (truncate's Swap claims it). If the ring is full
+// — a long-pinned snapshot — the segment is abandoned to the garbage
+// collector instead, which is always safe.
+func (s *STM) retire(tail *body, epoch uint64, shard uint32) {
+	n := uint64(0)
+	for nd := tail; nd != nil; nd = nd.next.Load() {
+		n++
+	}
+	s.Stats.add(shard, idxBodyRetired, n)
+	p := &s.bodies
+	if p.ltail-p.lhead == limboSize {
+		return
+	}
+	p.limbo[p.ltail&limboMask] = limboEntry{epoch: epoch, head: tail}
+	p.ltail++
+}
+
+// reclaimBodies drains limbo entries whose epoch the registry horizon has
+// reached, recycling their nodes onto the free list. Must hold commitMu.
+// horizon is the caller's gcHorizon() (already computed for truncation).
+// The chaos PointReclaim hook fires when there is something to drain:
+// ActAbort skips this round (deterministically widening the hazard
+// window), ActDelay/ActStall sleep inside the commit section.
+func (s *STM) reclaimBodies(horizon uint64, shard uint32) {
+	p := &s.bodies
+	if p.lhead == p.ltail || p.limbo[p.lhead&limboMask].epoch > horizon {
+		return
+	}
+	if s.inj != nil {
+		if s.inj.Fire(chaos.PointReclaim, "") == chaos.ActAbort {
+			return
+		}
+	}
+	for p.lhead != p.ltail {
+		e := &p.limbo[p.lhead&limboMask]
+		if e.epoch > horizon {
+			break
+		}
+		for nd := e.head; nd != nil; {
+			next := nd.next.Load()
+			nd.seq.Add(1) // odd: invalidates in-flight unregistered Peeks
+			nd.value = nil
+			nd.version = 0
+			nd.next.Store(nil)
+			p.free.Put(nd)
+			nd = next
+		}
+		e.head = nil
+		p.lhead++
+	}
+}
+
+// installBody publishes a new committed version of b, drawing the node
+// from the pool for word boxes and retiring the truncated tail into limbo.
+// It must only be called from within the STM's serialized commit section
+// (legacy path and group-commit combiner — both hold commitMu).
+func (s *STM) installBody(b *vbox, e writeEntry, version, keepFrom uint64, shard uint32) {
+	nb := s.getBody(b.word, shard)
+	if b.word {
+		nb.word.Store(e.word)
+	} else {
+		nb.value = e.value
+	}
+	nb.version = version
+	nb.next.Store(b.head.Load())
+	if nb.seq.Load()&1 == 1 {
+		nb.seq.Add(1) // even: payload rewrite complete, node publishable
+	}
+	if tail := truncate(nb, keepFrom); tail != nil && b.word {
+		s.retire(tail, version, shard)
+	}
+	b.head.Store(nb)
+}
+
+// installBodyCAS publishes a new committed version without external
+// serialization: the write-back primitive of the lock-free commit, where
+// several helper threads may attempt the same installation. The version
+// check makes it idempotent (whoever wins the CAS installs the body;
+// latecomers and laggards observe head.version >= version and skip), and
+// because queue order guarantees strictly increasing versions per box,
+// skipping is always correct.
+//
+// Pool interaction is asymmetric by design: a CAS loser's speculative node
+// was never published, so it returns to the free list directly; the
+// winner's truncated tail is NOT retired into limbo, because laggard
+// helpers of already-done requests traverse chains without any registration
+// of their own — those tails stay on the garbage collector.
+func (s *STM) installBodyCAS(b *vbox, e writeEntry, version, keepFrom uint64, shard uint32) {
+	var nb *body
+	for {
+		cur := b.head.Load()
+		if cur.version >= version {
+			if nb != nil {
+				s.releaseBody(nb, b.word)
+			}
+			return
+		}
+		if nb == nil {
+			nb = s.getBody(b.word, shard)
+			if b.word {
+				nb.word.Store(e.word)
+			} else {
+				nb.value = e.value
+			}
+			nb.version = version
+			if nb.seq.Load()&1 == 1 {
+				nb.seq.Add(1)
+			}
+		}
+		nb.next.Store(cur)
+		if b.head.CompareAndSwap(cur, nb) {
+			truncate(nb, keepFrom)
+			return
+		}
+	}
+}

@@ -25,6 +25,9 @@ import "autopn/internal/obs"
 //	autopn_stm_commit_inline_total
 //	autopn_stm_commit_combined_total
 //	autopn_stm_commit_batches_total
+//	autopn_stm_body_pool_hits_total
+//	autopn_stm_body_pool_misses_total
+//	autopn_stm_body_retired_total
 //
 // plus the combiner batch-size histogram autopn_stm_commit_batch_size
 // (see groupcommit.go for the commit-pipeline counters' semantics).
@@ -44,6 +47,9 @@ func (s *Stats) Collect(r *obs.Registry) {
 	r.CounterFunc("autopn_stm_commit_inline_total", s.InlineCommits)
 	r.CounterFunc("autopn_stm_commit_combined_total", s.CombinedCommits)
 	r.CounterFunc("autopn_stm_commit_batches_total", s.CombineBatches)
+	r.CounterFunc("autopn_stm_body_pool_hits_total", s.BodyPoolHits)
+	r.CounterFunc("autopn_stm_body_pool_misses_total", s.BodyPoolMisses)
+	r.CounterFunc("autopn_stm_body_retired_total", s.BodyRetired)
 	if h := s.BatchSizes(); h != nil {
 		r.RegisterHistogram("autopn_stm_commit_batch_size", h)
 	}

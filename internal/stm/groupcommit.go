@@ -210,7 +210,9 @@ func (s *STM) commitTopGroup(tx *Tx) bool {
 			tx.traceConflict(stmtrace.ReasonTopValidation, conflict)
 			return false
 		}
-		s.installLocked(tx, cur+1, s.gcHorizon())
+		keepFrom := s.gcHorizon()
+		s.reclaimBodies(keepFrom, tx.statShard)
+		s.installLocked(tx, cur+1, keepFrom)
 		s.commitMu.Unlock()
 		s.Stats.add(tx.statShard, idxInlineCommits, 1)
 		return true
@@ -285,6 +287,10 @@ func (s *STM) combine() {
 func (s *STM) processBatch(batch *gcRequest) {
 	for batch != nil {
 		keepFrom := s.gcHorizon()
+		// One bulk reclaim per chunk: every pooled node freed here is
+		// available to the up-to-gcMaxBatch installs that follow under the
+		// same lock acquisition.
+		s.reclaimBodies(keepFrom, statShardHint())
 		n := 0
 		for batch != nil && n < gcMaxBatch {
 			r := batch
@@ -358,7 +364,7 @@ func (s *STM) installLocked(tx *Tx, newVer, keepFrom uint64) {
 	e.bloom = 0
 	e.n = 0
 	tx.writes.forEach(func(b *vbox, w writeEntry) {
-		b.install(w.value, newVer, keepFrom)
+		s.installBody(b, w, newVer, keepFrom, tx.statShard)
 		sig := boxSig(b)
 		e.bloom |= sig
 		if e.n >= 0 {

@@ -165,7 +165,11 @@ func (s *STM) helpCommits() {
 	if r.status.Load() == commitValid {
 		keepFrom := s.gcHorizon()
 		r.tx.writes.forEach(func(b *vbox, e writeEntry) {
-			b.installCAS(e.value, r.version, keepFrom)
+			// CAS losers recycle their speculative node through the body
+			// pool; winners' truncated tails go to the GC, since laggard
+			// helpers of done requests traverse chains unregistered (see
+			// installBodyCAS).
+			s.installBodyCAS(b, e, r.version, keepFrom, r.tx.statShard)
 		})
 		// Publish the new clock before marking done so that any snapshot
 		// taken after observing "done" sees the writes.

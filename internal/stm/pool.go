@@ -94,6 +94,12 @@ func (s *STM) putTx(tx *Tx) {
 	if cap(tx.treeReads) > maxPooledSetCap {
 		tx.treeReads = nil
 	}
+	for i := range tx.childBuf {
+		tx.childBuf[i] = childResult{} // drop error/panic references
+	}
+	if cap(tx.childBuf) > maxPooledSetCap {
+		tx.childBuf = nil
+	}
 	tx.readOnly = false
 	tx.holdsGateSlot = false
 	tx.span = nil      // already finished by the runner; drop the reference

@@ -39,6 +39,10 @@ const (
 	idxInlineCommits   // update commits via the uncontended TryLock path
 	idxCombinedCommits // update commits installed by a combiner batch
 	idxCombineBatches  // combiner drain chunks (batch sizes: BatchSizes)
+	// Version-record pool counters (see bodypool.go).
+	idxBodyPoolHits   // word-body installs served from the free list
+	idxBodyPoolMisses // word-body installs that had to allocate
+	idxBodyRetired    // bodies truncated into the grace-period limbo path
 	numStatCounters
 )
 
@@ -51,12 +55,12 @@ func statShardHint() uint32 { return txSeq.Load() }
 const statShardCount = 16
 
 // statShard is one stripe: all counters of one affinity group, padded to
-// 128 bytes (a cache-line pair, covering adjacent-line prefetchers) so
-// increments on different shards never share a line. numStatCounters must
-// stay <= 16 or the padding underflows.
+// the next multiple of 128 bytes (cache-line pairs, covering adjacent-line
+// prefetchers) so increments on different shards never share a line.
+// numStatCounters must stay <= 24 or the padding underflows.
 type statShard struct {
 	c [numStatCounters]atomic.Uint64
-	_ [128 - 8*numStatCounters]byte
+	_ [192 - 8*numStatCounters]byte
 }
 
 // Stats holds cumulative transaction counters, striped to avoid contention
@@ -162,6 +166,20 @@ func (s *Stats) CombinedCommits() uint64 { return s.sum(idxCombinedCommits) }
 // request counts are sampled in BatchSizes.
 func (s *Stats) CombineBatches() uint64 { return s.sum(idxCombineBatches) }
 
+// BodyPoolHits returns the number of version-record installations served
+// from the body free list instead of the allocator (word boxes only; see
+// bodypool.go).
+func (s *Stats) BodyPoolHits() uint64 { return s.sum(idxBodyPoolHits) }
+
+// BodyPoolMisses returns the number of word-box version-record
+// installations that had to allocate because the free list was empty —
+// pool warm-up, or reclamation held back by an old pinned snapshot.
+func (s *Stats) BodyPoolMisses() uint64 { return s.sum(idxBodyPoolMisses) }
+
+// BodyRetired returns the number of version records truncated off chains
+// into the epoch-based reclamation path (the grace-period limbo ring).
+func (s *Stats) BodyRetired() uint64 { return s.sum(idxBodyRetired) }
+
 // Snapshot returns a plain-value copy of the aggregated counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
@@ -180,6 +198,9 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		InlineCommits:   s.InlineCommits(),
 		CombinedCommits: s.CombinedCommits(),
 		CombineBatches:  s.CombineBatches(),
+		BodyPoolHits:    s.BodyPoolHits(),
+		BodyPoolMisses:  s.BodyPoolMisses(),
+		BodyRetired:     s.BodyRetired(),
 	}
 }
 
@@ -200,4 +221,7 @@ type StatsSnapshot struct {
 	InlineCommits   uint64
 	CombinedCommits uint64
 	CombineBatches  uint64
+	BodyPoolHits    uint64
+	BodyPoolMisses  uint64
+	BodyRetired     uint64
 }

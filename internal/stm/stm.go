@@ -157,6 +157,10 @@ type STM struct {
 	// txPool recycles transaction state; see pool.go.
 	txPool sync.Pool
 
+	// bodies recycles retired version records through epoch-based
+	// reclamation keyed by the snapshot registry's horizon; see bodypool.go.
+	bodies bodyPool
+
 	// Transaction tracing (internal/stm/trace). traceThreshold is the
 	// sampling gate the begin path loads: 0 means off, ^0 means always,
 	// anything else is compared against a per-transaction splitmix64 draw.

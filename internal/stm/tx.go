@@ -12,12 +12,16 @@ import (
 	stmtrace "autopn/internal/stm/trace"
 )
 
-// writeEntry is a buffered write inside a transaction's write set. treeVer
-// is the per-tree nested version at which the entry became visible at this
-// level of the tree (for entries merged from committed children) or the
-// writer's own snapshot (for the transaction's own writes).
+// writeEntry is a buffered write inside a transaction's write set. The
+// value travels in one of two representations, matching the box's (see
+// vbox.word): word carries the raw bits of a word-kind value (value nil),
+// every other value is boxed in value (word zero). treeVer is the per-tree
+// nested version at which the entry became visible at this level of the
+// tree (for entries merged from committed children) or the writer's own
+// snapshot (for the transaction's own writes).
 type writeEntry struct {
 	value   any
+	word    uint64
 	treeVer uint64
 }
 
@@ -102,6 +106,14 @@ type Tx struct {
 	// Tx is never recycled (pool.go).
 	lfEnqueued bool
 
+	// childBuf and join are Parallel's fork-join scratch state, kept on the
+	// Tx so repeated fan-outs (and pooled Tx reuse) pay no per-call
+	// allocation. A Tx runs at most one Parallel at a time — the parent is
+	// suspended at the join — so per-Tx reuse cannot race; sibling
+	// Parallels in one tree run on distinct child Tx objects.
+	childBuf []childResult
+	join     sync.WaitGroup
+
 	// span is this attempt's tracing span; nil unless the tree was sampled
 	// (see STM.sampleTrace). Children of a sampled root carry their own
 	// spans, parented under the root's.
@@ -125,8 +137,10 @@ func (tx *Tx) Depth() int { return tx.depth }
 func (tx *Tx) IsNested() bool { return tx.parent != nil }
 
 // read resolves a box for tx: own write set, then ancestors
-// nearest-first, then global memory at the root snapshot.
-func (tx *Tx) read(b *vbox) any {
+// nearest-first, then global memory at the root snapshot. The returned
+// entry carries the value in the box's representation (word bits or boxed
+// value); VBox.Get extracts the right one at compile time.
+func (tx *Tx) read(b *vbox) writeEntry {
 	tx.ensureLive()
 	if inj := tx.stm.inj; inj != nil && b.label != "" {
 		// Chaos hook: labeled boxes only, so unlabeled hot-path boxes never
@@ -151,7 +165,7 @@ func (tx *Tx) read(b *vbox) any {
 	tx.mu.Lock()
 	if e, ok := tx.writes.get(b); ok {
 		tx.mu.Unlock()
-		return e.value
+		return e
 	}
 	tx.mu.Unlock()
 
@@ -171,7 +185,7 @@ func (tx *Tx) read(b *vbox) any {
 			if tx.reads.add(b) {
 				tx.treeReads = append(tx.treeReads, treeRead{box: b, src: anc, treeVer: e.treeVer})
 			}
-			return e.value
+			return e
 		}
 	}
 
@@ -183,17 +197,26 @@ func (tx *Tx) read(b *vbox) any {
 		}
 		tx.globalReads = append(tx.globalReads, b)
 	}
-	return b.readAt(tx.root.readVersion).value
+	bd := b.readAt(tx.root.readVersion)
+	var w uint64
+	if b.word {
+		// The transaction is registered in the snapshot registry, so bd
+		// cannot be reclaimed under it; the atomic load pairs with pooled
+		// reuse for race-detector cleanliness.
+		w = bd.word.Load()
+	}
+	return writeEntry{value: bd.value, word: w}
 }
 
-// write buffers a write in tx's write set.
-func (tx *Tx) write(b *vbox, v any) {
+// write buffers a write in tx's write set; exactly one of v (boxed) and w
+// (word bits) carries the value, per the box's representation.
+func (tx *Tx) write(b *vbox, v any, w uint64) {
 	tx.ensureLive()
 	if tx.root.readOnly {
 		panic("stm: write inside a read-only transaction")
 	}
 	tx.mu.Lock()
-	tx.writes.put(b, writeEntry{value: v, treeVer: tx.readTreeVersion})
+	tx.writes.put(b, writeEntry{value: v, word: w, treeVer: tx.readTreeVersion})
 	tx.mu.Unlock()
 }
 
@@ -341,8 +364,9 @@ func (tx *Tx) commitTop() bool {
 			return false
 		}
 	}
+	s.reclaimBodies(keepFrom, tx.statShard)
 	tx.writes.forEach(func(b *vbox, e writeEntry) {
-		b.install(e.value, newVer, keepFrom)
+		s.installBody(b, e, newVer, keepFrom, tx.statShard)
 	})
 	s.clock.Store(newVer)
 	s.commitMu.Unlock()
@@ -523,7 +547,7 @@ func (tx *Tx) commitNested() bool {
 	if tx.writes.size() > 0 {
 		newVer := t.clock.Add(1)
 		tx.writes.forEach(func(b *vbox, e writeEntry) {
-			parent.writes.put(b, writeEntry{value: e.value, treeVer: newVer})
+			parent.writes.put(b, writeEntry{value: e.value, word: e.word, treeVer: newVer})
 		})
 	}
 
@@ -608,10 +632,25 @@ func (tx *Tx) Parallel(fns ...func(*Tx) error) error {
 	// the process on its own goroutine and — crucially — drains every
 	// sibling and releases the gate slots and tree state before the panic
 	// resumes unwinding through the caller.
-	results := make([]childResult, len(fns))
-	var wg sync.WaitGroup
-	wg.Add(len(fns))
-	for i, fn := range fns {
+	//
+	// The result buffer and WaitGroup live on the Tx (amortized
+	// zero-alloc); entries are cleared before use in case a caller
+	// recovered a child panic from an earlier Parallel on this Tx.
+	if cap(tx.childBuf) < len(fns) {
+		tx.childBuf = make([]childResult, len(fns))
+	}
+	results := tx.childBuf[:len(fns)]
+	for i := range results {
+		results[i] = childResult{}
+	}
+	// The last child runs inline on the caller's goroutine (which would
+	// otherwise idle at the join): like the single-child case it consumes
+	// no gate slot — the caller's thread is already accounted for — and the
+	// fan-out spawns one goroutine fewer.
+	last := len(fns) - 1
+	wg := &tx.join
+	wg.Add(last)
+	for i, fn := range fns[:last] {
 		go func(i int, fn func(*Tx) error) {
 			defer wg.Done()
 			defer func() { results[i].pan = recover() }()
@@ -622,6 +661,10 @@ func (tx *Tx) Parallel(fns ...func(*Tx) error) error {
 			results[i].err = runChild(tx, t, true, fn)
 		}(i, fn)
 	}
+	func() {
+		defer func() { results[last].pan = recover() }()
+		results[last].err = runChild(tx, t, false, fns[last])
+	}()
 	wg.Wait()
 	for _, r := range results {
 		if r.pan != nil {

@@ -11,10 +11,28 @@ import (
 // newest body whose version is not greater than the reading transaction's
 // snapshot version. next is atomic because the commit section truncates old
 // tails (version GC) concurrently with readers traversing the chain.
+//
+// The payload lives in one of two representations, fixed per box (see
+// vbox.word): boxes of word-sized primitive types store their value's bits
+// in word and leave value nil; every other box stores the value boxed in
+// value and leaves word zero. Word bodies are recycled through the STM's
+// body pool (bodypool.go); boxed bodies always go to the garbage collector,
+// which is what keeps the boxed Peek path safe without synchronization.
 type body struct {
 	value   any
 	version uint64
-	next    atomic.Pointer[body]
+	// word holds the inlined bits of a word-kind value. Atomic because
+	// unregistered readers (VBox.Peek) may race with pooled reuse; inside
+	// the registered-reader protocol the registry provides the
+	// happens-before edge (see bodypool.go).
+	word atomic.Uint64
+	// seq is a seqlock guarding word across pooled reuse: odd while the
+	// node sits in the free pool or is being rewritten for its next
+	// installation, even while its payload is stable. Fresh nodes start at
+	// zero (even) and are bumped to odd on every retire/release, and back
+	// to even after the payload rewrite, before republication.
+	seq  atomic.Uint64
+	next atomic.Pointer[body]
 }
 
 // vbox is the untyped core of a versioned transactional box. It is the unit
@@ -26,6 +44,61 @@ type vbox struct {
 	// profiler (set once via VBox.WithLabel before the box is shared;
 	// never mutated afterwards, so reads need no synchronization).
 	label string
+	// word marks a box whose value type is a word-sized primitive
+	// (wordKind): its bodies carry the value inline in body.word, its
+	// reads and writes never box, and its retired bodies are eligible for
+	// pooled reuse. Set once by NewVBox, never mutated.
+	word bool
+}
+
+// wordKind reports whether T is one of the predeclared word-sized types
+// whose values can be carried inline in a body's word field. Named types
+// (type Celsius float64) intentionally fall through to the boxed
+// representation: the exact-type switch keeps the decision trivially
+// correct, and such types are rare on hot paths.
+func wordKind[T any]() bool {
+	var z T
+	switch any(z).(type) {
+	case bool, int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64, uintptr,
+		float32, float64:
+		return true
+	}
+	return false
+}
+
+// toWord returns val's bits widened to 64. The size switch constant-folds
+// per instantiation, and taking the address of a by-value parameter for an
+// immediate dereference does not make it escape — no allocation on any arm.
+func toWord[T any](val T) uint64 {
+	switch unsafe.Sizeof(val) {
+	case 1:
+		return uint64(*(*uint8)(unsafe.Pointer(&val)))
+	case 2:
+		return uint64(*(*uint16)(unsafe.Pointer(&val)))
+	case 4:
+		return uint64(*(*uint32)(unsafe.Pointer(&val)))
+	default:
+		return *(*uint64)(unsafe.Pointer(&val))
+	}
+}
+
+// fromWord reconstructs a T from bits produced by toWord. Callers must
+// guarantee Sizeof(T) <= 8 (the word-box fast paths do, via their
+// compile-time size guard).
+func fromWord[T any](w uint64) T {
+	var val T
+	switch unsafe.Sizeof(val) {
+	case 1:
+		*(*uint8)(unsafe.Pointer(&val)) = uint8(w)
+	case 2:
+		*(*uint16)(unsafe.Pointer(&val)) = uint16(w)
+	case 4:
+		*(*uint32)(unsafe.Pointer(&val)) = uint32(w)
+	default:
+		*(*uint64)(unsafe.Pointer(&val)) = w
+	}
+	return val
 }
 
 // readAt returns the newest body with version <= ver. Such a body always
@@ -42,49 +115,20 @@ func (b *vbox) readAt(ver uint64) *body {
 	panic("stm: version chain truncated below an active snapshot")
 }
 
-// install publishes a new committed version. It must only be called from
-// within the STM's serialized commit section. Bodies older than keepFrom
-// become unreachable (simple version GC): the chain is cut after the newest
-// body with version <= keepFrom, which remains reachable so that any active
-// snapshot >= keepFrom can still be served. Readers never traverse past
-// that body, so cutting its next pointer is safe.
-func (b *vbox) install(value any, version, keepFrom uint64) {
-	nb := &body{value: value, version: version}
-	nb.next.Store(b.head.Load())
+// truncate cuts nb's chain after the newest body with version <= keepFrom
+// (simple version GC): that body remains reachable so any active snapshot
+// >= keepFrom can still be served, and readers never traverse past it. It
+// returns the detached tail (nil when nothing was cut), which the caller
+// owns exclusively — the Swap claims it, so two concurrent truncations of
+// one chain (possible on the lock-free path) cannot both retire the same
+// segment.
+func truncate(nb *body, keepFrom uint64) *body {
 	for cur := nb; cur != nil; cur = cur.next.Load() {
 		if cur.version <= keepFrom {
-			cur.next.Store(nil)
-			break
+			return cur.next.Swap(nil)
 		}
 	}
-	b.head.Store(nb)
-}
-
-// installCAS publishes a new committed version without any external
-// serialization: it is the write-back primitive of the lock-free commit,
-// where several helper threads may attempt the same installation. The
-// version check makes it idempotent (whoever wins the CAS installs the
-// body; latecomers and laggards observe head.version >= version and skip),
-// and because queue order guarantees strictly increasing versions per box,
-// skipping is always correct.
-func (b *vbox) installCAS(value any, version, keepFrom uint64) {
-	for {
-		cur := b.head.Load()
-		if cur.version >= version {
-			return
-		}
-		nb := &body{value: value, version: version}
-		nb.next.Store(cur)
-		for c := nb; c != nil; c = c.next.Load() {
-			if c.version <= keepFrom {
-				c.next.Store(nil)
-				break
-			}
-		}
-		if b.head.CompareAndSwap(cur, nb) {
-			return
-		}
-	}
+	return nil
 }
 
 // currentVersion returns the version of the most recent committed body.
@@ -124,6 +168,12 @@ func (b *vbox) chainLen() int {
 // box" in JVSTM terminology). All access must happen inside a transaction
 // via Get and Put. VBoxes are created with NewVBox and may be freely shared
 // across goroutines.
+//
+// Boxes of word-sized primitive element types (bool, the fixed-width and
+// platform integer types, uintptr, float32, float64) take a specialized
+// representation: values are carried as raw bits inside version records, so
+// Get/Set/Put/Swap on such boxes never allocate, and their retired version
+// records are recycled through the STM's body pool.
 type VBox[T any] struct {
 	core vbox
 }
@@ -131,7 +181,13 @@ type VBox[T any] struct {
 // NewVBox creates a box holding initial as its version-0 committed value.
 func NewVBox[T any](initial T) *VBox[T] {
 	v := &VBox[T]{}
-	first := &body{value: initial, version: 0}
+	first := &body{version: 0}
+	if wordKind[T]() {
+		v.core.word = true
+		first.word.Store(toWord(initial))
+	} else {
+		first.value = initial
+	}
 	v.core.head.Store(first)
 	return v
 }
@@ -154,14 +210,40 @@ func (v *VBox[T]) Label() string { return v.core.label }
 // function; calling it after the transaction finished is a programming
 // error.
 func (v *VBox[T]) Get(tx *Tx) T {
-	return tx.read(&v.core).(T)
+	e := tx.read(&v.core)
+	var z T
+	if unsafe.Sizeof(z) <= 8 && v.core.word {
+		// The size guard is compile-time per instantiation, so for large T
+		// this branch (and fromWord's instantiation hazard) vanishes; for
+		// word boxes it replaces the interface assertion with a bit copy.
+		return fromWord[T](e.word)
+	}
+	return e.value.(T)
 }
 
 // Put buffers a write of val into tx's write set. The write becomes visible
 // to other transactions only if tx (and, for nested transactions, all its
-// ancestors) commit.
+// ancestors) commit. On word-kind boxes the value travels as raw bits end
+// to end — no boxing here, none at commit.
 func (v *VBox[T]) Put(tx *Tx, val T) {
-	tx.write(&v.core, val)
+	if unsafe.Sizeof(val) <= 8 && v.core.word {
+		tx.write(&v.core, nil, toWord(val))
+		return
+	}
+	tx.write(&v.core, val, 0)
+}
+
+// Set is Put under the name typed STM APIs conventionally use; both go
+// through the same compile-time-specialized fast path.
+func (v *VBox[T]) Set(tx *Tx, val T) { v.Put(tx, val) }
+
+// Swap writes val and returns the value the box held as seen by tx just
+// before the write (its own prior write, an ancestor's, or the committed
+// snapshot value) — a read-modify-write in one call.
+func (v *VBox[T]) Swap(tx *Tx, val T) T {
+	old := v.Get(tx)
+	v.Put(tx, val)
+	return old
 }
 
 // Modify applies f to the current value seen by tx and writes the result
@@ -173,6 +255,26 @@ func (v *VBox[T]) Modify(tx *Tx, f func(T) T) {
 // Peek returns the most recently committed value without any transactional
 // protection. It is intended for post-run inspection (tests, reporting);
 // using it to make decisions inside transactions breaks atomicity.
+//
+// Peek readers are not registered in the snapshot registry, so on word
+// boxes — whose retired bodies are recycled — the head node can in
+// principle be reclaimed and rewritten mid-Peek. The seqlock loop makes
+// that window detectable: a successful return requires the node's reuse
+// counter to be even (payload stable) and unchanged around the word load,
+// with the node re-confirmed as the box's head, which together imply the
+// bits read are a value this box committed. Boxed bodies are never
+// recycled, so the plain load remains safe there.
 func (v *VBox[T]) Peek() T {
+	var z T
+	if unsafe.Sizeof(z) <= 8 && v.core.word {
+		for {
+			h := v.core.head.Load()
+			s1 := h.seq.Load()
+			w := h.word.Load()
+			if s1&1 == 0 && h.seq.Load() == s1 && v.core.head.Load() == h {
+				return fromWord[T](w)
+			}
+		}
+	}
 	return v.core.head.Load().value.(T)
 }

@@ -59,3 +59,45 @@ func TestFacadeLockFreeOption(t *testing.T) {
 		t.Fatalf("Peek = %d", box.Peek())
 	}
 }
+
+// TestFacadeTypedFastPath pins the word-inlined Set/Swap surface through
+// the facade: word-typed boxes take the zero-boxing path, and the pool
+// counters surface through the re-exported StatsSnapshot.
+func TestFacadeTypedFastPath(t *testing.T) {
+	s := pnstm.New(pnstm.Options{})
+	counter := pnstm.NewVBox(int64(10))
+	flag := pnstm.NewVBox(false)
+	if err := s.Atomic(func(tx *pnstm.Tx) error {
+		counter.Set(tx, counter.Get(tx)+1)
+		if old := counter.Swap(tx, 100); old != 11 {
+			t.Errorf("Swap returned %d, want 11", old)
+		}
+		flag.Set(tx, true)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter.Peek(); got != 100 {
+		t.Fatalf("counter Peek = %d, want 100", got)
+	}
+	if !flag.Peek() {
+		t.Fatal("flag Peek = false, want true")
+	}
+	// Churn versions so retirement (and eventually pool reuse) shows up in
+	// the re-exported snapshot fields.
+	for i := 0; i < 50; i++ {
+		if err := s.Atomic(func(tx *pnstm.Tx) error {
+			counter.Set(tx, counter.Get(tx)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Stats.Snapshot()
+	if snap.BodyRetired == 0 {
+		t.Errorf("BodyRetired = 0 after 50 single-box commits, want > 0")
+	}
+	if snap.BodyPoolHits == 0 {
+		t.Errorf("BodyPoolHits = 0 after 50 single-box commits, want > 0")
+	}
+}
