@@ -16,9 +16,16 @@ ALLOC_BENCHTIME ?= 20000x
 # byte-identical fault schedule (see docs/ROBUSTNESS.md).
 CHAOS_SEED ?= 1
 
+# Per-run load-generation budget for the server load smoke; CI keeps it
+# short, local runs can stretch it for steadier numbers.
+LOADGEN_DURATION ?= 4s
+# Where the load smoke drops its reports, decision logs and DLQ (CI
+# uploads this directory as the server-e2e artifact).
+SERVER_SMOKE_ARTIFACTS ?= server-smoke-artifacts
+
 .PHONY: all build test test-short race race-all bench bench-stm \
 	bench-compare bench-allocs bench-contended bench-smoke trace-smoke \
-	fuzz-smoke chaos lint ci repro figures clean
+	fuzz-smoke chaos server-smoke lint ci repro figures clean
 
 all: build test
 
@@ -41,7 +48,8 @@ test-short:
 # (combiner election, queue hand-off, spin-then-park wake-up) only
 # interleaves interestingly with several Ps.
 race:
-	GOMAXPROCS=4 $(GO) test -race ./internal/stm/... ./internal/pnpool/... ./internal/obs/...
+	GOMAXPROCS=4 $(GO) test -race ./internal/stm/... ./internal/pnpool/... ./internal/obs/... \
+		./internal/server/...
 
 race-all:
 	$(GO) test -race ./...
@@ -117,6 +125,18 @@ chaos:
 	GOMAXPROCS=4 CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run '^TestChaos' \
 		./internal/chaos/ ./internal/stm/ .
 
+# End-to-end server load smoke: start the sharded server in-process,
+# calibrate the host's sustainable rate, then drive 1x and 2x sustainable
+# open-loop load and assert the admission-control contract (shedding
+# engages with typed ERR overload replies, goodput holds within 20% of
+# the 1x run, accepted p99 stays bounded, >= 2 shards log independent
+# tuning decisions). Reports, per-shard decision logs and the DLQ land in
+# $(SERVER_SMOKE_ARTIFACTS).
+server-smoke:
+	SERVER_SMOKE=1 LOADGEN_DURATION=$(LOADGEN_DURATION) \
+		SERVER_SMOKE_ARTIFACTS=$(abspath $(SERVER_SMOKE_ARTIFACTS)) \
+		$(GO) test -run '^TestServerLoadSmoke$$' -count=1 -v ./internal/server/
+
 # Static analysis beyond go vet. Uses golangci-lint (see .golangci.yml)
 # when installed; CI always runs it.
 lint:
@@ -129,7 +149,7 @@ lint:
 
 # Everything the CI pipeline runs, in one target, so local runs and the
 # pipeline stay in lockstep (the fuzz/bench budgets match ci.yml).
-ci: build test-short race chaos fuzz-smoke bench-smoke bench-allocs lint
+ci: build test-short race chaos fuzz-smoke bench-smoke bench-allocs server-smoke lint
 
 # The single acceptance test for the paper's headline claims.
 repro:

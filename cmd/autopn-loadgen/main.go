@@ -1,0 +1,90 @@
+// Command autopn-loadgen drives an autopn-server with open-loop load:
+// arrivals follow a fixed schedule regardless of response latency (so
+// offered load can exceed capacity and exercise the server's shedding),
+// keys are drawn with zipfian skew, and the read/write/multi-key mix is
+// configurable. The run report — p50/p95/p99 latency over accepted
+// requests, goodput, shed rate, and a latency histogram — is printed as
+// JSON and optionally written to -out (the CI artifact).
+//
+//	autopn-loadgen -addr 127.0.0.1:7400 -rate 20000 -duration 10s \
+//	  -zipf 1.2 -read-frac 0.5 -shards 4 -out report.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"autopn/internal/server/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "autopn-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("autopn-loadgen", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7400", "server address")
+		rate     = fs.Float64("rate", 10000, "open-loop arrival rate, requests/second")
+		duration = fs.Duration("duration", 10*time.Second, "how long to generate arrivals")
+		conns    = fs.Int("conns", 8, "connection pool size")
+		inflight = fs.Int("max-inflight", 4096, "outstanding-request bound; arrivals past it are dropped client-side")
+
+		keys     = fs.Int("keys", 16384, "addressed key-space size (must not exceed the server's)")
+		zipfS    = fs.Float64("zipf", 1.1, "zipfian skew exponent (<= 1 selects uniform keys)")
+		readFrac = fs.Float64("read-frac", 0.5, "fraction of GET requests")
+		maddFrac = fs.Float64("madd-frac", 0.2, "fraction of writes issued as multi-key MADD transactions")
+		maddKeys = fs.Int("madd-keys", 4, "keys per MADD transaction")
+		shards   = fs.Int("shards", 0, "server shard count, for client-side MADD colocation (0 disables MADD)")
+		vnodes   = fs.Int("vnodes", 0, "server virtual nodes per shard (0 = default; must match the server)")
+
+		seed = fs.Uint64("seed", 1, "workload stream seed")
+		out  = fs.String("out", "", "also write the JSON report to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, loadgen.Options{
+		Addr:        *addr,
+		Rate:        *rate,
+		Duration:    *duration,
+		Conns:       *conns,
+		MaxInFlight: *inflight,
+		Keys:        *keys,
+		ZipfS:       *zipfS,
+		ReadFrac:    *readFrac,
+		MAddFrac:    *maddFrac,
+		MAddKeys:    *maddKeys,
+		Shards:      *shards,
+		VNodes:      *vnodes,
+		Seed:        *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Command autopn-server runs the sharded transactional key/value server:
+// N independent PN-STM shards behind consistent-hash routing, a per-shard
+// autopn tuner converging its own (t, c), and an admission-control front
+// door (bounded queues, load shedding, circuit breakers, dead-letter log).
+//
+//	autopn-server -addr 127.0.0.1:7400 -http 127.0.0.1:7401 -shards 4 \
+//	  -decision-log-dir /tmp/decisions -dlq /tmp/dlq.jsonl
+//
+// The process serves until SIGINT/SIGTERM, then drains gracefully within
+// -shutdown-timeout and flushes every per-shard decision log and the
+// dead-letter log before exiting. See docs/SERVER.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"autopn/internal/chaos"
+	"autopn/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "autopn-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("autopn-server", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7400", "TCP listen address for the wire protocol")
+		httpAddr = fs.String("http", "127.0.0.1:7401", "HTTP listen address for /metrics, /status, /debug/pprof (empty disables)")
+
+		shards = fs.Int("shards", 4, "number of independent STM shards")
+		vnodes = fs.Int("vnodes", 0, "consistent-hash virtual nodes per shard (0 = default)")
+		keys   = fs.Int("keys", 16384, "preloaded key-space size (keys k000000..)")
+
+		queueDepth = fs.Int("queue-depth", 256, "per-shard admission queue bound; a full queue sheds with ERR overload")
+		workers    = fs.Int("workers", 0, "executor goroutines per shard (0 = cores-per-shard)")
+		reqTimeout = fs.Duration("request-timeout", time.Second, "per-request deadline from admission to reply")
+
+		brkFailures = fs.Int("breaker-failures", 5, "consecutive failures tripping a shard's circuit breaker")
+		brkCooldown = fs.Duration("breaker-cooldown", time.Second, "open-state cooldown before half-open probes")
+		brkProbes   = fs.Int("breaker-probes", 1, "half-open probe quota")
+
+		cores     = fs.Int("cores-per-shard", 0, "per-shard tuner core budget n, t*c <= n (0 = NumCPU/shards)")
+		noTuner   = fs.Bool("no-tuner", false, "disable the per-shard tuners (fixed full parallelism)")
+		maxWindow = fs.Duration("tuner-max-window", time.Second, "per-shard tuner measurement-window bound")
+		retune    = fs.Bool("retune", true, "keep tuners watching for workload change after convergence")
+		seed      = fs.Uint64("seed", 1, "base tuner seed (shard i uses seed + i*7919)")
+
+		decisionDir = fs.String("decision-log-dir", "", "directory for per-shard tuning decision logs (shard-<i>.jsonl)")
+		dlqPath     = fs.String("dlq", "", "dead-letter log path (JSONL; empty disables the file, counters still advance)")
+		lockfree    = fs.Bool("lockfree", false, "use the lock-free STM commit path")
+
+		shutdownTimeout = fs.Duration("shutdown-timeout", 5*time.Second, "graceful-shutdown drain bound")
+
+		chaosShard = fs.Int("chaos-stall-shard", -1, "arm a chaos commit stall on this shard (-1 = off; exercises the breaker)")
+		chaosAfter = fs.Uint64("chaos-stall-after", 100, "arrivals at the commit point before the stall fires")
+		chaosTimes = fs.Uint64("chaos-stall-times", 1, "how many commits the armed stall wedges (0 = every one)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := server.Options{
+		Addr:            *addr,
+		HTTPAddr:        *httpAddr,
+		Shards:          *shards,
+		VNodes:          *vnodes,
+		Keys:            *keys,
+		QueueDepth:      *queueDepth,
+		WorkersPerShard: *workers,
+		RequestTimeout:  *reqTimeout,
+		Breaker: server.BreakerOptions{
+			FailureThreshold: *brkFailures,
+			Cooldown:         *brkCooldown,
+			HalfOpenProbes:   *brkProbes,
+		},
+		CoresPerShard:  *cores,
+		DisableTuner:   *noTuner,
+		TunerMaxWindow: *maxWindow,
+		Retune:         *retune,
+		Seed:           *seed,
+		DecisionLogDir: *decisionDir,
+		DLQPath:        *dlqPath,
+		LockFreeCommit: *lockfree,
+	}
+	var injectors []*chaos.Injector
+	if *chaosShard >= 0 {
+		target := *chaosShard
+		opts.Injector = func(shard int) *chaos.Injector {
+			if shard != target {
+				return nil
+			}
+			inj := chaos.New(chaos.Options{Rules: []chaos.Rule{{
+				Name:    "stall-commit",
+				Point:   chaos.PointCommit,
+				Action:  chaos.ActStall,
+				Trigger: chaos.Trigger{After: *chaosAfter, Times: *chaosTimes},
+			}}})
+			injectors = append(injectors, inj)
+			return inj
+		}
+	}
+
+	s, err := server.New(opts)
+	if err != nil {
+		return err
+	}
+	if err := s.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("autopn-server: serving on %s", s.Addr())
+	if h := s.HTTPAddr(); h != "" {
+		fmt.Printf(", introspection on http://%s/status", h)
+	}
+	fmt.Printf(" (%d shards, %d keys)\n", *shards, *keys)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	fmt.Println("autopn-server: shutting down...")
+	// Release any armed chaos stalls so wedged workers can drain.
+	for _, inj := range injectors {
+		inj.Close()
+	}
+	rep := s.Shutdown(*shutdownTimeout)
+	fmt.Printf("autopn-server: shutdown drained=%v abandoned=%d shed-at-shutdown=%d\n",
+		rep.Drained, rep.Abandoned, rep.ShedAtShutdown)
+	if !rep.Drained {
+		return fmt.Errorf("drain incomplete: %d requests abandoned", rep.Abandoned)
+	}
+	return nil
+}

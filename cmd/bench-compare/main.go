@@ -20,8 +20,11 @@
 // baseline's "after" value is reported; ratios above 1+threshold% fail the
 // run (exit 1). Allocations are compared exactly: the hot paths are
 // zero-or-counted-alloc by design, so any increase is called out (but
-// only fails with -strict-allocs). Unmatched lines on either side are
-// listed, never fatal — benchmarks come and go across PRs.
+// only fails with -strict-allocs). Benchmarks present in the run but
+// absent from the baseline are skipped with a note and exempt from both
+// gates — new benchmark families must not break the gate just by
+// existing; baseline-only entries are listed as missing. Neither is ever
+// fatal — benchmarks come and go across PRs.
 package main
 
 import (
@@ -100,7 +103,7 @@ func parseBench(r io.Reader) ([]result, error) {
 // compare diffs results against the baseline and writes the report to w.
 // It returns the number of threshold violations.
 func compare(w io.Writer, results []result, base baselineFile, thresholdPct float64, strictAllocs bool) int {
-	violations := 0
+	violations, skipped := 0, 0
 	matched := map[string]bool{}
 	// How many distinct benchmark names share each stripped base name
 	// (-count N repeats lines, so count names, not lines): the
@@ -129,11 +132,17 @@ func compare(w io.Writer, results []result, base baselineFile, thresholdPct floa
 			}
 		}
 		if !ok {
+			// A benchmark present in the run but absent from the baseline
+			// is skipped, never a violation: new benchmark families (the
+			// server layer, future subsystems) must not break the existing
+			// gate just by existing. It gets a baseline entry when its
+			// numbers are intentionally committed.
+			skipped++
 			if sb := stripProcs(r.name); variants[sb] > 1 {
-				fmt.Fprintf(w, "  new       %-55s %10.1f ns/op (no exact baseline; %d -cpu variants in run, not folding)\n",
+				fmt.Fprintf(w, "  skipped   %-55s %10.1f ns/op (no exact baseline; %d -cpu variants in run, not folding)\n",
 					r.name, r.nsOp, variants[sb])
 			} else {
-				fmt.Fprintf(w, "  new       %-55s %10.1f ns/op (no baseline)\n", r.name, r.nsOp)
+				fmt.Fprintf(w, "  skipped   %-55s %10.1f ns/op (no baseline entry; not compared)\n", r.name, r.nsOp)
 			}
 			continue
 		}
@@ -165,6 +174,9 @@ func compare(w io.Writer, results []result, base baselineFile, thresholdPct floa
 	sort.Strings(missing)
 	for _, name := range missing {
 		fmt.Fprintf(w, "  missing   %s (in baseline, not in run)\n", name)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(w, "  note: %d benchmark(s) without a baseline entry were skipped, not compared\n", skipped)
 	}
 	return violations
 }

@@ -69,8 +69,9 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		"REGRESSED >15% BenchmarkSlow/Seq-8",
 		"ok        BenchmarkFast/Seq-8",
 		"ALLOCS    BenchmarkSlow/Seq-8",
-		"new       BenchmarkNew/Seq-8",
+		"skipped   BenchmarkNew/Seq-8",
 		"missing   BenchmarkGone/Seq",
+		"1 benchmark(s) without a baseline entry were skipped",
 	} {
 		if !strings.Contains(report, want) {
 			t.Errorf("report missing %q:\n%s", want, report)
@@ -139,7 +140,7 @@ func TestCompareCPUVariants(t *testing.T) {
 			t.Errorf("report missing %q:\n%s", want, report)
 		}
 	}
-	if strings.Contains(report, "missing") || strings.Contains(report, "new") {
+	if strings.Contains(report, "missing") || strings.Contains(report, "skipped") {
 		t.Errorf("exact -cpu pairing left unmatched entries:\n%s", report)
 	}
 }
@@ -176,6 +177,38 @@ func TestCompareAmbiguousVariantsNotFolded(t *testing.T) {
 	}
 	if !strings.Contains(report, "not folding") {
 		t.Errorf("ambiguous -4 variant not flagged:\n%s", report)
+	}
+}
+
+// TestCompareRunOnlyKeysNeverViolate: a benchmark present in the run but
+// absent from the baseline is skipped with a note — even under
+// -strict-allocs, even with terrible numbers — so adding new benchmark
+// families (e.g. server benchmarks) can never break the existing gate.
+func TestCompareRunOnlyKeysNeverViolate(t *testing.T) {
+	run := "BenchmarkServer/Shedding-8 1000 999999 ns/op 4096 B/op 99 allocs/op\n" +
+		"BenchmarkServer/Routing-8 1000 888888 ns/op 2048 B/op 50 allocs/op\n" +
+		"BenchmarkFast/Seq-8 1000 101.0 ns/op 0 B/op 0 allocs/op\n"
+	results, err := parseBench(strings.NewReader(run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if v := compare(&out, results, parseBaseline(t), 15, true); v != 0 {
+		t.Errorf("violations = %d, want 0 (run-only keys must be skipped, not gated)\n%s", v, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{
+		"skipped   BenchmarkServer/Shedding-8",
+		"skipped   BenchmarkServer/Routing-8",
+		"2 benchmark(s) without a baseline entry were skipped",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// Run-only keys are also exempt from the alloc gate: no ALLOCS callout.
+	if strings.Contains(report, "ALLOCS    BenchmarkServer") {
+		t.Errorf("run-only key hit the alloc gate:\n%s", report)
 	}
 }
 

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed admits all requests (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects all requests until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a bounded number of probe requests; their
+	// outcome decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+var breakerStateNames = [...]string{"closed", "open", "half-open"}
+
+func (s BreakerState) String() string {
+	if int(s) < len(breakerStateNames) {
+		return breakerStateNames[s]
+	}
+	return "unknown"
+}
+
+// BreakerOptions configures a circuit breaker. The zero value is completed
+// with defaults.
+type BreakerOptions struct {
+	// FailureThreshold is how many *consecutive* failures trip a closed
+	// breaker open (default 5).
+	FailureThreshold int
+	// Cooldown is how long an open breaker rejects before letting probes
+	// through (default 1s).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many probe requests a half-open breaker admits
+	// concurrently, and how many consecutive probe successes close it
+	// (default 1).
+	HalfOpenProbes int
+	// Now replaces the clock (tests). Nil means time.Now.
+	Now func() time.Time
+}
+
+// Breaker is a per-shard circuit breaker: a wedged or pathologically slow
+// shard (stalled combiner, livelocked commit path) trips it open after
+// FailureThreshold consecutive request timeouts, converting every further
+// arrival into an immediate typed rejection instead of another queued
+// casualty. After Cooldown it half-opens and admits HalfOpenProbes probes;
+// consecutive probe successes close it, any probe failure re-opens it.
+//
+// The classic closed → open → half-open state machine; all methods are
+// safe for concurrent use.
+type Breaker struct {
+	mu   sync.Mutex
+	opts BreakerOptions
+
+	state     BreakerState
+	failures  int // consecutive failures while closed
+	successes int // consecutive probe successes while half-open
+	inflight  int // admitted probes in flight while half-open
+	openedAt  time.Time
+
+	opens uint64 // cumulative closed/half-open -> open transitions
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	if opts.FailureThreshold <= 0 {
+		opts.FailureThreshold = 5
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = time.Second
+	}
+	if opts.HalfOpenProbes <= 0 {
+		opts.HalfOpenProbes = 1
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Breaker{opts: opts}
+}
+
+// Allow reports whether a request may proceed. Open breakers reject until
+// the cooldown elapses, then transition to half-open; half-open breakers
+// admit at most HalfOpenProbes probes at a time. Every admitted request
+// must be matched by exactly one ReportSuccess or ReportFailure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.opts.Now().Sub(b.openedAt) < b.opts.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.successes = 0
+		b.inflight = 0
+		fallthrough
+	default: // BreakerHalfOpen
+		if b.inflight >= b.opts.HalfOpenProbes {
+			return false
+		}
+		b.inflight++
+		return true
+	}
+}
+
+// ReportSuccess records a successful request. In half-open it counts
+// toward closing; in closed it clears the consecutive-failure streak.
+func (b *Breaker) ReportSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures = 0
+	case BreakerHalfOpen:
+		if b.inflight > 0 {
+			b.inflight--
+		}
+		b.successes++
+		if b.successes >= b.opts.HalfOpenProbes {
+			b.state = BreakerClosed
+			b.failures = 0
+		}
+	}
+}
+
+// ReportFailure records a failed (timed-out or errored) request. In closed
+// it counts toward the trip threshold; in half-open it re-opens
+// immediately.
+func (b *Breaker) ReportFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.opts.FailureThreshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		if b.inflight > 0 {
+			b.inflight--
+		}
+		b.trip()
+	case BreakerOpen:
+		// Late failure of a request admitted before the trip; already open.
+	}
+}
+
+// trip moves to open. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.opts.Now()
+	b.failures = 0
+	b.successes = 0
+	b.opens++
+}
+
+// Forget cancels an admission that never executed (e.g. a request shed at
+// the full queue right after Allow): it undoes half-open probe accounting
+// without biasing the closed-state failure streak either way.
+func (b *Breaker) Forget() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen && b.inflight > 0 {
+		b.inflight--
+	}
+}
+
+// State returns the breaker's current position. An open breaker whose
+// cooldown has elapsed still reports open until the next Allow transitions
+// it — State is a pure observer.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns the cumulative number of trips to open.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic cooldown tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(threshold, probes int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerOptions{
+		FailureThreshold: threshold,
+		Cooldown:         cooldown,
+		HalfOpenProbes:   probes,
+		Now:              clk.Now,
+	})
+	return b, clk
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, 1, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.ReportFailure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", b.State())
+	}
+	b.ReportFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3/3 failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("Opens() = %d, want 1", b.Opens())
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := newTestBreaker(3, 1, time.Second)
+	b.ReportFailure()
+	b.ReportFailure()
+	b.ReportSuccess() // streak broken
+	b.ReportFailure()
+	b.ReportFailure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed: failures were not consecutive", b.State())
+	}
+	b.ReportFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open after 3 consecutive failures", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeClosesOnSuccess(t *testing.T) {
+	b, clk := newTestBreaker(1, 1, time.Second)
+	b.ReportFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("admitted during cooldown")
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// The probe quota is taken; a second concurrent request is rejected.
+	if b.Allow() {
+		t.Fatal("half-open breaker exceeded its probe quota")
+	}
+	b.ReportSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, 1, 500*time.Millisecond)
+	b.ReportFailure()
+	clk.Advance(500 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe rejected after cooldown")
+	}
+	b.ReportFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", b.State())
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("Opens() = %d, want 2", b.Opens())
+	}
+	// The cooldown restarts from the re-trip.
+	if b.Allow() {
+		t.Fatal("admitted right after re-trip")
+	}
+	clk.Advance(500 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe rejected after second cooldown")
+	}
+}
+
+func TestBreakerMultiProbeQuota(t *testing.T) {
+	b, clk := newTestBreaker(1, 3, time.Second)
+	b.ReportFailure()
+	clk.Advance(time.Second)
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("probe %d rejected within quota", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("fourth probe admitted past quota of 3")
+	}
+	// Two successes are not enough to close with HalfOpenProbes = 3.
+	b.ReportSuccess()
+	b.ReportSuccess()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open after 2/3 successes", b.State())
+	}
+	b.ReportSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed after 3/3 successes", b.State())
+	}
+}
+
+// TestBreakerForget: a shed request admitted by Allow but never executed
+// must release its half-open probe slot without counting as a success.
+func TestBreakerForget(t *testing.T) {
+	b, clk := newTestBreaker(1, 1, time.Second)
+	b.ReportFailure()
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe rejected")
+	}
+	b.Forget()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open (Forget must not close)", b.State())
+	}
+	// The slot is free again for a real probe.
+	if !b.Allow() {
+		t.Fatal("probe slot not released by Forget")
+	}
+	b.ReportSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+// TestBreakerForgetInClosedStateIsNeutral: Forget in the closed state must
+// not touch the failure streak (the bug it exists to avoid: a shed storm
+// resetting the streak and masking real failures).
+func TestBreakerForgetInClosedStateIsNeutral(t *testing.T) {
+	b, _ := newTestBreaker(2, 1, time.Second)
+	b.ReportFailure()
+	b.Forget() // must NOT reset the streak
+	b.ReportFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open: Forget reset the failure streak", b.State())
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	b, _ := newTestBreaker(5, 2, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if b.Allow() {
+					if (g+i)%3 == 0 {
+						b.ReportFailure()
+					} else {
+						b.ReportSuccess()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// No assertion beyond absence of races and a sane final state.
+	if s := b.State(); s != BreakerClosed && s != BreakerOpen && s != BreakerHalfOpen {
+		t.Fatalf("invalid final state %v", s)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for want, s := range map[string]BreakerState{
+		"closed":    BreakerClosed,
+		"open":      BreakerOpen,
+		"half-open": BreakerHalfOpen,
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if BreakerState(99).String() != "unknown" {
+		t.Errorf("out-of-range state String() = %q, want unknown", BreakerState(99).String())
+	}
+}

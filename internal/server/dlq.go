@@ -1,0 +1,116 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DeadLetter is one request the admission-control front door refused or
+// abandoned: shed at a full queue, rejected by an open breaker, expired
+// past its deadline, or dropped at shutdown. The dead-letter log is the
+// audit trail overload leaves behind — every ErrOverload reply a client
+// saw has a line here saying which shard shed it and why.
+type DeadLetter struct {
+	// Time is the wall-clock timestamp of the refusal.
+	Time time.Time `json:"ts"`
+	// Shard is the shard the request was routed to.
+	Shard int `json:"shard"`
+	// Op is the protocol operation (GET, PUT, ADD, MADD).
+	Op string `json:"op"`
+	// Key is the (primary) key the request addressed.
+	Key string `json:"key,omitempty"`
+	// Reason is one of "overload", "breaker-open", "timeout", "shutdown".
+	Reason string `json:"reason"`
+}
+
+// DLQ is a JSONL dead-letter log. A nil *DLQ is a valid no-op sink, so
+// shards record unconditionally and the server only pays when a path is
+// configured. Writes never block request handling on I/O errors: the first
+// error is sticky and subsequent records only count.
+type DLQ struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	err   error
+	count atomic.Uint64
+}
+
+// NewDLQ opens (truncating) a dead-letter log at path.
+func NewDLQ(path string) (*DLQ, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &DLQ{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Record appends one dead letter. Nil-safe; the count advances even when
+// no file is configured so metrics stay meaningful without a log.
+func (q *DLQ) Record(d DeadLetter) {
+	if q == nil {
+		return
+	}
+	q.count.Add(1)
+	if d.Time.IsZero() {
+		d.Time = time.Now()
+	}
+	// Marshal outside the lock: at full shed rate every shard funnels
+	// through this mutex, and holding it across a JSON encode would
+	// serialize the shards' shedding paths on each other.
+	b, err := json.Marshal(d)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err != nil {
+		return
+	}
+	if err != nil {
+		q.err = err
+		return
+	}
+	if _, err := q.w.Write(append(b, '\n')); err != nil {
+		q.err = err
+	}
+}
+
+// Count returns the number of dead letters recorded. Nil-safe.
+func (q *DLQ) Count() uint64 {
+	if q == nil {
+		return 0
+	}
+	return q.count.Load()
+}
+
+// Err returns the first write error, if any.
+func (q *DLQ) Err() error {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+// Close flushes and closes the log. Nil-safe.
+func (q *DLQ) Close() error {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.f == nil {
+		return q.err
+	}
+	if q.err == nil {
+		q.err = q.w.Flush()
+	}
+	cerr := q.f.Close()
+	q.f = nil
+	if q.err != nil {
+		return q.err
+	}
+	return cerr
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDLQRecordAndClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dlq.jsonl")
+	dlq, err := NewDLQ(path)
+	if err != nil {
+		t.Fatalf("NewDLQ: %v", err)
+	}
+	dlq.Record(DeadLetter{Shard: 1, Op: "ADD", Key: "k000001", Reason: ErrCodeOverload})
+	dlq.Record(DeadLetter{Shard: 0, Op: "GET", Key: "k000002", Reason: ErrCodeTimeout})
+	if c := dlq.Count(); c != 2 {
+		t.Errorf("Count() = %d, want 2", c)
+	}
+	if err := dlq.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2: %q", len(lines), string(data))
+	}
+	var dl DeadLetter
+	if err := json.Unmarshal([]byte(lines[0]), &dl); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if dl.Shard != 1 || dl.Op != "ADD" || dl.Reason != ErrCodeOverload {
+		t.Errorf("record = %+v", dl)
+	}
+	if dl.Time.IsZero() {
+		t.Error("dead letter was not timestamped")
+	}
+}
+
+// TestDLQNilSafe: a nil DLQ (no path configured) absorbs records without
+// panicking — callers never need to nil-check.
+func TestDLQNilSafe(t *testing.T) {
+	var dlq *DLQ
+	dlq.Record(DeadLetter{Shard: 0, Op: "ADD", Key: "k", Reason: ErrCodeOverload})
+	if c := dlq.Count(); c != 0 {
+		t.Errorf("nil DLQ Count() = %d, want 0", c)
+	}
+	if err := dlq.Err(); err != nil {
+		t.Errorf("nil DLQ Err() = %v", err)
+	}
+	if err := dlq.Close(); err != nil {
+		t.Errorf("nil DLQ Close() = %v", err)
+	}
+}
+
+func TestDLQConcurrentRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dlq.jsonl")
+	dlq, err := NewDLQ(path)
+	if err != nil {
+		t.Fatalf("NewDLQ: %v", err)
+	}
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 50
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				dlq.Record(DeadLetter{Shard: g, Op: "ADD", Key: "k", Reason: ErrCodeOverload})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c := dlq.Count(); c != goroutines*each {
+		t.Errorf("Count() = %d, want %d", c, goroutines*each)
+	}
+	if err := dlq.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != goroutines*each {
+		t.Errorf("%d lines, want %d", len(lines), goroutines*each)
+	}
+	// Interleaved writes must not tear lines.
+	for _, line := range lines {
+		var dl DeadLetter
+		if err := json.Unmarshal([]byte(line), &dl); err != nil {
+			t.Fatalf("torn JSONL line %q: %v", line, err)
+		}
+	}
+}

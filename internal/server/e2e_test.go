@@ -1,0 +1,211 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"autopn/internal/server"
+	"autopn/internal/server/loadgen"
+)
+
+// TestServerLoadSmoke is the end-to-end load gate behind `make
+// server-smoke` and the server-e2e CI job. It starts a full server
+// (tuners on), calibrates the host's sustainable rate with a saturating
+// run, then drives the server at 1x and 2x sustainable and asserts the
+// admission-control contract:
+//
+//   - at 2x, shedding engages: nonzero ERR overload replies, but bounded
+//     (the server does not collapse into rejecting everything);
+//   - goodput at 2x stays within 20% of the 1x run (shedding protects
+//     throughput instead of letting queues implode);
+//   - accepted-request p99 stays bounded by the request deadline;
+//   - at least two shards log independent tuning decisions.
+//
+// Artifacts (loadgen reports with latency histograms, per-shard decision
+// logs, the dead-letter log, the final /status snapshot) go to
+// $SERVER_SMOKE_ARTIFACTS when set. The per-run duration comes from
+// $LOADGEN_DURATION (default 4s). The test only runs when $SERVER_SMOKE=1
+// — it saturates the host on purpose, which would poison timing-sensitive
+// tests running in parallel `go test ./...` packages.
+func TestServerLoadSmoke(t *testing.T) {
+	if os.Getenv("SERVER_SMOKE") == "" {
+		t.Skip("set SERVER_SMOKE=1 (or run `make server-smoke`) to run the load smoke")
+	}
+	if testing.Short() {
+		t.Skip("load smoke skipped in short mode")
+	}
+	duration := 4 * time.Second
+	if v := os.Getenv("LOADGEN_DURATION"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("LOADGEN_DURATION=%q: %v", v, err)
+		}
+		duration = d
+	}
+	artifacts := os.Getenv("SERVER_SMOKE_ARTIFACTS")
+	if artifacts == "" {
+		artifacts = t.TempDir()
+	} else if err := os.MkdirAll(artifacts, 0o755); err != nil {
+		t.Fatalf("artifacts dir: %v", err)
+	}
+
+	const (
+		shards         = 4
+		keys           = 16384
+		requestTimeout = time.Second
+	)
+	decisionDir := filepath.Join(artifacts, "decisions")
+	s, err := server.New(server.Options{
+		Shards:         shards,
+		Keys:           keys,
+		RequestTimeout: requestTimeout,
+		TunerMaxWindow: 150 * time.Millisecond,
+		Retune:         true,
+		Seed:           1,
+		DecisionLogDir: decisionDir,
+		DLQPath:        filepath.Join(artifacts, "dlq.jsonl"),
+	})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("server.Start: %v", err)
+	}
+	defer s.Shutdown(10 * time.Second)
+
+	base := loadgen.Options{
+		Addr:   s.Addr(),
+		Keys:   keys,
+		ZipfS:  1.2,
+		Shards: shards,
+		Seed:   7,
+	}
+
+	// Calibration: saturate with a high open-loop cap and read the
+	// achieved goodput as the host's capacity. This run doubles as tuner
+	// warm-up — by the 1x run the shards have measurement windows behind
+	// them.
+	cal := base
+	cal.Rate = 200000
+	cal.Duration = duration
+	cal.MaxInFlight = 512
+	calRep, err := loadgen.Run(t.Context(), cal)
+	if err != nil {
+		t.Fatalf("calibration run: %v", err)
+	}
+	writeReport(t, artifacts, "calibration.json", calRep)
+	if calRep.Goodput <= 0 {
+		t.Fatalf("calibration measured zero goodput: %+v", calRep)
+	}
+	sustainable := 0.8 * calRep.Goodput
+	if sustainable < 500 {
+		sustainable = 500
+	}
+	t.Logf("calibration: capacity %.0f req/s -> sustainable %.0f req/s", calRep.Goodput, sustainable)
+
+	// 1x sustainable: the healthy baseline.
+	run1 := base
+	run1.Rate = sustainable
+	run1.Duration = duration
+	rep1, err := loadgen.Run(t.Context(), run1)
+	if err != nil {
+		t.Fatalf("1x run: %v", err)
+	}
+	writeReport(t, artifacts, "report-1x.json", rep1)
+	if rep1.OK == 0 {
+		t.Fatalf("1x run: zero successful responses: %+v", rep1)
+	}
+
+	// 2x sustainable: overload. Shedding must engage and protect goodput.
+	run2 := base
+	run2.Rate = 2 * sustainable
+	run2.Duration = duration
+	rep2, err := loadgen.Run(t.Context(), run2)
+	if err != nil {
+		t.Fatalf("2x run: %v", err)
+	}
+	writeReport(t, artifacts, "report-2x.json", rep2)
+	t.Logf("1x: goodput %.0f, shed %.1f%%, p99 %.1fms | 2x: goodput %.0f, shed %.1f%%, p99 %.1fms",
+		rep1.Goodput, 100*rep1.ShedRate, rep1.LatencyMs.P99,
+		rep2.Goodput, 100*rep2.ShedRate, rep2.LatencyMs.P99)
+
+	if rep2.Overload == 0 {
+		t.Error("2x run: load shedding never engaged (zero ERR overload replies)")
+	}
+	if rep2.ShedRate > 0.95 {
+		t.Errorf("2x run: shed rate %.2f is unbounded collapse, want < 0.95", rep2.ShedRate)
+	}
+	if rep2.Goodput < 0.8*rep1.Goodput {
+		t.Errorf("2x goodput %.0f fell more than 20%% below 1x goodput %.0f — shedding is not protecting throughput",
+			rep2.Goodput, rep1.Goodput)
+	}
+	// Accepted requests must stay under the deadline (plus client-side
+	// slack): overload turns into typed rejections, not latency collapse.
+	boundMs := 1.5 * float64(requestTimeout) / float64(time.Millisecond)
+	if rep2.LatencyMs.P99 > boundMs {
+		t.Errorf("2x accepted p99 = %.1fms, want <= %.0fms", rep2.LatencyMs.P99, boundMs)
+	}
+
+	// The /status shard table shows every shard's (t, c, phase).
+	st := s.Status()
+	writeReport(t, artifacts, "status.json", st)
+	if len(st.ShardTable) != shards {
+		t.Fatalf("shard table has %d rows, want %d", len(st.ShardTable), shards)
+	}
+	for _, row := range st.ShardTable {
+		if row.Phase == "" || row.T <= 0 || row.C <= 0 {
+			t.Errorf("shard %d: (t=%d c=%d phase=%q), want live tuner state", row.ID, row.T, row.C, row.Phase)
+		}
+	}
+
+	// Shut down to flush the logs, then require independent decision
+	// trails from at least two shards.
+	rep := s.Shutdown(10 * time.Second)
+	if !rep.Drained {
+		t.Errorf("shutdown did not drain (abandoned %d)", rep.Abandoned)
+	}
+	shardsWithDecisions := 0
+	for i := 0; i < shards; i++ {
+		path := filepath.Join(decisionDir, fmt.Sprintf("shard-%d.jsonl", i))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("shard %d decision log: %v", i, err)
+			continue
+		}
+		records := 0
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if line == "" {
+				continue
+			}
+			var obj map[string]any
+			if err := json.Unmarshal([]byte(line), &obj); err != nil {
+				t.Errorf("shard %d decision log: malformed line %q: %v", i, line, err)
+				break
+			}
+			records++
+		}
+		if records > 0 {
+			shardsWithDecisions++
+		}
+	}
+	if shardsWithDecisions < 2 {
+		t.Errorf("only %d shard(s) logged tuning decisions, want >= 2 independent tuners", shardsWithDecisions)
+	}
+}
+
+// writeReport marshals v into the artifacts directory.
+func writeReport(t *testing.T, dir, name string, v any) {
+	t.Helper()
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal %s: %v", name, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), append(b, '\n'), 0o644); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+}

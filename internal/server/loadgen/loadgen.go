@@ -1,0 +1,433 @@
+// Package loadgen is the open-loop load generator for the autopn-server
+// serving layer. It simulates a large population of concurrent users:
+// request arrivals follow a fixed open-loop schedule (they do NOT wait for
+// earlier responses — the defining property that lets offered load exceed
+// capacity and exercise the server's load shedding), keys are drawn with
+// zipfian skew (a few hot keys, a long cold tail), and the read/write mix
+// and multi-key transaction fraction are configurable. It reports p50/p95/
+// p99 latency over accepted requests, goodput, and the shed rate.
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autopn/internal/server"
+)
+
+// Options configures one load-generation run.
+type Options struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Rate is the open-loop arrival rate in requests/second.
+	Rate float64
+	// Duration is how long arrivals are generated.
+	Duration time.Duration
+	// Conns is the connection pool size; arrivals are spread round-robin
+	// and pipelined, so a few connections carry many in-flight requests
+	// (default 8).
+	Conns int
+	// MaxInFlight bounds outstanding requests; arrivals past it are
+	// counted as Dropped (client-side shed) instead of queueing without
+	// bound (default 4096).
+	MaxInFlight int
+
+	// Keys is the addressed key-space size; must not exceed the server's
+	// (default 16384).
+	Keys int
+	// ZipfS is the zipfian skew exponent (> 1; values near 1 are mild,
+	// 1.3+ is heavily skewed). <= 1 selects uniform keys (default 1.1).
+	ZipfS float64
+	// ReadFrac is the fraction of GET requests (default 0.5).
+	ReadFrac float64
+	// MAddFrac is the fraction of *write* requests issued as multi-key
+	// MADD transactions (default 0.2; requires Shards > 0).
+	MAddFrac float64
+	// MAddKeys is how many keys an MADD touches (default 4).
+	MAddKeys int
+	// Shards and VNodes mirror the server's ring so MADD keys can be
+	// colocated on one shard client-side. Shards = 0 disables MADD.
+	Shards int
+	VNodes int
+
+	// Seed makes the generated request stream reproducible (default 1).
+	Seed uint64
+	// DrainTimeout bounds the post-run wait for outstanding responses
+	// (default 5s).
+	DrainTimeout time.Duration
+}
+
+func (o *Options) withDefaults() {
+	if o.Conns <= 0 {
+		o.Conns = 8
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4096
+	}
+	if o.Keys <= 0 {
+		o.Keys = 16384
+	}
+	if o.ZipfS == 0 {
+		o.ZipfS = 1.1
+	}
+	if o.ReadFrac == 0 {
+		o.ReadFrac = 0.5
+	}
+	if o.MAddFrac == 0 {
+		o.MAddFrac = 0.2
+	}
+	if o.MAddKeys <= 1 {
+		o.MAddKeys = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+}
+
+// Bucket is one latency-histogram bucket of the report.
+type Bucket struct {
+	// LEMs is the bucket's inclusive upper bound in milliseconds.
+	LEMs float64 `json:"le_ms"`
+	// Count is how many accepted requests finished within the bound
+	// (non-cumulative).
+	Count uint64 `json:"count"`
+}
+
+// Report is the run summary, JSON-marshaled by cmd/autopn-loadgen and the
+// CI artifact the server-e2e job uploads.
+type Report struct {
+	Rate            float64 `json:"rate"`
+	DurationSeconds float64 `json:"duration_seconds"`
+
+	Sent        uint64 `json:"sent"`
+	OK          uint64 `json:"ok"`
+	Overload    uint64 `json:"overload"`     // ERR overload replies (server shed)
+	BreakerOpen uint64 `json:"breaker_open"` // ERR breaker-open replies
+	Timeouts    uint64 `json:"timeouts"`     // ERR timeout replies + drain-expired
+	Errors      uint64 `json:"errors"`       // other ERR replies
+	Dropped     uint64 `json:"dropped"`      // client-side: in-flight cap hit
+
+	// Goodput is accepted (OK) responses per second of run duration.
+	Goodput float64 `json:"goodput"`
+	// ShedRate is (Overload+BreakerOpen)/Sent.
+	ShedRate float64 `json:"shed_rate"`
+
+	// Latency summarizes accepted-request latency in milliseconds.
+	LatencyMs LatencySummary `json:"latency_ms"`
+	// Histogram is the accepted-latency distribution over log-spaced
+	// bucket bounds.
+	Histogram []Bucket `json:"histogram"`
+}
+
+// LatencySummary is the order-statistics block of a Report.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// conn is one pooled connection with its in-order pending FIFO.
+type conn struct {
+	c     net.Conn
+	w     *bufio.Writer
+	dirty bool // buffered writes awaiting a flush (arrival loop only)
+	pend  chan pendEntry
+}
+
+type pendEntry struct {
+	sent time.Time
+}
+
+// run state shared across connection readers.
+type runState struct {
+	mu        sync.Mutex
+	latencies []float64 // accepted-request latency (ms)
+
+	ok, overload, breakerOpen, timeouts, errs atomic.Uint64
+	inflight                                  chan struct{}
+}
+
+// Run executes one load-generation run against a live server and returns
+// the report. ctx cancellation stops arrivals early; already-sent requests
+// are still drained.
+func Run(ctx context.Context, o Options) (Report, error) {
+	o.withDefaults()
+	if o.Rate <= 0 {
+		return Report{}, fmt.Errorf("loadgen: Rate must be > 0")
+	}
+
+	st := &runState{inflight: make(chan struct{}, o.MaxInFlight)}
+	conns := make([]*conn, 0, o.Conns)
+	var readers sync.WaitGroup
+	for i := 0; i < o.Conns; i++ {
+		nc, err := net.DialTimeout("tcp", o.Addr, 5*time.Second)
+		if err != nil {
+			for _, c := range conns {
+				_ = c.c.Close()
+			}
+			return Report{}, fmt.Errorf("loadgen: dial %s: %w", o.Addr, err)
+		}
+		c := &conn{c: nc, w: bufio.NewWriter(nc), pend: make(chan pendEntry, o.MaxInFlight)}
+		conns = append(conns, c)
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			readLoop(c, st)
+		}()
+	}
+
+	gen := newOpGen(o)
+	start := time.Now()
+	deadline := start.Add(o.Duration)
+	var sent, dropped uint64
+	interval := float64(time.Second) / o.Rate
+
+	// Writes are buffered and flushed only when the schedule is about to
+	// sleep: when arrivals are due faster than the loop runs (the whole
+	// point of overload runs), consecutive sends batch into one syscall
+	// instead of burning a flush per request.
+	flushDirty := func() {
+		for _, c := range conns {
+			if c.dirty {
+				_ = c.w.Flush()
+				c.dirty = false
+			}
+		}
+	}
+	for i := 0; ; i++ {
+		due := start.Add(time.Duration(float64(i) * interval))
+		if due.After(deadline) || ctx.Err() != nil {
+			break
+		}
+		if d := time.Until(due); d > 0 {
+			flushDirty()
+			time.Sleep(d)
+		}
+		select {
+		case st.inflight <- struct{}{}:
+		default:
+			// Open-loop discipline: when the in-flight cap is hit the
+			// arrival is dropped and counted, never queued client-side.
+			dropped++
+			continue
+		}
+		line := gen.next()
+		c := conns[int(sent)%len(conns)]
+		c.pend <- pendEntry{sent: time.Now()}
+		if _, err := c.w.WriteString(line + "\n"); err == nil {
+			c.dirty = true
+		}
+		sent++
+	}
+	flushDirty()
+	elapsed := time.Since(start)
+
+	// Drain: wait for outstanding responses, bounded.
+	drainDeadline := time.Now().Add(o.DrainTimeout)
+	for len(st.inflight) > 0 && time.Now().Before(drainDeadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	expired := uint64(len(st.inflight))
+	st.timeouts.Add(expired)
+	for _, c := range conns {
+		_ = c.c.Close()
+		close(c.pend)
+	}
+	readers.Wait()
+
+	rep := Report{
+		Rate:            o.Rate,
+		DurationSeconds: elapsed.Seconds(),
+		Sent:            sent,
+		OK:              st.ok.Load(),
+		Overload:        st.overload.Load(),
+		BreakerOpen:     st.breakerOpen.Load(),
+		Timeouts:        st.timeouts.Load(),
+		Errors:          st.errs.Load(),
+		Dropped:         dropped,
+	}
+	if rep.DurationSeconds > 0 {
+		rep.Goodput = float64(rep.OK) / rep.DurationSeconds
+	}
+	if rep.Sent > 0 {
+		rep.ShedRate = float64(rep.Overload+rep.BreakerOpen) / float64(rep.Sent)
+	}
+	st.mu.Lock()
+	rep.LatencyMs = summarize(st.latencies)
+	rep.Histogram = bucketize(st.latencies)
+	st.mu.Unlock()
+	return rep, nil
+}
+
+// readLoop consumes responses on one connection, matching them FIFO to
+// the pending sends (the server answers in order). Latencies accumulate
+// in a local buffer and merge once at exit, keeping the shared mutex off
+// the per-response path.
+func readLoop(c *conn, st *runState) {
+	local := make([]float64, 0, 4096)
+	defer func() {
+		st.mu.Lock()
+		st.latencies = append(st.latencies, local...)
+		st.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(c.c)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<10)
+	for sc.Scan() {
+		e, ok := <-c.pend
+		if !ok {
+			return
+		}
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "VALUE"), line == "OK", line == "PONG":
+			st.ok.Add(1)
+			local = append(local, float64(time.Since(e.sent))/float64(time.Millisecond))
+		case line == "ERR "+server.ErrCodeOverload:
+			st.overload.Add(1)
+		case line == "ERR "+server.ErrCodeBreakerOpen:
+			st.breakerOpen.Add(1)
+		case line == "ERR "+server.ErrCodeTimeout:
+			st.timeouts.Add(1)
+		default:
+			st.errs.Add(1)
+		}
+		<-st.inflight
+	}
+	// Connection closed: entries still pending were accounted as expired
+	// by the drain loop; just stop.
+}
+
+// summarize computes the latency order statistics (destructive sort).
+func summarize(lat []float64) LatencySummary {
+	s := LatencySummary{Count: uint64(len(lat))}
+	if len(lat) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), lat...)
+	sort.Float64s(sorted)
+	total := 0.0
+	for _, v := range sorted {
+		total += v
+	}
+	s.Mean = total / float64(len(sorted))
+	s.P50 = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	s.P99 = percentile(sorted, 0.99)
+	s.Max = sorted[len(sorted)-1]
+	return s
+}
+
+// bucketBounds are the log-spaced latency histogram bounds (ms).
+var bucketBounds = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// bucketize counts latencies into non-cumulative log-spaced buckets; the
+// final bucket (LEMs = +inf rendered as -1) catches the overflow.
+func bucketize(lat []float64) []Bucket {
+	out := make([]Bucket, len(bucketBounds)+1)
+	for i, b := range bucketBounds {
+		out[i].LEMs = b
+	}
+	out[len(bucketBounds)].LEMs = -1 // +inf
+	for _, v := range lat {
+		placed := false
+		for i, b := range bucketBounds {
+			if v <= b {
+				out[i].Count++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			out[len(bucketBounds)].Count++
+		}
+	}
+	return out
+}
+
+// percentile returns the p-th percentile of sorted (nearest-rank with
+// linear interpolation, matching obs.Histogram).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// opGen generates the deterministic request stream: zipfian key draws,
+// read/write mix, and shard-colocated MADD batches.
+type opGen struct {
+	o      Options
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	ring   *server.Ring
+	byShrd [][]int // key indices per shard (for MADD colocation)
+}
+
+func newOpGen(o Options) *opGen {
+	g := &opGen{o: o, rng: rand.New(rand.NewSource(int64(o.Seed)))} //nolint:gosec // deterministic workload stream, not crypto
+	if o.ZipfS > 1 {
+		g.zipf = rand.NewZipf(g.rng, o.ZipfS, 1, uint64(o.Keys-1))
+	}
+	if o.Shards > 0 {
+		g.ring = server.NewRing(o.Shards, o.VNodes)
+		g.byShrd = make([][]int, o.Shards)
+		for i := 0; i < o.Keys; i++ {
+			s := g.ring.Lookup(server.KeyName(i))
+			g.byShrd[s] = append(g.byShrd[s], i)
+		}
+	}
+	return g
+}
+
+// key draws one key index with the configured skew.
+func (g *opGen) key() int {
+	if g.zipf != nil {
+		return int(g.zipf.Uint64())
+	}
+	return g.rng.Intn(g.o.Keys)
+}
+
+// next renders the next request line.
+func (g *opGen) next() string {
+	k := server.KeyName(g.key())
+	if g.rng.Float64() < g.o.ReadFrac {
+		return "GET " + k
+	}
+	if g.ring != nil && g.rng.Float64() < g.o.MAddFrac {
+		// Colocate the batch on the primary key's shard so the server can
+		// run it as one transaction with parallel nested children.
+		shard := g.ring.Lookup(k)
+		keys := g.byShrd[shard]
+		var b strings.Builder
+		b.WriteString("MADD ")
+		b.WriteString(k)
+		b.WriteString(" 1")
+		for i := 1; i < g.o.MAddKeys && len(keys) > 1; i++ {
+			extra := keys[g.rng.Intn(len(keys))]
+			fmt.Fprintf(&b, " %s 1", server.KeyName(extra))
+		}
+		return b.String()
+	}
+	return fmt.Sprintf("ADD %s %d", k, 1+g.rng.Intn(8))
+}
+

@@ -1,0 +1,188 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"autopn/internal/server"
+)
+
+func TestPercentileAndSummary(t *testing.T) {
+	lat := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := summarize(lat)
+	if s.Count != 10 {
+		t.Errorf("Count = %d, want 10", s.Count)
+	}
+	if math.Abs(s.Mean-5.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 5.5", s.Mean)
+	}
+	if math.Abs(s.P50-5.5) > 1e-9 {
+		t.Errorf("P50 = %v, want 5.5", s.P50)
+	}
+	if s.Max != 10 {
+		t.Errorf("Max = %v, want 10", s.Max)
+	}
+	if s.P99 < s.P95 || s.P95 < s.P50 {
+		t.Errorf("percentiles not monotone: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+	if z := summarize(nil); z.Count != 0 || z.Mean != 0 {
+		t.Errorf("empty summary = %+v, want zero", z)
+	}
+}
+
+func TestBucketize(t *testing.T) {
+	lat := []float64{0.05, 0.3, 3, 70, 9999}
+	buckets := bucketize(lat)
+	var total uint64
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total != uint64(len(lat)) {
+		t.Errorf("buckets count %d observations, want %d", total, len(lat))
+	}
+	if last := buckets[len(buckets)-1]; last.LEMs != -1 || last.Count != 1 {
+		t.Errorf("overflow bucket = %+v, want le=-1 count=1", last)
+	}
+}
+
+// TestOpGenDeterministicAndColocated: the same seed yields the same
+// request stream, and every MADD batch stays on one shard of the ring.
+func TestOpGenDeterministicAndColocated(t *testing.T) {
+	opts := Options{Keys: 512, ZipfS: 1.2, ReadFrac: 0.4, MAddFrac: 0.5, MAddKeys: 3, Shards: 4, Seed: 42}
+	opts.withDefaults()
+	a, b := newOpGen(opts), newOpGen(opts)
+	ring := server.NewRing(4, opts.VNodes)
+	madds := 0
+	for i := 0; i < 2000; i++ {
+		la, lb := a.next(), b.next()
+		if la != lb {
+			t.Fatalf("streams diverge at %d: %q vs %q", i, la, lb)
+		}
+		req, code := parseLine(la)
+		if code != "" {
+			t.Fatalf("generated unparseable line %q: %s", la, code)
+		}
+		if req.op == "MADD" {
+			madds++
+			shard := ring.Lookup(req.keys[0])
+			for _, k := range req.keys[1:] {
+				if ring.Lookup(k) != shard {
+					t.Fatalf("MADD %q spans shards %d and %d", la, shard, ring.Lookup(k))
+				}
+			}
+		}
+	}
+	if madds == 0 {
+		t.Error("stream contains no MADD despite MAddFrac=0.5")
+	}
+}
+
+// parseLine is a minimal test-side parse of generated request lines.
+type genReq struct {
+	op   string
+	keys []string
+}
+
+func parseLine(line string) (genReq, string) {
+	fields := splitFields(line)
+	if len(fields) == 0 {
+		return genReq{}, "empty"
+	}
+	r := genReq{op: fields[0]}
+	switch fields[0] {
+	case "GET":
+		r.keys = fields[1:]
+	case "ADD", "PUT":
+		if len(fields) != 3 {
+			return r, "arity"
+		}
+		r.keys = []string{fields[1]}
+	case "MADD":
+		if len(fields)%2 != 1 {
+			return r, "arity"
+		}
+		for i := 1; i < len(fields); i += 2 {
+			r.keys = append(r.keys, fields[i])
+		}
+	default:
+		return r, "op"
+	}
+	return r, ""
+}
+
+func splitFields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return out
+}
+
+// TestRunAgainstLiveServer wires the generator to a real in-process
+// server at a gentle rate and checks the report adds up.
+func TestRunAgainstLiveServer(t *testing.T) {
+	s, err := server.New(server.Options{
+		Shards:       2,
+		Keys:         1024,
+		DisableTuner: true,
+	})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("server.Start: %v", err)
+	}
+	defer s.Shutdown(5 * time.Second)
+
+	rep, err := Run(context.Background(), Options{
+		Addr:     s.Addr(),
+		Rate:     2000,
+		Duration: 500 * time.Millisecond,
+		Conns:    2,
+		Keys:     1024,
+		Shards:   2,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("report: nothing sent")
+	}
+	if rep.OK == 0 {
+		t.Fatal("report: no successful responses against an idle server")
+	}
+	accounted := rep.OK + rep.Overload + rep.BreakerOpen + rep.Timeouts + rep.Errors
+	if accounted < rep.Sent {
+		t.Errorf("responses unaccounted: sent %d, accounted %d (%+v)", rep.Sent, accounted, rep)
+	}
+	if rep.Goodput <= 0 {
+		t.Errorf("Goodput = %v, want > 0", rep.Goodput)
+	}
+	if rep.LatencyMs.Count != rep.OK {
+		t.Errorf("latency count %d != OK %d", rep.LatencyMs.Count, rep.OK)
+	}
+	if rep.LatencyMs.P99 < rep.LatencyMs.P50 {
+		t.Errorf("p99 %v < p50 %v", rep.LatencyMs.P99, rep.LatencyMs.P50)
+	}
+	var histTotal uint64
+	for _, b := range rep.Histogram {
+		histTotal += b.Count
+	}
+	if histTotal != rep.OK {
+		t.Errorf("histogram counts %d observations, want %d", histTotal, rep.OK)
+	}
+	if _, err := Run(context.Background(), Options{Addr: s.Addr()}); err == nil {
+		t.Error("Run with Rate=0 should error")
+	}
+}

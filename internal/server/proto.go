@@ -1,0 +1,158 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// The wire protocol is newline-delimited text, one request per line, one
+// response line per request, answered in order (clients may pipeline):
+//
+//	PING                        -> PONG
+//	GET <key>                   -> VALUE <n>
+//	PUT <key> <n>               -> OK
+//	ADD <key> <delta>           -> VALUE <new>
+//	MADD <k1> <d1> [<k2> <d2>]… -> OK        (all keys on one shard; the
+//	                                          increments run as parallel
+//	                                          nested transactions)
+//
+// Errors are "ERR <code>" with machine-readable codes; ErrCodeOverload is
+// the typed load-shedding reply the acceptance gate asserts on.
+const (
+	// ErrCodeOverload is replied when the target shard's admission queue is
+	// full: the request was shed, not queued.
+	ErrCodeOverload = "overload"
+	// ErrCodeBreakerOpen is replied while the target shard's circuit
+	// breaker is open (or its half-open probe quota is taken).
+	ErrCodeBreakerOpen = "breaker-open"
+	// ErrCodeTimeout is replied when a queued request expired before a
+	// worker finished it.
+	ErrCodeTimeout = "timeout"
+	// ErrCodeShutdown is replied to requests arriving while the server
+	// drains.
+	ErrCodeShutdown = "shutdown"
+	// ErrCodeUnknownKey is replied for keys outside the preloaded space.
+	ErrCodeUnknownKey = "unknown-key"
+	// ErrCodeCrossShard is replied to an MADD whose keys hash to more than
+	// one shard (cross-shard transactions are not supported).
+	ErrCodeCrossShard = "cross-shard"
+	// ErrCodeBadRequest is replied to unparseable lines.
+	ErrCodeBadRequest = "bad-request"
+)
+
+// opKind is the parsed operation.
+type opKind uint8
+
+const (
+	opPing opKind = iota
+	opGet
+	opPut
+	opAdd
+	opMAdd
+)
+
+var opNames = [...]string{"PING", "GET", "PUT", "ADD", "MADD"}
+
+func (k opKind) String() string { return opNames[k] }
+
+// request is one parsed, routed protocol request flowing through a shard's
+// admission queue. reply has capacity 1 and receives exactly one response
+// line; replied arbitrates between the worker, the deadline timer and the
+// shedding paths so that exactly one of them answers.
+type request struct {
+	kind  opKind
+	key   string   // primary key (GET/PUT/ADD; first key of MADD)
+	arg   uint64   // PUT value / ADD delta
+	keys  []string // MADD keys
+	args  []uint64 // MADD deltas
+	enq   time.Time
+	timer atomic.Pointer[time.Timer] // deadline watchdog; armed on admission
+	reply chan string
+
+	replied atomic.Bool
+}
+
+// finish delivers resp as the request's single reply. It returns false
+// when someone (the deadline timer, a shedding path) already replied.
+func (r *request) finish(resp string) bool {
+	if !r.replied.CompareAndSwap(false, true) {
+		return false
+	}
+	if t := r.timer.Load(); t != nil {
+		t.Stop()
+	}
+	r.reply <- resp
+	return true
+}
+
+// armDeadline installs the deadline watchdog after the request was
+// admitted to a queue. The shed path never pays for a timer this way; the
+// replied re-check closes the race where a worker finished the request
+// between enqueue and arming.
+func (r *request) armDeadline(d time.Duration, onExpiry func()) {
+	t := time.AfterFunc(d, onExpiry)
+	r.timer.Store(t)
+	if r.replied.Load() {
+		t.Stop()
+	}
+}
+
+// parseRequest parses one protocol line. On failure it returns a non-empty
+// error code.
+func parseRequest(line string) (*request, string) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil, ErrCodeBadRequest
+	}
+	req := &request{reply: make(chan string, 1)}
+	switch strings.ToUpper(fields[0]) {
+	case "PING":
+		req.kind = opPing
+	case "GET":
+		if len(fields) != 2 {
+			return nil, ErrCodeBadRequest
+		}
+		req.kind, req.key = opGet, fields[1]
+	case "PUT", "ADD":
+		if len(fields) != 3 {
+			return nil, ErrCodeBadRequest
+		}
+		n, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return nil, ErrCodeBadRequest
+		}
+		req.kind, req.key, req.arg = opPut, fields[1], n
+		if strings.ToUpper(fields[0]) == "ADD" {
+			req.kind = opAdd
+		}
+	case "MADD":
+		pairs := fields[1:]
+		if len(pairs) == 0 || len(pairs)%2 != 0 {
+			return nil, ErrCodeBadRequest
+		}
+		req.kind = opMAdd
+		for i := 0; i < len(pairs); i += 2 {
+			d, err := strconv.ParseUint(pairs[i+1], 10, 64)
+			if err != nil {
+				return nil, ErrCodeBadRequest
+			}
+			req.keys = append(req.keys, pairs[i])
+			req.args = append(req.args, d)
+		}
+		req.key = req.keys[0]
+	default:
+		return nil, ErrCodeBadRequest
+	}
+	return req, ""
+}
+
+// Response constructors.
+func respValue(n uint64) string { return "VALUE " + strconv.FormatUint(n, 10) }
+func respErr(code string) string { return "ERR " + code }
+
+const (
+	respOK   = "OK"
+	respPong = "PONG"
+)

@@ -1,0 +1,580 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autopn"
+	"autopn/internal/chaos"
+	"autopn/internal/obs"
+	"autopn/internal/stm"
+)
+
+// Options configures a Server. The zero value is completed with defaults
+// sized for a small host; production deployments should set Shards and
+// CoresPerShard explicitly.
+type Options struct {
+	// Addr is the TCP listen address (default "127.0.0.1:0").
+	Addr string
+	// HTTPAddr, if non-empty, serves the obs introspection surface
+	// (/metrics, /status with the per-shard table, /debug/pprof).
+	HTTPAddr string
+
+	// Shards is the number of independent STM shards (default 4).
+	Shards int
+	// VNodes is the consistent-hash virtual-node count per shard
+	// (default 64).
+	VNodes int
+	// Keys is the preloaded key-space size; keys are named KeyName(0) …
+	// KeyName(Keys-1) (default 16384).
+	Keys int
+
+	// QueueDepth bounds each shard's admission queue; a full queue sheds
+	// with ErrCodeOverload (default 256).
+	QueueDepth int
+	// WorkersPerShard is each shard's executor pool size (default
+	// CoresPerShard; the tuner's actuator throttles actual STM admission
+	// below this).
+	WorkersPerShard int
+	// RequestTimeout bounds a request from admission to reply; expired
+	// requests get ErrCodeTimeout and feed the circuit breaker
+	// (default 1s).
+	RequestTimeout time.Duration
+	// Breaker configures the per-shard circuit breakers.
+	Breaker BreakerOptions
+
+	// CoresPerShard is each shard tuner's core budget n ((t,c) with
+	// t*c <= n; default max(2, NumCPU/Shards)).
+	CoresPerShard int
+	// DisableTuner runs the shards without tuners (tests); admission is
+	// then unthrottled.
+	DisableTuner bool
+	// TunerMaxWindow bounds a tuner measurement window (default 1s).
+	TunerMaxWindow time.Duration
+	// Retune keeps each shard's tuner watching for workload change after
+	// convergence (CUSUM) and re-tuning (default off; the server command
+	// turns it on).
+	Retune bool
+	// Seed derives per-shard tuner seeds (default 1).
+	Seed uint64
+
+	// DecisionLogDir, if non-empty, persists each shard's tuning decision
+	// trail as DIR/shard-<i>.jsonl.
+	DecisionLogDir string
+	// DLQPath, if non-empty, writes the dead-letter log (shed, timed-out,
+	// breaker-rejected, shutdown-dropped requests) as JSONL.
+	DLQPath string
+
+	// Injector, if non-nil, arms shard i's STM with Injector(i) — the
+	// chaos hook that makes breaker and shedding paths testable
+	// deterministically. Nil injectors disable chaos for that shard.
+	Injector func(shard int) *chaos.Injector
+	// LockFreeCommit selects the lock-free STM commit path per shard.
+	LockFreeCommit bool
+}
+
+func (o *Options) withDefaults() {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:0"
+	}
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.VNodes <= 0 {
+		o.VNodes = defaultVNodes
+	}
+	if o.Keys <= 0 {
+		o.Keys = 16384
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.CoresPerShard <= 0 {
+		o.CoresPerShard = runtime.NumCPU() / o.Shards
+		if o.CoresPerShard < 2 {
+			o.CoresPerShard = 2
+		}
+	}
+	if o.WorkersPerShard <= 0 {
+		o.WorkersPerShard = o.CoresPerShard
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = time.Second
+	}
+	if o.TunerMaxWindow <= 0 {
+		o.TunerMaxWindow = time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Server is the sharded transactional serving layer. Build with New,
+// start with Start, stop with Shutdown.
+type Server struct {
+	opts   Options
+	ring   *Ring
+	shards []*shard
+	dlq    *DLQ
+	reg    *obs.Registry
+
+	ln     net.Listener
+	httpLn net.Listener
+	srv    *http.Server
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	accepting atomic.Bool
+	connWG    sync.WaitGroup
+	connMu    sync.Mutex
+	conns     map[net.Conn]struct{}
+	tunerWG   sync.WaitGroup
+	started   time.Time
+
+	shutdownOnce sync.Once
+	shutdownRep  ShutdownReport
+
+	latency *obs.Histogram // server-wide accepted-request latency (ms)
+}
+
+// New builds the server: shards, stores, breakers, tuners and logs. It
+// does not listen yet; call Start.
+func New(opts Options) (*Server, error) {
+	opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		ring:    NewRing(opts.Shards, opts.VNodes),
+		reg:     obs.NewRegistry(),
+		latency: obs.NewHistogram(0),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+
+	if opts.DLQPath != "" {
+		dlq, err := NewDLQ(opts.DLQPath)
+		if err != nil {
+			return nil, fmt.Errorf("dead-letter log: %w", err)
+		}
+		s.dlq = dlq
+	}
+	if opts.DecisionLogDir != "" {
+		if err := os.MkdirAll(opts.DecisionLogDir, 0o755); err != nil {
+			return nil, fmt.Errorf("decision-log dir: %w", err)
+		}
+	}
+
+	// Partition the key space across shards by the ring, then build each
+	// shard's immutable store so request handling never takes a map lock.
+	owned := make([]map[string]*stm.VBox[uint64], opts.Shards)
+	for i := range owned {
+		owned[i] = make(map[string]*stm.VBox[uint64])
+	}
+	for i := 0; i < opts.Keys; i++ {
+		key := KeyName(i)
+		owned[s.ring.Lookup(key)][key] = stm.NewVBox(uint64(0))
+	}
+
+	for i := 0; i < opts.Shards; i++ {
+		var inj *chaos.Injector
+		if opts.Injector != nil {
+			inj = opts.Injector(i)
+		}
+		sh := &shard{
+			id:      i,
+			stm:     stm.New(stm.Options{FaultInjector: inj, LockFreeCommit: opts.LockFreeCommit}),
+			store:   owned[i],
+			queue:   make(chan *request, opts.QueueDepth),
+			stop:    make(chan struct{}),
+			timeout: opts.RequestTimeout,
+			breaker: NewBreaker(opts.Breaker),
+			dlq:     s.dlq,
+			ring:    obs.NewRing(64),
+			latency: obs.NewHistogram(0),
+			global:  s.latency,
+			inj:     inj,
+		}
+		if !opts.DisableTuner {
+			recorders := obs.Multi{sh.ring}
+			if opts.DecisionLogDir != "" {
+				path := filepath.Join(opts.DecisionLogDir, fmt.Sprintf("shard-%d.jsonl", i))
+				jsonl, err := obs.NewJSONLFile(path, 64<<20)
+				if err != nil {
+					return nil, fmt.Errorf("decision log shard %d: %w", i, err)
+				}
+				sh.jsonl = jsonl
+				recorders = append(recorders, jsonl)
+			}
+			sh.tuner = autopn.NewTuner(sh.stm, autopn.Options{
+				Cores:     opts.CoresPerShard,
+				Seed:      opts.Seed + uint64(i)*7919,
+				MaxWindow: opts.TunerMaxWindow,
+				ReTune:    opts.Retune,
+				Recorder:  recorders,
+			})
+		}
+		sh.registerMetrics(s.reg)
+		s.shards = append(s.shards, sh)
+	}
+	s.registerMetrics()
+	return s, nil
+}
+
+// registerMetrics bridges server-wide aggregates into the registry.
+func (s *Server) registerMetrics() {
+	sum := func(f func(*shard) uint64) func() uint64 {
+		return func() uint64 {
+			var t uint64
+			for _, sh := range s.shards {
+				t += f(sh)
+			}
+			return t
+		}
+	}
+	s.reg.CounterFunc("autopn_server_accepted_total", sum(func(sh *shard) uint64 { return sh.accepted.Load() }))
+	s.reg.CounterFunc("autopn_server_served_total", sum(func(sh *shard) uint64 { return sh.served.Load() }))
+	s.reg.CounterFunc("autopn_server_shed_total", sum(func(sh *shard) uint64 { return sh.shed.Load() }))
+	s.reg.CounterFunc("autopn_server_breaker_rejects_total", sum(func(sh *shard) uint64 { return sh.brkRejects.Load() }))
+	s.reg.CounterFunc("autopn_server_timeouts_total", sum(func(sh *shard) uint64 { return sh.timeouts.Load() }))
+	s.reg.CounterFunc("autopn_server_errors_total", sum(func(sh *shard) uint64 { return sh.userErrors.Load() }))
+	s.reg.CounterFunc("autopn_server_breaker_opens_total", sum(func(sh *shard) uint64 { return sh.breaker.Opens() }))
+	s.reg.CounterFunc("autopn_server_dlq_total", func() uint64 { return s.dlq.Count() })
+	s.reg.CounterFunc("autopn_server_stm_top_commits_total", sum(func(sh *shard) uint64 { return sh.stm.Stats.TopCommits() }))
+	s.reg.CounterFunc("autopn_server_stm_top_aborts_total", sum(func(sh *shard) uint64 { return sh.stm.Stats.TopAborts() }))
+	s.reg.GaugeFunc("autopn_server_shards", func() float64 { return float64(len(s.shards)) })
+	s.reg.GaugeFunc("autopn_server_queue_len", func() float64 {
+		n := 0
+		for _, sh := range s.shards {
+			n += len(sh.queue)
+		}
+		return float64(n)
+	})
+	s.reg.RegisterHistogram("autopn_server_request_latency_ms", s.latency)
+}
+
+// Registry exposes the server's metrics registry (the HTTP introspection
+// surface serves it; tests scrape it directly).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Start begins listening, launches the shard workers and tuners, and
+// returns once the server is accepting connections.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.started = time.Now()
+	s.accepting.Store(true)
+
+	for _, sh := range s.shards {
+		sh.runWorkers(s.opts.WorkersPerShard)
+		if sh.tuner != nil {
+			s.tunerWG.Add(1)
+			go func() {
+				defer s.tunerWG.Done()
+				sh.tuner.Run(s.ctx)
+			}()
+		}
+	}
+
+	if s.opts.HTTPAddr != "" {
+		httpLn, err := net.Listen("tcp", s.opts.HTTPAddr)
+		if err != nil {
+			_ = ln.Close()
+			return fmt.Errorf("http: %w", err)
+		}
+		s.httpLn = httpLn
+		s.srv = &http.Server{Handler: obs.NewHandler(s.reg, func() any { return s.Status() })}
+		go func() { _ = s.srv.Serve(httpLn) }()
+	}
+
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the serving listener's address (valid after Start).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// HTTPAddr returns the introspection listener's address ("" when off).
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		if !s.accepting.Load() {
+			_ = c.Close()
+			continue
+		}
+		s.connWG.Add(1)
+		s.trackConn(c, true)
+		go func() {
+			defer s.connWG.Done()
+			defer s.trackConn(c, false)
+			s.serveConn(c)
+		}()
+	}
+}
+
+// trackConn registers/unregisters a live client connection so Shutdown
+// can force-close connections that idle past the drain.
+func (s *Server) trackConn(c net.Conn, add bool) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if add {
+		if s.conns == nil {
+			s.conns = make(map[net.Conn]struct{})
+		}
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+}
+
+// maxPipelined bounds per-connection outstanding requests; a client
+// pipelining deeper than this is back-pressured at its socket.
+const maxPipelined = 1024
+
+// serveConn handles one client connection: the reader parses and routes
+// lines as fast as they arrive (this is what lets an open-loop client
+// actually reach the shard queues instead of queueing in the kernel), the
+// writer replies strictly in request order.
+func (s *Server) serveConn(c net.Conn) {
+	defer func() { _ = c.Close() }()
+	pending := make(chan *request, maxPipelined)
+	done := make(chan struct{})
+
+	go func() {
+		defer close(done)
+		w := bufio.NewWriter(c)
+		for req := range pending {
+			resp := <-req.reply
+			if _, err := w.WriteString(resp + "\n"); err != nil {
+				// Client gone; keep draining replies so no request's
+				// finish() blocks, but stop writing.
+				for req := range pending {
+					<-req.reply
+				}
+				return
+			}
+			// Flush when no more replies are immediately pending, so
+			// pipelined bursts batch into few syscalls.
+			if len(pending) == 0 {
+				if err := w.Flush(); err != nil {
+					for req := range pending {
+						<-req.reply
+					}
+					return
+				}
+			}
+		}
+		_ = w.Flush()
+	}()
+
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<10)
+	for sc.Scan() {
+		req, code := parseRequest(sc.Text())
+		if code != "" {
+			req = &request{reply: make(chan string, 1)}
+			req.finish(respErr(code))
+			pending <- req
+			continue
+		}
+		s.route(req)
+		pending <- req
+	}
+	close(pending)
+	<-done
+}
+
+// route hands the request to the shard owning its key(s).
+func (s *Server) route(req *request) {
+	if req.kind == opPing {
+		req.finish(respPong)
+		return
+	}
+	id := s.ring.Lookup(req.key)
+	if req.kind == opMAdd {
+		for _, k := range req.keys[1:] {
+			if s.ring.Lookup(k) != id {
+				req.finish(respErr(ErrCodeCrossShard))
+				return
+			}
+		}
+	}
+	s.shards[id].submit(req)
+}
+
+// Status is the /status payload: server identity plus the per-shard table
+// of (t, c, phase), queue, breaker and traffic counters.
+type Status struct {
+	Addr          string        `json:"addr"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Shards        int           `json:"shards"`
+	Keys          int           `json:"keys"`
+	QueueDepth    int           `json:"queue_depth"`
+	DLQCount      uint64        `json:"dlq_count"`
+	ShardTable    []ShardStatus `json:"shard_table"`
+
+	Accepted uint64 `json:"accepted"`
+	Served   uint64 `json:"served"`
+	Shed     uint64 `json:"shed"`
+	Timeouts uint64 `json:"timeouts"`
+}
+
+// Status snapshots the server. Safe for concurrent use.
+func (s *Server) Status() Status {
+	st := Status{
+		Shards:     len(s.shards),
+		Keys:       s.opts.Keys,
+		QueueDepth: s.opts.QueueDepth,
+		DLQCount:   s.dlq.Count(),
+	}
+	if s.ln != nil {
+		st.Addr = s.Addr()
+		st.UptimeSeconds = time.Since(s.started).Seconds()
+	}
+	for _, sh := range s.shards {
+		row := sh.status()
+		st.ShardTable = append(st.ShardTable, row)
+		st.Accepted += row.Accepted
+		st.Served += row.Served
+		st.Shed += row.Shed
+		st.Timeouts += row.Timeouts
+	}
+	return st
+}
+
+// ShutdownReport summarizes a graceful shutdown.
+type ShutdownReport struct {
+	// Drained reports that every accepted request was answered before the
+	// deadline.
+	Drained bool
+	// Abandoned is how many requests were still queued or executing when
+	// the deadline expired (their deadline timers still answer them).
+	Abandoned int
+	// ShedAtShutdown is how many queued requests were answered with the
+	// typed shutdown error instead of executing.
+	ShedAtShutdown int
+}
+
+// Shutdown gracefully stops the server: it stops accepting connections
+// and requests, drains in-flight requests bounded by timeout, then — on
+// every path, drained or not — flushes all per-shard decision logs and
+// the dead-letter log. timeout <= 0 means a 5s default. Shutdown is
+// idempotent; later calls return the first call's report.
+func (s *Server) Shutdown(timeout time.Duration) ShutdownReport {
+	s.shutdownOnce.Do(func() { s.shutdownRep = s.doShutdown(timeout) })
+	return s.shutdownRep
+}
+
+func (s *Server) doShutdown(timeout time.Duration) ShutdownReport {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	var rep ShutdownReport
+
+	// 1. Refuse new work: no new connections, no new admissions.
+	s.accepting.Store(false)
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	for _, sh := range s.shards {
+		sh.draining.Store(true)
+	}
+
+	// 2. Bounded drain of requests already admitted to execution. Queued
+	// requests that have not started are answered with the shutdown error
+	// (they would only add latency to the drain); executing ones get
+	// until the deadline.
+	for _, sh := range s.shards {
+		rep.ShedAtShutdown += sh.drainQueue()
+	}
+	rep.Drained = true
+	for _, sh := range s.shards {
+		for sh.executing.Load() > 0 {
+			if time.Now().After(deadline) {
+				rep.Drained = false
+				break
+			}
+			time.Sleep(time.Millisecond)
+			rep.ShedAtShutdown += sh.drainQueue() // races with submit flips
+		}
+		rep.Abandoned += int(sh.executing.Load()) + len(sh.queue)
+	}
+
+	// 3. Stop workers and tuners. A worker wedged inside a stalled commit
+	// stays behind (counted above); its request's deadline timer already
+	// answers the client.
+	for _, sh := range s.shards {
+		close(sh.stop)
+	}
+	s.cancel()
+	tunersDone := make(chan struct{})
+	go func() {
+		s.tunerWG.Wait()
+		close(tunersDone)
+	}()
+	select {
+	case <-tunersDone:
+	case <-time.After(time.Until(deadline)):
+	}
+
+	// 4. Close the introspection server and client connections. A short
+	// grace lets connection writers flush replies already produced by the
+	// drain; idle clients would otherwise hold their reader goroutines
+	// open forever, so remaining connections are then force-closed.
+	if s.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_ = s.srv.Shutdown(ctx)
+		cancel()
+	}
+	time.Sleep(100 * time.Millisecond)
+	s.connMu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.connMu.Unlock()
+	connsDone := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(connsDone)
+	}()
+	select {
+	case <-connsDone:
+	case <-time.After(time.Until(deadline) + s.opts.RequestTimeout):
+		// Writers blocked on abandoned replies unblock once the deadline
+		// timers fire (at most RequestTimeout after admission); past that
+		// something is truly wedged and we stop waiting.
+	}
+
+	// 5. Flush every log — the whole point of a graceful exit. This runs
+	// on every path, including a failed drain, so an interrupted server
+	// still leaves complete decision and dead-letter trails (the PR 2
+	// die-unflushed bug pattern must not recur).
+	for _, sh := range s.shards {
+		if sh.jsonl != nil {
+			_ = sh.jsonl.Close()
+		}
+	}
+	_ = s.dlq.Close()
+	return rep
+}

@@ -1,0 +1,506 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"autopn/internal/chaos"
+)
+
+// startTestServer builds and starts a server with the given options and
+// registers a cleanup shutdown (Shutdown is idempotent, so tests may also
+// stop it explicitly).
+func startTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { s.Shutdown(5 * time.Second) })
+	return s
+}
+
+// testClient is a line-oriented protocol client for tests.
+type testClient struct {
+	t  *testing.T
+	c  net.Conn
+	sc *bufio.Scanner
+}
+
+func dialServer(t *testing.T, s *Server) *testClient {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", s.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial %s: %v", s.Addr(), err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<10)
+	return &testClient{t: t, c: c, sc: sc}
+}
+
+func (tc *testClient) send(line string) {
+	tc.t.Helper()
+	if _, err := fmt.Fprintf(tc.c, "%s\n", line); err != nil {
+		tc.t.Fatalf("send %q: %v", line, err)
+	}
+}
+
+func (tc *testClient) recv() string {
+	tc.t.Helper()
+	_ = tc.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if !tc.sc.Scan() {
+		tc.t.Fatalf("recv: connection closed or read error: %v", tc.sc.Err())
+	}
+	return tc.sc.Text()
+}
+
+func (tc *testClient) roundTrip(line string) string {
+	tc.t.Helper()
+	tc.send(line)
+	return tc.recv()
+}
+
+// sameShardKeys returns n key names that all hash to one shard of the
+// given ring, plus one key from a different shard.
+func sameShardKeys(t *testing.T, r *Ring, keySpace, n int) (colocated []string, other string) {
+	t.Helper()
+	byShard := map[int][]string{}
+	for i := 0; i < keySpace; i++ {
+		k := KeyName(i)
+		byShard[r.Lookup(k)] = append(byShard[r.Lookup(k)], k)
+	}
+	for s, keys := range byShard {
+		if len(keys) >= n && colocated == nil {
+			colocated = keys[:n]
+			for s2, keys2 := range byShard {
+				if s2 != s && len(keys2) > 0 {
+					other = keys2[0]
+					break
+				}
+			}
+			break
+		}
+	}
+	if colocated == nil || other == "" {
+		t.Fatal("key space too small to find colocated + foreign keys")
+	}
+	return colocated, other
+}
+
+func TestServerBasicOps(t *testing.T) {
+	s := startTestServer(t, Options{
+		Shards:       2,
+		Keys:         256,
+		DisableTuner: true,
+	})
+	tc := dialServer(t, s)
+
+	if got := tc.roundTrip("PING"); got != "PONG" {
+		t.Errorf("PING -> %q, want PONG", got)
+	}
+	k := KeyName(7)
+	if got := tc.roundTrip("PUT " + k + " 5"); got != "OK" {
+		t.Errorf("PUT -> %q, want OK", got)
+	}
+	if got := tc.roundTrip("GET " + k); got != "VALUE 5" {
+		t.Errorf("GET -> %q, want VALUE 5", got)
+	}
+	if got := tc.roundTrip("ADD " + k + " 3"); got != "VALUE 8" {
+		t.Errorf("ADD -> %q, want VALUE 8", got)
+	}
+	if got := tc.roundTrip("GET nosuchkey"); got != "ERR "+ErrCodeUnknownKey {
+		t.Errorf("GET unknown -> %q, want ERR %s", got, ErrCodeUnknownKey)
+	}
+	if got := tc.roundTrip("FROB x"); got != "ERR "+ErrCodeBadRequest {
+		t.Errorf("FROB -> %q, want ERR %s", got, ErrCodeBadRequest)
+	}
+	if got := tc.roundTrip("ADD " + k + " notanumber"); got != "ERR "+ErrCodeBadRequest {
+		t.Errorf("ADD bad delta -> %q, want ERR %s", got, ErrCodeBadRequest)
+	}
+}
+
+func TestServerMAdd(t *testing.T) {
+	s := startTestServer(t, Options{
+		Shards:       3,
+		VNodes:       64,
+		Keys:         512,
+		DisableTuner: true,
+	})
+	colocated, foreign := sameShardKeys(t, s.ring, 512, 3)
+	tc := dialServer(t, s)
+
+	line := fmt.Sprintf("MADD %s 2 %s 3 %s 4", colocated[0], colocated[1], colocated[2])
+	if got := tc.roundTrip(line); got != "OK" {
+		t.Fatalf("MADD -> %q, want OK", got)
+	}
+	for i, want := range []string{"VALUE 2", "VALUE 3", "VALUE 4"} {
+		if got := tc.roundTrip("GET " + colocated[i]); got != want {
+			t.Errorf("GET %s -> %q, want %q", colocated[i], got, want)
+		}
+	}
+	// Cross-shard batches are refused with the typed error.
+	cross := fmt.Sprintf("MADD %s 1 %s 1", colocated[0], foreign)
+	if got := tc.roundTrip(cross); got != "ERR "+ErrCodeCrossShard {
+		t.Errorf("cross-shard MADD -> %q, want ERR %s", got, ErrCodeCrossShard)
+	}
+}
+
+// TestServerPipelinedInOrder: responses come back in request order even
+// when many requests are written before any response is read.
+func TestServerPipelinedInOrder(t *testing.T) {
+	// One worker on one shard: execution then follows queue order exactly,
+	// so the accumulating VALUEs prove reply order matches request order.
+	s := startTestServer(t, Options{
+		Shards:          1,
+		Keys:            64,
+		QueueDepth:      128,
+		WorkersPerShard: 1,
+		DisableTuner:    true,
+	})
+	tc := dialServer(t, s)
+
+	const n = 100
+	k := KeyName(3)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "ADD %s 1\n", k)
+	}
+	if _, err := tc.c.Write([]byte(b.String())); err != nil {
+		t.Fatalf("pipelined write: %v", err)
+	}
+	for i := 1; i <= n; i++ {
+		want := fmt.Sprintf("VALUE %d", i)
+		if got := tc.recv(); got != want {
+			t.Fatalf("pipelined response %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestServerOverloadShedding: with a wedged shard (chaos stall at the
+// commit point) and a tiny queue, surplus arrivals are refused with the
+// typed overload reply and land in the dead-letter log.
+func TestServerOverloadShedding(t *testing.T) {
+	dlqPath := filepath.Join(t.TempDir(), "dlq.jsonl")
+	inj := chaos.New(chaos.Options{Rules: []chaos.Rule{{
+		Name:   "wedge-commit",
+		Point:  chaos.PointCommit,
+		Action: chaos.ActStall,
+	}}})
+	defer inj.Close()
+
+	s := startTestServer(t, Options{
+		Shards:          1,
+		Keys:            64,
+		QueueDepth:      2,
+		WorkersPerShard: 1,
+		RequestTimeout:  200 * time.Millisecond,
+		DisableTuner:    true,
+		DLQPath:         dlqPath,
+		Breaker:         BreakerOptions{FailureThreshold: 100}, // keep the breaker out of this test
+		Injector:        func(int) *chaos.Injector { return inj },
+	})
+	tc := dialServer(t, s)
+
+	// Burst far past capacity: 1 wedged executing + 2 queued slots; the
+	// rest must shed. The wedged/queued requests answer via their deadline
+	// timers, so every response eventually arrives, in order.
+	const n = 30
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "ADD %s 1\n", KeyName(i%4))
+	}
+	if _, err := tc.c.Write([]byte(b.String())); err != nil {
+		t.Fatalf("write burst: %v", err)
+	}
+	overloads, timeouts := 0, 0
+	for i := 0; i < n; i++ {
+		switch got := tc.recv(); got {
+		case "ERR " + ErrCodeOverload:
+			overloads++
+		case "ERR " + ErrCodeTimeout:
+			timeouts++
+		default:
+			t.Fatalf("response %d = %q, want overload or timeout", i, got)
+		}
+	}
+	// Exactly queue depth + at most one dequeued request can avoid the
+	// shed path; everything else must carry the typed overload reply.
+	if overloads < n-3 {
+		t.Errorf("got %d overload replies, want >= %d", overloads, n-3)
+	}
+	if timeouts < 2 || timeouts > 3 {
+		t.Errorf("got %d timeout replies, want 2 or 3", timeouts)
+	}
+	if shed := s.shards[0].shed.Load(); shed != uint64(overloads) {
+		t.Errorf("shard shed counter = %d, want %d", shed, overloads)
+	}
+	if c := s.dlq.Count(); c != uint64(n) {
+		t.Errorf("DLQ count = %d, want %d (every refusal leaves a dead letter)", c, n)
+	}
+
+	// Unwedge and shut down; the DLQ file must hold every refusal.
+	inj.Close()
+	s.Shutdown(5 * time.Second)
+	assertJSONLRecords(t, dlqPath, n)
+}
+
+// TestServerBreakerTripsUnderChaosStall drives the closed -> open ->
+// half-open -> closed cycle end to end: a chaos-stalled commit wedges the
+// shard, request deadline timers feed the breaker failures until it
+// trips, arrivals then get the typed breaker reply, and after the stall
+// is released plus the cooldown, a probe closes the breaker again.
+func TestServerBreakerTripsUnderChaosStall(t *testing.T) {
+	inj := chaos.New(chaos.Options{Rules: []chaos.Rule{{
+		Name:    "wedge-commit",
+		Point:   chaos.PointCommit,
+		Action:  chaos.ActStall,
+		Trigger: chaos.Trigger{Times: 2},
+	}}})
+	defer inj.Close()
+
+	s := startTestServer(t, Options{
+		Shards:          1,
+		Keys:            64,
+		QueueDepth:      8,
+		WorkersPerShard: 2,
+		RequestTimeout:  80 * time.Millisecond,
+		DisableTuner:    true,
+		Breaker: BreakerOptions{
+			FailureThreshold: 2,
+			Cooldown:         100 * time.Millisecond,
+			HalfOpenProbes:   1,
+		},
+		Injector: func(int) *chaos.Injector { return inj },
+	})
+	tc := dialServer(t, s)
+
+	// Two requests wedge in the stalled commit; their deadline timers
+	// answer with timeouts and trip the breaker.
+	tc.send("ADD " + KeyName(1) + " 1")
+	tc.send("ADD " + KeyName(2) + " 1")
+	for i := 0; i < 2; i++ {
+		if got := tc.recv(); got != "ERR "+ErrCodeTimeout {
+			t.Fatalf("wedged request %d -> %q, want ERR %s", i, got, ErrCodeTimeout)
+		}
+	}
+	// The timer delivers the reply before it reports the failure, so give
+	// the breaker a moment to observe both.
+	waitFor(t, time.Second, func() bool { return s.shards[0].breaker.State() == BreakerOpen })
+
+	// While open, arrivals are rejected immediately with the typed reply.
+	if got := tc.roundTrip("ADD " + KeyName(3) + " 1"); got != "ERR "+ErrCodeBreakerOpen {
+		t.Fatalf("request while open -> %q, want ERR %s", got, ErrCodeBreakerOpen)
+	}
+
+	// Release the stall (the two wedged commits finish as late successes)
+	// and wait out the cooldown; the next request is the half-open probe
+	// and its success closes the breaker.
+	inj.Close()
+	time.Sleep(150 * time.Millisecond)
+	if got := tc.roundTrip("ADD " + KeyName(4) + " 1"); got != "VALUE 1" {
+		t.Fatalf("probe request -> %q, want VALUE 1", got)
+	}
+	if st := s.shards[0].breaker.State(); st != BreakerClosed {
+		t.Fatalf("breaker state after probe success = %v, want closed", st)
+	}
+	if opens := s.shards[0].breaker.Opens(); opens != 1 {
+		t.Errorf("breaker Opens() = %d, want 1", opens)
+	}
+	// Normal service resumed.
+	if got := tc.roundTrip("ADD " + KeyName(4) + " 1"); got != "VALUE 2" {
+		t.Errorf("post-recovery request -> %q, want VALUE 2", got)
+	}
+}
+
+// TestServerGracefulShutdownFlushesLogs: Shutdown must drain in-flight
+// work within the timeout and leave complete, parseable decision and
+// dead-letter logs on disk — on every path.
+func TestServerGracefulShutdownFlushesLogs(t *testing.T) {
+	dir := t.TempDir()
+	dlqPath := filepath.Join(dir, "dlq.jsonl")
+	s := startTestServer(t, Options{
+		Shards:         2,
+		Keys:           256,
+		TunerMaxWindow: 40 * time.Millisecond,
+		Seed:           7,
+		DecisionLogDir: dir,
+		DLQPath:        dlqPath,
+	})
+	tc := dialServer(t, s)
+
+	// Drive traffic long enough for the tuners to complete measurement
+	// windows on both shards.
+	deadline := time.Now().Add(600 * time.Millisecond)
+	for i := 0; time.Now().Before(deadline); i++ {
+		if got := tc.roundTrip(fmt.Sprintf("ADD %s 1", KeyName(i%256))); !strings.HasPrefix(got, "VALUE") {
+			t.Fatalf("ADD -> %q, want VALUE n", got)
+		}
+	}
+
+	rep := s.Shutdown(5 * time.Second)
+	if !rep.Drained {
+		t.Errorf("Shutdown report: Drained = false, want true (abandoned %d)", rep.Abandoned)
+	}
+
+	// A request after shutdown is refused at the socket (listener closed).
+	if _, err := net.DialTimeout("tcp", s.Addr(), 200*time.Millisecond); err == nil {
+		t.Error("dial succeeded after shutdown; listener should be closed")
+	}
+
+	// Both shards' decision logs exist, are flushed and parse as JSONL.
+	total := 0
+	for i := 0; i < 2; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", i))
+		total += assertJSONLRecords(t, path, 0)
+	}
+	if total == 0 {
+		t.Error("no tuner decisions were flushed to the shard logs")
+	}
+}
+
+// assertJSONLRecords parses every line of path as a JSON object, failing
+// on malformed lines (a torn write means a missing flush), and returns
+// the record count, asserting it is at least min.
+func assertJSONLRecords(t *testing.T, path string, min int) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	n := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("%s: malformed JSONL line %q: %v", path, line, err)
+		}
+		n++
+	}
+	if n < min {
+		t.Fatalf("%s: %d records, want >= %d", path, n, min)
+	}
+	return n
+}
+
+// TestServerStatusShardTable: /status carries one row per shard with the
+// tuner's (t, c, phase) populated.
+func TestServerStatusShardTable(t *testing.T) {
+	s := startTestServer(t, Options{
+		Shards:         3,
+		Keys:           256,
+		TunerMaxWindow: 40 * time.Millisecond,
+		HTTPAddr:       "127.0.0.1:0",
+	})
+	tc := dialServer(t, s)
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for i := 0; time.Now().Before(deadline); i++ {
+		tc.send(fmt.Sprintf("ADD %s 1", KeyName(i%256)))
+		tc.recv()
+	}
+
+	st := s.Status()
+	if len(st.ShardTable) != 3 {
+		t.Fatalf("shard table has %d rows, want 3", len(st.ShardTable))
+	}
+	for _, row := range st.ShardTable {
+		if row.T <= 0 || row.C <= 0 {
+			t.Errorf("shard %d: (t,c) = (%d,%d), want both > 0", row.ID, row.T, row.C)
+		}
+		if row.Phase == "" {
+			t.Errorf("shard %d: empty tuner phase", row.ID)
+		}
+		if row.Breaker != "closed" {
+			t.Errorf("shard %d: breaker %q, want closed", row.ID, row.Breaker)
+		}
+	}
+	if st.Served == 0 {
+		t.Error("status reports zero served requests after traffic")
+	}
+
+	// The HTTP surface serves the same thing at /status.
+	resp := httpGet(t, "http://"+s.HTTPAddr()+"/status")
+	var remote Status
+	if err := json.Unmarshal(resp, &remote); err != nil {
+		t.Fatalf("/status: %v (body %.200s)", err, resp)
+	}
+	if len(remote.ShardTable) != 3 {
+		t.Errorf("/status shard table has %d rows, want 3", len(remote.ShardTable))
+	}
+	// And /metrics exposes the per-shard bridged names.
+	metrics := string(httpGet(t, "http://"+s.HTTPAddr()+"/metrics"))
+	for _, want := range []string{
+		"autopn_server_served_total",
+		"autopn_server_shard0_current_t",
+		"autopn_server_shard2_latency_ms",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// httpGet fetches a URL and returns the body, failing the test on any
+// error or non-200 status.
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return body
+}
+
+// TestServerShutdownRepliesShutdownToLateRequests: requests arriving on an
+// established connection during drain get the typed shutdown error.
+func TestServerShutdownRepliesShutdownToLateRequests(t *testing.T) {
+	s := startTestServer(t, Options{
+		Shards:       1,
+		Keys:         64,
+		DisableTuner: true,
+	})
+	tc := dialServer(t, s)
+	if got := tc.roundTrip("PING"); got != "PONG" {
+		t.Fatalf("PING -> %q", got)
+	}
+	for _, sh := range s.shards {
+		sh.draining.Store(true)
+	}
+	if got := tc.roundTrip("ADD " + KeyName(1) + " 1"); got != "ERR "+ErrCodeShutdown {
+		t.Errorf("request during drain -> %q, want ERR %s", got, ErrCodeShutdown)
+	}
+}

@@ -1,0 +1,353 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autopn"
+	"autopn/internal/chaos"
+	"autopn/internal/obs"
+	"autopn/internal/stm"
+)
+
+// shard is one independent slice of the store: its own STM universe, its
+// own key subset, its own bounded admission queue and worker pool, its own
+// circuit breaker, and its own autopn tuner converging a per-shard (t, c).
+// Shards share nothing but the dead-letter log and the metrics registry,
+// so a wedged or mistuned shard cannot stall its siblings.
+type shard struct {
+	id    int
+	stm   *stm.STM
+	store map[string]*stm.VBox[uint64] // immutable after New
+
+	queue   chan *request
+	stop    chan struct{}
+	timeout time.Duration
+
+	breaker *Breaker
+	dlq     *DLQ
+
+	tuner *autopn.Tuner
+	ring  *obs.Ring      // per-shard decision tail for /status
+	jsonl *obs.JSONLFile // per-shard persisted decision log (nil = off)
+	inj   *chaos.Injector
+
+	// draining rejects new submissions while shutdown drains the queue.
+	draining atomic.Bool
+	// executing counts requests a worker has dequeued but not yet finished.
+	executing atomic.Int64
+
+	wg sync.WaitGroup // workers
+
+	// Counters (served by /status and bridged into the registry).
+	accepted   atomic.Uint64 // enqueued
+	shed       atomic.Uint64 // rejected: queue full
+	brkRejects atomic.Uint64 // rejected: breaker open
+	timeouts   atomic.Uint64 // expired before completion
+	served     atomic.Uint64 // replied successfully
+	userErrors atomic.Uint64 // bad keys, cross-shard, execution errors
+	lateOK     atomic.Uint64 // completed after the deadline timer replied
+
+	latency *obs.Histogram // accepted-request latency, milliseconds
+	global  *obs.Histogram // server-wide latency histogram (shared)
+}
+
+// submit routes one request through the shard's admission-control front
+// door: shutdown drain check, circuit breaker, bounded queue. Exactly one
+// reply is always produced — immediately on rejection, by a worker or the
+// deadline timer otherwise.
+func (sh *shard) submit(req *request) {
+	if sh.draining.Load() {
+		sh.reject(req, ErrCodeShutdown)
+		return
+	}
+	if !sh.breaker.Allow() {
+		sh.brkRejects.Add(1)
+		sh.reject(req, ErrCodeBreakerOpen)
+		return
+	}
+	req.enq = time.Now()
+	select {
+	case sh.queue <- req:
+		sh.accepted.Add(1)
+		// The deadline watchdog: if no worker finishes the request in
+		// time (wedged shard, long queue), the timer answers with a typed
+		// timeout, feeds the breaker a failure, and leaves a dead letter.
+		// finish()'s CAS guarantees the worker and the timer never both
+		// reply. Armed only after admission so the shed path below stays
+		// free of timer churn at full overload rate.
+		req.armDeadline(sh.timeout, func() {
+			if req.finish(respErr(ErrCodeTimeout)) {
+				sh.timeouts.Add(1)
+				sh.breaker.ReportFailure()
+				sh.dlq.Record(DeadLetter{Shard: sh.id, Op: req.kind.String(), Key: req.key, Reason: ErrCodeTimeout})
+			}
+		})
+	default:
+		// Load shedding: the queue is full, so the request is refused
+		// *now* with the typed overload reply rather than queued into a
+		// latency cliff. The breaker sees the shed as a success-neutral
+		// event (it was never admitted to execution), but the dead-letter
+		// log records it.
+		if req.finish(respErr(ErrCodeOverload)) {
+			sh.shed.Add(1)
+			sh.dlq.Record(DeadLetter{Shard: sh.id, Op: req.kind.String(), Key: req.key, Reason: ErrCodeOverload})
+		}
+		// The breaker admitted the request but it never executed; undo the
+		// probe accounting so a shed cannot wedge the breaker half-open.
+		sh.breaker.Forget()
+	}
+}
+
+// reject replies immediately with the given code and records a dead letter.
+func (sh *shard) reject(req *request, code string) {
+	if req.finish(respErr(code)) {
+		sh.dlq.Record(DeadLetter{Shard: sh.id, Op: req.kind.String(), Key: req.key, Reason: code})
+	}
+}
+
+// runWorkers launches n executor goroutines.
+func (sh *shard) runWorkers(n int) {
+	for i := 0; i < n; i++ {
+		sh.wg.Add(1)
+		go func() {
+			defer sh.wg.Done()
+			for {
+				select {
+				case req := <-sh.queue:
+					sh.execute(req)
+				case <-sh.stop:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// execute runs one dequeued request against the shard's STM and replies.
+func (sh *shard) execute(req *request) {
+	sh.executing.Add(1)
+	defer sh.executing.Add(-1)
+	if req.replied.Load() {
+		// Expired in the queue; the deadline timer already answered and
+		// accounted for it.
+		return
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), req.enq.Add(sh.timeout))
+	resp, err := sh.exec(ctx, req)
+	cancel()
+	switch {
+	case err == nil:
+		if req.finish(resp) {
+			sh.served.Add(1)
+			sh.breaker.ReportSuccess()
+			ms := float64(time.Since(req.enq)) / float64(time.Millisecond)
+			sh.latency.Observe(ms)
+			sh.global.Observe(ms)
+		} else {
+			// The deadline timer beat us to the reply; the work still
+			// committed (late success), the breaker already saw the
+			// failure.
+			sh.lateOK.Add(1)
+		}
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		if req.finish(respErr(ErrCodeTimeout)) {
+			sh.timeouts.Add(1)
+			sh.breaker.ReportFailure()
+			sh.dlq.Record(DeadLetter{Shard: sh.id, Op: req.kind.String(), Key: req.key, Reason: ErrCodeTimeout})
+		}
+	default:
+		// Protocol-level errors (unknown key, cross-shard) are the
+		// client's fault, not the shard's health: reply without feeding
+		// the breaker a failure.
+		if req.finish(respErr(err.Error())) {
+			sh.userErrors.Add(1)
+			sh.breaker.ReportSuccess()
+		}
+	}
+}
+
+// errCode wraps a protocol error code as an error for exec's return path.
+type errCode string
+
+func (e errCode) Error() string { return string(e) }
+
+// exec performs the transactional work of one request.
+func (sh *shard) exec(ctx context.Context, req *request) (string, error) {
+	switch req.kind {
+	case opPing:
+		return respPong, nil
+	case opGet:
+		box, ok := sh.store[req.key]
+		if !ok {
+			return "", errCode(ErrCodeUnknownKey)
+		}
+		var v uint64
+		err := sh.stm.AtomicReadOnly(func(tx *stm.Tx) error {
+			v = box.Get(tx)
+			return nil
+		})
+		if err != nil {
+			return "", err
+		}
+		return respValue(v), nil
+	case opPut:
+		box, ok := sh.store[req.key]
+		if !ok {
+			return "", errCode(ErrCodeUnknownKey)
+		}
+		err := sh.stm.AtomicCtx(ctx, func(tx *stm.Tx) error {
+			box.Set(tx, req.arg)
+			return nil
+		})
+		if err != nil {
+			return "", err
+		}
+		return respOK, nil
+	case opAdd:
+		box, ok := sh.store[req.key]
+		if !ok {
+			return "", errCode(ErrCodeUnknownKey)
+		}
+		var v uint64
+		err := sh.stm.AtomicCtx(ctx, func(tx *stm.Tx) error {
+			v = box.Get(tx) + req.arg
+			box.Set(tx, v)
+			return nil
+		})
+		if err != nil {
+			return "", err
+		}
+		return respValue(v), nil
+	case opMAdd:
+		boxes := make([]*stm.VBox[uint64], len(req.keys))
+		for i, k := range req.keys {
+			box, ok := sh.store[k]
+			if !ok {
+				return "", errCode(ErrCodeUnknownKey)
+			}
+			boxes[i] = box
+		}
+		// The multi-key increment runs its per-key updates as parallel
+		// nested transactions: this is the request shape that gives the
+		// shard's tuner a real intra-transaction parallelism (c) knob to
+		// tune, not just top-level concurrency (t).
+		err := sh.stm.AtomicCtx(ctx, func(tx *stm.Tx) error {
+			fns := make([]func(*stm.Tx) error, len(boxes))
+			for i := range boxes {
+				box, delta := boxes[i], req.args[i]
+				fns[i] = func(child *stm.Tx) error {
+					box.Set(child, box.Get(child)+delta)
+					return nil
+				}
+			}
+			return tx.Parallel(fns...)
+		})
+		if err != nil {
+			return "", err
+		}
+		return respOK, nil
+	default:
+		return "", errCode(ErrCodeBadRequest)
+	}
+}
+
+// drainQueue empties the admission queue during shutdown, replying with
+// the typed shutdown error so no connection writer is left waiting on a
+// request that will never execute. Returns how many it drained.
+func (sh *shard) drainQueue() int {
+	n := 0
+	for {
+		select {
+		case req := <-sh.queue:
+			sh.reject(req, ErrCodeShutdown)
+			n++
+		default:
+			return n
+		}
+	}
+}
+
+// status snapshots the shard for /status.
+func (sh *shard) status() ShardStatus {
+	st := ShardStatus{
+		ID:             sh.id,
+		QueueLen:       len(sh.queue),
+		QueueCap:       cap(sh.queue),
+		Breaker:        sh.breaker.State().String(),
+		BreakerOpens:   sh.breaker.Opens(),
+		Accepted:       sh.accepted.Load(),
+		Shed:           sh.shed.Load(),
+		BreakerRejects: sh.brkRejects.Load(),
+		Timeouts:       sh.timeouts.Load(),
+		Served:         sh.served.Load(),
+		Errors:         sh.userErrors.Load(),
+	}
+	if sh.tuner != nil {
+		cur := sh.tuner.Current()
+		st.T, st.C = cur.T, cur.C
+		st.Phase = sh.tuner.Phase()
+	}
+	snap := sh.stm.Stats.Snapshot()
+	st.TopCommits = snap.TopCommits
+	st.TopAborts = snap.TopAborts
+	lat := sh.latency.Snapshot()
+	st.LatencyMs = &lat
+	st.RecentDecisions = sh.ring.Last(statusShardDecisions)
+	return st
+}
+
+// statusShardDecisions is how many trailing tuner decisions each shard row
+// of /status carries.
+const statusShardDecisions = 5
+
+// ShardStatus is one row of the /status shard table.
+type ShardStatus struct {
+	ID    int    `json:"id"`
+	T     int    `json:"t"`
+	C     int    `json:"c"`
+	Phase string `json:"phase"`
+
+	QueueLen     int    `json:"queue_len"`
+	QueueCap     int    `json:"queue_cap"`
+	Breaker      string `json:"breaker"`
+	BreakerOpens uint64 `json:"breaker_opens"`
+
+	Accepted       uint64 `json:"accepted"`
+	Shed           uint64 `json:"shed"`
+	BreakerRejects uint64 `json:"breaker_rejects"`
+	Timeouts       uint64 `json:"timeouts"`
+	Served         uint64 `json:"served"`
+	Errors         uint64 `json:"errors"`
+
+	TopCommits uint64 `json:"stm_top_commits"`
+	TopAborts  uint64 `json:"stm_top_aborts"`
+
+	LatencyMs       *obs.HistogramSnapshot `json:"latency_ms,omitempty"`
+	RecentDecisions []obs.Decision         `json:"recent_decisions,omitempty"`
+}
+
+// registerMetrics bridges the shard's counters and tuner gauges into the
+// server's shared registry under shard-indexed names (the flat obs
+// registry has no labels; autopn_server_shard0_* is the convention
+// documented in docs/OBSERVABILITY.md).
+func (sh *shard) registerMetrics(reg *obs.Registry) {
+	p := fmt.Sprintf("autopn_server_shard%d_", sh.id)
+	reg.CounterFunc(p+"accepted_total", sh.accepted.Load)
+	reg.CounterFunc(p+"shed_total", sh.shed.Load)
+	reg.CounterFunc(p+"breaker_rejects_total", sh.brkRejects.Load)
+	reg.CounterFunc(p+"timeouts_total", sh.timeouts.Load)
+	reg.CounterFunc(p+"served_total", sh.served.Load)
+	reg.CounterFunc(p+"breaker_opens_total", sh.breaker.Opens)
+	reg.GaugeFunc(p+"queue_len", func() float64 { return float64(len(sh.queue)) })
+	reg.GaugeFunc(p+"breaker_state", func() float64 { return float64(sh.breaker.State()) })
+	if sh.tuner != nil {
+		reg.GaugeFunc(p+"current_t", func() float64 { return float64(sh.tuner.Current().T) })
+		reg.GaugeFunc(p+"current_c", func() float64 { return float64(sh.tuner.Current().C) })
+	}
+	reg.RegisterHistogram(p+"latency_ms", sh.latency)
+}
