@@ -1,0 +1,71 @@
+// Command autopn-analyze merges a server run's offline artifacts — the
+// per-shard tuning decision logs, the dead-letter log, and a
+// /debug/server/trace export — into one chronological human-readable
+// timeline: tuner measurements and phase changes interleaved with shed
+// bursts and traced requests' stage decompositions, with each measurement
+// window annotated by the traced requests that completed inside it.
+//
+//	autopn-analyze -decisions /tmp/decisions -dlq /tmp/dlq.jsonl \
+//	  -trace server-trace.json -out timeline.txt
+//
+// Every input is optional, but at least one must be given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autopn/internal/analyze"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "autopn-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("autopn-analyze", flag.ContinueOnError)
+	var (
+		decisions = fs.String("decisions", "", "decision-log directory (shard-<i>.jsonl files)")
+		dlq       = fs.String("dlq", "", "dead-letter log path (JSONL)")
+		trace     = fs.String("trace", "", "/debug/server/trace export path (Chrome trace_event JSON)")
+		out       = fs.String("out", "", "write the timeline here instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *decisions == "" && *dlq == "" && *trace == "" {
+		return fmt.Errorf("nothing to analyze: give at least one of -decisions, -dlq, -trace")
+	}
+
+	var tl analyze.Timeline
+	if *decisions != "" {
+		if err := tl.LoadDecisions(*decisions); err != nil {
+			return fmt.Errorf("decisions: %w", err)
+		}
+	}
+	if *dlq != "" {
+		if err := tl.LoadDLQ(*dlq); err != nil {
+			return fmt.Errorf("dlq: %w", err)
+		}
+	}
+	if *trace != "" {
+		if err := tl.LoadTrace(*trace); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	return tl.Write(w)
+}

@@ -47,8 +47,10 @@ func run(args []string) error {
 		shards   = fs.Int("shards", 0, "server shard count, for client-side MADD colocation (0 disables MADD)")
 		vnodes   = fs.Int("vnodes", 0, "server virtual nodes per shard (0 = default; must match the server)")
 
-		seed = fs.Uint64("seed", 1, "workload stream seed")
-		out  = fs.String("out", "", "also write the JSON report to this file")
+		seed       = fs.Uint64("seed", 1, "workload stream seed")
+		out        = fs.String("out", "", "also write the JSON report to this file")
+		traceEvery = fs.Int("trace-every", 0, "send a trace hint on every Nth request (0 = none; needs server-side tracing on)")
+		statusURL  = fs.String("status-url", "", "server /status URL; the report embeds its stage breakdown after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +73,8 @@ func run(args []string) error {
 		Shards:      *shards,
 		VNodes:      *vnodes,
 		Seed:        *seed,
+		TraceEvery:  *traceEvery,
+		StatusURL:   *statusURL,
 	})
 	if err != nil {
 		return err

@@ -59,6 +59,9 @@ func run(args []string) error {
 		dlqPath     = fs.String("dlq", "", "dead-letter log path (JSONL; empty disables the file, counters still advance)")
 		lockfree    = fs.Bool("lockfree", false, "use the lock-free STM commit path")
 
+		traceSample = fs.Float64("trace-sample", 0, "request-tracing sample rate in [0,1] (0 = off; export at /debug/server/trace)")
+		traceRing   = fs.Int("trace-ring", 0, "completed-trace ring size (0 = default 4096)")
+
 		shutdownTimeout = fs.Duration("shutdown-timeout", 5*time.Second, "graceful-shutdown drain bound")
 
 		chaosShard = fs.Int("chaos-stall-shard", -1, "arm a chaos commit stall on this shard (-1 = off; exercises the breaker)")
@@ -91,6 +94,10 @@ func run(args []string) error {
 		DecisionLogDir: *decisionDir,
 		DLQPath:        *dlqPath,
 		LockFreeCommit: *lockfree,
+		Trace: server.TraceOptions{
+			SampleRate: *traceSample,
+			MaxTraces:  *traceRing,
+		},
 	}
 	var injectors []*chaos.Injector
 	if *chaosShard >= 0 {

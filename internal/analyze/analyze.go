@@ -1,0 +1,348 @@
+// Package analyze merges the serving layer's offline artifacts — per-shard
+// tuning decision logs, the dead-letter log, and a /debug/server/trace
+// export — into one chronological, human-readable timeline. It answers the
+// post-mortem question the individual files cannot: *what was the tuner
+// doing when those requests were shed, and where did the traced requests'
+// time go while it deliberated?*
+package analyze
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"autopn/internal/obs"
+	"autopn/internal/server"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	Time   time.Time
+	Source string // "shard-3", "dlq", "trace"
+	Text   string
+
+	// shard and stages back the decision-annotation pass: trace events
+	// carry their stage means, measurement decisions get annotated with
+	// the traced requests that completed in their window.
+	shard    int // -1 when unattributed
+	isTrace  bool
+	stages   [4]float64 // queue/exec/commit/flush ms (traces only)
+	decision *obs.Decision
+}
+
+// Timeline is the merged, time-sorted event set.
+type Timeline struct {
+	Events []Event
+}
+
+// shardFileRE extracts the shard index from a decision-log file name.
+var shardFileRE = regexp.MustCompile(`shard-(\d+)\.jsonl$`)
+
+// LoadDecisions reads every shard-<i>.jsonl decision log in dir.
+func (t *Timeline) LoadDecisions(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "shard-*.jsonl"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		shard := -1
+		if m := shardFileRE.FindStringSubmatch(path); m != nil {
+			fmt.Sscanf(m[1], "%d", &shard)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = t.readDecisions(f, shard)
+		_ = f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func (t *Timeline) readDecisions(r io.Reader, shard int) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var d obs.Decision
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			return err
+		}
+		dc := d
+		t.Events = append(t.Events, Event{
+			Time:     d.Time,
+			Source:   fmt.Sprintf("shard-%d", shard),
+			Text:     renderDecision(d),
+			shard:    shard,
+			decision: &dc,
+		})
+	}
+	return sc.Err()
+}
+
+// renderDecision formats one tuner decision as a timeline line.
+func renderDecision(d obs.Decision) string {
+	switch d.Kind {
+	case obs.KindMeasurement:
+		s := fmt.Sprintf("measured (t=%d,c=%d): %.0f commits/s cv=%.3f window=%.0fms",
+			d.T, d.C, d.Throughput, d.CV, d.WindowMS)
+		if d.Aborts > 0 {
+			s += fmt.Sprintf(" aborts=%d", d.Aborts)
+		}
+		if d.TimedOut {
+			s += " (timed out)"
+		}
+		if d.Watchdog {
+			s += " (watchdog)"
+		}
+		return s
+	case obs.KindSuggestion:
+		if d.EI > 0 {
+			return fmt.Sprintf("suggest (t=%d,c=%d) ei=%.3g rel=%.3g [%s]", d.T, d.C, d.EI, d.RelEI, d.Phase)
+		}
+		return fmt.Sprintf("suggest (t=%d,c=%d) [%s]", d.T, d.C, d.Phase)
+	case obs.KindPhase:
+		return fmt.Sprintf("phase -> %s (%s)", d.Phase, d.Note)
+	case obs.KindConverged:
+		return fmt.Sprintf("CONVERGED (t=%d,c=%d) %.0f commits/s", d.T, d.C, d.Throughput)
+	case obs.KindApply:
+		return fmt.Sprintf("apply (t=%d,c=%d)", d.T, d.C)
+	case obs.KindChangePoint:
+		return fmt.Sprintf("CHANGE POINT detected: %s", d.Note)
+	case obs.KindQuarantine:
+		return fmt.Sprintf("quarantine (t=%d,c=%d): %s", d.T, d.C, d.Note)
+	case obs.KindFallback:
+		return fmt.Sprintf("fallback to (t=%d,c=%d): %s", d.T, d.C, d.Note)
+	default:
+		b, _ := json.Marshal(d)
+		return string(b)
+	}
+}
+
+// dlqBucket aggregates dead letters per (second, shard, reason): at full
+// shed rate the DLQ has tens of thousands of lines per second, and a
+// timeline that repeats them one per line buries everything else.
+type dlqBucket struct {
+	sec    int64
+	shard  int
+	reason string
+}
+
+// LoadDLQ reads a dead-letter JSONL log, aggregated per second.
+func (t *Timeline) LoadDLQ(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	return t.readDLQ(f)
+}
+
+func (t *Timeline) readDLQ(r io.Reader) error {
+	counts := make(map[dlqBucket]int)
+	first := make(map[dlqBucket]time.Time)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var d server.DeadLetter
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			return err
+		}
+		b := dlqBucket{sec: d.Time.Unix(), shard: d.Shard, reason: d.Reason}
+		if counts[b] == 0 {
+			first[b] = d.Time
+		}
+		counts[b]++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for b, n := range counts {
+		t.Events = append(t.Events, Event{
+			Time:   first[b],
+			Source: "dlq",
+			Text:   fmt.Sprintf("shard %d: %d dead letters (%s) within 1s", b.shard, n, b.reason),
+			shard:  b.shard,
+		})
+	}
+	return nil
+}
+
+// traceExport mirrors the /debug/server/trace JSON shape.
+type traceExport struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  uint64         `json:"pid"`
+		TID  uint64         `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	OtherData struct {
+		EpochUnixNS int64 `json:"epoch_unix_ns"`
+	} `json:"otherData"`
+}
+
+// LoadTrace reads a merged /debug/server/trace export: each request
+// becomes one timeline line with its stage decomposition and STM attempt
+// count.
+func (t *Timeline) LoadTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	return t.readTrace(f)
+}
+
+func (t *Timeline) readTrace(r io.Reader) error {
+	var exp traceExport
+	if err := json.NewDecoder(r).Decode(&exp); err != nil {
+		return err
+	}
+	epoch := time.Unix(0, exp.OtherData.EpochUnixNS)
+
+	type reqAgg struct {
+		name    string
+		startUS float64
+		shard   int
+		outcome string
+		stages  [4]float64
+		spans   int
+		aborts  int
+		hasReq  bool
+	}
+	reqs := make(map[uint64]*reqAgg)
+	get := func(pid uint64) *reqAgg {
+		a := reqs[pid]
+		if a == nil {
+			a = &reqAgg{shard: -1}
+			reqs[pid] = a
+		}
+		return a
+	}
+	stageIdx := map[string]int{"queue": 0, "exec": 1, "commit": 2, "flush": 3}
+	for _, ev := range exp.TraceEvents {
+		a := get(ev.PID)
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			if n, ok := ev.Args["name"].(string); ok {
+				a.name = n
+			}
+		case ev.Ph == "X" && ev.Cat == "server" && ev.Name == "request":
+			a.hasReq = true
+			a.startUS = ev.TS
+			if s, ok := ev.Args["shard"].(float64); ok {
+				a.shard = int(s)
+			}
+			if o, ok := ev.Args["outcome"].(string); ok {
+				a.outcome = o
+			}
+		case ev.Ph == "X" && ev.Cat == "server":
+			if i, ok := stageIdx[ev.Name]; ok {
+				a.stages[i] = ev.Dur / 1e3 // us -> ms
+			}
+		case ev.Ph == "X" && ev.Cat == "stm":
+			a.spans++
+			if o, ok := ev.Args["outcome"].(string); ok && o != "commit" {
+				a.aborts++
+			}
+		}
+	}
+	for pid, a := range reqs {
+		if !a.hasReq {
+			continue
+		}
+		text := fmt.Sprintf("%s: queue=%.2fms exec=%.2fms commit=%.2fms flush=%.2fms",
+			a.name, a.stages[0], a.stages[1], a.stages[2], a.stages[3])
+		if a.spans > 0 {
+			text += fmt.Sprintf(" | %d stm span(s)", a.spans)
+			if a.aborts > 0 {
+				text += fmt.Sprintf(", %d abort(s)", a.aborts)
+			}
+		}
+		_ = pid
+		t.Events = append(t.Events, Event{
+			Time:    epoch.Add(time.Duration(a.startUS * float64(time.Microsecond))),
+			Source:  "trace",
+			Text:    text,
+			shard:   a.shard,
+			isTrace: true,
+			stages:  a.stages,
+		})
+	}
+	return nil
+}
+
+// annotate attaches, to each measurement decision, the mean stage split of
+// traced requests that completed on the same shard inside its window — the
+// line that correlates "the tuner saw throughput X" with "and traced
+// requests were spending their time *here*".
+func (t *Timeline) annotate() {
+	for i := range t.Events {
+		d := t.Events[i].decision
+		if d == nil || d.Kind != obs.KindMeasurement || d.WindowMS <= 0 {
+			continue
+		}
+		winStart := d.Time.Add(-time.Duration(d.WindowMS * float64(time.Millisecond)))
+		var sum [4]float64
+		n := 0
+		for j := range t.Events {
+			e := &t.Events[j]
+			if !e.isTrace || e.shard != t.Events[i].shard {
+				continue
+			}
+			if e.Time.Before(winStart) || e.Time.After(d.Time) {
+				continue
+			}
+			for k := range sum {
+				sum[k] += e.stages[k]
+			}
+			n++
+		}
+		if n > 0 {
+			t.Events[i].Text += fmt.Sprintf(
+				" | %d traced req(s) in window: queue=%.2fms exec=%.2fms commit=%.2fms flush=%.2fms",
+				n, sum[0]/float64(n), sum[1]/float64(n), sum[2]/float64(n), sum[3]/float64(n))
+		}
+	}
+}
+
+// Write renders the merged timeline, oldest first, with offsets relative
+// to the first event.
+func (t *Timeline) Write(w io.Writer) error {
+	t.annotate()
+	sort.SliceStable(t.Events, func(i, j int) bool { return t.Events[i].Time.Before(t.Events[j].Time) })
+	if len(t.Events) == 0 {
+		_, err := fmt.Fprintln(w, "no events")
+		return err
+	}
+	t0 := t.Events[0].Time
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "timeline: %d events starting %s\n\n", len(t.Events), t0.Format(time.RFC3339Nano))
+	for _, e := range t.Events {
+		fmt.Fprintf(bw, "%+12.3fms  %-8s  %s\n",
+			float64(e.Time.Sub(t0))/float64(time.Millisecond), e.Source, e.Text)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,129 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"autopn/internal/obs"
+	"autopn/internal/server"
+)
+
+// writeJSONL writes one JSON object per line.
+func writeJSONL(t *testing.T, path string, records ...any) {
+	t.Helper()
+	var b bytes.Buffer
+	for _, r := range records {
+		line, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+}
+
+func TestTimelineMergesAllSources(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	writeJSONL(t, filepath.Join(dir, "shard-0.jsonl"),
+		obs.Decision{Time: t0.Add(50 * time.Millisecond), Kind: obs.KindPhase, Phase: "smbo", Note: "initial sampling done"},
+		obs.Decision{Time: t0.Add(200 * time.Millisecond), Kind: obs.KindMeasurement, T: 4, C: 2,
+			Throughput: 12345, CV: 0.04, WindowMS: 150},
+		obs.Decision{Time: t0.Add(400 * time.Millisecond), Kind: obs.KindConverged, T: 4, C: 2, Throughput: 13000},
+	)
+
+	dlqPath := filepath.Join(dir, "dlq.jsonl")
+	var sheds []any
+	for i := 0; i < 25; i++ {
+		sheds = append(sheds, server.DeadLetter{
+			Time: t0.Add(100 * time.Millisecond), Shard: 0, Op: "ADD", Key: "k000001",
+			Reason: server.ErrCodeOverload,
+		})
+	}
+	writeJSONL(t, dlqPath, sheds...)
+
+	// A minimal trace export: one request on shard 0 inside the
+	// measurement window, with stage slices and one STM span.
+	tracePath := filepath.Join(dir, "trace.json")
+	export := map[string]any{
+		"traceEvents": []map[string]any{
+			{"name": "process_name", "ph": "M", "pid": 7, "tid": 0,
+				"args": map[string]any{"name": "req 7 ADD k000001 (ok)"}},
+			{"name": "request", "cat": "server", "ph": "X", "pid": 7, "tid": 1,
+				"ts": 90_000.0, "dur": 5_000.0,
+				"args": map[string]any{"shard": 0, "outcome": "ok"}},
+			{"name": "queue", "cat": "server", "ph": "X", "pid": 7, "tid": 1, "ts": 90_100.0, "dur": 2_000.0},
+			{"name": "exec", "cat": "server", "ph": "X", "pid": 7, "tid": 1, "ts": 92_100.0, "dur": 1_500.0},
+			{"name": "commit", "cat": "server", "ph": "X", "pid": 7, "tid": 1, "ts": 93_600.0, "dur": 500.0},
+			{"name": "flush", "cat": "server", "ph": "X", "pid": 7, "tid": 1, "ts": 94_100.0, "dur": 300.0},
+			{"name": "top tx", "cat": "stm", "ph": "X", "pid": 7, "tid": 10, "ts": 92_200.0, "dur": 1_000.0,
+				"args": map[string]any{"outcome": "commit"}},
+		},
+		"otherData": map[string]any{"epoch_unix_ns": t0.UnixNano()},
+	}
+	raw, err := json.Marshal(export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tracePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var tl Timeline
+	if err := tl.LoadDecisions(dir); err != nil {
+		t.Fatalf("LoadDecisions: %v", err)
+	}
+	if err := tl.LoadDLQ(dlqPath); err != nil {
+		t.Fatalf("LoadDLQ: %v", err)
+	}
+	if err := tl.LoadTrace(tracePath); err != nil {
+		t.Fatalf("LoadTrace: %v", err)
+	}
+
+	var out bytes.Buffer
+	if err := tl.Write(&out); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	text := out.String()
+
+	for _, want := range []string{
+		"phase -> smbo",
+		"measured (t=4,c=2): 12345 commits/s",
+		"CONVERGED (t=4,c=2) 13000 commits/s",
+		"25 dead letters (overload)",
+		"req 7 ADD k000001 (ok): queue=2.00ms exec=1.50ms commit=0.50ms flush=0.30ms",
+		"1 stm span(s)",
+		// The measurement window contains the traced request, so the
+		// decision line carries its stage annotation.
+		"1 traced req(s) in window: queue=2.00ms",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("timeline missing %q\n---\n%s", want, text)
+		}
+	}
+
+	// Chronological: the phase line precedes the converged line.
+	if strings.Index(text, "phase -> smbo") > strings.Index(text, "CONVERGED") {
+		t.Error("timeline is not time-sorted")
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var tl Timeline
+	var out bytes.Buffer
+	if err := tl.Write(&out); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !strings.Contains(out.String(), "no events") {
+		t.Errorf("empty timeline output %q", out.String())
+	}
+}

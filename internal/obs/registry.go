@@ -71,6 +71,29 @@ type Histogram struct {
 	next  int
 	count uint64 // cumulative observations
 	sum   float64
+
+	// Exemplars: the largest trace-tagged observations still inside the
+	// sliding window (see ObserveExemplar). maxExemplars entries, unordered.
+	ex []exemplar
+}
+
+// maxExemplars bounds the tail-exemplar set kept per histogram.
+const maxExemplars = 4
+
+// exemplar is one stored tail exemplar; at is the cumulative observation
+// count when it was recorded, used to age entries out with the window.
+type exemplar struct {
+	value float64
+	trace uint64
+	at    uint64
+}
+
+// Exemplar links one tail observation of a histogram to the trace that
+// produced it — the hook that lets a p99 bucket answer "show me one
+// request that did this" (the trace ID resolves in /debug/server/trace).
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID uint64  `json:"trace_id"`
 }
 
 // NewHistogram returns a standalone histogram with the given sliding
@@ -87,10 +110,48 @@ func NewHistogram(window int) *Histogram {
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
+	h.observeLocked(v)
+	h.mu.Unlock()
+}
+
+func (h *Histogram) observeLocked(v float64) {
 	h.ring[h.next] = v
 	h.next = (h.next + 1) % len(h.ring)
 	h.count++
 	h.sum += v
+}
+
+// ObserveExemplar records one sample and, when traceID is nonzero, offers
+// it as a tail exemplar: the histogram keeps the few largest trace-tagged
+// observations of the current sliding window, so a tail quantile can be
+// traced back to a concrete request. traceID == 0 degrades to Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	h.mu.Lock()
+	h.observeLocked(v)
+	if traceID != 0 {
+		// Age out exemplars whose observation has left the sliding window,
+		// then keep v if there is room or it beats the smallest survivor.
+		kept := h.ex[:0]
+		for _, e := range h.ex {
+			if h.count-e.at <= uint64(len(h.ring)) {
+				kept = append(kept, e)
+			}
+		}
+		h.ex = kept
+		if len(h.ex) < maxExemplars {
+			h.ex = append(h.ex, exemplar{value: v, trace: traceID, at: h.count})
+		} else {
+			min := 0
+			for i := 1; i < len(h.ex); i++ {
+				if h.ex[i].value < h.ex[min].value {
+					min = i
+				}
+			}
+			if v >= h.ex[min].value {
+				h.ex[min] = exemplar{value: v, trace: traceID, at: h.count}
+			}
+		}
+	}
 	h.mu.Unlock()
 }
 
@@ -106,6 +167,10 @@ type HistogramSnapshot struct {
 	P50    float64 `json:"p50"`
 	P90    float64 `json:"p90"`
 	P99    float64 `json:"p99"`
+	// Exemplars are the largest trace-tagged observations still inside the
+	// window (ObserveExemplar), largest first. Empty unless the owning
+	// subsystem records exemplars.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot summarizes the histogram. With no observations the order
@@ -119,7 +184,13 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	window := make([]float64, n)
 	copy(window, h.ring[:n])
 	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Window: n}
+	for _, e := range h.ex {
+		if h.count-e.at <= uint64(len(h.ring)) {
+			s.Exemplars = append(s.Exemplars, Exemplar{Value: e.value, TraceID: e.trace})
+		}
+	}
 	h.mu.Unlock()
+	sort.Slice(s.Exemplars, func(i, j int) bool { return s.Exemplars[i].Value > s.Exemplars[j].Value })
 
 	if n == 0 {
 		return s
@@ -344,6 +415,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w,
 				"# TYPE %[1]s summary\n%[1]s{quantile=\"0.5\"} %[2]s\n%[1]s{quantile=\"0.9\"} %[3]s\n%[1]s{quantile=\"0.99\"} %[4]s\n%[1]s_sum %[5]s\n%[1]s_count %[6]d\n",
 				f.name, formatFloat(s.P50), formatFloat(s.P90), formatFloat(s.P99), formatFloat(s.Sum), s.Count)
+			// Tail exemplars ride along as comment lines (the 0.0.4 text
+			// format has no exemplar syntax; scrapers skip comments, humans
+			// and autopn-analyze read them).
+			for _, e := range s.Exemplars {
+				if err != nil {
+					break
+				}
+				_, err = fmt.Fprintf(w, "# exemplar %s{trace_id=\"%016x\"} %s\n",
+					f.name, e.TraceID, formatFloat(e.Value))
+			}
 		default:
 			_, err = fmt.Fprintf(w, "# TYPE %[1]s %[2]s\n%[1]s %[3]s\n", f.name, f.kind, formatFloat(f.val))
 		}

@@ -27,52 +27,126 @@ type DeadLetter struct {
 	Reason string `json:"reason"`
 }
 
+// dlqDepth bounds the record buffer between the shedding paths and the
+// flusher. At full overload every shard sheds tens of thousands of
+// requests a second; the buffer absorbs those bursts and records past it
+// are counted (Lost) rather than blocked on.
+const dlqDepth = 8192
+
 // DLQ is a JSONL dead-letter log. A nil *DLQ is a valid no-op sink, so
 // shards record unconditionally and the server only pays when a path is
-// configured. Writes never block request handling on I/O errors: the first
-// error is sticky and subsequent records only count.
+// configured.
+//
+// Recording is an MPSC hand-off: producers (every shard's shedding,
+// timeout and shutdown paths) do a counter increment plus one non-blocking
+// channel send, and a single flusher goroutine owns the JSON encoding and
+// buffered file writes. The earlier design funneled all shards through one
+// mutex held across the encode and write — at ~60k sheds/s that lock was
+// itself a contention point on the overload path, which is exactly when
+// the DLQ is busiest. Overflow drops the record (Lost counts it); I/O
+// errors are sticky and subsequent records only count.
 type DLQ struct {
-	mu    sync.Mutex
-	f     *os.File
-	w     *bufio.Writer
-	err   error
-	count atomic.Uint64
+	records chan DeadLetter
+	quit    chan struct{} // signals the flusher to drain and exit
+	done    chan struct{} // closed when the flusher has exited
+
+	count  atomic.Uint64 // records submitted (metrics stay meaningful sans file)
+	lost   atomic.Uint64 // records dropped at a full buffer
+	closed atomic.Bool
+
+	f   *os.File
+	w   *bufio.Writer
+	err atomic.Pointer[error] // first write error, sticky
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// NewDLQ opens (truncating) a dead-letter log at path.
+// NewDLQ opens (truncating) a dead-letter log at path and starts its
+// flusher.
 func NewDLQ(path string) (*DLQ, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	return &DLQ{f: f, w: bufio.NewWriter(f)}, nil
+	q := &DLQ{
+		records: make(chan DeadLetter, dlqDepth),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		f:       f,
+		w:       bufio.NewWriter(f),
+	}
+	go q.flusher()
+	return q, nil
 }
 
-// Record appends one dead letter. Nil-safe; the count advances even when
-// no file is configured so metrics stay meaningful without a log.
+// flusher is the single consumer: it encodes and writes records, flushing
+// the buffered writer whenever the channel goes idle so the file stays
+// near-current without a syscall per record.
+func (q *DLQ) flusher() {
+	defer close(q.done)
+	write := func(d DeadLetter) {
+		if q.err.Load() != nil {
+			return
+		}
+		b, err := json.Marshal(d)
+		if err == nil {
+			_, err = q.w.Write(append(b, '\n'))
+		}
+		if err != nil {
+			q.err.Store(&err)
+		}
+	}
+	for {
+		select {
+		case d := <-q.records:
+			write(d)
+		case <-q.quit:
+			// Drain everything already submitted before exiting: a record
+			// accepted by Record must reach the file once Close returns.
+			for {
+				select {
+				case d := <-q.records:
+					write(d)
+				default:
+					return
+				}
+			}
+		default:
+			// Idle: flush what we have, then block until work or quit.
+			if q.err.Load() == nil {
+				if err := q.w.Flush(); err != nil {
+					q.err.Store(&err)
+				}
+			}
+			select {
+			case d := <-q.records:
+				write(d)
+			case <-q.quit:
+			}
+		}
+	}
+}
+
+// Record appends one dead letter. Nil-safe; never blocks — at a full
+// buffer the record is dropped and counted in Lost. The count advances
+// even when no file is configured so metrics stay meaningful without a
+// log.
 func (q *DLQ) Record(d DeadLetter) {
 	if q == nil {
 		return
 	}
 	q.count.Add(1)
+	if q.closed.Load() {
+		return
+	}
 	if d.Time.IsZero() {
 		d.Time = time.Now()
 	}
-	// Marshal outside the lock: at full shed rate every shard funnels
-	// through this mutex, and holding it across a JSON encode would
-	// serialize the shards' shedding paths on each other.
-	b, err := json.Marshal(d)
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.err != nil {
-		return
-	}
-	if err != nil {
-		q.err = err
-		return
-	}
-	if _, err := q.w.Write(append(b, '\n')); err != nil {
-		q.err = err
+	select {
+	case q.records <- d:
+	default:
+		q.lost.Add(1)
 	}
 }
 
@@ -84,33 +158,47 @@ func (q *DLQ) Count() uint64 {
 	return q.count.Load()
 }
 
+// Lost returns the number of records dropped at a full buffer. Nil-safe.
+func (q *DLQ) Lost() uint64 {
+	if q == nil {
+		return 0
+	}
+	return q.lost.Load()
+}
+
 // Err returns the first write error, if any.
 func (q *DLQ) Err() error {
 	if q == nil {
 		return nil
 	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.err
+	if p := q.err.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
-// Close flushes and closes the log. Nil-safe.
+// Close stops the flusher, drains every record already submitted, flushes
+// and closes the file. Nil-safe and idempotent (later calls return the
+// first call's error); Records racing Close may be dropped (counted, not
+// written) once the close has begun.
 func (q *DLQ) Close() error {
 	if q == nil {
 		return nil
 	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.f == nil {
-		return q.err
-	}
-	if q.err == nil {
-		q.err = q.w.Flush()
-	}
-	cerr := q.f.Close()
-	q.f = nil
-	if q.err != nil {
-		return q.err
-	}
-	return cerr
+	q.closeOnce.Do(func() {
+		q.closed.Store(true)
+		close(q.quit)
+		<-q.done
+		if q.Err() == nil {
+			if err := q.w.Flush(); err != nil {
+				q.err.Store(&err)
+			}
+		}
+		cerr := q.f.Close()
+		q.closeErr = q.Err()
+		if q.closeErr == nil {
+			q.closeErr = cerr
+		}
+	})
+	return q.closeErr
 }

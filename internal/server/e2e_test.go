@@ -3,12 +3,15 @@ package server_test
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"autopn/internal/analyze"
 	"autopn/internal/server"
 	"autopn/internal/server/loadgen"
 )
@@ -60,6 +63,7 @@ func TestServerLoadSmoke(t *testing.T) {
 		requestTimeout = time.Second
 	)
 	decisionDir := filepath.Join(artifacts, "decisions")
+	dlqPath := filepath.Join(artifacts, "dlq.jsonl")
 	s, err := server.New(server.Options{
 		Shards:         shards,
 		Keys:           keys,
@@ -68,7 +72,12 @@ func TestServerLoadSmoke(t *testing.T) {
 		Retune:         true,
 		Seed:           1,
 		DecisionLogDir: decisionDir,
-		DLQPath:        filepath.Join(artifacts, "dlq.jsonl"),
+		DLQPath:        dlqPath,
+		HTTPAddr:       "127.0.0.1:0",
+		// Tracing stays disabled (rate 0) for the calibration, 1x and 2x
+		// runs — those runs ARE the disabled-tracing goodput gate, since
+		// every request still crosses the sampling check. The traced run
+		// below flips the rate on at runtime.
 	})
 	if err != nil {
 		t.Fatalf("server.New: %v", err)
@@ -151,9 +160,53 @@ func TestServerLoadSmoke(t *testing.T) {
 		t.Errorf("2x accepted p99 = %.1fms, want <= %.0fms", rep2.LatencyMs.P99, boundMs)
 	}
 
+	// Traced run: tracing sampled on plus loadgen hints every 500th
+	// request (hints force sampling and extend the exported timeline back
+	// into the generator). The paired goodput gate is deliberately loose —
+	// 0.9x the untraced 1x run — because CI hosts are noisy; the tracer's
+	// budget claim (≤3% disabled, a few % at 1% sampling) is measured
+	// precisely by the unit benches, not here.
+	s.SetTraceSampleRate(0.01)
+	run3 := base
+	run3.Rate = sustainable
+	run3.Duration = duration
+	run3.TraceEvery = 500
+	run3.StatusURL = "http://" + s.HTTPAddr() + "/status"
+	rep3, err := loadgen.Run(t.Context(), run3)
+	if err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+	writeReport(t, artifacts, "report-traced.json", rep3)
+	s.SetTraceSampleRate(0)
+	t.Logf("traced: goodput %.0f (%.2fx of 1x), %d hinted", rep3.Goodput, rep3.Goodput/rep1.Goodput, rep3.Traced)
+	if rep3.OK == 0 {
+		t.Fatalf("traced run: zero successful responses: %+v", rep3)
+	}
+	if rep3.Goodput < 0.9*rep1.Goodput {
+		t.Errorf("traced goodput %.0f fell more than 10%% below untraced 1x %.0f",
+			rep3.Goodput, rep1.Goodput)
+	}
+	if rep3.ServerStages == nil {
+		t.Error("traced run report carries no server stage breakdown (StatusURL scrape)")
+	} else if rep3.ServerStages.Queue.Count == 0 {
+		t.Errorf("server stage breakdown has no queue observations: %+v", rep3.ServerStages)
+	}
+
+	// The merged Perfetto export is the acceptance artifact: a sampled
+	// request's server stages with its STM spans under the same pid.
+	tracePath := filepath.Join(artifacts, "server-trace.json")
+	raw := httpGetBody(t, "http://"+s.HTTPAddr()+"/debug/server/trace")
+	if err := os.WriteFile(tracePath, raw, 0o644); err != nil {
+		t.Fatalf("write trace export: %v", err)
+	}
+	assertMergedTrace(t, raw)
+
 	// The /status shard table shows every shard's (t, c, phase).
 	st := s.Status()
 	writeReport(t, artifacts, "status.json", st)
+	if st.Trace == nil || st.Trace.Sampled == 0 {
+		t.Errorf("status trace block = %+v, want sampled > 0 after the traced run", st.Trace)
+	}
 	if len(st.ShardTable) != shards {
 		t.Fatalf("shard table has %d rows, want %d", len(st.ShardTable), shards)
 	}
@@ -195,6 +248,83 @@ func TestServerLoadSmoke(t *testing.T) {
 	}
 	if shardsWithDecisions < 2 {
 		t.Errorf("only %d shard(s) logged tuning decisions, want >= 2 independent tuners", shardsWithDecisions)
+	}
+
+	// autopn-analyze merges the run's artifacts into one timeline — the
+	// human-readable artifact CI uploads next to the Perfetto trace.
+	var tl analyze.Timeline
+	if err := tl.LoadDecisions(decisionDir); err != nil {
+		t.Fatalf("analyze decisions: %v", err)
+	}
+	if err := tl.LoadDLQ(dlqPath); err != nil {
+		t.Fatalf("analyze dlq: %v", err)
+	}
+	if err := tl.LoadTrace(tracePath); err != nil {
+		t.Fatalf("analyze trace: %v", err)
+	}
+	var timeline strings.Builder
+	if err := tl.Write(&timeline); err != nil {
+		t.Fatalf("analyze write: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(artifacts, "timeline.txt"), []byte(timeline.String()), 0o644); err != nil {
+		t.Fatalf("write timeline: %v", err)
+	}
+	if !strings.Contains(timeline.String(), "trace") || !strings.Contains(timeline.String(), "measured") {
+		t.Error("merged timeline is missing trace or tuner-decision lines")
+	}
+}
+
+// httpGetBody fetches url, failing the test on error or non-200.
+func httpGetBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return body
+}
+
+// assertMergedTrace checks the acceptance property of the export: at
+// least one pid carries both server stage slices and STM-category spans.
+func assertMergedTrace(t *testing.T, raw []byte) {
+	t.Helper()
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			PID  uint64 `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	stagePIDs := map[uint64]bool{}
+	merged := false
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph == "X" && ev.Cat == "server" && ev.Name != "request" {
+			stagePIDs[ev.PID] = true
+		}
+	}
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph == "X" && ev.Cat == "stm" && stagePIDs[ev.PID] {
+			merged = true
+			break
+		}
+	}
+	if len(stagePIDs) == 0 {
+		t.Error("trace export has no server stage slices")
+	}
+	if !merged {
+		t.Error("no pid carries both server stages and STM spans — the merged timeline property failed")
 	}
 }
 

@@ -11,9 +11,11 @@ package loadgen
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -63,6 +65,18 @@ type Options struct {
 	// DrainTimeout bounds the post-run wait for outstanding responses
 	// (default 5s).
 	DrainTimeout time.Duration
+
+	// TraceEvery, when > 0, prefixes every Nth sent request with a trace
+	// hint (t=<hex-id>@<unix-nanos>) carrying the generator's own request
+	// ID and send timestamp. While the server has tracing enabled, hinted
+	// requests are force-sampled and their exported timelines extend one
+	// hop back into the load generator. 0 (default) sends no hints.
+	TraceEvery int
+	// StatusURL, when non-empty, is the server's /status endpoint; after
+	// the run the report embeds the server-side stage breakdown and trace
+	// counters scraped from it (best-effort: scrape errors leave the
+	// fields nil rather than failing the run).
+	StatusURL string
 }
 
 func (o *Options) withDefaults() {
@@ -128,6 +142,15 @@ type Report struct {
 	// Histogram is the accepted-latency distribution over log-spaced
 	// bucket bounds.
 	Histogram []Bucket `json:"histogram"`
+
+	// Traced counts requests sent with a trace hint (Options.TraceEvery).
+	Traced uint64 `json:"traced,omitempty"`
+	// ServerStages is the server's queue/exec/commit/flush decomposition
+	// scraped from Options.StatusURL after the run; ServerTrace its
+	// tracer counters. Both nil when no StatusURL was given or the
+	// scrape failed.
+	ServerStages *server.StageBreakdown `json:"server_stages,omitempty"`
+	ServerTrace  *server.TraceStatus    `json:"server_trace,omitempty"`
 }
 
 // LatencySummary is the order-statistics block of a Report.
@@ -193,7 +216,7 @@ func Run(ctx context.Context, o Options) (Report, error) {
 	gen := newOpGen(o)
 	start := time.Now()
 	deadline := start.Add(o.Duration)
-	var sent, dropped uint64
+	var sent, dropped, traced uint64
 	interval := float64(time.Second) / o.Rate
 
 	// Writes are buffered and flushed only when the schedule is about to
@@ -227,7 +250,14 @@ func Run(ctx context.Context, o Options) (Report, error) {
 		}
 		line := gen.next()
 		c := conns[int(sent)%len(conns)]
-		c.pend <- pendEntry{sent: time.Now()}
+		now := time.Now()
+		if o.TraceEvery > 0 && sent%uint64(o.TraceEvery) == 0 {
+			// The hint ID is the 1-based sent index: unique within the run
+			// and trivially mapped back to the generator's schedule.
+			line = fmt.Sprintf("t=%x@%d %s", sent+1, now.UnixNano(), line)
+			traced++
+		}
+		c.pend <- pendEntry{sent: now}
 		if _, err := c.w.WriteString(line + "\n"); err == nil {
 			c.dirty = true
 		}
@@ -259,6 +289,7 @@ func Run(ctx context.Context, o Options) (Report, error) {
 		Timeouts:        st.timeouts.Load(),
 		Errors:          st.errs.Load(),
 		Dropped:         dropped,
+		Traced:          traced,
 	}
 	if rep.DurationSeconds > 0 {
 		rep.Goodput = float64(rep.OK) / rep.DurationSeconds
@@ -270,7 +301,29 @@ func Run(ctx context.Context, o Options) (Report, error) {
 	rep.LatencyMs = summarize(st.latencies)
 	rep.Histogram = bucketize(st.latencies)
 	st.mu.Unlock()
+	if o.StatusURL != "" {
+		if status, err := fetchStatus(o.StatusURL); err == nil {
+			rep.ServerStages = status.Stages
+			rep.ServerTrace = status.Trace
+		}
+	}
 	return rep, nil
+}
+
+// fetchStatus scrapes the server's /status endpoint.
+func fetchStatus(url string) (server.Status, error) {
+	var st server.Status
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return st, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("loadgen: status scrape: %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
 }
 
 // readLoop consumes responses on one connection, matching them FIFO to

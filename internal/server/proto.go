@@ -18,6 +18,16 @@ import (
 //	                                          increments run as parallel
 //	                                          nested transactions)
 //
+// A request line may carry an optional leading trace hint
+//
+//	t=<hex-id>[@<unix-nanos>] <request…>
+//
+// which, while server-side tracing is enabled, forces the request to be
+// sampled and records the client's own ID (and send timestamp, if given)
+// in its trace — the hook the load generator uses to extend a traced
+// request's timeline back to the worker that issued it. With tracing
+// disabled the hint is parsed and discarded.
+//
 // Errors are "ERR <code>" with machine-readable codes; ErrCodeOverload is
 // the typed load-shedding reply the acceptance gate asserts on.
 const (
@@ -71,6 +81,13 @@ type request struct {
 	timer atomic.Pointer[time.Timer] // deadline watchdog; armed on admission
 	reply chan string
 
+	// tr is the request's trace record; nil for the unsampled majority.
+	tr *reqTrace
+	// clientTraceID/clientSend carry a parsed trace hint until the
+	// sampling decision is made (reader goroutine only).
+	clientTraceID uint64
+	clientSend    time.Time
+
 	replied atomic.Bool
 }
 
@@ -107,6 +124,26 @@ func parseRequest(line string) (*request, string) {
 		return nil, ErrCodeBadRequest
 	}
 	req := &request{reply: make(chan string, 1)}
+	if strings.HasPrefix(fields[0], "t=") {
+		hint := fields[0][2:]
+		fields = fields[1:]
+		if len(fields) == 0 {
+			return nil, ErrCodeBadRequest
+		}
+		idPart, nsPart, hasNS := strings.Cut(hint, "@")
+		id, err := strconv.ParseUint(idPart, 16, 64)
+		if err != nil || id == 0 {
+			return nil, ErrCodeBadRequest
+		}
+		req.clientTraceID = id
+		if hasNS {
+			ns, err := strconv.ParseInt(nsPart, 10, 64)
+			if err != nil {
+				return nil, ErrCodeBadRequest
+			}
+			req.clientSend = time.Unix(0, ns)
+		}
+	}
 	switch strings.ToUpper(fields[0]) {
 	case "PING":
 		req.kind = opPing

@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"autopn/internal/chaos"
 	"autopn/internal/obs"
 	"autopn/internal/stm"
+	stmtrace "autopn/internal/stm/trace"
 )
 
 // Options configures a Server. The zero value is completed with defaults
@@ -80,6 +83,10 @@ type Options struct {
 	Injector func(shard int) *chaos.Injector
 	// LockFreeCommit selects the lock-free STM commit path per shard.
 	LockFreeCommit bool
+
+	// Trace configures end-to-end request tracing (see trace.go). The
+	// tracer always exists; the zero value just keeps sampling off.
+	Trace TraceOptions
 }
 
 func (o *Options) withDefaults() {
@@ -116,6 +123,7 @@ func (o *Options) withDefaults() {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	o.Trace.withDefaults()
 }
 
 // Server is the sharded transactional serving layer. Build with New,
@@ -145,6 +153,10 @@ type Server struct {
 	shutdownRep  ShutdownReport
 
 	latency *obs.Histogram // server-wide accepted-request latency (ms)
+
+	tracer   *reqTracer                 // request tracer (always built; rate decides cost)
+	stageAgg *[numStages]*obs.Histogram // server-wide stage latency histograms
+	connSeq  atomic.Int64               // connection IDs for trace records
 }
 
 // New builds the server: shards, stores, breakers, tuners and logs. It
@@ -152,10 +164,12 @@ type Server struct {
 func New(opts Options) (*Server, error) {
 	opts.withDefaults()
 	s := &Server{
-		opts:    opts,
-		ring:    NewRing(opts.Shards, opts.VNodes),
-		reg:     obs.NewRegistry(),
-		latency: obs.NewHistogram(0),
+		opts:     opts,
+		ring:     NewRing(opts.Shards, opts.VNodes),
+		reg:      obs.NewRegistry(),
+		latency:  obs.NewHistogram(0),
+		tracer:   newReqTracer(opts.Trace),
+		stageAgg: newStageHists(),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
@@ -188,9 +202,15 @@ func New(opts Options) (*Server, error) {
 		if opts.Injector != nil {
 			inj = opts.Injector(i)
 		}
+		// Each shard gets its own STM span tracer with ambient sampling
+		// off (TraceSampleRate 0): only transaction trees claimed by a
+		// sampled request — via AtomicTraced, linked by its trace ID —
+		// land in the span ring, keeping the untraced STM path at its
+		// one-atomic-load cost.
+		str := stmtrace.New(stmtrace.Options{MaxSpans: opts.Trace.STMMaxSpans})
 		sh := &shard{
 			id:      i,
-			stm:     stm.New(stm.Options{FaultInjector: inj, LockFreeCommit: opts.LockFreeCommit}),
+			stm:     stm.New(stm.Options{FaultInjector: inj, LockFreeCommit: opts.LockFreeCommit, Tracer: str}),
 			store:   owned[i],
 			queue:   make(chan *request, opts.QueueDepth),
 			stop:    make(chan struct{}),
@@ -201,6 +221,8 @@ func New(opts Options) (*Server, error) {
 			latency: obs.NewHistogram(0),
 			global:  s.latency,
 			inj:     inj,
+			tracer:  str,
+			stages:  newStageHists(),
 		}
 		if !opts.DisableTuner {
 			recorders := obs.Multi{sh.ring}
@@ -247,6 +269,7 @@ func (s *Server) registerMetrics() {
 	s.reg.CounterFunc("autopn_server_errors_total", sum(func(sh *shard) uint64 { return sh.userErrors.Load() }))
 	s.reg.CounterFunc("autopn_server_breaker_opens_total", sum(func(sh *shard) uint64 { return sh.breaker.Opens() }))
 	s.reg.CounterFunc("autopn_server_dlq_total", func() uint64 { return s.dlq.Count() })
+	s.reg.CounterFunc("autopn_server_dlq_lost_total", func() uint64 { return s.dlq.Lost() })
 	s.reg.CounterFunc("autopn_server_stm_top_commits_total", sum(func(sh *shard) uint64 { return sh.stm.Stats.TopCommits() }))
 	s.reg.CounterFunc("autopn_server_stm_top_aborts_total", sum(func(sh *shard) uint64 { return sh.stm.Stats.TopAborts() }))
 	s.reg.GaugeFunc("autopn_server_shards", func() float64 { return float64(len(s.shards)) })
@@ -258,6 +281,40 @@ func (s *Server) registerMetrics() {
 		return float64(n)
 	})
 	s.reg.RegisterHistogram("autopn_server_request_latency_ms", s.latency)
+
+	s.reg.CounterFunc("autopn_server_traces_sampled_total", s.tracer.sampled.Load)
+	s.reg.CounterFunc("autopn_server_traces_completed_total", s.tracer.completed.Load)
+	s.reg.CounterFunc("autopn_server_traces_dropped_total", s.tracer.dropped.Load)
+	s.reg.GaugeFunc("autopn_server_trace_sample_rate", s.tracer.sampleRate)
+	for st := stage(0); st < numStages; st++ {
+		s.reg.RegisterHistogram("autopn_server_stage_"+stageNames[st]+"_ms", s.stageAgg[st])
+	}
+
+	// Build identity and process lifetime (the flat registry has no labels,
+	// so the version strings live in /status; the gauges carry the
+	// convention: build_info is the constant 1, start time is unix seconds).
+	s.reg.GaugeFunc("autopn_server_build_info", func() float64 { return 1 })
+	s.reg.GaugeFunc("autopn_server_start_time_seconds", func() float64 {
+		return float64(s.tracer.epoch.UnixNano()) / 1e9
+	})
+	s.reg.GaugeFunc("autopn_server_uptime_seconds", func() float64 {
+		return time.Since(s.tracer.epoch).Seconds()
+	})
+}
+
+// buildInfo extracts the module version and VCS revision stamped into the
+// binary ("unknown" for test binaries built without VCS stamping).
+func buildInfo() (goVersion, revision string) {
+	goVersion = runtime.Version()
+	revision = "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				revision = kv.Value
+			}
+		}
+	}
+	return goVersion, revision
 }
 
 // Registry exposes the server's metrics registry (the HTTP introspection
@@ -293,7 +350,12 @@ func (s *Server) Start() error {
 			return fmt.Errorf("http: %w", err)
 		}
 		s.httpLn = httpLn
-		s.srv = &http.Server{Handler: obs.NewHandler(s.reg, func() any { return s.Status() })}
+		s.srv = &http.Server{Handler: obs.NewHandler(s.reg, func() any { return s.Status() },
+			obs.Endpoint{
+				Path:    "/debug/server/trace",
+				Desc:    "merged request + STM spans as Chrome trace_event JSON (Perfetto-loadable)",
+				Handler: http.HandlerFunc(s.serveTrace),
+			})}
 		go func() { _ = s.srv.Serve(httpLn) }()
 	}
 
@@ -351,40 +413,80 @@ func (s *Server) trackConn(c net.Conn, add bool) {
 // pipelining deeper than this is back-pressured at its socket.
 const maxPipelined = 1024
 
+// tracedReply is a written-but-not-yet-flushed reply of a traced request;
+// the connection writer batches these and stamps all of them with one
+// flush timestamp when the buffered writer actually hits the socket.
+type tracedReply struct {
+	rt   *reqTrace
+	resp string
+}
+
 // serveConn handles one client connection: the reader parses and routes
 // lines as fast as they arrive (this is what lets an open-loop client
 // actually reach the shard queues instead of queueing in the kernel), the
-// writer replies strictly in request order.
+// writer replies strictly in request order. The writer is also where
+// sampled requests complete: their reply-flushed mark is the moment the
+// batch containing their response reached the socket.
 func (s *Server) serveConn(c net.Conn) {
 	defer func() { _ = c.Close() }()
+	connID := s.connSeq.Add(1)
 	pending := make(chan *request, maxPipelined)
 	done := make(chan struct{})
 
 	go func() {
 		defer close(done)
 		w := bufio.NewWriter(c)
+		var traced []tracedReply
+		// drain keeps consuming replies so no request's finish() blocks
+		// after the client is gone; traces complete with no flush mark.
+		drain := func() {
+			for _, t := range traced {
+				s.completeTrace(t.rt, t.resp, 0)
+			}
+			traced = traced[:0]
+			for req := range pending {
+				resp := <-req.reply
+				if req.tr != nil {
+					s.completeTrace(req.tr, resp, 0)
+				}
+			}
+		}
 		for req := range pending {
 			resp := <-req.reply
 			if _, err := w.WriteString(resp + "\n"); err != nil {
-				// Client gone; keep draining replies so no request's
-				// finish() blocks, but stop writing.
-				for req := range pending {
-					<-req.reply
+				if req.tr != nil {
+					s.completeTrace(req.tr, resp, 0)
 				}
+				drain()
 				return
+			}
+			if req.tr != nil {
+				traced = append(traced, tracedReply{req.tr, resp})
 			}
 			// Flush when no more replies are immediately pending, so
 			// pipelined bursts batch into few syscalls.
 			if len(pending) == 0 {
 				if err := w.Flush(); err != nil {
-					for req := range pending {
-						<-req.reply
-					}
+					drain()
 					return
+				}
+				if len(traced) > 0 {
+					flushNS := s.tracer.now()
+					for _, t := range traced {
+						s.completeTrace(t.rt, t.resp, flushNS)
+					}
+					traced = traced[:0]
 				}
 			}
 		}
-		_ = w.Flush()
+		err := w.Flush()
+		flushNS := int64(0)
+		if err == nil {
+			flushNS = s.tracer.now()
+		}
+		for _, t := range traced {
+			s.completeTrace(t.rt, t.resp, flushNS)
+		}
 	}()
 
 	sc := bufio.NewScanner(c)
@@ -397,12 +499,42 @@ func (s *Server) serveConn(c net.Conn) {
 			pending <- req
 			continue
 		}
+		if rt := s.tracer.maybeStart(req.clientTraceID, req.clientSend, connID); rt != nil {
+			rt.op = req.kind.String()
+			rt.key = req.key
+			req.tr = rt
+		}
 		s.route(req)
 		pending <- req
 	}
 	close(pending)
 	<-done
 }
+
+// completeTrace finishes a sampled request: derives its outcome from the
+// reply line, feeds the ok-path stage histograms (aggregate and owning
+// shard), publishes the snapshot to the trace ring and drops the writer's
+// ownership reference. flushNS 0 means the reply never reached the socket.
+func (s *Server) completeTrace(rt *reqTrace, resp string, flushNS int64) {
+	outcome := "ok"
+	if strings.HasPrefix(resp, "ERR ") {
+		outcome = resp[len("ERR "):]
+	}
+	d := rt.snapshot(outcome, flushNS)
+	if outcome == "ok" && d.Shard >= 0 {
+		observeStages(d, s.stageAgg, s.shards[d.Shard].stages)
+	}
+	s.tracer.publish(d)
+	rt.release()
+}
+
+// SetTraceSampleRate adjusts the request-tracing sample rate at runtime
+// (0 disables tracing; 1 traces everything).
+func (s *Server) SetTraceSampleRate(rate float64) { s.tracer.setSampleRate(rate) }
+
+// Traces returns a copy of the completed request-trace ring, oldest
+// first (tests and tooling; the HTTP surface is /debug/server/trace).
+func (s *Server) Traces() []ReqTraceData { return s.tracer.traces() }
 
 // route hands the request to the shard owning its key(s).
 func (s *Server) route(req *request) {
@@ -425,27 +557,45 @@ func (s *Server) route(req *request) {
 // Status is the /status payload: server identity plus the per-shard table
 // of (t, c, phase), queue, breaker and traffic counters.
 type Status struct {
-	Addr          string        `json:"addr"`
-	UptimeSeconds float64       `json:"uptime_seconds"`
-	Shards        int           `json:"shards"`
-	Keys          int           `json:"keys"`
-	QueueDepth    int           `json:"queue_depth"`
-	DLQCount      uint64        `json:"dlq_count"`
-	ShardTable    []ShardStatus `json:"shard_table"`
+	Addr          string  `json:"addr"`
+	StartTime     string  `json:"start_time"` // process start, RFC 3339
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"revision"` // VCS revision ("unknown" unstamped)
+	PID           int     `json:"pid"`
+
+	Shards     int           `json:"shards"`
+	Keys       int           `json:"keys"`
+	QueueDepth int           `json:"queue_depth"`
+	DLQCount   uint64        `json:"dlq_count"`
+	DLQLost    uint64        `json:"dlq_lost,omitempty"`
+	ShardTable []ShardStatus `json:"shard_table"`
 
 	Accepted uint64 `json:"accepted"`
 	Served   uint64 `json:"served"`
 	Shed     uint64 `json:"shed"`
 	Timeouts uint64 `json:"timeouts"`
+
+	// Trace summarizes the request tracer; Stages is the server-wide
+	// queue-wait vs. service-time decomposition of traced ok requests
+	// (present once at least one stage latency was observed).
+	Trace  *TraceStatus    `json:"trace,omitempty"`
+	Stages *StageBreakdown `json:"stages,omitempty"`
 }
 
 // Status snapshots the server. Safe for concurrent use.
 func (s *Server) Status() Status {
+	goVersion, revision := buildInfo()
 	st := Status{
+		StartTime:  s.tracer.epoch.Format(time.RFC3339Nano),
+		GoVersion:  goVersion,
+		Revision:   revision,
+		PID:        os.Getpid(),
 		Shards:     len(s.shards),
 		Keys:       s.opts.Keys,
 		QueueDepth: s.opts.QueueDepth,
 		DLQCount:   s.dlq.Count(),
+		DLQLost:    s.dlq.Lost(),
 	}
 	if s.ln != nil {
 		st.Addr = s.Addr()
@@ -458,6 +608,11 @@ func (s *Server) Status() Status {
 		st.Served += row.Served
 		st.Shed += row.Shed
 		st.Timeouts += row.Timeouts
+	}
+	tr := s.tracer.status()
+	st.Trace = &tr
+	if b := breakdown(s.stageAgg); b.Queue.Count+b.Exec.Count+b.Commit.Count+b.Flush.Count > 0 {
+		st.Stages = b
 	}
 	return st
 }

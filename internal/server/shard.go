@@ -12,6 +12,7 @@ import (
 	"autopn/internal/chaos"
 	"autopn/internal/obs"
 	"autopn/internal/stm"
+	stmtrace "autopn/internal/stm/trace"
 )
 
 // shard is one independent slice of the store: its own STM universe, its
@@ -35,6 +36,13 @@ type shard struct {
 	ring  *obs.Ring      // per-shard decision tail for /status
 	jsonl *obs.JSONLFile // per-shard persisted decision log (nil = off)
 	inj   *chaos.Injector
+
+	// tracer is this shard's STM span tracer: sampled requests force-trace
+	// their transaction trees into it, linked by request trace ID (the
+	// ambient STM sample rate stays 0, so only request-claimed trees land
+	// here). stages are the shard's per-stage latency histograms.
+	tracer *stmtrace.Tracer
+	stages *[numStages]*obs.Histogram
 
 	// draining rejects new submissions while shutdown drains the queue.
 	draining atomic.Bool
@@ -71,6 +79,14 @@ func (sh *shard) submit(req *request) {
 		return
 	}
 	req.enq = time.Now()
+	if rt := req.tr; rt != nil {
+		// Take the exec side's ownership reference before the request can
+		// reach a worker, and stamp the enqueue mark first so a worker's
+		// dequeue mark can never precede it.
+		rt.refs.Add(1)
+		rt.shard = int32(sh.id)
+		rt.enq.Store(rt.tr.now())
+	}
 	select {
 	case sh.queue <- req:
 		sh.accepted.Add(1)
@@ -100,6 +116,9 @@ func (sh *shard) submit(req *request) {
 		// The breaker admitted the request but it never executed; undo the
 		// probe accounting so a shed cannot wedge the breaker half-open.
 		sh.breaker.Forget()
+		if rt := req.tr; rt != nil {
+			rt.release() // no worker will see this request
+		}
 	}
 }
 
@@ -132,14 +151,24 @@ func (sh *shard) runWorkers(n int) {
 func (sh *shard) execute(req *request) {
 	sh.executing.Add(1)
 	defer sh.executing.Add(-1)
+	rt := req.tr
+	if rt != nil {
+		defer rt.release() // exec side done with the record
+	}
 	if req.replied.Load() {
 		// Expired in the queue; the deadline timer already answered and
 		// accounted for it.
 		return
 	}
+	if rt != nil {
+		rt.deq.Store(rt.tr.now())
+	}
 	ctx, cancel := context.WithDeadline(context.Background(), req.enq.Add(sh.timeout))
 	resp, err := sh.exec(ctx, req)
 	cancel()
+	if rt != nil {
+		rt.execDone.Store(rt.tr.now())
+	}
 	switch {
 	case err == nil:
 		if req.finish(resp) {
@@ -176,6 +205,36 @@ type errCode string
 
 func (e errCode) Error() string { return string(e) }
 
+// atomicUpdate runs fn as an update transaction. Traced requests force the
+// tree into the shard's STM tracer linked by trace ID, and stamp the
+// fn-done mark at the end of every attempt (the last attempt's stamp
+// survives), which is what separates the exec stage — transaction body,
+// retries included — from the commit stage.
+func (sh *shard) atomicUpdate(ctx context.Context, req *request, fn func(tx *stm.Tx) error) error {
+	rt := req.tr
+	if rt == nil {
+		return sh.stm.AtomicCtx(ctx, fn)
+	}
+	return sh.stm.AtomicTraced(ctx, rt.id, func(tx *stm.Tx) error {
+		err := fn(tx)
+		rt.fnDone.Store(rt.tr.now())
+		return err
+	})
+}
+
+// atomicRead is atomicUpdate's read-only counterpart.
+func (sh *shard) atomicRead(req *request, fn func(tx *stm.Tx) error) error {
+	rt := req.tr
+	if rt == nil {
+		return sh.stm.AtomicReadOnly(fn)
+	}
+	return sh.stm.AtomicReadOnlyTraced(rt.id, func(tx *stm.Tx) error {
+		err := fn(tx)
+		rt.fnDone.Store(rt.tr.now())
+		return err
+	})
+}
+
 // exec performs the transactional work of one request.
 func (sh *shard) exec(ctx context.Context, req *request) (string, error) {
 	switch req.kind {
@@ -187,7 +246,7 @@ func (sh *shard) exec(ctx context.Context, req *request) (string, error) {
 			return "", errCode(ErrCodeUnknownKey)
 		}
 		var v uint64
-		err := sh.stm.AtomicReadOnly(func(tx *stm.Tx) error {
+		err := sh.atomicRead(req, func(tx *stm.Tx) error {
 			v = box.Get(tx)
 			return nil
 		})
@@ -200,7 +259,7 @@ func (sh *shard) exec(ctx context.Context, req *request) (string, error) {
 		if !ok {
 			return "", errCode(ErrCodeUnknownKey)
 		}
-		err := sh.stm.AtomicCtx(ctx, func(tx *stm.Tx) error {
+		err := sh.atomicUpdate(ctx, req, func(tx *stm.Tx) error {
 			box.Set(tx, req.arg)
 			return nil
 		})
@@ -214,7 +273,7 @@ func (sh *shard) exec(ctx context.Context, req *request) (string, error) {
 			return "", errCode(ErrCodeUnknownKey)
 		}
 		var v uint64
-		err := sh.stm.AtomicCtx(ctx, func(tx *stm.Tx) error {
+		err := sh.atomicUpdate(ctx, req, func(tx *stm.Tx) error {
 			v = box.Get(tx) + req.arg
 			box.Set(tx, v)
 			return nil
@@ -236,7 +295,7 @@ func (sh *shard) exec(ctx context.Context, req *request) (string, error) {
 		// nested transactions: this is the request shape that gives the
 		// shard's tuner a real intra-transaction parallelism (c) knob to
 		// tune, not just top-level concurrency (t).
-		err := sh.stm.AtomicCtx(ctx, func(tx *stm.Tx) error {
+		err := sh.atomicUpdate(ctx, req, func(tx *stm.Tx) error {
 			fns := make([]func(*stm.Tx) error, len(boxes))
 			for i := range boxes {
 				box, delta := boxes[i], req.args[i]
@@ -265,6 +324,9 @@ func (sh *shard) drainQueue() int {
 		select {
 		case req := <-sh.queue:
 			sh.reject(req, ErrCodeShutdown)
+			if rt := req.tr; rt != nil {
+				rt.release() // no worker will see this request
+			}
 			n++
 		default:
 			return n
@@ -297,6 +359,9 @@ func (sh *shard) status() ShardStatus {
 	st.TopAborts = snap.TopAborts
 	lat := sh.latency.Snapshot()
 	st.LatencyMs = &lat
+	if b := breakdown(sh.stages); b.Queue.Count+b.Exec.Count+b.Commit.Count+b.Flush.Count > 0 {
+		st.Stages = b
+	}
 	st.RecentDecisions = sh.ring.Last(statusShardDecisions)
 	return st
 }
@@ -328,6 +393,7 @@ type ShardStatus struct {
 	TopAborts  uint64 `json:"stm_top_aborts"`
 
 	LatencyMs       *obs.HistogramSnapshot `json:"latency_ms,omitempty"`
+	Stages          *StageBreakdown        `json:"stages,omitempty"`
 	RecentDecisions []obs.Decision         `json:"recent_decisions,omitempty"`
 }
 
@@ -350,4 +416,7 @@ func (sh *shard) registerMetrics(reg *obs.Registry) {
 		reg.GaugeFunc(p+"current_c", func() float64 { return float64(sh.tuner.Current().C) })
 	}
 	reg.RegisterHistogram(p+"latency_ms", sh.latency)
+	for st := stage(0); st < numStages; st++ {
+		reg.RegisterHistogram(p+"stage_"+stageNames[st]+"_ms", sh.stages[st])
+	}
 }

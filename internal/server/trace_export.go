@@ -1,0 +1,198 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	stmtrace "autopn/internal/stm/trace"
+)
+
+// Merged Chrome trace_event export: every completed request trace becomes
+// one process (pid = trace ID) whose threads carry, top to bottom,
+//
+//	tid 0  the issuing loadgen worker's send->reply slice (only when the
+//	       client supplied a trace hint with a send timestamp)
+//	tid 1  the server-side request: an umbrella slice accept->flush with
+//	       the four stage slices (queue, exec, commit, flush) nested
+//	       inside it by duration containment
+//	tid 2+ the request's STM transaction-tree spans, pulled from the
+//	       owning shard's span ring by trace-ID link
+//
+// so one Perfetto timeline walks a request from the load generator through
+// admission, execution, commit and reply batching down into individual
+// transaction attempts. All timestamps are re-anchored to the request
+// tracer's epoch: each shard's STM tracer has its own epoch, and the
+// export shifts its span times by the epoch difference.
+
+// stmTIDBase offsets STM span thread IDs past the fixed client/request
+// rows; the span ID keeps sibling attempts on distinct tracks.
+const stmTIDBase = 2
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds since the request tracer epoch
+	Dur  float64        `json:"dur,omitempty"`
+	PID  uint64         `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// sliceEvent builds one complete ("X") event, clamping the duration away
+// from zero (some viewers drop zero-duration X events).
+func sliceEvent(name, cat string, pid, tid uint64, startNS, endNS int64, args map[string]any) traceEvent {
+	dur := float64(endNS-startNS) / 1e3
+	if dur <= 0 {
+		dur = 0.001
+	}
+	return traceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS: float64(startNS) / 1e3, Dur: dur,
+		PID: pid, TID: tid, Args: args,
+	}
+}
+
+func metaEvent(kind string, pid, tid uint64, name string) traceEvent {
+	return traceEvent{
+		Name: kind, Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	}
+}
+
+// lastMark is the latest stage timestamp the request reached — the
+// umbrella slice's end when the reply never flushed.
+func (d ReqTraceData) lastMark() int64 {
+	last := d.AcceptNS
+	for _, ns := range []int64{d.EnqueueNS, d.DequeueNS, d.FnDoneNS, d.ExecDoneNS, d.FlushNS} {
+		if ns > last {
+			last = ns
+		}
+	}
+	return last
+}
+
+// requestEvents renders one completed request trace (without its STM
+// spans, which linkedSpanEvents appends).
+func (s *Server) requestEvents(d ReqTraceData, evs []traceEvent) []traceEvent {
+	pid := d.ID
+	name := fmt.Sprintf("req %d %s", d.ID, d.Op)
+	if d.Key != "" {
+		name += " " + d.Key
+	}
+	name += " (" + d.Outcome + ")"
+	evs = append(evs, metaEvent("process_name", pid, 0, name))
+
+	if d.ClientID != 0 && d.ClientSendNS != 0 {
+		end := d.lastMark()
+		if end > d.ClientSendNS {
+			evs = append(evs, metaEvent("thread_name", pid, 0, "loadgen worker"))
+			evs = append(evs, sliceEvent(
+				fmt.Sprintf("client %016x", d.ClientID), "client",
+				pid, 0, d.ClientSendNS, end,
+				map[string]any{"client_id": fmt.Sprintf("%016x", d.ClientID)}))
+		}
+	}
+
+	evs = append(evs, metaEvent("thread_name", pid, 1, "server request"))
+	args := map[string]any{
+		"trace_id": fmt.Sprintf("%016x", d.ID),
+		"conn":     d.Conn,
+		"outcome":  d.Outcome,
+	}
+	if d.Shard >= 0 {
+		args["shard"] = d.Shard
+	}
+	evs = append(evs, sliceEvent("request", "server", pid, 1, d.AcceptNS, d.lastMark(), args))
+
+	stageSlice := func(st stage, from, to int64) {
+		if from == 0 || to == 0 || to < from {
+			return
+		}
+		evs = append(evs, sliceEvent(stageNames[st], "server", pid, 1, from, to, nil))
+	}
+	stageSlice(stageQueue, d.EnqueueNS, d.DequeueNS)
+	stageSlice(stageExec, d.DequeueNS, d.FnDoneNS)
+	stageSlice(stageCommit, d.FnDoneNS, d.ExecDoneNS)
+	stageSlice(stageFlush, d.ExecDoneNS, d.FlushNS)
+	return evs
+}
+
+// linkedSpanEvents appends one shard's STM spans that belong to exported
+// requests, re-anchored by the shard tracer's epoch offset. want maps
+// trace ID -> true for requests in this export.
+func (s *Server) linkedSpanEvents(sh *shard, want map[uint64]bool, evs []traceEvent) []traceEvent {
+	spans := sh.tracer.Spans()
+	// Top-level spans carry the link; children reach it through Root.
+	rootLink := make(map[uint64]uint64)
+	for _, d := range spans {
+		if d.Parent == 0 && d.Link != 0 && want[d.Link] {
+			rootLink[d.ID] = d.Link
+		}
+	}
+	if len(rootLink) == 0 {
+		return evs
+	}
+	offsetNS := int64(sh.tracer.Epoch().Sub(s.tracer.epoch))
+	for _, d := range spans {
+		link, ok := rootLink[d.Root]
+		if !ok {
+			continue
+		}
+		tid := stmTIDBase + d.ID
+		evs = append(evs, metaEvent("thread_name", link, tid,
+			fmt.Sprintf("stm s%d %s", sh.id, d.Name())))
+		args := map[string]any{
+			"outcome": d.Outcome.String(),
+			"depth":   d.Depth,
+			"attempt": d.Attempt,
+			"shard":   sh.id,
+		}
+		if d.Reason != stmtrace.ReasonNone {
+			args["abort_reason"] = d.Reason.String()
+		}
+		if d.Parent != 0 {
+			args["parent_span"] = d.Parent
+		}
+		for phase, ns := range d.PhaseDurations() {
+			args["phase_"+phase+"_us"] = float64(ns) / 1e3
+		}
+		evs = append(evs, sliceEvent(d.Name(), "stm", link, tid,
+			d.Start+offsetNS, d.End+offsetNS, args))
+	}
+	return evs
+}
+
+// WriteTraceEvents writes the merged server + STM trace as Chrome
+// trace_event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+func (s *Server) WriteTraceEvents(w io.Writer) error {
+	reqs := s.tracer.traces()
+	want := make(map[uint64]bool, len(reqs))
+	evs := make([]traceEvent, 0, 8*len(reqs))
+	for _, d := range reqs {
+		want[d.ID] = true
+		evs = s.requestEvents(d, evs)
+	}
+	for _, sh := range s.shards {
+		evs = s.linkedSpanEvents(sh, want, evs)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"displayTimeUnit": "ms",
+		"traceEvents":     evs,
+		"otherData": map[string]any{
+			"epoch_unix_ns": s.tracer.epoch.UnixNano(),
+			"sample_rate":   s.tracer.sampleRate(),
+			"traces":        len(reqs),
+		},
+	})
+}
+
+// serveTrace is the /debug/server/trace HTTP handler.
+func (s *Server) serveTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.WriteTraceEvents(w)
+}

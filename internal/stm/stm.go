@@ -279,13 +279,34 @@ func (s *STM) AtomicCtx(ctx context.Context, fn func(tx *Tx) error) error {
 	return s.atomic(ctx, fn)
 }
 
+// AtomicTraced is AtomicCtx with tracing forced on for this transaction
+// tree regardless of the sample rate (a tracer must still be attached):
+// every top-level attempt's span is tagged with link, the caller's own
+// trace ID. This is how the serving layer parents a sampled request's
+// transaction trees under its request span — the sampling decision is made
+// once per request up in the server, not re-drawn per transaction.
+func (s *STM) AtomicTraced(ctx context.Context, link uint64, fn func(tx *Tx) error) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			s.Stats.add(statShardHint(), idxCtxCancels, 1)
+			return err
+		}
+	}
+	return s.atomicWith(ctx, fn, s.tracer.Load(), link)
+}
+
 // atomic is the shared top-level retry loop; ctx is nil for plain Atomic.
 func (s *STM) atomic(ctx context.Context, fn func(tx *Tx) error) error {
+	return s.atomicWith(ctx, fn, s.sampleTrace(), 0)
+}
+
+// atomicWith is atomic with the trace decision already made: tr is nil for
+// untraced transactions, link tags the spans of externally-claimed trees.
+func (s *STM) atomicWith(ctx context.Context, fn func(tx *Tx) error, tr *stmtrace.Tracer, link uint64) error {
 	if th := s.opts.Throttle; th != nil {
 		th.EnterTop()
 		defer th.ExitTop()
 	}
-	tr := s.sampleTrace() // nil unless this logical transaction is traced
 	var rng *stats.RNG
 	pol := s.opts.Retry
 	maxAttempts := s.opts.MaxRetries
@@ -299,7 +320,7 @@ func (s *STM) atomic(ctx context.Context, fn func(tx *Tx) error) error {
 				return err
 			}
 		}
-		tx := s.beginTop(ctx, tr, attempt)
+		tx := s.beginTop(ctx, tr, attempt, link)
 		err, conflicted := tx.runTop(fn)
 		if !conflicted {
 			s.putTx(tx)
@@ -354,11 +375,22 @@ func (s *STM) tripLivelock(shard uint32, pol *RetryPolicy, attempts int) {
 // guarantee the multi-version design exists to provide. A write attempt
 // inside fn panics.
 func (s *STM) AtomicReadOnly(fn func(tx *Tx) error) error {
+	return s.atomicReadOnlyWith(s.sampleTrace(), 0, fn)
+}
+
+// AtomicReadOnlyTraced is AtomicReadOnly with tracing forced on (a tracer
+// must be attached), the span tagged with the caller's link — the
+// read-only counterpart of AtomicTraced.
+func (s *STM) AtomicReadOnlyTraced(link uint64, fn func(tx *Tx) error) error {
+	return s.atomicReadOnlyWith(s.tracer.Load(), link, fn)
+}
+
+func (s *STM) atomicReadOnlyWith(tr *stmtrace.Tracer, link uint64, fn func(tx *Tx) error) error {
 	if th := s.opts.Throttle; th != nil {
 		th.EnterTop()
 		defer th.ExitTop()
 	}
-	tx := s.beginTop(nil, s.sampleTrace(), 0)
+	tx := s.beginTop(nil, tr, 0, link)
 	tx.readOnly = true
 	err, conflicted := tx.runTop(fn)
 	if conflicted {
@@ -390,7 +422,7 @@ func AtomicResult[T any](s *STM, fn func(tx *Tx) (T, error)) (T, error) {
 // (core-local) slot next time. tr is non-nil when this attempt is traced
 // (the timestamp is taken first so PhaseBegin covers the whole begin
 // path).
-func (s *STM) beginTop(ctx context.Context, tr *stmtrace.Tracer, attempt int) *Tx {
+func (s *STM) beginTop(ctx context.Context, tr *stmtrace.Tracer, attempt int, link uint64) *Tx {
 	var t0 time.Time
 	if tr != nil {
 		t0 = time.Now()
@@ -409,7 +441,7 @@ func (s *STM) beginTop(ctx context.Context, tr *stmtrace.Tracer, attempt int) *T
 	tx.snapSlot = slot
 	tx.root = tx
 	if tr != nil {
-		tx.span = tr.StartTopAt(t0, attempt)
+		tx.span = tr.StartTopLinkedAt(t0, attempt, link)
 		tx.span.Mark(stmtrace.PhaseBegin)
 	}
 	return tx

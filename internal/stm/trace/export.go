@@ -30,6 +30,22 @@ type traceEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
+// PhaseDurations returns the span's nonzero per-phase durations in
+// nanoseconds, keyed by phase name — the export convenience for packages
+// outside stmtrace (which cannot iterate the unexported phase space).
+func (d SpanData) PhaseDurations() map[string]int64 {
+	m := make(map[string]int64, numPhases)
+	for p := Phase(0); p < numPhases; p++ {
+		if ns := d.PhaseNS[p]; ns > 0 {
+			m[p.String()] = ns
+		}
+	}
+	return m
+}
+
+// Name renders a span's display name (exported for merged exports).
+func (d SpanData) Name() string { return spanName(d) }
+
 // spanName renders a span's display name.
 func spanName(d SpanData) string {
 	if d.Parent == 0 {
@@ -68,6 +84,9 @@ func (t *Tracer) events() []traceEvent {
 		}
 		if d.Reason != ReasonNone {
 			args["abort_reason"] = d.Reason.String()
+		}
+		if d.Link != 0 {
+			args["link"] = fmt.Sprintf("%016x", d.Link)
 		}
 		if d.Parent != 0 {
 			args["parent_span"] = d.Parent

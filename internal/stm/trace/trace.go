@@ -100,8 +100,12 @@ type SpanData struct {
 	// Attempt numbers retries of the same logical transaction: a conflicted
 	// attempt and its retry appear as sibling spans with increasing Attempt.
 	Attempt int   `json:"attempt"`
-	Start   int64 `json:"start_ns"`
-	End     int64 `json:"end_ns"`
+	// Link ties a top-level span to an external trace — the serving layer's
+	// request trace ID (stm.AtomicTraced). Zero for ambient-sampled
+	// transactions; children inherit their root's link via Root.
+	Link  uint64 `json:"link,omitempty"`
+	Start int64  `json:"start_ns"`
+	End   int64  `json:"end_ns"`
 	// PhaseNS holds cumulative nanoseconds per Phase, indexed by Phase.
 	PhaseNS [numPhases]int64 `json:"phase_ns"`
 	Outcome Outcome          `json:"-"`
@@ -192,18 +196,30 @@ func (t *Tracer) now() int64 { return int64(time.Since(t.epoch)) }
 // samples t0 before pool checkout so PhaseBegin covers the real begin
 // path). attempt numbers the retry.
 func (t *Tracer) StartTopAt(t0 time.Time, attempt int) *Span {
+	return t.StartTopLinkedAt(t0, attempt, 0)
+}
+
+// StartTopLinkedAt is StartTopAt for a span linked to an external trace:
+// link (nonzero) tags the span with the caller's trace ID, which is how a
+// serving-layer request trace claims the transaction trees it caused.
+func (t *Tracer) StartTopLinkedAt(t0 time.Time, attempt int, link uint64) *Span {
 	start := int64(t0.Sub(t.epoch))
 	id := t.seq.Add(1)
 	if attempt == 0 {
 		t.sampled.Add(1)
 	}
 	sp := &Span{tr: t, last: start}
-	sp.data = SpanData{ID: id, Root: id, Attempt: attempt, Start: start}
+	sp.data = SpanData{ID: id, Root: id, Attempt: attempt, Link: link, Start: start}
 	if rtrace.IsEnabled() {
 		sp.ctx, sp.task = rtrace.NewTask(context.Background(), "stm.tx")
 	}
 	return sp
 }
+
+// Epoch returns the tracer's time origin; every span timestamp is
+// nanoseconds since it. Exporters merging spans from several tracers (the
+// serving layer's combined request+STM timeline) use it to re-anchor.
+func (t *Tracer) Epoch() time.Time { return t.epoch }
 
 // StartChild opens a nested span under sp. It must be called on the
 // goroutine that will run the child (runtime/trace regions are
