@@ -22,10 +22,13 @@ LOADGEN_DURATION ?= 4s
 # Where the load smoke drops its reports, decision logs and DLQ (CI
 # uploads this directory as the server-e2e artifact).
 SERVER_SMOKE_ARTIFACTS ?= server-smoke-artifacts
+# Where the kill-and-recover smoke drops its ledger, audit report, WAL
+# directory and per-run server logs (the recovery-e2e artifact).
+RECOVERY_SMOKE_ARTIFACTS ?= recovery-smoke-artifacts
 
 .PHONY: all build test test-short race race-all bench bench-stm \
 	bench-compare bench-allocs bench-contended bench-smoke trace-smoke \
-	fuzz-smoke chaos server-smoke lint ci repro figures clean
+	fuzz-smoke chaos server-smoke recovery-smoke lint ci repro figures clean
 
 all: build test
 
@@ -49,7 +52,7 @@ test-short:
 # interleaves interestingly with several Ps.
 race:
 	GOMAXPROCS=4 $(GO) test -race ./internal/stm/... ./internal/pnpool/... ./internal/obs/... \
-		./internal/server/...
+		./internal/server/... ./internal/wal/...
 
 race-all:
 	$(GO) test -race ./...
@@ -137,6 +140,19 @@ server-smoke:
 		SERVER_SMOKE_ARTIFACTS=$(abspath $(SERVER_SMOKE_ARTIFACTS)) \
 		$(GO) test -run '^TestServerLoadSmoke$$' -count=1 -v ./internal/server/
 
+# Kill-and-recover gate: build the server binary, drive verified load
+# against it, SIGKILL it mid-run, restart on the same WAL directory and
+# assert zero acked-write loss (ledger audit), bounded recovery time,
+# tuner warm-start from the per-shard checkpoints (>= 2 shards resume
+# their pre-crash (t,c) with a RECOVERY decision event) and that the
+# steady-state WAL cost under interval fsync stays >= 0.85x of the
+# no-WAL baseline. Ledger, audit report, WAL dir, per-run server logs
+# and the recovery status snapshot land in $(RECOVERY_SMOKE_ARTIFACTS).
+recovery-smoke:
+	RECOVERY_SMOKE=1 LOADGEN_DURATION=$(LOADGEN_DURATION) \
+		RECOVERY_SMOKE_ARTIFACTS=$(abspath $(RECOVERY_SMOKE_ARTIFACTS)) \
+		$(GO) test -run '^TestRecoveryKillAndRecover$$' -count=1 -v ./internal/server/
+
 # Static analysis beyond go vet. Uses golangci-lint (see .golangci.yml)
 # when installed; CI always runs it.
 lint:
@@ -149,7 +165,7 @@ lint:
 
 # Everything the CI pipeline runs, in one target, so local runs and the
 # pipeline stay in lockstep (the fuzz/bench budgets match ci.yml).
-ci: build test-short race chaos fuzz-smoke bench-smoke bench-allocs server-smoke lint
+ci: build test-short race chaos fuzz-smoke bench-smoke bench-allocs server-smoke recovery-smoke lint
 
 # The single acceptance test for the paper's headline claims.
 repro:

@@ -101,6 +101,18 @@ type Options struct {
 	// workload shifts (§V "Dynamic workloads" / future work).
 	ReTune bool
 
+	// WarmStart, if non-nil and valid (Best.T and Best.C >= 1), resumes
+	// the tuner from a prior process's checkpoint instead of running a
+	// cold optimization session: the checkpointed last-known-good
+	// configuration is applied immediately, the quarantine set is
+	// reseeded, and a KindRecovery decision is recorded in place of the
+	// initial-sampling trail. With ReTune the tuner then goes straight to
+	// watching for workload change; without it Run returns once the
+	// configuration is applied. ContTune's observation (PAPERS.md) is the
+	// design argument: conservatively reusing prior tuning knowledge after
+	// a disruption beats re-exploring from scratch.
+	WarmStart *Checkpoint
+
 	// DryRun makes the tuner measure and model without ever applying a
 	// configuration change (used by the §VII-E overhead experiment).
 	DryRun bool
@@ -201,6 +213,7 @@ type Tuner struct {
 
 	lastGoodMu  sync.Mutex
 	lastGood    space.Config // most recent config with a healthy window
+	lastGoodKPI float64      // its measured throughput (commits/sec)
 	hasLastGood bool
 
 	// Tuner-level metrics (nil without Options.Metrics).
@@ -362,24 +375,123 @@ func (t *Tuner) newOptimizer(rng *stats.RNG) search.Optimizer {
 	}
 }
 
+// Checkpoint is the tuner continuity state a host persists across process
+// lifetimes (the serving layer writes one per shard next to its WAL): the
+// last-known-good configuration with its measured throughput, the phase it
+// was captured in, and the quarantine set. Restoring it via
+// Options.WarmStart skips the cold exploration a restart would otherwise
+// force.
+type Checkpoint struct {
+	// Best is the last-known-good configuration (falling back to the
+	// currently enforced one when no healthy window has completed yet).
+	Best Config `json:"best"`
+	// BestThroughput is Best's measured throughput in commits/sec (0 when
+	// unmeasured).
+	BestThroughput float64 `json:"best_throughput,omitempty"`
+	// Phase is the tuner phase at capture time.
+	Phase string `json:"phase,omitempty"`
+	// Quarantined is the banned-configuration set at capture time.
+	Quarantined []Config `json:"quarantined,omitempty"`
+}
+
+// Checkpoint snapshots the tuner's continuity state for persistence. Safe
+// for concurrent use with a running tuner.
+func (t *Tuner) Checkpoint() Checkpoint {
+	ck := Checkpoint{Phase: t.Phase()}
+	t.lastGoodMu.Lock()
+	if t.hasLastGood {
+		ck.Best = Config{T: t.lastGood.T, C: t.lastGood.C}
+		ck.BestThroughput = t.lastGoodKPI
+	}
+	t.lastGoodMu.Unlock()
+	if ck.Best.T == 0 {
+		ck.Best = t.Current()
+	}
+	if t.quar != nil {
+		for _, cfg := range t.quar.List() {
+			ck.Quarantined = append(ck.Quarantined, Config{T: cfg.T, C: cfg.C})
+		}
+	}
+	return ck
+}
+
+// restoreCheckpoint applies Options.WarmStart, reporting whether a valid
+// checkpoint was restored. The restored configuration is applied to the
+// actuator, becomes the fallback target, the quarantine set is reseeded,
+// and a KindRecovery decision is recorded — the recovered process's
+// decision log starts with "recovery", not "initial-sampling".
+func (t *Tuner) restoreCheckpoint() bool {
+	ck := t.opts.WarmStart
+	if ck == nil || ck.Best.T < 1 || ck.Best.C < 1 || ck.Best.T*ck.Best.C > t.opts.Cores {
+		return false
+	}
+	if t.quar != nil {
+		for _, cfg := range ck.Quarantined {
+			t.quar.Ban(space.Config{T: cfg.T, C: cfg.C})
+		}
+	}
+	best := space.Config{T: ck.Best.T, C: ck.Best.C}
+	t.lastGoodMu.Lock()
+	t.lastGood, t.hasLastGood = best, true
+	t.lastGoodKPI = ck.BestThroughput
+	t.lastGoodMu.Unlock()
+	if !t.opts.DryRun {
+		t.pool.Apply(best)
+	}
+	t.phase.Store("converged")
+	t.rec.Record(obs.Decision{
+		Kind: obs.KindRecovery, Phase: t.Phase(),
+		T: ck.Best.T, C: ck.Best.C, Throughput: ck.BestThroughput,
+		Note: fmt.Sprintf("warm start from checkpoint (was %s, %d quarantined)",
+			ckPhase(ck.Phase), len(ck.Quarantined)),
+	})
+	return true
+}
+
+// ckPhase renders a checkpoint phase for the recovery note.
+func ckPhase(p string) string {
+	if p == "" {
+		return "unknown phase"
+	}
+	return "phase " + p
+}
+
 // Run executes the tuning process to convergence, applies the best
 // configuration found, and returns the result. With Options.ReTune it then
 // keeps monitoring for workload changes and re-tunes on detection,
 // returning only when ctx is cancelled. Without ReTune it returns as soon
 // as the optimizer converges (or ctx is cancelled).
+//
+// With a valid Options.WarmStart checkpoint the first optimization session
+// is skipped entirely: the checkpointed configuration is applied and the
+// tuner proceeds as if it had just converged (watching for change under
+// ReTune, returning otherwise). The next CUSUM change point triggers a
+// normal re-tuning session.
 func (t *Tuner) Run(ctx context.Context) Result {
 	start := time.Now()
 	rng := stats.NewRNG(t.opts.Seed)
 	var res Result
-	for {
-		r := t.tuneOnce(ctx, rng)
-		res.Best, res.BestThroughput = r.Best, r.BestThroughput
-		res.Explorations += r.Explorations
-		res.Windows += r.Windows
+	warm := t.restoreCheckpoint()
+	if warm {
+		ck := t.opts.WarmStart
+		res.Best, res.BestThroughput = ck.Best, ck.BestThroughput
 		res.Elapsed = time.Since(start)
 		if !t.opts.ReTune || ctx.Err() != nil {
 			return res
 		}
+	}
+	for {
+		if !warm {
+			r := t.tuneOnce(ctx, rng)
+			res.Best, res.BestThroughput = r.Best, r.BestThroughput
+			res.Explorations += r.Explorations
+			res.Windows += r.Windows
+			res.Elapsed = time.Since(start)
+			if !t.opts.ReTune || ctx.Err() != nil {
+				return res
+			}
+		}
+		warm = false
 		if !t.watchForChange(ctx) {
 			res.Elapsed = time.Since(start)
 			return res
@@ -505,6 +617,7 @@ func (t *Tuner) noteHealthy(cfg space.Config, m monitor.Measurement) {
 	if m.Commits > 0 {
 		t.lastGoodMu.Lock()
 		t.lastGood, t.hasLastGood = cfg, true
+		t.lastGoodKPI = m.Throughput
 		t.lastGoodMu.Unlock()
 	}
 }

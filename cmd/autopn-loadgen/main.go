@@ -48,6 +48,8 @@ func run(args []string) error {
 		vnodes   = fs.Int("vnodes", 0, "server virtual nodes per shard (0 = default; must match the server)")
 
 		seed       = fs.Uint64("seed", 1, "workload stream seed")
+		verify     = fs.String("verify", "", "journal acked writes to this ledger file during the run (crash-recovery verification)")
+		audit      = fs.String("audit", "", "skip the load run; sweep the server against this acked-write ledger and report lost acks")
 		out        = fs.String("out", "", "also write the JSON report to this file")
 		traceEvery = fs.Int("trace-every", 0, "send a trace hint on every Nth request (0 = none; needs server-side tracing on)")
 		statusURL  = fs.String("status-url", "", "server /status URL; the report embeds its stage breakdown after the run")
@@ -59,22 +61,47 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if *audit != "" {
+		// Audit mode: no load, just the post-restart GET sweep against the
+		// ledger. A non-zero lost-ack count is a process failure — this is
+		// what the recovery-e2e gate runs.
+		arep, err := loadgen.Audit(*addr, *audit)
+		if err != nil {
+			return err
+		}
+		b, err := json.MarshalIndent(arep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		if *out != "" {
+			if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+				return fmt.Errorf("write report: %w", err)
+			}
+		}
+		if arep.LostAcks > 0 {
+			return fmt.Errorf("audit: %d acked writes lost", arep.LostAcks)
+		}
+		return nil
+	}
+
 	rep, err := loadgen.Run(ctx, loadgen.Options{
-		Addr:        *addr,
-		Rate:        *rate,
-		Duration:    *duration,
-		Conns:       *conns,
-		MaxInFlight: *inflight,
-		Keys:        *keys,
-		ZipfS:       *zipfS,
-		ReadFrac:    *readFrac,
-		MAddFrac:    *maddFrac,
-		MAddKeys:    *maddKeys,
-		Shards:      *shards,
-		VNodes:      *vnodes,
-		Seed:        *seed,
-		TraceEvery:  *traceEvery,
-		StatusURL:   *statusURL,
+		Addr:         *addr,
+		Rate:         *rate,
+		Duration:     *duration,
+		Conns:        *conns,
+		MaxInFlight:  *inflight,
+		Keys:         *keys,
+		ZipfS:        *zipfS,
+		ReadFrac:     *readFrac,
+		MAddFrac:     *maddFrac,
+		MAddKeys:     *maddKeys,
+		Shards:       *shards,
+		VNodes:       *vnodes,
+		Seed:         *seed,
+		TraceEvery:   *traceEvery,
+		StatusURL:    *statusURL,
+		VerifyLedger: *verify,
 	})
 	if err != nil {
 		return err

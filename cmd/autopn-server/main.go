@@ -55,6 +55,12 @@ func run(args []string) error {
 		retune    = fs.Bool("retune", true, "keep tuners watching for workload change after convergence")
 		seed      = fs.Uint64("seed", 1, "base tuner seed (shard i uses seed + i*7919)")
 
+		walDir          = fs.String("wal", "", "per-shard durability directory (shard-<i>/ write-ahead logs, snapshots, tuner checkpoints; empty = durability off)")
+		walSync         = fs.String("wal-sync", "batch", "WAL fsync policy: batch (fsync before ack), interval, none")
+		walSyncInterval = fs.Duration("wal-sync-interval", 50*time.Millisecond, "fsync period under -wal-sync=interval")
+		walSegBytes     = fs.Int64("wal-segment-bytes", 8<<20, "WAL segment size before rotation")
+		snapInterval    = fs.Duration("snapshot-interval", 10*time.Second, "per-shard snapshot period (truncates the WAL; negative disables)")
+
 		decisionDir = fs.String("decision-log-dir", "", "directory for per-shard tuning decision logs (shard-<i>.jsonl)")
 		dlqPath     = fs.String("dlq", "", "dead-letter log path (JSONL; empty disables the file, counters still advance)")
 		lockfree    = fs.Bool("lockfree", false, "use the lock-free STM commit path")
@@ -86,14 +92,19 @@ func run(args []string) error {
 			Cooldown:         *brkCooldown,
 			HalfOpenProbes:   *brkProbes,
 		},
-		CoresPerShard:  *cores,
-		DisableTuner:   *noTuner,
-		TunerMaxWindow: *maxWindow,
-		Retune:         *retune,
-		Seed:           *seed,
-		DecisionLogDir: *decisionDir,
-		DLQPath:        *dlqPath,
-		LockFreeCommit: *lockfree,
+		CoresPerShard:    *cores,
+		DisableTuner:     *noTuner,
+		TunerMaxWindow:   *maxWindow,
+		Retune:           *retune,
+		Seed:             *seed,
+		WALDir:           *walDir,
+		WALSyncPolicy:    *walSync,
+		WALSyncInterval:  *walSyncInterval,
+		WALSegmentBytes:  *walSegBytes,
+		SnapshotInterval: *snapInterval,
+		DecisionLogDir:   *decisionDir,
+		DLQPath:          *dlqPath,
+		LockFreeCommit:   *lockfree,
 		Trace: server.TraceOptions{
 			SampleRate: *traceSample,
 			MaxTraces:  *traceRing,
@@ -123,6 +134,16 @@ func run(args []string) error {
 	}
 	if err := s.Start(); err != nil {
 		return err
+	}
+	if *walDir != "" {
+		for _, row := range s.Status().ShardTable {
+			if row.WAL == nil || row.WAL.Recovery == nil {
+				continue
+			}
+			r := row.WAL.Recovery
+			fmt.Printf("autopn-server: shard %d recovered in %.1fms (snapshot lsn %d, %d records replayed, %d keys restored, epoch %d, clean=%v, warm-start=%v)\n",
+				row.ID, r.DurationMS, r.SnapshotLSN, r.ReplayRecords, r.KeysRestored, r.Epoch, r.CleanShutdown, r.WarmStart)
+		}
 	}
 	fmt.Printf("autopn-server: serving on %s", s.Addr())
 	if h := s.HTTPAddr(); h != "" {

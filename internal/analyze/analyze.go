@@ -127,6 +127,10 @@ func renderDecision(d obs.Decision) string {
 		return fmt.Sprintf("quarantine (t=%d,c=%d): %s", d.T, d.C, d.Note)
 	case obs.KindFallback:
 		return fmt.Sprintf("fallback to (t=%d,c=%d): %s", d.T, d.C, d.Note)
+	case obs.KindRecovery:
+		return fmt.Sprintf("RECOVERY warm start (t=%d,c=%d): %s", d.T, d.C, d.Note)
+	case obs.KindShutdown:
+		return fmt.Sprintf("clean shutdown: %s", d.Note)
 	default:
 		b, _ := json.Marshal(d)
 		return string(b)

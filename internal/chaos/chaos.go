@@ -75,6 +75,20 @@ const (
 	// which retired nodes stay unreused — while a delay or stall holds the
 	// commit lock mid-reclaim.
 	PointReclaim
+	// PointWALAppend fires in the serving layer's per-shard WAL writer
+	// before a batch record is appended (internal/wal). ActAbort injects an
+	// append failure (the shard's sticky WAL-error path: breaker trip,
+	// autopn_server_wal_errors_total), ActTorn writes a deliberately
+	// truncated record — the torn tail a crash mid-write leaves behind —
+	// and then fails the log, and a delay or stall holds every writer
+	// waiting on that batch's fsync.
+	PointWALAppend
+	// PointSnapshot fires before a shard snapshot is written. ActAbort
+	// skips the snapshot (the WAL keeps growing past its retention
+	// target), ActTorn abandons a half-written temporary file (recovery
+	// must ignore it and fall back to the previous snapshot), and a stall
+	// models a wedged snapshotter racing concurrent appends.
+	PointSnapshot
 
 	numPoints
 )
@@ -82,6 +96,7 @@ const (
 var pointNames = [numPoints]string{
 	"begin", "read", "validate", "commit", "helping",
 	"nested-validate", "nested-commit", "combiner", "reclaim",
+	"wal-append", "snapshot",
 }
 
 func (p Point) String() string {
@@ -106,9 +121,14 @@ const (
 	// ActStall blocks the caller until Resume or Close releases it,
 	// modeling a preempted thread.
 	ActStall
+	// ActTorn makes the hooked durability write a partial one: the WAL
+	// appender (PointWALAppend) writes a truncated record, the snapshotter
+	// (PointSnapshot) abandons its temporary file mid-write. Only the
+	// durability hooks interpret it; the STM hooks treat it as ActNone.
+	ActTorn
 )
 
-var actionNames = [...]string{"none", "delay", "abort", "stall"}
+var actionNames = [...]string{"none", "delay", "abort", "stall", "torn"}
 
 func (a Action) String() string {
 	if int(a) < len(actionNames) {

@@ -35,6 +35,16 @@ const (
 	// configuration from the candidate space after repeated starved windows;
 	// Watchdog marks whether the final strike was a watchdog trip.
 	KindQuarantine = "quarantine"
+	// KindRecovery records a tuner warm-starting from a persisted
+	// checkpoint after a restart: the restored last-known-good (t, c) is
+	// applied immediately and the cold initial-sampling session is
+	// skipped. The serving layer's crash-recovery path emits it (see
+	// docs/DURABILITY.md).
+	KindRecovery = "recovery"
+	// KindShutdown records a graceful clean shutdown of the component
+	// owning the decision log (the serving layer's drain writes one per
+	// shard alongside the WAL's clean-shutdown marker).
+	KindShutdown = "clean-shutdown"
 	// KindFallback records the actuator reverting to the last known-good
 	// configuration after a starved or watchdog-tripped window, so the
 	// system never keeps running a pathological (t,c) while the optimizer

@@ -77,6 +77,12 @@ type Options struct {
 	// counters scraped from it (best-effort: scrape errors leave the
 	// fields nil rather than failing the run).
 	StatusURL string
+
+	// VerifyLedger, when non-empty, journals every acked write (PUT/ADD/
+	// MADD answered OK or VALUE) to this file as it completes — the
+	// client-side ledger the post-restart Audit sweeps to prove no acked
+	// write was lost to a crash (see verify.go).
+	VerifyLedger string
 }
 
 func (o *Options) withDefaults() {
@@ -145,6 +151,9 @@ type Report struct {
 
 	// Traced counts requests sent with a trace hint (Options.TraceEvery).
 	Traced uint64 `json:"traced,omitempty"`
+	// AckedWrites counts writes journaled to the verify ledger
+	// (Options.VerifyLedger).
+	AckedWrites uint64 `json:"acked_writes,omitempty"`
 	// ServerStages is the server's queue/exec/commit/flush decomposition
 	// scraped from Options.StatusURL after the run; ServerTrace its
 	// tracer counters. Both nil when no StatusURL was given or the
@@ -173,6 +182,9 @@ type conn struct {
 
 type pendEntry struct {
 	sent time.Time
+	// rec is the acked-write ledger record to journal if the request is
+	// answered OK/VALUE; nil for reads and non-verify runs.
+	rec *AckRecord
 }
 
 // run state shared across connection readers.
@@ -182,6 +194,7 @@ type runState struct {
 
 	ok, overload, breakerOpen, timeouts, errs atomic.Uint64
 	inflight                                  chan struct{}
+	ledger                                    *Ledger // nil = verify off
 }
 
 // Run executes one load-generation run against a live server and returns
@@ -194,6 +207,13 @@ func Run(ctx context.Context, o Options) (Report, error) {
 	}
 
 	st := &runState{inflight: make(chan struct{}, o.MaxInFlight)}
+	if o.VerifyLedger != "" {
+		ledger, err := NewLedger(o.VerifyLedger)
+		if err != nil {
+			return Report{}, fmt.Errorf("loadgen: verify ledger: %w", err)
+		}
+		st.ledger = ledger
+	}
 	conns := make([]*conn, 0, o.Conns)
 	var readers sync.WaitGroup
 	for i := 0; i < o.Conns; i++ {
@@ -251,13 +271,17 @@ func Run(ctx context.Context, o Options) (Report, error) {
 		line := gen.next()
 		c := conns[int(sent)%len(conns)]
 		now := time.Now()
+		var rec *AckRecord
+		if st.ledger != nil {
+			rec = verifyRecord(line)
+		}
 		if o.TraceEvery > 0 && sent%uint64(o.TraceEvery) == 0 {
 			// The hint ID is the 1-based sent index: unique within the run
 			// and trivially mapped back to the generator's schedule.
 			line = fmt.Sprintf("t=%x@%d %s", sent+1, now.UnixNano(), line)
 			traced++
 		}
-		c.pend <- pendEntry{sent: now}
+		c.pend <- pendEntry{sent: now, rec: rec}
 		if _, err := c.w.WriteString(line + "\n"); err == nil {
 			c.dirty = true
 		}
@@ -290,6 +314,12 @@ func Run(ctx context.Context, o Options) (Report, error) {
 		Errors:          st.errs.Load(),
 		Dropped:         dropped,
 		Traced:          traced,
+	}
+	if st.ledger != nil {
+		rep.AckedWrites = st.ledger.Count()
+		if err := st.ledger.Close(); err != nil {
+			return rep, fmt.Errorf("loadgen: verify ledger: %w", err)
+		}
 	}
 	if rep.DurationSeconds > 0 {
 		rep.Goodput = float64(rep.OK) / rep.DurationSeconds
@@ -349,6 +379,11 @@ func readLoop(c *conn, st *runState) {
 		case strings.HasPrefix(line, "VALUE"), line == "OK", line == "PONG":
 			st.ok.Add(1)
 			local = append(local, float64(time.Since(e.sent))/float64(time.Millisecond))
+			if e.rec != nil && st.ledger != nil {
+				// Journal the ack the moment it is observed: anything in
+				// the ledger was answered OK before any crash.
+				st.ledger.record(e.rec)
+			}
 		case line == "ERR "+server.ErrCodeOverload:
 			st.overload.Add(1)
 		case line == "ERR "+server.ErrCodeBreakerOpen:
@@ -483,4 +518,3 @@ func (g *opGen) next() string {
 	}
 	return fmt.Sprintf("ADD %s %d", k, 1+g.rng.Intn(8))
 }
-

@@ -1,0 +1,309 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the loadgen's durability-verification side: while a run is
+// in -verify mode, every *acked* write (a PUT/ADD/MADD the server answered
+// OK or VALUE) is journaled to a client-side ledger file as it completes.
+// After the server is killed and restarted, Audit sweeps the ledger's keys
+// with GETs and checks the ack contract: every acked delta must still be
+// reflected in the store. The invariant is one-sided — the recovered value
+// must be at least the acked sum, because a request the client counted as
+// timed out may still have committed server-side (the serving layer's
+// late-success path) and its delta then legitimately survives the crash.
+
+// AckRecord is one acked write in the ledger (one JSON line).
+type AckRecord struct {
+	// Op is "PUT", "ADD" or "MADD".
+	Op string `json:"op"`
+	// Keys are the written keys (one for PUT/ADD).
+	Keys []string `json:"keys"`
+	// Deltas are the per-key increments of an ADD/MADD.
+	Deltas []uint64 `json:"deltas,omitempty"`
+	// Val is the absolute value of a PUT.
+	Val uint64 `json:"val,omitempty"`
+}
+
+// Ledger is the append-only acked-write journal. Safe for concurrent use
+// (every connection reader records into it); each record is flushed
+// through to the file immediately, so a ledger is complete up to the
+// moment the client stopped — the property the kill-and-recover audit
+// depends on.
+type Ledger struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	count uint64
+	err   error
+}
+
+// NewLedger creates (truncating) the ledger at path.
+func NewLedger(path string) (*Ledger, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Ledger{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// record journals one acked write. Errors are sticky.
+func (l *Ledger) record(r *AckRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		l.err = err
+		return
+	}
+	if _, err := l.w.Write(append(b, '\n')); err != nil {
+		l.err = err
+		return
+	}
+	// Flush per record: the journal must survive the client being stopped
+	// abruptly mid-run (no fsync — it is the *server's* crash under test,
+	// not the client host's).
+	if err := l.w.Flush(); err != nil {
+		l.err = err
+		return
+	}
+	l.count++
+}
+
+// Count returns how many acked writes were journaled.
+func (l *Ledger) Count() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Close flushes and closes the ledger file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ferr := l.w.Flush()
+	cerr := l.f.Close()
+	if l.err != nil {
+		return l.err
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// LostKey is one audit failure: a key whose recovered value is below the
+// sum the server acked.
+type LostKey struct {
+	Key  string `json:"key"`
+	Want uint64 `json:"want"` // sum of acked deltas
+	Got  uint64 `json:"got"`  // recovered value
+}
+
+// AuditReport is the post-restart verification summary — the artifact the
+// recovery-e2e gate asserts on (LostAcks must be zero).
+type AuditReport struct {
+	// Records is how many ledger lines were read.
+	Records int `json:"records"`
+	// KeysChecked is how many distinct keys were swept with GET.
+	KeysChecked int `json:"keys_checked"`
+	// KeysTainted counts keys touched by an acked PUT: absolute writes
+	// make the delta-sum invariant unverifiable, so those keys are
+	// journaled but skipped by the strict audit.
+	KeysTainted int `json:"keys_tainted,omitempty"`
+	// AckedDeltas is the total acked increment volume audited.
+	AckedDeltas uint64 `json:"acked_deltas"`
+	// LostAcks is how many keys recovered below their acked sum — acked
+	// writes the crash lost. The gate requires zero.
+	LostAcks int `json:"lost_acks"`
+	// LostDetail samples up to 10 lost keys.
+	LostDetail []LostKey `json:"lost_detail,omitempty"`
+	// LateSurplus is how many keys recovered *above* their acked sum:
+	// unacked-but-committed writes (timeouts whose transaction still
+	// committed). Expected under load, not a failure.
+	LateSurplus int `json:"late_surplus"`
+	// SweepErrors counts GETs that failed during the sweep.
+	SweepErrors int `json:"sweep_errors"`
+}
+
+// Audit replays the ledger at path against the (restarted) server at addr:
+// it sums acked deltas per key, sweeps those keys with pipelined GETs, and
+// reports every key whose recovered value is below its acked sum.
+func Audit(addr, path string) (AuditReport, error) {
+	var rep AuditReport
+	f, err := os.Open(path)
+	if err != nil {
+		return rep, err
+	}
+	sums := make(map[string]uint64)
+	tainted := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r AckRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			_ = f.Close()
+			return rep, fmt.Errorf("ledger line %d: %w", rep.Records+1, err)
+		}
+		rep.Records++
+		switch r.Op {
+		case "PUT":
+			for _, k := range r.Keys {
+				tainted[k] = true
+			}
+		default:
+			for i, k := range r.Keys {
+				if i < len(r.Deltas) {
+					sums[k] += r.Deltas[i]
+					rep.AckedDeltas += r.Deltas[i]
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		_ = f.Close()
+		return rep, err
+	}
+	_ = f.Close()
+	rep.KeysTainted = len(tainted)
+
+	keys := make([]string, 0, len(sums))
+	for k := range sums {
+		if !tainted[k] {
+			keys = append(keys, k)
+		}
+	}
+	got, errs, err := sweep(addr, keys)
+	if err != nil {
+		return rep, err
+	}
+	rep.SweepErrors = errs
+	for _, k := range keys {
+		v, ok := got[k]
+		if !ok {
+			continue // sweep error, already counted
+		}
+		rep.KeysChecked++
+		switch {
+		case v < sums[k]:
+			rep.LostAcks++
+			if len(rep.LostDetail) < 10 {
+				rep.LostDetail = append(rep.LostDetail, LostKey{Key: k, Want: sums[k], Got: v})
+			}
+		case v > sums[k]:
+			rep.LateSurplus++
+		}
+	}
+	return rep, nil
+}
+
+// sweep GETs every key over one pipelined connection and returns the
+// observed values.
+func sweep(addr string, keys []string) (map[string]uint64, int, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, 0, fmt.Errorf("audit dial %s: %w", addr, err)
+	}
+	defer func() { _ = nc.Close() }()
+	out := make(map[string]uint64, len(keys))
+	errs := 0
+
+	// Pipeline in windows so neither side's buffers are overrun.
+	const window = 512
+	w := bufio.NewWriter(nc)
+	sc := bufio.NewScanner(nc)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<10)
+	for at := 0; at < len(keys); at += window {
+		end := at + window
+		if end > len(keys) {
+			end = len(keys)
+		}
+		for _, k := range keys[at:end] {
+			if _, err := w.WriteString("GET " + k + "\n"); err != nil {
+				return nil, 0, err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return nil, 0, err
+		}
+		for _, k := range keys[at:end] {
+			if !sc.Scan() {
+				return nil, 0, fmt.Errorf("audit sweep: connection closed mid-sweep: %v", sc.Err())
+			}
+			line := sc.Text()
+			if v, ok := strings.CutPrefix(line, "VALUE "); ok {
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					errs++
+					continue
+				}
+				out[k] = n
+			} else {
+				errs++
+			}
+		}
+	}
+	return out, errs, nil
+}
+
+// verifyRecord builds the AckRecord for one generated request line, or nil
+// for reads. Lines come from opGen, so the shapes are exactly GET/ADD/MADD
+// (and PUT for completeness).
+func verifyRecord(line string) *AckRecord {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil
+	}
+	switch fields[0] {
+	case "PUT":
+		if len(fields) != 3 {
+			return nil
+		}
+		v, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return nil
+		}
+		return &AckRecord{Op: "PUT", Keys: []string{fields[1]}, Val: v}
+	case "ADD":
+		if len(fields) != 3 {
+			return nil
+		}
+		d, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return nil
+		}
+		return &AckRecord{Op: "ADD", Keys: []string{fields[1]}, Deltas: []uint64{d}}
+	case "MADD":
+		pairs := fields[1:]
+		if len(pairs)%2 != 0 {
+			return nil
+		}
+		r := &AckRecord{Op: "MADD"}
+		for i := 0; i < len(pairs); i += 2 {
+			d, err := strconv.ParseUint(pairs[i+1], 10, 64)
+			if err != nil {
+				return nil
+			}
+			r.Keys = append(r.Keys, pairs[i])
+			r.Deltas = append(r.Deltas, d)
+		}
+		return r
+	}
+	return nil
+}

@@ -50,6 +50,12 @@ const (
 	ErrCodeCrossShard = "cross-shard"
 	// ErrCodeBadRequest is replied to unparseable lines.
 	ErrCodeBadRequest = "bad-request"
+	// ErrCodeWAL is replied when the shard's write-ahead log failed to
+	// make a committed update durable: the transaction committed in
+	// memory, but the ack contract (acked writes survive a crash) could
+	// not be honored. WAL errors are sticky — every subsequent update on
+	// the shard gets this reply and feeds the breaker until restart.
+	ErrCodeWAL = "wal"
 )
 
 // opKind is the parsed operation.
@@ -186,7 +192,7 @@ func parseRequest(line string) (*request, string) {
 }
 
 // Response constructors.
-func respValue(n uint64) string { return "VALUE " + strconv.FormatUint(n, 10) }
+func respValue(n uint64) string  { return "VALUE " + strconv.FormatUint(n, 10) }
 func respErr(code string) string { return "ERR " + code }
 
 const (

@@ -20,6 +20,7 @@ import (
 	"autopn/internal/obs"
 	"autopn/internal/stm"
 	stmtrace "autopn/internal/stm/trace"
+	"autopn/internal/wal"
 )
 
 // Options configures a Server. The zero value is completed with defaults
@@ -69,6 +70,28 @@ type Options struct {
 	Retune bool
 	// Seed derives per-shard tuner seeds (default 1).
 	Seed uint64
+
+	// WALDir, if non-empty, enables per-shard durability: shard i logs
+	// committed mutations to a write-ahead log under WALDir/shard-<i>/,
+	// snapshots periodically, and on New replays snapshot + log tail into
+	// its store before any traffic is admitted. The same directory holds
+	// each shard's tuner checkpoint, so a recovered shard warm-starts its
+	// tuner at the pre-crash last-known-good (t, c). See
+	// docs/DURABILITY.md.
+	WALDir string
+	// WALSyncPolicy selects when appends are fsynced: "batch" (fsync
+	// before every ack — the durable default), "interval" (timer-driven,
+	// bounded loss window) or "none".
+	WALSyncPolicy string
+	// WALSyncInterval is the fsync period under the "interval" policy
+	// (default 50ms).
+	WALSyncInterval time.Duration
+	// WALSegmentBytes caps a WAL segment before rotation (default 8MiB).
+	WALSegmentBytes int64
+	// SnapshotInterval is the period between per-shard snapshots; each
+	// snapshot truncates the log behind it and checkpoints the tuner
+	// (default 10s; negative disables periodic snapshots).
+	SnapshotInterval time.Duration
 
 	// DecisionLogDir, if non-empty, persists each shard's tuning decision
 	// trail as DIR/shard-<i>.jsonl.
@@ -122,6 +145,12 @@ func (o *Options) withDefaults() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.WALSyncPolicy == "" {
+		o.WALSyncPolicy = "batch"
+	}
+	if o.SnapshotInterval == 0 {
+		o.SnapshotInterval = 10 * time.Second
 	}
 	o.Trace.withDefaults()
 }
@@ -185,6 +214,22 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("decision-log dir: %w", err)
 		}
 	}
+	var walCfg walConfig
+	if opts.WALDir != "" {
+		policy, err := wal.ParseSyncPolicy(opts.WALSyncPolicy)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.MkdirAll(opts.WALDir, 0o755); err != nil {
+			return nil, fmt.Errorf("wal dir: %w", err)
+		}
+		walCfg = walConfig{
+			policy:       policy,
+			interval:     opts.WALSyncInterval,
+			segmentBytes: opts.WALSegmentBytes,
+			snapInterval: opts.SnapshotInterval,
+		}
+	}
 
 	// Partition the key space across shards by the ring, then build each
 	// shard's immutable store so request handling never takes a map lock.
@@ -224,6 +269,20 @@ func New(opts Options) (*Server, error) {
 			tracer:  str,
 			stages:  newStageHists(),
 		}
+		// Recovery runs here, before workers or tuners exist: the store is
+		// rebuilt from snapshot + WAL tail and the tuner checkpoint is
+		// loaded so the tuner below can warm-start from it.
+		var warm *autopn.Checkpoint
+		if opts.WALDir != "" {
+			cfg := walCfg
+			cfg.injector = inj
+			w, cp, err := openShardWAL(sh, filepath.Join(opts.WALDir, fmt.Sprintf("shard-%d", i)), cfg)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d wal: %w", i, err)
+			}
+			sh.wal = w
+			warm = cp
+		}
 		if !opts.DisableTuner {
 			recorders := obs.Multi{sh.ring}
 			if opts.DecisionLogDir != "" {
@@ -241,6 +300,7 @@ func New(opts Options) (*Server, error) {
 				MaxWindow: opts.TunerMaxWindow,
 				ReTune:    opts.Retune,
 				Recorder:  recorders,
+				WarmStart: warm,
 			})
 		}
 		sh.registerMetrics(s.reg)
@@ -281,6 +341,46 @@ func (s *Server) registerMetrics() {
 		return float64(n)
 	})
 	s.reg.RegisterHistogram("autopn_server_request_latency_ms", s.latency)
+
+	if s.opts.WALDir != "" {
+		walSum := func(f func(*shardWAL) uint64) func() uint64 {
+			return func() uint64 {
+				var t uint64
+				for _, sh := range s.shards {
+					if sh.wal != nil {
+						t += f(sh.wal)
+					}
+				}
+				return t
+			}
+		}
+		s.reg.CounterFunc("autopn_server_wal_appends_total", walSum(func(w *shardWAL) uint64 { return w.log.Appends() }))
+		s.reg.CounterFunc("autopn_server_wal_fsyncs_total", walSum(func(w *shardWAL) uint64 { return w.log.Fsyncs() }))
+		s.reg.CounterFunc("autopn_server_wal_bytes_total", walSum(func(w *shardWAL) uint64 { return w.log.Bytes() }))
+		s.reg.CounterFunc("autopn_server_wal_errors_total", walSum(func(w *shardWAL) uint64 { return w.log.Errors() }))
+		s.reg.CounterFunc("autopn_server_wal_snapshots_total", walSum(func(w *shardWAL) uint64 { return w.snapshots.Load() }))
+		s.reg.CounterFunc("autopn_server_wal_failed_acks_total", walSum(func(w *shardWAL) uint64 { return w.failedAcks.Load() }))
+		s.reg.GaugeFunc("autopn_server_wal_segments", func() float64 {
+			var t int64
+			for _, sh := range s.shards {
+				if sh.wal != nil {
+					t += sh.wal.log.Segments()
+				}
+			}
+			return float64(t)
+		})
+		s.reg.GaugeFunc("autopn_server_wal_recovery_duration_seconds", func() float64 {
+			// The server admits traffic only after every shard recovered,
+			// so the slowest shard is the gate's recovery time.
+			var maxMS float64
+			for _, sh := range s.shards {
+				if sh.wal != nil && sh.wal.recovery.DurationMS > maxMS {
+					maxMS = sh.wal.recovery.DurationMS
+				}
+			}
+			return maxMS / 1e3
+		})
+	}
 
 	s.reg.CounterFunc("autopn_server_traces_sampled_total", s.tracer.sampled.Load)
 	s.reg.CounterFunc("autopn_server_traces_completed_total", s.tracer.completed.Load)
@@ -333,6 +433,9 @@ func (s *Server) Start() error {
 	s.accepting.Store(true)
 
 	for _, sh := range s.shards {
+		if sh.wal != nil {
+			sh.wal.start(sh)
+		}
 		sh.runWorkers(s.opts.WorkersPerShard)
 		if sh.tuner != nil {
 			s.tunerWG.Add(1)
@@ -567,6 +670,7 @@ type Status struct {
 	Shards     int           `json:"shards"`
 	Keys       int           `json:"keys"`
 	QueueDepth int           `json:"queue_depth"`
+	WALPolicy  string        `json:"wal_policy,omitempty"` // "" = durability off
 	DLQCount   uint64        `json:"dlq_count"`
 	DLQLost    uint64        `json:"dlq_lost,omitempty"`
 	ShardTable []ShardStatus `json:"shard_table"`
@@ -596,6 +700,9 @@ func (s *Server) Status() Status {
 		QueueDepth: s.opts.QueueDepth,
 		DLQCount:   s.dlq.Count(),
 		DLQLost:    s.dlq.Lost(),
+	}
+	if s.opts.WALDir != "" {
+		st.WALPolicy = s.opts.WALSyncPolicy
 	}
 	if s.ln != nil {
 		st.Addr = s.Addr()
@@ -721,11 +828,30 @@ func (s *Server) doShutdown(timeout time.Duration) ShutdownReport {
 		// something is truly wedged and we stop waiting.
 	}
 
-	// 5. Flush every log — the whole point of a graceful exit. This runs
-	// on every path, including a failed drain, so an interrupted server
-	// still leaves complete decision and dead-letter trails (the PR 2
-	// die-unflushed bug pattern must not recur).
+	// 5. Seal durability and flush every log — the whole point of a
+	// graceful exit. This runs on every path, including a failed drain,
+	// so an interrupted server still leaves complete decision and
+	// dead-letter trails (the PR 2 die-unflushed bug pattern must not
+	// recur). Each shard's WAL gets a final snapshot, a final tuner
+	// checkpoint and the shutdown record + CLEAN marker, and its decision
+	// log records the clean shutdown so the analyzer's timeline shows
+	// where one lifetime ended and the next began.
 	for _, sh := range s.shards {
+		if sh.wal != nil {
+			sh.wal.shutdownClean(sh)
+		}
+		if sh.tuner != nil {
+			cur := sh.tuner.Current()
+			d := obs.Decision{
+				Kind: obs.KindShutdown,
+				T:    cur.T, C: cur.C,
+				Note: fmt.Sprintf("drained=%v abandoned=%d", rep.Drained, rep.Abandoned),
+			}
+			sh.ring.Record(d)
+			if sh.jsonl != nil {
+				sh.jsonl.Record(d)
+			}
+		}
 		if sh.jsonl != nil {
 			_ = sh.jsonl.Close()
 		}

@@ -13,6 +13,7 @@ import (
 	"autopn/internal/obs"
 	"autopn/internal/stm"
 	stmtrace "autopn/internal/stm/trace"
+	"autopn/internal/wal"
 )
 
 // shard is one independent slice of the store: its own STM universe, its
@@ -36,6 +37,7 @@ type shard struct {
 	ring  *obs.Ring      // per-shard decision tail for /status
 	jsonl *obs.JSONLFile // per-shard persisted decision log (nil = off)
 	inj   *chaos.Injector
+	wal   *shardWAL // durability (nil = off); see durability.go
 
 	// tracer is this shard's STM span tracer: sampled requests force-trace
 	// their transaction trees into it, linked by request trace ID (the
@@ -189,6 +191,17 @@ func (sh *shard) execute(req *request) {
 			sh.breaker.ReportFailure()
 			sh.dlq.Record(DeadLetter{Shard: sh.id, Op: req.kind.String(), Key: req.key, Reason: ErrCodeTimeout})
 		}
+	case errors.Is(err, errWAL):
+		// The transaction committed but could not be made durable: the
+		// ack contract (acked writes survive a crash) is broken, so the
+		// client gets the typed WAL error and the breaker sees a failure.
+		// WAL errors are sticky, so the breaker opens within a window and
+		// the shard stops accepting updates it cannot honor.
+		if req.finish(respErr(ErrCodeWAL)) {
+			sh.userErrors.Add(1)
+			sh.breaker.ReportFailure()
+			sh.dlq.Record(DeadLetter{Shard: sh.id, Op: req.kind.String(), Key: req.key, Reason: ErrCodeWAL})
+		}
 	default:
 		// Protocol-level errors (unknown key, cross-shard) are the
 		// client's fault, not the shard's health: reply without feeding
@@ -205,17 +218,19 @@ type errCode string
 
 func (e errCode) Error() string { return string(e) }
 
-// atomicUpdate runs fn as an update transaction. Traced requests force the
-// tree into the shard's STM tracer linked by trace ID, and stamp the
-// fn-done mark at the end of every attempt (the last attempt's stamp
-// survives), which is what separates the exec stage — transaction body,
-// retries included — from the commit stage.
-func (sh *shard) atomicUpdate(ctx context.Context, req *request, fn func(tx *stm.Tx) error) error {
+// atomicUpdate runs fn as an update transaction and returns the STM
+// commit version that published it (the WAL path's last-writer-wins
+// ordering key). Traced requests force the tree into the shard's STM
+// tracer linked by trace ID, and stamp the fn-done mark at the end of
+// every attempt (the last attempt's stamp survives), which is what
+// separates the exec stage — transaction body, retries included — from
+// the commit stage.
+func (sh *shard) atomicUpdate(ctx context.Context, req *request, fn func(tx *stm.Tx) error) (uint64, error) {
 	rt := req.tr
 	if rt == nil {
-		return sh.stm.AtomicCtx(ctx, fn)
+		return sh.stm.AtomicVersionedCtx(ctx, fn)
 	}
-	return sh.stm.AtomicTraced(ctx, rt.id, func(tx *stm.Tx) error {
+	return sh.stm.AtomicVersionedTraced(ctx, rt.id, func(tx *stm.Tx) error {
 		err := fn(tx)
 		rt.fnDone.Store(rt.tr.now())
 		return err
@@ -259,11 +274,14 @@ func (sh *shard) exec(ctx context.Context, req *request) (string, error) {
 		if !ok {
 			return "", errCode(ErrCodeUnknownKey)
 		}
-		err := sh.atomicUpdate(ctx, req, func(tx *stm.Tx) error {
+		ver, err := sh.atomicUpdate(ctx, req, func(tx *stm.Tx) error {
 			box.Set(tx, req.arg)
 			return nil
 		})
 		if err != nil {
+			return "", err
+		}
+		if err := sh.logUpdate(wal.OpPut, req.key, req.arg, ver); err != nil {
 			return "", err
 		}
 		return respOK, nil
@@ -273,12 +291,15 @@ func (sh *shard) exec(ctx context.Context, req *request) (string, error) {
 			return "", errCode(ErrCodeUnknownKey)
 		}
 		var v uint64
-		err := sh.atomicUpdate(ctx, req, func(tx *stm.Tx) error {
+		ver, err := sh.atomicUpdate(ctx, req, func(tx *stm.Tx) error {
 			v = box.Get(tx) + req.arg
 			box.Set(tx, v)
 			return nil
 		})
 		if err != nil {
+			return "", err
+		}
+		if err := sh.logUpdate(wal.OpAdd, req.key, v, ver); err != nil {
 			return "", err
 		}
 		return respValue(v), nil
@@ -294,19 +315,28 @@ func (sh *shard) exec(ctx context.Context, req *request) (string, error) {
 		// The multi-key increment runs its per-key updates as parallel
 		// nested transactions: this is the request shape that gives the
 		// shard's tuner a real intra-transaction parallelism (c) knob to
-		// tune, not just top-level concurrency (t).
-		err := sh.atomicUpdate(ctx, req, func(tx *stm.Tx) error {
+		// tune, not just top-level concurrency (t). Each child records
+		// its key's post-state into its own slot (last attempt wins) so
+		// the committed image can be logged.
+		vals := make([]uint64, len(boxes))
+		ver, err := sh.atomicUpdate(ctx, req, func(tx *stm.Tx) error {
 			fns := make([]func(*stm.Tx) error, len(boxes))
 			for i := range boxes {
+				i := i
 				box, delta := boxes[i], req.args[i]
 				fns[i] = func(child *stm.Tx) error {
-					box.Set(child, box.Get(child)+delta)
+					v := box.Get(child) + delta
+					box.Set(child, v)
+					vals[i] = v
 					return nil
 				}
 			}
 			return tx.Parallel(fns...)
 		})
 		if err != nil {
+			return "", err
+		}
+		if err := sh.logMulti(req.keys, vals, ver); err != nil {
 			return "", err
 		}
 		return respOK, nil
@@ -363,6 +393,9 @@ func (sh *shard) status() ShardStatus {
 		st.Stages = b
 	}
 	st.RecentDecisions = sh.ring.Last(statusShardDecisions)
+	if sh.wal != nil {
+		st.WAL = sh.wal.status()
+	}
 	return st
 }
 
@@ -395,6 +428,7 @@ type ShardStatus struct {
 	LatencyMs       *obs.HistogramSnapshot `json:"latency_ms,omitempty"`
 	Stages          *StageBreakdown        `json:"stages,omitempty"`
 	RecentDecisions []obs.Decision         `json:"recent_decisions,omitempty"`
+	WAL             *WALStatus             `json:"wal,omitempty"`
 }
 
 // registerMetrics bridges the shard's counters and tuner gauges into the
@@ -418,5 +452,16 @@ func (sh *shard) registerMetrics(reg *obs.Registry) {
 	reg.RegisterHistogram(p+"latency_ms", sh.latency)
 	for st := stage(0); st < numStages; st++ {
 		reg.RegisterHistogram(p+"stage_"+stageNames[st]+"_ms", sh.stages[st])
+	}
+	if w := sh.wal; w != nil {
+		reg.CounterFunc(p+"wal_appends_total", w.log.Appends)
+		reg.CounterFunc(p+"wal_fsyncs_total", w.log.Fsyncs)
+		reg.CounterFunc(p+"wal_bytes_total", w.log.Bytes)
+		reg.CounterFunc(p+"wal_errors_total", w.log.Errors)
+		reg.CounterFunc(p+"wal_snapshots_total", w.snapshots.Load)
+		reg.CounterFunc(p+"wal_failed_acks_total", w.failedAcks.Load)
+		reg.GaugeFunc(p+"wal_segments", func() float64 { return float64(w.log.Segments()) })
+		reg.GaugeFunc(p+"wal_last_lsn", func() float64 { return float64(w.log.LastLSN()) })
+		reg.GaugeFunc(p+"wal_recovery_duration_seconds", func() float64 { return w.recovery.DurationMS / 1e3 })
 	}
 }

@@ -102,12 +102,12 @@ func TestParseRequestTraceHint(t *testing.T) {
 	}
 
 	for _, bad := range []string{
-		"t=",             // empty hint
-		"t=xyz PING",     // not hex
-		"t=0 PING",       // zero ID reserved
-		"t=2a@abc PING",  // bad timestamp
-		"t=2a",           // hint with no request
-		"t=2a@1000",      // ditto with timestamp
+		"t=",            // empty hint
+		"t=xyz PING",    // not hex
+		"t=0 PING",      // zero ID reserved
+		"t=2a@abc PING", // bad timestamp
+		"t=2a",          // hint with no request
+		"t=2a@1000",     // ditto with timestamp
 	} {
 		if _, code := parseRequest(bad); code != ErrCodeBadRequest {
 			t.Errorf("parseRequest(%q) code = %q, want bad-request", bad, code)

@@ -63,6 +63,20 @@ func (q *Quarantine) ReportHealthy(cfg Config) {
 	delete(q.strikes, cfg)
 }
 
+// Ban bans cfg outright, bypassing the strike count — the warm-start path
+// reseeding a recovered tuner with a checkpointed quarantine set. Protected
+// configurations are still never banned. Reports whether cfg is newly
+// banned.
+func (q *Quarantine) Ban(cfg Config) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.banned[cfg] || q.protected[cfg] {
+		return false
+	}
+	q.banned[cfg] = true
+	return true
+}
+
 // Banned reports whether cfg is quarantined.
 func (q *Quarantine) Banned(cfg Config) bool {
 	q.mu.Lock()

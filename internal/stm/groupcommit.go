@@ -359,6 +359,9 @@ func (s *STM) revalidateLocked(tx *Tx, pv, cur uint64) (conflict *vbox, valid bo
 // in the revalidation ring and bumps the clock — the clock store is last,
 // which is what makes out-of-lock pre-validation sound. Must hold commitMu.
 func (s *STM) installLocked(tx *Tx, newVer, keepFrom uint64) {
+	// The combiner may be installing on behalf of a parked owner; the
+	// owner's wg.Wait orders this store before its post-commit read.
+	tx.commitVer = newVer
 	e := &s.gcRing.entries[newVer&(gcRingSize-1)]
 	e.version = newVer
 	e.bloom = 0

@@ -90,6 +90,9 @@ func (s *STM) commitTopLockFree(tx *Tx) bool {
 	for {
 		switch req.status.Load() {
 		case commitDone:
+			// Owner-side capture: helpers only touch req, never tx, after
+			// the status store, and the Load above orders it.
+			tx.commitVer = req.version
 			return true
 		case commitAborted:
 			return false

@@ -295,14 +295,52 @@ func (s *STM) AtomicTraced(ctx context.Context, link uint64, fn func(tx *Tx) err
 	return s.atomicWith(ctx, fn, s.tracer.Load(), link)
 }
 
+// AtomicVersionedCtx is AtomicCtx that additionally reports the global
+// version the successful commit was published at (the snapshot version for
+// a transaction that wrote nothing). The version orders this commit against
+// every other top-level commit on the same STM — two update transactions
+// never share one — which is what lets a write-ahead log replay entries
+// last-writer-wins regardless of the order workers append them.
+func (s *STM) AtomicVersionedCtx(ctx context.Context, fn func(tx *Tx) error) (uint64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			s.Stats.add(statShardHint(), idxCtxCancels, 1)
+			return 0, err
+		}
+	}
+	var ver uint64
+	err := s.atomicVer(ctx, fn, s.sampleTrace(), 0, &ver)
+	return ver, err
+}
+
+// AtomicVersionedTraced is AtomicTraced's version-reporting counterpart.
+func (s *STM) AtomicVersionedTraced(ctx context.Context, link uint64, fn func(tx *Tx) error) (uint64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			s.Stats.add(statShardHint(), idxCtxCancels, 1)
+			return 0, err
+		}
+	}
+	var ver uint64
+	err := s.atomicVer(ctx, fn, s.tracer.Load(), link, &ver)
+	return ver, err
+}
+
 // atomic is the shared top-level retry loop; ctx is nil for plain Atomic.
 func (s *STM) atomic(ctx context.Context, fn func(tx *Tx) error) error {
-	return s.atomicWith(ctx, fn, s.sampleTrace(), 0)
+	return s.atomicVer(ctx, fn, s.sampleTrace(), 0, nil)
 }
 
 // atomicWith is atomic with the trace decision already made: tr is nil for
 // untraced transactions, link tags the spans of externally-claimed trees.
 func (s *STM) atomicWith(ctx context.Context, fn func(tx *Tx) error, tr *stmtrace.Tracer, link uint64) error {
+	return s.atomicVer(ctx, fn, tr, link, nil)
+}
+
+// atomicVer is atomicWith with an optional commit-version out-parameter,
+// written (when non-nil) from the committed attempt's Tx before the object
+// returns to the pool.
+func (s *STM) atomicVer(ctx context.Context, fn func(tx *Tx) error, tr *stmtrace.Tracer, link uint64, verOut *uint64) error {
 	if th := s.opts.Throttle; th != nil {
 		th.EnterTop()
 		defer th.ExitTop()
@@ -323,6 +361,9 @@ func (s *STM) atomicWith(ctx context.Context, fn func(tx *Tx) error, tr *stmtrac
 		tx := s.beginTop(ctx, tr, attempt, link)
 		err, conflicted := tx.runTop(fn)
 		if !conflicted {
+			if verOut != nil && err == nil {
+				*verOut = tx.commitVer
+			}
 			s.putTx(tx)
 			if err == nil && s.opts.CommitHook != nil {
 				s.opts.CommitHook()

@@ -106,6 +106,14 @@ type Tx struct {
 	// Tx is never recycled (pool.go).
 	lfEnqueued bool
 
+	// commitVer is the global version this top-level transaction's write
+	// set was published at, recorded by whichever commit path installed it
+	// (serialized, group, or lock-free — owner-side in all three, so reading
+	// it after runTop returns success is race-free). Zero-write commits
+	// record the snapshot version instead. The serving layer's write-ahead
+	// log keys its last-writer-wins replay on this value.
+	commitVer uint64
+
 	// childBuf and join are Parallel's fork-join scratch state, kept on the
 	// Tx so repeated fan-outs (and pooled Tx reuse) pay no per-call
 	// allocation. A Tx runs at most one Parallel at a time — the parent is
@@ -303,6 +311,7 @@ func (tx *Tx) commitTop() bool {
 	s := tx.stm
 	nWrites := tx.writes.size()
 	if nWrites == 0 {
+		tx.commitVer = tx.readVersion
 		tx.markSpan(stmtrace.PhaseCommit)
 		s.Stats.add(tx.statShard, idxTopCommits, 1)
 		s.Stats.add(tx.statShard, idxReadOnlyTops, 1)
@@ -365,6 +374,7 @@ func (tx *Tx) commitTop() bool {
 		}
 	}
 	s.reclaimBodies(keepFrom, tx.statShard)
+	tx.commitVer = newVer
 	tx.writes.forEach(func(b *vbox, e writeEntry) {
 		s.installBody(b, e, newVer, keepFrom, tx.statShard)
 	})

@@ -1,0 +1,193 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"autopn/internal/chaos"
+)
+
+// Snapshot is one shard's full key state as of a single STM read snapshot.
+//
+//   - AsOf is the version the state was read at: every commit with
+//     version <= AsOf (in Epoch) is folded in, every later one is not.
+//   - LSN is the log position captured *before* the state was read: all
+//     records with LSN <= it committed before the read and are therefore
+//     subsumed. Records appended after the capture may or may not be
+//     reflected; replaying them over the snapshot is idempotent because
+//     entries apply only when (epoch, version) exceeds (Epoch, AsOf) and
+//     the running per-key maximum.
+type Snapshot struct {
+	LSN   uint64
+	Epoch uint32
+	AsOf  uint64
+	Keys  []uint32
+	Vals  []uint64
+}
+
+// ErrSnapshotSkipped reports a chaos-aborted snapshot attempt.
+var ErrSnapshotSkipped = errors.New("wal: chaos-injected snapshot skip")
+
+const snapMagic = "autopnsn"
+
+// snapName renders the snapshot file name for its covered LSN.
+func snapName(lsn uint64) string { return fmt.Sprintf("snap-%016x.snap", lsn) }
+
+// parseSnapName extracts the covered LSN from a snapshot file name.
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// encodeSnapshot renders the on-disk snapshot image:
+// [8B magic][4B format][4B epoch][8B asof][8B lsn][4B count]
+// count * ([4B key][8B val]) [4B CRC32C of everything before].
+func encodeSnapshot(s *Snapshot) []byte {
+	buf := make([]byte, 0, 36+len(s.Keys)*12+4)
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, 1)
+	buf = binary.LittleEndian.AppendUint32(buf, s.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, s.AsOf)
+	buf = binary.LittleEndian.AppendUint64(buf, s.LSN)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Keys)))
+	for i, k := range s.Keys {
+		buf = binary.LittleEndian.AppendUint32(buf, k)
+		buf = binary.LittleEndian.AppendUint64(buf, s.Vals[i])
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// decodeSnapshot parses and validates a snapshot image.
+func decodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < 36+4 || string(b[:8]) != snapMagic {
+		return nil, errors.New("wal: not a snapshot")
+	}
+	if crc32.Checksum(b[:len(b)-4], castagnoli) != binary.LittleEndian.Uint32(b[len(b)-4:]) {
+		return nil, errors.New("wal: snapshot checksum mismatch")
+	}
+	if format := binary.LittleEndian.Uint32(b[8:]); format != 1 {
+		return nil, fmt.Errorf("wal: unknown snapshot format %d", format)
+	}
+	s := &Snapshot{
+		Epoch: binary.LittleEndian.Uint32(b[12:]),
+		AsOf:  binary.LittleEndian.Uint64(b[16:]),
+		LSN:   binary.LittleEndian.Uint64(b[24:]),
+	}
+	count := binary.LittleEndian.Uint32(b[32:])
+	if uint64(len(b)) != 36+uint64(count)*12+4 {
+		return nil, errors.New("wal: snapshot length mismatch")
+	}
+	s.Keys = make([]uint32, count)
+	s.Vals = make([]uint64, count)
+	for i := uint32(0); i < count; i++ {
+		e := b[36+i*12:]
+		s.Keys[i] = binary.LittleEndian.Uint32(e)
+		s.Vals[i] = binary.LittleEndian.Uint64(e[4:])
+	}
+	return s, nil
+}
+
+// WriteSnapshot atomically publishes s into dir (tmp file, fsync, rename,
+// directory fsync) and deletes superseded older snapshots. A torn write or
+// crash mid-publish leaves either the previous snapshot or a stray .tmp
+// that recovery ignores — never a half-visible image. inj fires
+// chaos.PointSnapshot (ActAbort skips the snapshot, ActTorn abandons a
+// partial tmp file).
+func WriteSnapshot(dir string, s *Snapshot, inj *chaos.Injector) error {
+	img := encodeSnapshot(s)
+	if inj != nil {
+		switch inj.Fire(chaos.PointSnapshot, "") {
+		case chaos.ActAbort:
+			return ErrSnapshotSkipped
+		case chaos.ActTorn:
+			tmp := filepath.Join(dir, snapName(s.LSN)+".tmp")
+			_ = os.WriteFile(tmp, img[:len(img)/2], 0o644)
+			return errors.New("wal: chaos-injected torn snapshot")
+		}
+	}
+	tmp := filepath.Join(dir, snapName(s.LSN)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(img); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	final := filepath.Join(dir, snapName(s.LSN))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(dir)
+	// Retire superseded snapshots (and any stale tmp debris).
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") && name != snapName(s.LSN)+".tmp" {
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if lsn, ok := parseSnapName(name); ok && lsn < s.LSN {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
+	return nil
+}
+
+// LoadSnapshot returns dir's newest valid snapshot, or nil when none
+// exists. Corrupt candidates (torn tmp leftovers renamed by hand, bit
+// rot) are skipped in favor of the next older one — a bad snapshot can
+// cost freshness, never correctness.
+func LoadSnapshot(dir string) (*Snapshot, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var lsns []uint64
+	for _, e := range ents {
+		if lsn, ok := parseSnapName(e.Name()); ok {
+			lsns = append(lsns, lsn)
+		}
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+	for _, lsn := range lsns {
+		b, err := os.ReadFile(filepath.Join(dir, snapName(lsn)))
+		if err != nil {
+			continue
+		}
+		if s, err := decodeSnapshot(b); err == nil {
+			return s, nil
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,866 @@
+// Package wal is the serving layer's per-shard durability log: a
+// segmented, length-prefixed, CRC32C-checksummed append-only record log
+// with configurable fsync policy, torn-tail detection on open, and
+// snapshot-gated retention (snapshot.go).
+//
+// One Log holds one shard's committed mutations. Each record is a *batch*
+// of entries — the shard's WAL writer folds every mutation that completed
+// since the previous append into a single record, so a group-committed
+// burst of transactions maps to one append and (under SyncBatch) one
+// fsync. Entries carry the absolute post-state of each written key plus
+// the STM commit version that published it; because two update
+// transactions on one STM never share a commit version, replay applies
+// entries last-writer-wins on (epoch, version) and is therefore exact
+// regardless of the order in which worker goroutines reached the log
+// (append order and commit order may differ under concurrency).
+//
+// Epochs make versions comparable across process lifetimes: the STM clock
+// restarts at zero on every boot, so each recovery starts a new epoch
+// (strictly greater than any epoch found on disk) and (epoch, version)
+// pairs order globally. See docs/DURABILITY.md for the on-disk format and
+// the recovery protocol.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autopn/internal/chaos"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy uint8
+
+const (
+	// SyncBatch fsyncs every appended batch record before AppendBatch
+	// returns: an acked write is on disk. The group-batch shape keeps this
+	// affordable — one fsync covers every mutation that raced into the
+	// batch.
+	SyncBatch SyncPolicy = iota
+	// SyncInterval appends without fsync and syncs on a timer (Options.
+	// Interval): bounded loss window, near-zero per-request cost.
+	SyncInterval
+	// SyncNone never fsyncs; the OS page cache decides. Crash durability
+	// is whatever the kernel already wrote back.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the -wal-sync flag values to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "batch":
+		return SyncBatch, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want batch, interval or none)", s)
+}
+
+// String renders the policy as its flag value.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncBatch:
+		return "batch"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Entry ops (informational — replay applies every entry the same way; the
+// op survives for analysis and debugging).
+const (
+	OpPut  uint8 = 1
+	OpAdd  uint8 = 2
+	OpMAdd uint8 = 3
+)
+
+// Entry is one key mutation inside a batch record: the absolute post-state
+// Val of key Key, published at STM commit version Ver.
+type Entry struct {
+	Op  uint8
+	Key uint32
+	Val uint64
+	Ver uint64
+}
+
+// Record types.
+const (
+	recBatch    uint8 = 1
+	recShutdown uint8 = 2
+)
+
+// Framing: [4B little-endian payload length][4B CRC32C(payload)][payload].
+// Payload: [1B type][8B LSN][type-specific body]. The LSN lives inside the
+// checksummed payload so a bit flip in it is detected, and lets the
+// scanner cross-check continuity against the segment name.
+const (
+	frameHeader   = 8
+	payloadHeader = 9
+	entrySize     = 1 + 4 + 8 + 8
+	// maxRecord bounds a single record; a length prefix above it is treated
+	// as corruption, not an allocation request.
+	maxRecord = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by appends on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// cleanMarker is the CLEAN file graceful shutdown leaves behind: it names
+// the exact tail state so the next Open can skip the record-by-record
+// torn-tail scan. Any mismatch with the actual file (a crash after the
+// marker was written) falls back to the full scan.
+type cleanMarker struct {
+	LastLSN uint64 `json:"last_lsn"`
+	Segment string `json:"segment"`
+	Size    int64  `json:"size"`
+	Epoch   uint32 `json:"epoch"`
+}
+
+const cleanMarkerName = "CLEAN"
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 8 MiB).
+	SegmentBytes int64
+	// Policy is the fsync policy (default SyncBatch).
+	Policy SyncPolicy
+	// Interval is the SyncInterval flush cadence (default 50ms).
+	Interval time.Duration
+	// Injector, if non-nil, fires chaos.PointWALAppend before every batch
+	// append (see the Point's documentation for the action semantics).
+	Injector *chaos.Injector
+}
+
+// OpenStats reports what Open found on disk.
+type OpenStats struct {
+	// Segments is the number of segment files present after open.
+	Segments int
+	// LastLSN is the last valid record's LSN (0 for an empty log).
+	LastLSN uint64
+	// MaxEpoch is the highest epoch among scanned tail records (0 when the
+	// tail held none; the snapshot's epoch may still be higher).
+	MaxEpoch uint32
+	// CleanShutdown reports that the previous process closed the log
+	// gracefully (CLEAN marker, or a shutdown record ending the tail).
+	CleanShutdown bool
+	// SkippedScan reports that a valid CLEAN marker let Open trust the
+	// tail without scanning it.
+	SkippedScan bool
+	// TornBytes is how many trailing bytes of the tail segment were
+	// discarded as a torn or corrupt suffix.
+	TornBytes int64
+	// TailRecords is how many records the tail scan validated.
+	TailRecords int
+}
+
+// Log is one shard's append-only record log. Appends are serialized by the
+// caller's single writer goroutine in the intended deployment, but every
+// method is nonetheless safe for concurrent use (the interval syncer and
+// metrics scrapes run concurrently with appends).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer // non-nil under interval/none: appends buffer, flush on sync
+	size     int64         // bytes in the active segment
+	segFirst uint64        // first LSN of the active segment
+	nextLSN  uint64
+	epoch    uint32
+	dirty    bool // appended since the last fsync
+	err      error
+	closed   bool
+	buf      []byte // append scratch, reused
+
+	stopSync chan struct{}
+	syncWG   sync.WaitGroup
+
+	// Counters served as autopn_server_wal_* metrics.
+	appends   atomic.Uint64
+	fsyncs    atomic.Uint64
+	bytes     atomic.Uint64
+	errors    atomic.Uint64
+	rotations atomic.Uint64
+	lastLSN   atomic.Uint64
+	segments  atomic.Int64
+}
+
+// segName renders the canonical segment file name for its first LSN.
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("wal-%016x.seg", firstLSN)
+}
+
+// parseSegName extracts the first LSN from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+type segInfo struct {
+	name  string
+	first uint64
+}
+
+// listSegments returns dir's segment files sorted by first LSN.
+func listSegments(dir string) ([]segInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segInfo
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if first, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, segInfo{name: e.Name(), first: first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// Open opens (creating if needed) the log in dir, detects and truncates a
+// torn tail, and positions appends after the last valid record. A valid
+// CLEAN marker from a graceful shutdown skips the tail scan entirely; the
+// marker is consumed either way (it describes a tail that new appends
+// would invalidate).
+func Open(dir string, opts Options) (*Log, OpenStats, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 8 << 20
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 50 * time.Millisecond
+	}
+	var st OpenStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, st, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, st, err
+	}
+
+	l := &Log{dir: dir, opts: opts, epoch: 1, nextLSN: 1, segFirst: 1}
+
+	marker := readCleanMarker(dir)
+	os.Remove(filepath.Join(dir, cleanMarkerName))
+
+	if len(segs) > 0 {
+		tail := segs[len(segs)-1]
+		path := filepath.Join(dir, tail.name)
+		if marker != nil && marker.Segment == tail.name {
+			if fi, err := os.Stat(path); err == nil && fi.Size() == marker.Size && marker.LastLSN >= tail.first-1 {
+				st.CleanShutdown = true
+				st.SkippedScan = true
+				st.LastLSN = marker.LastLSN
+				st.MaxEpoch = marker.Epoch
+				l.nextLSN = marker.LastLSN + 1
+				l.segFirst = tail.first
+				l.size = fi.Size()
+			} else {
+				marker = nil
+			}
+		} else {
+			marker = nil
+		}
+		if marker == nil {
+			scan, err := scanTail(path, tail.first)
+			if err != nil {
+				return nil, st, err
+			}
+			st.LastLSN = scan.lastLSN
+			st.MaxEpoch = scan.maxEpoch
+			st.TailRecords = scan.records
+			st.CleanShutdown = scan.endedClean
+			if scan.tornBytes > 0 {
+				st.TornBytes = scan.tornBytes
+				if err := os.Truncate(path, scan.validSize); err != nil {
+					return nil, st, fmt.Errorf("wal: truncating torn tail: %w", err)
+				}
+			}
+			l.nextLSN = scan.lastLSN + 1
+			if scan.records == 0 {
+				// Empty (or fully torn) tail: LSNs resume from the segment's
+				// declared first LSN.
+				l.nextLSN = tail.first
+			}
+			l.segFirst = tail.first
+			l.size = scan.validSize
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, st, err
+		}
+		l.f = f
+	} else {
+		f, err := os.OpenFile(filepath.Join(dir, segName(1)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, st, err
+		}
+		l.f = f
+		segs = []segInfo{{name: segName(1), first: 1}}
+	}
+	st.Segments = len(segs)
+	l.segments.Store(int64(len(segs)))
+	l.lastLSN.Store(l.nextLSN - 1)
+
+	if opts.Policy != SyncBatch {
+		// The interval/none policies already promise only a bounded loss
+		// window, so appends buffer in user space and hit the kernel once
+		// per flush (the interval tick, rotation, or close) instead of once
+		// per batch record.
+		l.bw = bufio.NewWriterSize(l.f, 64<<10)
+	}
+	if opts.Policy == SyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncWG.Add(1)
+		go l.syncLoop()
+	}
+	return l, st, nil
+}
+
+// readCleanMarker parses dir's CLEAN file, nil when absent or malformed.
+func readCleanMarker(dir string) *cleanMarker {
+	b, err := os.ReadFile(filepath.Join(dir, cleanMarkerName))
+	if err != nil {
+		return nil
+	}
+	var m cleanMarker
+	if json.Unmarshal(b, &m) != nil || m.Segment == "" {
+		return nil
+	}
+	return &m
+}
+
+type tailScan struct {
+	records    int
+	lastLSN    uint64
+	maxEpoch   uint32
+	validSize  int64
+	tornBytes  int64
+	endedClean bool
+}
+
+// scanTail walks the tail segment record-by-record, validating framing,
+// checksum and LSN continuity; everything after the first invalid byte is
+// a torn suffix.
+func scanTail(path string, firstLSN uint64) (tailScan, error) {
+	var ts tailScan
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ts, err
+	}
+	expect := firstLSN
+	off := int64(0)
+	for {
+		rec, n, ok := decodeRecord(data[off:])
+		if !ok {
+			break
+		}
+		if rec.lsn != expect {
+			break
+		}
+		ts.records++
+		ts.lastLSN = rec.lsn
+		if rec.epoch > ts.maxEpoch {
+			ts.maxEpoch = rec.epoch
+		}
+		ts.endedClean = rec.typ == recShutdown
+		off += int64(n)
+		expect++
+	}
+	ts.validSize = off
+	ts.tornBytes = int64(len(data)) - off
+	if ts.records == 0 {
+		ts.lastLSN = firstLSN - 1
+	}
+	return ts, nil
+}
+
+// decoded is one parsed record.
+type decoded struct {
+	typ     uint8
+	lsn     uint64
+	epoch   uint32
+	entries []Entry // recBatch only
+}
+
+// decodeRecord parses the record at the head of b, returning its framed
+// size. ok is false for anything short, corrupt or nonsensical — the
+// caller treats that byte offset as the end of the valid prefix.
+func decodeRecord(b []byte) (decoded, int, bool) {
+	var d decoded
+	if len(b) < frameHeader {
+		return d, 0, false
+	}
+	plen := binary.LittleEndian.Uint32(b)
+	if plen < payloadHeader || plen > maxRecord {
+		return d, 0, false
+	}
+	if uint64(len(b)) < frameHeader+uint64(plen) {
+		return d, 0, false
+	}
+	payload := b[frameHeader : frameHeader+plen]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(b[4:]) {
+		return d, 0, false
+	}
+	d.typ = payload[0]
+	d.lsn = binary.LittleEndian.Uint64(payload[1:])
+	body := payload[payloadHeader:]
+	switch d.typ {
+	case recBatch:
+		if len(body) < 8 {
+			return d, 0, false
+		}
+		d.epoch = binary.LittleEndian.Uint32(body)
+		count := binary.LittleEndian.Uint32(body[4:])
+		if uint64(len(body)) != 8+uint64(count)*entrySize {
+			return d, 0, false
+		}
+		d.entries = make([]Entry, count)
+		for i := range d.entries {
+			e := body[8+i*entrySize:]
+			d.entries[i] = Entry{
+				Op:  e[0],
+				Key: binary.LittleEndian.Uint32(e[1:]),
+				Val: binary.LittleEndian.Uint64(e[5:]),
+				Ver: binary.LittleEndian.Uint64(e[13:]),
+			}
+		}
+	case recShutdown:
+		if len(body) != 12 {
+			return d, 0, false
+		}
+		d.epoch = binary.LittleEndian.Uint32(body)
+	default:
+		return d, 0, false
+	}
+	return d, frameHeader + int(plen), true
+}
+
+// encodeRecord appends a framed record to buf and returns the result.
+func encodeRecord(buf []byte, typ uint8, lsn uint64, body func([]byte) []byte) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	pstart := len(buf)
+	buf = append(buf, typ)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	buf = body(buf)
+	payload := buf[pstart:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// SetEpoch sets the epoch stamped on subsequent batch records. Recovery
+// calls it once, before traffic, with a value strictly greater than every
+// epoch found on disk.
+func (l *Log) SetEpoch(e uint32) {
+	l.mu.Lock()
+	l.epoch = e
+	l.mu.Unlock()
+}
+
+// Epoch returns the epoch stamped on appended batches.
+func (l *Log) Epoch() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// AppendBatch appends one batch record holding entries and, under
+// SyncBatch, fsyncs before returning: when it returns nil the batch is as
+// durable as the policy promises and its LSN is final. Errors are sticky —
+// the first append or fsync failure poisons the log and every subsequent
+// append returns the same error (the serving layer's breaker path; see
+// docs/DURABILITY.md).
+func (l *Log) AppendBatch(entries []Entry) (uint64, error) {
+	if inj := l.opts.Injector; inj != nil {
+		switch inj.Fire(chaos.PointWALAppend, "") {
+		case chaos.ActAbort:
+			err := errors.New("wal: chaos-injected append failure")
+			l.poison(err)
+			return 0, err
+		case chaos.ActTorn:
+			return 0, l.appendTorn(entries)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.closed {
+		return 0, ErrClosed
+	}
+	lsn := l.nextLSN
+	l.buf = encodeRecord(l.buf[:0], recBatch, lsn, func(b []byte) []byte {
+		b = binary.LittleEndian.AppendUint32(b, l.epoch)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(entries)))
+		for _, e := range entries {
+			b = append(b, e.Op)
+			b = binary.LittleEndian.AppendUint32(b, e.Key)
+			b = binary.LittleEndian.AppendUint64(b, e.Val)
+			b = binary.LittleEndian.AppendUint64(b, e.Ver)
+		}
+		return b
+	})
+	if err := l.writeLocked(l.buf); err != nil {
+		return 0, err
+	}
+	l.nextLSN++
+	l.lastLSN.Store(lsn)
+	l.appends.Add(1)
+	if l.opts.Policy == SyncBatch {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// appendTorn is the chaos ActTorn arm: write roughly half of the encoded
+// record — the torn tail a crash mid-write leaves — and poison the log.
+func (l *Log) appendTorn(entries []Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	l.buf = encodeRecord(l.buf[:0], recBatch, l.nextLSN, func(b []byte) []byte {
+		b = binary.LittleEndian.AppendUint32(b, l.epoch)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(entries)))
+		for _, e := range entries {
+			b = append(b, e.Op)
+			b = binary.LittleEndian.AppendUint32(b, e.Key)
+			b = binary.LittleEndian.AppendUint64(b, e.Val)
+			b = binary.LittleEndian.AppendUint64(b, e.Ver)
+		}
+		return b
+	})
+	half := l.buf[:len(l.buf)/2]
+	_ = l.flushLocked() // keep file order: buffered records precede the torn suffix
+	if n, werr := l.f.Write(half); werr == nil {
+		l.size += int64(n)
+		l.bytes.Add(uint64(n))
+	}
+	err := errors.New("wal: chaos-injected torn write")
+	l.err = err
+	l.errors.Add(1)
+	return err
+}
+
+// writeLocked writes a fully framed record, rotating first when the active
+// segment is full. Callers hold l.mu.
+func (l *Log) writeLocked(rec []byte) error {
+	if l.size > 0 && l.size+int64(len(rec)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	var n int
+	var err error
+	if l.bw != nil {
+		n, err = l.bw.Write(rec)
+	} else {
+		n, err = l.f.Write(rec)
+	}
+	l.size += int64(n)
+	l.bytes.Add(uint64(n))
+	if err != nil {
+		l.err = err
+		l.errors.Add(1)
+		return err
+	}
+	l.dirty = true
+	return nil
+}
+
+// flushLocked drains the user-space buffer (a no-op under SyncBatch).
+// Callers hold l.mu.
+func (l *Log) flushLocked() error {
+	if l.bw == nil {
+		return nil
+	}
+	if err := l.bw.Flush(); err != nil {
+		l.err = err
+		l.errors.Add(1)
+		return err
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment (flush + fsync + close) and starts
+// a new one named for the next LSN.
+func (l *Log) rotateLocked() error {
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = err
+		l.errors.Add(1)
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		l.err = err
+		l.errors.Add(1)
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.nextLSN)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		l.err = err
+		l.errors.Add(1)
+		return err
+	}
+	l.f = f
+	if l.bw != nil {
+		l.bw.Reset(f)
+	}
+	l.size = 0
+	l.segFirst = l.nextLSN
+	l.dirty = false
+	l.rotations.Add(1)
+	l.segments.Add(1)
+	return nil
+}
+
+// syncLocked flushes the buffer and fsyncs the active segment. Callers
+// hold l.mu.
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = err
+		l.errors.Add(1)
+		return err
+	}
+	l.dirty = false
+	l.fsyncs.Add(1)
+	return nil
+}
+
+// Sync forces an fsync of the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+// syncLoop is the SyncInterval timer goroutine.
+func (l *Log) syncLoop() {
+	defer l.syncWG.Done()
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.err == nil {
+				_ = l.syncLocked()
+			}
+			l.mu.Unlock()
+		case <-l.stopSync:
+			return
+		}
+	}
+}
+
+// poison records a sticky error without touching the file.
+func (l *Log) poison(err error) {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.errors.Add(1)
+	l.mu.Unlock()
+}
+
+// Err returns the sticky error, nil while the log is healthy. The healthy
+// case is lock-free — the serving layer checks it on every fire-and-forget
+// append, and taking l.mu here would contend with the writer's append
+// critical section. Every append-path error assignment advances the errors
+// counter, so a zero counter proves a nil error (the one exception, a
+// failed final close, is unreachable through Err: the shard stops
+// submitting before Close).
+func (l *Log) Err() error {
+	if l.errors.Load() == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close closes the log without a clean-shutdown record (crash-equivalent:
+// the next Open runs the torn-tail scan).
+func (l *Log) Close() error {
+	return l.close(false)
+}
+
+// CloseClean appends a shutdown record, fsyncs, and writes the CLEAN
+// marker so the next Open can skip the tail scan. Used by graceful drain.
+func (l *Log) CloseClean() error {
+	return l.close(true)
+}
+
+func (l *Log) close(clean bool) error {
+	if l.stopSync != nil {
+		l.mu.Lock()
+		stopped := l.closed
+		l.mu.Unlock()
+		if !stopped {
+			close(l.stopSync)
+			l.syncWG.Wait()
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return l.err
+	}
+	l.closed = true
+	if clean && l.err == nil {
+		lsn := l.nextLSN
+		l.buf = encodeRecord(l.buf[:0], recShutdown, lsn, func(b []byte) []byte {
+			b = binary.LittleEndian.AppendUint32(b, l.epoch)
+			b = binary.LittleEndian.AppendUint64(b, uint64(time.Now().UnixNano()))
+			return b
+		})
+		if err := l.writeLocked(l.buf); err == nil {
+			l.nextLSN++
+			l.lastLSN.Store(lsn)
+			if err := l.syncLocked(); err == nil {
+				writeCleanMarker(l.dir, cleanMarker{
+					LastLSN: lsn,
+					Segment: segName(l.segFirst),
+					Size:    l.size,
+					Epoch:   l.epoch,
+				})
+			}
+		}
+	}
+	// A non-clean Close still drains the user-space buffer: appended
+	// records keep their assigned LSNs, so silently dropping them here
+	// would shrink the durability window below what the policy promised.
+	_ = l.flushLocked()
+	if err := l.f.Close(); err != nil && l.err == nil {
+		l.err = err
+	}
+	return l.err
+}
+
+// writeCleanMarker atomically publishes the CLEAN file (tmp + rename).
+func writeCleanMarker(dir string, m cleanMarker) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(dir, cleanMarkerName+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return
+	}
+	if os.Rename(tmp, filepath.Join(dir, cleanMarkerName)) == nil {
+		syncDir(dir)
+	}
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// TruncateTo deletes whole segments whose records all have LSN <= lsn —
+// the snapshot-gated retention step. The active segment is never deleted.
+// Returns how many segments were removed.
+func (l *Log) TruncateTo(lsn uint64) (int, error) {
+	l.mu.Lock()
+	active := l.segFirst
+	l.mu.Unlock()
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i := 0; i+1 < len(segs); i++ {
+		// A segment's records end just before the next segment's first LSN.
+		if segs[i].first == active || segs[i+1].first > lsn+1 {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segs[i].name)); err != nil {
+			return removed, err
+		}
+		removed++
+		l.segments.Add(-1)
+	}
+	if removed > 0 {
+		syncDir(l.dir)
+	}
+	return removed, nil
+}
+
+// Metrics accessors (bridged into the obs registry by the server).
+
+// Appends returns the number of batch records appended.
+func (l *Log) Appends() uint64 { return l.appends.Load() }
+
+// Fsyncs returns the number of fsyncs issued.
+func (l *Log) Fsyncs() uint64 { return l.fsyncs.Load() }
+
+// Bytes returns the number of bytes written.
+func (l *Log) Bytes() uint64 { return l.bytes.Load() }
+
+// Errors returns the number of append/fsync errors observed.
+func (l *Log) Errors() uint64 { return l.errors.Load() }
+
+// Rotations returns the number of segment rotations.
+func (l *Log) Rotations() uint64 { return l.rotations.Load() }
+
+// Segments returns the current number of segment files.
+func (l *Log) Segments() int64 { return l.segments.Load() }
+
+// LastLSN returns the LSN of the last appended (or recovered) record.
+func (l *Log) LastLSN() uint64 { return l.lastLSN.Load() }
