@@ -25,10 +25,13 @@ SERVER_SMOKE_ARTIFACTS ?= server-smoke-artifacts
 # Where the kill-and-recover smoke drops its ledger, audit report, WAL
 # directory and per-run server logs (the recovery-e2e artifact).
 RECOVERY_SMOKE_ARTIFACTS ?= recovery-smoke-artifacts
+# Where the contention smoke drops the sched-off/sched-on loadgen reports,
+# status snapshots and decision logs (the contention-smoke artifact).
+CONTENTION_SMOKE_ARTIFACTS ?= contention-smoke-artifacts
 
 .PHONY: all build test test-short race race-all bench bench-stm \
 	bench-compare bench-allocs bench-contended bench-smoke trace-smoke \
-	fuzz-smoke chaos server-smoke recovery-smoke lint ci repro figures clean
+	fuzz-smoke chaos server-smoke recovery-smoke contention-smoke lint ci repro figures clean
 
 all: build test
 
@@ -52,7 +55,7 @@ test-short:
 # interleaves interestingly with several Ps.
 race:
 	GOMAXPROCS=4 $(GO) test -race ./internal/stm/... ./internal/pnpool/... ./internal/obs/... \
-		./internal/server/... ./internal/wal/...
+		./internal/sched/... ./internal/server/... ./internal/wal/...
 
 race-all:
 	$(GO) test -race ./...
@@ -71,7 +74,7 @@ bench-stm:
 # own target (bench-contended) with a generous threshold.
 bench-compare:
 	$(GO) test -benchmem -run '^$$' \
-		-bench '^(BenchmarkBeginCommitReadOnly|BenchmarkSmallWriteTx|BenchmarkNestedFanout)$$' \
+		-bench '^(BenchmarkBeginCommitReadOnly|BenchmarkSmallWriteTx|BenchmarkSmallWriteTxSched|BenchmarkNestedFanout)$$' \
 		./internal/stm/ | \
 		$(GO) run ./cmd/bench-compare -baseline BENCH_stm.json -threshold 15
 
@@ -84,7 +87,7 @@ bench-compare:
 # exactly, since allocs/op at a fixed iteration count is deterministic.
 bench-allocs:
 	$(GO) test -benchmem -run '^$$' -benchtime=$(ALLOC_BENCHTIME) \
-		-bench '^(BenchmarkBeginCommitReadOnly|BenchmarkSmallWriteTx|BenchmarkNestedFanout)$$' \
+		-bench '^(BenchmarkBeginCommitReadOnly|BenchmarkSmallWriteTx|BenchmarkSmallWriteTxSched|BenchmarkNestedFanout)$$' \
 		./internal/stm/ | \
 		$(GO) run ./cmd/bench-compare -baseline BENCH_stm.json -threshold 10000 -strict-allocs
 
@@ -153,6 +156,18 @@ recovery-smoke:
 		RECOVERY_SMOKE_ARTIFACTS=$(abspath $(RECOVERY_SMOKE_ARTIFACTS)) \
 		$(GO) test -run '^TestRecoveryKillAndRecover$$' -count=1 -v ./internal/server/
 
+# Contention-scheduler goodput gate: drive the deep retry-storm hot-set
+# scenario (whole-key-space MADDs, oversized worker pool) against two
+# identically configured single-shard servers, scheduler off and on, and
+# assert scheduler-on goodput >= 1.25x scheduler-off, that hot boxes were
+# promoted into lanes, and that the promotion decisions persisted to the
+# JSONL decision log. Reports, status snapshots and decision logs land in
+# $(CONTENTION_SMOKE_ARTIFACTS). See docs/SCHEDULER.md.
+contention-smoke:
+	CONTENTION_SMOKE=1 LOADGEN_DURATION=$(LOADGEN_DURATION) \
+		CONTENTION_SMOKE_ARTIFACTS=$(abspath $(CONTENTION_SMOKE_ARTIFACTS)) \
+		$(GO) test -run '^TestContentionSmoke$$' -count=1 -v ./internal/server/
+
 # Static analysis beyond go vet. Uses golangci-lint (see .golangci.yml)
 # when installed; CI always runs it.
 lint:
@@ -165,7 +180,7 @@ lint:
 
 # Everything the CI pipeline runs, in one target, so local runs and the
 # pipeline stay in lockstep (the fuzz/bench budgets match ci.yml).
-ci: build test-short race chaos fuzz-smoke bench-smoke bench-allocs server-smoke recovery-smoke lint
+ci: build test-short race chaos fuzz-smoke bench-smoke bench-allocs server-smoke recovery-smoke contention-smoke lint
 
 # The single acceptance test for the paper's headline claims.
 repro:

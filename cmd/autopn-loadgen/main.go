@@ -46,6 +46,8 @@ func run(args []string) error {
 		maddKeys = fs.Int("madd-keys", 4, "keys per MADD transaction")
 		shards   = fs.Int("shards", 0, "server shard count, for client-side MADD colocation (0 disables MADD)")
 		vnodes   = fs.Int("vnodes", 0, "server virtual nodes per shard (0 = default; must match the server)")
+		hotKeys  = fs.Int("hot-keys", 0, "concentrate write traffic on the first N keys (0 = off)")
+		hotFrac  = fs.Float64("hot-frac", 0, "fraction of write traffic aimed at the -hot-keys hot set (0 = default 0.9)")
 
 		seed       = fs.Uint64("seed", 1, "workload stream seed")
 		verify     = fs.String("verify", "", "journal acked writes to this ledger file during the run (crash-recovery verification)")
@@ -96,6 +98,8 @@ func run(args []string) error {
 		ReadFrac:     *readFrac,
 		MAddFrac:     *maddFrac,
 		MAddKeys:     *maddKeys,
+		HotKeys:      *hotKeys,
+		HotFrac:      *hotFrac,
 		Shards:       *shards,
 		VNodes:       *vnodes,
 		Seed:         *seed,

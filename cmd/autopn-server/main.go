@@ -68,6 +68,11 @@ func run(args []string) error {
 		traceSample = fs.Float64("trace-sample", 0, "request-tracing sample rate in [0,1] (0 = off; export at /debug/server/trace)")
 		traceRing   = fs.Int("trace-ring", 0, "completed-trace ring size (0 = default 4096)")
 
+		schedOn       = fs.Bool("sched", false, "enable the per-shard contention-aware scheduler (conflict-domain lanes)")
+		schedLanes    = fs.Int("sched-lanes", 0, "scheduler serial lanes per shard (0 = default 8)")
+		schedShare    = fs.Float64("sched-promote-share", 0, "windowed abort share promoting a box into a conflict domain (0 = default 0.2)")
+		schedInterval = fs.Duration("sched-interval", 0, "scheduler controller tick (0 = default 250ms)")
+
 		shutdownTimeout = fs.Duration("shutdown-timeout", 5*time.Second, "graceful-shutdown drain bound")
 
 		chaosShard = fs.Int("chaos-stall-shard", -1, "arm a chaos commit stall on this shard (-1 = off; exercises the breaker)")
@@ -108,6 +113,12 @@ func run(args []string) error {
 		Trace: server.TraceOptions{
 			SampleRate: *traceSample,
 			MaxTraces:  *traceRing,
+		},
+		Sched: server.SchedOptions{
+			Enabled:      *schedOn,
+			Lanes:        *schedLanes,
+			PromoteShare: *schedShare,
+			Interval:     *schedInterval,
 		},
 	}
 	var injectors []*chaos.Injector

@@ -50,6 +50,14 @@ const (
 	// system never keeps running a pathological (t,c) while the optimizer
 	// deliberates.
 	KindFallback = "fallback"
+	// KindSchedPromote records the contention scheduler promoting a hot box
+	// into a conflict domain: transactions attributing their aborts to that
+	// box are steered onto a serial lane. Note carries the box identity and
+	// the abort share that crossed the threshold (see docs/SCHEDULER.md).
+	KindSchedPromote = "sched-promote"
+	// KindSchedDemote records the scheduler demoting a cooled conflict
+	// domain back to the optimistic path.
+	KindSchedDemote = "sched-demote"
 )
 
 // Decision is one structured record of the tuner's decision trail. Fields

@@ -1,0 +1,512 @@
+// Package sched is a contention-aware transaction scheduler: it
+// partitions top-level transactions into conflict domains derived from
+// live hot-box statistics and steers transactions in the same hot domain
+// onto a serial lane instead of letting them retry-storm optimistically.
+//
+// The paper's tuner picks a parallelism degree (t, c) but is blind to
+// *which* data causes aborts; the conflict profiler (internal/stm/trace)
+// attributes every abort to a named box. This package closes the loop:
+// a periodic controller (Observe) promotes boxes whose windowed abort
+// share crosses a threshold into domains, each domain maps onto one of a
+// fixed array of lanes, and admission (Admit) makes transactions that
+// declared — or learned from their first abort — an intent on a promoted
+// box queue FIFO behind the lane's token. Transactions outside every hot
+// domain, and all transactions while no domain is promoted, proceed
+// untouched: the cold path is a single atomic pointer load.
+//
+// Serializing a hot domain trades a little latency for a lot of wasted
+// work: under heavy write skew, n optimistic writers on one box commit
+// one-at-a-time anyway, but only after n-1 of them burned a full
+// execute-validate-abort cycle per round. A lane gets the same
+// serialization before the work is done instead of after.
+//
+// Admission never blocks unboundedly: a lane wait is capped at
+// Options.MaxWait, after which the transaction bypasses the lane and
+// runs optimistically — a stalled lane holder degrades its lane to the
+// optimistic status quo instead of wedging it. A domain whose box has
+// cooled (demotion pending) is bypassed immediately.
+//
+// The package deliberately imports nothing from internal/stm: box
+// identity crosses the boundary as an opaque uintptr key (the same
+// convention as internal/stm/trace), which is also what lets the
+// scheduler be tested and benchmarked standalone.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Scheduler. Zero values select the defaults.
+type Options struct {
+	// Lanes is the size of the fixed lane array (default 8). Promoted
+	// domains hash onto lanes; the array never grows, so a lane index
+	// handed out by Admit stays valid for the scheduler's lifetime.
+	Lanes int
+	// ActiveLanes is how many of the lanes new promotions spread across
+	// (default = Lanes). Exposed as a runtime knob (SetActiveLanes) so a
+	// tuner can trade isolation (more lanes) against cross-domain
+	// serialization (fewer lanes) without reallocating lane state.
+	ActiveLanes int
+	// MaxDomains caps the number of concurrently promoted domains
+	// (default 64); promotion requests beyond it are dropped.
+	MaxDomains int
+	// PromoteShare is the windowed abort share at which the controller
+	// promotes a box into a domain (default 0.2). A box is demoted again
+	// after DemoteAfter consecutive windows below half this share
+	// (hysteresis, so a box oscillating around the threshold does not
+	// churn). Runtime-adjustable via SetPromoteShare.
+	PromoteShare float64
+	// PromoteMinAborts is the minimum windowed abort count for promotion
+	// (default 8), so a near-idle box with a 100% abort share is not
+	// promoted on noise.
+	PromoteMinAborts uint64
+	// DemoteAfter is how many consecutive cool windows a domain survives
+	// before it is demoted (default 3). While cool but not yet demoted,
+	// admission bypasses the lane.
+	DemoteAfter int
+	// MaxWait bounds how long Admit parks a transaction behind a lane
+	// token before giving up and letting it run optimistically
+	// (default 2ms).
+	MaxWait time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Lanes <= 0 {
+		o.Lanes = 8
+	}
+	if o.ActiveLanes <= 0 || o.ActiveLanes > o.Lanes {
+		o.ActiveLanes = o.Lanes
+	}
+	if o.MaxDomains <= 0 {
+		o.MaxDomains = 64
+	}
+	if o.PromoteShare <= 0 || o.PromoteShare > 1 {
+		o.PromoteShare = 0.2
+	}
+	if o.PromoteMinAborts == 0 {
+		o.PromoteMinAborts = 8
+	}
+	if o.DemoteAfter <= 0 {
+		o.DemoteAfter = 3
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	return o
+}
+
+// lane is one serial admission lane. tok is a one-slot channel used as a
+// FIFO token: acquiring is a send, releasing is a receive, and Go's
+// channel send queue guarantees blocked acquirers are served in arrival
+// order. depth counts holders plus waiters (a live occupancy gauge).
+type lane struct {
+	tok   chan struct{}
+	depth atomic.Int64
+	waits atomic.Uint64 // acquisitions that had to park
+	_     [32]byte      // keep neighboring lanes off one cache line
+}
+
+// domain is one promoted conflict domain. cool is read by Admit on the
+// hot path (atomic); aborts and coolTicks belong to the controller
+// goroutine only.
+type domain struct {
+	key       uintptr
+	label     string
+	lane      uint32
+	cool      atomic.Bool
+	coolTicks int
+}
+
+// domainTable is the immutable (copy-on-write) key → domain index the
+// admission path reads. A nil table pointer means no domain is promoted
+// — the cold gate.
+type domainTable struct {
+	m map[uintptr]*domain
+}
+
+// Scheduler steers transactions onto conflict-domain lanes. Admit/Leave
+// are safe for unbounded concurrency; Observe and the promotion setters
+// must be called from one controller goroutine at a time.
+type Scheduler struct {
+	opts  Options
+	lanes []lane
+
+	domains atomic.Pointer[domainTable]
+
+	activeLanes  atomic.Int32
+	promoteShare atomic.Uint64 // math.Float64bits
+
+	admitted   atomic.Uint64 // transactions that entered a lane
+	bypassCool atomic.Uint64 // admissions skipped: domain cooling
+	bypassWait atomic.Uint64 // admissions abandoned: MaxWait elapsed
+	promotions atomic.Uint64
+	demotions  atomic.Uint64
+}
+
+// New returns a scheduler with opts completed with defaults. It starts
+// cold: no domains, every Admit returns -1 after one atomic load.
+func New(opts Options) *Scheduler {
+	opts = opts.withDefaults()
+	s := &Scheduler{opts: opts, lanes: make([]lane, opts.Lanes)}
+	for i := range s.lanes {
+		s.lanes[i].tok = make(chan struct{}, 1)
+	}
+	s.activeLanes.Store(int32(opts.ActiveLanes))
+	s.promoteShare.Store(math.Float64bits(opts.PromoteShare))
+	return s
+}
+
+// timerPool recycles the bounded-wait timers so a contended Admit stays
+// allocation-free in steady state.
+var timerPool sync.Pool
+
+// Admit gates one top-level transaction attempt intending to touch the
+// box identified by key. It returns the lane index the attempt now holds
+// (release it with Leave after the attempt), or -1 when the attempt
+// should proceed ungated: scheduler cold, key outside every promoted
+// domain, domain cooling, or the bounded lane wait timed out.
+func (s *Scheduler) Admit(key uintptr) int {
+	tab := s.domains.Load()
+	if tab == nil {
+		return -1 // cold path: one atomic load
+	}
+	d := tab.m[key]
+	if d == nil {
+		return -1
+	}
+	if d.cool.Load() {
+		s.bypassCool.Add(1)
+		return -1
+	}
+	ln := &s.lanes[d.lane]
+	ln.depth.Add(1)
+	select {
+	case ln.tok <- struct{}{}:
+		s.admitted.Add(1)
+		return int(d.lane)
+	default:
+	}
+	// Lane occupied: park FIFO behind the token, bounded by MaxWait.
+	ln.waits.Add(1)
+	t, _ := timerPool.Get().(*time.Timer)
+	if t == nil {
+		t = time.NewTimer(s.opts.MaxWait)
+	} else {
+		t.Reset(s.opts.MaxWait)
+	}
+	select {
+	case ln.tok <- struct{}{}:
+		if !t.Stop() {
+			<-t.C
+		}
+		timerPool.Put(t)
+		s.admitted.Add(1)
+		return int(d.lane)
+	case <-t.C:
+		timerPool.Put(t)
+		ln.depth.Add(-1)
+		s.bypassWait.Add(1)
+		return -1
+	}
+}
+
+// Leave releases the lane token acquired by a successful Admit. lane < 0
+// (an ungated attempt) is a no-op.
+func (s *Scheduler) Leave(lane int) {
+	if lane < 0 {
+		return
+	}
+	ln := &s.lanes[lane]
+	<-ln.tok
+	ln.depth.Add(-1)
+}
+
+// SetPromoteShare adjusts the promotion threshold at runtime (clamped to
+// (0, 1]); the tuner's arbitration hook.
+func (s *Scheduler) SetPromoteShare(share float64) {
+	if share <= 0 || share > 1 {
+		return
+	}
+	s.promoteShare.Store(math.Float64bits(share))
+}
+
+// PromoteShareValue returns the current promotion threshold.
+func (s *Scheduler) PromoteShareValue() float64 {
+	return math.Float64frombits(s.promoteShare.Load())
+}
+
+// SetActiveLanes adjusts how many lanes new promotions spread across
+// (clamped to [1, Lanes]); the tuner's other arbitration hook. Existing
+// domains keep their lanes — only future promotions are affected.
+func (s *Scheduler) SetActiveLanes(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(s.lanes) {
+		n = len(s.lanes)
+	}
+	s.activeLanes.Store(int32(n))
+}
+
+// ActiveLanes returns the current active-lane count.
+func (s *Scheduler) ActiveLanes() int { return int(s.activeLanes.Load()) }
+
+// laneFor maps a box key onto one of the active lanes.
+func (s *Scheduler) laneFor(key uintptr) uint32 {
+	h := uint64(key) * 0x9e3779b97f4a7c15
+	return uint32((h >> 32) % uint64(s.activeLanes.Load()))
+}
+
+// Promote installs key as a hot domain immediately, bypassing the
+// controller's thresholds — the deterministic hook tests and benchmarks
+// use, and an operator override. Returns the assigned lane, or -1 when
+// the domain cap is reached. Call from the controller goroutine only.
+func (s *Scheduler) Promote(key uintptr, label string) int {
+	cur := s.domains.Load()
+	if cur != nil {
+		if d := cur.m[key]; d != nil {
+			d.cool.Store(false)
+			d.coolTicks = 0
+			return int(d.lane)
+		}
+		if len(cur.m) >= s.opts.MaxDomains {
+			return -1
+		}
+	}
+	d := &domain{key: key, label: label, lane: s.laneFor(key)}
+	s.publish(cur, d, 0)
+	s.promotions.Add(1)
+	return int(d.lane)
+}
+
+// Demote removes key's domain, if promoted. Call from the controller
+// goroutine only.
+func (s *Scheduler) Demote(key uintptr) {
+	cur := s.domains.Load()
+	if cur == nil || cur.m[key] == nil {
+		return
+	}
+	s.publish(cur, nil, key)
+	s.demotions.Add(1)
+}
+
+// publish installs a copy-on-write successor of cur with add inserted
+// (when non-nil) and remove deleted (when nonzero).
+func (s *Scheduler) publish(cur *domainTable, add *domain, remove uintptr) {
+	m := make(map[uintptr]*domain)
+	if cur != nil {
+		for k, v := range cur.m {
+			if k != remove {
+				m[k] = v
+			}
+		}
+	}
+	if add != nil {
+		m[add.key] = add
+	}
+	if len(m) == 0 {
+		s.domains.Store(nil) // back to the one-load cold gate
+		return
+	}
+	s.domains.Store(&domainTable{m: m})
+}
+
+// BoxStat is one windowed hot-box observation fed to Observe — key,
+// label and abort count over the controller's window (the decayed
+// hot-box table of internal/stm/trace is exactly this shape).
+type BoxStat struct {
+	Key    uintptr
+	Label  string
+	Aborts uint64
+}
+
+// Event is one promotion or demotion decision from Observe, for the
+// caller to record (decision log, metrics).
+type Event struct {
+	Promote bool    // false = demote
+	Key     uintptr // the box
+	Label   string
+	Aborts  uint64  // windowed abort count at decision time
+	Share   float64 // windowed abort share at decision time
+	Lane    int     // assigned lane (promotions; -1 on demotions)
+}
+
+// Observe runs one controller window: boxes whose share of total crosses
+// the promotion threshold (and clear PromoteMinAborts) become domains;
+// promoted boxes below half the threshold turn cool, and after
+// DemoteAfter consecutive cool windows they are demoted. The returned
+// events describe every transition, in stats order, demotions last.
+// Call from one controller goroutine at a time.
+func (s *Scheduler) Observe(boxStats []BoxStat, total uint64) []Event {
+	cur := s.domains.Load()
+	promoteShare := math.Float64frombits(s.promoteShare.Load())
+	demoteShare := promoteShare / 2
+
+	var events []Event
+	var adds []*domain
+	seen := make(map[uintptr]bool, len(boxStats))
+	n := 0
+	if cur != nil {
+		n = len(cur.m)
+	}
+	for _, st := range boxStats {
+		if st.Key == 0 || total == 0 {
+			continue
+		}
+		seen[st.Key] = true
+		share := float64(st.Aborts) / float64(total)
+		if cur != nil {
+			if d := cur.m[st.Key]; d != nil {
+				// Already promoted: refresh hot/cool with hysteresis.
+				if share >= demoteShare && st.Aborts >= s.opts.PromoteMinAborts/2 {
+					d.cool.Store(false)
+					d.coolTicks = 0
+				} else {
+					d.cool.Store(true)
+					d.coolTicks++
+				}
+				continue
+			}
+		}
+		if share >= promoteShare && st.Aborts >= s.opts.PromoteMinAborts && n+len(adds) < s.opts.MaxDomains {
+			d := &domain{key: st.Key, label: st.Label, lane: s.laneFor(st.Key)}
+			adds = append(adds, d)
+			events = append(events, Event{
+				Promote: true, Key: st.Key, Label: st.Label,
+				Aborts: st.Aborts, Share: share, Lane: int(d.lane),
+			})
+		}
+	}
+
+	// Promoted boxes that vanished from the stats entirely had zero
+	// windowed aborts: they cool toward demotion too.
+	var removes []uintptr
+	if cur != nil {
+		for key, d := range cur.m {
+			if !seen[key] {
+				d.cool.Store(true)
+				d.coolTicks++
+			}
+			if d.coolTicks >= s.opts.DemoteAfter {
+				removes = append(removes, key)
+				events = append(events, Event{
+					Promote: false, Key: key, Label: d.label, Lane: -1,
+				})
+			}
+		}
+	}
+
+	if len(adds) == 0 && len(removes) == 0 {
+		return events
+	}
+	m := make(map[uintptr]*domain)
+	if cur != nil {
+		for k, v := range cur.m {
+			m[k] = v
+		}
+	}
+	for _, key := range removes {
+		delete(m, key)
+	}
+	for _, d := range adds {
+		m[d.key] = d
+	}
+	if len(m) == 0 {
+		s.domains.Store(nil)
+	} else {
+		s.domains.Store(&domainTable{m: m})
+	}
+	s.promotions.Add(uint64(len(adds)))
+	s.demotions.Add(uint64(len(removes)))
+	return events
+}
+
+// Stats is a point-in-time snapshot of the scheduler's counters and
+// configuration, for /status and metrics.
+type Stats struct {
+	Lanes        int     `json:"lanes"`
+	ActiveLanes  int     `json:"active_lanes"`
+	Domains      int     `json:"domains"`
+	HotDomains   int     `json:"hot_domains"`
+	MaxDepth     int64   `json:"max_lane_depth"` // deepest current lane occupancy
+	Admitted     uint64  `json:"admitted"`
+	BypassCool   uint64  `json:"bypass_cool"`
+	BypassWait   uint64  `json:"bypass_wait"`
+	Promotions   uint64  `json:"promotions"`
+	Demotions    uint64  `json:"demotions"`
+	PromoteShare float64 `json:"promote_share"`
+}
+
+// Snapshot returns the current Stats. Safe for concurrent use.
+func (s *Scheduler) Snapshot() Stats {
+	st := Stats{
+		Lanes:        len(s.lanes),
+		ActiveLanes:  int(s.activeLanes.Load()),
+		Admitted:     s.admitted.Load(),
+		BypassCool:   s.bypassCool.Load(),
+		BypassWait:   s.bypassWait.Load(),
+		Promotions:   s.promotions.Load(),
+		Demotions:    s.demotions.Load(),
+		PromoteShare: math.Float64frombits(s.promoteShare.Load()),
+	}
+	if tab := s.domains.Load(); tab != nil {
+		st.Domains = len(tab.m)
+		for _, d := range tab.m {
+			if !d.cool.Load() {
+				st.HotDomains++
+			}
+		}
+	}
+	for i := range s.lanes {
+		if d := s.lanes[i].depth.Load(); d > st.MaxDepth {
+			st.MaxDepth = d
+		}
+	}
+	return st
+}
+
+// DomainInfo is one promoted domain, for /status listings.
+type DomainInfo struct {
+	Box  string `json:"box"`
+	Lane int    `json:"lane"`
+	Cool bool   `json:"cool,omitempty"`
+}
+
+// Domains lists the promoted domains, hottest-lane order unspecified but
+// deterministic runs can sort on Box. Safe for concurrent use.
+func (s *Scheduler) Domains() []DomainInfo {
+	tab := s.domains.Load()
+	if tab == nil {
+		return nil
+	}
+	out := make([]DomainInfo, 0, len(tab.m))
+	for key, d := range tab.m {
+		box := d.label
+		if box == "" {
+			box = fmt.Sprintf("0x%x", key)
+		}
+		out = append(out, DomainInfo{Box: box, Lane: int(d.lane), Cool: d.cool.Load()})
+	}
+	return out
+}
+
+// LaneDepth returns lane i's current occupancy (holders + waiters); a
+// white-box hook for tests and the metrics exporter.
+func (s *Scheduler) LaneDepth(i int) int64 {
+	if i < 0 || i >= len(s.lanes) {
+		return 0
+	}
+	return s.lanes[i].depth.Load()
+}
+
+// LaneWaits returns how many acquisitions of lane i had to park.
+func (s *Scheduler) LaneWaits(i int) uint64 {
+	if i < 0 || i >= len(s.lanes) {
+		return 0
+	}
+	return s.lanes[i].waits.Load()
+}

@@ -1,0 +1,321 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestColdPathAndUnknownKeys(t *testing.T) {
+	s := New(Options{})
+	if lane := s.Admit(0x100); lane != -1 {
+		t.Fatalf("cold Admit = %d, want -1", lane)
+	}
+	s.Leave(-1) // must be a no-op
+	if got := s.Promote(0x100, "hot"); got < 0 {
+		t.Fatalf("Promote failed: lane %d", got)
+	}
+	if lane := s.Admit(0x200); lane != -1 {
+		t.Errorf("Admit of unpromoted key = %d, want -1", lane)
+	}
+	st := s.Snapshot()
+	if st.Domains != 1 || st.Promotions != 1 {
+		t.Errorf("snapshot %+v, want 1 domain / 1 promotion", st)
+	}
+}
+
+func TestAdmitLeaveSerializesOneLane(t *testing.T) {
+	s := New(Options{Lanes: 4, MaxWait: time.Second})
+	lane := s.Promote(0x40, "hot")
+	if lane < 0 {
+		t.Fatal("promote failed")
+	}
+	got := s.Admit(0x40)
+	if got != lane {
+		t.Fatalf("Admit = %d, want lane %d", got, lane)
+	}
+	// A second admission of the same domain parks until the first leaves.
+	done := make(chan int, 1)
+	go func() { done <- s.Admit(0x40) }()
+	select {
+	case l := <-done:
+		t.Fatalf("second Admit returned %d while the lane was held", l)
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Leave(got)
+	select {
+	case l := <-done:
+		if l != lane {
+			t.Fatalf("second Admit = %d, want %d", l, lane)
+		}
+		s.Leave(l)
+	case <-time.After(time.Second):
+		t.Fatal("second Admit never unblocked after Leave")
+	}
+	if d := s.LaneDepth(lane); d != 0 {
+		t.Errorf("lane depth = %d after both left, want 0", d)
+	}
+}
+
+// TestLaneFIFOOrdering: waiters parked behind a lane token are served in
+// arrival order (the channel send queue is the FIFO).
+func TestLaneFIFOOrdering(t *testing.T) {
+	s := New(Options{Lanes: 1, MaxWait: 5 * time.Second})
+	lane := s.Promote(0x8, "fifo")
+	if lane != 0 {
+		t.Fatalf("lane = %d, want 0 with one lane", lane)
+	}
+	holder := s.Admit(0x8)
+	if holder != 0 {
+		t.Fatal("holder admission failed")
+	}
+
+	const waiters = 8
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		// Launch waiters strictly one at a time: each must be parked in the
+		// channel send queue (observable via lane depth) before the next
+		// arrives, so arrival order is deterministic.
+		want := int64(2 + i) // holder + already-parked + this one
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l := s.Admit(0x8)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			s.Leave(l)
+		}(i)
+		deadline := time.Now().Add(5 * time.Second)
+		for s.LaneDepth(0) < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never parked (depth %d)", i, s.LaneDepth(0))
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	s.Leave(holder)
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("service order %v, want FIFO arrival order", order)
+		}
+	}
+	if w := s.LaneWaits(0); w != waiters {
+		t.Errorf("lane waits = %d, want %d", w, waiters)
+	}
+}
+
+func TestBoundedWaitBypassesStalledLane(t *testing.T) {
+	s := New(Options{Lanes: 1, MaxWait: 10 * time.Millisecond})
+	s.Promote(0x8, "stalled")
+	holder := s.Admit(0x8)
+	start := time.Now()
+	l := s.Admit(0x8) // the lane holder never leaves: must bypass
+	if l != -1 {
+		t.Fatalf("Admit = %d during stall, want -1 bypass", l)
+	}
+	if e := time.Since(start); e < 5*time.Millisecond || e > time.Second {
+		t.Errorf("bypass took %v, want ~MaxWait", e)
+	}
+	if st := s.Snapshot(); st.BypassWait != 1 {
+		t.Errorf("bypassWait = %d, want 1", st.BypassWait)
+	}
+	if d := s.LaneDepth(0); d != 1 { // only the holder remains
+		t.Errorf("lane depth = %d after bypass, want 1", d)
+	}
+	s.Leave(holder)
+}
+
+func TestBypassOnCooldown(t *testing.T) {
+	s := New(Options{PromoteMinAborts: 4, DemoteAfter: 2})
+	// Promote via the controller: 100% share, enough aborts.
+	ev := s.Observe([]BoxStat{{Key: 0x10, Label: "hot", Aborts: 40}}, 40)
+	if len(ev) != 1 || !ev[0].Promote || ev[0].Key != 0x10 || ev[0].Share != 1.0 {
+		t.Fatalf("events = %+v, want one promotion of 0x10", ev)
+	}
+	if l := s.Admit(0x10); l < 0 {
+		t.Fatal("promoted domain not gating")
+	} else {
+		s.Leave(l)
+	}
+	// One cool window: below half the threshold → cool, bypassed, but not
+	// yet demoted.
+	ev = s.Observe([]BoxStat{{Key: 0x10, Label: "hot", Aborts: 1}}, 100)
+	if len(ev) != 0 {
+		t.Fatalf("cool window emitted %+v, want nothing yet", ev)
+	}
+	if l := s.Admit(0x10); l != -1 {
+		t.Fatalf("Admit = %d on cooling domain, want -1", l)
+	}
+	if st := s.Snapshot(); st.BypassCool != 1 || st.Domains != 1 || st.HotDomains != 0 {
+		t.Errorf("snapshot %+v, want 1 cool bypassed domain", st)
+	}
+	// Re-heating resets the cool streak.
+	s.Observe([]BoxStat{{Key: 0x10, Label: "hot", Aborts: 40}}, 40)
+	if l := s.Admit(0x10); l < 0 {
+		t.Fatal("re-heated domain not gating again")
+	} else {
+		s.Leave(l)
+	}
+	// DemoteAfter consecutive cool windows (including a window where the
+	// box vanished from the stats entirely) demote it.
+	s.Observe([]BoxStat{{Key: 0x10, Label: "hot", Aborts: 1}}, 100)
+	ev = s.Observe(nil, 100)
+	if len(ev) != 1 || ev[0].Promote || ev[0].Key != 0x10 {
+		t.Fatalf("events = %+v, want one demotion of 0x10", ev)
+	}
+	if s.domains.Load() != nil {
+		t.Error("table not back to the nil cold gate after the last demotion")
+	}
+	if st := s.Snapshot(); st.Demotions != 1 || st.Domains != 0 {
+		t.Errorf("snapshot %+v, want the demotion counted", st)
+	}
+}
+
+func TestObserveThresholds(t *testing.T) {
+	s := New(Options{PromoteShare: 0.5, PromoteMinAborts: 10, MaxDomains: 2})
+	ev := s.Observe([]BoxStat{
+		{Key: 0x1, Aborts: 60}, // 60% share: promote
+		{Key: 0x2, Aborts: 30}, // under share threshold
+		{Key: 0x3, Aborts: 5},  // under min aborts even at high share
+	}, 100)
+	if len(ev) != 1 || ev[0].Key != 0x1 {
+		t.Fatalf("events = %+v, want only 0x1 promoted", ev)
+	}
+	// Domain cap: with MaxDomains 2, at most one more promotion fits.
+	ev = s.Observe([]BoxStat{
+		{Key: 0x4, Aborts: 60},
+		{Key: 0x5, Aborts: 60},
+	}, 100)
+	if len(ev) != 1 || ev[0].Key != 0x4 {
+		t.Fatalf("events = %+v, want only 0x4 (cap reached)", ev)
+	}
+	// Zero total or zero keys never divide by zero or promote.
+	if ev := s.Observe([]BoxStat{{Key: 0x6, Aborts: 50}}, 0); len(ev) != 0 {
+		t.Errorf("total=0 emitted %+v", ev)
+	}
+}
+
+func TestKnobSetters(t *testing.T) {
+	s := New(Options{Lanes: 4})
+	s.SetActiveLanes(99)
+	if got := s.ActiveLanes(); got != 4 {
+		t.Errorf("ActiveLanes clamped to %d, want 4", got)
+	}
+	s.SetActiveLanes(0)
+	if got := s.ActiveLanes(); got != 1 {
+		t.Errorf("ActiveLanes clamped to %d, want 1", got)
+	}
+	// With one active lane every new promotion maps to lane 0.
+	if lane := s.Promote(0xabc, ""); lane != 0 {
+		t.Errorf("promotion with 1 active lane got lane %d", lane)
+	}
+	s.SetPromoteShare(0.7)
+	if got := s.PromoteShareValue(); got != 0.7 {
+		t.Errorf("PromoteShareValue = %v, want 0.7", got)
+	}
+	s.SetPromoteShare(0) // out of range: ignored
+	if got := s.PromoteShareValue(); got != 0.7 {
+		t.Errorf("PromoteShareValue after invalid set = %v, want 0.7", got)
+	}
+	if infos := s.Domains(); len(infos) != 1 || infos[0].Box != "0xabc" {
+		t.Errorf("Domains() = %+v, want the unlabeled box rendered as 0xabc", infos)
+	}
+}
+
+// TestPromotionDemotionChurnUnderLoad hammers Admit/Leave from many
+// goroutines while the controller promotes and demotes the same keys —
+// the -race coverage for the copy-on-write table swap, the atomic cool
+// flag and the counters. No admitted transaction may ever be stranded.
+func TestPromotionDemotionChurnUnderLoad(t *testing.T) {
+	s := New(Options{Lanes: 4, MaxWait: 200 * time.Microsecond, DemoteAfter: 1})
+	keys := []uintptr{0x10, 0x20, 0x30, 0x40, 0x50}
+	var stop atomic.Bool
+	var admits atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				key := keys[(g+i)%len(keys)]
+				if l := s.Admit(key); l >= 0 {
+					admits.Add(1)
+					s.Leave(l)
+				}
+			}
+		}(g)
+	}
+	for round := 0; round < 200; round++ {
+		stats := make([]BoxStat, 0, len(keys))
+		for i, k := range keys {
+			// Alternate which keys look hot so domains churn constantly.
+			if (round+i)%2 == 0 {
+				stats = append(stats, BoxStat{Key: k, Aborts: 100})
+			}
+		}
+		s.Observe(stats, 300)
+		time.Sleep(100 * time.Microsecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	st := s.Snapshot()
+	if st.Promotions == 0 || st.Demotions == 0 {
+		t.Errorf("churn produced %d promotions / %d demotions, want both > 0", st.Promotions, st.Demotions)
+	}
+	if admits.Load() == 0 {
+		t.Error("no admission ever succeeded under churn")
+	}
+	// Every lane must be fully drained: nothing admitted is stranded.
+	for i := 0; i < 4; i++ {
+		if d := s.LaneDepth(i); d != 0 {
+			t.Errorf("lane %d depth = %d after drain, want 0", i, d)
+		}
+	}
+}
+
+// TestStalledLaneDoesNotWedgeOtherLanes: a holder that never leaves its
+// lane leaves other domains' lanes fully serviceable (the cross-lane
+// isolation the chaos e2e test exercises through the STM).
+func TestStalledLaneDoesNotWedgeOtherLanes(t *testing.T) {
+	s := New(Options{Lanes: 2, MaxWait: 20 * time.Millisecond})
+	s.SetActiveLanes(2)
+	// Find two keys mapping to different lanes.
+	keyA := uintptr(0x8)
+	laneA := s.Promote(keyA, "stalled")
+	var keyB uintptr
+	laneB := -1
+	for k := uintptr(0x10); k < 0x2000; k += 8 {
+		if int(s.laneFor(k)) != laneA {
+			keyB = k
+			laneB = s.Promote(k, "healthy")
+			break
+		}
+	}
+	if laneB < 0 || laneB == laneA {
+		t.Fatalf("could not find a second lane (laneA=%d laneB=%d)", laneA, laneB)
+	}
+	// Wedge lane A.
+	if l := s.Admit(keyA); l != laneA {
+		t.Fatal("failed to occupy lane A")
+	}
+	// Lane B stays fully serviceable, immediately.
+	for i := 0; i < 100; i++ {
+		start := time.Now()
+		l := s.Admit(keyB)
+		if l != laneB {
+			t.Fatalf("lane B admission %d returned %d", i, l)
+		}
+		if time.Since(start) > 10*time.Millisecond {
+			t.Fatalf("lane B admission %d stalled behind lane A", i)
+		}
+		s.Leave(l)
+	}
+	if st := s.Snapshot(); st.BypassWait != 0 {
+		t.Errorf("lane B admissions bypassed (%d), want clean token handoffs", st.BypassWait)
+	}
+}

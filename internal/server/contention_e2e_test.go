@@ -1,0 +1,180 @@
+package server_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"autopn/internal/obs"
+	"autopn/internal/server"
+	"autopn/internal/server/loadgen"
+)
+
+// TestContentionSmoke is the contention-scheduler goodput gate behind
+// `make contention-smoke` and the contention-smoke CI job. It drives an
+// identical hot-set workload — most writes are multi-key MADD transactions
+// whose primaries concentrate on a small hot set and whose batches span
+// the whole (small) key space, the workload shape where optimistic retry
+// storms burn the most work per abort — against two
+// identically configured servers, scheduler off and scheduler on, and
+// asserts that
+//
+//   - scheduler-on goodput is >= 1.25x scheduler-off goodput (the
+//     acceptance criterion: conflict-domain lanes convert wasted retry
+//     work into committed work);
+//   - the scheduler actually engaged (hot boxes promoted, transactions
+//     admitted through lanes);
+//   - promotion decisions are in the persisted decision log.
+//
+// The tuner is disabled and the worker pool pinned on both runs so the
+// only degree of freedom between them is the scheduler.
+func TestContentionSmoke(t *testing.T) {
+	if os.Getenv("CONTENTION_SMOKE") == "" {
+		t.Skip("set CONTENTION_SMOKE=1 (or run `make contention-smoke`) to run the contention smoke")
+	}
+	if testing.Short() {
+		t.Skip("contention smoke skipped in short mode")
+	}
+	duration := 8 * time.Second
+	if v := os.Getenv("LOADGEN_DURATION"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("LOADGEN_DURATION=%q: %v", v, err)
+		}
+		duration = d
+	}
+	artifacts := os.Getenv("CONTENTION_SMOKE_ARTIFACTS")
+	if artifacts == "" {
+		artifacts = t.TempDir()
+	} else if err := os.MkdirAll(artifacts, 0o755); err != nil {
+		t.Fatalf("artifacts dir: %v", err)
+	}
+
+	// The hot-set scenario: one shard (so MADD batches colocate), a small
+	// key space, ~all traffic writes, most writes MADDs spanning the whole
+	// key space — so every pair of concurrent MADDs conflicts and every
+	// aborted attempt wastes a full fan-out of parallel nested children.
+	// The worker pool deliberately dwarfs what the conflict structure can
+	// use, which is exactly what pushes the optimistic run into a deep
+	// retry storm (~45% of attempts aborted) that the single-lane valve
+	// converts back into committed work.
+	const (
+		keys    = 32
+		hotKeys = 4
+		workers = 32
+	)
+	runOnce := func(name string, schedOn bool) (loadgen.Report, server.Status) {
+		decisionDir := filepath.Join(artifacts, "decisions-"+name)
+		s, err := server.New(server.Options{
+			Shards:          1,
+			Keys:            keys,
+			WorkersPerShard: workers,
+			QueueDepth:      256,
+			RequestTimeout:  time.Second,
+			DisableTuner:    true,
+			DecisionLogDir:  decisionDir,
+			Sched: server.SchedOptions{
+				Enabled: schedOn,
+				// One lane: with MADDs spanning the whole hot set, any two
+				// concurrent hot writes conflict, so the useful policy is a
+				// single global valve, not per-domain lanes.
+				Lanes: 1,
+				// Conflict attribution spreads across the whole key space
+				// (every MADD spans it), so the per-box share bar is low; a
+				// short controller tick promotes within the run's first slice.
+				PromoteShare:     0.02,
+				PromoteMinAborts: 2,
+				Interval:         50 * time.Millisecond,
+				// Near-zero decay: once the valve engages, aborts collapse,
+				// and any real cooling would demote the hot set and let the
+				// retry storm resume for a tick. 0.99 keeps attribution warm
+				// for the whole run.
+				Decay: 0.99,
+				// Generous bound: a parked transaction that bypasses the lane
+				// runs optimistically and re-seeds the storm, so in this
+				// scenario waiting is always cheaper than bypassing.
+				MaxWait: 20 * time.Millisecond,
+			},
+		})
+		if err != nil {
+			t.Fatalf("%s: server.New: %v", name, err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatalf("%s: server.Start: %v", name, err)
+		}
+		defer s.Shutdown(10 * time.Second)
+
+		rep, err := loadgen.Run(t.Context(), loadgen.Options{
+			Addr:        s.Addr(),
+			Rate:        80000,
+			Duration:    duration,
+			MaxInFlight: 512,
+			Keys:        keys,
+			HotKeys:     hotKeys,
+			HotFrac:     0.9,
+			ReadFrac:    0.05,
+			MAddFrac:    0.9,
+			MAddKeys:    32,
+			Shards:      1,
+			Seed:        7,
+		})
+		if err != nil {
+			t.Fatalf("%s: loadgen: %v", name, err)
+		}
+		writeReport(t, artifacts, "report-"+name+".json", rep)
+		status := s.Status()
+		writeReport(t, artifacts, "status-"+name+".json", status)
+		s.Shutdown(10 * time.Second) // flush the decision log before parsing
+		return rep, status
+	}
+
+	repOff, _ := runOnce("sched-off", false)
+	repOn, statusOn := runOnce("sched-on", true)
+	if repOff.OK == 0 || repOn.OK == 0 {
+		t.Fatalf("zero goodput: off %d ok, on %d ok", repOff.OK, repOn.OK)
+	}
+	ratio := repOn.Goodput / repOff.Goodput
+	t.Logf("goodput: sched-off %.0f/s, sched-on %.0f/s (%.2fx)", repOff.Goodput, repOn.Goodput, ratio)
+
+	// The scheduler must have engaged, not won by accident.
+	sched := statusOn.ShardTable[0].Sched
+	if sched == nil {
+		t.Fatalf("sched-on run reports no scheduler stats")
+	}
+	t.Logf("scheduler: %d promotions, %d admitted, %d bypass-wait, %d domains",
+		sched.Promotions, sched.Admitted, sched.BypassWait, sched.Domains)
+	if sched.Promotions == 0 {
+		t.Errorf("no hot boxes were promoted")
+	}
+	if sched.Admitted == 0 {
+		t.Errorf("no transactions were admitted through lanes")
+	}
+
+	// Promotion decisions are in the persisted per-shard log.
+	promotes := 0
+	f, err := os.Open(filepath.Join(artifacts, "decisions-sched-on", "shard-0.jsonl"))
+	if err != nil {
+		t.Fatalf("decision log: %v", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var d obs.Decision
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("bad decision line %q: %v", sc.Text(), err)
+		}
+		if d.Kind == obs.KindSchedPromote {
+			promotes++
+		}
+	}
+	if promotes == 0 {
+		t.Errorf("no %s decisions in the persisted log", obs.KindSchedPromote)
+	}
+
+	if ratio < 1.25 {
+		t.Fatalf("scheduler-on goodput %.2fx scheduler-off, want >= 1.25x", ratio)
+	}
+}

@@ -55,6 +55,15 @@ type Options struct {
 	MAddFrac float64
 	// MAddKeys is how many keys an MADD touches (default 4).
 	MAddKeys int
+	// HotKeys, when > 0, concentrates HotFrac of the write traffic
+	// (PUT/ADD and MADD primaries) uniformly on the first HotKeys key
+	// indices — a deliberately contended hot set on top of the zipfian
+	// base distribution, the workload shape the contention scheduler
+	// targets. 0 (default) disables concentration.
+	HotKeys int
+	// HotFrac is the fraction of write traffic aimed at the hot set when
+	// HotKeys > 0 (default 0.9).
+	HotFrac float64
 	// Shards and VNodes mirror the server's ring so MADD keys can be
 	// colocated on one shard client-side. Shards = 0 disables MADD.
 	Shards int
@@ -106,6 +115,9 @@ func (o *Options) withDefaults() {
 	}
 	if o.MAddKeys <= 1 {
 		o.MAddKeys = 4
+	}
+	if o.HotKeys > 0 && o.HotFrac == 0 {
+		o.HotFrac = 0.9
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -495,12 +507,21 @@ func (g *opGen) key() int {
 	return g.rng.Intn(g.o.Keys)
 }
 
+// writeKey draws a write's key index: with a hot set configured, HotFrac
+// of writes land uniformly on the first HotKeys keys.
+func (g *opGen) writeKey() int {
+	if g.o.HotKeys > 0 && g.rng.Float64() < g.o.HotFrac {
+		return g.rng.Intn(g.o.HotKeys)
+	}
+	return g.key()
+}
+
 // next renders the next request line.
 func (g *opGen) next() string {
-	k := server.KeyName(g.key())
 	if g.rng.Float64() < g.o.ReadFrac {
-		return "GET " + k
+		return "GET " + server.KeyName(g.key())
 	}
+	k := server.KeyName(g.writeKey())
 	if g.ring != nil && g.rng.Float64() < g.o.MAddFrac {
 		// Colocate the batch on the primary key's shard so the server can
 		// run it as one transaction with parallel nested children.

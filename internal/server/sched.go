@@ -1,0 +1,115 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"autopn/internal/obs"
+	"autopn/internal/sched"
+)
+
+// SchedOptions configures the per-shard contention-aware scheduler (see
+// internal/sched and docs/SCHEDULER.md). Disabled shards pay one nil check
+// per transaction attempt; enabled-but-cold shards pay one atomic load.
+type SchedOptions struct {
+	// Enabled attaches a scheduler to every shard's STM and runs the
+	// promotion controller.
+	Enabled bool
+	// Lanes is the number of serial conflict-domain lanes per shard
+	// (default 8).
+	Lanes int
+	// PromoteShare is the windowed abort share at which a hot box is
+	// promoted into a conflict domain (default 0.2).
+	PromoteShare float64
+	// PromoteMinAborts is the minimum windowed abort count for promotion,
+	// keeping near-idle shards from promoting on noise (default 8).
+	PromoteMinAborts uint64
+	// MaxWait bounds how long an admitted transaction queues behind its
+	// lane token before bypassing to the optimistic path (default 2ms).
+	MaxWait time.Duration
+	// Interval is the controller tick: each tick reads the shard tracer's
+	// hot-box table, promotes/demotes domains, then decays the table
+	// (default 250ms).
+	Interval time.Duration
+	// Decay is the per-tick multiplicative decay applied to the hot-box
+	// table, turning cumulative abort counts into an EWMA-style window
+	// (default 0.5).
+	Decay float64
+}
+
+func (o *SchedOptions) withDefaults() {
+	if o.Interval <= 0 {
+		o.Interval = 250 * time.Millisecond
+	}
+	if o.Decay <= 0 || o.Decay >= 1 {
+		o.Decay = 0.5
+	}
+	// Lanes, PromoteShare, PromoteMinAborts and MaxWait zero-values are
+	// defaulted by sched.Options.withDefaults; only controller-side knobs
+	// need completing here.
+}
+
+// schedOptions translates the server-level knobs into sched.Options.
+func (o SchedOptions) schedOptions() sched.Options {
+	return sched.Options{
+		Lanes:            o.Lanes,
+		PromoteShare:     o.PromoteShare,
+		PromoteMinAborts: o.PromoteMinAborts,
+		MaxWait:          o.MaxWait,
+	}
+}
+
+// runSchedController is the shard's promotion/demotion feedback loop: each
+// tick it snapshots the tracer's hot-box table (fed by every attributed
+// abort while a scheduler is attached), lets the scheduler promote boxes
+// whose abort share crossed the threshold and demote cooled ones, records
+// each transition in the shard's decision trail, and decays the table so
+// the next window sees recent contention rather than all-time totals.
+func (sh *shard) runSchedController(ctx context.Context, o SchedOptions) {
+	tick := time.NewTicker(o.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		rows := sh.tracer.HotBoxes(0)
+		var total uint64
+		stats := make([]sched.BoxStat, len(rows))
+		for i, r := range rows {
+			stats[i] = sched.BoxStat{Key: r.Key, Label: r.Label, Aborts: r.Aborts}
+			total += r.Aborts
+		}
+		for _, ev := range sh.sched.Observe(stats, total) {
+			kind := obs.KindSchedDemote
+			note := fmt.Sprintf("box=%s lane=%d", schedBoxName(ev), ev.Lane)
+			if ev.Promote {
+				kind = obs.KindSchedPromote
+				note = fmt.Sprintf("box=%s lane=%d share=%.2f aborts=%d",
+					schedBoxName(ev), ev.Lane, ev.Share, ev.Aborts)
+			}
+			sh.record(obs.Decision{Kind: kind, Note: note})
+		}
+		sh.tracer.DecayConflicts(o.Decay)
+	}
+}
+
+// schedBoxName renders an event's box identity: its profiling label when
+// set, the opaque key otherwise.
+func schedBoxName(ev sched.Event) string {
+	if ev.Label != "" {
+		return ev.Label
+	}
+	return fmt.Sprintf("0x%x", ev.Key)
+}
+
+// record appends one decision to the shard's trail: the in-memory ring
+// behind /status always, the persisted JSONL log when configured.
+func (sh *shard) record(d obs.Decision) {
+	sh.ring.Record(d)
+	if sh.jsonl != nil {
+		sh.jsonl.Record(d)
+	}
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"autopn/internal/obs"
+	stmtrace "autopn/internal/stm/trace"
+)
+
+// waitCond polls cond until it holds or fails the test.
+func waitCond(t *testing.T, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSchedControllerRecordsPromoteDemote drives the promotion feedback
+// loop deterministically: conflicts recorded into a shard's hot-box table
+// cross the promotion threshold at the next controller tick, the decayed
+// table cools the domain once the conflicts stop, and both transitions
+// land in the shard's decision trail — the in-memory ring behind /status
+// and the persisted JSONL log (which must exist even with the tuner
+// disabled).
+func TestSchedControllerRecordsPromoteDemote(t *testing.T) {
+	dir := t.TempDir()
+	s := startTestServer(t, Options{
+		Shards:         1,
+		Keys:           16,
+		DisableTuner:   true,
+		DecisionLogDir: dir,
+		Sched: SchedOptions{
+			Enabled:          true,
+			PromoteShare:     0.5,
+			PromoteMinAborts: 4,
+			Interval:         20 * time.Millisecond,
+		},
+	})
+	sh := s.shards[0]
+	if sh.sched == nil {
+		t.Fatalf("scheduler not attached")
+	}
+	box := sh.store[KeyName(0)]
+	key := box.ConflictKey()
+
+	// One hot box with 100% abort share, comfortably past PromoteMinAborts.
+	for i := 0; i < 16; i++ {
+		sh.tracer.RecordConflict(stmtrace.ReasonTopValidation, key, KeyName(0))
+	}
+	waitCond(t, "hot box promoted", func() bool { return sh.sched.Snapshot().Promotions >= 1 })
+
+	// No further conflicts: per-tick decay cools the domain below the
+	// demotion threshold and the controller demotes it.
+	waitCond(t, "cooled domain demoted", func() bool { return sh.sched.Snapshot().Demotions >= 1 })
+
+	// Both transitions are in the /status decision tail...
+	st := sh.status()
+	if st.Sched == nil {
+		t.Fatalf("shard status missing sched block")
+	}
+	kinds := map[string]bool{}
+	for _, d := range sh.ring.Last(16) {
+		kinds[d.Kind] = true
+	}
+	if !kinds[obs.KindSchedPromote] || !kinds[obs.KindSchedDemote] {
+		t.Fatalf("decision ring kinds = %v, want both %s and %s", kinds, obs.KindSchedPromote, obs.KindSchedDemote)
+	}
+
+	// ...and in the persisted JSONL trail after shutdown flushes it.
+	s.Shutdown(5 * time.Second)
+	f, err := os.Open(filepath.Join(dir, "shard-0.jsonl"))
+	if err != nil {
+		t.Fatalf("decision log: %v", err)
+	}
+	defer f.Close()
+	var gotPromote, gotDemote bool
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var d obs.Decision
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("bad decision line %q: %v", sc.Text(), err)
+		}
+		switch d.Kind {
+		case obs.KindSchedPromote:
+			gotPromote = true
+			if d.Note == "" {
+				t.Errorf("promote decision has empty note")
+			}
+		case obs.KindSchedDemote:
+			gotDemote = true
+		}
+	}
+	if !gotPromote || !gotDemote {
+		t.Fatalf("persisted log: promote=%v demote=%v, want both", gotPromote, gotDemote)
+	}
+}
+
+// TestSchedHotDomainServesWrites: with a promoted hot domain, writes to
+// the hot key still execute correctly through the lane (request path →
+// hint → Admit → serial lane → commit).
+func TestSchedHotDomainServesWrites(t *testing.T) {
+	s := startTestServer(t, Options{
+		Shards:       1,
+		Keys:         16,
+		DisableTuner: true,
+		Sched: SchedOptions{
+			Enabled:          true,
+			PromoteShare:     0.5,
+			PromoteMinAborts: 4,
+			Interval:         20 * time.Millisecond,
+		},
+	})
+	sh := s.shards[0]
+	key := sh.store[KeyName(0)].ConflictKey()
+	for i := 0; i < 16; i++ {
+		sh.tracer.RecordConflict(stmtrace.ReasonTopValidation, key, KeyName(0))
+	}
+	waitCond(t, "hot box promoted", func() bool { return sh.sched.Snapshot().Promotions >= 1 })
+
+	tc := dialServer(t, s)
+	const n = 32
+	for i := 0; i < n; i++ {
+		tc.send("ADD " + KeyName(0) + " 1")
+	}
+	for i := 0; i < n; i++ {
+		if got := tc.recv(); got == "" || got[0] == 'E' {
+			t.Fatalf("ADD %d failed: %q", i, got)
+		}
+	}
+	// Workers execute pipelined increments out of order, so only the final
+	// committed value is deterministic.
+	tc.send("GET " + KeyName(0))
+	if got, want := tc.recv(), "VALUE 32"; got != want {
+		t.Fatalf("final value = %q, want %q", got, want)
+	}
+	if st := sh.sched.Snapshot(); st.Admitted == 0 {
+		t.Fatalf("no lane admissions for hot-key writes: %+v", st)
+	}
+}

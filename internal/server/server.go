@@ -18,6 +18,7 @@ import (
 	"autopn"
 	"autopn/internal/chaos"
 	"autopn/internal/obs"
+	"autopn/internal/sched"
 	"autopn/internal/stm"
 	stmtrace "autopn/internal/stm/trace"
 	"autopn/internal/wal"
@@ -107,6 +108,10 @@ type Options struct {
 	// LockFreeCommit selects the lock-free STM commit path per shard.
 	LockFreeCommit bool
 
+	// Sched configures the per-shard contention-aware scheduler (see
+	// sched.go and docs/SCHEDULER.md); the zero value keeps it off.
+	Sched SchedOptions
+
 	// Trace configures end-to-end request tracing (see trace.go). The
 	// tracer always exists; the zero value just keeps sampling off.
 	Trace TraceOptions
@@ -153,6 +158,7 @@ func (o *Options) withDefaults() {
 		o.SnapshotInterval = 10 * time.Second
 	}
 	o.Trace.withDefaults()
+	o.Sched.withDefaults()
 }
 
 // Server is the sharded transactional serving layer. Build with New,
@@ -253,9 +259,20 @@ func New(opts Options) (*Server, error) {
 		// land in the span ring, keeping the untraced STM path at its
 		// one-atomic-load cost.
 		str := stmtrace.New(stmtrace.Options{MaxSpans: opts.Trace.STMMaxSpans})
+		stmOpts := stm.Options{FaultInjector: inj, LockFreeCommit: opts.LockFreeCommit, Tracer: str}
+		var shSched *sched.Scheduler
+		if opts.Sched.Enabled {
+			// The scheduler rides the same tracer: with it attached, every
+			// attributed abort lands in the hot-box table even though the
+			// ambient span sample rate stays 0 — the controller needs live
+			// windowed contention, not a sampled sliver.
+			shSched = sched.New(opts.Sched.schedOptions())
+			stmOpts.Scheduler = shSched
+		}
 		sh := &shard{
 			id:      i,
-			stm:     stm.New(stm.Options{FaultInjector: inj, LockFreeCommit: opts.LockFreeCommit, Tracer: str}),
+			stm:     stm.New(stmOpts),
+			sched:   shSched,
 			store:   owned[i],
 			queue:   make(chan *request, opts.QueueDepth),
 			stop:    make(chan struct{}),
@@ -283,17 +300,21 @@ func New(opts Options) (*Server, error) {
 			sh.wal = w
 			warm = cp
 		}
-		if !opts.DisableTuner {
-			recorders := obs.Multi{sh.ring}
-			if opts.DecisionLogDir != "" {
-				path := filepath.Join(opts.DecisionLogDir, fmt.Sprintf("shard-%d.jsonl", i))
-				jsonl, err := obs.NewJSONLFile(path, 64<<20)
-				if err != nil {
-					return nil, fmt.Errorf("decision log shard %d: %w", i, err)
-				}
-				sh.jsonl = jsonl
-				recorders = append(recorders, jsonl)
+		// The decision trail (in-memory ring + optional JSONL file) is
+		// shared by every decision producer on the shard — tuner and
+		// scheduler controller — so it exists whenever either runs, not
+		// only when the tuner does.
+		recorders := obs.Multi{sh.ring}
+		if opts.DecisionLogDir != "" {
+			path := filepath.Join(opts.DecisionLogDir, fmt.Sprintf("shard-%d.jsonl", i))
+			jsonl, err := obs.NewJSONLFile(path, 64<<20)
+			if err != nil {
+				return nil, fmt.Errorf("decision log shard %d: %w", i, err)
 			}
+			sh.jsonl = jsonl
+			recorders = append(recorders, jsonl)
+		}
+		if !opts.DisableTuner {
 			sh.tuner = autopn.NewTuner(sh.stm, autopn.Options{
 				Cores:     opts.CoresPerShard,
 				Seed:      opts.Seed + uint64(i)*7919,
@@ -332,6 +353,30 @@ func (s *Server) registerMetrics() {
 	s.reg.CounterFunc("autopn_server_dlq_lost_total", func() uint64 { return s.dlq.Lost() })
 	s.reg.CounterFunc("autopn_server_stm_top_commits_total", sum(func(sh *shard) uint64 { return sh.stm.Stats.TopCommits() }))
 	s.reg.CounterFunc("autopn_server_stm_top_aborts_total", sum(func(sh *shard) uint64 { return sh.stm.Stats.TopAborts() }))
+	if s.opts.Sched.Enabled {
+		schedSum := func(f func(sched.Stats) uint64) func() uint64 {
+			return func() uint64 {
+				var t uint64
+				for _, sh := range s.shards {
+					if sh.sched != nil {
+						t += f(sh.sched.Snapshot())
+					}
+				}
+				return t
+			}
+		}
+		s.reg.CounterFunc("autopn_sched_admitted_total", schedSum(func(st sched.Stats) uint64 { return st.Admitted }))
+		s.reg.CounterFunc("autopn_sched_bypass_cool_total", schedSum(func(st sched.Stats) uint64 { return st.BypassCool }))
+		s.reg.CounterFunc("autopn_sched_bypass_wait_total", schedSum(func(st sched.Stats) uint64 { return st.BypassWait }))
+		s.reg.CounterFunc("autopn_sched_promotions_total", schedSum(func(st sched.Stats) uint64 { return st.Promotions }))
+		s.reg.CounterFunc("autopn_sched_demotions_total", schedSum(func(st sched.Stats) uint64 { return st.Demotions }))
+		s.reg.GaugeFunc("autopn_sched_domains", func() float64 {
+			return float64(schedSum(func(st sched.Stats) uint64 { return uint64(st.Domains) })())
+		})
+		s.reg.GaugeFunc("autopn_sched_hot_domains", func() float64 {
+			return float64(schedSum(func(st sched.Stats) uint64 { return uint64(st.HotDomains) })())
+		})
+	}
 	s.reg.GaugeFunc("autopn_server_shards", func() float64 { return float64(len(s.shards)) })
 	s.reg.GaugeFunc("autopn_server_queue_len", func() float64 {
 		n := 0
@@ -442,6 +487,13 @@ func (s *Server) Start() error {
 			go func() {
 				defer s.tunerWG.Done()
 				sh.tuner.Run(s.ctx)
+			}()
+		}
+		if sh.sched != nil {
+			s.tunerWG.Add(1)
+			go func() {
+				defer s.tunerWG.Done()
+				sh.runSchedController(s.ctx, s.opts.Sched)
 			}()
 		}
 	}

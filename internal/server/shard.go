@@ -11,6 +11,7 @@ import (
 	"autopn"
 	"autopn/internal/chaos"
 	"autopn/internal/obs"
+	"autopn/internal/sched"
 	"autopn/internal/stm"
 	stmtrace "autopn/internal/stm/trace"
 	"autopn/internal/wal"
@@ -34,8 +35,9 @@ type shard struct {
 	dlq     *DLQ
 
 	tuner *autopn.Tuner
-	ring  *obs.Ring      // per-shard decision tail for /status
-	jsonl *obs.JSONLFile // per-shard persisted decision log (nil = off)
+	sched *sched.Scheduler // contention-aware lane scheduler (nil = off)
+	ring  *obs.Ring        // per-shard decision tail for /status
+	jsonl *obs.JSONLFile   // per-shard persisted decision log (nil = off)
 	inj   *chaos.Injector
 	wal   *shardWAL // durability (nil = off); see durability.go
 
@@ -225,12 +227,17 @@ func (e errCode) Error() string { return string(e) }
 // every attempt (the last attempt's stamp survives), which is what
 // separates the exec stage — transaction body, retries included — from
 // the commit stage.
-func (sh *shard) atomicUpdate(ctx context.Context, req *request, fn func(tx *stm.Tx) error) (uint64, error) {
+// The hint parameter declares the request's scheduling intent — the
+// conflict key of the box it is about to write — so an attempt on a
+// promoted hot domain is steered onto its lane from attempt zero rather
+// than after a first wasted abort. Zero means no declared intent; with the
+// scheduler off the hint is simply ignored.
+func (sh *shard) atomicUpdate(ctx context.Context, req *request, hint uintptr, fn func(tx *stm.Tx) error) (uint64, error) {
 	rt := req.tr
 	if rt == nil {
-		return sh.stm.AtomicVersionedCtx(ctx, fn)
+		return sh.stm.AtomicVersionedCtxHint(ctx, hint, fn)
 	}
-	return sh.stm.AtomicVersionedTraced(ctx, rt.id, func(tx *stm.Tx) error {
+	return sh.stm.AtomicVersionedTracedHint(ctx, rt.id, hint, func(tx *stm.Tx) error {
 		err := fn(tx)
 		rt.fnDone.Store(rt.tr.now())
 		return err
@@ -274,7 +281,7 @@ func (sh *shard) exec(ctx context.Context, req *request) (string, error) {
 		if !ok {
 			return "", errCode(ErrCodeUnknownKey)
 		}
-		ver, err := sh.atomicUpdate(ctx, req, func(tx *stm.Tx) error {
+		ver, err := sh.atomicUpdate(ctx, req, box.ConflictKey(), func(tx *stm.Tx) error {
 			box.Set(tx, req.arg)
 			return nil
 		})
@@ -291,7 +298,7 @@ func (sh *shard) exec(ctx context.Context, req *request) (string, error) {
 			return "", errCode(ErrCodeUnknownKey)
 		}
 		var v uint64
-		ver, err := sh.atomicUpdate(ctx, req, func(tx *stm.Tx) error {
+		ver, err := sh.atomicUpdate(ctx, req, box.ConflictKey(), func(tx *stm.Tx) error {
 			v = box.Get(tx) + req.arg
 			box.Set(tx, v)
 			return nil
@@ -318,8 +325,11 @@ func (sh *shard) exec(ctx context.Context, req *request) (string, error) {
 		// tune, not just top-level concurrency (t). Each child records
 		// its key's post-state into its own slot (last attempt wins) so
 		// the committed image can be logged.
+		// The first key is the declared intent: a multi-key update cannot
+		// declare them all, and the learned-key upgrade in the STM's retry
+		// loop covers whichever box actually aborts it.
 		vals := make([]uint64, len(boxes))
-		ver, err := sh.atomicUpdate(ctx, req, func(tx *stm.Tx) error {
+		ver, err := sh.atomicUpdate(ctx, req, boxes[0].ConflictKey(), func(tx *stm.Tx) error {
 			fns := make([]func(*stm.Tx) error, len(boxes))
 			for i := range boxes {
 				i := i
@@ -387,6 +397,10 @@ func (sh *shard) status() ShardStatus {
 	snap := sh.stm.Stats.Snapshot()
 	st.TopCommits = snap.TopCommits
 	st.TopAborts = snap.TopAborts
+	if sh.sched != nil {
+		ss := sh.sched.Snapshot()
+		st.Sched = &ss
+	}
 	lat := sh.latency.Snapshot()
 	st.LatencyMs = &lat
 	if b := breakdown(sh.stages); b.Queue.Count+b.Exec.Count+b.Commit.Count+b.Flush.Count > 0 {
@@ -425,6 +439,10 @@ type ShardStatus struct {
 	TopCommits uint64 `json:"stm_top_commits"`
 	TopAborts  uint64 `json:"stm_top_aborts"`
 
+	// Sched is the contention scheduler's counter snapshot (present when
+	// the scheduler is enabled).
+	Sched *sched.Stats `json:"sched,omitempty"`
+
 	LatencyMs       *obs.HistogramSnapshot `json:"latency_ms,omitempty"`
 	Stages          *StageBreakdown        `json:"stages,omitempty"`
 	RecentDecisions []obs.Decision         `json:"recent_decisions,omitempty"`
@@ -448,6 +466,15 @@ func (sh *shard) registerMetrics(reg *obs.Registry) {
 	if sh.tuner != nil {
 		reg.GaugeFunc(p+"current_t", func() float64 { return float64(sh.tuner.Current().T) })
 		reg.GaugeFunc(p+"current_c", func() float64 { return float64(sh.tuner.Current().C) })
+	}
+	if sh.sched != nil {
+		reg.CounterFunc(p+"sched_admitted_total", func() uint64 { return sh.sched.Snapshot().Admitted })
+		reg.CounterFunc(p+"sched_bypass_cool_total", func() uint64 { return sh.sched.Snapshot().BypassCool })
+		reg.CounterFunc(p+"sched_bypass_wait_total", func() uint64 { return sh.sched.Snapshot().BypassWait })
+		reg.CounterFunc(p+"sched_promotions_total", func() uint64 { return sh.sched.Snapshot().Promotions })
+		reg.CounterFunc(p+"sched_demotions_total", func() uint64 { return sh.sched.Snapshot().Demotions })
+		reg.GaugeFunc(p+"sched_domains", func() float64 { return float64(sh.sched.Snapshot().Domains) })
+		reg.GaugeFunc(p+"sched_hot_domains", func() float64 { return float64(sh.sched.Snapshot().HotDomains) })
 	}
 	reg.RegisterHistogram(p+"latency_ms", sh.latency)
 	for st := stage(0); st < numStages; st++ {

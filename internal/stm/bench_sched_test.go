@@ -1,0 +1,129 @@
+package stm
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autopn/internal/sched"
+)
+
+// Scheduler-path benchmarks.
+//
+// BenchmarkSmallWriteTxSched is the cold-cost gate: the exact SmallWriteTx
+// workload with a scheduler attached but no domains promoted, so every
+// attempt pays the scheduler's disabled-path cost (one atomic load on the
+// hinted entry) and nothing else. It is baseline-tracked by bench-compare
+// and alloc-gated by bench-allocs: enabling the scheduler on an
+// uncontended workload must stay within the noise of SmallWriteTx and must
+// not allocate.
+//
+// BenchmarkHotsetWriteTx is the contended family the scheduler exists
+// for: zipfian-skewed read-modify-writes over a small hot set, scheduler
+// off vs. on (hot boxes pre-promoted into conflict domains so the
+// measurement isolates lane steering from controller latency), across all
+// three commit strategies, parallelism driven by -cpu. It has no baseline
+// entries in BENCH_stm.json on purpose — retry-storm throughput is far too
+// machine- and core-count-sensitive for a ±threshold gate (bench-compare
+// skips baseline-less benchmarks); the contention-smoke CI job gates the
+// scheduler's goodput win end-to-end instead.
+
+// BenchmarkSmallWriteTxSched: SmallWriteTx with an enabled-but-cold
+// scheduler, hinted entry points.
+func BenchmarkSmallWriteTxSched(b *testing.B) {
+	benchStrategies(b, func(b *testing.B, s *STM) {
+		s.SetScheduler(sched.New(sched.Options{}))
+		const nBoxes = 4
+		mk := func() []*VBox[int] {
+			boxes := make([]*VBox[int], nBoxes)
+			for i := range boxes {
+				boxes[i] = NewVBox(0)
+			}
+			return boxes
+		}
+		body := func(boxes []*VBox[int]) func(*Tx) error {
+			return func(tx *Tx) error {
+				for _, bx := range boxes {
+					bx.Put(tx, bx.Get(tx)+1)
+				}
+				return nil
+			}
+		}
+		b.Run("Seq", func(b *testing.B) {
+			boxes := mk()
+			fn := body(boxes)
+			hint := boxes[0].ConflictKey()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := s.AtomicHint(hint, fn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("Par", func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				boxes := mk() // disjoint per worker: no read-set conflicts
+				fn := body(boxes)
+				hint := boxes[0].ConflictKey()
+				for pb.Next() {
+					if err := s.AtomicHint(hint, fn); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	})
+}
+
+// BenchmarkHotsetWriteTx: zipfian read-modify-writes over a small hot set,
+// scheduler off vs. on. Drive with -cpu 1,4,8 to vary the retry-storm
+// pressure the lanes absorb.
+func BenchmarkHotsetWriteTx(b *testing.B) {
+	const hotSet = 8
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"Group", Options{}},
+		{"Legacy", Options{DisableGroupCommit: true}},
+		{"LockFree", Options{LockFreeCommit: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for _, mode := range []string{"SchedOff", "SchedOn"} {
+				b.Run(mode, func(b *testing.B) {
+					opts := tc.opts
+					var sch *sched.Scheduler
+					if mode == "SchedOn" {
+						sch = sched.New(sched.Options{MaxWait: 2 * time.Millisecond})
+						opts.Scheduler = sch
+					}
+					s := New(opts)
+					boxes := make([]*VBox[int], hotSet)
+					for i := range boxes {
+						boxes[i] = NewVBox(0)
+						if sch != nil {
+							sch.Promote(boxes[i].ConflictKey(), "")
+						}
+					}
+					var seq atomic.Int64
+					b.ReportAllocs()
+					b.RunParallel(func(pb *testing.PB) {
+						rng := rand.New(rand.NewSource(seq.Add(1))) //nolint:gosec // deterministic workload draw
+						zipf := rand.NewZipf(rng, 1.3, 1, hotSet-1)
+						for pb.Next() {
+							bx := boxes[zipf.Uint64()]
+							if err := s.AtomicHint(bx.ConflictKey(), func(tx *Tx) error {
+								bx.Put(tx, bx.Get(tx)+1)
+								return nil
+							}); err != nil {
+								b.Fatal(err)
+							}
+						}
+					})
+				})
+			}
+		})
+	}
+}

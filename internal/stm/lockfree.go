@@ -43,6 +43,12 @@ type commitRequest struct {
 	version uint64 // serialization position; set before the request is published
 	status  atomic.Int32
 	next    atomic.Pointer[commitRequest]
+	// conflict is the box a helper found invalid, stored (atomically —
+	// several helpers may validate the same request concurrently) before
+	// the abort status is CASed in. The owner reads it after observing
+	// commitAborted to learn its scheduling intent; the status atomic
+	// orders the winner's store ahead of the owner's load.
+	conflict atomic.Pointer[vbox]
 }
 
 // initLockFree installs the queue sentinel. Called from New.
@@ -95,6 +101,15 @@ func (s *STM) commitTopLockFree(tx *Tx) bool {
 			tx.commitVer = req.version
 			return true
 		case commitAborted:
+			// Owner-side learning: the helper that invalidated the request
+			// stored the conflicting box before its status CAS (see
+			// helpCommits). The span attribution already happened
+			// helper-side for sampled trees; noteConflict only stores the
+			// learned key (and feeds the scheduler's unsampled table).
+			if b := req.conflict.Load(); b != nil {
+				key, label := boxKeyLabel(b)
+				tx.noteConflict(stmtrace.ReasonLockFreeHelp, key, label)
+			}
 			return false
 		}
 		s.helpCommits()
@@ -153,14 +168,22 @@ func (s *STM) helpCommits() {
 		}
 		if valid {
 			r.status.CompareAndSwap(commitPending, commitValid)
-		} else if r.status.CompareAndSwap(commitPending, commitAborted) {
-			// Attribution rides the winning CAS so concurrent helpers
-			// cannot double-count one abort. The owner's span pointer is
-			// safely visible through the queue-publication CAS; Span.
-			// Conflict is helper-goroutine-safe.
-			if sp := r.tx.span; sp != nil {
-				key, label := boxKeyLabel(conflictBox)
-				sp.Conflict(stmtrace.ReasonLockFreeHelp, key, label)
+		} else {
+			// Publish the conflicting box before the status CAS so the
+			// owner, which loads it after observing commitAborted, sees a
+			// box some helper genuinely found invalid (atomic store:
+			// concurrent helpers may publish different boxes, any is a
+			// true conflict).
+			r.conflict.Store(conflictBox)
+			if r.status.CompareAndSwap(commitPending, commitAborted) {
+				// Attribution rides the winning CAS so concurrent helpers
+				// cannot double-count one abort. The owner's span pointer is
+				// safely visible through the queue-publication CAS; Span.
+				// Conflict is helper-goroutine-safe.
+				if sp := r.tx.span; sp != nil {
+					key, label := boxKeyLabel(conflictBox)
+					sp.Conflict(stmtrace.ReasonLockFreeHelp, key, label)
+				}
 			}
 		}
 	}

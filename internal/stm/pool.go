@@ -102,8 +102,10 @@ func (s *STM) putTx(tx *Tx) {
 	}
 	tx.readOnly = false
 	tx.holdsGateSlot = false
-	tx.span = nil      // already finished by the runner; drop the reference
-	tx.finished = true // stale user handles keep panicking until reuse
+	tx.conflictKey = 0
+	tx.conflictLabel = "" // drop the label string reference
+	tx.span = nil         // already finished by the runner; drop the reference
+	tx.finished = true    // stale user handles keep panicking until reuse
 	s.txPool.Put(tx)
 }
 

@@ -1,0 +1,373 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"autopn/internal/chaos"
+	"autopn/internal/sched"
+	stmtrace "autopn/internal/stm/trace"
+)
+
+// recordingSched is a fake Scheduler that records every Admit/Leave so the
+// tests can assert exactly which attempts the retry loop gated and with
+// which conflict key.
+type recordingSched struct {
+	mu     sync.Mutex
+	admits []uintptr
+	leaves int
+	lane   int // lane returned by Admit (-1 simulates a bypass)
+}
+
+func (r *recordingSched) Admit(key uintptr) int {
+	r.mu.Lock()
+	r.admits = append(r.admits, key)
+	r.mu.Unlock()
+	return r.lane
+}
+
+func (r *recordingSched) Leave(lane int) {
+	r.mu.Lock()
+	r.leaves++
+	r.mu.Unlock()
+}
+
+func (r *recordingSched) snapshot() ([]uintptr, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]uintptr(nil), r.admits...), r.leaves
+}
+
+// schedStrategies enumerates the three commit strategies; the scheduler
+// must behave identically on the retry path of each.
+var schedStrategies = []struct {
+	name string
+	opts Options
+}{
+	{"serialized", Options{DisableGroupCommit: true}},
+	{"group", Options{}},
+	{"lockfree", Options{LockFreeCommit: true}},
+}
+
+// TestSchedulerHintGatesFirstAttempt: a declared intent key gates attempt
+// zero (Admit before the attempt, Leave after), and an unhinted
+// conflict-free transaction never touches the scheduler.
+func TestSchedulerHintGatesFirstAttempt(t *testing.T) {
+	for _, st := range schedStrategies {
+		t.Run(st.name, func(t *testing.T) {
+			rs := &recordingSched{lane: 0}
+			opts := st.opts
+			opts.Scheduler = rs
+			s := New(opts)
+			box := NewVBox(0)
+
+			if err := s.Atomic(func(tx *Tx) error {
+				box.Put(tx, 1)
+				return nil
+			}); err != nil {
+				t.Fatalf("unhinted atomic: %v", err)
+			}
+			admits, leaves := rs.snapshot()
+			if len(admits) != 0 || leaves != 0 {
+				t.Fatalf("unhinted conflict-free tx touched scheduler: admits %v leaves %d", admits, leaves)
+			}
+
+			key := box.ConflictKey()
+			if err := s.AtomicHint(key, func(tx *Tx) error {
+				box.Put(tx, 2)
+				return nil
+			}); err != nil {
+				t.Fatalf("hinted atomic: %v", err)
+			}
+			admits, leaves = rs.snapshot()
+			if len(admits) != 1 || admits[0] != key {
+				t.Fatalf("hinted attempt 0 admits = %v, want [%#x]", admits, key)
+			}
+			if leaves != 1 {
+				t.Fatalf("leaves = %d, want 1 (lane 0 was granted)", leaves)
+			}
+			if got := box.Peek(); got != 2 {
+				t.Fatalf("box = %d, want 2", got)
+			}
+		})
+	}
+}
+
+// TestSchedulerBypassSkipsLeave: when Admit returns -1 the retry loop must
+// not call Leave — a bypassed attempt holds no lane token.
+func TestSchedulerBypassSkipsLeave(t *testing.T) {
+	rs := &recordingSched{lane: -1}
+	s := New(Options{Scheduler: rs})
+	box := NewVBox(0)
+	if err := s.AtomicHint(box.ConflictKey(), func(tx *Tx) error {
+		box.Put(tx, 1)
+		return nil
+	}); err != nil {
+		t.Fatalf("atomic: %v", err)
+	}
+	admits, leaves := rs.snapshot()
+	if len(admits) != 1 || leaves != 0 {
+		t.Fatalf("bypassed attempt: admits %v leaves %d, want 1 admit and 0 leaves", admits, leaves)
+	}
+}
+
+// forceConflict makes tx's outer commit fail deterministically: it reads
+// box, then commits a separate top-level transaction writing the same box
+// on the same goroutine, so the outer validation finds a newer version.
+// Works identically on all three strategies (on the lock-free path the
+// single-threaded owner helps its own queue and invalidates itself).
+func forceConflict(s *STM, tx *Tx, box *VBox[int]) {
+	_ = box.Get(tx)
+	box.Put(tx, box.Get(tx)+1)
+	if err := s.Atomic(func(inner *Tx) error {
+		box.Put(inner, box.Get(inner)+100)
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// TestSchedulerLearnsConflictKey: an unhinted transaction's first attempt
+// proceeds ungated; after the abort, the retry loop learns the attributed
+// box and gates the retry on its key — on every commit strategy,
+// exercising owner-side attribution (serialized, group) and the
+// helper-to-owner conflict handoff (lock-free).
+func TestSchedulerLearnsConflictKey(t *testing.T) {
+	for _, st := range schedStrategies {
+		t.Run(st.name, func(t *testing.T) {
+			rs := &recordingSched{lane: 0}
+			opts := st.opts
+			opts.Scheduler = rs
+			opts.Backoff = func(int) {} // keep the retry immediate
+			s := New(opts)
+			box := NewVBox(0).WithLabel("hot")
+
+			conflicted := false
+			if err := s.Atomic(func(tx *Tx) error {
+				if !conflicted {
+					conflicted = true
+					forceConflict(s, tx, box)
+					return nil
+				}
+				box.Put(tx, box.Get(tx)+1)
+				return nil
+			}); err != nil {
+				t.Fatalf("atomic: %v", err)
+			}
+
+			admits, leaves := rs.snapshot()
+			key := box.ConflictKey()
+			if len(admits) != 1 || admits[0] != key {
+				t.Fatalf("admits = %v, want exactly [%#x] (learned on retry only)", admits, key)
+			}
+			if leaves != 1 {
+				t.Fatalf("leaves = %d, want 1", leaves)
+			}
+			if got := box.Peek(); got != 101 {
+				t.Fatalf("box = %d, want 101 (inner +100, retried outer +1)", got)
+			}
+		})
+	}
+}
+
+// TestSchedulerFeedsHotBoxTableUnsampled: with a scheduler attached,
+// conflict attribution reaches the tracer's hot-box table even at sample
+// rate zero — the controller needs live contention, not a sampled sliver.
+// Without a scheduler the unsampled path must stay byte-identical to
+// before: no recording.
+func TestSchedulerFeedsHotBoxTableUnsampled(t *testing.T) {
+	run := func(withSched bool) (*stmtrace.Tracer, *VBox[int]) {
+		tr := stmtrace.New(stmtrace.Options{})
+		opts := Options{Tracer: tr, Backoff: func(int) {}}
+		if withSched {
+			opts.Scheduler = &recordingSched{lane: -1}
+		}
+		s := New(opts)
+		box := NewVBox(0).WithLabel("fed")
+		conflicted := false
+		if err := s.Atomic(func(tx *Tx) error {
+			if !conflicted {
+				conflicted = true
+				forceConflict(s, tx, box)
+				return nil
+			}
+			box.Put(tx, box.Get(tx)+1)
+			return nil
+		}); err != nil {
+			t.Fatalf("atomic: %v", err)
+		}
+		return tr, box
+	}
+
+	tr, box := run(true)
+	if tr.Sampled() != 0 {
+		t.Fatalf("sample rate 0 sampled %d spans", tr.Sampled())
+	}
+	hot := tr.HotBoxes(0)
+	found := false
+	for _, hb := range hot {
+		if hb.Key == box.ConflictKey() {
+			found = true
+			if hb.Label != "fed" {
+				t.Errorf("hot box label = %q, want %q", hb.Label, "fed")
+			}
+			if hb.Aborts == 0 {
+				t.Errorf("hot box has zero aborts")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("conflicted box missing from hot-box table: %+v", hot)
+	}
+
+	trOff, _ := run(false)
+	if got := trOff.HotBoxes(0); len(got) != 0 {
+		t.Fatalf("scheduler-off unsampled conflict fed the table: %+v", got)
+	}
+}
+
+// TestSchedulerSerializesHotDomain: end-to-end with the real scheduler —
+// a promoted hot box funnels hinted writers through one lane, and the
+// result is still exactly correct under concurrency on every strategy.
+func TestSchedulerSerializesHotDomain(t *testing.T) {
+	for _, st := range schedStrategies {
+		t.Run(st.name, func(t *testing.T) {
+			sch := sched.New(sched.Options{Lanes: 4, MaxWait: 50 * time.Millisecond})
+			opts := st.opts
+			opts.Scheduler = sch
+			s := New(opts)
+			box := NewVBox(0).WithLabel("hot")
+			key := box.ConflictKey()
+			if lane := sch.Promote(key, "hot"); lane < 0 {
+				t.Fatalf("promote failed")
+			}
+
+			const workers, perWorker = 8, 50
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						if err := s.AtomicHint(key, func(tx *Tx) error {
+							box.Put(tx, box.Get(tx)+1)
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if got := box.Peek(); got != workers*perWorker {
+				t.Fatalf("box = %d, want %d", got, workers*perWorker)
+			}
+			st := sch.Snapshot()
+			if st.Admitted == 0 {
+				t.Fatalf("no admissions through the hot lane: %+v", st)
+			}
+		})
+	}
+}
+
+// TestChaosSchedulerLaneStallDoesNotWedgeOtherLanes: a committer stalled at
+// PointCommit holds its lane token (and, on the serialized path, the global
+// commit lock). Transactions on other lanes must keep being admitted and —
+// when they don't need the commit lock — keep completing; same-lane peers
+// must bypass after the bounded wait instead of parking forever.
+func TestChaosSchedulerLaneStallDoesNotWedgeOtherLanes(t *testing.T) {
+	inj := chaos.New(chaos.Options{
+		Seed: chaosSeed(t),
+		Rules: []chaos.Rule{{
+			Name:    "stall",
+			Point:   chaos.PointCommit,
+			Trigger: chaos.Nth(1),
+			Action:  chaos.ActStall,
+		}},
+	})
+	defer inj.Close()
+
+	sch := sched.New(sched.Options{Lanes: 4, MaxWait: 5 * time.Millisecond})
+	s := New(Options{DisableGroupCommit: true, FaultInjector: inj, Scheduler: sch})
+
+	// Find two boxes whose domains land on different lanes.
+	boxA := NewVBox(0).WithLabel("laneA")
+	laneA := sch.Promote(boxA.ConflictKey(), "laneA")
+	var boxB *VBox[int]
+	for i := 0; i < 64; i++ {
+		b := NewVBox(0).WithLabel("laneB")
+		if lane := sch.Promote(b.ConflictKey(), "laneB"); lane != laneA {
+			boxB = b
+			break
+		}
+		sch.Demote(b.ConflictKey())
+	}
+	if boxB == nil {
+		t.Fatalf("could not find a second box hashing to a different lane")
+	}
+
+	// Writer 1 stalls at PointCommit holding lane A's token and commitMu.
+	w1done := make(chan error, 1)
+	go func() {
+		w1done <- s.AtomicHint(boxA.ConflictKey(), func(tx *Tx) error {
+			boxA.Put(tx, boxA.Get(tx)+1)
+			return nil
+		})
+	}()
+	waitFor(t, "writer stalled at PointCommit", func() bool { return inj.StallDepth("stall") == 1 })
+
+	// Zero-write transactions on lane B commit without the lock; they must
+	// all be admitted and complete while the stall is held.
+	bDone := make(chan struct{})
+	go func() {
+		defer close(bDone)
+		for i := 0; i < 50; i++ {
+			if err := s.AtomicHint(boxB.ConflictKey(), func(tx *Tx) error {
+				_ = boxB.Get(tx)
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-bDone:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("lane-B transactions wedged behind a lane-A stall")
+	}
+
+	// A same-lane peer parks behind the held token, then bypasses after
+	// MaxWait (it still blocks on the commit lock until resume — that is
+	// the injected fault, not a scheduler wedge).
+	w2done := make(chan error, 1)
+	go func() {
+		w2done <- s.AtomicHint(boxA.ConflictKey(), func(tx *Tx) error {
+			boxA.Put(tx, boxA.Get(tx)+1)
+			return nil
+		})
+	}()
+	waitFor(t, "same-lane peer bypassed the held token", func() bool { return sch.Snapshot().BypassWait >= 1 })
+
+	inj.Resume("stall")
+	if err := <-w1done; err != nil {
+		t.Fatalf("stalled writer: %v", err)
+	}
+	if err := <-w2done; err != nil {
+		t.Fatalf("bypassed writer: %v", err)
+	}
+	if got := boxA.Peek(); got != 2 {
+		t.Fatalf("boxA = %d, want 2", got)
+	}
+	st := sch.Snapshot()
+	if st.BypassWait == 0 {
+		t.Fatalf("bounded wait never triggered: %+v", st)
+	}
+	for i := 0; i < st.Lanes; i++ {
+		if d := sch.LaneDepth(i); d != 0 {
+			t.Fatalf("lane %d depth = %d after drain, want 0", i, d)
+		}
+	}
+}

@@ -67,6 +67,20 @@ type TreeGate interface {
 	ExitChild()
 }
 
+// Scheduler steers top-level transactions onto conflict-domain lanes
+// (internal/sched implements it). The retry loop calls Admit before every
+// attempt whose conflict key is known — declared by the caller via the
+// *Hint entry points, or learned from the attributed box of a previous
+// abort — and Leave after the attempt. Admit returns a lane token (>= 0)
+// when the attempt was serialized behind a hot domain, or -1 when it
+// should proceed optimistically; implementations must keep the
+// no-domains-promoted path to a single atomic load, which is what keeps a
+// scheduler-enabled-but-cold STM within the hot-path budget.
+type Scheduler interface {
+	Admit(key uintptr) int
+	Leave(lane int)
+}
+
 // Options configures an STM instance.
 type Options struct {
 	// Throttle gates transaction admission; nil means unbounded.
@@ -120,6 +134,14 @@ type Options struct {
 	// nil — the production default — every hook is a single nil-check
 	// branch.
 	FaultInjector *chaos.Injector
+	// Scheduler, if non-nil, gates top-level transaction attempts through
+	// conflict-domain lanes (see the Scheduler interface and
+	// internal/sched). With a scheduler attached, every abort's attributed
+	// box is additionally recorded into the tracer's hot-box table even
+	// for unsampled transactions (the controller needs live windowed
+	// contention, not a sampled sliver), so pair it with a Tracer. Nil —
+	// the default — costs one nil check per attempt.
+	Scheduler Scheduler
 }
 
 // ErrTooManyRetries is returned by Atomic when Options.MaxRetries is set
@@ -202,6 +224,11 @@ func (s *STM) SetCommitHook(h func()) { s.opts.CommitHook = h }
 // SetThrottle replaces the admission throttle. It must not be called
 // concurrently with running transactions.
 func (s *STM) SetThrottle(t Throttle) { s.opts.Throttle = t }
+
+// SetScheduler attaches (or, with nil, detaches) the conflict-domain
+// scheduler. It must not be called concurrently with running
+// transactions (install it before traffic, like SetThrottle).
+func (s *STM) SetScheduler(sch Scheduler) { s.opts.Scheduler = sch }
 
 // Tracer returns the attached transaction tracer (nil when tracing was
 // never wired).
@@ -309,7 +336,7 @@ func (s *STM) AtomicVersionedCtx(ctx context.Context, fn func(tx *Tx) error) (ui
 		}
 	}
 	var ver uint64
-	err := s.atomicVer(ctx, fn, s.sampleTrace(), 0, &ver)
+	err := s.atomicVer(ctx, fn, s.sampleTrace(), 0, &ver, 0)
 	return ver, err
 }
 
@@ -322,25 +349,64 @@ func (s *STM) AtomicVersionedTraced(ctx context.Context, link uint64, fn func(tx
 		}
 	}
 	var ver uint64
-	err := s.atomicVer(ctx, fn, s.tracer.Load(), link, &ver)
+	err := s.atomicVer(ctx, fn, s.tracer.Load(), link, &ver, 0)
 	return ver, err
+}
+
+// AtomicVersionedCtxHint is AtomicVersionedCtx carrying the caller's
+// declared intent: hint is the conflict key of the box the transaction
+// expects to contend on (VBox.ConflictKey; 0 = no declared intent). The
+// scheduler, when one is attached, gates the very first attempt on it —
+// without a hint the first attempt always runs optimistically and the
+// scheduler only engages from the retry learned off the first abort.
+func (s *STM) AtomicVersionedCtxHint(ctx context.Context, hint uintptr, fn func(tx *Tx) error) (uint64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			s.Stats.add(statShardHint(), idxCtxCancels, 1)
+			return 0, err
+		}
+	}
+	var ver uint64
+	err := s.atomicVer(ctx, fn, s.sampleTrace(), 0, &ver, hint)
+	return ver, err
+}
+
+// AtomicVersionedTracedHint is AtomicVersionedTraced with a declared
+// scheduling intent (see AtomicVersionedCtxHint).
+func (s *STM) AtomicVersionedTracedHint(ctx context.Context, link uint64, hint uintptr, fn func(tx *Tx) error) (uint64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			s.Stats.add(statShardHint(), idxCtxCancels, 1)
+			return 0, err
+		}
+	}
+	var ver uint64
+	err := s.atomicVer(ctx, fn, s.tracer.Load(), link, &ver, hint)
+	return ver, err
+}
+
+// AtomicHint is Atomic with a declared scheduling intent (see
+// AtomicVersionedCtxHint).
+func (s *STM) AtomicHint(hint uintptr, fn func(tx *Tx) error) error {
+	return s.atomicVer(nil, fn, s.sampleTrace(), 0, nil, hint)
 }
 
 // atomic is the shared top-level retry loop; ctx is nil for plain Atomic.
 func (s *STM) atomic(ctx context.Context, fn func(tx *Tx) error) error {
-	return s.atomicVer(ctx, fn, s.sampleTrace(), 0, nil)
+	return s.atomicVer(ctx, fn, s.sampleTrace(), 0, nil, 0)
 }
 
 // atomicWith is atomic with the trace decision already made: tr is nil for
 // untraced transactions, link tags the spans of externally-claimed trees.
 func (s *STM) atomicWith(ctx context.Context, fn func(tx *Tx) error, tr *stmtrace.Tracer, link uint64) error {
-	return s.atomicVer(ctx, fn, tr, link, nil)
+	return s.atomicVer(ctx, fn, tr, link, nil, 0)
 }
 
 // atomicVer is atomicWith with an optional commit-version out-parameter,
 // written (when non-nil) from the committed attempt's Tx before the object
-// returns to the pool.
-func (s *STM) atomicVer(ctx context.Context, fn func(tx *Tx) error, tr *stmtrace.Tracer, link uint64, verOut *uint64) error {
+// returns to the pool, and an optional scheduling hint (the conflict key
+// the caller expects to contend on; 0 = none).
+func (s *STM) atomicVer(ctx context.Context, fn func(tx *Tx) error, tr *stmtrace.Tracer, link uint64, verOut *uint64, hint uintptr) error {
 	if th := s.opts.Throttle; th != nil {
 		th.EnterTop()
 		defer th.ExitTop()
@@ -351,6 +417,12 @@ func (s *STM) atomicVer(ctx context.Context, fn func(tx *Tx) error, tr *stmtrace
 	if pol != nil && pol.MaxAttempts > 0 {
 		maxAttempts = pol.MaxAttempts
 	}
+	// schedKey is the conflict key the scheduler gates this transaction
+	// on: the caller's declared hint, upgraded to the attributed box of
+	// the most recent abort (the learned intent usually names the actual
+	// contention better than the caller's guess).
+	sch := s.opts.Scheduler
+	schedKey := hint
 	for attempt := 0; ; attempt++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -358,8 +430,15 @@ func (s *STM) atomicVer(ctx context.Context, fn func(tx *Tx) error, tr *stmtrace
 				return err
 			}
 		}
+		lane := -1
+		if sch != nil && schedKey != 0 {
+			lane = sch.Admit(schedKey)
+		}
 		tx := s.beginTop(ctx, tr, attempt, link)
 		err, conflicted := tx.runTop(fn)
+		if lane >= 0 {
+			sch.Leave(lane)
+		}
 		if !conflicted {
 			if verOut != nil && err == nil {
 				*verOut = tx.commitVer
@@ -371,6 +450,9 @@ func (s *STM) atomicVer(ctx context.Context, fn func(tx *Tx) error, tr *stmtrace
 			return err
 		}
 		shard := tx.statShard
+		if sch != nil && tx.conflictKey != 0 {
+			schedKey = tx.conflictKey
+		}
 		s.Stats.add(shard, idxTopAborts, 1)
 		s.putTx(tx)
 		failed := attempt + 1

@@ -228,6 +228,85 @@ func (t *Tracer) AbortCount(r Reason) uint64 {
 	return t.conflicts.reasons[r].Load()
 }
 
+// RecordConflict attributes one abort directly to the conflict table,
+// without a live span. The scheduler's always-on attribution path uses it:
+// when a conflict-aware scheduler is attached, the STM records every
+// top-level abort here even for unsampled transactions, so the hot-box
+// table reflects live contention rather than a sampled sliver of it.
+func (t *Tracer) RecordConflict(reason Reason, key uintptr, label string) {
+	t.conflicts.record(reason, key, label)
+}
+
+// HotBox is one windowed hot-box row carrying the raw box key, which is
+// what a scheduler needs to match conflict statistics back to the boxes
+// transactions declare as intent. Label may be empty for unlabeled boxes.
+type HotBox struct {
+	Key    uintptr
+	Label  string
+	Aborts uint64
+}
+
+// HotBoxes returns the k most contended boxes (most aborted first, key
+// ascending as the deterministic tie-break), with raw keys. Unlike
+// Conflicts it does not fold the tail into an "other" bucket — it is the
+// scheduler controller's read path, not the exported report.
+func (t *Tracer) HotBoxes(k int) []HotBox {
+	var rows []HotBox
+	for i := range t.conflicts.shards {
+		sh := &t.conflicts.shards[i]
+		sh.mu.Lock()
+		for key, agg := range sh.boxes {
+			rows = append(rows, HotBox{Key: key, Label: agg.label, Aborts: agg.total})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Aborts != rows[j].Aborts {
+			return rows[i].Aborts > rows[j].Aborts
+		}
+		return rows[i].Key < rows[j].Key
+	})
+	if k > 0 && len(rows) > k {
+		rows = rows[:k]
+	}
+	return rows
+}
+
+// DecayConflicts multiplies every per-box count by factor (clamped to
+// [0,1)) and evicts boxes whose total decays to zero, returning the number
+// evicted. The cumulative per-reason totals (AbortCount, the Reasons map
+// in Conflicts) are left untouched — they are lifetime counters exported
+// as metrics. Called periodically this turns the per-box aggregates into
+// an exponentially-weighted window, which is what lets a scheduler demote
+// a box that was hot yesterday but is cold now. Eviction also re-opens
+// table slots, so a capped table tracks the current hot set instead of
+// whichever boxes conflicted first.
+func (t *Tracer) DecayConflicts(factor float64) int {
+	if factor < 0 {
+		factor = 0
+	}
+	if factor >= 1 {
+		return 0
+	}
+	evicted := 0
+	for i := range t.conflicts.shards {
+		sh := &t.conflicts.shards[i]
+		sh.mu.Lock()
+		for key, agg := range sh.boxes {
+			agg.total = uint64(float64(agg.total) * factor)
+			for r := range agg.byReason {
+				agg.byReason[r] = uint64(float64(agg.byReason[r]) * factor)
+			}
+			if agg.total == 0 {
+				delete(sh.boxes, key)
+				evicted++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
+}
+
 // hottestBoxAborts returns the abort count of the single most contended
 // box (a cheap gauge for /metrics; the full table is in Conflicts).
 func (t *Tracer) hottestBoxAborts() uint64 {

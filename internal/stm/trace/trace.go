@@ -99,7 +99,7 @@ type SpanData struct {
 	Depth  int    `json:"depth"`
 	// Attempt numbers retries of the same logical transaction: a conflicted
 	// attempt and its retry appear as sibling spans with increasing Attempt.
-	Attempt int   `json:"attempt"`
+	Attempt int `json:"attempt"`
 	// Link ties a top-level span to an external trace — the serving layer's
 	// request trace ID (stm.AtomicTraced). Zero for ambient-sampled
 	// transactions; children inherit their root's link via Root.

@@ -155,6 +155,98 @@ func TestConflictTableBoxCap(t *testing.T) {
 	}
 }
 
+func TestDecayConflictsWindowsAndEvicts(t *testing.T) {
+	tr := New(Options{})
+	sp := tr.StartTopAt(time.Now(), 0)
+	for i := 0; i < 8; i++ {
+		sp.Conflict(ReasonTopValidation, 0x100, "hot")
+	}
+	sp.Conflict(ReasonNestedSibling, 0x200, "warm")
+	sp.Finish(OutcomeAbort)
+
+	// One decay tick: 8 -> 4 on the hot box, 1 -> 0 (evicted) on the warm.
+	if evicted := tr.DecayConflicts(0.5); evicted != 1 {
+		t.Fatalf("DecayConflicts evicted %d boxes, want 1", evicted)
+	}
+	hot := tr.HotBoxes(0)
+	if len(hot) != 1 || hot[0].Key != 0x100 || hot[0].Aborts != 4 || hot[0].Label != "hot" {
+		t.Fatalf("after decay HotBoxes = %+v, want [{0x100 hot 4}]", hot)
+	}
+	// The cumulative reason totals are lifetime counters: untouched.
+	if tr.AbortCount(ReasonTopValidation) != 8 || tr.AbortCount(ReasonNestedSibling) != 1 {
+		t.Errorf("cumulative reason totals decayed: top=%d sib=%d, want 8 and 1",
+			tr.AbortCount(ReasonTopValidation), tr.AbortCount(ReasonNestedSibling))
+	}
+	// The per-box by-reason breakdown decays with the totals.
+	rep := tr.Conflicts(1)
+	if rep.TopBoxes[0].ByReason["top-validation"] != 4 {
+		t.Errorf("by-reason after decay = %v, want top-validation 4", rep.TopBoxes[0].ByReason)
+	}
+	// Repeated decay drains the table completely; factors outside [0,1)
+	// are a no-op or a full clear, never growth.
+	if evicted := tr.DecayConflicts(1.5); evicted != 0 {
+		t.Errorf("factor >= 1 evicted %d, want no-op", evicted)
+	}
+	if evicted := tr.DecayConflicts(0); evicted != 1 {
+		t.Errorf("factor 0 evicted %d, want 1 (clears the table)", evicted)
+	}
+	if got := tr.HotBoxes(0); len(got) != 0 {
+		t.Errorf("table not empty after factor-0 decay: %+v", got)
+	}
+	// Eviction reopens slots: a fresh box is tracked again afterwards.
+	sp2 := tr.StartTopAt(time.Now(), 1)
+	sp2.Conflict(ReasonTopValidation, 0x300, "fresh")
+	sp2.Finish(OutcomeAbort)
+	if got := tr.HotBoxes(0); len(got) != 1 || got[0].Key != 0x300 {
+		t.Errorf("fresh box not tracked after eviction: %+v", got)
+	}
+}
+
+// TestDecayTopKStability: ordering among surviving boxes is preserved by
+// proportional decay, and the report tie-break stays deterministic.
+func TestDecayTopKStability(t *testing.T) {
+	tr := New(Options{})
+	counts := map[uintptr]int{0x10: 40, 0x20: 20, 0x30: 10, 0x40: 10}
+	for key, n := range counts {
+		for i := 0; i < n; i++ {
+			tr.RecordConflict(ReasonTopValidation, key, "")
+		}
+	}
+	wantOrder := []uintptr{0x10, 0x20, 0x30, 0x40} // ties break key-ascending
+	for round := 0; round < 3; round++ {
+		hot := tr.HotBoxes(4)
+		if len(hot) != 4 {
+			t.Fatalf("round %d: %d rows, want 4", round, len(hot))
+		}
+		for i, want := range wantOrder {
+			if hot[i].Key != want {
+				t.Fatalf("round %d: order %+v, want keys %v", round, hot, wantOrder)
+			}
+		}
+		tr.DecayConflicts(0.5)
+	}
+	// 40/20/10/10 halved three times: 5/2/1/1 — still all tracked, same order.
+	hot := tr.HotBoxes(0)
+	if len(hot) != 4 || hot[0].Aborts != 5 || hot[1].Aborts != 2 {
+		t.Errorf("after 3 half-life ticks HotBoxes = %+v", hot)
+	}
+}
+
+func TestRecordConflictWithoutSpan(t *testing.T) {
+	tr := New(Options{})
+	tr.RecordConflict(ReasonTopValidation, 0xdead, "direct")
+	if tr.AbortCount(ReasonTopValidation) != 1 {
+		t.Errorf("AbortCount = %d, want 1", tr.AbortCount(ReasonTopValidation))
+	}
+	hot := tr.HotBoxes(1)
+	if len(hot) != 1 || hot[0].Label != "direct" || hot[0].Aborts != 1 {
+		t.Errorf("HotBoxes = %+v, want the directly recorded box", hot)
+	}
+	if tr.Sampled() != 0 {
+		t.Errorf("span-less record bumped Sampled to %d", tr.Sampled())
+	}
+}
+
 // traceFile mirrors the chrome trace_event JSON object format.
 type traceFile struct {
 	TraceEvents []struct {

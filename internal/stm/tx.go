@@ -127,6 +127,15 @@ type Tx struct {
 	// spans, parented under the root's.
 	span *stmtrace.Span
 
+	// conflictKey/conflictLabel identify the box the latest abort of this
+	// attempt was attributed to (0/"" when none or boxless). Written
+	// owner-side at every attribution site — the lock-free path hands the
+	// helper-found box back through the commit request first — and read by
+	// the retry loop after a conflicted attempt to learn the transaction's
+	// scheduling intent (see Scheduler).
+	conflictKey   uintptr
+	conflictLabel string
+
 	finished bool // defensive: set when the tx function returned
 }
 
@@ -260,13 +269,36 @@ func boxKeyLabel(b *vbox) (uintptr, string) {
 }
 
 // traceConflict attributes one abort of tx to reason at box b (nil = no
-// specific box). No-op when the tree is untraced.
+// specific box): the learned conflict key is stored on tx, the abort is
+// recorded against the tracing span when the tree is sampled, and — with
+// a scheduler attached — against the tracer's hot-box table even when it
+// is not (see noteConflict). Owner-side call sites only; the lock-free
+// path's helper-side attribution goes through the commit request.
 func (tx *Tx) traceConflict(reason stmtrace.Reason, b *vbox) {
-	if tx.span == nil {
+	key, label := boxKeyLabel(b)
+	tx.noteConflict(reason, key, label)
+	if tx.span != nil {
+		tx.span.Conflict(reason, key, label)
+	}
+}
+
+// noteConflict stores the learned conflict box on tx (plain stores —
+// every caller runs on the goroutine that owns tx) and, when the tree is
+// untraced but a scheduler is attached, records the abort into the
+// tracer's hot-box table directly. That always-on attribution is what
+// feeds the scheduler's controller live windowed contention while
+// sampling stays off; without a scheduler the untraced abort path stays
+// exactly as before (no table write).
+func (tx *Tx) noteConflict(reason stmtrace.Reason, key uintptr, label string) {
+	if key == 0 {
 		return
 	}
-	key, label := boxKeyLabel(b)
-	tx.span.Conflict(reason, key, label)
+	tx.conflictKey, tx.conflictLabel = key, label
+	if tx.span == nil && tx.stm.opts.Scheduler != nil {
+		if tr := tx.stm.tracer.Load(); tr != nil {
+			tr.RecordConflict(reason, key, label)
+		}
+	}
 }
 
 // runTop executes fn inside tx and attempts to commit. It returns the

@@ -205,6 +205,13 @@ func (v *VBox[T]) WithLabel(label string) *VBox[T] {
 // Label returns the profiling label set by WithLabel ("" when unset).
 func (v *VBox[T]) Label() string { return v.core.label }
 
+// ConflictKey returns the box's identity key as used by the conflict
+// profiler's hot-box table and the scheduler's conflict domains — an
+// opaque value, never dereferenced by either. Callers pass it as the
+// scheduling hint of the *Hint transaction entry points to declare
+// up-front which box they expect to contend on.
+func (v *VBox[T]) ConflictKey() uintptr { return boxKey(&v.core) }
+
 // Get returns the box's value as seen by tx, recording the read for
 // conflict detection. It must be called from inside the transaction's
 // function; calling it after the transaction finished is a programming
